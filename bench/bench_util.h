@@ -1,0 +1,30 @@
+#ifndef PDMS_BENCH_BENCH_UTIL_H_
+#define PDMS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pdms {
+namespace bench {
+
+/// Reads a size_t configuration knob from the environment, e.g.
+/// PDMS_BENCH_RUNS=100 ./fig3_tree_size. Benchmarks default to settings
+/// that finish in about a minute on a laptop; raise the knobs to match the
+/// paper's 100-run averages exactly.
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtod(value, nullptr);
+}
+
+}  // namespace bench
+}  // namespace pdms
+
+#endif  // PDMS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,101 @@
+// Substrate micro-benchmark (google-benchmark): the conjunctive-query
+// evaluator and the semi-naive datalog engine that execute reformulated
+// queries over stored relations.
+
+#include <benchmark/benchmark.h>
+
+#include "pdms/data/database.h"
+#include "pdms/eval/datalog.h"
+#include "pdms/eval/evaluator.h"
+#include "pdms/lang/parser.h"
+#include "pdms/util/check.h"
+#include "pdms/util/rng.h"
+
+namespace pdms {
+namespace {
+
+Database RandomEdges(size_t tuples, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+  for (size_t i = 0; i < tuples; ++i) {
+    db.Insert("edge", {Value::Int(rng.UniformInt(0, domain - 1)),
+                       Value::Int(rng.UniformInt(0, domain - 1))});
+  }
+  return db;
+}
+
+ConjunctiveQuery Q(const char* text) {
+  auto r = ParseRuleText(text);
+  PDMS_CHECK(r.ok());
+  return *r;
+}
+
+void BM_TwoWayJoin(benchmark::State& state) {
+  size_t tuples = static_cast<size_t>(state.range(0));
+  Database db = RandomEdges(tuples, static_cast<int64_t>(tuples / 4), 7);
+  ConjunctiveQuery query = Q("q(x, z) :- edge(x, y), edge(y, z).");
+  for (auto _ : state) {
+    auto result = EvaluateCQ(query, db);
+    PDMS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(tuples));
+}
+BENCHMARK(BM_TwoWayJoin)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_SelectiveJoinWithComparison(benchmark::State& state) {
+  size_t tuples = static_cast<size_t>(state.range(0));
+  Database db = RandomEdges(tuples, static_cast<int64_t>(tuples / 4), 9);
+  ConjunctiveQuery query =
+      Q("q(x, z) :- edge(x, y), edge(y, z), x < 10, z > 5.");
+  for (auto _ : state) {
+    auto result = EvaluateCQ(query, db);
+    PDMS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_SelectiveJoinWithComparison)->Arg(400)->Arg(1600);
+
+void BM_DatalogTransitiveClosure(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  Database db;
+  for (size_t i = 0; i + 1 < nodes; ++i) {
+    db.Insert("edge", {Value::Int(static_cast<int64_t>(i)),
+                       Value::Int(static_cast<int64_t>(i + 1))});
+  }
+  std::vector<Rule> program = {
+      Q("tc(x, y) :- edge(x, y)."),
+      Q("tc(x, z) :- tc(x, y), edge(y, z)."),
+  };
+  for (auto _ : state) {
+    auto result = EvaluateDatalog(program, db);
+    PDMS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->Find("tc")->size());
+  }
+}
+BENCHMARK(BM_DatalogTransitiveClosure)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_UnionOfRewritings(benchmark::State& state) {
+  // Evaluate a union like the ones reformulation emits: many small
+  // conjunctive queries over one instance.
+  size_t disjuncts = static_cast<size_t>(state.range(0));
+  Database db = RandomEdges(800, 100, 11);
+  UnionQuery uq;
+  for (size_t i = 0; i < disjuncts; ++i) {
+    uq.Add(Q(("q(x, z) :- edge(x, y), edge(y, z), y = " +
+              std::to_string(i) + ".")
+                 .c_str()));
+  }
+  for (auto _ : state) {
+    auto result = EvaluateUnion(uq, db);
+    PDMS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_UnionOfRewritings)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace pdms
+
+BENCHMARK_MAIN();

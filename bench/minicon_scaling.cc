@@ -1,0 +1,96 @@
+// Substrate micro-benchmark (google-benchmark): the standalone MiniCon
+// algorithm [23] that powers inclusion expansion, as a function of the
+// number of available views. Mirrors the scaling experiments in the
+// MiniCon paper: rewriting time grows with the number of relevant views;
+// irrelevant views are cheap to discard.
+
+#include <benchmark/benchmark.h>
+
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/minicon/rewrite.h"
+#include "pdms/util/check.h"
+#include "pdms/util/rng.h"
+
+namespace pdms {
+namespace {
+
+// A chain query e0(x0,x1), e1(x1,x2), ..., head = endpoints.
+ConjunctiveQuery ChainQuery(size_t length, size_t num_predicates) {
+  std::vector<Atom> body;
+  for (size_t i = 0; i < length; ++i) {
+    std::string pred = "e" + std::to_string(i % num_predicates);
+    body.emplace_back(pred,
+                      std::vector<Term>{Term::Var("x" + std::to_string(i)),
+                                        Term::Var("x" + std::to_string(i + 1))});
+  }
+  Atom head("q", {Term::Var("x0"), Term::Var("x" + std::to_string(length))});
+  return ConjunctiveQuery(std::move(head), std::move(body));
+}
+
+// Random 2-atom chain views over the same predicates; roughly half expose
+// both endpoints (usable) and half project one away (discarded by the
+// MiniCon property).
+std::vector<ConjunctiveQuery> RandomViews(size_t count,
+                                          size_t num_predicates,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ConjunctiveQuery> views;
+  for (size_t v = 0; v < count; ++v) {
+    std::string p1 = "e" + std::to_string(rng.Uniform(num_predicates));
+    std::string p2 = "e" + std::to_string(rng.Uniform(num_predicates));
+    std::vector<Atom> body = {
+        Atom(p1, {Term::Var("a"), Term::Var("b")}),
+        Atom(p2, {Term::Var("b"), Term::Var("c")}),
+    };
+    std::vector<Term> head_args;
+    if (rng.Chance(0.5)) {
+      head_args = {Term::Var("a"), Term::Var("b"), Term::Var("c")};
+    } else {
+      head_args = {Term::Var("a")};  // projects the join away: unusable
+    }
+    views.emplace_back(Atom("v" + std::to_string(v), head_args),
+                       std::move(body));
+  }
+  return views;
+}
+
+void BM_MiniConRewrite(benchmark::State& state) {
+  size_t num_views = static_cast<size_t>(state.range(0));
+  ConjunctiveQuery query = ChainQuery(4, 4);
+  std::vector<ConjunctiveQuery> views = RandomViews(num_views, 4, 42);
+  size_t rewritings = 0;
+  for (auto _ : state) {
+    auto result = MiniConRewrite(query, views);
+    PDMS_CHECK(result.ok());
+    rewritings = result->size();
+    benchmark::DoNotOptimize(rewritings);
+  }
+  state.counters["rewritings"] = static_cast<double>(rewritings);
+}
+BENCHMARK(BM_MiniConRewrite)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MiniConIrrelevantViews(benchmark::State& state) {
+  // All views over predicates the query never mentions: discarding them
+  // should be near-free regardless of count.
+  size_t num_views = static_cast<size_t>(state.range(0));
+  ConjunctiveQuery query = ChainQuery(4, 4);
+  std::vector<ConjunctiveQuery> views;
+  for (size_t v = 0; v < num_views; ++v) {
+    views.emplace_back(
+        Atom("w" + std::to_string(v), {Term::Var("a"), Term::Var("b")}),
+        std::vector<Atom>{
+            Atom("zz" + std::to_string(v),
+                 {Term::Var("a"), Term::Var("b")})});
+  }
+  for (auto _ : state) {
+    auto result = MiniConRewrite(query, views);
+    PDMS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_MiniConIrrelevantViews)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace pdms
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Section 5 (text): "the number of peers at every stratum has relatively
+// little effect [on the rule-goal tree], because it is usually the case
+// that most of them are irrelevant to a given query."
+//
+// This bench fixes the diameter and sweeps the number of peers; the tree
+// size should stay within a small factor while the network size grows 8x.
+//
+// Knobs: PDMS_BENCH_RUNS (default 10), PDMS_BENCH_DIAMETER (default 5).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "pdms/core/reformulator.h"
+#include "pdms/gen/workload.h"
+#include "pdms/util/timer.h"
+
+int main() {
+  using pdms::bench::EnvSize;
+  size_t runs = EnvSize("PDMS_BENCH_RUNS", 10);
+  size_t diameter = EnvSize("PDMS_BENCH_DIAMETER", 5);
+
+  std::printf("# Tree size vs. number of peers at fixed diameter %zu "
+              "(10%% dd, avg of %zu runs)\n",
+              diameter, runs);
+  std::printf("# paper: peers per stratum has relatively little effect\n");
+  std::printf("%-8s %12s %14s %12s\n", "peers", "nodes", "mappings",
+              "build (ms)");
+  for (size_t peers : {24, 48, 96, 192}) {
+    double nodes = 0;
+    double mappings = 0;
+    double ms = 0;
+    for (size_t run = 0; run < runs; ++run) {
+      pdms::gen::WorkloadConfig config;
+      config.num_peers = peers;
+      config.num_strata = diameter;
+      config.definitional_fraction = 0.10;
+      config.providers_per_relation = 1;
+      config.seed = 3000 + run;
+      auto workload = pdms::gen::GenerateWorkload(config);
+      if (!workload.ok()) continue;
+      pdms::Reformulator reformulator(workload->network);
+      pdms::WallTimer timer;
+      auto tree = reformulator.BuildTree(workload->query);
+      double elapsed = timer.ElapsedMillis();
+      if (!tree.ok()) continue;
+      nodes += static_cast<double>(tree->stats.total_nodes());
+      mappings +=
+          static_cast<double>(workload->network.peer_mappings().size());
+      ms += elapsed;
+    }
+    std::printf("%-8zu %12.0f %14.0f %12.2f\n", peers,
+                nodes / static_cast<double>(runs),
+                mappings / static_cast<double>(runs),
+                ms / static_cast<double>(runs));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// A small interactive shell around the PDMS: load PPL programs, pose
+// queries, and inspect reformulations and rule-goal-tree statistics.
+//
+// Usage:
+//   ./ppl_shell [program.ppl ...]      # load files, then read commands
+//
+// Commands (also shown by `help`):
+//   load <file>          load a PPL program file
+//   <PPL statement>      peer/stored/mapping/fact statements are executed
+//   ? q(x) :- ...        reformulate + evaluate a query
+//   plan q(x) :- ...     show the rewritings only
+//   tree q(x) :- ...     dump the rule-goal tree
+//   schema               print the network specification
+//   data                 print the stored relations
+//   classify             Section 3 complexity analysis
+//   quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "pdms/core/pdms.h"
+#include "pdms/core/reformulator.h"
+#include "pdms/util/strings.h"
+
+namespace {
+
+pdms::Pdms g_pdms;
+
+void LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("cannot open %s\n", path.c_str());
+    return;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  pdms::Status status = g_pdms.LoadProgram(buffer.str());
+  std::printf("%s: %s\n", path.c_str(),
+              status.ok() ? "loaded" : status.ToString().c_str());
+}
+
+void RunQuery(const std::string& text, bool evaluate) {
+  auto result = g_pdms.Reformulate(text);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu rewriting(s):\n%s\n", result->rewriting.size(),
+              result->rewriting.ToString().c_str());
+  std::printf("%s", result->stats.ToString().c_str());
+  if (!evaluate) return;
+  auto answers = g_pdms.Answer(text);
+  if (!answers.ok()) {
+    std::printf("evaluation error: %s\n",
+                answers.status().ToString().c_str());
+    return;
+  }
+  std::printf("answers:\n%s\n", answers->ToString().c_str());
+}
+
+void ShowTree(const std::string& text) {
+  auto query = g_pdms.ParseQuery(text);
+  if (!query.ok()) {
+    std::printf("error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+  pdms::Reformulator reformulator(g_pdms.network(), g_pdms.options());
+  auto tree = reformulator.BuildTree(*query);
+  if (!tree.ok()) {
+    std::printf("error: %s\n", tree.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", tree->ToString().c_str());
+  std::printf("%s", tree->stats.ToString().c_str());
+}
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  load <file>        load a PPL program file\n"
+      "  peer/stored/mapping/fact ...   execute a PPL statement\n"
+      "  ? <query>          reformulate and evaluate, e.g. ? q(x) :- P:R(x).\n"
+      "  plan <query>       show the rewritings only\n"
+      "  tree <query>       dump the rule-goal tree\n"
+      "  schema             print the network\n"
+      "  data               print the stored relations\n"
+      "  classify           Section 3 complexity analysis\n"
+      "  help               this text\n"
+      "  quit               exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) LoadFile(argv[i]);
+  std::printf("Piazza-style PDMS shell. Type 'help' for commands.\n");
+  std::string line;
+  while (true) {
+    std::printf("ppl> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(pdms::StripWhitespace(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed == "help") {
+      Help();
+    } else if (trimmed == "schema") {
+      std::printf("%s", g_pdms.network().ToString().c_str());
+    } else if (trimmed == "data") {
+      std::printf("%s", g_pdms.database().ToString().c_str());
+    } else if (trimmed == "classify") {
+      std::printf("%s", g_pdms.Classify().Explain().c_str());
+    } else if (pdms::StartsWith(trimmed, "load ")) {
+      LoadFile(std::string(pdms::StripWhitespace(trimmed.substr(5))));
+    } else if (pdms::StartsWith(trimmed, "? ")) {
+      RunQuery(trimmed.substr(2), /*evaluate=*/true);
+    } else if (pdms::StartsWith(trimmed, "plan ")) {
+      RunQuery(trimmed.substr(5), /*evaluate=*/false);
+    } else if (pdms::StartsWith(trimmed, "tree ")) {
+      ShowTree(trimmed.substr(5));
+    } else {
+      // Treat anything else as a PPL statement batch.
+      pdms::Status status = g_pdms.LoadProgram(trimmed);
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,310 @@
+#include "pdms/constraints/constraint_set.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pdms/util/check.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+namespace {
+
+// Relation strengths in the order closure: none < le < lt.
+constexpr uint8_t kNone = 0;
+constexpr uint8_t kLe = 1;
+constexpr uint8_t kLtRel = 2;
+
+std::string TermKey(const Term& t) {
+  if (t.is_variable()) return "v:" + t.var_name();
+  return "c:" + t.value().ToString();
+}
+
+// A small decision procedure for a conjunction of order constraints over an
+// infinite dense order per value kind. Built fresh per query — constraint
+// labels are tiny (tens of terms), so quadratic closure is cheap.
+class Solver {
+ public:
+  explicit Solver(const std::vector<Comparison>& comparisons) {
+    for (const Comparison& c : comparisons) {
+      int l = NodeFor(c.lhs);
+      int r = NodeFor(c.rhs);
+      switch (c.op) {
+        case CmpOp::kEq:
+          Union(l, r);
+          break;
+        case CmpOp::kNe:
+          diseqs_.emplace_back(l, r);
+          break;
+        case CmpOp::kLt:
+          edges_.push_back({l, r, kLtRel});
+          break;
+        case CmpOp::kLe:
+          edges_.push_back({l, r, kLe});
+          break;
+        case CmpOp::kGt:
+          edges_.push_back({r, l, kLtRel});
+          break;
+        case CmpOp::kGe:
+          edges_.push_back({r, l, kLe});
+          break;
+      }
+    }
+    Saturate();
+  }
+
+  bool Satisfiable() {
+    if (conflict_) return false;
+    size_t n = terms_.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (Rel(i, i) == kLtRel) return false;
+    }
+    // Derived order between constant-pinned classes must agree with the
+    // actual values; any order across value kinds is impossible.
+    for (size_t i = 0; i < n; ++i) {
+      if (Find(static_cast<int>(i)) != static_cast<int>(i)) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j || Find(static_cast<int>(j)) != static_cast<int>(j)) {
+          continue;
+        }
+        uint8_t rel = Rel(i, j);
+        if (rel == kNone) continue;
+        const Value* vi = PinnedValue(i);
+        const Value* vj = PinnedValue(j);
+        if (vi == nullptr || vj == nullptr) continue;
+        if (vi->kind() != vj->kind()) return false;
+        if (rel == kLtRel && !(*vi < *vj)) return false;
+        if (rel == kLe && !(*vi < *vj) && !(*vi == *vj)) return false;
+      }
+    }
+    // Disequalities contradict forced equalities: same class, mutual <=,
+    // or two classes pinned to the same constant value.
+    for (const auto& [a, b] : diseqs_) {
+      int ra = Find(a);
+      int rb = Find(b);
+      if (ra == rb) return false;
+      if (Rel(ra, rb) == kLe && Rel(rb, ra) == kLe) return false;
+      const Value* va = PinnedValue(ra);
+      const Value* vb = PinnedValue(rb);
+      if (va != nullptr && vb != nullptr && *va == *vb) return false;
+    }
+    return true;
+  }
+
+  // --- introspection used by projection ---
+
+  int TryNode(const Term& t) const {
+    auto it = ids_.find(TermKey(t));
+    return it == ids_.end() ? -1 : Find(it->second);
+  }
+  uint8_t RelBetween(int a, int b) const { return Rel(a, b); }
+  const Value* PinnedValue(size_t cls) const {
+    int rep = Find(static_cast<int>(cls));
+    return pinned_[rep].has_value() ? &*pinned_[rep] : nullptr;
+  }
+  bool HasDiseq(int a, int b) const {
+    for (const auto& [x, y] : diseqs_) {
+      int rx = Find(x);
+      int ry = Find(y);
+      if ((rx == a && ry == b) || (rx == b && ry == a)) return true;
+    }
+    return false;
+  }
+  int Find(int x) const {
+    while (parent_[x] != x) x = parent_[x];
+    return x;
+  }
+  bool conflict() const { return conflict_; }
+  size_t num_nodes() const { return terms_.size(); }
+
+ private:
+  struct Edge {
+    int from;
+    int to;
+    uint8_t strength;
+  };
+
+  int NodeFor(const Term& t) {
+    std::string key = TermKey(t);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(terms_.size());
+    ids_.emplace(std::move(key), id);
+    terms_.push_back(t);
+    parent_.push_back(id);
+    pinned_.emplace_back();
+    if (t.is_constant()) pinned_.back() = t.value();
+    return id;
+  }
+
+  void Union(int a, int b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) return;
+    // Keep the pinned constant (if any) on the surviving representative;
+    // two different pinned constants in one class are an outright conflict.
+    if (pinned_[ra].has_value() && pinned_[rb].has_value() &&
+        !(*pinned_[ra] == *pinned_[rb])) {
+      conflict_ = true;
+    }
+    if (!pinned_[ra].has_value()) pinned_[ra] = pinned_[rb];
+    parent_[rb] = ra;
+  }
+
+  void Saturate() {
+    size_t n = terms_.size();
+    rel_.assign(n * n, kNone);
+    for (const Edge& e : edges_) {
+      int f = Find(e.from);
+      int t = Find(e.to);
+      uint8_t& slot = rel_[f * n + t];
+      slot = std::max(slot, e.strength);
+    }
+    // Floyd-Warshall over {none, le, lt}: composing through k keeps the
+    // stronger of the two strengths when both legs exist.
+    for (size_t k = 0; k < n; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        uint8_t ik = rel_[i * n + k];
+        if (ik == kNone) continue;
+        for (size_t j = 0; j < n; ++j) {
+          uint8_t kj = rel_[k * n + j];
+          if (kj == kNone) continue;
+          uint8_t& slot = rel_[i * n + j];
+          slot = std::max(slot, std::max(ik, kj));
+        }
+      }
+    }
+  }
+
+  uint8_t Rel(size_t i, size_t j) const {
+    return rel_[i * terms_.size() + j];
+  }
+
+  std::unordered_map<std::string, int> ids_;
+  std::vector<Term> terms_;
+  std::vector<int> parent_;
+  std::vector<std::optional<Value>> pinned_;
+  std::vector<Edge> edges_;
+  std::vector<std::pair<int, int>> diseqs_;
+  std::vector<uint8_t> rel_;
+  bool conflict_ = false;
+};
+
+}  // namespace
+
+void ConstraintSet::AddAll(const ConstraintSet& other) {
+  comparisons_.insert(comparisons_.end(), other.comparisons_.begin(),
+                      other.comparisons_.end());
+}
+
+ConstraintSet ConstraintSet::Conjoin(const ConstraintSet& other) const {
+  ConstraintSet out = *this;
+  out.AddAll(other);
+  return out;
+}
+
+ConstraintSet ConstraintSet::Apply(const Substitution& subst) const {
+  std::vector<Comparison> out;
+  out.reserve(comparisons_.size());
+  for (const Comparison& c : comparisons_) out.push_back(subst.Apply(c));
+  return ConstraintSet(std::move(out));
+}
+
+bool ConstraintSet::IsSatisfiable() const {
+  if (comparisons_.empty()) return true;
+  Solver solver(comparisons_);
+  return solver.Satisfiable();
+}
+
+bool ConstraintSet::Implies(const Comparison& cmp) const {
+  std::vector<Comparison> augmented = comparisons_;
+  augmented.push_back(Comparison{cmp.lhs, NegateCmpOp(cmp.op), cmp.rhs});
+  Solver solver(augmented);
+  return !solver.Satisfiable();
+}
+
+bool ConstraintSet::ImpliesAll(const ConstraintSet& other) const {
+  for (const Comparison& c : other.comparisons()) {
+    if (!Implies(c)) return false;
+  }
+  return true;
+}
+
+ConstraintSet ConstraintSet::Project(
+    const std::unordered_set<std::string>& keep_vars) const {
+  if (comparisons_.empty()) return ConstraintSet();
+  Solver solver(comparisons_);
+  if (!solver.Satisfiable()) {
+    // Preserve unsatisfiability in the projection with a ground
+    // contradiction so downstream satisfiability checks still fail.
+    ConstraintSet out;
+    out.Add(Comparison{Term::Int(0), CmpOp::kEq, Term::Int(1)});
+    return out;
+  }
+
+  // Representable terms: kept variables and every constant in the set.
+  std::vector<Term> kept;
+  std::unordered_set<std::string> seen;
+  for (const Comparison& c : comparisons_) {
+    for (const Term* t : {&c.lhs, &c.rhs}) {
+      std::string key = TermKey(*t);
+      if (seen.count(key) > 0) continue;
+      if (t->is_variable() && keep_vars.count(t->var_name()) == 0) continue;
+      seen.insert(std::move(key));
+      kept.push_back(*t);
+    }
+  }
+
+  ConstraintSet out;
+  for (size_t i = 0; i < kept.size(); ++i) {
+    int ni = solver.TryNode(kept[i]);
+    PDMS_CHECK(ni >= 0);
+    // Variable pinned to a constant via the equality closure.
+    if (kept[i].is_variable()) {
+      const Value* pinned = solver.PinnedValue(ni);
+      if (pinned != nullptr) {
+        out.Add(Comparison{kept[i], CmpOp::kEq, Term::Constant(*pinned)});
+      }
+    }
+    for (size_t j = i + 1; j < kept.size(); ++j) {
+      // Constant-to-constant facts are tautologies; skip them.
+      if (kept[i].is_constant() && kept[j].is_constant()) continue;
+      int nj = solver.TryNode(kept[j]);
+      PDMS_CHECK(nj >= 0);
+      if (ni == nj) {
+        out.Add(Comparison{kept[i], CmpOp::kEq, kept[j]});
+        continue;
+      }
+      uint8_t fwd = solver.RelBetween(ni, nj);
+      uint8_t bwd = solver.RelBetween(nj, ni);
+      if (fwd == kLe && bwd == kLe) {
+        out.Add(Comparison{kept[i], CmpOp::kEq, kept[j]});
+        continue;
+      }
+      if (fwd == kLtRel) {
+        out.Add(Comparison{kept[i], CmpOp::kLt, kept[j]});
+      } else if (fwd == kLe) {
+        out.Add(Comparison{kept[i], CmpOp::kLe, kept[j]});
+      }
+      if (bwd == kLtRel) {
+        out.Add(Comparison{kept[j], CmpOp::kLt, kept[i]});
+      } else if (bwd == kLe && fwd != kLe) {
+        out.Add(Comparison{kept[j], CmpOp::kLe, kept[i]});
+      }
+      if (solver.HasDiseq(ni, nj)) {
+        out.Add(Comparison{kept[i], CmpOp::kNe, kept[j]});
+      }
+    }
+  }
+  return out;
+}
+
+std::string ConstraintSet::ToString() const {
+  if (comparisons_.empty()) return "true";
+  std::vector<std::string> parts;
+  parts.reserve(comparisons_.size());
+  for (const Comparison& c : comparisons_) parts.push_back(c.ToString());
+  return StrJoin(parts, " AND ");
+}
+
+}  // namespace pdms

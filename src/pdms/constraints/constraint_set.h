@@ -1,0 +1,77 @@
+#ifndef PDMS_CONSTRAINTS_CONSTRAINT_SET_H_
+#define PDMS_CONSTRAINTS_CONSTRAINT_SET_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "pdms/lang/atom.h"
+#include "pdms/lang/substitution.h"
+
+namespace pdms {
+
+/// A conjunction of comparison predicates over terms — the constraint label
+/// `c(n)` attached to rule-goal-tree nodes (Section 4.2, "Incorporating
+/// comparison predicates"). Supports the three operations the reformulation
+/// algorithm needs:
+///
+///  - satisfiability: a node whose label is unsatisfiable can only yield the
+///    empty answer set and is pruned;
+///  - projection onto the variables of a child node (footnote 3: projections
+///    may be disjunctive; we return the least subsuming conjunction);
+///  - implication, for containment tests in the presence of comparisons.
+///
+/// Satisfiability is decided over an infinite dense order per value kind
+/// (ints and strings are mutually incomparable). For integer-typed data the
+/// dense relaxation is conservative: anything reported unsatisfiable is
+/// truly unsatisfiable (so pruning stays sound), while gaps like
+/// `x > 3 ∧ x < 4` are kept. Disequalities only conflict with forced
+/// equalities — over an infinite domain they cannot otherwise contradict.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+  explicit ConstraintSet(std::vector<Comparison> comparisons)
+      : comparisons_(std::move(comparisons)) {}
+
+  bool empty() const { return comparisons_.empty(); }
+  const std::vector<Comparison>& comparisons() const { return comparisons_; }
+
+  /// Adds one comparison to the conjunction.
+  void Add(Comparison cmp) { comparisons_.push_back(std::move(cmp)); }
+
+  /// Adds all comparisons of `other`.
+  void AddAll(const ConstraintSet& other);
+
+  /// Conjunction of this set and `other`.
+  ConstraintSet Conjoin(const ConstraintSet& other) const;
+
+  /// Applies a substitution to every comparison.
+  ConstraintSet Apply(const Substitution& subst) const;
+
+  /// True if some assignment of the variables satisfies the conjunction.
+  bool IsSatisfiable() const;
+
+  /// True if every satisfying assignment also satisfies `cmp`
+  /// (decided as: this ∧ ¬cmp is unsatisfiable).
+  bool Implies(const Comparison& cmp) const;
+
+  /// True if this set implies every comparison of `other`.
+  bool ImpliesAll(const ConstraintSet& other) const;
+
+  /// Projects onto the given variables: returns the comparisons implied by
+  /// this set that mention only `keep_vars` and constants. The result is
+  /// the least subsuming conjunction (it may be weaker than the exact
+  /// projection, never stronger), so pruning against it remains sound.
+  ConstraintSet Project(
+      const std::unordered_set<std::string>& keep_vars) const;
+
+  /// `x < 5 AND y = x`, or "true" when empty.
+  std::string ToString() const;
+
+ private:
+  std::vector<Comparison> comparisons_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_CONSTRAINTS_CONSTRAINT_SET_H_

@@ -1,0 +1,82 @@
+#include "pdms/constraints/cq_containment.h"
+
+#include <string>
+#include <vector>
+
+#include "pdms/constraints/constraint_set.h"
+#include "pdms/lang/homomorphism.h"
+
+namespace pdms {
+
+namespace {
+
+// A predicate name no parsed query can contain ('\x01' is rejected by the
+// lexer), used to force head-to-head correspondence in the search.
+const char kHeadMarker[] = "\x01head";
+
+}  // namespace
+
+bool ContainsCQWithComparisons(const ConjunctiveQuery& general,
+                               const ConjunctiveQuery& specific) {
+  if (general.head().arity() != specific.head().arity()) return false;
+  // Prepend synthetic head atoms so the mapping search pins heads to each
+  // other; enumerate homomorphisms until one also satisfies the
+  // comparison implication side condition.
+  std::vector<Atom> from;
+  from.emplace_back(kHeadMarker, general.head().args());
+  from.insert(from.end(), general.body().begin(), general.body().end());
+  std::vector<Atom> onto;
+  onto.emplace_back(kHeadMarker, specific.head().args());
+  onto.insert(onto.end(), specific.body().begin(), specific.body().end());
+
+  ConstraintSet given(specific.comparisons());
+  if (!given.IsSatisfiable()) {
+    // An unsatisfiable specific query is empty, hence contained in
+    // anything of matching arity.
+    return true;
+  }
+  return ForEachAtomMapping(
+      from, onto, VarMap(), [&](const VarMap& witness) {
+        for (const Comparison& c : general.comparisons()) {
+          Comparison mapped{ApplyVarMap(witness, c.lhs), c.op,
+                            ApplyVarMap(witness, c.rhs)};
+          if (!given.Implies(mapped)) return false;  // try another witness
+        }
+        return true;
+      });
+}
+
+bool EquivalentCQWithComparisons(const ConjunctiveQuery& a,
+                                 const ConjunctiveQuery& b) {
+  return ContainsCQWithComparisons(a, b) && ContainsCQWithComparisons(b, a);
+}
+
+UnionQuery RemoveRedundantDisjunctsWithComparisons(const UnionQuery& uq) {
+  const std::vector<ConjunctiveQuery>& disjuncts = uq.disjuncts();
+  std::vector<bool> dead(disjuncts.size(), false);
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (dead[i]) continue;
+    // A disjunct whose comparisons are unsatisfiable contributes nothing.
+    if (!ConstraintSet(disjuncts[i].comparisons()).IsSatisfiable()) {
+      dead[i] = true;
+      continue;
+    }
+    for (size_t j = 0; j < disjuncts.size(); ++j) {
+      if (i == j || dead[j] || dead[i]) continue;
+      if (ContainsCQWithComparisons(disjuncts[i], disjuncts[j])) {
+        // Keep the earlier of two equivalent disjuncts.
+        if (ContainsCQWithComparisons(disjuncts[j], disjuncts[i]) && j < i) {
+          continue;
+        }
+        dead[j] = true;
+      }
+    }
+  }
+  UnionQuery out;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (!dead[i]) out.Add(disjuncts[i]);
+  }
+  return out;
+}
+
+}  // namespace pdms

@@ -1,0 +1,39 @@
+#ifndef PDMS_CONSTRAINTS_CQ_CONTAINMENT_H_
+#define PDMS_CONSTRAINTS_CQ_CONTAINMENT_H_
+
+#include "pdms/lang/conjunctive_query.h"
+
+namespace pdms {
+
+/// Containment test for conjunctive queries *with comparison predicates*,
+/// refining lang/homomorphism.h's ContainsCQ (which requires the general
+/// query's comparisons to appear syntactically in the specific one).
+///
+/// Here a containment mapping h : general → specific witnesses containment
+/// when the specific query's comparison set *semantically implies* h(c)
+/// for every comparison c of the general query, decided by the constraint
+/// solver (e.g. `x < 3` implies `x < 5`, and `x = 3` implies `x <= y`
+/// given `y >= 3`).
+///
+/// Note the classic caveat: homomorphism-based containment with
+/// comparisons is sound but not complete in general (completeness needs
+/// case analysis over linearizations, Klug's test, which is
+/// Π²ᵖ-complete). A true result is always correct; a false result may be a
+/// false negative. This matches how the paper uses containment — for
+/// sound redundancy elimination.
+bool ContainsCQWithComparisons(const ConjunctiveQuery& general,
+                               const ConjunctiveQuery& specific);
+
+/// Mutual semantic containment.
+bool EquivalentCQWithComparisons(const ConjunctiveQuery& a,
+                                 const ConjunctiveQuery& b);
+
+/// RemoveRedundantDisjuncts upgraded with the semantic comparison test:
+/// drops disjuncts contained in another disjunct, using
+/// ContainsCQWithComparisons. (Does not minimize individual disjuncts with
+/// comparisons — atom removal under constraints is a different problem.)
+UnionQuery RemoveRedundantDisjunctsWithComparisons(const UnionQuery& uq);
+
+}  // namespace pdms
+
+#endif  // PDMS_CONSTRAINTS_CQ_CONTAINMENT_H_

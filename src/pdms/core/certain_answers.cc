@@ -1,0 +1,86 @@
+#include "pdms/core/certain_answers.h"
+
+#include "pdms/eval/evaluator.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+namespace {
+
+// Builds the TGD `premise (+ premise comparisons) → conclusion`; fails if
+// the conclusion side carries comparisons.
+Result<Tgd> MakeTgd(std::vector<Atom> premise,
+                    std::vector<Comparison> premise_cmps,
+                    const ConjunctiveQuery& conclusion,
+                    const std::string& name) {
+  if (!conclusion.comparisons().empty()) {
+    return Status::Unsupported(
+        name + ": comparisons on the conclusion side of a dependency are "
+               "not supported by the certain-answer oracle");
+  }
+  Tgd tgd;
+  tgd.body = std::move(premise);
+  tgd.comparisons = std::move(premise_cmps);
+  tgd.head = conclusion.body();
+  tgd.name = name;
+  return tgd;
+}
+
+}  // namespace
+
+Result<std::vector<Tgd>> NetworkToTgds(const PdmsNetwork& network) {
+  std::vector<Tgd> tgds;
+  for (const StorageDescription& d : network.storage_descriptions()) {
+    // R(x̄) → body(Q). For equality descriptions only this sound direction
+    // is used (the closed-world direction constrains the *given* stored
+    // instance rather than generating peer facts).
+    PDMS_ASSIGN_OR_RETURN(
+        Tgd tgd, MakeTgd({d.view.head()}, {}, d.view, d.name));
+    tgds.push_back(std::move(tgd));
+  }
+  for (const PeerMapping& m : network.peer_mappings()) {
+    switch (m.kind) {
+      case PeerMappingKind::kInclusion: {
+        PDMS_ASSIGN_OR_RETURN(
+            Tgd tgd, MakeTgd(m.lhs.body(), m.lhs.comparisons(), m.rhs,
+                             m.name));
+        tgds.push_back(std::move(tgd));
+        break;
+      }
+      case PeerMappingKind::kEquality: {
+        PDMS_ASSIGN_OR_RETURN(
+            Tgd fwd, MakeTgd(m.lhs.body(), m.lhs.comparisons(), m.rhs,
+                             m.name + " (lhs->rhs)"));
+        tgds.push_back(std::move(fwd));
+        PDMS_ASSIGN_OR_RETURN(
+            Tgd bwd, MakeTgd(m.rhs.body(), m.rhs.comparisons(), m.lhs,
+                             m.name + " (rhs->lhs)"));
+        tgds.push_back(std::move(bwd));
+        break;
+      }
+      case PeerMappingKind::kDefinitional: {
+        Tgd tgd;
+        tgd.body = m.rule.body();
+        tgd.comparisons = m.rule.comparisons();
+        tgd.head = {m.rule.head()};
+        tgd.name = m.name;
+        tgds.push_back(std::move(tgd));
+        break;
+      }
+    }
+  }
+  return tgds;
+}
+
+Result<Relation> CertainAnswers(const PdmsNetwork& network,
+                                const Database& stored,
+                                const ConjunctiveQuery& query,
+                                const ChaseOptions& options) {
+  PDMS_ASSIGN_OR_RETURN(std::vector<Tgd> tgds, NetworkToTgds(network));
+  PDMS_ASSIGN_OR_RETURN(Database chased,
+                        ChaseDatabase(stored, tgds, options));
+  PDMS_ASSIGN_OR_RETURN(Relation all, EvaluateCQ(query, chased));
+  return DropNullTuples(all);
+}
+
+}  // namespace pdms

@@ -1,0 +1,44 @@
+#ifndef PDMS_CORE_CERTAIN_ANSWERS_H_
+#define PDMS_CORE_CERTAIN_ANSWERS_H_
+
+#include <vector>
+
+#include "pdms/core/network.h"
+#include "pdms/data/database.h"
+#include "pdms/eval/chase.h"
+
+namespace pdms {
+
+/// Translates a PDMS specification into tuple-generating dependencies for
+/// the chase-based certain-answer oracle:
+///
+///  - storage `R ⊆ Q` (and the sound direction of `R = Q`):
+///      R(x̄) → ∃ȳ body(Q)
+///  - peer inclusion `Q1 ⊆ Q2`:  body(Q1) → ∃ȳ body(Q2)
+///  - peer equality: both directions;
+///  - definitional `p :- body`:  body → p(x̄).
+///
+/// Comparison predicates are allowed on the premise side (they restrict
+/// when the dependency fires) but not on the conclusion side, where they
+/// would constrain invented nulls; descriptions with conclusion-side
+/// comparisons are rejected with Unsupported.
+Result<std::vector<Tgd>> NetworkToTgds(const PdmsNetwork& network);
+
+/// Reference implementation of Definition 2.2: computes the certain answers
+/// of `query` (posed over peer relations) given the stored-relation
+/// instance `stored`, by chasing the instance into a universal solution and
+/// evaluating the query over it, dropping null-containing tuples.
+///
+/// Exact on the Theorem 3.2.1 PTIME fragment (acyclic inclusions or
+/// projection-free equalities, isolated definitional heads); the chase caps
+/// surface non-terminating specifications as ResourceExhausted. Used by the
+/// test suite as the ground truth the reformulation algorithm is checked
+/// against.
+Result<Relation> CertainAnswers(const PdmsNetwork& network,
+                                const Database& stored,
+                                const ConjunctiveQuery& query,
+                                const ChaseOptions& options = {});
+
+}  // namespace pdms
+
+#endif  // PDMS_CORE_CERTAIN_ANSWERS_H_

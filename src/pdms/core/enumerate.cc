@@ -1,0 +1,316 @@
+#include "pdms/core/enumerate.h"
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "pdms/lang/canonical.h"
+#include "pdms/util/check.h"
+
+namespace pdms {
+
+namespace {
+
+// A partially assembled solution: stored atoms gathered so far, the merged
+// unifier of all chosen expansions, and the comparison predicates collected
+// along the way (required ones filter answers; granted ones are facts the
+// chosen views guarantee).
+struct Partial {
+  std::vector<Atom> atoms;
+  Substitution sigma;
+  std::vector<Comparison> required;
+  std::vector<Comparison> granted;
+};
+
+using PartialSink = std::function<bool(const Partial&)>;
+
+class Enumerator {
+ public:
+  Enumerator(const RuleGoalTree& tree, const ReformulationOptions& options,
+             const WallTimer& timer, ReformulationStats* stats,
+             const RewritingSink& sink)
+      : tree_(tree),
+        options_(options),
+        timer_(timer),
+        stats_(stats),
+        sink_(sink) {}
+
+  void Run() {
+    if (tree_.root == nullptr || !tree_.root->viable) return;
+    if (options_.memoize_solutions) {
+      const std::vector<Partial>& finals = SolveExpansion(*tree_.root);
+      for (const Partial& p : finals) {
+        if (!EmitPartial(p)) break;
+      }
+      if (memo_exhausted_ && !stopped_) {
+        // Materialization blew the partial cap (possibly before any
+        // root-level solution completed). Fall back to the streaming
+        // strategy so the caller still gets results; the canonical-key
+        // dedup suppresses anything already emitted. The cap doubles as
+        // the fallback's work bound — without it a tiny cap plus no other
+        // budget would turn into an unbounded enumeration.
+        size_t already = stats_->rewritings;
+        Partial empty;
+        StreamExpansion(*tree_.root, empty, [&](const Partial& p) {
+          if (!EmitPartial(p)) return false;
+          return stats_->rewritings - already < options_.max_memo_partials;
+        });
+      }
+    } else {
+      Partial empty;
+      StreamExpansion(*tree_.root, empty,
+                      [this](const Partial& p) { return EmitPartial(p); });
+    }
+  }
+
+ private:
+  bool Budget() {
+    if (stopped_) return false;
+    if (options_.time_budget_ms > 0 &&
+        timer_.ElapsedMillis() > options_.time_budget_ms) {
+      stats_->enumeration_truncated = true;
+      stopped_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  // ---------- streaming depth-first strategy ----------
+
+  // Extends `in` with the contribution of expansion `e` (its unifier,
+  // constraints, and one solution of each covered child), passing each
+  // result to `out`. Returns false to propagate a global stop.
+  bool StreamExpansion(const ExpansionNode& e, const Partial& in,
+                       const PartialSink& out) {
+    if (!Budget()) return false;
+    Partial p = in;
+    if (!p.sigma.Merge(e.unifier)) return true;  // incompatible: skip
+    for (const Comparison& c : e.required_constraints.comparisons()) {
+      p.required.push_back(c);
+    }
+    for (const Comparison& c : e.granted_constraints.comparisons()) {
+      p.granted.push_back(c);
+    }
+    return StreamCover(e, 0, p, out);
+  }
+
+  bool StreamCover(const ExpansionNode& e, uint64_t mask, const Partial& in,
+                   const PartialSink& out) {
+    if (!Budget()) return false;
+    PDMS_CHECK(e.children.size() <= 64);
+    uint64_t universe =
+        e.children.empty()
+            ? 0
+            : (e.children.size() == 64
+                   ? ~uint64_t{0}
+                   : (uint64_t{1} << e.children.size()) - 1);
+    if ((mask & universe) == universe) return out(in);
+    size_t i = 0;
+    while ((mask >> i) & 1) ++i;
+    const GoalNode& child = *e.children[i];
+    if (child.is_stored) {
+      Partial p = in;
+      p.atoms.push_back(child.label);
+      return StreamCover(e, mask | (uint64_t{1} << i), p, out);
+    }
+    if (!child.viable) return true;  // dead end: this scope yields nothing
+    for (const auto& exp : child.expansions) {
+      if (!exp->viable) continue;
+      uint64_t newmask = mask;
+      if (exp->kind == ExpansionNode::Kind::kDefinitional) {
+        newmask |= uint64_t{1} << i;
+      } else {
+        for (size_t u : exp->unc) newmask |= uint64_t{1} << u;
+      }
+      bool keep_going =
+          StreamExpansion(*exp, in, [&](const Partial& p) {
+            return StreamCover(e, newmask, p, out);
+          });
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  // ---------- memoized (dynamic programming) strategy ----------
+
+  const std::vector<Partial>& SolveExpansion(const ExpansionNode& e) {
+    auto it = memo_.find(&e);
+    if (it != memo_.end()) return it->second;
+    std::vector<Partial> solutions;
+    Partial base;
+    base.sigma = e.unifier;
+    base.required = e.required_constraints.comparisons();
+    base.granted = e.granted_constraints.comparisons();
+    SolveCover(e, 0, base, &solutions);
+    return memo_.emplace(&e, std::move(solutions)).first->second;
+  }
+
+  void SolveCover(const ExpansionNode& e, uint64_t mask, const Partial& in,
+                  std::vector<Partial>* out) {
+    if (memo_exhausted_ || !Budget()) return;
+    // Materialization may spend at most half the time budget; the rest is
+    // reserved for emitting (via the streaming fallback if necessary) so a
+    // timeout never yields zero rewritings when some exist.
+    if (options_.time_budget_ms > 0 &&
+        timer_.ElapsedMillis() > 0.5 * options_.time_budget_ms) {
+      stats_->enumeration_truncated = true;
+      memo_exhausted_ = true;
+      return;
+    }
+    PDMS_CHECK(e.children.size() <= 64);
+    uint64_t universe =
+        e.children.empty()
+            ? 0
+            : (e.children.size() == 64
+                   ? ~uint64_t{0}
+                   : (uint64_t{1} << e.children.size()) - 1);
+    if ((mask & universe) == universe) {
+      if (++memo_partials_ > options_.max_memo_partials) {
+        // Stop materializing, but keep (and later emit) what was already
+        // collected — the result is truncated, not empty.
+        stats_->enumeration_truncated = true;
+        memo_exhausted_ = true;
+        return;
+      }
+      out->push_back(in);
+      return;
+    }
+    size_t i = 0;
+    while ((mask >> i) & 1) ++i;
+    const GoalNode& child = *e.children[i];
+    if (child.is_stored) {
+      Partial p = in;
+      p.atoms.push_back(child.label);
+      SolveCover(e, mask | (uint64_t{1} << i), p, out);
+      return;
+    }
+    if (!child.viable) return;
+    for (const auto& exp : child.expansions) {
+      if (!exp->viable) continue;
+      uint64_t newmask = mask;
+      if (exp->kind == ExpansionNode::Kind::kDefinitional) {
+        newmask |= uint64_t{1} << i;
+      } else {
+        for (size_t u : exp->unc) newmask |= uint64_t{1} << u;
+      }
+      // Recursion before memo use would re-enter; SolveExpansion caches.
+      const std::vector<Partial>& subs = SolveExpansion(*exp);
+      for (const Partial& sub : subs) {
+        Partial p = in;
+        if (!p.sigma.Merge(sub.sigma)) continue;
+        p.atoms.insert(p.atoms.end(), sub.atoms.begin(), sub.atoms.end());
+        p.required.insert(p.required.end(), sub.required.begin(),
+                          sub.required.end());
+        p.granted.insert(p.granted.end(), sub.granted.begin(),
+                         sub.granted.end());
+        SolveCover(e, newmask, p, out);
+        if (stopped_) return;
+      }
+    }
+  }
+
+  // ---------- assembly ----------
+
+  // Turns a complete partial into a conjunctive rewriting; returns false to
+  // stop the whole enumeration (budget hit or sink refused).
+  bool EmitPartial(const Partial& p) {
+    if (!Budget()) return false;
+    const Substitution& sigma = p.sigma;
+    Atom head = sigma.Apply(tree_.query.head());
+    std::vector<Atom> atoms;
+    atoms.reserve(p.atoms.size());
+    std::unordered_set<std::string> available;
+    for (const Atom& a : p.atoms) {
+      Atom mapped = sigma.Apply(a);
+      std::vector<std::string> vars;
+      CollectVariables(mapped, &vars);
+      available.insert(vars.begin(), vars.end());
+      atoms.push_back(std::move(mapped));
+    }
+    // Safety: every head variable must survive into the stored atoms.
+    for (const Term& t : head.args()) {
+      if (t.is_variable() && available.count(t.var_name()) == 0) {
+        ++stats_->combos_failed;
+        return true;
+      }
+    }
+    // Granted constraints (facts the chosen views guarantee).
+    ConstraintSet granted;
+    for (const Comparison& c : p.granted) granted.Add(sigma.Apply(c));
+    // Required constraints: keep the expressible ones; the rest must be
+    // implied by the granted facts, else the combination is unsound to
+    // emit and is dropped.
+    std::vector<Comparison> kept;
+    for (const Comparison& c : p.required) {
+      Comparison mapped = sigma.Apply(c);
+      bool expressible = true;
+      for (const Term* t : {&mapped.lhs, &mapped.rhs}) {
+        if (t->is_variable() && available.count(t->var_name()) == 0) {
+          expressible = false;
+        }
+      }
+      if (expressible) {
+        kept.push_back(std::move(mapped));
+        continue;
+      }
+      if (!granted.Implies(mapped)) {
+        ++stats_->combos_failed;
+        return true;
+      }
+    }
+    // The combination must be satisfiable together with the view facts.
+    {
+      ConstraintSet all = granted;
+      for (const Comparison& c : kept) all.Add(c);
+      if (!all.IsSatisfiable()) {
+        ++stats_->combos_failed;
+        return true;
+      }
+    }
+    ConjunctiveQuery rewriting(std::move(head), std::move(atoms),
+                               std::move(kept));
+    if (!seen_.insert(CanonicalQueryKey(rewriting)).second) return true;
+
+    ++stats_->rewritings;
+    stats_->time_to_rewriting_ms.push_back(timer_.ElapsedMillis());
+    if (!sink_(rewriting)) {
+      stopped_ = true;
+      return false;
+    }
+    if (options_.max_rewritings != 0 &&
+        stats_->rewritings >= options_.max_rewritings) {
+      stats_->enumeration_truncated = true;
+      stopped_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  const RuleGoalTree& tree_;
+  const ReformulationOptions& options_;
+  const WallTimer& timer_;
+  ReformulationStats* stats_;
+  const RewritingSink& sink_;
+  bool stopped_ = false;
+  size_t memo_partials_ = 0;
+  bool memo_exhausted_ = false;
+  std::set<std::string> seen_;
+  std::map<const ExpansionNode*, std::vector<Partial>> memo_;
+};
+
+}  // namespace
+
+Status EnumerateRewritings(const RuleGoalTree& tree,
+                           const ReformulationOptions& options,
+                           const WallTimer& timer,
+                           ReformulationStats* stats,
+                           const RewritingSink& sink) {
+  if (tree.query.body().size() > 64) {
+    return Status::Unsupported("more than 64 subgoals in one scope");
+  }
+  Enumerator enumerator(tree, options, timer, stats, sink);
+  enumerator.Run();
+  return Status::Ok();
+}
+
+}  // namespace pdms

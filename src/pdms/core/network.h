@@ -1,0 +1,115 @@
+#ifndef PDMS_CORE_NETWORK_H_
+#define PDMS_CORE_NETWORK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pdms/core/ppl.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// The Section-3 complexity of finding all certain answers for a network.
+enum class QueryComplexity {
+  /// All certain answers computable in PTIME; the reformulation algorithm
+  /// is complete (Theorems 3.1.2, 3.2.1, 3.3.1).
+  kPolynomial,
+  /// co-NP-complete (Theorems 3.2.2/3.2.3, 3.3.2); reformulation returns
+  /// only (but not necessarily all) certain answers.
+  kCoNpComplete,
+  /// Undecidable in general (Theorem 3.1.1); reformulation is sound and
+  /// terminating but incomplete.
+  kUndecidable,
+};
+
+const char* QueryComplexityName(QueryComplexity c);
+
+/// Structural analysis of a PDMS specification per Section 3.
+struct Classification {
+  bool inclusions_acyclic = true;        // Definition 3.1
+  bool has_peer_equalities = false;
+  bool has_equality_storage = false;
+  bool peer_equalities_projection_free = true;
+  bool storage_equalities_projection_free = true;
+  bool definitional_heads_isolated = true;  // Thm 3.2.1 condition (2)
+  bool definitional_recursive = false;
+  bool comparisons_outside_safe_positions = false;  // Thm 3.3 condition
+
+  /// Overall complexity of query answering for comparison-free queries.
+  QueryComplexity complexity = QueryComplexity::kPolynomial;
+
+  /// Complexity when the query itself contains comparison predicates
+  /// (Theorem 3.3.2 degrades PTIME cases to co-NP).
+  QueryComplexity complexity_with_query_comparisons =
+      QueryComplexity::kPolynomial;
+
+  /// Human-readable multi-line justification.
+  std::string Explain() const;
+};
+
+/// The full specification of a PDMS `N = (peers, schemas, stored relations,
+/// peer mappings L_N, storage descriptions D_N)` — Section 2's definition.
+/// This is a catalog only; data lives in a `Database` keyed by stored
+/// relation names.
+class PdmsNetwork {
+ public:
+  PdmsNetwork() = default;
+
+  /// Registers a peer schema. Peer names and per-peer relation names must
+  /// be unique.
+  Status AddPeer(Peer peer);
+
+  /// Convenience: registers a peer with the given `relation/arity` specs,
+  /// e.g. AddPeer("H", {{"Doctor", 5}, {"Patient", 3}}).
+  Status AddPeer(const std::string& name,
+                 std::vector<std::pair<std::string, size_t>> relations);
+
+  /// Registers a storage description; the stored relation is declared
+  /// implicitly by its head atom. Validates that body atoms reference
+  /// declared peer relations with correct arities.
+  Status AddStorageDescription(StorageDescription desc);
+
+  /// Registers a peer mapping; validates relation references, head
+  /// compatibility (identical interface heads for inclusions/equalities)
+  /// and safety.
+  Status AddPeerMapping(PeerMapping mapping);
+
+  const std::vector<Peer>& peers() const { return peers_; }
+  const std::vector<StorageDescription>& storage_descriptions() const {
+    return storage_;
+  }
+  const std::vector<PeerMapping>& peer_mappings() const { return mappings_; }
+
+  /// True if `qualified` ("Peer:Relation") is a declared peer relation.
+  bool IsPeerRelation(const std::string& qualified) const;
+
+  /// True if `name` is a declared stored relation.
+  bool IsStoredRelation(const std::string& name) const;
+
+  /// Arity of a peer relation or stored relation.
+  Result<size_t> RelationArity(const std::string& name) const;
+
+  /// Names of all stored relations, sorted.
+  std::vector<std::string> StoredRelationNames() const;
+
+  /// Structural complexity analysis (Section 3).
+  Classification Classify() const;
+
+  /// Full textual spec (round-trips through the PPL parser).
+  std::string ToString() const;
+
+ private:
+  Status ValidateBody(const ConjunctiveQuery& cq,
+                      const std::string& context) const;
+
+  std::vector<Peer> peers_;
+  std::vector<StorageDescription> storage_;
+  std::vector<PeerMapping> mappings_;
+  std::map<std::string, size_t> peer_relation_arity_;  // qualified -> arity
+  std::map<std::string, size_t> stored_relation_arity_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_CORE_NETWORK_H_

@@ -1,0 +1,124 @@
+#include "pdms/core/normalize.h"
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+namespace {
+
+// True if `cq` is a bare atom: single body atom, no comparisons, and the
+// head argument list is exactly the atom's argument list (no projection,
+// permutation is fine because the head args are just re-listed terms —
+// what matters is that the atom itself can serve as the view head).
+bool IsBareAtom(const ConjunctiveQuery& cq) {
+  if (cq.body().size() != 1 || !cq.comparisons().empty()) return false;
+  return cq.head().args() == cq.body()[0].args();
+}
+
+// Adds the inclusion `lhs ⊆ rhs` in normalized form: a view whose head can
+// stand for covered rhs subgoals, plus (unless lhs is a bare atom) the
+// paired definitional rule producing the fresh view predicate from lhs.
+void AddInclusion(const ConjunctiveQuery& lhs, const ConjunctiveQuery& rhs,
+                  size_t description_id, size_t* fresh_counter,
+                  ExpansionRules* out) {
+  if (IsBareAtom(lhs)) {
+    ExpansionRules::View v;
+    v.view = ConjunctiveQuery(lhs.body()[0], rhs.body(), rhs.comparisons());
+    v.description_id = description_id;
+    out->views.push_back(std::move(v));
+    return;
+  }
+  Atom v_head(StrFormat("_V%zu", (*fresh_counter)++), lhs.head().args());
+  ExpansionRules::View v;
+  v.view = ConjunctiveQuery(v_head, rhs.body(), rhs.comparisons());
+  v.description_id = description_id;
+  out->views.push_back(std::move(v));
+
+  ExpansionRules::DefRule r;
+  r.rule = Rule(v_head, lhs.body(), lhs.comparisons());
+  r.description_id = description_id;
+  r.guard_exempt = true;
+  out->rules.push_back(std::move(r));
+}
+
+}  // namespace
+
+ExpansionRules Normalize(const PdmsNetwork& network) {
+  ExpansionRules out;
+  size_t fresh_counter = 0;
+  size_t description_id = 0;
+
+  for (const std::string& name : network.StoredRelationNames()) {
+    out.stored.insert(name);
+  }
+
+  // Storage descriptions: the stored atom is itself the view head, so an
+  // MCD immediately produces a leaf.
+  for (const StorageDescription& d : network.storage_descriptions()) {
+    ExpansionRules::View v;
+    v.view = d.view;
+    v.description_id = description_id++;
+    out.views.push_back(std::move(v));
+  }
+
+  for (const PeerMapping& m : network.peer_mappings()) {
+    size_t id = description_id++;
+    switch (m.kind) {
+      case PeerMappingKind::kInclusion:
+        AddInclusion(m.lhs, m.rhs, id, &fresh_counter, &out);
+        break;
+      case PeerMappingKind::kEquality:
+        // Both directions share one description id, so a path uses the
+        // equality at most once — this is what makes cyclic replication
+        // mappings terminate (Section 3, "Cyclic PDMSs").
+        AddInclusion(m.lhs, m.rhs, id, &fresh_counter, &out);
+        AddInclusion(m.rhs, m.lhs, id, &fresh_counter, &out);
+        break;
+      case PeerMappingKind::kDefinitional: {
+        ExpansionRules::DefRule r;
+        r.rule = m.rule;
+        r.description_id = id;
+        out.rules.push_back(std::move(r));
+        break;
+      }
+    }
+  }
+  out.num_descriptions = description_id;
+
+  for (size_t i = 0; i < out.views.size(); ++i) {
+    std::set<std::string> preds;
+    for (const Atom& a : out.views[i].view.body()) {
+      preds.insert(a.predicate());
+    }
+    for (const std::string& p : preds) {
+      out.views_by_body_pred[p].push_back(i);
+    }
+  }
+  for (size_t i = 0; i < out.rules.size(); ++i) {
+    out.rules_by_head[out.rules[i].rule.head().predicate()].push_back(i);
+  }
+  return out;
+}
+
+std::string ExpansionRules::ToString() const {
+  std::string out;
+  for (const View& v : views) {
+    out += StrFormat("view[d%zu]  %s  <=  ", v.description_id,
+                     v.view.head().ToString().c_str());
+    std::vector<std::string> parts;
+    for (const Atom& a : v.view.body()) parts.push_back(a.ToString());
+    for (const Comparison& c : v.view.comparisons()) {
+      parts.push_back(c.ToString());
+    }
+    out += StrJoin(parts, ", ");
+    out += "\n";
+  }
+  for (const DefRule& r : rules) {
+    out += StrFormat("rule[d%zu%s]  %s\n", r.description_id,
+                     r.guard_exempt ? ", exempt" : "",
+                     r.rule.ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace pdms

@@ -1,0 +1,69 @@
+#ifndef PDMS_CORE_NORMALIZE_H_
+#define PDMS_CORE_NORMALIZE_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pdms/core/network.h"
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// Step 1 of the reformulation algorithm (Section 4.2): the PDMS
+/// specification is compiled into two uniform collections —
+///
+///  * inclusion *views* `V ⊆ Q2`, used LAV-style: a subgoal over a relation
+///    of body(Q2) can be covered by an MCD producing the atom V;
+///  * *definitional rules* `p :- body`, used GAV-style by unfolding.
+///
+/// Every equality description contributes both directions as inclusions;
+/// every inclusion `Q1 ⊆ Q2` is split into `V ⊆ Q2` plus the paired rule
+/// `V :- Q1` with a fresh predicate V (skipped when Q1 is already a bare
+/// atom); storage descriptions become views whose head is the stored
+/// relation itself. Equality storage descriptions are used in their sound
+/// `⊆` direction only — the closed-world direction cannot add rewritings,
+/// only certain answers beyond PTIME reach (Theorem 3.2.2).
+struct ExpansionRules {
+  struct View {
+    ConjunctiveQuery view;  // head = V or stored atom; body = Q2
+    /// Index of the originating description; a root-to-leaf path of the
+    /// rule-goal tree never uses the same description twice (termination
+    /// guard for cyclic PDMSs).
+    size_t description_id = 0;
+  };
+  struct DefRule {
+    Rule rule;
+    size_t description_id = 0;
+    /// True for the paired `V :- Q1` half of a split inclusion: it is the
+    /// only way to expand V and always follows its own inclusion half on
+    /// the path, so it is exempt from the reuse guard.
+    bool guard_exempt = false;
+  };
+
+  std::vector<View> views;
+  std::vector<DefRule> rules;
+
+  /// predicate -> indices of views whose body mentions the predicate.
+  std::unordered_map<std::string, std::vector<size_t>> views_by_body_pred;
+  /// predicate -> indices of rules whose head is the predicate.
+  std::unordered_map<std::string, std::vector<size_t>> rules_by_head;
+
+  /// Stored relation names (goal nodes over these are leaves).
+  std::set<std::string> stored;
+
+  /// Total number of original descriptions (guard-set domain).
+  size_t num_descriptions = 0;
+
+  std::string ToString() const;
+};
+
+/// Compiles the network. Fresh V predicates are drawn as `_V<k>` and cannot
+/// collide with parsed relation names.
+ExpansionRules Normalize(const PdmsNetwork& network);
+
+}  // namespace pdms
+
+#endif  // PDMS_CORE_NORMALIZE_H_

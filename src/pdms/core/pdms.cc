@@ -1,0 +1,147 @@
+#include "pdms/core/pdms.h"
+
+#include "pdms/eval/evaluator.h"
+#include "pdms/lang/parser.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+Pdms::Pdms(ReformulationOptions options) : options_(options) {}
+
+Status Pdms::LoadProgram(std::string_view text) {
+  reformulator_.reset();
+  return ParsePplProgramInto(text, &network_, &data_);
+}
+
+PdmsNetwork* Pdms::mutable_network() {
+  reformulator_.reset();
+  return &network_;
+}
+
+Status Pdms::Insert(std::string_view stored_relation, Tuple tuple) {
+  std::string name(stored_relation);
+  if (!network_.IsStoredRelation(name)) {
+    return Status::NotFound("not a stored relation: " + name);
+  }
+  PDMS_ASSIGN_OR_RETURN(size_t arity, network_.RelationArity(name));
+  if (arity != tuple.size()) {
+    return Status::InvalidArgument(
+        StrFormat("tuple arity %zu does not match %s/%zu", tuple.size(),
+                  name.c_str(), arity));
+  }
+  data_.Insert(name, std::move(tuple));
+  return Status::Ok();
+}
+
+void Pdms::set_options(const ReformulationOptions& options) {
+  options_ = options;
+  if (reformulator_ != nullptr) reformulator_->set_options(options);
+}
+
+Result<ConjunctiveQuery> Pdms::ParseQuery(std::string_view text) const {
+  PDMS_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseRuleText(text));
+  // Queries must range over peer relations (or stored relations directly).
+  for (const Atom& a : query.body()) {
+    if (!network_.IsPeerRelation(a.predicate()) &&
+        !network_.IsStoredRelation(a.predicate())) {
+      return Status::NotFound("query references unknown relation " +
+                              a.predicate());
+    }
+    PDMS_ASSIGN_OR_RETURN(size_t arity,
+                          network_.RelationArity(a.predicate()));
+    if (arity != a.arity()) {
+      return Status::InvalidArgument(
+          StrFormat("query uses %s with arity %zu (declared %zu)",
+                    a.predicate().c_str(), a.arity(), arity));
+    }
+  }
+  return query;
+}
+
+Reformulator* Pdms::GetReformulator() {
+  if (reformulator_ == nullptr) {
+    reformulator_ = std::make_unique<Reformulator>(network_, options_);
+  }
+  return reformulator_.get();
+}
+
+Result<ReformulationResult> Pdms::Reformulate(const ConjunctiveQuery& query) {
+  return GetReformulator()->Reformulate(query);
+}
+
+Result<ReformulationResult> Pdms::Reformulate(std::string_view query_text) {
+  PDMS_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseQuery(query_text));
+  return Reformulate(query);
+}
+
+Result<Relation> Pdms::Answer(const ConjunctiveQuery& query) {
+  PDMS_ASSIGN_OR_RETURN(ReformulationResult result, Reformulate(query));
+  if (result.rewriting.empty()) {
+    return Relation(query.head().predicate(), query.head().arity());
+  }
+  return EvaluateUnion(result.rewriting, data_);
+}
+
+Result<Relation> Pdms::Answer(std::string_view query_text) {
+  PDMS_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseQuery(query_text));
+  return Answer(query);
+}
+
+Result<Relation> Pdms::AnswerStreaming(
+    const ConjunctiveQuery& query,
+    const std::function<bool(const Tuple&)>& on_answer) {
+  Relation answers(query.head().predicate(), query.head().arity());
+  Status eval_error = Status::Ok();
+  auto result = GetReformulator()->ReformulateStreaming(
+      query, [&](const ConjunctiveQuery& rewriting) {
+        auto part = EvaluateCQ(rewriting, data_);
+        if (!part.ok()) {
+          eval_error = part.status();
+          return false;
+        }
+        for (const Tuple& t : part->tuples()) {
+          if (answers.Insert(t) && !on_answer(t)) return false;
+        }
+        return true;
+      });
+  PDMS_RETURN_IF_ERROR(eval_error);
+  PDMS_RETURN_IF_ERROR(result.status());
+  return answers;
+}
+
+Result<Relation> Pdms::CertainAnswersOracle(const ConjunctiveQuery& query,
+                                            const ChaseOptions& chase) {
+  return CertainAnswers(network_, data_, query, chase);
+}
+
+Result<std::vector<ConjunctiveQuery>> Pdms::ExplainAnswer(
+    const ConjunctiveQuery& query, const Tuple& answer) {
+  if (answer.size() != query.head().arity()) {
+    return Status::InvalidArgument(
+        StrFormat("answer arity %zu does not match query head arity %zu",
+                  answer.size(), query.head().arity()));
+  }
+  PDMS_ASSIGN_OR_RETURN(ReformulationResult result, Reformulate(query));
+  std::vector<ConjunctiveQuery> witnesses;
+  for (const ConjunctiveQuery& rewriting : result.rewriting.disjuncts()) {
+    // Specialize the rewriting's head to the answer tuple; a unification
+    // failure (mismatching head constant) means this rewriting can never
+    // produce the tuple.
+    Substitution pin;
+    bool compatible = true;
+    for (size_t i = 0; i < answer.size(); ++i) {
+      if (!pin.UnifyTerms(rewriting.head().args()[i],
+                          Term::Constant(answer[i]))) {
+        compatible = false;
+        break;
+      }
+    }
+    if (!compatible) continue;
+    ConjunctiveQuery specialized = pin.Apply(rewriting);
+    PDMS_ASSIGN_OR_RETURN(Relation out, EvaluateCQ(specialized, data_));
+    if (out.Contains(answer)) witnesses.push_back(rewriting);
+  }
+  return witnesses;
+}
+
+}  // namespace pdms

@@ -1,0 +1,102 @@
+#ifndef PDMS_CORE_PDMS_H_
+#define PDMS_CORE_PDMS_H_
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "pdms/core/certain_answers.h"
+#include "pdms/core/network.h"
+#include "pdms/core/ppl_parser.h"
+#include "pdms/core/reformulator.h"
+#include "pdms/data/database.h"
+
+namespace pdms {
+
+/// The top-level facade: a peer data management system instance holding a
+/// network specification and the stored data, answering queries end to end
+/// (reformulate, then evaluate over the stored relations).
+///
+/// Typical use:
+///
+///   Pdms pdms;
+///   PDMS_RETURN_IF_ERROR(pdms.LoadProgram(R"(
+///     peer P { relation R(a, b); }
+///     stored s(a, b) <= P:R(a, b).
+///     fact s(1, 2).
+///   )"));
+///   auto answers = pdms.Answer("q(x) :- P:R(x, y).");
+class Pdms {
+ public:
+  explicit Pdms(ReformulationOptions options = {});
+
+  /// Parses and merges a textual PPL program (declarations and facts) into
+  /// this instance.
+  Status LoadProgram(std::string_view text);
+
+  /// Mutable access to the specification; invalidates cached normalization.
+  PdmsNetwork* mutable_network();
+  const PdmsNetwork& network() const { return network_; }
+
+  Database* mutable_database() { return &data_; }
+  const Database& database() const { return data_; }
+
+  /// Inserts a tuple into a stored relation (validated against the
+  /// catalog).
+  Status Insert(std::string_view stored_relation, Tuple tuple);
+
+  void set_options(const ReformulationOptions& options);
+  const ReformulationOptions& options() const { return options_; }
+
+  /// Parses a query in rule syntax, e.g. `q(x) :- H:Doctor(x, h).`.
+  Result<ConjunctiveQuery> ParseQuery(std::string_view text) const;
+
+  /// Reformulates a query into a union of CQs over stored relations.
+  Result<ReformulationResult> Reformulate(const ConjunctiveQuery& query);
+  Result<ReformulationResult> Reformulate(std::string_view query_text);
+
+  /// Reformulates and evaluates: the answers obtained from the stored data
+  /// (all of them certain answers; all certain answers in the PTIME
+  /// fragments of Section 3).
+  Result<Relation> Answer(const ConjunctiveQuery& query);
+  Result<Relation> Answer(std::string_view query_text);
+
+  /// Streaming variant: each rewriting is evaluated as soon as the
+  /// reformulator emits it, and every *new* answer tuple is delivered to
+  /// `on_answer` immediately (return false to stop). This is the usage
+  /// mode the paper optimizes for — "an important optimization is to
+  /// generate the first reformulations quickly so query execution can
+  /// begin" (Section 4.3). Returns all distinct answers found.
+  Result<Relation> AnswerStreaming(
+      const ConjunctiveQuery& query,
+      const std::function<bool(const Tuple&)>& on_answer);
+
+  /// Chase-based reference certain answers (exponentially slower; intended
+  /// for validation and small instances).
+  Result<Relation> CertainAnswersOracle(const ConjunctiveQuery& query,
+                                        const ChaseOptions& chase = {});
+
+  /// Provenance: the rewritings (conjunctive queries over stored
+  /// relations) that actually produce `answer` for `query` on the current
+  /// data — Section 2's "answers can be annotated appropriately for the
+  /// user". Each returned query pinpoints which stored relations, and
+  /// hence which peers' data, justify the answer. Empty when the tuple is
+  /// not an answer.
+  Result<std::vector<ConjunctiveQuery>> ExplainAnswer(
+      const ConjunctiveQuery& query, const Tuple& answer);
+
+  /// Section 3 complexity analysis of the current specification.
+  Classification Classify() const { return network_.Classify(); }
+
+ private:
+  Reformulator* GetReformulator();
+
+  PdmsNetwork network_;
+  Database data_;
+  ReformulationOptions options_;
+  std::unique_ptr<Reformulator> reformulator_;  // rebuilt after mutations
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_CORE_PDMS_H_

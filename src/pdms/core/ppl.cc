@@ -1,0 +1,62 @@
+#include "pdms/core/ppl.h"
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+namespace {
+
+std::string BodyToString(const ConjunctiveQuery& cq) {
+  std::vector<std::string> parts;
+  parts.reserve(cq.body().size() + cq.comparisons().size());
+  for (const Atom& a : cq.body()) parts.push_back(a.ToString());
+  for (const Comparison& c : cq.comparisons()) parts.push_back(c.ToString());
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace
+
+std::string StorageDescription::ToString() const {
+  std::string out = "stored ";
+  out += view.head().ToString();
+  out += is_equality ? " = " : " <= ";
+  out += BodyToString(view);
+  out += ".";
+  return out;
+}
+
+std::string PeerMapping::ToString() const {
+  if (kind == PeerMappingKind::kDefinitional) {
+    return "mapping " + rule.ToString();
+  }
+  std::string out = "mapping (";
+  const auto& args = lhs.head().args();
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ") : ";
+  out += BodyToString(lhs);
+  out += (kind == PeerMappingKind::kEquality) ? " = " : " <= ";
+  out += BodyToString(rhs);
+  out += ".";
+  return out;
+}
+
+std::string Peer::ToString() const {
+  std::string out = "peer ";
+  out += name;
+  out += " {\n";
+  for (const auto& [rel, arity] : relations) {
+    out += StrFormat("  relation %s/%zu;\n", rel.c_str(), arity);
+  }
+  out += "}";
+  return out;
+}
+
+std::string QualifiedName(const std::string& peer,
+                          const std::string& relation) {
+  return peer + ":" + relation;
+}
+
+}  // namespace pdms

@@ -1,0 +1,72 @@
+#ifndef PDMS_CORE_PPL_H_
+#define PDMS_CORE_PPL_H_
+
+#include <string>
+#include <vector>
+
+#include "pdms/lang/conjunctive_query.h"
+
+namespace pdms {
+
+/// A storage description (Section 2.1.2): relates a stored relation `R` at
+/// a peer to a query `Q` over peer schemas:
+///
+///   A:R = Q   (equality: the peer stores exactly the result of Q)
+///   A:R ⊆ Q   (containment: the peer stores a subset — open world)
+///
+/// Represented as a conjunctive query whose head is the stored atom and
+/// whose body is Q. Example 2.3's first description is written
+///   `doc(sid, last, loc) :- FH:Staff(sid, f, last, s, e),
+///                           FH:Doctor(sid, loc)` with is_equality = false.
+struct StorageDescription {
+  std::string peer;  // the peer providing the stored relation
+  ConjunctiveQuery view;  // head = stored atom, body = Q over peer relations
+  bool is_equality = false;
+  std::string name;  // diagnostic label (auto-generated if empty)
+
+  const Atom& stored_atom() const { return view.head(); }
+  std::string ToString() const;
+};
+
+/// The three peer-mapping forms of PPL (Section 2.1.2).
+enum class PeerMappingKind {
+  /// Q1(Ā1) ⊆ Q2(Ā2): evaluating Q1 always yields a subset of Q2.
+  kInclusion,
+  /// Q1(Ā1) = Q2(Ā2): the two results coincide (creates a cycle).
+  kEquality,
+  /// A datalog rule over peer relations; multiple rules with the same head
+  /// express disjunction (GAV-style).
+  kDefinitional,
+};
+
+/// A peer mapping. For inclusions/equalities both sides are conjunctive
+/// queries with identical heads (the shared interface variables); for
+/// definitional mappings only `rule` is used.
+struct PeerMapping {
+  PeerMappingKind kind = PeerMappingKind::kDefinitional;
+  ConjunctiveQuery lhs;  // kind != kDefinitional
+  ConjunctiveQuery rhs;  // kind != kDefinitional
+  Rule rule;             // kind == kDefinitional
+  std::string name;      // diagnostic label
+
+  std::string ToString() const;
+};
+
+/// A peer: a named schema of virtual peer relations (name -> arity). A
+/// peer need not store any data — mediator-only peers (H, FS, 9DC in
+/// Figure 1) just relate other peers' schemas.
+struct Peer {
+  std::string name;
+  /// Relation name (unqualified) -> arity.
+  std::vector<std::pair<std::string, size_t>> relations;
+
+  std::string ToString() const;
+};
+
+/// Builds the globally-unique qualified relation name `Peer:Relation`.
+std::string QualifiedName(const std::string& peer,
+                          const std::string& relation);
+
+}  // namespace pdms
+
+#endif  // PDMS_CORE_PPL_H_

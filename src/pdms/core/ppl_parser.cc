@@ -1,0 +1,185 @@
+#include "pdms/core/ppl_parser.h"
+
+#include "pdms/lang/parser.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+namespace {
+
+// Interface heads for inclusion/equality mappings get unique hidden
+// predicates so two mappings never unify with each other.
+std::string InterfacePredicate(size_t index) {
+  return StrFormat("_iface%zu", index);
+}
+
+Status ParsePeer(Parser* p, PdmsNetwork* network) {
+  if (p->Peek().kind != TokenKind::kIdent) {
+    return p->Error("expected a peer name");
+  }
+  Peer peer;
+  peer.name = p->Next().text;
+  PDMS_RETURN_IF_ERROR(p->Expect(TokenKind::kLBrace, "'{'"));
+  while (!p->Accept(TokenKind::kRBrace)) {
+    if (p->Peek().kind != TokenKind::kIdent ||
+        p->Peek().text != "relation") {
+      return p->Error("expected 'relation' or '}' in peer block");
+    }
+    p->Next();  // consume 'relation'
+    if (p->Peek().kind != TokenKind::kIdent) {
+      return p->Error("expected a relation name");
+    }
+    std::string rel = p->Next().text;
+    size_t arity = 0;
+    if (p->Accept(TokenKind::kSlash)) {
+      if (p->Peek().kind != TokenKind::kNumber) {
+        return p->Error("expected an arity after '/'");
+      }
+      arity = static_cast<size_t>(std::stoull(p->Next().text));
+    } else {
+      PDMS_RETURN_IF_ERROR(p->Expect(TokenKind::kLParen, "'(' or '/'"));
+      if (!p->Accept(TokenKind::kRParen)) {
+        for (;;) {
+          if (p->Peek().kind != TokenKind::kIdent) {
+            return p->Error("expected an attribute name");
+          }
+          p->Next();
+          ++arity;
+          if (p->Accept(TokenKind::kRParen)) break;
+          PDMS_RETURN_IF_ERROR(p->Expect(TokenKind::kComma, "',' or ')'"));
+        }
+      }
+    }
+    PDMS_RETURN_IF_ERROR(p->Expect(TokenKind::kSemicolon, "';'"));
+    peer.relations.emplace_back(std::move(rel), arity);
+  }
+  return network->AddPeer(std::move(peer));
+}
+
+Status ParseStored(Parser* p, PdmsNetwork* network) {
+  PDMS_ASSIGN_OR_RETURN(Atom head, p->ParseAtom());
+  bool is_equality;
+  if (p->Accept(TokenKind::kEq)) {
+    is_equality = true;
+  } else if (p->Accept(TokenKind::kLe)) {
+    is_equality = false;
+  } else {
+    return p->Error("expected '=' or '<=' after the stored atom");
+  }
+  std::vector<Atom> body;
+  std::vector<Comparison> comparisons;
+  PDMS_RETURN_IF_ERROR(p->ParseBody(&body, &comparisons));
+  PDMS_RETURN_IF_ERROR(p->Expect(TokenKind::kDot, "'.'"));
+  StorageDescription desc;
+  desc.view = ConjunctiveQuery(std::move(head), std::move(body),
+                               std::move(comparisons));
+  desc.is_equality = is_equality;
+  return network->AddStorageDescription(std::move(desc));
+}
+
+Status ParseMapping(Parser* p, PdmsNetwork* network) {
+  if (p->Accept(TokenKind::kLParen)) {
+    // Inclusion/equality mapping with an interface variable list.
+    std::vector<Term> iface;
+    if (!p->Accept(TokenKind::kRParen)) {
+      for (;;) {
+        PDMS_ASSIGN_OR_RETURN(Term t, p->ParseTerm());
+        iface.push_back(std::move(t));
+        if (p->Accept(TokenKind::kRParen)) break;
+        PDMS_RETURN_IF_ERROR(p->Expect(TokenKind::kComma, "',' or ')'"));
+      }
+    }
+    PDMS_RETURN_IF_ERROR(p->Expect(TokenKind::kColon, "':'"));
+    std::vector<Atom> lhs_body;
+    std::vector<Comparison> lhs_cmps;
+    PDMS_RETURN_IF_ERROR(p->ParseBody(&lhs_body, &lhs_cmps));
+    PeerMappingKind kind;
+    if (p->Accept(TokenKind::kEq)) {
+      kind = PeerMappingKind::kEquality;
+    } else if (p->Accept(TokenKind::kLe)) {
+      kind = PeerMappingKind::kInclusion;
+    } else {
+      return p->Error("expected '=' or '<=' between mapping sides");
+    }
+    std::vector<Atom> rhs_body;
+    std::vector<Comparison> rhs_cmps;
+    PDMS_RETURN_IF_ERROR(p->ParseBody(&rhs_body, &rhs_cmps));
+    PDMS_RETURN_IF_ERROR(p->Expect(TokenKind::kDot, "'.'"));
+
+    Atom head(InterfacePredicate(network->peer_mappings().size()), iface);
+    PeerMapping m;
+    m.kind = kind;
+    m.lhs = ConjunctiveQuery(head, std::move(lhs_body), std::move(lhs_cmps));
+    m.rhs = ConjunctiveQuery(head, std::move(rhs_body), std::move(rhs_cmps));
+    return network->AddPeerMapping(std::move(m));
+  }
+  // Definitional mapping: a datalog rule.
+  PDMS_ASSIGN_OR_RETURN(ConjunctiveQuery rule, p->ParseRule());
+  PeerMapping m;
+  m.kind = PeerMappingKind::kDefinitional;
+  m.rule = std::move(rule);
+  return network->AddPeerMapping(std::move(m));
+}
+
+Status ParseFact(Parser* p, const PdmsNetwork& network, Database* data) {
+  PDMS_ASSIGN_OR_RETURN(Atom atom, p->ParseAtom());
+  PDMS_RETURN_IF_ERROR(p->Expect(TokenKind::kDot, "'.'"));
+  if (!network.IsStoredRelation(atom.predicate())) {
+    return Status::InvalidArgument(
+        "facts may only populate stored relations; '" + atom.predicate() +
+        "' is not one (declare its storage description first)");
+  }
+  Tuple tuple;
+  tuple.reserve(atom.arity());
+  for (const Term& t : atom.args()) {
+    if (!t.is_constant()) {
+      return Status::InvalidArgument("facts must be ground: " +
+                                     atom.ToString());
+    }
+    tuple.push_back(t.value());
+  }
+  PDMS_ASSIGN_OR_RETURN(size_t arity,
+                        network.RelationArity(atom.predicate()));
+  if (arity != tuple.size()) {
+    return Status::InvalidArgument(
+        StrFormat("fact arity %zu does not match %s/%zu", tuple.size(),
+                  atom.predicate().c_str(), arity));
+  }
+  data->Insert(atom.predicate(), std::move(tuple));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ParsePplProgramInto(std::string_view text, PdmsNetwork* network,
+                           Database* data) {
+  PDMS_ASSIGN_OR_RETURN(Parser parser, Parser::Create(text));
+  while (!parser.AtEnd()) {
+    if (parser.Peek().kind != TokenKind::kIdent) {
+      return parser.Error("expected a statement keyword (peer, stored, "
+                          "mapping, fact)");
+    }
+    std::string keyword = parser.Next().text;
+    if (keyword == "peer") {
+      PDMS_RETURN_IF_ERROR(ParsePeer(&parser, network));
+    } else if (keyword == "stored") {
+      PDMS_RETURN_IF_ERROR(ParseStored(&parser, network));
+    } else if (keyword == "mapping") {
+      PDMS_RETURN_IF_ERROR(ParseMapping(&parser, network));
+    } else if (keyword == "fact") {
+      PDMS_RETURN_IF_ERROR(ParseFact(&parser, *network, data));
+    } else {
+      return parser.Error("unknown statement keyword '" + keyword + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<PplProgram> ParsePplProgram(std::string_view text) {
+  PplProgram program;
+  PDMS_RETURN_IF_ERROR(
+      ParsePplProgramInto(text, &program.network, &program.data));
+  return program;
+}
+
+}  // namespace pdms

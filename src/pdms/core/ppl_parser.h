@@ -1,0 +1,58 @@
+#ifndef PDMS_CORE_PPL_PARSER_H_
+#define PDMS_CORE_PPL_PARSER_H_
+
+#include <string_view>
+
+#include "pdms/core/network.h"
+#include "pdms/data/database.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// A parsed PPL program: the network specification plus any initial data
+/// asserted with `fact` statements.
+struct PplProgram {
+  PdmsNetwork network;
+  Database data;
+};
+
+/// Parses the textual PPL format. Statements:
+///
+///   // Peer schema. Relations may be declared with attribute names (kept
+///   // only for documentation) or as name/arity.
+///   peer FS {
+///     relation Skill(sid, skill);
+///     relation SameEngine/3;
+///   }
+///
+///   // Storage description: stored relation <= (containment) or =
+///   // (equality) a query over peer relations.
+///   stored s1(f, e) <= FS:AssignedTo(f, e), FS:Sched(f, st, end).
+///
+///   // Definitional (GAV-style) peer mapping: a datalog rule over peer
+///   // relations.
+///   mapping FS:SameEngine(f1, f2, e) :-
+///       FS:AssignedTo(f1, e), FS:AssignedTo(f2, e).
+///
+///   // Inclusion / equality peer mapping between two conjunctive queries
+///   // sharing the interface variables listed in parentheses.
+///   mapping (f1, f2) : FS:SameSkill(f1, f2)
+///       <= FS:Skill(f1, s), FS:Skill(f2, s).
+///   mapping (v, g, d) : ECC:Vehicle(v, g, d) = 9DC:Vehicle(v, g, d).
+///
+///   // Ground fact for a stored relation.
+///   fact s1(7, "engine-12").
+///
+/// `//` and `#` start comments. Relation references inside queries use the
+/// qualified `Peer:Relation` form; stored relations use bare names.
+Result<PplProgram> ParsePplProgram(std::string_view text);
+
+/// Variant that appends the parsed declarations and facts to an existing
+/// network and database (used by Pdms::LoadProgram so programs can be
+/// loaded incrementally — the ad-hoc extensibility the paper motivates).
+Status ParsePplProgramInto(std::string_view text, PdmsNetwork* network,
+                           Database* data);
+
+}  // namespace pdms
+
+#endif  // PDMS_CORE_PPL_PARSER_H_

@@ -1,0 +1,57 @@
+#include "pdms/core/reformulator.h"
+
+#include "pdms/constraints/cq_containment.h"
+#include "pdms/lang/homomorphism.h"
+#include "pdms/util/timer.h"
+
+namespace pdms {
+
+Reformulator::Reformulator(const PdmsNetwork& network,
+                           ReformulationOptions options)
+    : rules_(Normalize(network)), options_(options) {}
+
+Result<RuleGoalTree> Reformulator::BuildTree(const ConjunctiveQuery& query) {
+  TreeBuilder builder(rules_, options_);
+  return builder.Build(query);
+}
+
+Result<ReformulationResult> Reformulator::ReformulateStreaming(
+    const ConjunctiveQuery& query, const RewritingSink& sink) {
+  WallTimer timer;
+  TreeBuilder builder(rules_, options_);
+  PDMS_ASSIGN_OR_RETURN(RuleGoalTree tree, builder.Build(query));
+  tree.stats.build_ms = timer.ElapsedMillis();
+
+  ReformulationResult result;
+  result.stats = tree.stats;
+  WallTimer enumerate_timer;
+  PDMS_RETURN_IF_ERROR(EnumerateRewritings(
+      tree, options_, timer, &result.stats,
+      [&](const ConjunctiveQuery& cq) {
+        if (!sink(cq)) return false;
+        result.rewriting.Add(cq);
+        return true;
+      }));
+  result.stats.enumerate_ms = enumerate_timer.ElapsedMillis();
+
+  if (options_.remove_redundant) {
+    // Minimize comparison-free disjuncts and drop disjuncts contained in
+    // others; cross-disjunct containment uses the semantic test so bounds
+    // like `x < 3 ⊆ x < 5` are recognized.
+    UnionQuery minimized;
+    for (const ConjunctiveQuery& cq : result.rewriting.disjuncts()) {
+      minimized.Add(MinimizeCQ(cq));
+    }
+    result.rewriting = RemoveRedundantDisjunctsWithComparisons(minimized);
+    result.stats.rewritings = result.rewriting.size();
+  }
+  return result;
+}
+
+Result<ReformulationResult> Reformulator::Reformulate(
+    const ConjunctiveQuery& query) {
+  return ReformulateStreaming(query,
+                              [](const ConjunctiveQuery&) { return true; });
+}
+
+}  // namespace pdms

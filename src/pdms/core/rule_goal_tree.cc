@@ -1,0 +1,409 @@
+#include "pdms/core/rule_goal_tree.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "pdms/minicon/mcd.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+std::string ReformulationStats::ToString() const {
+  std::string out;
+  out += StrFormat(
+      "nodes: %zu (goal %zu, rule %zu = %zu definitional + %zu inclusion)\n",
+      total_nodes(), goal_nodes, rule_nodes, definitional_nodes,
+      inclusion_nodes);
+  out += StrFormat(
+      "pruned: %zu unsat, %zu dead-end, %zu guard; combos failed: %zu\n",
+      pruned_unsat, pruned_dead, pruned_guard, combos_failed);
+  out += StrFormat("rewritings: %zu%s%s\n", rewritings,
+                   tree_truncated ? " (tree truncated)" : "",
+                   enumeration_truncated ? " (enumeration truncated)" : "");
+  out += StrFormat("build: %.3f ms, enumerate: %.3f ms\n", build_ms,
+                   enumerate_ms);
+  if (!time_to_rewriting_ms.empty()) {
+    out += StrFormat("first rewriting at %.3f ms, last at %.3f ms\n",
+                     time_to_rewriting_ms.front(),
+                     time_to_rewriting_ms.back());
+  }
+  return out;
+}
+
+namespace {
+
+void DumpGoal(const GoalNode& goal, int indent, std::string* out);
+
+void DumpExpansion(const ExpansionNode& exp, int indent, std::string* out) {
+  out->append(indent, ' ');
+  *out += (exp.kind == ExpansionNode::Kind::kDefinitional) ? "rule[d"
+                                                           : "mcd[d";
+  *out += std::to_string(exp.description_id);
+  *out += "]";
+  if (!exp.unc.empty()) {
+    *out += " unc={";
+    for (size_t i = 0; i < exp.unc.size(); ++i) {
+      if (i > 0) *out += ",";
+      *out += std::to_string(exp.unc[i]);
+    }
+    *out += "}";
+  }
+  if (!exp.viable) *out += " (dead)";
+  *out += "\n";
+  for (const auto& child : exp.children) {
+    DumpGoal(*child, indent + 2, out);
+  }
+}
+
+void DumpGoal(const GoalNode& goal, int indent, std::string* out) {
+  out->append(indent, ' ');
+  *out += goal.label.ToString();
+  if (goal.is_stored) *out += " [stored]";
+  if (!goal.constraints.empty()) {
+    *out += "  { ";
+    *out += goal.constraints.ToString();
+    *out += " }";
+  }
+  if (!goal.viable && !goal.is_stored) *out += " (dead)";
+  *out += "\n";
+  for (const auto& exp : goal.expansions) {
+    DumpExpansion(*exp, indent + 2, out);
+  }
+}
+
+// Collects the variable names of an atom into a set.
+std::unordered_set<std::string> AtomVars(const Atom& atom) {
+  std::vector<std::string> vars;
+  CollectVariables(atom, &vars);
+  return std::unordered_set<std::string>(vars.begin(), vars.end());
+}
+
+}  // namespace
+
+std::string RuleGoalTree::ToString() const {
+  std::string out = "query: " + query.ToString() + "\n";
+  if (root != nullptr) DumpExpansion(*root, 0, &out);
+  return out;
+}
+
+TreeBuilder::TreeBuilder(const ExpansionRules& rules,
+                         ReformulationOptions options)
+    : rules_(rules), options_(options) {
+  ComputeReachability();
+}
+
+void TreeBuilder::ComputeReachability() {
+  // Fixpoint: a predicate is answerable at depth d if it is stored (d = 0),
+  // the head of a rule whose body is answerable, or occurs in the body of a
+  // view whose head predicate is answerable. This ignores bindings and the
+  // reuse guard, so it over-approximates — exactly what sound dead-end
+  // pruning needs.
+  for (const std::string& s : rules_.stored) {
+    if (IsUsableStored(s)) reach_depth_[s] = 0;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const ExpansionRules::DefRule& r : rules_.rules) {
+      size_t depth = 0;
+      bool ok = true;
+      for (const Atom& b : r.rule.body()) {
+        auto it = reach_depth_.find(b.predicate());
+        if (it == reach_depth_.end()) {
+          ok = false;
+          break;
+        }
+        depth = std::max(depth, it->second);
+      }
+      if (!ok) continue;
+      const std::string& head = r.rule.head().predicate();
+      auto it = reach_depth_.find(head);
+      if (it == reach_depth_.end() || it->second > depth + 1) {
+        reach_depth_[head] = depth + 1;
+        changed = true;
+      }
+    }
+    for (const ExpansionRules::View& v : rules_.views) {
+      auto hit = reach_depth_.find(v.view.head().predicate());
+      if (hit == reach_depth_.end()) continue;
+      size_t depth = hit->second + 1;
+      for (const Atom& b : v.view.body()) {
+        auto it = reach_depth_.find(b.predicate());
+        if (it == reach_depth_.end() || it->second > depth) {
+          reach_depth_[b.predicate()] = depth;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+bool TreeBuilder::Answerable(const std::string& predicate) const {
+  return reach_depth_.count(predicate) > 0;
+}
+
+bool TreeBuilder::IsUsableStored(const std::string& predicate) const {
+  if (rules_.stored.count(predicate) == 0) return false;
+  return options_.allowed_stored.empty() ||
+         options_.allowed_stored.count(predicate) > 0;
+}
+
+size_t TreeBuilder::DepthRank(const std::string& predicate) const {
+  auto it = reach_depth_.find(predicate);
+  return it == reach_depth_.end() ? SIZE_MAX : it->second;
+}
+
+Result<RuleGoalTree> TreeBuilder::Build(const ConjunctiveQuery& query) {
+  PDMS_RETURN_IF_ERROR(query.CheckSafe());
+  if (query.body().size() > 32) {
+    return Status::Unsupported(
+        "queries with more than 32 subgoals are not supported");
+  }
+  RuleGoalTree tree;
+  tree.query = query;
+  tree.root = std::make_unique<ExpansionNode>();
+  tree.root->kind = ExpansionNode::Kind::kDefinitional;
+  tree.root->description_id = SIZE_MAX;
+  tree.root->required_constraints = ConstraintSet(query.comparisons());
+  tree.root->label = tree.root->required_constraints;
+
+  node_count_ = 1;
+  truncated_ = false;
+  ReformulationStats& stats = tree.stats;
+  stats.rule_nodes = 1;
+  stats.definitional_nodes = 1;
+
+  for (size_t i = 0; i < query.body().size(); ++i) {
+    auto goal = std::make_unique<GoalNode>();
+    goal->label = query.body()[i];
+    goal->is_stored = IsUsableStored(goal->label.predicate());
+    goal->index_in_scope = i;
+    goal->constraints = tree.root->label.Project(AtomVars(goal->label));
+    tree.root->children.push_back(std::move(goal));
+    ++node_count_;
+    ++stats.goal_nodes;
+  }
+
+  std::set<size_t> path;
+  BuildScope({tree.root.get(), query.head()}, &path, &stats);
+  stats.tree_truncated = truncated_;
+
+  MarkViability(tree.root.get());
+  return tree;
+}
+
+void TreeBuilder::BuildScope(const ScopeContext& ctx, std::set<size_t>* path,
+                             ReformulationStats* stats) {
+  for (auto& child : ctx.scope->children) {
+    ExpandGoal(ctx, child.get(), path, stats);
+  }
+  if (options_.order_expansions) {
+    // Priority scheme: explore expansions that reach stored relations in
+    // fewer levels first, so the depth-first enumeration emits its first
+    // rewritings quickly.
+    for (auto& child : ctx.scope->children) {
+      std::stable_sort(
+          child->expansions.begin(), child->expansions.end(),
+          [&](const std::unique_ptr<ExpansionNode>& a,
+              const std::unique_ptr<ExpansionNode>& b) {
+            auto rank = [&](const ExpansionNode& e) {
+              size_t worst = 0;
+              for (const auto& g : e.children) {
+                size_t r = g->is_stored ? 0 : DepthRank(g->label.predicate());
+                worst = std::max(worst, r);
+              }
+              return worst;
+            };
+            return rank(*a) < rank(*b);
+          });
+    }
+  }
+}
+
+void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
+                             std::set<size_t>* path,
+                             ReformulationStats* stats) {
+  if (goal->is_stored) return;
+  const std::string& pred = goal->label.predicate();
+  if (options_.prune_dead_ends && !Answerable(pred)) {
+    ++stats->pruned_dead;
+    return;
+  }
+
+  // --- Definitional (GAV-style) expansion ---
+  auto rit = rules_.rules_by_head.find(pred);
+  if (rit != rules_.rules_by_head.end()) {
+    for (size_t idx : rit->second) {
+      const ExpansionRules::DefRule& dr = rules_.rules[idx];
+      if (!dr.guard_exempt && path->count(dr.description_id) > 0) {
+        ++stats->pruned_guard;
+        continue;
+      }
+      if (node_count_ >= options_.max_tree_nodes) {
+        truncated_ = true;
+        return;
+      }
+      Rule renamed = RenameApart(dr.rule, &fresh_);
+      Substitution theta;
+      if (!theta.UnifyAtoms(goal->label, renamed.head())) continue;
+
+      auto exp = std::make_unique<ExpansionNode>();
+      exp->kind = ExpansionNode::Kind::kDefinitional;
+      exp->description_id = dr.description_id;
+      exp->unifier = theta;
+      for (const Comparison& c : renamed.comparisons()) {
+        exp->required_constraints.Add(theta.Apply(c));
+      }
+      exp->label = goal->constraints.Apply(theta);
+      exp->label.AddAll(exp->required_constraints);
+      if (options_.prune_unsatisfiable && !exp->label.IsSatisfiable()) {
+        ++stats->pruned_unsat;
+        continue;
+      }
+      if (options_.prune_dead_ends) {
+        bool dead = false;
+        for (const Atom& b : renamed.body()) {
+          if (!Answerable(b.predicate())) {
+            dead = true;
+            break;
+          }
+        }
+        if (dead) {
+          ++stats->pruned_dead;
+          continue;
+        }
+      }
+      for (size_t j = 0; j < renamed.body().size(); ++j) {
+        auto child = std::make_unique<GoalNode>();
+        child->label = theta.Apply(renamed.body()[j]);
+        child->is_stored = IsUsableStored(child->label.predicate());
+        child->index_in_scope = j;
+        child->constraints = exp->label.Project(AtomVars(child->label));
+        exp->children.push_back(std::move(child));
+        ++node_count_;
+        ++stats->goal_nodes;
+      }
+      ++node_count_;
+      ++stats->rule_nodes;
+      ++stats->definitional_nodes;
+
+      bool inserted = path->insert(dr.description_id).second;
+      BuildScope({exp.get(), theta.Apply(goal->label)}, path, stats);
+      if (inserted) path->erase(dr.description_id);
+      goal->expansions.push_back(std::move(exp));
+    }
+  }
+
+  // --- Inclusion (LAV-style) expansion via MCDs ---
+  auto vit = rules_.views_by_body_pred.find(pred);
+  if (vit != rules_.views_by_body_pred.end()) {
+    // Sibling labels: the local query against which MCDs are formed.
+    std::vector<Atom> siblings;
+    siblings.reserve(ctx.scope->children.size());
+    for (const auto& sib : ctx.scope->children) {
+      siblings.push_back(sib->label);
+    }
+    // The MCD's "distinguished" variables are the scope interface: what
+    // the enclosing scope needs upward. Variables that occur only in
+    // constraint labels may fold into view existentials — the assembly
+    // step then either discharges the constraint against the view's
+    // guarantees or drops the combination (EmitPartial), so soundness is
+    // preserved without forbidding the MCD here.
+    Atom iface("$iface", ctx.interface.args());
+
+    for (size_t idx : vit->second) {
+      const ExpansionRules::View& vw = rules_.views[idx];
+      if (path->count(vw.description_id) > 0) {
+        ++stats->pruned_guard;
+        continue;
+      }
+      if (options_.prune_dead_ends &&
+          !Answerable(vw.view.head().predicate())) {
+        ++stats->pruned_dead;
+        continue;
+      }
+      if (node_count_ >= options_.max_tree_nodes) {
+        truncated_ = true;
+        return;
+      }
+      std::vector<Mcd> mcds = MakeMcds(
+          iface, siblings, goal->index_in_scope, vw.view, &fresh_,
+          options_.prune_unsatisfiable ? &ctx.scope->label : nullptr);
+      for (Mcd& mcd : mcds) {
+        if (node_count_ >= options_.max_tree_nodes) {
+          truncated_ = true;
+          return;
+        }
+        auto exp = std::make_unique<ExpansionNode>();
+        exp->kind = ExpansionNode::Kind::kInclusion;
+        exp->description_id = vw.description_id;
+        exp->unifier = mcd.unifier;
+        exp->granted_constraints = mcd.view_constraints;
+        exp->unc = mcd.covered;
+        exp->label = ctx.scope->label.Apply(mcd.unifier);
+        exp->label.AddAll(exp->granted_constraints);
+        if (options_.prune_unsatisfiable && !exp->label.IsSatisfiable()) {
+          ++stats->pruned_unsat;
+          continue;
+        }
+        auto child = std::make_unique<GoalNode>();
+        child->label = mcd.view_atom;
+        child->is_stored = IsUsableStored(child->label.predicate());
+        child->index_in_scope = 0;
+        child->constraints = exp->label.Project(AtomVars(child->label));
+        Atom child_interface = child->label;
+        exp->children.push_back(std::move(child));
+        node_count_ += 2;
+        ++stats->goal_nodes;
+        ++stats->rule_nodes;
+        ++stats->inclusion_nodes;
+
+        bool inserted = path->insert(vw.description_id).second;
+        BuildScope({exp.get(), child_interface}, path, stats);
+        if (inserted) path->erase(vw.description_id);
+        goal->expansions.push_back(std::move(exp));
+      }
+    }
+  }
+}
+
+void TreeBuilder::MarkViability(ExpansionNode* scope) {
+  // Bottom-up structural pass. When dead-end pruning is disabled we mark
+  // everything viable and let enumeration discover failures naturally.
+  for (auto& child : scope->children) {
+    child->viable = child->is_stored;
+    for (auto& exp : child->expansions) {
+      MarkViability(exp.get());
+      if (exp->viable) child->viable = true;
+    }
+    if (!options_.prune_dead_ends) child->viable = true;
+  }
+  if (!options_.prune_dead_ends) {
+    scope->viable = true;
+    return;
+  }
+  // The scope is viable iff the available coverage sets (stored leaves,
+  // viable definitional expansions covering themselves, viable inclusion
+  // expansions covering their unc sets) can cover every child.
+  uint64_t covered = 0;
+  uint64_t universe = 0;
+  for (size_t i = 0; i < scope->children.size(); ++i) {
+    universe |= uint64_t{1} << i;
+    const GoalNode& child = *scope->children[i];
+    if (child.is_stored) {
+      covered |= uint64_t{1} << i;
+      continue;
+    }
+    for (const auto& exp : child.expansions) {
+      if (!exp->viable) continue;
+      if (exp->kind == ExpansionNode::Kind::kDefinitional) {
+        covered |= uint64_t{1} << i;
+      } else {
+        for (size_t u : exp->unc) covered |= uint64_t{1} << u;
+      }
+    }
+  }
+  scope->viable = (covered & universe) == universe;
+}
+
+}  // namespace pdms

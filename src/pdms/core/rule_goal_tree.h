@@ -1,0 +1,190 @@
+#ifndef PDMS_CORE_RULE_GOAL_TREE_H_
+#define PDMS_CORE_RULE_GOAL_TREE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pdms/constraints/constraint_set.h"
+#include "pdms/core/normalize.h"
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// Tunables for tree construction and solution enumeration. The paper's
+/// Section 4.3 optimizations each map to a flag so the ablation benchmarks
+/// can toggle them individually.
+struct ReformulationOptions {
+  /// Prune expansions whose constraint label c(n) is unsatisfiable.
+  bool prune_unsatisfiable = true;
+  /// Precompute which predicates can possibly reach stored relations and
+  /// refuse to expand goals that cannot ("detection of dead ends").
+  bool prune_dead_ends = true;
+  /// Order each goal's expansions so that cheap paths to stored relations
+  /// come first (the paper's priority scheme); makes the first rewritings
+  /// arrive early in the depth-first enumeration.
+  bool order_expansions = true;
+  /// Memoize per-expansion solution lists during enumeration (dynamic
+  /// programming). Avoids re-enumerating right siblings per left partial,
+  /// which pays off when all rewritings of a modest tree are wanted — but
+  /// materializes every sub-solution, which is exponential in the worst
+  /// case (bounded by max_memo_partials). The default streaming mode has
+  /// no materialization cost and reaches the first rewritings fastest.
+  bool memoize_solutions = false;
+  /// Cap on materialized partial solutions in memoized mode; exceeding it
+  /// marks the enumeration truncated.
+  size_t max_memo_partials = 1u << 20;
+  /// Minimize emitted rewritings and drop ones contained in others.
+  bool remove_redundant = false;
+
+  /// Restriction on data sources (Section 2: "when a peer submits a query,
+  /// it may not always be interested in obtaining all possible data from
+  /// anywhere in the PDMS ... restrictions on data sources can be
+  /// specified"). When non-empty, only the listed stored relations may
+  /// appear in rewritings; goals over other stored relations are treated
+  /// as unanswerable.
+  std::set<std::string> allowed_stored;
+
+  /// Budget: stop expanding once the tree holds this many nodes
+  /// (goal + rule); the result is then sound but possibly incomplete.
+  size_t max_tree_nodes = 5u * 1000 * 1000;
+  /// Stop after this many rewritings (0 = unlimited).
+  size_t max_rewritings = 0;
+  /// Wall-clock budget for the whole reformulation in milliseconds
+  /// (0 = unlimited).
+  double time_budget_ms = 0;
+};
+
+/// Counters reported by the reformulator; the Figure 3/4 benchmarks print
+/// these directly.
+struct ReformulationStats {
+  size_t goal_nodes = 0;
+  size_t rule_nodes = 0;  // expansion nodes (definitional + inclusion)
+  size_t inclusion_nodes = 0;
+  size_t definitional_nodes = 0;
+  size_t pruned_unsat = 0;
+  size_t pruned_dead = 0;
+  size_t pruned_guard = 0;  // expansions skipped by the description reuse guard
+  size_t combos_failed = 0;  // solution combinations dropped at assembly
+  size_t rewritings = 0;
+  bool tree_truncated = false;  // node budget hit
+  bool enumeration_truncated = false;  // rewriting/time budget hit
+  double build_ms = 0;
+  double enumerate_ms = 0;
+  /// Elapsed time (from reformulation start) at which the k-th rewriting
+  /// was emitted.
+  std::vector<double> time_to_rewriting_ms;
+
+  size_t total_nodes() const { return goal_nodes + rule_nodes; }
+  std::string ToString() const;
+};
+
+struct GoalNode;
+
+/// A rule node: one way of expanding its parent goal node. Definitional
+/// expansions (GAV-style) replace the goal with the body of a datalog rule;
+/// inclusion expansions (LAV-style) replace the goal — and possibly some of
+/// its sibling goals, recorded in `unc` — with a single view atom obtained
+/// from an MCD.
+struct ExpansionNode {
+  enum class Kind { kDefinitional, kInclusion };
+
+  Kind kind = Kind::kDefinitional;
+  size_t description_id = 0;
+
+  /// The most-general unifier of the goal label with the (fresh-renamed)
+  /// rule head, or the MCD unifier. Applied when this expansion is chosen
+  /// during solution construction.
+  Substitution unifier;
+
+  /// Comparison predicates this expansion *requires* (a definitional
+  /// rule's body comparisons, θ-applied). They filter answers and must
+  /// survive into the final rewriting.
+  ConstraintSet required_constraints;
+
+  /// Comparison predicates this expansion *grants* (an inclusion view's
+  /// body comparisons): guaranteed true of any tuple the view supplies,
+  /// used for satisfiability pruning and to discharge required
+  /// constraints whose variables vanish.
+  ConstraintSet granted_constraints;
+
+  /// The constraint label c(n) of this rule node: parent label plus the
+  /// constraints above, used to prune children.
+  ConstraintSet label;
+
+  /// Children goal nodes: the rule body's subgoals (definitional) or the
+  /// single view atom (inclusion).
+  std::vector<std::unique_ptr<GoalNode>> children;
+
+  /// Inclusion only: indices (within the parent scope's children) of the
+  /// sibling goals this MCD covers — the paper's `unc` label. Always
+  /// contains the expanded goal's own index.
+  std::vector<size_t> unc;
+
+  bool viable = true;  // survives the structural dead-end pass
+};
+
+/// A goal node, labeled with an atom over a peer relation, a stored
+/// relation (leaf), or a normalization-introduced view predicate.
+struct GoalNode {
+  Atom label;
+  ConstraintSet constraints;  // c(n) projected onto this goal's variables
+  bool is_stored = false;
+  bool viable = false;
+  size_t index_in_scope = 0;  // position among the parent's children
+  std::vector<std::unique_ptr<ExpansionNode>> expansions;
+};
+
+/// The rule-goal tree for one query: the root expansion node is the query
+/// rule itself (its children are the query's subgoals).
+struct RuleGoalTree {
+  ConjunctiveQuery query;
+  std::unique_ptr<ExpansionNode> root;
+  ReformulationStats stats;  // build-phase counters
+
+  /// Multi-line indented dump (for debugging and the ppl_shell example).
+  std::string ToString() const;
+};
+
+/// Builds the rule-goal tree for `query` (Step 2 of Section 4.2).
+/// Termination in cyclic PDMSs comes from the per-path description-reuse
+/// guard; the node budget in `options` bounds worst-case blowup.
+class TreeBuilder {
+ public:
+  TreeBuilder(const ExpansionRules& rules, ReformulationOptions options);
+
+  Result<RuleGoalTree> Build(const ConjunctiveQuery& query);
+
+ private:
+  struct ScopeContext {
+    ExpansionNode* scope;
+    Atom interface;  // head atom of this scope (distinguished variables)
+  };
+
+  void BuildScope(const ScopeContext& ctx, std::set<size_t>* path,
+                  ReformulationStats* stats);
+  void ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
+                  std::set<size_t>* path, ReformulationStats* stats);
+  bool Answerable(const std::string& predicate) const;
+  // True if `predicate` is a stored relation the caller allows rewritings
+  // to use (honors ReformulationOptions::allowed_stored).
+  bool IsUsableStored(const std::string& predicate) const;
+  size_t DepthRank(const std::string& predicate) const;
+  void ComputeReachability();
+  void MarkViability(ExpansionNode* scope);
+
+  const ExpansionRules& rules_;
+  ReformulationOptions options_;
+  VariableFactory fresh_{"_t"};
+  size_t node_count_ = 0;
+  bool truncated_ = false;
+  // predicate -> minimal #expansion-levels to reach stored relations;
+  // absent = unanswerable.
+  std::map<std::string, size_t> reach_depth_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_CORE_RULE_GOAL_TREE_H_

@@ -1,0 +1,77 @@
+#include "pdms/data/database.h"
+
+#include "pdms/util/check.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+Status Database::CreateRelation(std::string_view name, size_t arity) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    if (it->second.arity() != arity) {
+      return Status::InvalidArgument(
+          StrFormat("relation '%s' already exists with arity %zu (asked %zu)",
+                    std::string(name).c_str(), it->second.arity(), arity));
+    }
+    return Status::Ok();
+  }
+  relations_.emplace(std::string(name), Relation(std::string(name), arity));
+  return Status::Ok();
+}
+
+bool Database::HasRelation(std::string_view name) const {
+  return relations_.find(name) != relations_.end();
+}
+
+Result<size_t> Database::RelationArity(std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named " + std::string(name));
+  }
+  return it->second.arity();
+}
+
+bool Database::Insert(std::string_view name, Tuple tuple) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    auto [pos, inserted] = relations_.emplace(
+        std::string(name), Relation(std::string(name), tuple.size()));
+    PDMS_CHECK(inserted);
+    it = pos;
+  }
+  return it->second.Insert(std::move(tuple));
+}
+
+const Relation* Database::Find(std::string_view name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindMutable(std::string_view name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+size_t Database::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel.size();
+  return total;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : relations_) {
+    out += rel.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pdms

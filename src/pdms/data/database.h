@@ -1,0 +1,57 @@
+#ifndef PDMS_DATA_DATABASE_H_
+#define PDMS_DATA_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdms/data/relation.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// A database instance: named relations with fixed arities. In PDMS terms
+/// this holds the *stored* relations (`D` in the paper); the chase engine
+/// also uses it to materialize virtual peer relations.
+class Database {
+ public:
+  Database() = default;
+
+  /// Creates an empty relation; error if a relation with the same name but
+  /// a different arity already exists. Idempotent when arities match.
+  Status CreateRelation(std::string_view name, size_t arity);
+
+  /// True if the relation exists.
+  bool HasRelation(std::string_view name) const;
+
+  /// Arity of the relation, or error if missing.
+  Result<size_t> RelationArity(std::string_view name) const;
+
+  /// Inserts a tuple, creating the relation (with the tuple's arity) if it
+  /// does not exist. Returns true if the tuple is new. Arity mismatches are
+  /// programmer errors and abort.
+  bool Insert(std::string_view name, Tuple tuple);
+
+  /// The relation, or nullptr if missing.
+  const Relation* Find(std::string_view name) const;
+  Relation* FindMutable(std::string_view name);
+
+  /// Names of all relations, sorted.
+  std::vector<std::string> RelationNames() const;
+
+  /// Total number of tuples across all relations.
+  size_t TotalTuples() const;
+
+  /// Multi-line dump of every relation.
+  std::string ToString() const;
+
+ private:
+  // std::map keeps iteration deterministic; heterogeneous lookup via
+  // std::less<> avoids string copies on Find.
+  std::map<std::string, Relation, std::less<>> relations_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_DATA_DATABASE_H_

@@ -1,0 +1,65 @@
+#include "pdms/data/relation.h"
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+uint64_t TupleHash(const Tuple& tuple) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const Value& v : tuple) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool TupleHasNull(const Tuple& tuple) {
+  for (const Value& v : tuple) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+bool Relation::Insert(Tuple tuple) {
+  PDMS_CHECK_MSG(tuple.size() == arity_, name_.c_str());
+  if (Contains(tuple)) return false;
+  uint64_t h = TupleHash(tuple);
+  index_.emplace(h, tuples_.size());
+  tuples_.push_back(std::move(tuple));
+  return true;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  uint64_t h = TupleHash(tuple);
+  auto [lo, hi] = index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (tuples_[it->second] == tuple) return true;
+  }
+  return false;
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  index_.clear();
+}
+
+std::string Relation::ToString() const {
+  std::string out = name_;
+  out += StrFormat("/%zu {\n", arity_);
+  for (const Tuple& t : tuples_) {
+    out += "  ";
+    out += TupleToString(t);
+    out += "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pdms

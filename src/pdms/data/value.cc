@@ -1,0 +1,31 @@
+#include "pdms/data/value.h"
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+uint64_t Value::Hash() const {
+  uint64_t seed = static_cast<uint64_t>(kind_) * 0x9e3779b97f4a7c15ULL;
+  if (kind_ == Kind::kString) {
+    return HashCombine(seed, Fnv1aHash(str_));
+  }
+  return HashCombine(seed, static_cast<uint64_t>(int_));
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kString: {
+      std::string out = "\"";
+      out += str_;
+      out += '"';
+      return out;
+    }
+    case Kind::kNull:
+      return StrFormat("_N%lld", static_cast<long long>(int_));
+  }
+  return "?";
+}
+
+}  // namespace pdms

@@ -1,0 +1,98 @@
+#ifndef PDMS_DATA_VALUE_H_
+#define PDMS_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pdms/util/check.h"
+
+namespace pdms {
+
+/// A single attribute value in a stored tuple.
+///
+/// Three kinds are supported:
+///  - 64-bit integers and strings, the ordinary data domain;
+///  - *labeled nulls*, the fresh placeholder values introduced by the chase
+///    engine when an existential tuple-generating dependency fires. A tuple
+///    containing a labeled null is not a certain answer.
+///
+/// Values of different kinds are never equal. The total order
+/// (null < int < string, then within kind) exists only so Values can key
+/// ordered containers; query comparison predicates (`<`, `<=`, ...) are
+/// defined within a kind only (see eval/constraints).
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull = 0, kInt = 1, kString = 2 };
+
+  /// Default-constructs labeled null #0; prefer the factory functions.
+  Value() : kind_(Kind::kNull), int_(0) {}
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.kind_ = Kind::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.kind_ = Kind::kString;
+    out.str_ = std::move(v);
+    return out;
+  }
+  /// Labeled null with the given identity; two nulls are equal iff their
+  /// ids are equal.
+  static Value Null(int64_t id) {
+    Value out;
+    out.kind_ = Kind::kNull;
+    out.int_ = id;
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  int64_t int_value() const {
+    PDMS_DCHECK(is_int());
+    return int_;
+  }
+  const std::string& string_value() const {
+    PDMS_DCHECK(is_string());
+    return str_;
+  }
+  int64_t null_id() const {
+    PDMS_DCHECK(is_null());
+    return int_;
+  }
+
+  bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    if (kind_ == Kind::kString) return str_ == other.str_;
+    return int_ == other.int_;
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order for container keys; cross-kind order is arbitrary but
+  /// fixed (null < int < string).
+  bool operator<(const Value& other) const {
+    if (kind_ != other.kind_) return kind_ < other.kind_;
+    if (kind_ == Kind::kString) return str_ < other.str_;
+    return int_ < other.int_;
+  }
+
+  uint64_t Hash() const;
+
+  /// Renders `42`, `"abc"`, or `_N7` (labeled null).
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  int64_t int_;      // integer value or null id
+  std::string str_;  // string payload when kind_ == kString
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_DATA_VALUE_H_

@@ -1,0 +1,211 @@
+#include "pdms/eval/chase.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "pdms/eval/evaluator.h"
+#include "pdms/util/check.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+std::string Tgd::ToString() const {
+  std::vector<std::string> lhs;
+  lhs.reserve(body.size() + comparisons.size());
+  for (const Atom& a : body) lhs.push_back(a.ToString());
+  for (const Comparison& c : comparisons) lhs.push_back(c.ToString());
+  std::vector<std::string> rhs;
+  rhs.reserve(head.size());
+  for (const Atom& a : head) rhs.push_back(a.ToString());
+  std::string out;
+  if (!name.empty()) {
+    out += "[";
+    out += name;
+    out += "] ";
+  }
+  out += StrJoin(lhs, ", ");
+  out += " -> ";
+  out += StrJoin(rhs, ", ");
+  return out;
+}
+
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds) {
+  // Position-graph nodes are interned as "pred#i".
+  auto key = [](const Atom& a, size_t i) {
+    return a.predicate() + "#" + std::to_string(i);
+  };
+  // Edge lists with a strict ("special") flag per edge.
+  std::map<std::string, std::vector<std::pair<std::string, bool>>> graph;
+
+  for (const Tgd& tgd : tgds) {
+    // Variables of the body (universally quantified).
+    std::set<std::string> universal;
+    for (const Atom& a : tgd.body) {
+      std::vector<std::string> vars;
+      CollectVariables(a, &vars);
+      universal.insert(vars.begin(), vars.end());
+    }
+    for (const Atom& body_atom : tgd.body) {
+      for (size_t p = 0; p < body_atom.arity(); ++p) {
+        const Term& t = body_atom.args()[p];
+        if (!t.is_variable() || universal.count(t.var_name()) == 0) {
+          continue;
+        }
+        const std::string& x = t.var_name();
+        // Does x propagate into the head at all?
+        bool propagates = false;
+        for (const Atom& head_atom : tgd.head) {
+          for (const Term& h : head_atom.args()) {
+            if (h.is_variable() && h.var_name() == x) propagates = true;
+          }
+        }
+        if (!propagates) continue;
+        std::string from = key(body_atom, p);
+        for (const Atom& head_atom : tgd.head) {
+          for (size_t q = 0; q < head_atom.arity(); ++q) {
+            const Term& h = head_atom.args()[q];
+            if (!h.is_variable()) continue;
+            if (h.var_name() == x) {
+              graph[from].emplace_back(key(head_atom, q), false);
+            } else if (universal.count(h.var_name()) == 0) {
+              graph[from].emplace_back(key(head_atom, q), true);  // special
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // A special edge on a cycle = not weakly acyclic. Detect by checking,
+  // for each special edge (u, v), whether u is reachable from v.
+  auto reachable = [&](const std::string& from, const std::string& to) {
+    std::set<std::string> seen = {from};
+    std::vector<std::string> stack = {from};
+    while (!stack.empty()) {
+      std::string node = stack.back();
+      stack.pop_back();
+      if (node == to) return true;
+      auto it = graph.find(node);
+      if (it == graph.end()) continue;
+      for (const auto& [next, special] : it->second) {
+        if (seen.insert(next).second) stack.push_back(next);
+      }
+    }
+    return false;
+  };
+  for (const auto& [from, edges] : graph) {
+    for (const auto& [to, special] : edges) {
+      if (special && reachable(to, from)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Substitutes `binding` into `atom`, leaving unbound variables in place.
+Atom SubstituteAtom(const Atom& atom, const BindingMap& binding) {
+  std::vector<Term> args;
+  args.reserve(atom.arity());
+  for (const Term& t : atom.args()) {
+    if (t.is_variable()) {
+      auto it = binding.find(t.var_name());
+      if (it != binding.end()) {
+        args.push_back(Term::Constant(it->second));
+        continue;
+      }
+    }
+    args.push_back(t);
+  }
+  return Atom(atom.predicate(), std::move(args));
+}
+
+// True if the (partially ground) head atoms can all be matched in `db`,
+// i.e. some assignment of the remaining (existential) variables maps every
+// atom to an existing tuple.
+bool HeadSatisfied(const std::vector<Atom>& head_patterns,
+                   const Database& db) {
+  bool found = false;
+  Status status = ForEachMatch(head_patterns, {}, db,
+                               [&](const BindingMap&) {
+                                 found = true;
+                                 return false;  // first witness suffices
+                               });
+  PDMS_CHECK(status.ok());
+  return found;
+}
+
+}  // namespace
+
+Result<Database> ChaseDatabase(const Database& input,
+                               const std::vector<Tgd>& tgds,
+                               const ChaseOptions& options) {
+  Database db = input;
+  int64_t next_null = 1;
+  // Resume null numbering above any nulls already present in the input so
+  // fresh nulls stay fresh.
+  for (const std::string& name : db.RelationNames()) {
+    for (const Tuple& t : db.Find(name)->tuples()) {
+      for (const Value& v : t) {
+        if (v.is_null() && v.null_id() >= next_null) {
+          next_null = v.null_id() + 1;
+        }
+      }
+    }
+  }
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    bool fired = false;
+    for (const Tgd& tgd : tgds) {
+      // Collect the body homomorphisms first: firing while enumerating
+      // would let fresh tuples re-trigger the same TGD mid-scan.
+      std::vector<BindingMap> matches;
+      PDMS_RETURN_IF_ERROR(ForEachMatch(tgd.body, tgd.comparisons, db,
+                                        [&](const BindingMap& binding) {
+                                          matches.push_back(binding);
+                                          return true;
+                                        }));
+      for (const BindingMap& binding : matches) {
+        std::vector<Atom> patterns;
+        patterns.reserve(tgd.head.size());
+        for (const Atom& a : tgd.head) {
+          patterns.push_back(SubstituteAtom(a, binding));
+        }
+        if (HeadSatisfied(patterns, db)) continue;
+        // Fire: instantiate remaining variables with fresh labeled nulls.
+        BindingMap extension = binding;
+        for (const Atom& a : tgd.head) {
+          for (const Term& t : a.args()) {
+            if (t.is_variable() && extension.count(t.var_name()) == 0) {
+              extension.emplace(t.var_name(), Value::Null(next_null++));
+            }
+          }
+        }
+        for (const Atom& a : tgd.head) {
+          Tuple tuple;
+          tuple.reserve(a.arity());
+          for (const Term& t : a.args()) {
+            tuple.push_back(t.is_constant() ? t.value()
+                                            : extension.at(t.var_name()));
+          }
+          db.Insert(a.predicate(), std::move(tuple));
+        }
+        fired = true;
+        if (db.TotalTuples() > options.max_tuples) {
+          return Status::ResourceExhausted(
+              StrFormat("chase exceeded %zu tuples (non-terminating "
+                        "dependency set?)",
+                        options.max_tuples));
+        }
+      }
+    }
+    if (!fired) return db;
+  }
+  return Status::ResourceExhausted(
+      StrFormat("chase exceeded %zu rounds (non-terminating dependency "
+                "set?)",
+                options.max_rounds));
+}
+
+}  // namespace pdms

@@ -1,0 +1,69 @@
+#ifndef PDMS_EVAL_CHASE_H_
+#define PDMS_EVAL_CHASE_H_
+
+#include <string>
+#include <vector>
+
+#include "pdms/data/database.h"
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// A tuple-generating dependency (TGD):
+///
+///   ∀x̄  body(x̄) ∧ comparisons(x̄)  →  ∃ȳ  head(x̄, ȳ)
+///
+/// Head variables absent from the body are existentially quantified; the
+/// chase instantiates them with fresh labeled nulls.
+///
+/// PPL specifications translate directly into TGDs (see
+/// core/certain_answers.h): a storage description `R ⊆ Q` becomes
+/// `R(x̄) → body(Q)`, a peer inclusion `Q1 ⊆ Q2` becomes
+/// `body(Q1) → body(Q2)`, an equality contributes both directions, and a
+/// definitional mapping contributes its body → head direction (null-free,
+/// so it behaves like a datalog rule).
+struct Tgd {
+  std::vector<Atom> body;
+  std::vector<Comparison> comparisons;
+  std::vector<Atom> head;
+  std::string name;  // diagnostic label
+
+  std::string ToString() const;
+};
+
+/// Chase resource limits. The PPL fragments with decidable query answering
+/// yield weakly acyclic TGD sets, for which the chase terminates; the caps
+/// catch the other cases (e.g. cyclic equality mappings with projections,
+/// Theorem 3.1's undecidable general case) and surface them as
+/// ResourceExhausted instead of diverging.
+struct ChaseOptions {
+  size_t max_rounds = 10000;
+  size_t max_tuples = 1u << 22;
+};
+
+/// Weak acyclicity (Fagin et al.): the classic sufficient condition for
+/// chase termination. Builds the position graph — a node per (predicate,
+/// argument position); for every TGD and every universally quantified
+/// variable x at body position p that also appears in the head, a normal
+/// edge from p to each head position of x and a *special* edge from p to
+/// each head position holding an existential variable — and checks that no
+/// cycle passes through a special edge. The PPL fragments with decidable
+/// query answering (acyclic inclusions, projection-free equalities)
+/// translate to weakly acyclic TGD sets, so ChaseDatabase terminates on
+/// them without hitting its caps.
+bool IsWeaklyAcyclic(const std::vector<Tgd>& tgds);
+
+/// Runs the standard (restricted) chase: repeatedly finds a homomorphism of
+/// some TGD body into the instance that cannot be extended to its head, and
+/// adds the head atoms with fresh nulls for existential variables. Returns
+/// the chased instance — a universal solution, so evaluating a conjunctive
+/// query over it and dropping null-containing tuples yields exactly the
+/// certain answers.
+Result<Database> ChaseDatabase(const Database& input,
+                               const std::vector<Tgd>& tgds,
+                               const ChaseOptions& options = {});
+
+}  // namespace pdms
+
+#endif  // PDMS_EVAL_CHASE_H_

@@ -1,0 +1,118 @@
+#include "pdms/eval/datalog.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "pdms/eval/evaluator.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+namespace {
+
+// Prefix for the hidden delta relations; '\x01' cannot appear in a parsed
+// predicate name, so deltas can never collide with user relations.
+std::string DeltaName(const std::string& predicate) {
+  return std::string("\x01") + predicate;
+}
+
+// Produces the head tuple of `rule` under `binding` and inserts it into
+// both `total` and `next_delta` if new. Returns the number of new tuples.
+size_t EmitHead(const Rule& rule, const BindingMap& binding, Database* total,
+                Database* next_delta) {
+  Tuple tuple;
+  tuple.reserve(rule.head().arity());
+  for (const Term& t : rule.head().args()) {
+    if (t.is_constant()) {
+      tuple.push_back(t.value());
+    } else {
+      tuple.push_back(binding.at(t.var_name()));
+    }
+  }
+  if (total->Insert(rule.head().predicate(), tuple)) {
+    next_delta->Insert(rule.head().predicate(), std::move(tuple));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<Database> EvaluateDatalog(const std::vector<Rule>& rules,
+                                 const Database& edb,
+                                 const DatalogOptions& options) {
+  for (const Rule& r : rules) PDMS_RETURN_IF_ERROR(r.CheckSafe());
+
+  std::unordered_set<std::string> idb;
+  for (const Rule& r : rules) idb.insert(r.head().predicate());
+
+  Database total = edb;
+  // Ensure IDB relations exist even if no rule ever fires.
+  for (const Rule& r : rules) {
+    PDMS_RETURN_IF_ERROR(
+        total.CreateRelation(r.head().predicate(), r.head().arity()));
+  }
+
+  // Round 0: naive evaluation of every rule over the EDB. Matches are
+  // buffered before insertion — emitting while scanning would grow the
+  // relation under the iterator.
+  Database delta;
+  size_t derived = 0;
+  for (const Rule& rule : rules) {
+    std::vector<BindingMap> matches;
+    PDMS_RETURN_IF_ERROR(ForEachMatch(rule.body(), rule.comparisons(),
+                                      total, [&](const BindingMap& binding) {
+                                        matches.push_back(binding);
+                                        return true;
+                                      }));
+    for (const BindingMap& binding : matches) {
+      derived += EmitHead(rule, binding, &total, &delta);
+    }
+  }
+
+  size_t round = 0;
+  while (delta.TotalTuples() > 0) {
+    if (++round > options.max_rounds) {
+      return Status::ResourceExhausted("datalog fixpoint round cap hit");
+    }
+    if (derived > options.max_tuples) {
+      return Status::ResourceExhausted("datalog derived-tuple cap hit");
+    }
+    // Work database: all of `total` plus the delta relations under their
+    // hidden names, so one rule instantiation can mix them.
+    Database work = total;
+    for (const std::string& name : delta.RelationNames()) {
+      const Relation* rel = delta.Find(name);
+      for (const Tuple& t : rel->tuples()) work.Insert(DeltaName(name), t);
+    }
+
+    Database next_delta;
+    for (const Rule& rule : rules) {
+      // Semi-naive: one join per IDB body atom, with that atom restricted
+      // to the last delta.
+      for (size_t i = 0; i < rule.body().size(); ++i) {
+        const Atom& pivot = rule.body()[i];
+        if (idb.count(pivot.predicate()) == 0) continue;
+        if (delta.Find(pivot.predicate()) == nullptr) continue;
+        std::vector<Atom> body = rule.body();
+        body[i] = Atom(DeltaName(pivot.predicate()), pivot.args());
+        // `work` is a frozen copy, but buffer anyway: EmitHead writes to
+        // `total`, which later pivots of this round still read through
+        // `work` only — keep the discipline uniform.
+        std::vector<BindingMap> matches;
+        PDMS_RETURN_IF_ERROR(ForEachMatch(body, rule.comparisons(), work,
+                                          [&](const BindingMap& binding) {
+                                            matches.push_back(binding);
+                                            return true;
+                                          }));
+        for (const BindingMap& binding : matches) {
+          derived += EmitHead(rule, binding, &total, &next_delta);
+        }
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return total;
+}
+
+}  // namespace pdms

@@ -1,0 +1,36 @@
+#ifndef PDMS_EVAL_DATALOG_H_
+#define PDMS_EVAL_DATALOG_H_
+
+#include <vector>
+
+#include "pdms/data/database.h"
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// Options for datalog fixpoint evaluation.
+struct DatalogOptions {
+  /// Hard cap on fixpoint rounds (defense against runaway programs; the
+  /// least fixpoint of a positive program always converges, so hitting the
+  /// cap indicates astronomically large derivations).
+  size_t max_rounds = 1u << 20;
+  /// Hard cap on total derived tuples.
+  size_t max_tuples = 10u << 20;
+};
+
+/// Computes the least fixpoint of a positive datalog program (the paper's
+/// definitional mappings are exactly such programs) over the extensional
+/// database `edb`, using semi-naive evaluation: after the first round, each
+/// rule is re-joined once per intensional body atom, with that atom ranging
+/// over the previous round's delta only.
+///
+/// Returns a database containing the EDB relations plus the derived
+/// intensional relations. Rules may use comparison predicates in bodies.
+Result<Database> EvaluateDatalog(const std::vector<Rule>& rules,
+                                 const Database& edb,
+                                 const DatalogOptions& options = {});
+
+}  // namespace pdms
+
+#endif  // PDMS_EVAL_DATALOG_H_

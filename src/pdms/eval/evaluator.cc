@@ -1,0 +1,274 @@
+#include "pdms/eval/evaluator.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "pdms/util/check.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+namespace {
+
+// Counts how many argument positions of `atom` are already ground under
+// `binding` (constants or bound variables). Used for greedy join ordering.
+size_t BoundCount(const Atom& atom, const BindingMap& binding) {
+  size_t bound = 0;
+  for (const Term& t : atom.args()) {
+    if (t.is_constant() || binding.count(t.var_name()) > 0) ++bound;
+  }
+  return bound;
+}
+
+// True if both sides of `cmp` are ground under `binding`; when so,
+// `*result` receives the truth value.
+bool TryEvalComparison(const Comparison& cmp, const BindingMap& binding,
+                       bool* result) {
+  Value lhs, rhs;
+  if (cmp.lhs.is_constant()) {
+    lhs = cmp.lhs.value();
+  } else {
+    auto it = binding.find(cmp.lhs.var_name());
+    if (it == binding.end()) return false;
+    lhs = it->second;
+  }
+  if (cmp.rhs.is_constant()) {
+    rhs = cmp.rhs.value();
+  } else {
+    auto it = binding.find(cmp.rhs.var_name());
+    if (it == binding.end()) return false;
+    rhs = it->second;
+  }
+  *result = EvalCmp(cmp.op, lhs, rhs);
+  return true;
+}
+
+// Lazily-built hash indexes: (relation, column) -> value hash -> row ids.
+// Built the first time a join probes that column with a bound value, then
+// reused for every subsequent probe in the same evaluation.
+class IndexCache {
+ public:
+  explicit IndexCache(const Database* db) { (void)db; }
+
+  // Row indices of `rel` whose column `col` may equal `value` (hash
+  // bucket; the caller re-checks equality while matching the full atom).
+  // Returns nullptr when the bucket is empty.
+  const std::vector<size_t>* Probe(const Relation& rel, size_t col,
+                                   const Value& value) {
+    auto key = std::make_pair(rel.name(), col);
+    auto it = indexes_.find(key);
+    if (it == indexes_.end()) {
+      ColumnIndex index;
+      const std::vector<Tuple>& tuples = rel.tuples();
+      for (size_t row = 0; row < tuples.size(); ++row) {
+        index[tuples[row][col].Hash()].push_back(row);
+      }
+      it = indexes_.emplace(std::move(key), std::move(index)).first;
+    }
+    auto bucket = it->second.find(value.Hash());
+    return bucket == it->second.end() ? nullptr : &bucket->second;
+  }
+
+ private:
+  using ColumnIndex =
+      std::unordered_map<uint64_t, std::vector<size_t>>;
+  std::map<std::pair<std::string, size_t>, ColumnIndex> indexes_;
+};
+
+struct MatchContext {
+  const Database* db;
+  const std::vector<Comparison>* comparisons;
+  const std::function<bool(const BindingMap&)>* callback;
+  IndexCache* indexes;
+  bool stopped = false;
+};
+
+// Recursive backtracking join over the remaining atoms. `done` marks the
+// comparisons already checked (each is checked exactly once, as soon as it
+// becomes ground).
+bool Search(std::vector<Atom>& atoms, std::vector<bool>& used,
+            size_t remaining, BindingMap& binding, std::vector<bool>& done,
+            MatchContext& ctx) {
+  if (remaining == 0) {
+    if (!(*ctx.callback)(binding)) {
+      ctx.stopped = true;
+    }
+    return !ctx.stopped;
+  }
+  // Pick the unused atom with the most bound positions (fewest free vars).
+  size_t best = atoms.size();
+  size_t best_bound = 0;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (used[i]) continue;
+    size_t b = BoundCount(atoms[i], binding);
+    if (best == atoms.size() || b > best_bound) {
+      best = i;
+      best_bound = b;
+    }
+  }
+  PDMS_DCHECK(best < atoms.size());
+  used[best] = true;
+  const Atom& atom = atoms[best];
+  const Relation* rel = ctx.db->Find(atom.predicate());
+  if (rel != nullptr && rel->arity() == atom.arity()) {
+    // Candidate rows: probe a hash index on the first ground position if
+    // one exists; otherwise scan the whole relation. Building an index
+    // only pays off past a few dozen tuples — below that (e.g. the delta
+    // relations of semi-naive datalog) a scan is cheaper.
+    constexpr size_t kIndexThreshold = 32;
+    const std::vector<size_t>* candidates = nullptr;
+    bool indexed = false;
+    for (size_t i = 0;
+         rel->size() >= kIndexThreshold && i < atom.arity() && !indexed;
+         ++i) {
+      const Term& t = atom.args()[i];
+      if (t.is_constant()) {
+        candidates = ctx.indexes->Probe(*rel, i, t.value());
+        indexed = true;
+      } else {
+        auto it = binding.find(t.var_name());
+        if (it != binding.end()) {
+          candidates = ctx.indexes->Probe(*rel, i, it->second);
+          indexed = true;
+        }
+      }
+    }
+    size_t limit = indexed ? (candidates == nullptr ? 0 : candidates->size())
+                           : rel->size();
+    for (size_t c = 0; c < limit; ++c) {
+      const Tuple& tuple =
+          indexed ? rel->tuples()[(*candidates)[c]] : rel->tuples()[c];
+      // Match the atom pattern against the tuple, extending the binding.
+      std::vector<std::string> bound_here;
+      bool ok = true;
+      for (size_t i = 0; i < atom.arity(); ++i) {
+        const Term& t = atom.args()[i];
+        if (t.is_constant()) {
+          if (t.value() != tuple[i]) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        auto it = binding.find(t.var_name());
+        if (it != binding.end()) {
+          if (it->second != tuple[i]) {
+            ok = false;
+            break;
+          }
+        } else {
+          binding.emplace(t.var_name(), tuple[i]);
+          bound_here.push_back(t.var_name());
+        }
+      }
+      if (ok) {
+        // Check any comparison that just became ground.
+        std::vector<size_t> checked_here;
+        for (size_t ci = 0; ok && ci < ctx.comparisons->size(); ++ci) {
+          if (done[ci]) continue;
+          bool value = false;
+          if (TryEvalComparison((*ctx.comparisons)[ci], binding, &value)) {
+            if (!value) {
+              ok = false;
+            } else {
+              done[ci] = true;
+              checked_here.push_back(ci);
+            }
+          }
+        }
+        if (ok &&
+            !Search(atoms, used, remaining - 1, binding, done, ctx)) {
+          // Propagate stop; undo below still runs.
+        }
+        for (size_t ci : checked_here) done[ci] = false;
+      }
+      for (const std::string& v : bound_here) binding.erase(v);
+      if (ctx.stopped) break;
+    }
+  }
+  used[best] = false;
+  return !ctx.stopped;
+}
+
+}  // namespace
+
+Status ForEachMatch(const std::vector<Atom>& body,
+                    const std::vector<Comparison>& comparisons,
+                    const Database& db,
+                    const std::function<bool(const BindingMap&)>& callback) {
+  if (body.empty()) {
+    // An empty body has the single empty match if all ground comparisons
+    // hold (non-ground ones would make the query unsafe).
+    BindingMap empty;
+    for (const Comparison& c : comparisons) {
+      bool value = false;
+      if (!TryEvalComparison(c, empty, &value)) {
+        return Status::InvalidArgument(
+            "comparison over unbound variable in empty body: " +
+            c.ToString());
+      }
+      if (!value) return Status::Ok();
+    }
+    callback(empty);
+    return Status::Ok();
+  }
+  std::vector<Atom> atoms = body;
+  std::vector<bool> used(atoms.size(), false);
+  std::vector<bool> done(comparisons.size(), false);
+  BindingMap binding;
+  IndexCache indexes(&db);
+  MatchContext ctx{&db, &comparisons, &callback, &indexes};
+  Search(atoms, used, atoms.size(), binding, done, ctx);
+  return Status::Ok();
+}
+
+Result<Relation> EvaluateCQ(const ConjunctiveQuery& cq, const Database& db) {
+  PDMS_RETURN_IF_ERROR(cq.CheckSafe());
+  Relation out(cq.head().predicate(), cq.head().arity());
+  Status status = ForEachMatch(
+      cq.body(), cq.comparisons(), db, [&](const BindingMap& binding) {
+        Tuple tuple;
+        tuple.reserve(cq.head().arity());
+        for (const Term& t : cq.head().args()) {
+          if (t.is_constant()) {
+            tuple.push_back(t.value());
+          } else {
+            auto it = binding.find(t.var_name());
+            PDMS_CHECK_MSG(it != binding.end(), "unsafe head variable");
+            tuple.push_back(it->second);
+          }
+        }
+        out.Insert(std::move(tuple));
+        return true;
+      });
+  PDMS_RETURN_IF_ERROR(status);
+  return out;
+}
+
+Result<Relation> EvaluateUnion(const UnionQuery& uq, const Database& db) {
+  if (uq.empty()) return Relation("result", 0);
+  Relation out(uq.disjuncts()[0].head().predicate(),
+               uq.disjuncts()[0].head().arity());
+  for (const ConjunctiveQuery& cq : uq.disjuncts()) {
+    if (cq.head().arity() != out.arity()) {
+      return Status::InvalidArgument(StrFormat(
+          "union disjuncts disagree on arity (%zu vs %zu)", out.arity(),
+          cq.head().arity()));
+    }
+    PDMS_ASSIGN_OR_RETURN(Relation part, EvaluateCQ(cq, db));
+    for (const Tuple& t : part.tuples()) out.Insert(t);
+  }
+  return out;
+}
+
+Relation DropNullTuples(const Relation& rel) {
+  Relation out(rel.name(), rel.arity());
+  for (const Tuple& t : rel.tuples()) {
+    if (!TupleHasNull(t)) out.Insert(t);
+  }
+  return out;
+}
+
+}  // namespace pdms

@@ -1,0 +1,44 @@
+#ifndef PDMS_EVAL_EVALUATOR_H_
+#define PDMS_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "pdms/data/database.h"
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// A satisfying assignment of body variables to data values.
+using BindingMap = std::unordered_map<std::string, Value>;
+
+/// Enumerates every assignment of the body variables that makes all atoms
+/// hold in `db` and all comparisons evaluate to true. Atoms over relations
+/// missing from `db` match nothing. The callback returns false to stop
+/// enumeration early.
+///
+/// Joins are evaluated by backtracking with greedy atom reordering (most
+/// bound variables first); each comparison is applied as soon as both of its
+/// sides are ground, so selections are pushed below joins.
+Status ForEachMatch(const std::vector<Atom>& body,
+                    const std::vector<Comparison>& comparisons,
+                    const Database& db,
+                    const std::function<bool(const BindingMap&)>& callback);
+
+/// Evaluates a conjunctive query over `db`, returning the set of head
+/// tuples (set semantics). The query must be safe.
+Result<Relation> EvaluateCQ(const ConjunctiveQuery& cq, const Database& db);
+
+/// Evaluates a union of conjunctive queries (all disjuncts must share head
+/// arity); the result is the set union of the disjunct results.
+Result<Relation> EvaluateUnion(const UnionQuery& uq, const Database& db);
+
+/// Drops tuples containing labeled nulls — used to extract certain answers
+/// from a chased instance.
+Relation DropNullTuples(const Relation& rel);
+
+}  // namespace pdms
+
+#endif  // PDMS_EVAL_EVALUATOR_H_

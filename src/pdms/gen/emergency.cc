@@ -1,0 +1,266 @@
+#include "pdms/gen/emergency.h"
+
+#include <string>
+
+namespace pdms {
+namespace gen {
+
+const char* EmergencyBasePpl() {
+  return R"ppl(
+// ---------------------------------------------------------------------
+// Peer schemas (Figure 1).
+// ---------------------------------------------------------------------
+
+peer FH {                       // First Hospital
+  relation Staff(sid, firstn, lastn, start, end);
+  relation Doctor(sid, loc);
+  relation EMT(sid, vid);
+  relation Ambulance(vid, gps, dest);
+  relation Bed(bed, room, class);
+  relation Patient(pid, bed, status);
+}
+
+peer LH {                       // Lakeview Hospital
+  relation CritBed(bed, hosp, room, pid, status);
+  relation EmergBed(bed, hosp, room, pid, status);
+  relation GenBed(bed, hosp, room, pid, status);
+}
+
+peer H {                        // Hospitals mediator
+  relation Worker(sid, first, last);
+  relation Ambulance(vid, hosp, gps, dest);
+  relation EMT(sid, hosp, vid, start, end);
+  relation Doctor(sid, hosp, loc, start, end);
+  relation EmergBed(bed, hosp, room);
+  relation CritBed(bed, hosp, room);
+  relation GenBed(bed, hosp, room);
+  relation Patient(pid, bed, status);
+}
+
+peer PFD {                      // Portland Fire District
+  relation Engine(vid, cap, status, station, loc, dest);
+  relation FirstResponse(vid, station, loc, dest);
+  relation Skills(sid, skill);
+  relation Firefighter(sid, station, first, last);
+  relation Schedule(sid, vid, start, stop);
+}
+
+peer VFD {                      // Vancouver Fire District
+  relation Engine(vid, cap, status, station, loc, dest);
+  relation FirstResponse(vid, station, loc, dest);
+  relation Skills(sid, skill);
+  relation Firefighter(sid, station, first, last);
+  relation Schedule(sid, vid, start, stop);
+}
+
+peer FS {                       // Fire Services mediator
+  relation Ambulance(vid, gps, dest);
+  relation InAmbulance(sid, vid);
+  relation Staff(sid, firstn, lastn, class);
+  relation Schedule(sid, vid);
+  relation Sched(f, start, end);
+  relation FirstResponse(vid, station, loc, dest);
+  relation Skills(sid, skill);
+  relation AssignedTo(f, e);
+  relation Skill(f, s);
+  relation SameEngine(f1, f2, e);
+  relation SameSkill(f1, f2);
+}
+
+peer NDC {                      // 911 Dispatch Center ("9DC" in the paper)
+  relation SkilledPerson(pid, skill);
+  relation Located(pid, where);
+  relation Hours(pid, start, stop);
+  relation Vehicle(vid, type, capac, gps, dest);
+  relation Bed(bid, loc, class);
+  relation Site(gps, status);
+}
+
+// ---------------------------------------------------------------------
+// Storage descriptions (Example 2.3 and the fire-district sources).
+// ---------------------------------------------------------------------
+
+stored fh_doc(sid, last, loc) <=
+    FH:Staff(sid, f, last, s, e), FH:Doctor(sid, loc).
+stored fh_sched(sid, s, e) <=
+    FH:Staff(sid, f, last, s, e), FH:Doctor(sid, loc).
+stored fh_patient(pid, bed, status) <= FH:Patient(pid, bed, status).
+stored fh_bed(bed, room, class) <= FH:Bed(bed, room, class).
+
+stored lh_critbed(bed, room, pid, status) <=
+    LH:CritBed(bed, "LH", room, pid, status).
+stored lh_emergbed(bed, room, pid, status) <=
+    LH:EmergBed(bed, "LH", room, pid, status).
+stored lh_genbed(bed, room, pid, status) <=
+    LH:GenBed(bed, "LH", room, pid, status).
+
+stored pfd_schedule(sid, vid, start, stop) <=
+    PFD:Schedule(sid, vid, start, stop).
+stored pfd_skills(sid, skill) <= PFD:Skills(sid, skill).
+stored pfd_firefighter(sid, station, first, last) <=
+    PFD:Firefighter(sid, station, first, last).
+stored pfd_response(vid, station, loc, dest) <=
+    PFD:FirstResponse(vid, station, loc, dest).
+
+stored vfd_schedule(sid, vid, start, stop) <=
+    VFD:Schedule(sid, vid, start, stop).
+stored vfd_skills(sid, skill) <= VFD:Skills(sid, skill).
+stored vfd_firefighter(sid, station, first, last) <=
+    VFD:Firefighter(sid, station, first, last).
+
+// Figure 2's storage descriptions r2 and r3.
+stored s1(f, e, st) <= FS:AssignedTo(f, e), FS:Sched(f, st, end).
+stored s2(f1, f2) = FS:SameSkill(f1, f2).
+
+// ---------------------------------------------------------------------
+// Peer mappings.
+// ---------------------------------------------------------------------
+
+// Hospitals: FH feeds the mediated schema GAV-style.
+mapping H:Doctor(sid, "FH", loc, s, e) :-
+    FH:Staff(sid, f, l, s, e), FH:Doctor(sid, loc).
+mapping H:EMT(sid, "FH", vid, s, e) :-
+    FH:Staff(sid, f, l, s, e), FH:EMT(sid, vid).
+mapping H:Patient(pid, bed, status) :- FH:Patient(pid, bed, status).
+mapping H:Ambulance(vid, "FH", gps, dest) :- FH:Ambulance(vid, gps, dest).
+
+// Lakeview Hospital is described LAV-style (Example 2.2): its bed tables
+// are contained in joins over the mediated schema.
+mapping (bed, hosp, room, pid, status) :
+    LH:CritBed(bed, hosp, room, pid, status)
+    <= H:CritBed(bed, hosp, room), H:Patient(pid, bed, status).
+mapping (bed, hosp, room, pid, status) :
+    LH:EmergBed(bed, hosp, room, pid, status)
+    <= H:EmergBed(bed, hosp, room), H:Patient(pid, bed, status).
+mapping (bed, hosp, room, pid, status) :
+    LH:GenBed(bed, hosp, room, pid, status)
+    <= H:GenBed(bed, hosp, room), H:Patient(pid, bed, status).
+
+// Fire services: both districts feed the FS mediator.
+mapping FS:AssignedTo(f, e) :- PFD:Schedule(f, e, st, end).
+mapping FS:AssignedTo(f, e) :- VFD:Schedule(f, e, st, end).
+mapping FS:Sched(f, st, end) :- PFD:Schedule(f, e, st, end).
+mapping FS:Sched(f, st, end) :- VFD:Schedule(f, e, st, end).
+mapping FS:Skill(f, s) :- PFD:Skills(f, s).
+mapping FS:Skill(f, s) :- VFD:Skills(f, s).
+mapping FS:Skills(f, s) :- PFD:Skills(f, s).
+mapping FS:Skills(f, s) :- VFD:Skills(f, s).
+mapping FS:Schedule(sid, vid) :- PFD:Schedule(sid, vid, st, end).
+mapping FS:Schedule(sid, vid) :- VFD:Schedule(sid, vid, st, end).
+mapping FS:FirstResponse(vid, station, loc, dest) :-
+    PFD:FirstResponse(vid, station, loc, dest).
+mapping FS:Staff(sid, first, last, "firefighter") :-
+    PFD:Firefighter(sid, station, first, last).
+mapping FS:Staff(sid, first, last, "firefighter") :-
+    VFD:Firefighter(sid, station, first, last).
+
+// Figure 2's peer descriptions r0 and r1.
+mapping FS:SameEngine(f1, f2, e) :-
+    FS:AssignedTo(f1, e), FS:AssignedTo(f2, e).
+mapping (f1, f2) :
+    FS:SameSkill(f1, f2) <= FS:Skill(f1, s), FS:Skill(f2, s).
+
+// 911 Dispatch Center (Example 2.2's GAV definition of SkilledPerson).
+mapping NDC:SkilledPerson(pid, "Doctor") :-
+    H:Doctor(pid, h, l, s, e).
+mapping NDC:SkilledPerson(pid, "EMT") :-
+    H:EMT(pid, h, vid, s, e).
+mapping NDC:SkilledPerson(pid, "EMT") :-
+    FS:Schedule(pid, vid), FS:FirstResponse(vid, s, l, d),
+    FS:Skills(pid, "medical").
+mapping NDC:Vehicle(vid, "ambulance", 2, gps, dest) :-
+    H:Ambulance(vid, hosp, gps, dest).
+mapping NDC:Vehicle(vid, "fire-response", 4, loc, dest) :-
+    FS:FirstResponse(vid, station, loc, dest).
+mapping NDC:Hours(pid, start, stop) :- FS:Sched(pid, start, stop).
+
+// ---------------------------------------------------------------------
+// Data.
+// ---------------------------------------------------------------------
+
+// First Hospital staff: one doctor, one EMT (via fh_doc/fh_sched the
+// reformulated queries only reach doctors — Example 2.3 stores a subset).
+fact fh_doc(501, "Osler", "ER").
+fact fh_sched(501, 8, 18).
+fact fh_patient(9001, 12, "stable").
+fact fh_bed(12, 3, "critical").
+
+fact lh_critbed(31, 2, 9101, "critical").
+fact lh_genbed(33, 4, 9102, "stable").
+
+// Portland firefighters 101 and 102 ride engine 12 and share a skill —
+// the witnesses for Figure 2's query.
+fact pfd_schedule(101, 12, 700, 1900).
+fact pfd_schedule(102, 12, 700, 1900).
+fact pfd_schedule(103, 19, 700, 1900).
+fact pfd_skills(101, "rescue").
+fact pfd_skills(102, "rescue").
+fact pfd_skills(101, "medical").
+fact pfd_firefighter(101, 12, "Ada", "Burns").
+fact pfd_firefighter(102, 12, "Ben", "Cole").
+fact pfd_firefighter(103, 19, "Cal", "Dunn").
+fact pfd_response(71, 12, "NW 5th", "Alder St").
+
+// Vancouver firefighters.
+fact vfd_schedule(201, 32, 600, 1800).
+fact vfd_skills(201, "hazmat").
+fact vfd_firefighter(201, 32, "Dee", "Eads").
+
+// Pre-joined same-skill pairs published by the FS peer (r3 is an equality
+// description, so s2 holds exactly SameSkill).
+fact s2(101, 102).
+fact s2(102, 101).
+fact s1(101, 12, 700).
+fact s1(102, 12, 700).
+)ppl";
+}
+
+const char* EmergencyEarthquakePpl() {
+  return R"ppl(
+// ---------------------------------------------------------------------
+// Ad-hoc extension (Example 1.1): the Earthquake Command Center joins.
+// ---------------------------------------------------------------------
+
+peer ECC {
+  relation TreatedVictim(pid, bid, state);
+  relation UntreatedVictim(loc, state);
+  relation Vehicle(vid, type, capac, gps, dest);
+  relation Bed(bid, loc, class);
+  relation Site(gps, status);
+  relation SkilledPerson(pid, skill);
+}
+
+// Replication for reliability (Section 3, "Cyclic PDMSs"): the ECC keeps a
+// copy of the dispatch center's Vehicle table. Projection-free equality —
+// query answering stays polynomial (Theorem 3.2.1).
+mapping (vid, type, capac, gps, dest) :
+    ECC:Vehicle(vid, type, capac, gps, dest)
+    = NDC:Vehicle(vid, type, capac, gps, dest).
+
+// The command center sees all skilled emergency personnel.
+mapping ECC:SkilledPerson(pid, skill) :- NDC:SkilledPerson(pid, skill).
+
+// Relief workers register directly with the command center.
+stored ecc_victims(pid, bid, state) <= ECC:TreatedVictim(pid, bid, state).
+stored ecc_sites(gps, status) <= ECC:Site(gps, status).
+stored natguard_skilled(pid, skill) <= ECC:SkilledPerson(pid, skill).
+
+fact ecc_victims(9301, 44, "serious").
+fact ecc_sites("45.52N,122.67W", "collapsed").
+fact natguard_skilled(7001, "search-and-rescue").
+)ppl";
+}
+
+Result<PplProgram> BuildEmergencyScenario(bool with_earthquake) {
+  PplProgram program;
+  PDMS_RETURN_IF_ERROR(ParsePplProgramInto(EmergencyBasePpl(),
+                                           &program.network, &program.data));
+  if (with_earthquake) {
+    PDMS_RETURN_IF_ERROR(ParsePplProgramInto(
+        EmergencyEarthquakePpl(), &program.network, &program.data));
+  }
+  return program;
+}
+
+}  // namespace gen
+}  // namespace pdms

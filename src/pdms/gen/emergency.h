@@ -1,0 +1,30 @@
+#ifndef PDMS_GEN_EMERGENCY_H_
+#define PDMS_GEN_EMERGENCY_H_
+
+#include "pdms/core/ppl_parser.h"
+
+namespace pdms {
+namespace gen {
+
+/// PPL source for the paper's running example (Figure 1): hospitals (FH,
+/// LH) and fire districts (PFD, VFD) publish stored relations; the
+/// Hospitals (H) and Fire Services (FS) peers mediate them; the 911
+/// Dispatch Center (9DC) unites both. Includes the Example 2.2 GAV/LAV
+/// mappings, the Example 2.3 storage descriptions, and the Figure 2
+/// SameEngine/Skill descriptions (r0-r3), plus a small consistent dataset.
+const char* EmergencyBasePpl();
+
+/// The ad-hoc extension of Example 1.1: the Earthquake Command Center
+/// (ECC) joins after the earthquake, replicating the dispatch center's
+/// Vehicle table with a cyclic equality mapping and mediating its own
+/// SkilledPerson view. Load after EmergencyBasePpl().
+const char* EmergencyEarthquakePpl();
+
+/// Parses the base scenario (optionally with the earthquake extension)
+/// into a ready-to-query program.
+Result<PplProgram> BuildEmergencyScenario(bool with_earthquake);
+
+}  // namespace gen
+}  // namespace pdms
+
+#endif  // PDMS_GEN_EMERGENCY_H_

@@ -1,0 +1,263 @@
+#include "pdms/gen/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include "pdms/util/rng.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace gen {
+
+namespace {
+
+// Builds a chain query body over the given qualified relation names:
+// r1(x0, x1, ...), r2(x1, x2, ...), ... — consecutive atoms joined on one
+// variable; positions beyond the first two get fresh padding variables.
+// Returns the body; `first` and `last` receive the chain endpoints and
+// `all_vars`, when non-null, every variable in order of appearance.
+std::vector<Atom> ChainBody(const std::vector<std::string>& relations,
+                            size_t arity, VariableFactory* vars,
+                            Term* first, Term* last,
+                            std::vector<Term>* all_vars = nullptr) {
+  PDMS_CHECK(!relations.empty());
+  std::vector<Atom> body;
+  Term prev = vars->Fresh();
+  *first = prev;
+  if (all_vars != nullptr) all_vars->push_back(prev);
+  for (const std::string& rel : relations) {
+    Term next = vars->Fresh();
+    std::vector<Term> args;
+    args.reserve(arity);
+    args.push_back(prev);
+    if (arity >= 2) {
+      args.push_back(next);
+      if (all_vars != nullptr) all_vars->push_back(next);
+    }
+    for (size_t i = 2; i < arity; ++i) {
+      args.push_back(vars->Fresh());
+      if (all_vars != nullptr) all_vars->push_back(args.back());
+    }
+    body.emplace_back(rel, std::move(args));
+    prev = next;
+  }
+  *last = prev;
+  return body;
+}
+
+// Builds a second chain over `relations` reusing the variable pattern of
+// `pattern` (same joints and pads), so two chains can share one interface.
+std::vector<Atom> MirrorChain(const std::vector<std::string>& relations,
+                              const std::vector<Atom>& pattern) {
+  PDMS_CHECK(relations.size() == pattern.size());
+  std::vector<Atom> body;
+  body.reserve(relations.size());
+  for (size_t i = 0; i < relations.size(); ++i) {
+    body.emplace_back(relations[i], pattern[i].args());
+  }
+  return body;
+}
+
+}  // namespace
+
+Result<Workload> GenerateWorkload(const WorkloadConfig& config) {
+  if (config.num_strata == 0 || config.num_peers < config.num_strata) {
+    return Status::InvalidArgument(
+        "need at least one peer per stratum (num_peers >= num_strata)");
+  }
+  if (config.arity < 2 || config.relations_per_peer == 0 ||
+      config.chain_length == 0 || config.query_subgoals == 0) {
+    return Status::InvalidArgument(
+        "arity must be >= 2 and sizes must be positive");
+  }
+
+  Rng rng(config.seed);
+  Workload out;
+
+  // --- Peers, evenly split across strata. stratum_peers[s] lists the
+  // peer indices assigned to stratum s (0 = top, where the query lives).
+  std::vector<std::vector<size_t>> stratum_peers(config.num_strata);
+  std::vector<size_t> peer_stratum(config.num_peers);
+  for (size_t i = 0; i < config.num_peers; ++i) {
+    size_t s = i * config.num_strata / config.num_peers;
+    stratum_peers[s].push_back(i);
+    peer_stratum[i] = s;
+  }
+  auto peer_name = [](size_t i) { return StrFormat("P%zu", i); };
+  auto rel_name = [](size_t r) { return StrFormat("R%zu", r); };
+
+  for (size_t i = 0; i < config.num_peers; ++i) {
+    std::vector<std::pair<std::string, size_t>> rels;
+    for (size_t r = 0; r < config.relations_per_peer; ++r) {
+      rels.emplace_back(rel_name(r), config.arity);
+    }
+    for (size_t f = 0; f < config.filler_relations_per_peer; ++f) {
+      rels.emplace_back(StrFormat("F%zu", f), config.arity);
+    }
+    PDMS_RETURN_IF_ERROR(out.network.AddPeer(peer_name(i), std::move(rels)));
+  }
+
+  // Picks a random qualified relation from stratum `s`.
+  auto random_relation = [&](size_t s) {
+    const std::vector<size_t>& peers = stratum_peers[s];
+    size_t peer = peers[rng.Uniform(peers.size())];
+    size_t rel = rng.Uniform(config.relations_per_peer);
+    return QualifiedName(peer_name(peer), rel_name(rel));
+  };
+
+  // Picks a random filler relation from stratum `s` (or a regular one when
+  // fillers are disabled).
+  auto random_filler = [&](size_t s) {
+    if (config.filler_relations_per_peer == 0) return random_relation(s);
+    const std::vector<size_t>& peers = stratum_peers[s];
+    size_t peer = peers[rng.Uniform(peers.size())];
+    size_t rel = rng.Uniform(config.filler_relations_per_peer);
+    return QualifiedName(peer_name(peer), StrFormat("F%zu", rel));
+  };
+
+  VariableFactory vars("x");
+
+  // --- Peer mappings: every relation above the bottom stratum gets
+  // `providers_per_relation` ways of being answered from the stratum
+  // below it (unless it is orphaned by unprovided_fraction).
+  std::set<std::string> orphans;
+  for (size_t s = 0; s + 1 < config.num_strata; ++s) {
+    for (size_t peer : stratum_peers[s]) {
+      for (size_t r = 0; r < config.relations_per_peer; ++r) {
+        std::string provided =
+            QualifiedName(peer_name(peer), rel_name(r));
+        if (config.unprovided_fraction > 0 &&
+            rng.Chance(config.unprovided_fraction)) {
+          orphans.insert(provided);  // no providers: goals dead-end
+          continue;
+        }
+        for (size_t m = 0; m < config.providers_per_relation; ++m) {
+          bool definitional = rng.Chance(config.definitional_fraction);
+          if (definitional) {
+            // GAV: define the relation as a union of chain queries over
+            // the stratum below (one rule per union member).
+            for (size_t u = 0; u < config.definitional_union_width; ++u) {
+              std::vector<std::string> chain;
+              for (size_t c = 0; c < config.chain_length; ++c) {
+                chain.push_back(random_relation(s + 1));
+              }
+              Term first, last;
+              std::vector<Atom> body =
+                  ChainBody(chain, config.arity, &vars, &first, &last);
+              std::vector<Comparison> cmps;
+              if (config.comparison_fraction > 0 &&
+                  rng.Chance(config.comparison_fraction)) {
+                // Bound the head's first variable (= the chain start) in a
+                // random direction; nested bounds can contradict and prune.
+                cmps.push_back(Comparison{
+                    first, rng.Chance(0.5) ? CmpOp::kLe : CmpOp::kGe,
+                    Term::Int(rng.UniformInt(0, config.value_domain - 1))});
+              }
+              std::vector<Term> head_args;
+              head_args.push_back(first);
+              if (config.arity >= 2) head_args.push_back(last);
+              for (size_t a = 2; a < config.arity; ++a) {
+                // Extra head positions re-export variables from the first
+                // atom so the rule stays safe.
+                head_args.push_back(body[0].args()[a]);
+              }
+              PeerMapping pm;
+              pm.kind = PeerMappingKind::kDefinitional;
+              pm.rule = Rule(Atom(provided, std::move(head_args)),
+                             std::move(body), std::move(cmps));
+              PDMS_RETURN_IF_ERROR(
+                  out.network.AddPeerMapping(std::move(pm)));
+            }
+          } else {
+            // LAV: a chain over the stratum below is contained in a chain
+            // (over this stratum) that includes the provided relation.
+            // Both sides share a projection-free interface, so using the
+            // mapping never loses join variables and the reformulation
+            // can keep descending stratum by stratum.
+            std::vector<std::string> rhs_chain;
+            size_t provided_slot = rng.Uniform(config.chain_length);
+            for (size_t c = 0; c < config.chain_length; ++c) {
+              if (c == provided_slot) {
+                rhs_chain.push_back(provided);
+              } else if (rng.Chance(config.filler_fraction)) {
+                rhs_chain.push_back(random_filler(s));
+              } else {
+                rhs_chain.push_back(random_relation(s));
+              }
+            }
+            Term first, last;
+            std::vector<Term> all_vars;
+            std::vector<Atom> rhs_body = ChainBody(
+                rhs_chain, config.arity, &vars, &first, &last, &all_vars);
+            std::vector<std::string> lhs_chain;
+            for (size_t c = 0; c < config.chain_length; ++c) {
+              lhs_chain.push_back(random_relation(s + 1));
+            }
+            std::vector<Atom> lhs_body = MirrorChain(lhs_chain, rhs_body);
+            Atom iface(StrFormat("_iface_g%zu",
+                                 out.network.peer_mappings().size()),
+                       all_vars);
+            PeerMapping pm;
+            pm.kind = PeerMappingKind::kInclusion;
+            pm.lhs = ConjunctiveQuery(iface, std::move(lhs_body));
+            pm.rhs = ConjunctiveQuery(iface, std::move(rhs_body));
+            PDMS_RETURN_IF_ERROR(out.network.AddPeerMapping(std::move(pm)));
+          }
+        }
+      }
+    }
+  }
+
+  // --- Storage descriptions for the bottom stratum.
+  for (size_t i : stratum_peers[config.num_strata - 1]) {
+    for (size_t r = 0; r < config.relations_per_peer; ++r) {
+      std::vector<Term> args;
+      for (size_t a = 0; a < config.arity; ++a) args.push_back(vars.Fresh());
+      Atom peer_atom(QualifiedName(peer_name(i), rel_name(r)), args);
+      Atom stored_atom(StrFormat("st_%zu_%zu", i, r), args);
+      StorageDescription sd;
+      sd.view = ConjunctiveQuery(std::move(stored_atom), {peer_atom});
+      PDMS_RETURN_IF_ERROR(
+          out.network.AddStorageDescription(std::move(sd)));
+    }
+  }
+
+  // --- The query: a chain over top-stratum relations. Orphaned relations
+  // are skipped so the query is relevant to the network (a bounded number
+  // of redraws; if the whole stratum is orphaned the query dead-ends,
+  // which is still a valid instance).
+  {
+    std::vector<std::string> chain;
+    for (size_t c = 0; c < config.query_subgoals; ++c) {
+      std::string rel = random_relation(0);
+      for (int attempt = 0; attempt < 16 && orphans.count(rel) > 0;
+           ++attempt) {
+        rel = random_relation(0);
+      }
+      chain.push_back(std::move(rel));
+    }
+    Term first, last;
+    std::vector<Atom> body =
+        ChainBody(chain, config.arity, &vars, &first, &last);
+    out.query = ConjunctiveQuery(Atom("Q", {first, last}), std::move(body));
+  }
+
+  // --- Optional data.
+  if (config.facts_per_stored > 0) {
+    for (const std::string& name : out.network.StoredRelationNames()) {
+      PDMS_ASSIGN_OR_RETURN(size_t arity, out.network.RelationArity(name));
+      for (size_t t = 0; t < config.facts_per_stored; ++t) {
+        Tuple tuple;
+        for (size_t a = 0; a < arity; ++a) {
+          tuple.push_back(
+              Value::Int(rng.UniformInt(0, config.value_domain - 1)));
+        }
+        out.data.Insert(name, std::move(tuple));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gen
+}  // namespace pdms

@@ -1,0 +1,99 @@
+#ifndef PDMS_GEN_WORKLOAD_H_
+#define PDMS_GEN_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "pdms/core/network.h"
+#include "pdms/data/database.h"
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace gen {
+
+/// Parameters of the Section 5 synthetic-PDMS generator. The generator
+/// reproduces the paper's setup:
+///
+///  - `num_peers` peers are split evenly over `num_strata` strata; the
+///    expected diameter of the PDMS equals the number of strata, and the
+///    rule-goal tree grows one level of goal nodes per stratum;
+///  - every relation above the bottom stratum gets
+///    `providers_per_relation` peer mappings that can answer it from the
+///    stratum below, each definitional with probability
+///    `definitional_fraction` (the paper's %dd) and an inclusion
+///    otherwise — so reformulation can always chain down to storage, and
+///    the tree's branching factor tracks the provider count (the paper's
+///    "data may be replicated in many peers");
+///  - a definitional mapping defines the relation as a chain query over
+///    relations of the stratum below (GAV-style);
+///  - an inclusion mapping describes a relation of the stratum below as
+///    contained in a chain query that includes the provided relation
+///    (LAV-style);
+///  - bottom-stratum relations get storage descriptions over fresh stored
+///    relations;
+///  - the query is a chain query over top-stratum relations.
+struct WorkloadConfig {
+  size_t num_peers = 96;
+  size_t num_strata = 4;
+  double definitional_fraction = 0.10;
+  size_t relations_per_peer = 3;
+  size_t arity = 2;
+  size_t chain_length = 2;  // subgoals per mapping body
+  size_t providers_per_relation = 2;
+  /// A definitional provider contributes this many rules with the same
+  /// head (GAV mappings naturally express unions — Example 2.2 defines
+  /// SkilledPerson with three rules). Each extra rule is an extra
+  /// expansion of every goal over that relation, which is why the paper
+  /// observes tree size growing with %dd ("more peer relations ... defined
+  /// as unions of conjunctive queries, and hence a higher branching
+  /// factor").
+  size_t definitional_union_width = 2;
+  size_t query_subgoals = 2;
+  uint64_t seed = 1;
+
+  /// When > 0, each stored relation is populated with this many random
+  /// tuples (values uniform in [0, value_domain)), enabling end-to-end
+  /// evaluation tests on generated PDMSs.
+  size_t facts_per_stored = 0;
+  int64_t value_domain = 16;
+
+  /// Use comparison predicates: with this probability a definitional
+  /// mapping gains a comparison (random direction, random threshold) on
+  /// its head's first variable. Bounds inherited from the parent's
+  /// constraint label can then contradict a nested rule's bound, giving
+  /// the unsatisfiability pruning real work (Theorem 3.3.1 keeps these in
+  /// the PTIME fragment: they sit in definitional bodies).
+  double comparison_fraction = 0.0;
+
+  /// Probability that a relation above the bottom stratum gets *no*
+  /// providers. Goals over such relations are dead ends that the
+  /// reachability pass prunes; models the paper's "most of them are
+  /// irrelevant to a given query".
+  double unprovided_fraction = 0.0;
+
+  /// Probability that a non-provided slot of an inclusion's right-hand
+  /// side names a *filler* relation — a declared peer relation that no
+  /// mapping provides and no peer stores. Fillers model the paper's
+  /// observation that "most [peers] are irrelevant to a given query": they
+  /// thin out how many views mention each queried relation (calibrating
+  /// the tree's branching factor to the paper's magnitudes) and give the
+  /// dead-end pruning optimization real work.
+  double filler_fraction = 0.5;
+  size_t filler_relations_per_peer = 3;
+};
+
+/// A generated PDMS instance: specification, a query posed at a top-stratum
+/// peer, and optional stored data.
+struct Workload {
+  PdmsNetwork network;
+  ConjunctiveQuery query;
+  Database data;
+};
+
+/// Generates a random PDMS per `config`. Deterministic in `config.seed`.
+Result<Workload> GenerateWorkload(const WorkloadConfig& config);
+
+}  // namespace gen
+}  // namespace pdms
+
+#endif  // PDMS_GEN_WORKLOAD_H_

@@ -1,0 +1,119 @@
+#include "pdms/lang/atom.h"
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+uint64_t Atom::Hash() const {
+  uint64_t h = Fnv1aHash(predicate_);
+  for (const Term& t : args_) h = HashCombine(h, t.Hash());
+  return h;
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate_;
+  out += "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CmpOp FlipCmpOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kEq;
+    case CmpOp::kNe:
+      return CmpOp::kNe;
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+  }
+  return op;
+}
+
+CmpOp NegateCmpOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+  }
+  return op;
+}
+
+bool EvalCmp(CmpOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.kind() != rhs.kind() || lhs.is_null() || rhs.is_null()) {
+    // Distinct labeled nulls compare unknown; same null is equal.
+    if (lhs.is_null() && rhs.is_null() && lhs == rhs) {
+      return op == CmpOp::kEq || op == CmpOp::kLe || op == CmpOp::kGe;
+    }
+    return op == CmpOp::kNe;
+  }
+  bool eq = lhs == rhs;
+  bool lt = lhs < rhs;
+  switch (op) {
+    case CmpOp::kEq:
+      return eq;
+    case CmpOp::kNe:
+      return !eq;
+    case CmpOp::kLt:
+      return lt;
+    case CmpOp::kLe:
+      return lt || eq;
+    case CmpOp::kGt:
+      return !lt && !eq;
+    case CmpOp::kGe:
+      return !lt;
+  }
+  return false;
+}
+
+uint64_t Comparison::Hash() const {
+  uint64_t h = HashCombine(lhs.Hash(), static_cast<uint64_t>(op) * 977);
+  return HashCombine(h, rhs.Hash());
+}
+
+std::string Comparison::ToString() const {
+  std::string out = lhs.ToString();
+  out += " ";
+  out += CmpOpName(op);
+  out += " ";
+  out += rhs.ToString();
+  return out;
+}
+
+}  // namespace pdms

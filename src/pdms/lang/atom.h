@@ -1,0 +1,76 @@
+#ifndef PDMS_LANG_ATOM_H_
+#define PDMS_LANG_ATOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdms/lang/term.h"
+
+namespace pdms {
+
+/// A relational atom `p(t1, ..., tn)`. The predicate is a flat string;
+/// peer-qualified relations use the paper's `Peer:Relation` spelling
+/// (e.g. "H:Doctor") and stored relations a plain name — the paper assumes
+/// relation names are globally unique, which qualification guarantees.
+class Atom {
+ public:
+  Atom() = default;
+  Atom(std::string predicate, std::vector<Term> args)
+      : predicate_(std::move(predicate)), args_(std::move(args)) {}
+
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<Term>& args() const { return args_; }
+  std::vector<Term>* mutable_args() { return &args_; }
+  size_t arity() const { return args_.size(); }
+
+  bool operator==(const Atom& other) const {
+    return predicate_ == other.predicate_ && args_ == other.args_;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+
+  uint64_t Hash() const;
+
+  /// `p(x, 3, "a")`.
+  std::string ToString() const;
+
+ private:
+  std::string predicate_;
+  std::vector<Term> args_;
+};
+
+/// Comparison operators allowed in comparison predicates.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Token for the operator ("=", "!=", "<", "<=", ">", ">=").
+const char* CmpOpName(CmpOp op);
+
+/// The operator with its arguments swapped (x < y  <=>  y > x).
+CmpOp FlipCmpOp(CmpOp op);
+
+/// The negation of the operator over a dense total order (¬< is >=).
+CmpOp NegateCmpOp(CmpOp op);
+
+/// Evaluates `lhs op rhs` over two concrete values. Comparisons between
+/// values of different kinds (int vs string vs labeled null) are false for
+/// every operator except `!=`, which is true; order comparisons involving a
+/// labeled null are always false (the null's value is unknown).
+bool EvalCmp(CmpOp op, const Value& lhs, const Value& rhs);
+
+/// A comparison predicate `t1 op t2` appearing in a query body.
+struct Comparison {
+  Term lhs;
+  CmpOp op = CmpOp::kEq;
+  Term rhs;
+
+  bool operator==(const Comparison& other) const {
+    return lhs == other.lhs && op == other.op && rhs == other.rhs;
+  }
+
+  uint64_t Hash() const;
+  std::string ToString() const;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_LANG_ATOM_H_

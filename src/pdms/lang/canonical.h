@@ -1,0 +1,31 @@
+#ifndef PDMS_LANG_CANONICAL_H_
+#define PDMS_LANG_CANONICAL_H_
+
+#include <string>
+
+#include "pdms/lang/conjunctive_query.h"
+
+namespace pdms {
+
+/// A pattern key for an atom that abstracts variable *names* but preserves
+/// the repetition pattern and constants: p(x, y, x, 3) and p(a, b, a, 3)
+/// both map to "p(#0,#1,#0,3)". Used to memoize rule-goal-tree expansions
+/// (Section 4.3 "memoization of nodes"): two goal nodes with the same key
+/// expand identically.
+std::string CanonicalAtomKey(const Atom& atom);
+
+/// Renames the variables of `cq` to v0, v1, ... in first-appearance order
+/// (head first). Two syntactically-isomorphic queries canonicalize to equal
+/// structures.
+ConjunctiveQuery CanonicalRename(const ConjunctiveQuery& cq);
+
+/// A normalization key for a conjunctive query: canonical-renames, sorts the
+/// body atoms and comparisons textually, and repeats until the text reaches
+/// a fixpoint (bounded number of rounds). Queries equal up to variable
+/// renaming and body reordering get equal keys; this is a syntactic dedup
+/// aid, not a full equivalence test (see homomorphism.h for that).
+std::string CanonicalQueryKey(const ConjunctiveQuery& cq);
+
+}  // namespace pdms
+
+#endif  // PDMS_LANG_CANONICAL_H_

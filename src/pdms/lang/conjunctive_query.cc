@@ -1,0 +1,109 @@
+#include "pdms/lang/conjunctive_query.h"
+
+#include <algorithm>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+namespace {
+
+void AddUnique(const std::string& name, std::vector<std::string>* out) {
+  if (std::find(out->begin(), out->end(), name) == out->end()) {
+    out->push_back(name);
+  }
+}
+
+}  // namespace
+
+void CollectVariables(const Atom& atom, std::vector<std::string>* out) {
+  for (const Term& t : atom.args()) {
+    if (t.is_variable()) AddUnique(t.var_name(), out);
+  }
+}
+
+void CollectVariables(const Comparison& cmp, std::vector<std::string>* out) {
+  if (cmp.lhs.is_variable()) AddUnique(cmp.lhs.var_name(), out);
+  if (cmp.rhs.is_variable()) AddUnique(cmp.rhs.var_name(), out);
+}
+
+std::vector<std::string> ConjunctiveQuery::AllVariables() const {
+  std::vector<std::string> out;
+  CollectVariables(head_, &out);
+  for (const Atom& a : body_) CollectVariables(a, &out);
+  for (const Comparison& c : comparisons_) CollectVariables(c, &out);
+  return out;
+}
+
+std::vector<std::string> ConjunctiveQuery::HeadVariables() const {
+  std::vector<std::string> out;
+  CollectVariables(head_, &out);
+  return out;
+}
+
+std::vector<std::string> ConjunctiveQuery::ExistentialVariables() const {
+  std::vector<std::string> head_vars = HeadVariables();
+  std::vector<std::string> out;
+  for (const Atom& a : body_) CollectVariables(a, &out);
+  std::vector<std::string> existential;
+  for (const std::string& v : out) {
+    if (std::find(head_vars.begin(), head_vars.end(), v) == head_vars.end()) {
+      existential.push_back(v);
+    }
+  }
+  return existential;
+}
+
+bool ConjunctiveQuery::IsDistinguished(const std::string& name) const {
+  for (const Term& t : head_.args()) {
+    if (t.is_variable() && t.var_name() == name) return true;
+  }
+  return false;
+}
+
+Status ConjunctiveQuery::CheckSafe() const {
+  std::vector<std::string> body_vars;
+  for (const Atom& a : body_) CollectVariables(a, &body_vars);
+  auto in_body = [&](const std::string& v) {
+    return std::find(body_vars.begin(), body_vars.end(), v) !=
+           body_vars.end();
+  };
+  for (const Term& t : head_.args()) {
+    if (t.is_variable() && !in_body(t.var_name())) {
+      return Status::InvalidArgument(
+          StrFormat("unsafe head variable '%s' in %s",
+                    t.var_name().c_str(), ToString().c_str()));
+    }
+  }
+  for (const Comparison& c : comparisons_) {
+    for (const Term* t : {&c.lhs, &c.rhs}) {
+      if (t->is_variable() && !in_body(t->var_name())) {
+        return Status::InvalidArgument(
+            StrFormat("unsafe comparison variable '%s' in %s",
+                      t->var_name().c_str(), ToString().c_str()));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = head_.ToString();
+  out += " :- ";
+  std::vector<std::string> parts;
+  parts.reserve(body_.size() + comparisons_.size());
+  for (const Atom& a : body_) parts.push_back(a.ToString());
+  for (const Comparison& c : comparisons_) parts.push_back(c.ToString());
+  out += StrJoin(parts, ", ");
+  out += ".";
+  return out;
+}
+
+std::string UnionQuery::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(disjuncts_.size());
+  for (const ConjunctiveQuery& cq : disjuncts_) parts.push_back(cq.ToString());
+  return StrJoin(parts, "\nUNION\n");
+}
+
+}  // namespace pdms

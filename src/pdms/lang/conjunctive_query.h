@@ -1,0 +1,104 @@
+#ifndef PDMS_LANG_CONJUNCTIVE_QUERY_H_
+#define PDMS_LANG_CONJUNCTIVE_QUERY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pdms/lang/atom.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// A conjunctive query (select-project-join with set semantics):
+///
+///   head(X̄) :- a1(Ȳ1), ..., ak(Ȳk), c1, ..., cm
+///
+/// where the ai are relational atoms and the ci optional comparison
+/// predicates. Joins are expressed by repeated variables (the paper's
+/// notation). The same structure doubles as a datalog rule and as either
+/// side of a PPL peer mapping.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  ConjunctiveQuery(Atom head, std::vector<Atom> body,
+                   std::vector<Comparison> comparisons = {})
+      : head_(std::move(head)),
+        body_(std::move(body)),
+        comparisons_(std::move(comparisons)) {}
+
+  const Atom& head() const { return head_; }
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<Comparison>& comparisons() const { return comparisons_; }
+
+  Atom* mutable_head() { return &head_; }
+  std::vector<Atom>* mutable_body() { return &body_; }
+  std::vector<Comparison>* mutable_comparisons() { return &comparisons_; }
+
+  /// All variable names appearing anywhere in the query, in first-appearance
+  /// order (head first).
+  std::vector<std::string> AllVariables() const;
+
+  /// Variable names appearing in the head (the distinguished variables).
+  std::vector<std::string> HeadVariables() const;
+
+  /// Variables of the body that do not appear in the head (existential).
+  std::vector<std::string> ExistentialVariables() const;
+
+  /// True if `name` occurs as a head variable.
+  bool IsDistinguished(const std::string& name) const;
+
+  /// Safety: every head variable and every variable used in a comparison
+  /// must occur in some body atom.
+  Status CheckSafe() const;
+
+  bool operator==(const ConjunctiveQuery& other) const {
+    return head_ == other.head_ && body_ == other.body_ &&
+           comparisons_ == other.comparisons_;
+  }
+
+  /// `q(x) :- r(x, y), s(y), x < 5.`
+  std::string ToString() const;
+
+ private:
+  Atom head_;
+  std::vector<Atom> body_;
+  std::vector<Comparison> comparisons_;
+};
+
+/// A datalog rule has exactly the shape of a conjunctive query.
+using Rule = ConjunctiveQuery;
+
+/// A union of conjunctive queries with identical head predicate and arity.
+/// Reformulation output (Step 3) is a UnionQuery over stored relations.
+class UnionQuery {
+ public:
+  UnionQuery() = default;
+  explicit UnionQuery(std::vector<ConjunctiveQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  const std::vector<ConjunctiveQuery>& disjuncts() const {
+    return disjuncts_;
+  }
+  bool empty() const { return disjuncts_.empty(); }
+  size_t size() const { return disjuncts_.size(); }
+
+  void Add(ConjunctiveQuery cq) { disjuncts_.push_back(std::move(cq)); }
+
+  /// One disjunct per line, joined by "UNION".
+  std::string ToString() const;
+
+ private:
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+/// Collects variable names of an atom into `out` preserving first-appearance
+/// order and skipping duplicates already present.
+void CollectVariables(const Atom& atom, std::vector<std::string>* out);
+
+/// Same for a comparison predicate.
+void CollectVariables(const Comparison& cmp, std::vector<std::string>* out);
+
+}  // namespace pdms
+
+#endif  // PDMS_LANG_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,217 @@
+#include "pdms/lang/homomorphism.h"
+
+#include <algorithm>
+
+#include "pdms/util/check.h"
+
+namespace pdms {
+
+Term ApplyVarMap(const VarMap& map, const Term& term) {
+  if (!term.is_variable()) return term;
+  auto it = map.find(term.var_name());
+  return it == map.end() ? term : it->second;
+}
+
+namespace {
+
+// Tries to match `from` (after current binding) against the concrete atom
+// `onto`, extending `binding`. Records newly-bound variables in
+// `trail` so the caller can undo on backtrack.
+bool MatchAtom(const Atom& from, const Atom& onto, VarMap* binding,
+               std::vector<std::string>* trail) {
+  if (from.predicate() != onto.predicate() || from.arity() != onto.arity()) {
+    return false;
+  }
+  size_t trail_start = trail->size();
+  for (size_t i = 0; i < from.arity(); ++i) {
+    const Term& src = from.args()[i];
+    const Term& dst = onto.args()[i];
+    if (src.is_constant()) {
+      if (src != dst) {
+        // undo
+        for (size_t j = trail_start; j < trail->size(); ++j) {
+          binding->erase((*trail)[j]);
+        }
+        trail->resize(trail_start);
+        return false;
+      }
+      continue;
+    }
+    auto it = binding->find(src.var_name());
+    if (it != binding->end()) {
+      if (it->second != dst) {
+        for (size_t j = trail_start; j < trail->size(); ++j) {
+          binding->erase((*trail)[j]);
+        }
+        trail->resize(trail_start);
+        return false;
+      }
+    } else {
+      binding->emplace(src.var_name(), dst);
+      trail->push_back(src.var_name());
+    }
+  }
+  return true;
+}
+
+bool SearchMapping(const std::vector<Atom>& from, size_t index,
+                   const std::vector<Atom>& onto, VarMap* binding,
+                   std::vector<std::string>* trail) {
+  if (index == from.size()) return true;
+  for (const Atom& candidate : onto) {
+    size_t trail_start = trail->size();
+    if (MatchAtom(from[index], candidate, binding, trail)) {
+      if (SearchMapping(from, index + 1, onto, binding, trail)) return true;
+      for (size_t j = trail_start; j < trail->size(); ++j) {
+        binding->erase((*trail)[j]);
+      }
+      trail->resize(trail_start);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FindAtomMapping(const std::vector<Atom>& from,
+                     const std::vector<Atom>& onto, VarMap* binding) {
+  std::vector<std::string> trail;
+  VarMap saved = *binding;
+  if (SearchMapping(from, 0, onto, binding, &trail)) return true;
+  *binding = std::move(saved);
+  return false;
+}
+
+namespace {
+
+bool EnumerateMappings(const std::vector<Atom>& from, size_t index,
+                       const std::vector<Atom>& onto, VarMap* binding,
+                       std::vector<std::string>* trail,
+                       const std::function<bool(const VarMap&)>& accept) {
+  if (index == from.size()) return accept(*binding);
+  for (const Atom& candidate : onto) {
+    size_t trail_start = trail->size();
+    if (MatchAtom(from[index], candidate, binding, trail)) {
+      if (EnumerateMappings(from, index + 1, onto, binding, trail, accept)) {
+        return true;
+      }
+      for (size_t j = trail_start; j < trail->size(); ++j) {
+        binding->erase((*trail)[j]);
+      }
+      trail->resize(trail_start);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ForEachAtomMapping(const std::vector<Atom>& from,
+                        const std::vector<Atom>& onto, VarMap binding,
+                        const std::function<bool(const VarMap&)>& accept) {
+  std::vector<std::string> trail;
+  return EnumerateMappings(from, 0, onto, &binding, &trail, accept);
+}
+
+namespace {
+
+// Checks the conservative comparison condition: every comparison of
+// `general`, after applying `binding`, is either a true ground comparison or
+// syntactically present in `specific` (possibly flipped).
+bool ComparisonsCovered(const ConjunctiveQuery& general,
+                        const ConjunctiveQuery& specific,
+                        const VarMap& binding) {
+  for (const Comparison& c : general.comparisons()) {
+    Comparison mapped{ApplyVarMap(binding, c.lhs), c.op,
+                      ApplyVarMap(binding, c.rhs)};
+    if (mapped.lhs.is_constant() && mapped.rhs.is_constant()) {
+      if (EvalCmp(mapped.op, mapped.lhs.value(), mapped.rhs.value())) {
+        continue;
+      }
+      return false;
+    }
+    Comparison flipped{mapped.rhs, FlipCmpOp(mapped.op), mapped.lhs};
+    bool found = false;
+    for (const Comparison& sc : specific.comparisons()) {
+      if (sc == mapped || sc == flipped) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ContainsCQ(const ConjunctiveQuery& general,
+                const ConjunctiveQuery& specific) {
+  if (general.head().arity() != specific.head().arity()) return false;
+  // Seed the mapping with head-to-head correspondence.
+  VarMap binding;
+  std::vector<std::string> trail;
+  Atom head_pattern(general.head().predicate(), general.head().args());
+  Atom head_target(general.head().predicate(), specific.head().args());
+  if (!MatchAtom(head_pattern, head_target, &binding, &trail)) return false;
+  if (!FindAtomMapping(general.body(), specific.body(), &binding)) {
+    return false;
+  }
+  return ComparisonsCovered(general, specific, binding);
+}
+
+bool EquivalentCQ(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return ContainsCQ(a, b) && ContainsCQ(b, a);
+}
+
+ConjunctiveQuery MinimizeCQ(const ConjunctiveQuery& cq) {
+  if (!cq.comparisons().empty()) return cq;
+  std::vector<Atom> body = cq.body();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < body.size(); ++i) {
+      std::vector<Atom> reduced;
+      reduced.reserve(body.size() - 1);
+      for (size_t j = 0; j < body.size(); ++j) {
+        if (j != i) reduced.push_back(body[j]);
+      }
+      ConjunctiveQuery candidate(cq.head(), reduced);
+      // Dropping an atom only relaxes the query, so candidate ⊇ cq always;
+      // the two are equivalent iff cq also contains candidate.
+      if (ContainsCQ(ConjunctiveQuery(cq.head(), body), candidate)) {
+        body = std::move(reduced);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return ConjunctiveQuery(cq.head(), std::move(body));
+}
+
+UnionQuery RemoveRedundantDisjuncts(const UnionQuery& uq) {
+  std::vector<ConjunctiveQuery> minimized;
+  minimized.reserve(uq.size());
+  for (const ConjunctiveQuery& cq : uq.disjuncts()) {
+    minimized.push_back(MinimizeCQ(cq));
+  }
+  std::vector<bool> dead(minimized.size(), false);
+  for (size_t i = 0; i < minimized.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < minimized.size(); ++j) {
+      if (i == j || dead[j] || dead[i]) continue;
+      // Drop j if it is contained in i; on equivalence keep the earlier.
+      if (ContainsCQ(minimized[i], minimized[j])) {
+        if (ContainsCQ(minimized[j], minimized[i]) && j < i) continue;
+        dead[j] = true;
+      }
+    }
+  }
+  UnionQuery out;
+  for (size_t i = 0; i < minimized.size(); ++i) {
+    if (!dead[i]) out.Add(std::move(minimized[i]));
+  }
+  return out;
+}
+
+}  // namespace pdms

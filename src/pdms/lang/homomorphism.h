@@ -1,0 +1,67 @@
+#ifndef PDMS_LANG_HOMOMORPHISM_H_
+#define PDMS_LANG_HOMOMORPHISM_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pdms/lang/conjunctive_query.h"
+
+namespace pdms {
+
+/// A variable assignment used during homomorphism search: maps variable
+/// names of the source query to terms of the target query. Target terms are
+/// rigid — a source variable may map to a target variable, but target
+/// variables are never bound.
+using VarMap = std::unordered_map<std::string, Term>;
+
+/// Applies `map` to a term: bound variables are replaced, everything else is
+/// returned unchanged.
+Term ApplyVarMap(const VarMap& map, const Term& term);
+
+/// Tries to extend `binding` into a mapping of the variables of the atoms in
+/// `from` such that the image of every atom appears (syntactically) in
+/// `onto`. Backtracking search; returns true and leaves the witness in
+/// `binding` on success, returns false and restores `binding` otherwise.
+bool FindAtomMapping(const std::vector<Atom>& from,
+                     const std::vector<Atom>& onto, VarMap* binding);
+
+/// Enumerates every extension of `binding` mapping all atoms of `from`
+/// into `onto`, invoking `accept` for each complete witness. `accept`
+/// returning true stops the search (a satisfying witness was found);
+/// the function then returns true. Used by semantic containment, where a
+/// witness must additionally satisfy a comparison-implication side
+/// condition that can reject individual homomorphisms.
+bool ForEachAtomMapping(const std::vector<Atom>& from,
+                        const std::vector<Atom>& onto, VarMap binding,
+                        const std::function<bool(const VarMap&)>& accept);
+
+/// Containment test: true if `specific ⊆ general` for comparison-free
+/// conjunctive queries, i.e. there is a containment mapping from `general`
+/// to `specific` that maps head to head (Chandra-Merlin).
+///
+/// Comparison predicates are handled *conservatively*: each comparison of
+/// `general` must map to a syntactically identical comparison of `specific`
+/// (or to a ground comparison that evaluates to true). A `false` result may
+/// therefore be a false negative when comparisons are semantically implied;
+/// use constraints/implication.h for the semantic test.
+bool ContainsCQ(const ConjunctiveQuery& general,
+                const ConjunctiveQuery& specific);
+
+/// True if each contains the other (same conservative comparison handling).
+bool EquivalentCQ(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+/// Computes the core of a comparison-free conjunctive query: repeatedly
+/// drops body atoms that are redundant (a folding onto the remaining atoms
+/// exists). The result is the unique minimal equivalent query up to
+/// isomorphism. Queries with comparisons are returned unchanged.
+ConjunctiveQuery MinimizeCQ(const ConjunctiveQuery& cq);
+
+/// Removes disjuncts of `uq` that are contained in another disjunct
+/// (keeping the first of two equivalent ones) and minimizes the survivors.
+UnionQuery RemoveRedundantDisjuncts(const UnionQuery& uq);
+
+}  // namespace pdms
+
+#endif  // PDMS_LANG_HOMOMORPHISM_H_

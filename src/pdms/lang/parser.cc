@@ -1,0 +1,349 @@
+#include "pdms/lang/parser.h"
+
+#include <cctype>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool AllDigits(std::string_view s) {
+  size_t start = (!s.empty() && s[0] == '-') ? 1 : 0;
+  if (start == s.size()) return false;
+  for (size_t i = start; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, std::string payload = "") {
+    tokens.push_back(Token{kind, std::move(payload), line});
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Line comments: "//" and "#".
+    if (c == '#' || (c == '/' && i + 1 < text.size() && text[i + 1] == '/')) {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentChar(c) ||
+        (c == '-' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      while (i < text.size() && IsIdentChar(text[i])) ++i;
+      std::string_view word = text.substr(start, i - start);
+      push(AllDigits(word) ? TokenKind::kNumber : TokenKind::kIdent,
+           std::string(word));
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      std::string payload;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          payload += text[i + 1];
+          i += 2;
+          continue;
+        }
+        if (text[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (text[i] == '\n') ++line;
+        payload += text[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("line %d: unterminated string literal starting at "
+                      "offset %zu",
+                      line, start));
+      }
+      push(TokenKind::kString, std::move(payload));
+      continue;
+    }
+    auto two = [&](char next) {
+      return i + 1 < text.size() && text[i + 1] == next;
+    };
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma);
+        ++i;
+        break;
+      case '.':
+        push(TokenKind::kDot);
+        ++i;
+        break;
+      case '{':
+        push(TokenKind::kLBrace);
+        ++i;
+        break;
+      case '}':
+        push(TokenKind::kRBrace);
+        ++i;
+        break;
+      case ';':
+        push(TokenKind::kSemicolon);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash);
+        ++i;
+        break;
+      case ':':
+        if (two('-')) {
+          push(TokenKind::kColonDash);
+          i += 2;
+        } else {
+          push(TokenKind::kColon);
+          ++i;
+        }
+        break;
+      case '=':
+        push(TokenKind::kEq);
+        ++i;
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokenKind::kNe);
+          i += 2;
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("line %d: unexpected character '!'", line));
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokenKind::kLe);
+          i += 2;
+        } else {
+          push(TokenKind::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokenKind::kGe);
+          i += 2;
+        } else {
+          push(TokenKind::kGt);
+          ++i;
+        }
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("line %d: unexpected character '%c'", line, c));
+    }
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", line});
+  return tokens;
+}
+
+Result<Parser> Parser::Create(std::string_view text) {
+  PDMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens));
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t idx = pos_ + ahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;  // kEnd sentinel
+  return tokens_[idx];
+}
+
+Token Parser::Next() {
+  Token t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+Status Parser::Expect(TokenKind kind, const char* what) {
+  if (Peek().kind != kind) {
+    return Error(StrFormat("expected %s, found '%s'", what,
+                           Peek().text.empty() ? "<symbol>"
+                                               : Peek().text.c_str()));
+  }
+  Next();
+  return Status::Ok();
+}
+
+bool Parser::Accept(TokenKind kind) {
+  if (Peek().kind != kind) return false;
+  Next();
+  return true;
+}
+
+Status Parser::Error(const std::string& message) const {
+  return Status::InvalidArgument(
+      StrFormat("line %d: %s", Peek().line, message.c_str()));
+}
+
+Result<Term> Parser::ParseTerm() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kIdent: {
+      std::string name = Next().text;
+      if (name == "_") return anon_vars_.Fresh();
+      return Term::Var(std::move(name));
+    }
+    case TokenKind::kNumber: {
+      std::string digits = Next().text;
+      return Term::Int(std::stoll(digits));
+    }
+    case TokenKind::kString:
+      return Term::String(Next().text);
+    default:
+      return Error("expected a term (variable, number, or string)");
+  }
+}
+
+Result<Atom> Parser::ParseAtom() {
+  if (Peek().kind != TokenKind::kIdent) {
+    return Error("expected a predicate name");
+  }
+  std::string name = Next().text;
+  if (Accept(TokenKind::kColon)) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected a relation name after ':'");
+    }
+    name += ":";
+    name += Next().text;
+  }
+  PDMS_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+  std::vector<Term> args;
+  if (!Accept(TokenKind::kRParen)) {
+    for (;;) {
+      PDMS_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      args.push_back(std::move(term));
+      if (Accept(TokenKind::kRParen)) break;
+      PDMS_RETURN_IF_ERROR(Expect(TokenKind::kComma, "',' or ')'"));
+    }
+  }
+  return Atom(std::move(name), std::move(args));
+}
+
+namespace {
+
+bool IsCmpToken(TokenKind kind, CmpOp* op) {
+  switch (kind) {
+    case TokenKind::kEq:
+      *op = CmpOp::kEq;
+      return true;
+    case TokenKind::kNe:
+      *op = CmpOp::kNe;
+      return true;
+    case TokenKind::kLt:
+      *op = CmpOp::kLt;
+      return true;
+    case TokenKind::kLe:
+      *op = CmpOp::kLe;
+      return true;
+    case TokenKind::kGt:
+      *op = CmpOp::kGt;
+      return true;
+    case TokenKind::kGe:
+      *op = CmpOp::kGe;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status Parser::ParseBody(std::vector<Atom>* atoms,
+                         std::vector<Comparison>* comparisons) {
+  for (;;) {
+    // Lookahead: IDENT followed by '(' or ':' is an atom; otherwise the
+    // element must be a comparison `term op term`.
+    bool is_atom = Peek().kind == TokenKind::kIdent &&
+                   (Peek(1).kind == TokenKind::kLParen ||
+                    Peek(1).kind == TokenKind::kColon);
+    if (is_atom) {
+      PDMS_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      atoms->push_back(std::move(atom));
+    } else {
+      PDMS_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+      CmpOp op;
+      if (!IsCmpToken(Peek().kind, &op)) {
+        return Error("expected a comparison operator");
+      }
+      Next();
+      PDMS_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+      comparisons->push_back(Comparison{std::move(lhs), op, std::move(rhs)});
+    }
+    if (!Accept(TokenKind::kComma)) break;
+  }
+  return Status::Ok();
+}
+
+Result<ConjunctiveQuery> Parser::ParseRule() {
+  PDMS_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+  PDMS_RETURN_IF_ERROR(Expect(TokenKind::kColonDash, "':-'"));
+  std::vector<Atom> body;
+  std::vector<Comparison> comparisons;
+  PDMS_RETURN_IF_ERROR(ParseBody(&body, &comparisons));
+  if (!Accept(TokenKind::kDot) && !AtEnd()) {
+    return Error("expected '.' at end of rule");
+  }
+  return ConjunctiveQuery(std::move(head), std::move(body),
+                          std::move(comparisons));
+}
+
+Result<std::vector<ConjunctiveQuery>> Parser::ParseRules() {
+  std::vector<ConjunctiveQuery> rules;
+  while (!AtEnd()) {
+    PDMS_ASSIGN_OR_RETURN(ConjunctiveQuery rule, ParseRule());
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+Result<ConjunctiveQuery> ParseRuleText(std::string_view text) {
+  PDMS_ASSIGN_OR_RETURN(Parser parser, Parser::Create(text));
+  PDMS_ASSIGN_OR_RETURN(ConjunctiveQuery rule, parser.ParseRule());
+  if (!parser.AtEnd()) {
+    return parser.Error("unexpected trailing input after rule");
+  }
+  return rule;
+}
+
+Result<Atom> ParseAtomText(std::string_view text) {
+  PDMS_ASSIGN_OR_RETURN(Parser parser, Parser::Create(text));
+  PDMS_ASSIGN_OR_RETURN(Atom atom, parser.ParseAtom());
+  if (!parser.AtEnd()) {
+    return parser.Error("unexpected trailing input after atom");
+  }
+  return atom;
+}
+
+}  // namespace pdms

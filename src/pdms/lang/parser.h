@@ -1,0 +1,114 @@
+#ifndef PDMS_LANG_PARSER_H_
+#define PDMS_LANG_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// Token kinds produced by the lexer. The textual format is a conventional
+/// datalog-style syntax with peer-qualified predicates:
+///
+///   Q(f1, f2) :- FS:SameEngine(f1, f2, e), FS:Skill(f1, s), s != "none".
+///
+/// Identifiers in argument positions are variables; constants are numbers
+/// or double-quoted strings; `_` is an anonymous (fresh) variable.
+/// `//` and `#` start line comments.
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kColon,
+  kColonDash,  // :-
+  kEq,         // =
+  kNe,         // !=
+  kLt,         // <
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+  kLBrace,
+  kRBrace,
+  kSemicolon,
+  kSlash,
+  kEnd,
+};
+
+/// One lexed token with its source location (1-based line) for error
+/// messages.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier/number/string payload
+  int line = 1;
+};
+
+/// Splits input text into tokens. Fails on unterminated strings or
+/// unexpected characters.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+/// A recursive-descent parser over a token stream. The fine-grained methods
+/// are public so the PPL program parser (core/ppl_parser) can reuse them for
+/// atoms, bodies and terms inside its own declarations.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  /// Creates a parser for `text`, or a tokenizer error.
+  static Result<Parser> Create(std::string_view text);
+
+  const Token& Peek(size_t ahead = 0) const;
+  Token Next();
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  /// Consumes a token of the given kind or reports an error mentioning
+  /// `what`.
+  Status Expect(TokenKind kind, const char* what);
+
+  /// True and consumes if the next token has the given kind.
+  bool Accept(TokenKind kind);
+
+  /// term := IDENT | NUMBER | STRING | '_'
+  Result<Term> ParseTerm();
+
+  /// atom := predname '(' (term (',' term)*)? ')'
+  /// predname := IDENT (':' IDENT)?
+  Result<Atom> ParseAtom();
+
+  /// body := element (',' element)* where element is an atom or a
+  /// comparison `term op term`.
+  Status ParseBody(std::vector<Atom>* atoms,
+                   std::vector<Comparison>* comparisons);
+
+  /// rule := atom ':-' body '.'
+  Result<ConjunctiveQuery> ParseRule();
+
+  /// Parses rules until end of input.
+  Result<std::vector<ConjunctiveQuery>> ParseRules();
+
+  /// Error helper: Status mentioning the current line.
+  Status Error(const std::string& message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  VariableFactory anon_vars_{"_anon"};
+};
+
+/// Convenience: parses a single rule like `q(x) :- r(x, y), x < 3.`
+/// (the trailing dot is optional when the rule ends the input).
+Result<ConjunctiveQuery> ParseRuleText(std::string_view text);
+
+/// Convenience: parses a single atom like `H:Doctor(sid, loc)`.
+Result<Atom> ParseAtomText(std::string_view text);
+
+}  // namespace pdms
+
+#endif  // PDMS_LANG_PARSER_H_

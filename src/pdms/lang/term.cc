@@ -1,0 +1,16 @@
+#include "pdms/lang/term.h"
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+uint64_t Term::Hash() const {
+  if (is_var_) return HashCombine(0x1234567, Fnv1aHash(name_));
+  return HashCombine(0x89abcdef, value_.Hash());
+}
+
+std::string Term::ToString() const {
+  return is_var_ ? name_ : value_.ToString();
+}
+
+}  // namespace pdms

@@ -1,0 +1,94 @@
+#ifndef PDMS_LANG_TERM_H_
+#define PDMS_LANG_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pdms/data/value.h"
+#include "pdms/util/check.h"
+
+namespace pdms {
+
+/// A term of a conjunctive query: either a variable (named) or a constant
+/// (a data Value). There are no function symbols — PPL queries are
+/// select-project-join queries, so unification is trivial (no occurs
+/// check is required).
+class Term {
+ public:
+  /// Default-constructs an unnamed variable; prefer the factories.
+  Term() : is_var_(true) {}
+
+  static Term Var(std::string name) {
+    Term t;
+    t.is_var_ = true;
+    t.name_ = std::move(name);
+    return t;
+  }
+  static Term Constant(Value value) {
+    Term t;
+    t.is_var_ = false;
+    t.value_ = std::move(value);
+    return t;
+  }
+  static Term Int(int64_t v) { return Constant(Value::Int(v)); }
+  static Term String(std::string v) {
+    return Constant(Value::String(std::move(v)));
+  }
+
+  bool is_variable() const { return is_var_; }
+  bool is_constant() const { return !is_var_; }
+
+  const std::string& var_name() const {
+    PDMS_DCHECK(is_var_);
+    return name_;
+  }
+  const Value& value() const {
+    PDMS_DCHECK(!is_var_);
+    return value_;
+  }
+
+  bool operator==(const Term& other) const {
+    if (is_var_ != other.is_var_) return false;
+    return is_var_ ? name_ == other.name_ : value_ == other.value_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+  bool operator<(const Term& other) const {
+    if (is_var_ != other.is_var_) return is_var_ && !other.is_var_;
+    return is_var_ ? name_ < other.name_ : value_ < other.value_;
+  }
+
+  uint64_t Hash() const;
+
+  /// Variables render as their name; constants as Value::ToString.
+  std::string ToString() const;
+
+ private:
+  bool is_var_;
+  std::string name_;  // variable name when is_var_
+  Value value_;       // constant payload otherwise
+};
+
+/// Generates globally-unique fresh variable names. Every renaming
+/// (rule expansion, normalization) draws from one factory so variables
+/// from different expansions can never collide.
+class VariableFactory {
+ public:
+  /// `prefix` should be distinctive; fresh names look like "_x17".
+  explicit VariableFactory(std::string prefix = "_v")
+      : prefix_(std::move(prefix)) {}
+
+  Term Fresh() { return Term::Var(prefix_ + std::to_string(counter_++)); }
+  std::string FreshName() { return prefix_ + std::to_string(counter_++); }
+
+  /// Number of names handed out so far.
+  uint64_t count() const { return counter_; }
+
+ private:
+  std::string prefix_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_LANG_TERM_H_

@@ -1,0 +1,216 @@
+#include "pdms/minicon/mcd.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+std::string Mcd::ToString() const {
+  std::string out = "MCD{";
+  out += view_atom.ToString();
+  out += ", covers [";
+  for (size_t i = 0; i < covered.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(covered[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+// Shared context for the recursive MCD search.
+struct McdSearch {
+  const Atom* local_head;
+  const std::vector<Atom>* body;
+  const ConjunctiveQuery* view;  // fresh-renamed
+  std::unordered_set<std::string> view_all_vars;
+  std::unordered_set<std::string> view_dist_vars;
+  std::unordered_set<std::string> head_vars;  // local distinguished
+  const ConstraintSet* local_constraints;
+  std::vector<Mcd>* out;
+  std::set<std::string> emitted;  // dedup keys
+};
+
+// Classifies the equivalence classes induced by the unifier over the
+// variables of the covered subgoals and matched view atoms, and determines
+// which additional subgoals must be covered (MiniCon property). Returns
+// false if the MCD is impossible (a distinguished local variable is folded
+// into a view existential).
+bool FindObligations(const McdSearch& ctx, const std::set<size_t>& covered,
+                     const Substitution& theta, std::set<size_t>* needed) {
+  // Gather the variables in play: local vars of covered subgoals.
+  std::vector<std::string> local_vars;
+  for (size_t idx : covered) {
+    CollectVariables((*ctx.body)[idx], &local_vars);
+  }
+  // Group everything by its representative under theta. For each class we
+  // track: is it grounded (contains a constant), which view distinguished /
+  // view existential variables it contains, and its local (query) vars.
+  struct ClassInfo {
+    bool grounded = false;
+    std::set<std::string> view_dist;
+    std::set<std::string> view_exist;
+    std::set<std::string> local_members;
+  };
+  std::map<std::string, ClassInfo> classes;
+  auto classify = [&](const std::string& var) {
+    Term rep = theta.Resolve(Term::Var(var));
+    std::string key = rep.ToString();
+    ClassInfo& info = classes[key];
+    if (rep.is_constant()) info.grounded = true;
+    // Both the variable and its representative are members of the class.
+    for (const std::string* name : {&var, rep.is_variable()
+                                              ? &rep.var_name()
+                                              : &var}) {
+      if (ctx.view_dist_vars.count(*name) > 0) {
+        info.view_dist.insert(*name);
+      } else if (ctx.view_all_vars.count(*name) > 0) {
+        info.view_exist.insert(*name);
+      } else {
+        info.local_members.insert(*name);
+      }
+    }
+  };
+  for (const std::string& v : local_vars) classify(v);
+  // View vars of the whole view body participate in the same classes.
+  for (const Atom& va : ctx.view->body()) {
+    std::vector<std::string> vs;
+    CollectVariables(va, &vs);
+    for (const std::string& v : vs) classify(v);
+  }
+
+  needed->clear();
+  for (const auto& [key, info] : classes) {
+    if (info.view_exist.empty()) continue;
+    // An existential view variable's value cannot be constrained from
+    // outside the view: equating it with a second view variable, a
+    // constant, or a distinguished variable is not realizable (the
+    // paper's reason view V3 gets no MCD).
+    if (info.view_exist.size() >= 2 || info.grounded ||
+        !info.view_dist.empty()) {
+      return false;
+    }
+    // The class is folded into a single view existential: every local
+    // member must be non-distinguished and all of its subgoals covered by
+    // this same MCD (MiniCon property C2).
+    for (const std::string& x : info.local_members) {
+      if (ctx.head_vars.count(x) > 0) return false;
+      for (size_t j = 0; j < ctx.body->size(); ++j) {
+        if (covered.count(j) > 0) continue;
+        std::vector<std::string> vars_j;
+        CollectVariables((*ctx.body)[j], &vars_j);
+        if (std::find(vars_j.begin(), vars_j.end(), x) != vars_j.end()) {
+          needed->insert(j);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void EmitMcd(McdSearch& ctx, const std::set<size_t>& covered,
+             const Substitution& theta) {
+  Atom view_atom = theta.Apply(ctx.view->head());
+  ConstraintSet view_constraints;
+  for (const Comparison& c : ctx.view->comparisons()) {
+    view_constraints.Add(theta.Apply(c));
+  }
+  if (ctx.local_constraints != nullptr) {
+    // Discard MCDs whose view constraints contradict the caller's context.
+    // The context is stated over pre-unification variables, so it must be
+    // rewritten through theta before conjoining.
+    if (!ctx.local_constraints->Apply(theta)
+             .Conjoin(view_constraints)
+             .IsSatisfiable()) {
+      return;
+    }
+  } else if (!view_constraints.IsSatisfiable()) {
+    return;
+  }
+  // Dedup: same covered set + same covered-subgoal images means the same
+  // MCD was reached through a different branch order.
+  std::string key = view_atom.ToString();
+  for (size_t idx : covered) {
+    key += "|";
+    key += std::to_string(idx);
+    key += theta.Apply((*ctx.body)[idx]).ToString();
+  }
+  if (!ctx.emitted.insert(key).second) return;
+
+  Mcd mcd;
+  mcd.view_atom = std::move(view_atom);
+  mcd.covered.assign(covered.begin(), covered.end());
+  mcd.unifier = theta;
+  mcd.view_constraints = std::move(view_constraints);
+  ctx.out->push_back(std::move(mcd));
+}
+
+void ExtendMcd(McdSearch& ctx, std::set<size_t> covered,
+               Substitution theta) {
+  std::set<size_t> needed;
+  if (!FindObligations(ctx, covered, theta, &needed)) return;
+  if (needed.empty()) {
+    EmitMcd(ctx, covered, theta);
+    return;
+  }
+  // Cover the smallest outstanding subgoal; branch over the view atoms it
+  // can map to.
+  size_t j = *needed.begin();
+  const Atom& goal = (*ctx.body)[j];
+  std::set<size_t> next_covered = covered;
+  next_covered.insert(j);
+  for (const Atom& w : ctx.view->body()) {
+    if (w.predicate() != goal.predicate() || w.arity() != goal.arity()) {
+      continue;
+    }
+    Substitution branch = theta;
+    if (!branch.UnifyAtoms(goal, w)) continue;
+    ExtendMcd(ctx, next_covered, std::move(branch));
+  }
+}
+
+}  // namespace
+
+std::vector<Mcd> MakeMcds(const Atom& local_head,
+                          const std::vector<Atom>& body, size_t seed,
+                          const ConjunctiveQuery& view,
+                          VariableFactory* fresh,
+                          const ConstraintSet* local_constraints) {
+  std::vector<Mcd> out;
+  ConjunctiveQuery renamed = RenameApart(view, fresh);
+
+  McdSearch ctx;
+  ctx.local_head = &local_head;
+  ctx.body = &body;
+  ctx.view = &renamed;
+  for (const std::string& v : renamed.AllVariables()) {
+    ctx.view_all_vars.insert(v);
+  }
+  for (const std::string& v : renamed.HeadVariables()) {
+    ctx.view_dist_vars.insert(v);
+  }
+  std::vector<std::string> head_vars;
+  CollectVariables(local_head, &head_vars);
+  ctx.head_vars.insert(head_vars.begin(), head_vars.end());
+  ctx.local_constraints = local_constraints;
+  ctx.out = &out;
+
+  const Atom& seed_goal = body[seed];
+  for (const Atom& w : renamed.body()) {
+    if (w.predicate() != seed_goal.predicate() ||
+        w.arity() != seed_goal.arity()) {
+      continue;
+    }
+    Substitution theta;
+    if (!theta.UnifyAtoms(seed_goal, w)) continue;
+    ExtendMcd(ctx, {seed}, std::move(theta));
+  }
+  return out;
+}
+
+}  // namespace pdms

@@ -1,0 +1,67 @@
+#ifndef PDMS_MINICON_MCD_H_
+#define PDMS_MINICON_MCD_H_
+
+#include <vector>
+
+#include "pdms/constraints/constraint_set.h"
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/lang/substitution.h"
+
+namespace pdms {
+
+/// A MiniCon description (MCD, Pottinger & Halevy [23]): one way of using a
+/// view to cover a set of subgoals of a (local) query. The key property the
+/// factory enforces is the MiniCon condition: whenever a query variable is
+/// mapped to an existential variable of the view,
+///  (a) the variable must not be distinguished in the query, and
+///  (b) *every* query subgoal mentioning the variable must be covered by
+///      this same MCD (the join on that variable can only happen inside the
+///      view).
+///
+/// In the PDMS reformulation algorithm this is exactly what lets a rule
+/// node "cover its uncles" (Section 4.2, inclusion expansion): the MCD for
+/// subgoal n may be forced to also cover sibling subgoals, recorded in the
+/// unc label.
+struct Mcd {
+  /// The rewriting atom `V(Z̄)` — the view's head under the unifier. Using
+  /// this atom in a rewriting stands for all covered subgoals.
+  Atom view_atom;
+
+  /// Indices (into the local query body) of the subgoals this MCD covers.
+  /// Always contains the seed subgoal; sorted ascending.
+  std::vector<size_t> covered;
+
+  /// The most-general unifier accumulated while matching covered subgoals
+  /// to view subgoals. Bindings mention local-query variables and the
+  /// fresh-renamed view variables; merging MCD unifiers detects conflicting
+  /// combinations.
+  Substitution unifier;
+
+  /// The view definition's comparison predicates under the unifier. Sound
+  /// to *assume* about any tuple the view yields (used to strengthen
+  /// constraint labels), never required to be checked.
+  ConstraintSet view_constraints;
+
+  std::string ToString() const;
+};
+
+/// Computes all MCDs that cover the seed subgoal `body[seed]` of the local
+/// query (head `local_head`, subgoals `body`) using `view`. The view is
+/// fresh-renamed internally from `fresh`, so returned variables never clash
+/// with the caller's. `local_constraints`, when non-null, lets the factory
+/// discard MCDs whose view constraints contradict the context (Section
+/// 4.2: "the MCD will be created w.r.t. the constraints in the parent and
+/// in the peer description").
+///
+/// Returns an empty vector when the view cannot cover the seed (e.g. a
+/// distinguished variable would map to a view existential — the paper's V3
+/// example).
+std::vector<Mcd> MakeMcds(const Atom& local_head,
+                          const std::vector<Atom>& body, size_t seed,
+                          const ConjunctiveQuery& view,
+                          VariableFactory* fresh,
+                          const ConstraintSet* local_constraints = nullptr);
+
+}  // namespace pdms
+
+#endif  // PDMS_MINICON_MCD_H_

@@ -1,0 +1,163 @@
+#include "pdms/minicon/rewrite.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "pdms/constraints/constraint_set.h"
+#include "pdms/lang/canonical.h"
+#include "pdms/lang/homomorphism.h"
+#include "pdms/minicon/mcd.h"
+
+namespace pdms {
+
+namespace {
+
+struct CombineContext {
+  const ConjunctiveQuery* query;
+  const std::vector<Mcd>* mcds;
+  size_t num_subgoals;
+  const MiniConOptions* options;
+  std::vector<ConjunctiveQuery>* out;
+  std::set<std::string> seen_keys;
+};
+
+// Assembles one rewriting from a set of MCDs with disjoint coverage.
+// Returns silently when the combination is inconsistent (conflicting
+// unifiers) or a query comparison cannot be enforced.
+void Assemble(CombineContext& ctx, const std::vector<size_t>& chosen) {
+  Substitution sigma;
+  for (size_t idx : chosen) {
+    if (!sigma.Merge((*ctx.mcds)[idx].unifier)) return;
+  }
+  Atom head = sigma.Apply(ctx.query->head());
+  std::vector<Atom> body;
+  body.reserve(chosen.size());
+  ConstraintSet view_constraints;
+  for (size_t idx : chosen) {
+    body.push_back(sigma.Apply((*ctx.mcds)[idx].view_atom));
+    view_constraints.AddAll((*ctx.mcds)[idx].view_constraints.Apply(sigma));
+  }
+
+  // Variables visible in the rewriting (head args are always in some body
+  // atom when the combination is valid, but collect both for the check).
+  std::unordered_set<std::string> available;
+  {
+    std::vector<std::string> vars;
+    for (const Atom& a : body) CollectVariables(a, &vars);
+    available.insert(vars.begin(), vars.end());
+  }
+  // Safety of the head: every head variable must survive into the body.
+  for (const Term& t : head.args()) {
+    if (t.is_variable() && available.count(t.var_name()) == 0) return;
+  }
+  // Query comparisons: keep if expressible over surviving variables,
+  // otherwise they must be implied by the views' own comparisons.
+  std::vector<Comparison> kept;
+  for (const Comparison& c : ctx.query->comparisons()) {
+    Comparison mapped = sigma.Apply(c);
+    bool expressible = true;
+    for (const Term* t : {&mapped.lhs, &mapped.rhs}) {
+      if (t->is_variable() && available.count(t->var_name()) == 0) {
+        expressible = false;
+      }
+    }
+    if (expressible) {
+      kept.push_back(std::move(mapped));
+      continue;
+    }
+    if (!view_constraints.Implies(mapped)) return;
+  }
+  // The rewriting must itself be satisfiable together with what the views
+  // guarantee.
+  ConstraintSet all = view_constraints;
+  for (const Comparison& c : kept) all.Add(c);
+  if (!all.IsSatisfiable()) return;
+
+  ConjunctiveQuery rewriting(std::move(head), std::move(body),
+                             std::move(kept));
+  std::string key = CanonicalQueryKey(rewriting);
+  if (!ctx.seen_keys.insert(key).second) return;
+  ctx.out->push_back(std::move(rewriting));
+}
+
+// Recursive exact-cover enumeration: cover the smallest uncovered subgoal
+// with an MCD disjoint from everything chosen so far.
+void Combine(CombineContext& ctx, std::vector<bool>& covered,
+             size_t num_covered, std::vector<size_t>& chosen) {
+  if (ctx.options->max_rewritings != 0 &&
+      ctx.out->size() >= ctx.options->max_rewritings) {
+    return;
+  }
+  if (num_covered == ctx.num_subgoals) {
+    Assemble(ctx, chosen);
+    return;
+  }
+  size_t target = 0;
+  while (covered[target]) ++target;
+  for (size_t i = 0; i < ctx.mcds->size(); ++i) {
+    const Mcd& mcd = (*ctx.mcds)[i];
+    if (std::find(mcd.covered.begin(), mcd.covered.end(), target) ==
+        mcd.covered.end()) {
+      continue;
+    }
+    bool disjoint = true;
+    for (size_t idx : mcd.covered) {
+      if (covered[idx]) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    for (size_t idx : mcd.covered) covered[idx] = true;
+    chosen.push_back(i);
+    Combine(ctx, covered, num_covered + mcd.covered.size(), chosen);
+    chosen.pop_back();
+    for (size_t idx : mcd.covered) covered[idx] = false;
+  }
+}
+
+}  // namespace
+
+Result<UnionQuery> MiniConRewrite(const ConjunctiveQuery& query,
+                                  const std::vector<ConjunctiveQuery>& views,
+                                  const MiniConOptions& options) {
+  PDMS_RETURN_IF_ERROR(query.CheckSafe());
+  for (const ConjunctiveQuery& v : views) PDMS_RETURN_IF_ERROR(v.CheckSafe());
+  if (query.body().empty()) {
+    return Status::InvalidArgument("query has an empty body");
+  }
+
+  VariableFactory fresh("_mc");
+  ConstraintSet query_constraints(query.comparisons());
+
+  // Phase 1: form MCDs. Seeding each subgoal and keeping only MCDs whose
+  // smallest covered subgoal is the seed avoids generating the same MCD
+  // once per covered subgoal.
+  std::vector<Mcd> mcds;
+  for (size_t seed = 0; seed < query.body().size(); ++seed) {
+    for (const ConjunctiveQuery& view : views) {
+      std::vector<Mcd> batch = MakeMcds(query.head(), query.body(), seed,
+                                        view, &fresh, &query_constraints);
+      for (Mcd& m : batch) {
+        if (m.covered.front() == seed) mcds.push_back(std::move(m));
+      }
+    }
+  }
+
+  // Phase 2: combine MCDs with disjoint coverage into rewritings.
+  std::vector<ConjunctiveQuery> rewritings;
+  CombineContext ctx{&query, &mcds, query.body().size(), &options,
+                     &rewritings, {}};
+  std::vector<bool> covered(query.body().size(), false);
+  std::vector<size_t> chosen;
+  Combine(ctx, covered, 0, chosen);
+
+  UnionQuery result(std::move(rewritings));
+  if (options.remove_redundant) {
+    result = RemoveRedundantDisjuncts(result);
+  }
+  return result;
+}
+
+}  // namespace pdms

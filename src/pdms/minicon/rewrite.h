@@ -1,0 +1,37 @@
+#ifndef PDMS_MINICON_REWRITE_H_
+#define PDMS_MINICON_REWRITE_H_
+
+#include <vector>
+
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// Options for the standalone MiniCon rewriting algorithm.
+struct MiniConOptions {
+  /// Upper bound on emitted rewritings (0 = unlimited).
+  size_t max_rewritings = 0;
+  /// Remove rewritings contained in other rewritings and minimize each.
+  bool remove_redundant = false;
+};
+
+/// Answers a conjunctive query using views (the classic two-tier LAV
+/// setting [23]): given `query` over a mediated schema and `views` whose
+/// heads name the available source relations (with open-world `⊆`
+/// semantics), returns the maximally-contained rewriting as a union of
+/// conjunctive queries over the view heads.
+///
+/// Implements MiniCon: per-subgoal MCD formation followed by combination of
+/// MCDs with pairwise-disjoint coverage. Comparison predicates in the query
+/// are kept when their variables survive into the rewriting and otherwise
+/// must be implied by the view definitions' comparisons, else the candidate
+/// rewriting is discarded (conservative, per the paper's footnote-3
+/// approximation).
+Result<UnionQuery> MiniConRewrite(const ConjunctiveQuery& query,
+                                  const std::vector<ConjunctiveQuery>& views,
+                                  const MiniConOptions& options = {});
+
+}  // namespace pdms
+
+#endif  // PDMS_MINICON_REWRITE_H_

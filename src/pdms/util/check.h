@@ -1,0 +1,36 @@
+#ifndef PDMS_UTIL_CHECK_H_
+#define PDMS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant checks. These guard programmer errors (broken
+/// invariants), not user input; user input errors are reported via Status.
+/// A failed check prints the location and aborts.
+#define PDMS_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "PDMS_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define PDMS_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "PDMS_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                     \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define PDMS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define PDMS_DCHECK(cond) PDMS_CHECK(cond)
+#endif
+
+#endif  // PDMS_UTIL_CHECK_H_

@@ -1,0 +1,119 @@
+#ifndef PDMS_UTIL_STATUS_H_
+#define PDMS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pdms {
+
+/// Error codes used across the library. The library does not throw
+/// exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  // malformed input (e.g., parse errors, bad arity)
+  kNotFound,         // missing relation / peer / mapping
+  kFailedPrecondition,
+  kUnsupported,      // feature outside the implemented PPL fragment
+  kResourceExhausted,  // budget (node/rewriting/time) exceeded
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, in the style of absl::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union, in the style of absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversions from T and Status keep call sites terse
+  /// (`return value;` / `return Status::InvalidArgument(...)`), mirroring
+  /// absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {}    // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pdms
+
+/// Propagates a non-OK Status from an expression, absl-style.
+#define PDMS_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::pdms::Status pdms_status_ = (expr);          \
+    if (!pdms_status_.ok()) return pdms_status_;   \
+  } while (0)
+
+/// Evaluates a Result<T> expression; assigns its value to `lhs` or
+/// propagates the error.
+#define PDMS_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  PDMS_ASSIGN_OR_RETURN_IMPL_(                                 \
+      PDMS_STATUS_CONCAT_(pdms_result_, __LINE__), lhs, rexpr)
+
+#define PDMS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define PDMS_STATUS_CONCAT_(a, b) PDMS_STATUS_CONCAT_IMPL_(a, b)
+#define PDMS_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PDMS_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef PDMS_UTIL_STRINGS_H_
+#define PDMS_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdms {
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `text` on the character `sep`; does not collapse empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// 64-bit FNV-1a hash; used to combine hash values deterministically
+/// across platforms (std::hash is implementation-defined).
+uint64_t Fnv1aHash(std::string_view text);
+
+/// Combines two 64-bit hashes (boost-style mix).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace pdms
+
+#endif  // PDMS_UTIL_STRINGS_H_

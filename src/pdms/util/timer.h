@@ -1,0 +1,33 @@
+#ifndef PDMS_UTIL_TIMER_H_
+#define PDMS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace pdms {
+
+/// Monotonic wall-clock stopwatch used by the reformulation engine to
+/// report time-to-first-rewriting and by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_UTIL_TIMER_H_

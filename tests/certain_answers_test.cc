@@ -1,0 +1,168 @@
+// Tests for the chase-based certain-answer oracle (Definition 2.2), and
+// for agreement between the reformulation algorithm and the oracle on the
+// tractable fragments of Section 3.
+
+#include <gtest/gtest.h>
+
+#include "pdms/core/pdms.h"
+
+namespace pdms {
+namespace {
+
+TEST(CertainAnswers, StorageProjectionLosesColumns) {
+  // The stored relation projects the peer relation; the missing column is
+  // a labeled null in the chase, so queries asking for it get nothing,
+  // while queries over surviving columns succeed.
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer A { relation R(x, y); }
+    stored s(x) <= A:R(x, y).
+    fact s(1).
+  )").ok());
+  auto q1 = pdms.ParseQuery("q(x) :- A:R(x, y).");
+  ASSERT_TRUE(q1.ok());
+  auto certain1 = pdms.CertainAnswersOracle(*q1);
+  ASSERT_TRUE(certain1.ok()) << certain1.status().ToString();
+  EXPECT_TRUE(certain1->Contains({Value::Int(1)}));
+  auto q2 = pdms.ParseQuery("q(y) :- A:R(x, y).");
+  ASSERT_TRUE(q2.ok());
+  auto certain2 = pdms.CertainAnswersOracle(*q2);
+  ASSERT_TRUE(certain2.ok());
+  EXPECT_TRUE(certain2->empty());  // the y value is unknown
+}
+
+TEST(CertainAnswers, TransitiveMappings) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer TOP { relation T(x, y); }
+    peer MID { relation M(x, y); }
+    peer BOT { relation B(x, y); }
+    mapping TOP:T(x, y) :- MID:M(x, y).
+    mapping (x, y) : BOT:B(x, y) <= MID:M(x, y).
+    stored sb(x, y) <= BOT:B(x, y).
+    fact sb(1, 2).
+  )").ok());
+  auto q = pdms.ParseQuery("q(x, y) :- TOP:T(x, y).");
+  ASSERT_TRUE(q.ok());
+  auto certain = pdms.CertainAnswersOracle(*q);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(certain->Contains({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(CertainAnswers, AgreesWithReformulationOnFigure2) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer FS {
+      relation SameEngine(f1, f2, e);
+      relation AssignedTo(f, e);
+      relation Skill(f, s);
+      relation SameSkill(f1, f2);
+      relation Sched(f, start, end);
+    }
+    mapping FS:SameEngine(f1, f2, e) :-
+        FS:AssignedTo(f1, e), FS:AssignedTo(f2, e).
+    mapping (f1, f2) :
+        FS:SameSkill(f1, f2) <= FS:Skill(f1, s), FS:Skill(f2, s).
+    stored s1(f, e, st) <= FS:AssignedTo(f, e), FS:Sched(f, st, end).
+    stored s2(f1, f2) = FS:SameSkill(f1, f2).
+    fact s1(101, 12, 700).
+    fact s1(102, 12, 700).
+    fact s1(103, 19, 700).
+    fact s2(101, 102).
+    fact s2(103, 103).
+  )").ok());
+  auto q = pdms.ParseQuery(
+      "Q(f1, f2) :- FS:SameEngine(f1, f2, e), FS:Skill(f1, s), "
+      "FS:Skill(f2, s).");
+  ASSERT_TRUE(q.ok());
+  auto via_reformulation = pdms.Answer(*q);
+  auto via_oracle = pdms.CertainAnswersOracle(*q);
+  ASSERT_TRUE(via_reformulation.ok());
+  ASSERT_TRUE(via_oracle.ok()) << via_oracle.status().ToString();
+  // Same answer sets.
+  EXPECT_EQ(via_reformulation->size(), via_oracle->size())
+      << "reformulation:\n"
+      << via_reformulation->ToString() << "\noracle:\n"
+      << via_oracle->ToString();
+  for (const Tuple& t : via_oracle->tuples()) {
+    EXPECT_TRUE(via_reformulation->Contains(t)) << TupleToString(t);
+  }
+}
+
+TEST(CertainAnswers, EqualityPeerMappingFlowsBothWays) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : A:R(x, y) = B:S(x, y).
+    stored sa(x, y) <= A:R(x, y).
+    stored sb(x, y) <= B:S(x, y).
+    fact sa(1, 1).
+    fact sb(2, 2).
+  )").ok());
+  auto q = pdms.ParseQuery("q(x, y) :- A:R(x, y).");
+  ASSERT_TRUE(q.ok());
+  auto certain = pdms.CertainAnswersOracle(*q);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(certain->Contains({Value::Int(1), Value::Int(1)}));
+  EXPECT_TRUE(certain->Contains({Value::Int(2), Value::Int(2)}));
+  // The reformulation algorithm must reach both too.
+  auto answers = pdms.Answer(*q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);
+}
+
+TEST(CertainAnswers, ConclusionComparisonsUnsupported) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) <= A:R(x, y), x < 5.
+  )").ok());
+  auto q = pdms.ParseQuery("q(x, y) :- A:R(x, y).");
+  ASSERT_TRUE(q.ok());
+  auto certain = pdms.CertainAnswersOracle(*q);
+  EXPECT_FALSE(certain.ok());
+  EXPECT_EQ(certain.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(CertainAnswers, PremiseComparisonsSupported) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer A { relation R(x, y); relation Big(x, y); }
+    mapping A:Big(x, y) :- A:R(x, y), x > 10.
+    stored s(x, y) <= A:R(x, y).
+    fact s(5, 5).
+    fact s(20, 20).
+  )").ok());
+  auto q = pdms.ParseQuery("q(x, y) :- A:Big(x, y).");
+  ASSERT_TRUE(q.ok());
+  auto certain = pdms.CertainAnswersOracle(*q);
+  ASSERT_TRUE(certain.ok()) << certain.status().ToString();
+  EXPECT_EQ(certain->size(), 1u);
+  EXPECT_TRUE(certain->Contains({Value::Int(20), Value::Int(20)}));
+}
+
+TEST(CertainAnswers, NonTerminatingSpecSurfacesError) {
+  // A projecting equality creates a null-generating cycle: A:R(x,y) =
+  // B:S(y,x) with swapped columns chases forever... use a genuinely
+  // diverging spec: R(x,y) ⊆ R(y,z) style self-feeding inclusion.
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer A { relation R(x, y); }
+    mapping (x, y) : A:R(x, y) <= A:R(y, w), A:R(x, v).
+    stored s(x, y) <= A:R(x, y).
+    fact s(1, 2).
+  )").ok());
+  auto q = pdms.ParseQuery("q(x, y) :- A:R(x, y).");
+  ASSERT_TRUE(q.ok());
+  ChaseOptions opts;
+  opts.max_rounds = 30;
+  opts.max_tuples = 500;
+  auto certain = pdms.CertainAnswersOracle(*q, opts);
+  EXPECT_FALSE(certain.ok());
+  EXPECT_EQ(certain.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace pdms

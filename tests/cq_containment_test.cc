@@ -1,0 +1,109 @@
+// Tests for semantic containment of conjunctive queries with comparison
+// predicates (constraints/cq_containment.h).
+
+#include "pdms/constraints/cq_containment.h"
+
+#include <gtest/gtest.h>
+
+#include "pdms/lang/homomorphism.h"
+#include "pdms/lang/parser.h"
+
+namespace pdms {
+namespace {
+
+ConjunctiveQuery Q(const std::string& text) {
+  auto r = ParseRuleText(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(SemanticContainment, ComparisonFreeAgreesWithSyntactic) {
+  auto general = Q("q(x) :- r(x, y).");
+  auto specific = Q("q(x) :- r(x, y), s(y).");
+  EXPECT_TRUE(ContainsCQWithComparisons(general, specific));
+  EXPECT_FALSE(ContainsCQWithComparisons(specific, general));
+}
+
+TEST(SemanticContainment, ImpliedBoundAccepted) {
+  // x < 3 implies x < 5: the syntactic test fails, the semantic passes.
+  auto general = Q("q(x) :- r(x, y), x < 5.");
+  auto specific = Q("q(x) :- r(x, y), x < 3.");
+  EXPECT_FALSE(ContainsCQ(general, specific));  // conservative baseline
+  EXPECT_TRUE(ContainsCQWithComparisons(general, specific));
+  EXPECT_FALSE(ContainsCQWithComparisons(specific, general));
+}
+
+TEST(SemanticContainment, TransitiveImplication) {
+  auto general = Q("q(x, y) :- r(x, y), x <= y.");
+  auto specific = Q("q(x, y) :- r(x, y), x < z, z < y.");
+  EXPECT_TRUE(ContainsCQWithComparisons(general, specific));
+}
+
+TEST(SemanticContainment, EqualityPinsVariables) {
+  auto general = Q("q(x) :- r(x, y), y >= 3.");
+  auto specific = Q("q(x) :- r(x, y), y = 7.");
+  EXPECT_TRUE(ContainsCQWithComparisons(general, specific));
+  auto too_small = Q("q(x) :- r(x, y), y = 2.");
+  EXPECT_FALSE(ContainsCQWithComparisons(general, too_small));
+}
+
+TEST(SemanticContainment, TriesAlternativeHomomorphisms) {
+  // Two r-atoms: the mapping must pick the one whose bound is implied.
+  auto general = Q("q(x) :- r(x, y), y < 5.");
+  auto specific = Q("q(x) :- r(x, a), r(x, b), a > 100, b < 3.");
+  EXPECT_TRUE(ContainsCQWithComparisons(general, specific));
+}
+
+TEST(SemanticContainment, UnsatisfiableSpecificIsContainedInAnything) {
+  auto general = Q("q(x) :- r(x, y).");
+  auto empty = Q("q(x) :- r(x, y), y < 3, y > 5.");
+  EXPECT_TRUE(ContainsCQWithComparisons(general, empty));
+}
+
+TEST(SemanticContainment, EquivalenceModuloBoundsDirection) {
+  auto a = Q("q(x) :- r(x, y), y <= 4.");
+  auto b = Q("q(x) :- r(x, y), 4 >= y.");
+  EXPECT_TRUE(EquivalentCQWithComparisons(a, b));
+}
+
+TEST(SemanticContainment, RemoveRedundantUsesImplication) {
+  UnionQuery uq({
+      Q("q(x) :- r(x, y), y < 5."),
+      Q("q(x) :- r(x, y), y < 3."),      // contained in the first
+      Q("q(x) :- r(x, y), y > 9."),      // incomparable: kept
+      Q("q(x) :- r(x, y), y < 2, y > 8."),  // unsatisfiable: dropped
+  });
+  UnionQuery cleaned = RemoveRedundantDisjunctsWithComparisons(uq);
+  ASSERT_EQ(cleaned.size(), 2u) << cleaned.ToString();
+  EXPECT_EQ(cleaned.disjuncts()[0].comparisons()[0].ToString(), "y < 5");
+}
+
+TEST(SemanticContainment, HeadMappingStillRespected) {
+  auto q1 = Q("q(x, y) :- r(x, y), x < y.");
+  auto q2 = Q("q(y, x) :- r(x, y), x < y.");
+  EXPECT_FALSE(ContainsCQWithComparisons(q1, q2));
+}
+
+TEST(ForEachAtomMapping, EnumeratesAllWitnesses) {
+  auto from = Q("q() :- r(x).").body();
+  auto onto = Q("q() :- r(1), r(2), r(3).").body();
+  int count = 0;
+  bool found = ForEachAtomMapping(from, onto, VarMap(),
+                                  [&](const VarMap&) {
+                                    ++count;
+                                    return false;  // keep enumerating
+                                  });
+  EXPECT_FALSE(found);  // no witness was accepted
+  EXPECT_EQ(count, 3);
+  // Early acceptance stops the search.
+  count = 0;
+  found = ForEachAtomMapping(from, onto, VarMap(), [&](const VarMap&) {
+    ++count;
+    return true;
+  });
+  EXPECT_TRUE(found);
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,111 @@
+// Unit tests for the storage substrate: values, tuples, relations,
+// databases.
+
+#include <gtest/gtest.h>
+
+#include "pdms/data/database.h"
+
+namespace pdms {
+namespace {
+
+TEST(Value, KindsAndEquality) {
+  Value i = Value::Int(42);
+  Value s = Value::String("x");
+  Value n = Value::Null(3);
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(i, Value::Int(42));
+  EXPECT_NE(i, Value::Int(43));
+  EXPECT_NE(i, s);
+  EXPECT_NE(n, Value::Null(4));
+  EXPECT_EQ(n, Value::Null(3));
+  EXPECT_EQ(i.int_value(), 42);
+  EXPECT_EQ(s.string_value(), "x");
+  EXPECT_EQ(n.null_id(), 3);
+}
+
+TEST(Value, OrderingAndToString) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::String("a") < Value::String("b"));
+  // Cross-kind order fixed: null < int < string.
+  EXPECT_TRUE(Value::Null(9) < Value::Int(0));
+  EXPECT_TRUE(Value::Int(999) < Value::String(""));
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Null(2).ToString(), "_N2");
+}
+
+TEST(Value, HashConsistent) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_NE(Value::Int(5).Hash(), Value::Null(5).Hash());
+  EXPECT_NE(Value::String("5").Hash(), Value::Int(5).Hash());
+}
+
+TEST(Tuple, HashAndNullDetection) {
+  Tuple t1 = {Value::Int(1), Value::String("a")};
+  Tuple t2 = {Value::Int(1), Value::String("a")};
+  Tuple t3 = {Value::String("a"), Value::Int(1)};
+  EXPECT_EQ(TupleHash(t1), TupleHash(t2));
+  EXPECT_NE(TupleHash(t1), TupleHash(t3));
+  EXPECT_FALSE(TupleHasNull(t1));
+  EXPECT_TRUE(TupleHasNull({Value::Int(1), Value::Null(0)}));
+  EXPECT_EQ(TupleToString(t1), "(1, \"a\")");
+}
+
+TEST(Relation, SetSemantics) {
+  Relation r("r", 2);
+  EXPECT_TRUE(r.Insert({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(r.Insert({Value::Int(1), Value::Int(2)}));  // duplicate
+  EXPECT_TRUE(r.Insert({Value::Int(2), Value::Int(1)}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(r.Contains({Value::Int(9), Value::Int(9)}));
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Relation, ManyTuplesWithCollisions) {
+  Relation r("r", 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(r.Insert({Value::Int(i)}));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(r.Insert({Value::Int(i)}));
+    EXPECT_TRUE(r.Contains({Value::Int(i)}));
+  }
+  EXPECT_EQ(r.size(), 1000u);
+}
+
+TEST(Database, CreateAndInsert) {
+  Database db;
+  EXPECT_TRUE(db.CreateRelation("r", 2).ok());
+  EXPECT_TRUE(db.CreateRelation("r", 2).ok());   // idempotent
+  EXPECT_FALSE(db.CreateRelation("r", 3).ok());  // arity conflict
+  EXPECT_TRUE(db.Insert("r", {Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(db.Insert("r", {Value::Int(1), Value::Int(2)}));
+  // Implicit creation with the tuple's arity.
+  EXPECT_TRUE(db.Insert("s", {Value::Int(9)}));
+  EXPECT_TRUE(db.HasRelation("s"));
+  auto arity = db.RelationArity("s");
+  ASSERT_TRUE(arity.ok());
+  EXPECT_EQ(*arity, 1u);
+  EXPECT_FALSE(db.RelationArity("zzz").ok());
+  EXPECT_EQ(db.TotalTuples(), 2u);
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"r", "s"}));
+  EXPECT_EQ(db.Find("zzz"), nullptr);
+  ASSERT_NE(db.Find("r"), nullptr);
+  EXPECT_EQ(db.Find("r")->size(), 1u);
+}
+
+TEST(Database, CopySemantics) {
+  Database db;
+  db.Insert("r", {Value::Int(1)});
+  Database copy = db;
+  copy.Insert("r", {Value::Int(2)});
+  EXPECT_EQ(db.Find("r")->size(), 1u);
+  EXPECT_EQ(copy.Find("r")->size(), 2u);
+}
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,114 @@
+// Scenario tests over the Figure 1 emergency-services PDMS: transitive
+// mediation across two levels, GAV + LAV interplay, and the ad-hoc
+// earthquake extension with cyclic replication.
+
+#include <gtest/gtest.h>
+
+#include "pdms/core/pdms.h"
+#include "pdms/gen/emergency.h"
+
+namespace pdms {
+namespace {
+
+Pdms LoadScenario(bool with_earthquake) {
+  Pdms pdms;
+  Status s = pdms.LoadProgram(gen::EmergencyBasePpl());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  if (with_earthquake) {
+    s = pdms.LoadProgram(gen::EmergencyEarthquakePpl());
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  Database* db = pdms.mutable_database();
+  (void)db;
+  return pdms;
+}
+
+TEST(Emergency, ScenarioParses) {
+  auto program = gen::BuildEmergencyScenario(true);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->network.peers().size(), 8u);
+  EXPECT_GT(program->data.TotalTuples(), 10u);
+}
+
+TEST(Emergency, Figure2QueryFindsCrewmatesWithSharedSkill) {
+  Pdms pdms = LoadScenario(false);
+  auto answers = pdms.Answer(
+      "Q(f1, f2) :- FS:SameEngine(f1, f2, e), FS:Skill(f1, s), "
+      "FS:Skill(f2, s).");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_TRUE(answers->Contains({Value::Int(101), Value::Int(102)}))
+      << answers->ToString();
+}
+
+TEST(Emergency, DispatchCenterSeesDoctorsThroughHospitalMediator) {
+  // NDC:SkilledPerson unions H doctors (from FH storage) and medical
+  // firefighters — two mediation hops from the stored relations.
+  Pdms pdms = LoadScenario(false);
+  auto answers =
+      pdms.Answer("q(p) :- NDC:SkilledPerson(p, \"Doctor\").");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_TRUE(answers->Contains({Value::Int(501)})) << answers->ToString();
+}
+
+TEST(Emergency, LavMappingExposesLakeviewBeds) {
+  // H:Patient facts come from LH's bed tables through the LAV mappings.
+  Pdms pdms = LoadScenario(false);
+  auto answers = pdms.Answer("q(pid, bed) :- H:Patient(pid, bed, st).");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_TRUE(answers->Contains({Value::Int(9101), Value::Int(31)}))
+      << answers->ToString();
+  // FH's patients arrive through the definitional mapping.
+  EXPECT_TRUE(answers->Contains({Value::Int(9001), Value::Int(12)}))
+      << answers->ToString();
+}
+
+TEST(Emergency, EarthquakePeerSeesExistingData) {
+  // Example 1.1: once the ECC joins, queries over it reach all original
+  // sources transitively.
+  Pdms pdms = LoadScenario(true);
+  auto answers = pdms.Answer("q(p, s) :- ECC:SkilledPerson(p, s).");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  // A doctor known to FH, visible through FH -> H -> NDC -> ECC.
+  EXPECT_TRUE(answers->Contains({Value::Int(501), Value::String("Doctor")}))
+      << answers->ToString();
+  // And the National Guard registrations stored at the ECC itself.
+  EXPECT_TRUE(answers->Contains(
+      {Value::Int(7001), Value::String("search-and-rescue")}))
+      << answers->ToString();
+}
+
+TEST(Emergency, ReplicatedVehicleTableAnswersFromBothSides) {
+  Pdms pdms = LoadScenario(true);
+  // The replica equality is cyclic; reformulation must terminate and find
+  // vehicles contributed via NDC's mediated views.
+  auto answers = pdms.Answer("q(v, t) :- ECC:Vehicle(v, t, c, g, d).");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_TRUE(
+      answers->Contains({Value::Int(71), Value::String("fire-response")}))
+      << answers->ToString();
+}
+
+TEST(Emergency, ClassificationIsTractable) {
+  Pdms pdms = LoadScenario(true);
+  Classification c = pdms.Classify();
+  EXPECT_TRUE(c.inclusions_acyclic);
+  EXPECT_TRUE(c.has_peer_equalities);          // the replication mapping
+  EXPECT_TRUE(c.peer_equalities_projection_free);
+  EXPECT_TRUE(c.has_equality_storage);         // s2
+  EXPECT_TRUE(c.storage_equalities_projection_free);
+}
+
+TEST(Emergency, OracleAgreesOnDoctorQuery) {
+  Pdms pdms = LoadScenario(false);
+  auto q = pdms.ParseQuery("q(p) :- NDC:SkilledPerson(p, \"Doctor\").");
+  ASSERT_TRUE(q.ok());
+  auto via_reform = pdms.Answer(*q);
+  auto via_oracle = pdms.CertainAnswersOracle(*q);
+  ASSERT_TRUE(via_reform.ok());
+  ASSERT_TRUE(via_oracle.ok()) << via_oracle.status().ToString();
+  EXPECT_EQ(via_reform->size(), via_oracle->size())
+      << via_reform->ToString() << via_oracle->ToString();
+}
+
+}  // namespace
+}  // namespace pdms

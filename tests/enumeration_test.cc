@@ -1,0 +1,221 @@
+// Tests for Step 3 (solution enumeration): streaming vs. memoized
+// equivalence, budget handling, timestamp reporting, and the unc-cover
+// combination logic on handcrafted networks.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pdms/core/pdms.h"
+#include "pdms/core/reformulator.h"
+#include "pdms/gen/workload.h"
+#include "pdms/lang/canonical.h"
+
+namespace pdms {
+namespace {
+
+std::set<std::string> Keys(const UnionQuery& uq) {
+  std::set<std::string> keys;
+  for (const ConjunctiveQuery& cq : uq.disjuncts()) {
+    keys.insert(CanonicalQueryKey(cq));
+  }
+  return keys;
+}
+
+TEST(Enumeration, StreamingAndMemoizedAgree) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    gen::WorkloadConfig config;
+    config.num_peers = 12;
+    config.num_strata = 3;
+    config.relations_per_peer = 2;
+    config.providers_per_relation = 2;
+    config.definitional_fraction = 0.3;
+    config.seed = seed;
+    auto w = gen::GenerateWorkload(config);
+    ASSERT_TRUE(w.ok());
+    ReformulationOptions streaming;
+    streaming.memoize_solutions = false;
+    ReformulationOptions memoized;
+    memoized.memoize_solutions = true;
+    Reformulator r1(w->network, streaming);
+    Reformulator r2(w->network, memoized);
+    auto a = r1.Reformulate(w->query);
+    auto b = r2.Reformulate(w->query);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(Keys(a->rewriting), Keys(b->rewriting)) << "seed " << seed;
+  }
+}
+
+TEST(Enumeration, TimestampsAreMonotone) {
+  gen::WorkloadConfig config;
+  config.num_peers = 24;
+  config.num_strata = 3;
+  config.seed = 3;
+  auto w = gen::GenerateWorkload(config);
+  ASSERT_TRUE(w.ok());
+  Reformulator reformulator(w->network);
+  auto result = reformulator.Reformulate(w->query);
+  ASSERT_TRUE(result.ok());
+  const auto& stamps = result->stats.time_to_rewriting_ms;
+  ASSERT_EQ(stamps.size(), result->stats.rewritings);
+  for (size_t i = 1; i < stamps.size(); ++i) {
+    EXPECT_LE(stamps[i - 1], stamps[i]);
+  }
+  // Timestamps include the build phase (measured from submission).
+  if (!stamps.empty()) {
+    EXPECT_GE(stamps.front(), 0.0);
+  }
+}
+
+TEST(Enumeration, TimeBudgetTruncates) {
+  gen::WorkloadConfig config;
+  config.num_peers = 48;
+  config.num_strata = 5;
+  config.providers_per_relation = 2;
+  config.seed = 5;
+  auto w = gen::GenerateWorkload(config);
+  ASSERT_TRUE(w.ok());
+  ReformulationOptions options;
+  options.time_budget_ms = 1;  // essentially immediate
+  Reformulator reformulator(w->network, options);
+  auto result = reformulator.Reformulate(w->query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.enumeration_truncated ||
+              result->stats.rewritings == 0 ||
+              result->stats.enumerate_ms < 50.0);
+}
+
+TEST(Enumeration, MemoPartialCapTruncates) {
+  gen::WorkloadConfig config;
+  config.num_peers = 24;
+  config.num_strata = 4;
+  config.providers_per_relation = 2;
+  config.seed = 2;
+  auto w = gen::GenerateWorkload(config);
+  ASSERT_TRUE(w.ok());
+  ReformulationOptions options;
+  options.memoize_solutions = true;
+  options.max_memo_partials = 10;
+  Reformulator reformulator(w->network, options);
+  auto result = reformulator.Reformulate(w->query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.enumeration_truncated);
+}
+
+TEST(Enumeration, OverlappingUncProducesRedundantButSoundRewriting) {
+  // Two subgoals over the same relation pair: the MCD covering both plus
+  // each subgoal's individual coverage produce several rewritings; all
+  // must be safe and over stored relations.
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer M { relation E(x, y); }
+    peer S { relation V(x, y); relation W(x, y); }
+    mapping (x, y) : S:V(x, y) <= M:E(x, z), M:E(z, y).
+    mapping (x, y) : S:W(x, y) <= M:E(x, y).
+    stored sv(x, y) <= S:V(x, y).
+    stored sw(x, y) <= S:W(x, y).
+    fact sw(1, 2).
+    fact sw(2, 3).
+    fact sv(1, 3).
+  )").ok());
+  auto result = pdms.Reformulate("q(x, y) :- M:E(x, z), M:E(z, y).");
+  ASSERT_TRUE(result.ok());
+  // Expect at least: sv(x,y) alone, and sw(x,z),sw(z,y).
+  EXPECT_GE(result->rewriting.size(), 2u) << result->rewriting.ToString();
+  auto answers = pdms.Answer("q(x, y) :- M:E(x, z), M:E(z, y).");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->Contains({Value::Int(1), Value::Int(3)}));
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+TEST(Enumeration, MixedCoverChoosesPerChildIndependently) {
+  // First subgoal answered two ways, second subgoal answered two ways:
+  // the cover recursion must produce all four combinations.
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer M { relation A(x); relation B(x); }
+    peer S { relation A1(x); relation A2(x); relation B1(x); relation B2(x); }
+    mapping M:A(x) :- S:A1(x).
+    mapping M:A(x) :- S:A2(x).
+    mapping M:B(x) :- S:B1(x).
+    mapping M:B(x) :- S:B2(x).
+    stored sa1(x) <= S:A1(x).
+    stored sa2(x) <= S:A2(x).
+    stored sb1(x) <= S:B1(x).
+    stored sb2(x) <= S:B2(x).
+  )").ok());
+  auto result = pdms.Reformulate("q(x) :- M:A(x), M:B(x).");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rewriting.size(), 4u) << result->rewriting.ToString();
+}
+
+TEST(Enumeration, ConflictingConstantsDropCombination) {
+  // The two mappings pin the shared variable to different constants; the
+  // combination must be dropped, leaving only the consistent pairings.
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer M { relation A(x, k); relation B(x, k); }
+    peer S { relation SA(x); relation SB(x); }
+    mapping M:A(x, 1) :- S:SA(x).
+    mapping M:B(x, 2) :- S:SB(x).
+    stored sa(x) <= S:SA(x).
+    stored sb(x) <= S:SB(x).
+  )").ok());
+  // Joining on k forces 1 = 2: no rewriting.
+  auto none = pdms.Reformulate("q(x) :- M:A(x, k), M:B(x, k).");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->rewriting.empty()) << none->rewriting.ToString();
+  // Without the join each side works.
+  auto some = pdms.Reformulate("q(x) :- M:A(x, k1), M:B(x, k2).");
+  ASSERT_TRUE(some.ok());
+  EXPECT_EQ(some->rewriting.size(), 1u);
+}
+
+TEST(Enumeration, RequiredComparisonOnFoldedVariableNeedsImplication) {
+  // The definitional rule filters z < 5, but z folds into the view; the
+  // combination is only emitted when the view guarantees the bound.
+  Pdms weak;
+  ASSERT_TRUE(weak.LoadProgram(R"(
+    peer M { relation Top(x, y); relation E1(x, y); relation E2(x, y); }
+    peer S { relation V(x, y); }
+    mapping M:Top(x, y) :- M:E1(x, z), M:E2(z, y), z < 5.
+    mapping (x, y) : S:V(x, y) <= M:E1(x, z), M:E2(z, y).
+    stored sv(x, y) <= S:V(x, y).
+  )").ok());
+  auto none = weak.Reformulate("q(x, y) :- M:Top(x, y).");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->rewriting.empty()) << none->rewriting.ToString();
+
+  Pdms strong;
+  ASSERT_TRUE(strong.LoadProgram(R"(
+    peer M { relation Top(x, y); relation E1(x, y); relation E2(x, y); }
+    peer S { relation V(x, y); }
+    mapping M:Top(x, y) :- M:E1(x, z), M:E2(z, y), z < 5.
+    mapping (x, y) : S:V(x, y) <= M:E1(x, z), M:E2(z, y), z < 3.
+    stored sv(x, y) <= S:V(x, y).
+  )").ok());
+  auto some = strong.Reformulate("q(x, y) :- M:Top(x, y).");
+  ASSERT_TRUE(some.ok());
+  EXPECT_EQ(some->rewriting.size(), 1u) << some->rewriting.ToString();
+}
+
+TEST(Enumeration, QueryComparisonsSurviveIntoRewritings) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer A { relation R(x, y); }
+    stored sr(x, y) <= A:R(x, y).
+    fact sr(1, 10).
+    fact sr(2, 20).
+  )").ok());
+  auto result = pdms.Reformulate("q(x) :- A:R(x, y), y > 15.");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rewriting.size(), 1u);
+  EXPECT_EQ(result->rewriting.disjuncts()[0].comparisons().size(), 1u);
+  auto answers = pdms.Answer("q(x) :- A:R(x, y), y > 15.");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+  EXPECT_TRUE(answers->Contains({Value::Int(2)}));
+}
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,230 @@
+// Property tests for the evaluation substrate: the backtracking join
+// evaluator against a brute-force reference, and semi-naive datalog
+// against naive fixpoint iteration.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pdms/eval/datalog.h"
+#include "pdms/eval/evaluator.h"
+#include "pdms/util/rng.h"
+
+namespace pdms {
+namespace {
+
+// Brute-force CQ evaluation: enumerate every assignment of body variables
+// over the active domain and test all atoms/comparisons.
+Relation BruteForceEvaluate(const ConjunctiveQuery& cq, const Database& db,
+                            const std::vector<Value>& domain) {
+  std::vector<std::string> vars;
+  for (const Atom& a : cq.body()) CollectVariables(a, &vars);
+  Relation out(cq.head().predicate(), cq.head().arity());
+
+  std::vector<size_t> indices(vars.size(), 0);
+  for (;;) {
+    std::map<std::string, Value> binding;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      binding[vars[i]] = domain[indices[i]];
+    }
+    bool ok = true;
+    for (const Atom& a : cq.body()) {
+      Tuple tuple;
+      for (const Term& t : a.args()) {
+        tuple.push_back(t.is_constant() ? t.value()
+                                        : binding.at(t.var_name()));
+      }
+      const Relation* rel = db.Find(a.predicate());
+      if (rel == nullptr || !rel->Contains(tuple)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const Comparison& c : cq.comparisons()) {
+        Value lhs = c.lhs.is_constant() ? c.lhs.value()
+                                        : binding.at(c.lhs.var_name());
+        Value rhs = c.rhs.is_constant() ? c.rhs.value()
+                                        : binding.at(c.rhs.var_name());
+        if (!EvalCmp(c.op, lhs, rhs)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      Tuple head;
+      for (const Term& t : cq.head().args()) {
+        head.push_back(t.is_constant() ? t.value()
+                                       : binding.at(t.var_name()));
+      }
+      out.Insert(std::move(head));
+    }
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < indices.size() && ++indices[pos] == domain.size()) {
+      indices[pos++] = 0;
+    }
+    if (pos == indices.size()) break;
+    if (vars.empty()) break;
+  }
+  return out;
+}
+
+class EvaluatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvaluatorPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int kDomain = 4;
+  std::vector<Value> domain;
+  for (int i = 0; i < kDomain; ++i) domain.push_back(Value::Int(i));
+
+  for (int round = 0; round < 25; ++round) {
+    // Random database over predicates r/2, s/2, t/1.
+    Database db;
+    size_t tuples = 3 + rng.Uniform(10);
+    for (size_t i = 0; i < tuples; ++i) {
+      switch (rng.Uniform(3)) {
+        case 0:
+          db.Insert("r", {Value::Int(rng.UniformInt(0, kDomain - 1)),
+                          Value::Int(rng.UniformInt(0, kDomain - 1))});
+          break;
+        case 1:
+          db.Insert("s", {Value::Int(rng.UniformInt(0, kDomain - 1)),
+                          Value::Int(rng.UniformInt(0, kDomain - 1))});
+          break;
+        default:
+          db.Insert("t", {Value::Int(rng.UniformInt(0, kDomain - 1))});
+      }
+    }
+    // Random query: 1-3 atoms, optional comparison.
+    std::vector<Atom> body;
+    size_t atoms = 1 + rng.Uniform(3);
+    auto var = [&]() {
+      return Term::Var(std::string(1, 'a' + rng.Uniform(4)));
+    };
+    for (size_t i = 0; i < atoms; ++i) {
+      switch (rng.Uniform(3)) {
+        case 0:
+          body.emplace_back("r", std::vector<Term>{var(), var()});
+          break;
+        case 1:
+          body.emplace_back("s", std::vector<Term>{var(), var()});
+          break;
+        default:
+          body.emplace_back("t", std::vector<Term>{var()});
+      }
+    }
+    std::vector<Comparison> cmps;
+    if (rng.Chance(0.5)) {
+      std::vector<std::string> vars;
+      for (const Atom& a : body) CollectVariables(a, &vars);
+      Term lhs = Term::Var(vars[rng.Uniform(vars.size())]);
+      Term rhs = rng.Chance(0.5)
+                     ? Term::Int(rng.UniformInt(0, kDomain - 1))
+                     : Term::Var(vars[rng.Uniform(vars.size())]);
+      cmps.push_back(
+          Comparison{lhs, static_cast<CmpOp>(rng.Uniform(6)), rhs});
+    }
+    std::vector<std::string> vars;
+    for (const Atom& a : body) CollectVariables(a, &vars);
+    std::vector<Term> head_args;
+    for (const std::string& v : vars) {
+      if (rng.Chance(0.5)) head_args.push_back(Term::Var(v));
+    }
+    ConjunctiveQuery query(Atom("q", head_args), body, cmps);
+
+    auto fast = EvaluateCQ(query, db);
+    ASSERT_TRUE(fast.ok()) << query.ToString();
+    Relation slow = BruteForceEvaluate(query, db, domain);
+    EXPECT_EQ(fast->size(), slow.size())
+        << query.ToString() << "\n"
+        << fast->ToString() << "\nvs\n"
+        << slow.ToString();
+    for (const Tuple& t : slow.tuples()) {
+      EXPECT_TRUE(fast->Contains(t)) << query.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorPropertyTest,
+                         ::testing::Range<uint64_t>(31, 41));
+
+// Naive datalog: re-evaluate every rule over the full instance until no
+// new tuples appear.
+Result<Database> NaiveDatalog(const std::vector<Rule>& rules,
+                              const Database& edb) {
+  Database total = edb;
+  for (const Rule& r : rules) {
+    PDMS_RETURN_IF_ERROR(
+        total.CreateRelation(r.head().predicate(), r.head().arity()));
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules) {
+      std::vector<BindingMap> matches;
+      PDMS_RETURN_IF_ERROR(ForEachMatch(rule.body(), rule.comparisons(),
+                                        total,
+                                        [&](const BindingMap& binding) {
+                                          matches.push_back(binding);
+                                          return true;
+                                        }));
+      for (const BindingMap& binding : matches) {
+        Tuple tuple;
+        for (const Term& t : rule.head().args()) {
+          tuple.push_back(t.is_constant() ? t.value()
+                                          : binding.at(t.var_name()));
+        }
+        if (total.Insert(rule.head().predicate(), std::move(tuple))) {
+          changed = true;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+class DatalogPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DatalogPropertyTest, SemiNaiveMatchesNaive) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    Database db;
+    size_t tuples = 4 + rng.Uniform(12);
+    for (size_t i = 0; i < tuples; ++i) {
+      db.Insert("e", {Value::Int(rng.UniformInt(0, 5)),
+                      Value::Int(rng.UniformInt(0, 5))});
+    }
+    // A mix of linear and nonlinear recursion.
+    std::vector<Rule> program = {
+        Rule(Atom("p", {Term::Var("x"), Term::Var("y")}),
+             {Atom("e", {Term::Var("x"), Term::Var("y")})}),
+        Rule(Atom("p", {Term::Var("x"), Term::Var("z")}),
+             {Atom("p", {Term::Var("x"), Term::Var("y")}),
+              Atom("p", {Term::Var("y"), Term::Var("z")})}),
+        Rule(Atom("q", {Term::Var("x")}),
+             {Atom("p", {Term::Var("x"), Term::Var("x")})}),
+    };
+    auto fast = EvaluateDatalog(program, db);
+    auto slow = NaiveDatalog(program, db);
+    ASSERT_TRUE(fast.ok() && slow.ok());
+    for (const char* rel : {"p", "q"}) {
+      const Relation* f = fast->Find(rel);
+      const Relation* s = slow->Find(rel);
+      ASSERT_NE(f, nullptr);
+      ASSERT_NE(s, nullptr);
+      EXPECT_EQ(f->size(), s->size()) << rel;
+      for (const Tuple& t : s->tuples()) {
+        EXPECT_TRUE(f->Contains(t)) << rel << " " << TupleToString(t);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatalogPropertyTest,
+                         ::testing::Range<uint64_t>(51, 57));
+
+}  // namespace
+}  // namespace pdms

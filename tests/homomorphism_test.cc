@@ -1,0 +1,181 @@
+// Tests for containment mappings (Chandra-Merlin), CQ minimization, and
+// redundancy removal on unions.
+
+#include <gtest/gtest.h>
+
+#include "pdms/data/database.h"
+#include "pdms/eval/evaluator.h"
+#include "pdms/lang/homomorphism.h"
+#include "pdms/lang/parser.h"
+#include "pdms/util/rng.h"
+
+namespace pdms {
+namespace {
+
+ConjunctiveQuery Q(const std::string& text) {
+  auto r = ParseRuleText(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(Containment, IdenticalQueriesContainEachOther) {
+  auto q = Q("q(x) :- r(x, y).");
+  EXPECT_TRUE(ContainsCQ(q, q));
+  EXPECT_TRUE(EquivalentCQ(q, q));
+}
+
+TEST(Containment, MoreSpecificIsContained) {
+  auto general = Q("q(x) :- r(x, y).");
+  auto specific = Q("q(x) :- r(x, y), s(y).");
+  EXPECT_TRUE(ContainsCQ(general, specific));
+  EXPECT_FALSE(ContainsCQ(specific, general));
+}
+
+TEST(Containment, RepeatedVariablePatterns) {
+  auto loop = Q("q(x) :- r(x, x).");
+  auto path = Q("q(x) :- r(x, y).");
+  // Every r(x,x) answer is an r(x,y) answer.
+  EXPECT_TRUE(ContainsCQ(path, loop));
+  EXPECT_FALSE(ContainsCQ(loop, path));
+}
+
+TEST(Containment, ConstantsMustMatch) {
+  auto with_const = Q("q(x) :- r(x, 3).");
+  auto general = Q("q(x) :- r(x, y).");
+  EXPECT_TRUE(ContainsCQ(general, with_const));
+  EXPECT_FALSE(ContainsCQ(with_const, general));
+  auto other_const = Q("q(x) :- r(x, 4).");
+  EXPECT_FALSE(ContainsCQ(with_const, other_const));
+}
+
+TEST(Containment, HeadMappingRespected) {
+  auto q1 = Q("q(x, y) :- r(x, y).");
+  auto q2 = Q("q(y, x) :- r(x, y).");
+  EXPECT_FALSE(ContainsCQ(q1, q2));
+  EXPECT_FALSE(ContainsCQ(q2, q1));
+}
+
+TEST(Containment, ClassicCycleExample) {
+  // A triangle query is contained in the path query of equal length.
+  auto path2 = Q("q() :- e(x, y), e(y, z).");
+  auto triangle = Q("q() :- e(a, b), e(b, c), e(c, a).");
+  EXPECT_TRUE(ContainsCQ(path2, triangle));
+  EXPECT_FALSE(ContainsCQ(triangle, path2));
+}
+
+TEST(Containment, ComparisonsConservative) {
+  auto general = Q("q(x) :- r(x, y), x < 5.");
+  auto exact = Q("q(x) :- r(x, y), x < 5.");
+  EXPECT_TRUE(ContainsCQ(general, exact));
+  auto flipped = Q("q(x) :- r(x, y), 5 > x.");
+  EXPECT_TRUE(ContainsCQ(general, flipped));
+  auto missing = Q("q(x) :- r(x, y).");
+  EXPECT_FALSE(ContainsCQ(general, missing));
+  // Ground instances evaluate.
+  auto grounded = Q("q(3) :- r(3, y).");
+  EXPECT_TRUE(ContainsCQ(general, grounded));
+  auto bad_ground = Q("q(9) :- r(9, y).");
+  EXPECT_FALSE(ContainsCQ(general, bad_ground));
+}
+
+TEST(Minimize, DropsRedundantAtoms) {
+  auto q = Q("q(x) :- r(x, y), r(x, z).");
+  ConjunctiveQuery min = MinimizeCQ(q);
+  EXPECT_EQ(min.body().size(), 1u);
+  EXPECT_TRUE(EquivalentCQ(q, min));
+}
+
+TEST(Minimize, KeepsNecessaryAtoms) {
+  auto q = Q("q(x) :- r(x, y), s(y, z).");
+  ConjunctiveQuery min = MinimizeCQ(q);
+  EXPECT_EQ(min.body().size(), 2u);
+}
+
+TEST(Minimize, CoreOfTriangleWithLoop) {
+  // e(x,x) folds the whole pattern onto the loop.
+  auto q = Q("q() :- e(x, x), e(x, y), e(y, x).");
+  ConjunctiveQuery min = MinimizeCQ(q);
+  EXPECT_EQ(min.body().size(), 1u) << min.ToString();
+}
+
+TEST(Minimize, QueriesWithComparisonsReturnedUnchanged) {
+  auto q = Q("q(x) :- r(x, y), r(x, z), y < 5.");
+  ConjunctiveQuery min = MinimizeCQ(q);
+  EXPECT_EQ(min.body().size(), 2u);
+}
+
+TEST(RemoveRedundant, DropsContainedDisjuncts) {
+  UnionQuery uq({
+      Q("q(x) :- r(x, y)."),
+      Q("q(x) :- r(x, y), s(y)."),  // contained in the first
+      Q("q(x) :- t(x)."),
+  });
+  UnionQuery cleaned = RemoveRedundantDisjuncts(uq);
+  EXPECT_EQ(cleaned.size(), 2u) << cleaned.ToString();
+}
+
+TEST(RemoveRedundant, KeepsOneOfEquivalentPair) {
+  UnionQuery uq({
+      Q("q(x) :- r(x, y)."),
+      Q("q(x) :- r(x, z)."),
+  });
+  UnionQuery cleaned = RemoveRedundantDisjuncts(uq);
+  EXPECT_EQ(cleaned.size(), 1u);
+}
+
+// Property: containment verdicts agree with evaluation on random small
+// databases (a positive ContainsCQ verdict means the specific query's
+// answers are always a subset of the general one's).
+
+class ContainmentPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContainmentPropertyTest, PositiveVerdictImpliesSubsetAnswers) {
+  Rng rng(GetParam());
+  auto random_query = [&](int max_atoms) {
+    std::vector<Atom> body;
+    int atoms = 1 + rng.Uniform(max_atoms);
+    for (int i = 0; i < atoms; ++i) {
+      std::string pred = rng.Chance(0.5) ? "r" : "s";
+      Term a = Term::Var(std::string(1, 'a' + rng.Uniform(3)));
+      Term b = rng.Chance(0.2)
+                   ? Term::Int(rng.UniformInt(0, 2))
+                   : Term::Var(std::string(1, 'a' + rng.Uniform(3)));
+      body.emplace_back(pred, std::vector<Term>{a, b});
+    }
+    // Head: one variable of the body.
+    std::vector<std::string> vars;
+    for (const Atom& a : body) CollectVariables(a, &vars);
+    Atom head("q", {Term::Var(vars.empty() ? "a" : vars[0])});
+    if (vars.empty()) body.emplace_back("r", std::vector<Term>{
+        Term::Var("a"), Term::Var("a")});
+    return ConjunctiveQuery(head, body);
+  };
+  for (int round = 0; round < 40; ++round) {
+    ConjunctiveQuery q1 = random_query(3);
+    ConjunctiveQuery q2 = random_query(3);
+    if (!ContainsCQ(q1, q2)) continue;
+    // Build a few random databases and check answers(q2) ⊆ answers(q1).
+    for (int d = 0; d < 3; ++d) {
+      Database db;
+      int tuples = 2 + rng.Uniform(6);
+      for (int t = 0; t < tuples; ++t) {
+        db.Insert(rng.Chance(0.5) ? "r" : "s",
+                  {Value::Int(rng.UniformInt(0, 2)),
+                   Value::Int(rng.UniformInt(0, 2))});
+      }
+      auto a1 = EvaluateCQ(q1, db);
+      auto a2 = EvaluateCQ(q2, db);
+      ASSERT_TRUE(a1.ok() && a2.ok());
+      for (const Tuple& t : a2->tuples()) {
+        EXPECT_TRUE(a1->Contains(t))
+            << q1.ToString() << " claimed to contain " << q2.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentPropertyTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+}  // namespace
+}  // namespace pdms

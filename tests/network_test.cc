@@ -1,0 +1,216 @@
+// Tests for the PDMS catalog: validation of peers/descriptions and the
+// Section 3 complexity classification.
+
+#include <gtest/gtest.h>
+
+#include "pdms/core/network.h"
+#include "pdms/core/ppl_parser.h"
+
+namespace pdms {
+namespace {
+
+PdmsNetwork MustParse(const std::string& text) {
+  auto program = ParsePplProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program->network);
+}
+
+TEST(Network, DuplicatePeerRejected) {
+  PdmsNetwork n;
+  ASSERT_TRUE(n.AddPeer("A", {{"R", 2}}).ok());
+  EXPECT_FALSE(n.AddPeer("A", {{"S", 1}}).ok());
+  EXPECT_FALSE(n.AddPeer("B", {{"R", 2}, {"R", 3}}).ok());
+}
+
+TEST(Network, RelationLookup) {
+  PdmsNetwork n;
+  ASSERT_TRUE(n.AddPeer("A", {{"R", 2}}).ok());
+  EXPECT_TRUE(n.IsPeerRelation("A:R"));
+  EXPECT_FALSE(n.IsPeerRelation("A:S"));
+  EXPECT_FALSE(n.IsStoredRelation("A:R"));
+  auto arity = n.RelationArity("A:R");
+  ASSERT_TRUE(arity.ok());
+  EXPECT_EQ(*arity, 2u);
+  EXPECT_FALSE(n.RelationArity("nope").ok());
+}
+
+TEST(Network, StorageValidation) {
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation R(x, y); }
+    stored s(x, y) <= A:R(x, y).
+  )");
+  EXPECT_TRUE(n.IsStoredRelation("s"));
+  EXPECT_EQ(n.StoredRelationNames(), (std::vector<std::string>{"s"}));
+  // Undeclared peer relation in the body.
+  auto bad = ParsePplProgram(R"(
+    peer A { relation R(x, y); }
+    stored s(x) <= A:Missing(x).
+  )");
+  EXPECT_FALSE(bad.ok());
+  // Arity mismatch.
+  auto bad2 = ParsePplProgram(R"(
+    peer A { relation R(x, y); }
+    stored s(x) <= A:R(x).
+  )");
+  EXPECT_FALSE(bad2.ok());
+  // Unsafe storage head.
+  auto bad3 = ParsePplProgram(R"(
+    peer A { relation R(x, y); }
+    stored s(x, w) <= A:R(x, y).
+  )");
+  EXPECT_FALSE(bad3.ok());
+  // Stored name colliding with a peer relation name is impossible by
+  // qualification, but a second declaration with a different arity fails.
+  auto bad4 = ParsePplProgram(R"(
+    peer A { relation R(x, y); }
+    stored s(x, y) <= A:R(x, y).
+    stored s(x) <= A:R(x, x).
+  )");
+  EXPECT_FALSE(bad4.ok());
+}
+
+TEST(Network, MappingValidation) {
+  auto bad = ParsePplProgram(R"(
+    peer A { relation R(x); }
+    mapping A:Missing(x) :- A:R(x).
+  )");
+  EXPECT_FALSE(bad.ok());
+  auto bad2 = ParsePplProgram(R"(
+    peer A { relation R(x); relation T(x, y); }
+    mapping A:T(x, y) :- A:R(x).
+  )");
+  EXPECT_FALSE(bad2.ok());  // unsafe head variable y
+}
+
+TEST(Classification, AcyclicInclusionsArePolynomial) {
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) <= A:R(x, y).
+    stored sb(x, y) <= B:S(x, y).
+  )");
+  Classification c = n.Classify();
+  EXPECT_TRUE(c.inclusions_acyclic);
+  EXPECT_FALSE(c.has_peer_equalities);
+  EXPECT_EQ(c.complexity, QueryComplexity::kPolynomial);
+  EXPECT_EQ(c.complexity_with_query_comparisons,
+            QueryComplexity::kCoNpComplete);
+  EXPECT_FALSE(c.Explain().empty());
+}
+
+TEST(Classification, CyclicInclusionsUndecidable) {
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) <= A:R(x, y).
+    mapping (x, y) : A:R(x, y) <= B:S(x, y).
+  )");
+  Classification c = n.Classify();
+  EXPECT_FALSE(c.inclusions_acyclic);
+  EXPECT_EQ(c.complexity, QueryComplexity::kUndecidable);
+}
+
+TEST(Classification, ProjectionFreeEqualityStaysPolynomial) {
+  // Theorem 3.2.1: replication-style equalities are fine.
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) = A:R(x, y).
+  )");
+  Classification c = n.Classify();
+  EXPECT_TRUE(c.has_peer_equalities);
+  EXPECT_TRUE(c.peer_equalities_projection_free);
+  EXPECT_EQ(c.complexity, QueryComplexity::kPolynomial);
+}
+
+TEST(Classification, ProjectingPeerEqualityUndecidable) {
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x); }
+    mapping (x) : B:S(x) = A:R(x, y).
+  )");
+  Classification c = n.Classify();
+  EXPECT_FALSE(c.peer_equalities_projection_free);
+  EXPECT_EQ(c.complexity, QueryComplexity::kUndecidable);
+}
+
+TEST(Classification, ProjectingEqualityStorageCoNp) {
+  // Theorem 3.2.2: equality storage descriptions with projections.
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation R(x, y); }
+    stored s(x) = A:R(x, y).
+  )");
+  Classification c = n.Classify();
+  EXPECT_TRUE(c.has_equality_storage);
+  EXPECT_FALSE(c.storage_equalities_projection_free);
+  EXPECT_EQ(c.complexity, QueryComplexity::kCoNpComplete);
+}
+
+TEST(Classification, DefinitionalHeadOnRhsBreaksIsolation) {
+  // Theorem 3.2.1 condition (2): a definitional head feeding another
+  // description's RHS.
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation P(x); relation Q(x); }
+    peer B { relation S(x); }
+    mapping A:P(x) :- A:Q(x).
+    mapping (x) : B:S(x) <= A:P(x).
+  )");
+  Classification c = n.Classify();
+  EXPECT_FALSE(c.definitional_heads_isolated);
+  EXPECT_EQ(c.complexity, QueryComplexity::kUndecidable);
+}
+
+TEST(Classification, ComparisonsInPeerMappingsCoNp) {
+  // Theorem 3.3.2: comparisons in non-definitional peer mappings.
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) <= A:R(x, y), x < 5.
+  )");
+  Classification c = n.Classify();
+  EXPECT_TRUE(c.comparisons_outside_safe_positions);
+  EXPECT_EQ(c.complexity, QueryComplexity::kCoNpComplete);
+}
+
+TEST(Classification, ComparisonsInStorageAndDefinitionalAreSafe) {
+  // Theorem 3.3.1: storage descriptions and definitional bodies may carry
+  // comparisons without losing PTIME.
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation R(x, y); relation Big(x, y); }
+    mapping A:Big(x, y) :- A:R(x, y), x > 100.
+    stored s(x, y) <= A:R(x, y), y < 10.
+  )");
+  Classification c = n.Classify();
+  EXPECT_FALSE(c.comparisons_outside_safe_positions);
+  EXPECT_EQ(c.complexity, QueryComplexity::kPolynomial);
+}
+
+TEST(Classification, RecursiveDefinitionalFlagged) {
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation E(x, y); relation TC(x, y); }
+    mapping A:TC(x, y) :- A:E(x, y).
+    mapping A:TC(x, z) :- A:TC(x, y), A:E(y, z).
+  )");
+  Classification c = n.Classify();
+  EXPECT_TRUE(c.definitional_recursive);
+}
+
+TEST(Network, ToStringRoundTrips) {
+  PdmsNetwork n = MustParse(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) <= A:R(x, y).
+    mapping B:S(x, x) :- A:R(x, x).
+    stored sb(x, y) <= B:S(x, y).
+  )");
+  std::string text = n.ToString();
+  auto reparsed = ParsePplProgram(text);
+  ASSERT_TRUE(reparsed.ok()) << text << "\n"
+                             << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->network.peers().size(), 2u);
+  EXPECT_EQ(reparsed->network.peer_mappings().size(), 2u);
+  EXPECT_EQ(reparsed->network.storage_descriptions().size(), 1u);
+}
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,126 @@
+// Tests for Step-1 normalization: equality splitting, fresh-view
+// introduction, bare-atom fast path, and index construction.
+
+#include <gtest/gtest.h>
+
+#include "pdms/core/normalize.h"
+#include "pdms/core/ppl_parser.h"
+
+namespace pdms {
+namespace {
+
+ExpansionRules NormalizeText(const std::string& text) {
+  auto program = ParsePplProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return Normalize(program->network);
+}
+
+TEST(Normalize, StorageBecomesDirectView) {
+  ExpansionRules r = NormalizeText(R"(
+    peer A { relation R(x, y); }
+    stored s(x, y) <= A:R(x, y).
+  )");
+  ASSERT_EQ(r.views.size(), 1u);
+  EXPECT_EQ(r.views[0].view.head().predicate(), "s");
+  EXPECT_TRUE(r.rules.empty());
+  EXPECT_EQ(r.stored.count("s"), 1u);
+  ASSERT_EQ(r.views_by_body_pred.count("A:R"), 1u);
+  EXPECT_EQ(r.num_descriptions, 1u);
+}
+
+TEST(Normalize, BareAtomInclusionSkipsFreshView) {
+  ExpansionRules r = NormalizeText(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) <= A:R(x, y).
+  )");
+  ASSERT_EQ(r.views.size(), 1u);
+  EXPECT_EQ(r.views[0].view.head().predicate(), "B:S");
+  EXPECT_TRUE(r.rules.empty());
+}
+
+TEST(Normalize, ComplexLhsIntroducesFreshViewAndRule) {
+  ExpansionRules r = NormalizeText(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); relation T(x, y); }
+    mapping (x, y) : B:S(x, z), B:T(z, y) <= A:R(x, y).
+  )");
+  ASSERT_EQ(r.views.size(), 1u);
+  ASSERT_EQ(r.rules.size(), 1u);
+  // Fresh predicate shared between the view head and the rule head.
+  EXPECT_EQ(r.views[0].view.head().predicate(),
+            r.rules[0].rule.head().predicate());
+  EXPECT_TRUE(r.rules[0].guard_exempt);
+  EXPECT_EQ(r.views[0].description_id, r.rules[0].description_id);
+}
+
+TEST(Normalize, EqualityYieldsBothDirections) {
+  ExpansionRules r = NormalizeText(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) = A:R(x, y).
+  )");
+  ASSERT_EQ(r.views.size(), 2u);
+  // Both directions share one description id (the reuse guard treats the
+  // equality as a single description).
+  EXPECT_EQ(r.views[0].description_id, r.views[1].description_id);
+  std::set<std::string> heads = {r.views[0].view.head().predicate(),
+                                 r.views[1].view.head().predicate()};
+  EXPECT_EQ(heads, (std::set<std::string>{"A:R", "B:S"}));
+}
+
+TEST(Normalize, DefinitionalRuleKept) {
+  ExpansionRules r = NormalizeText(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping A:R(x, y) :- B:S(x, y).
+  )");
+  ASSERT_EQ(r.rules.size(), 1u);
+  EXPECT_FALSE(r.rules[0].guard_exempt);
+  ASSERT_EQ(r.rules_by_head.count("A:R"), 1u);
+}
+
+TEST(Normalize, EqualityStorageUsedInSoundDirectionOnly) {
+  ExpansionRules r = NormalizeText(R"(
+    peer A { relation R(x, y); }
+    stored s(x, y) = A:R(x, y).
+  )");
+  // One view (s <= A:R); no reverse machinery.
+  EXPECT_EQ(r.views.size(), 1u);
+  EXPECT_TRUE(r.rules.empty());
+}
+
+TEST(Normalize, IndexesCoverAllBodyPredicates) {
+  ExpansionRules r = NormalizeText(R"(
+    peer A { relation R(x, y); relation R2(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) <= A:R(x, z), A:R2(z, y).
+  )");
+  EXPECT_EQ(r.views_by_body_pred.count("A:R"), 1u);
+  EXPECT_EQ(r.views_by_body_pred.count("A:R2"), 1u);
+  // A predicate appearing twice in one view body is indexed once.
+  ExpansionRules r2 = NormalizeText(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) <= A:R(x, z), A:R(z, y).
+  )");
+  ASSERT_EQ(r2.views_by_body_pred.count("A:R"), 1u);
+  EXPECT_EQ(r2.views_by_body_pred.at("A:R").size(), 1u);
+}
+
+TEST(Normalize, ToStringMentionsEverything) {
+  ExpansionRules r = NormalizeText(R"(
+    peer A { relation R(x, y); }
+    peer B { relation S(x, y); relation T(x, y); }
+    mapping (x, y) : B:S(x, z), B:T(z, y) <= A:R(x, y).
+    mapping A:R(x, y) :- B:S(x, y).
+    stored s(x, y) <= B:T(x, y).
+  )");
+  std::string text = r.ToString();
+  EXPECT_NE(text.find("view"), std::string::npos);
+  EXPECT_NE(text.find("rule"), std::string::npos);
+  EXPECT_NE(text.find("exempt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdms

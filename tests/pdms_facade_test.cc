@@ -1,0 +1,272 @@
+// Tests for the Pdms facade: incremental loading, validation at the API
+// boundary, option plumbing, and end-to-end behavior.
+
+#include "pdms/core/pdms.h"
+
+#include <gtest/gtest.h>
+
+namespace pdms {
+namespace {
+
+Pdms MakeSmallPdms() {
+  Pdms pdms;
+  Status s = pdms.LoadProgram(R"(
+    peer A { relation R(x, y); }
+    stored sr(x, y) <= A:R(x, y).
+    fact sr(1, 2).
+  )");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return pdms;
+}
+
+TEST(Pdms, AnswerFromText) {
+  Pdms pdms = MakeSmallPdms();
+  auto answers = pdms.Answer("q(x, y) :- A:R(x, y).");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+  EXPECT_TRUE(answers->Contains({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(Pdms, InsertValidatesCatalog) {
+  Pdms pdms = MakeSmallPdms();
+  EXPECT_TRUE(pdms.Insert("sr", {Value::Int(3), Value::Int(4)}).ok());
+  // Unknown stored relation.
+  Status s = pdms.Insert("nope", {Value::Int(1)});
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  // Arity mismatch.
+  s = pdms.Insert("sr", {Value::Int(1)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  auto answers = pdms.Answer("q(x, y) :- A:R(x, y).");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);
+}
+
+TEST(Pdms, ParseQueryValidatesRelations) {
+  Pdms pdms = MakeSmallPdms();
+  EXPECT_TRUE(pdms.ParseQuery("q(x) :- A:R(x, y).").ok());
+  // Queries may also target stored relations directly.
+  EXPECT_TRUE(pdms.ParseQuery("q(x) :- sr(x, y).").ok());
+  auto bad = pdms.ParseQuery("q(x) :- A:Missing(x).");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  auto bad_arity = pdms.ParseQuery("q(x) :- A:R(x).");
+  EXPECT_FALSE(bad_arity.ok());
+  EXPECT_EQ(bad_arity.status().code(), StatusCode::kInvalidArgument);
+  auto bad_syntax = pdms.ParseQuery("q(x) :-");
+  EXPECT_FALSE(bad_syntax.ok());
+}
+
+TEST(Pdms, QueriesOverStoredRelationsEvaluateDirectly) {
+  Pdms pdms = MakeSmallPdms();
+  auto answers = pdms.Answer("q(y) :- sr(1, y).");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_TRUE(answers->Contains({Value::Int(2)}));
+}
+
+TEST(Pdms, IncrementalExtension) {
+  // The PDMS's reason for being: new peers join and immediately benefit
+  // from existing mappings.
+  Pdms pdms = MakeSmallPdms();
+  auto before = pdms.Answer("q(x, y) :- A:R(x, y).");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 1u);
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) <= A:R(x, y).
+    stored sb(x, y) <= B:S(x, y).
+    fact sb(7, 8).
+  )").ok());
+  auto after = pdms.Answer("q(x, y) :- A:R(x, y).");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 2u);  // B's data now flows into A's schema
+  EXPECT_TRUE(after->Contains({Value::Int(7), Value::Int(8)}));
+}
+
+TEST(Pdms, MutatingNetworkInvalidatesReformulator) {
+  Pdms pdms = MakeSmallPdms();
+  ASSERT_TRUE(pdms.Answer("q(x, y) :- A:R(x, y).").ok());
+  // Direct catalog mutation through mutable_network must reset caches.
+  ASSERT_TRUE(pdms.mutable_network()
+                  ->AddPeer("C", {{"T", 1}})
+                  .ok());
+  PeerMapping pm;
+  pm.kind = PeerMappingKind::kDefinitional;
+  auto rule = pdms.ParseQuery("q(x) :- A:R(x, x).");
+  ASSERT_TRUE(rule.ok());
+  pm.rule = Rule(Atom("C:T", {Term::Var("x")}), rule->body());
+  ASSERT_TRUE(pdms.mutable_network()->AddPeerMapping(std::move(pm)).ok());
+  auto answers = pdms.Answer("q(x) :- C:T(x).");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_TRUE(answers->empty());  // no (v, v) tuple stored
+  ASSERT_TRUE(pdms.Insert("sr", {Value::Int(5), Value::Int(5)}).ok());
+  auto answers2 = pdms.Answer("q(x) :- C:T(x).");
+  ASSERT_TRUE(answers2.ok());
+  EXPECT_TRUE(answers2->Contains({Value::Int(5)}));
+}
+
+TEST(Pdms, OptionsPropagate) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer A { relation P(x); }
+    peer B { relation P1(x); relation P2(x); }
+    mapping A:P(x) :- B:P1(x).
+    mapping A:P(x) :- B:P2(x).
+    stored s1(x) <= B:P1(x).
+    stored s2(x) <= B:P2(x).
+  )").ok());
+  ReformulationOptions options;
+  options.max_rewritings = 1;
+  pdms.set_options(options);
+  auto result = pdms.Reformulate("q(x) :- A:P(x).");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rewriting.size(), 1u);
+  // Loosen again.
+  options.max_rewritings = 0;
+  pdms.set_options(options);
+  result = pdms.Reformulate("q(x) :- A:P(x).");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rewriting.size(), 2u);
+}
+
+TEST(Pdms, RemoveRedundantOption) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer FS {
+      relation SameEngine(f1, f2, e);
+      relation AssignedTo(f, e);
+    }
+    mapping FS:SameEngine(f1, f2, e) :-
+        FS:AssignedTo(f1, e), FS:AssignedTo(f2, e).
+    stored sa(f, e) <= FS:AssignedTo(f, e).
+  )").ok());
+  // SameEngine(f, f, e) folds to one atom; without minimization the
+  // rewriting has two copies.
+  ReformulationOptions options;
+  options.remove_redundant = true;
+  pdms.set_options(options);
+  auto result = pdms.Reformulate("q(f) :- FS:SameEngine(f, f, e).");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rewriting.size(), 1u);
+  EXPECT_EQ(result->rewriting.disjuncts()[0].body().size(), 1u)
+      << result->rewriting.ToString();
+}
+
+TEST(Pdms, SourceRestrictionsLimitRewritings) {
+  // Section 2: a querying peer may restrict which data sources are used.
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer A { relation P(x); }
+    peer B { relation P1(x); relation P2(x); }
+    mapping A:P(x) :- B:P1(x).
+    mapping A:P(x) :- B:P2(x).
+    stored s1(x) <= B:P1(x).
+    stored s2(x) <= B:P2(x).
+    fact s1(1).
+    fact s2(2).
+  )").ok());
+  ReformulationOptions options;
+  options.allowed_stored = {"s1"};
+  pdms.set_options(options);
+  auto result = pdms.Reformulate("q(x) :- A:P(x).");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rewriting.size(), 1u) << result->rewriting.ToString();
+  EXPECT_EQ(result->rewriting.disjuncts()[0].body()[0].predicate(), "s1");
+  auto answers = pdms.Answer("q(x) :- A:P(x).");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->Contains({Value::Int(1)}));
+  EXPECT_FALSE(answers->Contains({Value::Int(2)}));
+  // Lifting the restriction restores both sources.
+  options.allowed_stored.clear();
+  pdms.set_options(options);
+  auto full = pdms.Answer("q(x) :- A:P(x).");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->size(), 2u);
+}
+
+TEST(Pdms, AnswerStreamingDeliversDistinctTuplesEagerly) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer A { relation P(x); }
+    peer B { relation P1(x); relation P2(x); }
+    mapping A:P(x) :- B:P1(x).
+    mapping A:P(x) :- B:P2(x).
+    stored s1(x) <= B:P1(x).
+    stored s2(x) <= B:P2(x).
+    fact s1(1).
+    fact s1(2).
+    fact s2(2).
+    fact s2(3).
+  )").ok());
+  auto query = pdms.ParseQuery("q(x) :- A:P(x).");
+  ASSERT_TRUE(query.ok());
+  std::vector<Tuple> seen;
+  auto all = pdms.AnswerStreaming(*query, [&](const Tuple& t) {
+    seen.push_back(t);
+    return true;
+  });
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->size(), 3u);
+  EXPECT_EQ(seen.size(), 3u);  // the shared tuple (2) delivered once
+
+  // Early stop after the first answer.
+  size_t count = 0;
+  auto partial = pdms.AnswerStreaming(*query, [&](const Tuple&) {
+    return ++count < 1;
+  });
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(count, 1u);
+  EXPECT_LE(partial->size(), 3u);
+}
+
+TEST(Pdms, ExplainAnswerPinpointsWitnessRewritings) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer A { relation P(x); }
+    peer B { relation P1(x); relation P2(x); }
+    mapping A:P(x) :- B:P1(x).
+    mapping A:P(x) :- B:P2(x).
+    stored s1(x) <= B:P1(x).
+    stored s2(x) <= B:P2(x).
+    fact s1(1).
+    fact s2(1).
+    fact s2(2).
+  )").ok());
+  auto query = pdms.ParseQuery("q(x) :- A:P(x).");
+  ASSERT_TRUE(query.ok());
+  // Tuple (1) is justified by both sources.
+  auto both = pdms.ExplainAnswer(*query, {Value::Int(1)});
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  EXPECT_EQ(both->size(), 2u);
+  // Tuple (2) only by s2.
+  auto one = pdms.ExplainAnswer(*query, {Value::Int(2)});
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->size(), 1u);
+  EXPECT_EQ((*one)[0].body()[0].predicate(), "s2");
+  // A non-answer has no witnesses.
+  auto none = pdms.ExplainAnswer(*query, {Value::Int(99)});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  // Arity mismatch is rejected.
+  auto bad = pdms.ExplainAnswer(*query, {Value::Int(1), Value::Int(2)});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Pdms, EmptyNetworkQueriesFailGracefully) {
+  Pdms pdms;
+  auto bad = pdms.Answer("q(x) :- A:R(x).");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Pdms, LoadErrorsLeavePriorStateUsable) {
+  Pdms pdms = MakeSmallPdms();
+  Status bad = pdms.LoadProgram("peer X { relation }");
+  EXPECT_FALSE(bad.ok());
+  // The earlier declarations are still queryable.
+  auto answers = pdms.Answer("q(x, y) :- A:R(x, y).");
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,137 @@
+// Tests for the PPL program parser.
+
+#include <gtest/gtest.h>
+
+#include "pdms/core/ppl_parser.h"
+
+namespace pdms {
+namespace {
+
+TEST(PplParser, FullProgram) {
+  auto program = ParsePplProgram(R"(
+    // A little two-peer system.
+    peer A {
+      relation R(x, y);
+      relation T/3;
+    }
+    peer B { relation S(x, y); }
+    mapping (x, y) : B:S(x, y) <= A:R(x, y).
+    mapping A:R(x, x) :- B:S(x, x).
+    stored s(x, y) <= B:S(x, y).
+    stored t(x, y) = B:S(x, y).
+    fact s(1, 2).
+    fact s(-3, 4).
+    fact t(1, 1).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const PdmsNetwork& n = program->network;
+  EXPECT_EQ(n.peers().size(), 2u);
+  auto arity = n.RelationArity("A:T");
+  ASSERT_TRUE(arity.ok());
+  EXPECT_EQ(*arity, 3u);
+  EXPECT_EQ(n.peer_mappings().size(), 2u);
+  EXPECT_EQ(n.peer_mappings()[0].kind, PeerMappingKind::kInclusion);
+  EXPECT_EQ(n.peer_mappings()[1].kind, PeerMappingKind::kDefinitional);
+  ASSERT_EQ(n.storage_descriptions().size(), 2u);
+  EXPECT_FALSE(n.storage_descriptions()[0].is_equality);
+  EXPECT_TRUE(n.storage_descriptions()[1].is_equality);
+  EXPECT_EQ(program->data.TotalTuples(), 3u);
+  EXPECT_TRUE(program->data.Find("s")->Contains(
+      {Value::Int(-3), Value::Int(4)}));
+}
+
+TEST(PplParser, EqualityMapping) {
+  auto program = ParsePplProgram(R"(
+    peer A { relation R(v, d); }
+    peer B { relation S(v, d); }
+    mapping (v, d) : A:R(v, d) = B:S(v, d).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->network.peer_mappings().size(), 1u);
+  EXPECT_EQ(program->network.peer_mappings()[0].kind,
+            PeerMappingKind::kEquality);
+}
+
+TEST(PplParser, MappingWithComparisons) {
+  auto program = ParsePplProgram(R"(
+    peer A { relation R(x, y); relation Cheap(x, y); }
+    mapping A:Cheap(x, y) :- A:R(x, y), y < 100.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->network.peer_mappings()[0].rule.comparisons().size(),
+            1u);
+}
+
+TEST(PplParser, ErrorsAreInformative) {
+  // Unknown keyword.
+  auto e1 = ParsePplProgram("frobnicate A.");
+  ASSERT_FALSE(e1.ok());
+  EXPECT_NE(e1.status().message().find("frobnicate"), std::string::npos);
+  // Fact for a non-stored relation.
+  auto e2 = ParsePplProgram(R"(
+    peer A { relation R(x); }
+    fact r(1).
+  )");
+  ASSERT_FALSE(e2.ok());
+  EXPECT_NE(e2.status().message().find("stored"), std::string::npos);
+  // Non-ground fact.
+  auto e3 = ParsePplProgram(R"(
+    peer A { relation R(x); }
+    stored s(x) <= A:R(x).
+    fact s(x).
+  )");
+  EXPECT_FALSE(e3.ok());
+  // Fact arity mismatch.
+  auto e4 = ParsePplProgram(R"(
+    peer A { relation R(x); }
+    stored s(x) <= A:R(x).
+    fact s(1, 2).
+  )");
+  EXPECT_FALSE(e4.ok());
+  // Missing semicolon in peer block.
+  auto e5 = ParsePplProgram("peer A { relation R(x) }");
+  EXPECT_FALSE(e5.ok());
+  // Missing '.' between a mapping and the next statement. (A missing dot
+  // at end of input is tolerated by design.)
+  auto e6 = ParsePplProgram(R"(
+    peer A { relation R(x); relation P(x); }
+    mapping A:P(x) :- A:R(x)
+    stored s(x) <= A:R(x).
+  )");
+  EXPECT_FALSE(e6.ok());
+  // Interface form missing operator.
+  auto e7 = ParsePplProgram(R"(
+    peer A { relation R(x); }
+    mapping (x) : A:R(x) A:R(x).
+  )");
+  EXPECT_FALSE(e7.ok());
+}
+
+TEST(PplParser, IncrementalLoading) {
+  PdmsNetwork network;
+  Database data;
+  ASSERT_TRUE(ParsePplProgramInto("peer A { relation R(x); }", &network,
+                                  &data)
+                  .ok());
+  ASSERT_TRUE(ParsePplProgramInto(
+                  "stored s(x) <= A:R(x). fact s(7).", &network, &data)
+                  .ok());
+  EXPECT_EQ(network.peers().size(), 1u);
+  EXPECT_EQ(data.TotalTuples(), 1u);
+  // Later batches see earlier declarations; unknown names still fail.
+  EXPECT_FALSE(
+      ParsePplProgramInto("stored t(x) <= B:R(x).", &network, &data).ok());
+}
+
+TEST(PplParser, ArityZeroRelations) {
+  auto program = ParsePplProgram(R"(
+    peer A { relation Flag(); relation Also/0; }
+    stored f() <= A:Flag().
+    fact f().
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->data.Find("f")->size(), 1u);
+}
+
+}  // namespace
+}  // namespace pdms

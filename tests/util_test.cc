@@ -1,0 +1,114 @@
+// Unit tests for the utility substrate: Status/Result, strings, RNG.
+
+#include <gtest/gtest.h>
+
+#include "pdms/util/rng.h"
+#include "pdms/util/status.h"
+#include "pdms/util/strings.h"
+#include "pdms/util/timer.h"
+
+namespace pdms {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad arity");
+  EXPECT_EQ(err, Status::InvalidArgument("bad arity"));
+  EXPECT_FALSE(err == Status::NotFound("bad arity"));
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> Chain(int x) {
+  PDMS_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> good = ParsePositive(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 8);
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  Result<int> chained = Chain(4);
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(*chained, 9);
+  EXPECT_FALSE(Chain(0).ok());
+}
+
+TEST(Strings, JoinSplitStrip) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StripWhitespace("  hi \n"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(Strings, HashIsStable) {
+  EXPECT_EQ(Fnv1aHash("abc"), Fnv1aHash("abc"));
+  EXPECT_NE(Fnv1aHash("abc"), Fnv1aHash("abd"));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = c.Uniform(10);
+    EXPECT_LT(v, 10u);
+    int64_t w = c.UniformInt(-5, 5);
+    EXPECT_GE(w, -5);
+    EXPECT_LE(w, 5);
+    double d = c.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[rng.Uniform(4)];
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(WallTimer, MeasuresElapsed) {
+  WallTimer t;
+  double first = t.ElapsedMillis();
+  EXPECT_GE(first, 0.0);
+  // Monotonic.
+  EXPECT_GE(t.ElapsedMillis(), first);
+  t.Reset();
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace pdms

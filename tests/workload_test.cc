@@ -1,0 +1,228 @@
+// Tests for the Section 5 workload generator.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pdms/core/reformulator.h"
+#include "pdms/gen/workload.h"
+
+namespace pdms {
+namespace {
+
+TEST(Workload, DeterministicInSeed) {
+  gen::WorkloadConfig config;
+  config.num_peers = 24;
+  config.num_strata = 3;
+  config.seed = 99;
+  auto w1 = gen::GenerateWorkload(config);
+  auto w2 = gen::GenerateWorkload(config);
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  EXPECT_EQ(w1->network.ToString(), w2->network.ToString());
+  EXPECT_EQ(w1->query.ToString(), w2->query.ToString());
+  config.seed = 100;
+  auto w3 = gen::GenerateWorkload(config);
+  ASSERT_TRUE(w3.ok());
+  EXPECT_NE(w1->network.ToString(), w3->network.ToString());
+}
+
+TEST(Workload, StructureMatchesConfig) {
+  gen::WorkloadConfig config;
+  config.num_peers = 24;
+  config.num_strata = 4;
+  config.relations_per_peer = 2;
+  config.providers_per_relation = 2;
+  config.definitional_fraction = 0;  // inclusions only: one mapping each
+  config.seed = 7;
+  auto w = gen::GenerateWorkload(config);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->network.peers().size(), 24u);
+  // Every relation above the bottom stratum (18 peers × 2 relations)
+  // gets two providers.
+  EXPECT_EQ(w->network.peer_mappings().size(), 18u * 2u * 2u);
+  // Bottom stratum: 6 peers × 2 relations stored.
+  EXPECT_EQ(w->network.storage_descriptions().size(), 12u);
+  EXPECT_EQ(w->query.body().size(), config.query_subgoals);
+  // Acyclic by construction (mappings always point up-stratum).
+  EXPECT_TRUE(w->network.Classify().inclusions_acyclic);
+}
+
+TEST(Workload, DefinitionalFractionExtremes) {
+  gen::WorkloadConfig config;
+  config.num_peers = 20;
+  config.num_strata = 2;
+  config.seed = 5;
+  config.definitional_fraction = 0.0;
+  auto all_incl = gen::GenerateWorkload(config);
+  ASSERT_TRUE(all_incl.ok());
+  for (const PeerMapping& m : all_incl->network.peer_mappings()) {
+    EXPECT_EQ(m.kind, PeerMappingKind::kInclusion);
+  }
+  config.definitional_fraction = 1.0;
+  auto all_def = gen::GenerateWorkload(config);
+  ASSERT_TRUE(all_def.ok());
+  for (const PeerMapping& m : all_def->network.peer_mappings()) {
+    EXPECT_EQ(m.kind, PeerMappingKind::kDefinitional);
+  }
+}
+
+TEST(Workload, GeneratedDataPopulatesStoredRelations) {
+  gen::WorkloadConfig config;
+  config.num_peers = 12;
+  config.num_strata = 2;
+  config.facts_per_stored = 5;
+  config.seed = 3;
+  auto w = gen::GenerateWorkload(config);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT(w->data.TotalTuples(), 0u);
+  for (const std::string& name : w->network.StoredRelationNames()) {
+    const Relation* rel = w->data.Find(name);
+    ASSERT_NE(rel, nullptr);
+    EXPECT_LE(rel->size(), config.facts_per_stored);  // set semantics
+    EXPECT_GE(rel->size(), 1u);
+  }
+}
+
+TEST(Workload, DefinitionalUnionWidthMultipliesRules) {
+  gen::WorkloadConfig config;
+  config.num_peers = 12;
+  config.num_strata = 2;
+  config.definitional_fraction = 1.0;  // all providers definitional
+  config.providers_per_relation = 1;
+  config.relations_per_peer = 2;
+  config.seed = 4;
+  config.definitional_union_width = 1;
+  auto narrow = gen::GenerateWorkload(config);
+  config.definitional_union_width = 3;
+  auto wide = gen::GenerateWorkload(config);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  EXPECT_EQ(wide->network.peer_mappings().size(),
+            3 * narrow->network.peer_mappings().size());
+}
+
+TEST(Workload, FillerRelationsAreNeverProvidedOrStored) {
+  gen::WorkloadConfig config;
+  config.num_peers = 12;
+  config.num_strata = 3;
+  config.filler_fraction = 1.0;  // every non-covered slot is a filler
+  config.seed = 6;
+  auto w = gen::GenerateWorkload(config);
+  ASSERT_TRUE(w.ok());
+  for (const PeerMapping& m : w->network.peer_mappings()) {
+    if (m.kind == PeerMappingKind::kDefinitional) {
+      EXPECT_EQ(m.rule.head().predicate().find(":F"), std::string::npos);
+    }
+  }
+  for (const StorageDescription& d : w->network.storage_descriptions()) {
+    for (const Atom& a : d.view.body()) {
+      EXPECT_EQ(a.predicate().find(":F"), std::string::npos);
+    }
+  }
+}
+
+TEST(Workload, OrphansNeverChosenForQuery) {
+  gen::WorkloadConfig config;
+  config.num_peers = 12;
+  config.num_strata = 2;
+  config.unprovided_fraction = 0.5;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    config.seed = seed;
+    auto w = gen::GenerateWorkload(config);
+    ASSERT_TRUE(w.ok());
+    // Collect relations that have providers (heads of rules / RHS members
+    // of inclusions).
+    std::set<std::string> provided;
+    for (const PeerMapping& m : w->network.peer_mappings()) {
+      if (m.kind == PeerMappingKind::kDefinitional) {
+        provided.insert(m.rule.head().predicate());
+      } else {
+        for (const Atom& a : m.rhs.body()) provided.insert(a.predicate());
+      }
+    }
+    if (provided.empty()) continue;  // fully orphaned stratum: allowed
+    for (const Atom& a : w->query.body()) {
+      EXPECT_TRUE(provided.count(a.predicate()) > 0)
+          << "seed " << seed << " query uses orphan " << a.ToString();
+    }
+  }
+}
+
+TEST(Workload, ComparisonFractionAddsComparisons) {
+  gen::WorkloadConfig config;
+  config.num_peers = 12;
+  config.num_strata = 2;
+  config.definitional_fraction = 1.0;
+  config.comparison_fraction = 1.0;
+  config.seed = 8;
+  auto w = gen::GenerateWorkload(config);
+  ASSERT_TRUE(w.ok());
+  size_t with = 0;
+  for (const PeerMapping& m : w->network.peer_mappings()) {
+    if (!m.rule.comparisons().empty()) ++with;
+  }
+  EXPECT_EQ(with, w->network.peer_mappings().size());
+  // Comparisons sit in definitional bodies only: the classifier keeps the
+  // network in the PTIME fragment (Theorem 3.3.1).
+  EXPECT_FALSE(
+      w->network.Classify().comparisons_outside_safe_positions);
+}
+
+TEST(Workload, InvalidConfigsRejected) {
+  gen::WorkloadConfig config;
+  config.num_peers = 2;
+  config.num_strata = 5;
+  EXPECT_FALSE(gen::GenerateWorkload(config).ok());
+  config = {};
+  config.arity = 1;
+  EXPECT_FALSE(gen::GenerateWorkload(config).ok());
+  config = {};
+  config.chain_length = 0;
+  EXPECT_FALSE(gen::GenerateWorkload(config).ok());
+}
+
+TEST(Workload, ReformulationRunsOnGeneratedPdms) {
+  gen::WorkloadConfig config;
+  config.num_peers = 24;
+  config.num_strata = 3;
+  config.definitional_fraction = 0.25;
+  config.seed = 11;
+  auto w = gen::GenerateWorkload(config);
+  ASSERT_TRUE(w.ok());
+  Reformulator reformulator(w->network);
+  auto result = reformulator.Reformulate(w->query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.total_nodes(), 0u);
+  // Every rewriting is over stored relations only.
+  for (const ConjunctiveQuery& cq : result->rewriting.disjuncts()) {
+    for (const Atom& a : cq.body()) {
+      EXPECT_TRUE(w->network.IsStoredRelation(a.predicate()))
+          << a.ToString();
+    }
+  }
+}
+
+TEST(Workload, TreeDepthTracksStrata) {
+  // More strata => larger rule-goal trees on average (the paper's main
+  // observation; individual instances vary, so compare seed-averaged
+  // sizes at the extremes).
+  auto average_nodes = [](size_t strata) {
+    double total = 0;
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      gen::WorkloadConfig config;
+      config.num_peers = 24;
+      config.num_strata = strata;
+      config.seed = seed;
+      auto w = gen::GenerateWorkload(config);
+      EXPECT_TRUE(w.ok());
+      Reformulator reformulator(w->network);
+      auto tree = reformulator.BuildTree(w->query);
+      EXPECT_TRUE(tree.ok());
+      total += static_cast<double>(tree->stats.total_nodes());
+    }
+    return total / 10.0;
+  };
+  EXPECT_GT(average_nodes(4), average_nodes(1));
+}
+
+}  // namespace
+}  // namespace pdms
