@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_optimizations"
+  "../bench/ablation_optimizations.pdb"
+  "CMakeFiles/ablation_optimizations.dir/ablation_optimizations.cc.o"
+  "CMakeFiles/ablation_optimizations.dir/ablation_optimizations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/eval_join"
+  "../bench/eval_join.pdb"
+  "CMakeFiles/eval_join.dir/eval_join.cc.o"
+  "CMakeFiles/eval_join.dir/eval_join.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_tree_size"
+  "../bench/fig3_tree_size.pdb"
+  "CMakeFiles/fig3_tree_size.dir/fig3_tree_size.cc.o"
+  "CMakeFiles/fig3_tree_size.dir/fig3_tree_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_tree_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_time_to_rewritings"
+  "../bench/fig4_time_to_rewritings.pdb"
+  "CMakeFiles/fig4_time_to_rewritings.dir/fig4_time_to_rewritings.cc.o"
+  "CMakeFiles/fig4_time_to_rewritings.dir/fig4_time_to_rewritings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_time_to_rewritings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

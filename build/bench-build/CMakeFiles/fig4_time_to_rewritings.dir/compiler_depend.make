@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_time_to_rewritings.
+# This may be replaced when dependencies are built.

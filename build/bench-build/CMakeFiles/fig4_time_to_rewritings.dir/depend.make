@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_time_to_rewritings.
+# This may be replaced when dependencies are built.

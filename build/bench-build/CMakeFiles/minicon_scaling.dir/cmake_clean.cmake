@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/minicon_scaling"
+  "../bench/minicon_scaling.pdb"
+  "CMakeFiles/minicon_scaling.dir/minicon_scaling.cc.o"
+  "CMakeFiles/minicon_scaling.dir/minicon_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicon_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/peers_sweep"
+  "../bench/peers_sweep.pdb"
+  "CMakeFiles/peers_sweep.dir/peers_sweep.cc.o"
+  "CMakeFiles/peers_sweep.dir/peers_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peers_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emergency.dir/emergency.cc.o"
+  "CMakeFiles/emergency.dir/emergency.cc.o.d"
+  "emergency"
+  "emergency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

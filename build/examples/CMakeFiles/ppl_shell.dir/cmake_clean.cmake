@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppl_shell.dir/ppl_shell.cc.o"
+  "CMakeFiles/ppl_shell.dir/ppl_shell.cc.o.d"
+  "ppl_shell"
+  "ppl_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppl_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

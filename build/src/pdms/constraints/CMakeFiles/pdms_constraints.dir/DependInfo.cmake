@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdms/constraints/constraint_set.cc" "src/pdms/constraints/CMakeFiles/pdms_constraints.dir/constraint_set.cc.o" "gcc" "src/pdms/constraints/CMakeFiles/pdms_constraints.dir/constraint_set.cc.o.d"
+  "/root/repo/src/pdms/constraints/cq_containment.cc" "src/pdms/constraints/CMakeFiles/pdms_constraints.dir/cq_containment.cc.o" "gcc" "src/pdms/constraints/CMakeFiles/pdms_constraints.dir/cq_containment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdms/lang/CMakeFiles/pdms_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/util/CMakeFiles/pdms_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/data/CMakeFiles/pdms_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

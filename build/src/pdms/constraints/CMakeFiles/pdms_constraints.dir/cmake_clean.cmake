@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdms_constraints.dir/constraint_set.cc.o"
+  "CMakeFiles/pdms_constraints.dir/constraint_set.cc.o.d"
+  "CMakeFiles/pdms_constraints.dir/cq_containment.cc.o"
+  "CMakeFiles/pdms_constraints.dir/cq_containment.cc.o.d"
+  "libpdms_constraints.a"
+  "libpdms_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdms_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdms/core/certain_answers.cc" "src/pdms/core/CMakeFiles/pdms_core.dir/certain_answers.cc.o" "gcc" "src/pdms/core/CMakeFiles/pdms_core.dir/certain_answers.cc.o.d"
+  "/root/repo/src/pdms/core/enumerate.cc" "src/pdms/core/CMakeFiles/pdms_core.dir/enumerate.cc.o" "gcc" "src/pdms/core/CMakeFiles/pdms_core.dir/enumerate.cc.o.d"
+  "/root/repo/src/pdms/core/network.cc" "src/pdms/core/CMakeFiles/pdms_core.dir/network.cc.o" "gcc" "src/pdms/core/CMakeFiles/pdms_core.dir/network.cc.o.d"
+  "/root/repo/src/pdms/core/normalize.cc" "src/pdms/core/CMakeFiles/pdms_core.dir/normalize.cc.o" "gcc" "src/pdms/core/CMakeFiles/pdms_core.dir/normalize.cc.o.d"
+  "/root/repo/src/pdms/core/pdms.cc" "src/pdms/core/CMakeFiles/pdms_core.dir/pdms.cc.o" "gcc" "src/pdms/core/CMakeFiles/pdms_core.dir/pdms.cc.o.d"
+  "/root/repo/src/pdms/core/ppl.cc" "src/pdms/core/CMakeFiles/pdms_core.dir/ppl.cc.o" "gcc" "src/pdms/core/CMakeFiles/pdms_core.dir/ppl.cc.o.d"
+  "/root/repo/src/pdms/core/ppl_parser.cc" "src/pdms/core/CMakeFiles/pdms_core.dir/ppl_parser.cc.o" "gcc" "src/pdms/core/CMakeFiles/pdms_core.dir/ppl_parser.cc.o.d"
+  "/root/repo/src/pdms/core/reformulator.cc" "src/pdms/core/CMakeFiles/pdms_core.dir/reformulator.cc.o" "gcc" "src/pdms/core/CMakeFiles/pdms_core.dir/reformulator.cc.o.d"
+  "/root/repo/src/pdms/core/rule_goal_tree.cc" "src/pdms/core/CMakeFiles/pdms_core.dir/rule_goal_tree.cc.o" "gcc" "src/pdms/core/CMakeFiles/pdms_core.dir/rule_goal_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdms/minicon/CMakeFiles/pdms_minicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/eval/CMakeFiles/pdms_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/constraints/CMakeFiles/pdms_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/lang/CMakeFiles/pdms_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/data/CMakeFiles/pdms_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/util/CMakeFiles/pdms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

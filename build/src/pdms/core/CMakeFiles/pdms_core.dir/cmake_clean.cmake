@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdms_core.dir/certain_answers.cc.o"
+  "CMakeFiles/pdms_core.dir/certain_answers.cc.o.d"
+  "CMakeFiles/pdms_core.dir/enumerate.cc.o"
+  "CMakeFiles/pdms_core.dir/enumerate.cc.o.d"
+  "CMakeFiles/pdms_core.dir/network.cc.o"
+  "CMakeFiles/pdms_core.dir/network.cc.o.d"
+  "CMakeFiles/pdms_core.dir/normalize.cc.o"
+  "CMakeFiles/pdms_core.dir/normalize.cc.o.d"
+  "CMakeFiles/pdms_core.dir/pdms.cc.o"
+  "CMakeFiles/pdms_core.dir/pdms.cc.o.d"
+  "CMakeFiles/pdms_core.dir/ppl.cc.o"
+  "CMakeFiles/pdms_core.dir/ppl.cc.o.d"
+  "CMakeFiles/pdms_core.dir/ppl_parser.cc.o"
+  "CMakeFiles/pdms_core.dir/ppl_parser.cc.o.d"
+  "CMakeFiles/pdms_core.dir/reformulator.cc.o"
+  "CMakeFiles/pdms_core.dir/reformulator.cc.o.d"
+  "CMakeFiles/pdms_core.dir/rule_goal_tree.cc.o"
+  "CMakeFiles/pdms_core.dir/rule_goal_tree.cc.o.d"
+  "libpdms_core.a"
+  "libpdms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

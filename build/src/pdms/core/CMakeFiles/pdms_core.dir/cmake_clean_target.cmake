@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdms_core.a"
+)

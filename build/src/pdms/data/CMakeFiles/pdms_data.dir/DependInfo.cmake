@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdms/data/database.cc" "src/pdms/data/CMakeFiles/pdms_data.dir/database.cc.o" "gcc" "src/pdms/data/CMakeFiles/pdms_data.dir/database.cc.o.d"
+  "/root/repo/src/pdms/data/relation.cc" "src/pdms/data/CMakeFiles/pdms_data.dir/relation.cc.o" "gcc" "src/pdms/data/CMakeFiles/pdms_data.dir/relation.cc.o.d"
+  "/root/repo/src/pdms/data/value.cc" "src/pdms/data/CMakeFiles/pdms_data.dir/value.cc.o" "gcc" "src/pdms/data/CMakeFiles/pdms_data.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdms/util/CMakeFiles/pdms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdms_data.dir/database.cc.o"
+  "CMakeFiles/pdms_data.dir/database.cc.o.d"
+  "CMakeFiles/pdms_data.dir/relation.cc.o"
+  "CMakeFiles/pdms_data.dir/relation.cc.o.d"
+  "CMakeFiles/pdms_data.dir/value.cc.o"
+  "CMakeFiles/pdms_data.dir/value.cc.o.d"
+  "libpdms_data.a"
+  "libpdms_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdms_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdms/eval/chase.cc" "src/pdms/eval/CMakeFiles/pdms_eval.dir/chase.cc.o" "gcc" "src/pdms/eval/CMakeFiles/pdms_eval.dir/chase.cc.o.d"
+  "/root/repo/src/pdms/eval/datalog.cc" "src/pdms/eval/CMakeFiles/pdms_eval.dir/datalog.cc.o" "gcc" "src/pdms/eval/CMakeFiles/pdms_eval.dir/datalog.cc.o.d"
+  "/root/repo/src/pdms/eval/evaluator.cc" "src/pdms/eval/CMakeFiles/pdms_eval.dir/evaluator.cc.o" "gcc" "src/pdms/eval/CMakeFiles/pdms_eval.dir/evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdms/lang/CMakeFiles/pdms_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/data/CMakeFiles/pdms_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/util/CMakeFiles/pdms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdms_eval.dir/chase.cc.o"
+  "CMakeFiles/pdms_eval.dir/chase.cc.o.d"
+  "CMakeFiles/pdms_eval.dir/datalog.cc.o"
+  "CMakeFiles/pdms_eval.dir/datalog.cc.o.d"
+  "CMakeFiles/pdms_eval.dir/evaluator.cc.o"
+  "CMakeFiles/pdms_eval.dir/evaluator.cc.o.d"
+  "libpdms_eval.a"
+  "libpdms_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdms_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

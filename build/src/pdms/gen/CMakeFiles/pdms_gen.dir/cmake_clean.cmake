@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdms_gen.dir/emergency.cc.o"
+  "CMakeFiles/pdms_gen.dir/emergency.cc.o.d"
+  "CMakeFiles/pdms_gen.dir/workload.cc.o"
+  "CMakeFiles/pdms_gen.dir/workload.cc.o.d"
+  "libpdms_gen.a"
+  "libpdms_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdms_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

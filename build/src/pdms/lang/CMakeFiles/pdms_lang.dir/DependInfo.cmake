@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdms/lang/atom.cc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/atom.cc.o" "gcc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/atom.cc.o.d"
+  "/root/repo/src/pdms/lang/canonical.cc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/canonical.cc.o" "gcc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/canonical.cc.o.d"
+  "/root/repo/src/pdms/lang/conjunctive_query.cc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/conjunctive_query.cc.o" "gcc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/conjunctive_query.cc.o.d"
+  "/root/repo/src/pdms/lang/homomorphism.cc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/homomorphism.cc.o" "gcc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/homomorphism.cc.o.d"
+  "/root/repo/src/pdms/lang/parser.cc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/parser.cc.o" "gcc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/parser.cc.o.d"
+  "/root/repo/src/pdms/lang/substitution.cc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/substitution.cc.o" "gcc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/substitution.cc.o.d"
+  "/root/repo/src/pdms/lang/term.cc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/term.cc.o" "gcc" "src/pdms/lang/CMakeFiles/pdms_lang.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdms/data/CMakeFiles/pdms_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/util/CMakeFiles/pdms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

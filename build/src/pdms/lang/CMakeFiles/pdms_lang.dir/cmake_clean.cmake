@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdms_lang.dir/atom.cc.o"
+  "CMakeFiles/pdms_lang.dir/atom.cc.o.d"
+  "CMakeFiles/pdms_lang.dir/canonical.cc.o"
+  "CMakeFiles/pdms_lang.dir/canonical.cc.o.d"
+  "CMakeFiles/pdms_lang.dir/conjunctive_query.cc.o"
+  "CMakeFiles/pdms_lang.dir/conjunctive_query.cc.o.d"
+  "CMakeFiles/pdms_lang.dir/homomorphism.cc.o"
+  "CMakeFiles/pdms_lang.dir/homomorphism.cc.o.d"
+  "CMakeFiles/pdms_lang.dir/parser.cc.o"
+  "CMakeFiles/pdms_lang.dir/parser.cc.o.d"
+  "CMakeFiles/pdms_lang.dir/substitution.cc.o"
+  "CMakeFiles/pdms_lang.dir/substitution.cc.o.d"
+  "CMakeFiles/pdms_lang.dir/term.cc.o"
+  "CMakeFiles/pdms_lang.dir/term.cc.o.d"
+  "libpdms_lang.a"
+  "libpdms_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdms_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdms_minicon.dir/mcd.cc.o"
+  "CMakeFiles/pdms_minicon.dir/mcd.cc.o.d"
+  "CMakeFiles/pdms_minicon.dir/rewrite.cc.o"
+  "CMakeFiles/pdms_minicon.dir/rewrite.cc.o.d"
+  "libpdms_minicon.a"
+  "libpdms_minicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdms_minicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

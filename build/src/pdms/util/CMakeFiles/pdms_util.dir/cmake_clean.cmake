@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdms_util.dir/status.cc.o"
+  "CMakeFiles/pdms_util.dir/status.cc.o.d"
+  "CMakeFiles/pdms_util.dir/strings.cc.o"
+  "CMakeFiles/pdms_util.dir/strings.cc.o.d"
+  "libpdms_util.a"
+  "libpdms_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdms_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

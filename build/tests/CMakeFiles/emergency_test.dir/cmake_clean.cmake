@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emergency_test.dir/emergency_test.cc.o"
+  "CMakeFiles/emergency_test.dir/emergency_test.cc.o.d"
+  "emergency_test"
+  "emergency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lang_test.cc" "tests/CMakeFiles/lang_test.dir/lang_test.cc.o" "gcc" "tests/CMakeFiles/lang_test.dir/lang_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdms/gen/CMakeFiles/pdms_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/core/CMakeFiles/pdms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/minicon/CMakeFiles/pdms_minicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/eval/CMakeFiles/pdms_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/constraints/CMakeFiles/pdms_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/lang/CMakeFiles/pdms_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/data/CMakeFiles/pdms_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdms/util/CMakeFiles/pdms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdms_facade_test.dir/pdms_facade_test.cc.o"
+  "CMakeFiles/pdms_facade_test.dir/pdms_facade_test.cc.o.d"
+  "pdms_facade_test"
+  "pdms_facade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdms_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppl_parser_test.dir/ppl_parser_test.cc.o"
+  "CMakeFiles/ppl_parser_test.dir/ppl_parser_test.cc.o.d"
+  "ppl_parser_test"
+  "ppl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_goal_tree_test.dir/rule_goal_tree_test.cc.o"
+  "CMakeFiles/rule_goal_tree_test.dir/rule_goal_tree_test.cc.o.d"
+  "rule_goal_tree_test"
+  "rule_goal_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_goal_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
