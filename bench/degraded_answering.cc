@@ -1,0 +1,161 @@
+// Measures graceful degradation on the Figure-3 synthetic workload: as a
+// growing fraction of data-serving peers becomes unavailable, how much
+// reformulation work is saved (branches pruned before enumeration), how
+// many rewritings survive, and how much of the answer set is lost.
+//
+// Expected shape: reformulation time and rewriting count fall monotonically
+// with the unavailable fraction (pruning pays for itself), answers shrink
+// toward zero, and the completeness verdict flips kComplete -> kPartial ->
+// kEmptyBecauseUnavailable. Every degraded answer set is a subset of the
+// fully-available one; the harness verifies this on every run.
+//
+// Knobs: PDMS_BENCH_RUNS (default 5), PDMS_BENCH_PEERS (default 64),
+// PDMS_BENCH_STRATA (default 3).
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "pdms/core/pdms.h"
+#include "pdms/gen/workload.h"
+#include "pdms/util/rng.h"
+
+namespace pdms {
+namespace {
+
+struct Point {
+  double avg_reform_ms = 0;
+  double avg_rewritings = 0;
+  double avg_pruned = 0;
+  double avg_answers = 0;
+  double avg_loss = 0;  // 1 - |degraded| / |full|, over runs with answers
+  size_t complete = 0;
+  size_t partial = 0;
+  size_t empty_unavail = 0;
+  size_t subset_violations = 0;
+};
+
+// The peers that actually serve stored relations; only these matter for
+// availability (mediator-stratum peers hold no data).
+std::vector<std::string> ServingPeers(const PdmsNetwork& network) {
+  std::set<std::string> peers;
+  for (const auto& desc : network.storage_descriptions()) {
+    if (!desc.peer.empty()) peers.insert(desc.peer);
+  }
+  return {peers.begin(), peers.end()};
+}
+
+Point MeasurePoint(size_t num_peers, size_t strata, double down_fraction,
+                   size_t runs) {
+  Point point;
+  size_t measured = 0;
+  for (size_t run = 0; run < runs; ++run) {
+    gen::WorkloadConfig config;
+    config.num_peers = num_peers;
+    config.num_strata = strata;
+    config.providers_per_relation = 2;
+    config.facts_per_stored = 8;
+    config.seed = 9000 + run;
+    auto workload = gen::GenerateWorkload(config);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "generator: %s\n",
+                   workload.status().ToString().c_str());
+      continue;
+    }
+
+    // The fully-available reference answers for the subset check.
+    Pdms full;
+    *full.mutable_network() = workload->network;
+    *full.mutable_database() = workload->data;
+    auto full_result = full.AnswerWithReport(workload->query);
+    if (!full_result.ok()) continue;
+
+    Pdms pdms;
+    *pdms.mutable_network() = workload->network;
+    *pdms.mutable_database() = workload->data;
+    std::vector<std::string> serving = ServingPeers(pdms.network());
+    size_t down_count = static_cast<size_t>(
+        down_fraction * static_cast<double>(serving.size()) + 0.5);
+    Rng rng(config.seed ^ 0x9e3779b97f4a7c15ull);
+    for (size_t i = 0; i < down_count && !serving.empty(); ++i) {
+      size_t pick = rng.Uniform(serving.size());
+      (void)pdms.mutable_network()->SetPeerAvailable(serving[pick], false);
+      serving.erase(serving.begin() + static_cast<long>(pick));
+    }
+
+    auto result = pdms.AnswerWithReport(workload->query);
+    if (!result.ok()) continue;
+    ++measured;
+
+    point.avg_reform_ms += result->stats.build_ms + result->stats.enumerate_ms;
+    point.avg_rewritings += static_cast<double>(result->stats.rewritings);
+    point.avg_pruned +=
+        static_cast<double>(result->stats.pruned_unavailable);
+    point.avg_answers += static_cast<double>(result->answers.size());
+    switch (result->degradation.completeness) {
+      case Completeness::kComplete: ++point.complete; break;
+      case Completeness::kPartial: ++point.partial; break;
+      case Completeness::kEmptyBecauseUnavailable:
+        ++point.empty_unavail;
+        break;
+    }
+    if (full_result->answers.size() > 0) {
+      point.avg_loss += 1.0 - static_cast<double>(result->answers.size()) /
+                                  static_cast<double>(
+                                      full_result->answers.size());
+    }
+    for (const Tuple& t : result->answers.tuples()) {
+      if (!full_result->answers.Contains(t)) {
+        ++point.subset_violations;
+        break;
+      }
+    }
+  }
+  if (measured > 0) {
+    double n = static_cast<double>(measured);
+    point.avg_reform_ms /= n;
+    point.avg_rewritings /= n;
+    point.avg_pruned /= n;
+    point.avg_answers /= n;
+    point.avg_loss /= n;
+  }
+  return point;
+}
+
+}  // namespace
+}  // namespace pdms
+
+int main() {
+  using pdms::bench::EnvSize;
+  size_t runs = EnvSize("PDMS_BENCH_RUNS", 5);
+  size_t peers = EnvSize("PDMS_BENCH_PEERS", 64);
+  size_t strata = EnvSize("PDMS_BENCH_STRATA", 3);
+
+  std::printf(
+      "# Degraded answering: Figure-3 workload (%zu peers, %zu strata, "
+      "avg of %zu runs)\n",
+      peers, strata, runs);
+  std::printf("%-8s %10s %11s %9s %9s %7s %20s %8s\n", "down", "reform_ms",
+              "rewritings", "pruned", "answers", "loss%",
+              "complete/partial/empty", "sound");
+  size_t violations = 0;
+  for (double fraction : {0.0, 0.10, 0.25, 0.50, 0.75, 1.0}) {
+    pdms::Point p = pdms::MeasurePoint(peers, strata, fraction, runs);
+    std::printf("%-8.2f %10.2f %11.1f %9.1f %9.1f %7.1f %8zu/%zu/%zu %12s\n",
+                fraction, p.avg_reform_ms, p.avg_rewritings, p.avg_pruned,
+                p.avg_answers, 100.0 * p.avg_loss, p.complete, p.partial,
+                p.empty_unavail, p.subset_violations == 0 ? "yes" : "NO");
+    violations += p.subset_violations;
+    std::fflush(stdout);
+  }
+  if (violations > 0) {
+    std::printf("# ERROR: %zu run(s) produced non-certain answers\n",
+                violations);
+    return 1;
+  }
+  std::printf("# all degraded answer sets were subsets of the full run\n");
+  return 0;
+}

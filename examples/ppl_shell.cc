@@ -13,6 +13,8 @@
 //   schema               print the network specification
 //   data                 print the stored relations
 //   classify             Section 3 complexity analysis
+//   down/up <name>       toggle peer or stored-relation availability
+//   avail                list unavailable sources
 //   quit
 
 #include <cstdio>
@@ -43,22 +45,56 @@ void LoadFile(const std::string& path) {
 }
 
 void RunQuery(const std::string& text, bool evaluate) {
-  auto result = g_pdms.Reformulate(text);
+  if (!evaluate) {
+    auto result = g_pdms.Reformulate(text);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("%zu rewriting(s):\n%s\n", result->rewriting.size(),
+                result->rewriting.ToString().c_str());
+    std::printf("%s", result->stats.ToString().c_str());
+    return;
+  }
+  auto result = g_pdms.AnswerWithReport(text);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
-  std::printf("%zu rewriting(s):\n%s\n", result->rewriting.size(),
-              result->rewriting.ToString().c_str());
   std::printf("%s", result->stats.ToString().c_str());
-  if (!evaluate) return;
-  auto answers = g_pdms.Answer(text);
-  if (!answers.ok()) {
-    std::printf("evaluation error: %s\n",
-                answers.status().ToString().c_str());
+  std::printf("answers:\n%s\n", result->answers.ToString().c_str());
+  std::printf("%s", result->degradation.ToString().c_str());
+}
+
+// `down X` / `up X` toggle availability of a peer or a stored relation.
+void SetAvailability(const std::string& name, bool available) {
+  pdms::Status status = g_pdms.mutable_network()->SetPeerAvailable(
+      name, available);
+  if (!status.ok()) {
+    status = g_pdms.mutable_network()->SetStoredRelationAvailable(
+        name, available);
+  }
+  if (!status.ok()) {
+    std::printf("error: no peer or stored relation named %s\n", name.c_str());
     return;
   }
-  std::printf("answers:\n%s\n", answers->ToString().c_str());
+  std::printf("%s is now %s\n", name.c_str(),
+              available ? "available" : "unavailable");
+}
+
+void ShowAvailability() {
+  const auto peers = g_pdms.network().UnavailablePeers();
+  const auto stored = g_pdms.network().UnavailableStoredRelations();
+  if (peers.empty() && stored.empty()) {
+    std::printf("all peers and stored relations available\n");
+    return;
+  }
+  for (const std::string& p : peers) {
+    std::printf("peer %s: down\n", p.c_str());
+  }
+  for (const std::string& s : stored) {
+    std::printf("stored %s: unreachable\n", s.c_str());
+  }
 }
 
 void ShowTree(const std::string& text) {
@@ -88,6 +124,9 @@ void Help() {
       "  schema             print the network\n"
       "  data               print the stored relations\n"
       "  classify           Section 3 complexity analysis\n"
+      "  down <name>        mark a peer or stored relation unavailable\n"
+      "  up <name>          mark it available again\n"
+      "  avail              list unavailable peers/stored relations\n"
       "  help               this text\n"
       "  quit               exit\n");
 }
@@ -113,6 +152,14 @@ int main(int argc, char** argv) {
       std::printf("%s", g_pdms.database().ToString().c_str());
     } else if (trimmed == "classify") {
       std::printf("%s", g_pdms.Classify().Explain().c_str());
+    } else if (trimmed == "avail") {
+      ShowAvailability();
+    } else if (pdms::StartsWith(trimmed, "down ")) {
+      SetAvailability(std::string(pdms::StripWhitespace(trimmed.substr(5))),
+                      /*available=*/false);
+    } else if (pdms::StartsWith(trimmed, "up ")) {
+      SetAvailability(std::string(pdms::StripWhitespace(trimmed.substr(3))),
+                      /*available=*/true);
     } else if (pdms::StartsWith(trimmed, "load ")) {
       LoadFile(std::string(pdms::StripWhitespace(trimmed.substr(5))));
     } else if (pdms::StartsWith(trimmed, "? ")) {

@@ -65,6 +65,7 @@ Status PdmsNetwork::AddPeer(Peer peer) {
     peer_relation_arity_[QualifiedName(peer.name, rel)] = arity;
   }
   peers_.push_back(std::move(peer));
+  ++revision_;
   return Status::Ok();
 }
 
@@ -111,10 +112,17 @@ Status PdmsNetwork::AddStorageDescription(StorageDescription desc) {
   if (desc.name.empty()) {
     desc.name = StrFormat("storage#%zu", storage_.size());
   }
+  if (desc.peer.empty() && !desc.view.body().empty()) {
+    // The storing peer defaults to the owner of the first described
+    // relation ("A:R" -> "A"); availability tracking keys off it.
+    const std::string& qualified = desc.view.body()[0].predicate();
+    desc.peer = qualified.substr(0, qualified.find(':'));
+  }
   PDMS_RETURN_IF_ERROR(ValidateBody(desc.view, desc.name));
   PDMS_RETURN_IF_ERROR(desc.view.CheckSafe());
   stored_relation_arity_[head.predicate()] = head.arity();
   storage_.push_back(std::move(desc));
+  ++revision_;
   return Status::Ok();
 }
 
@@ -149,6 +157,7 @@ Status PdmsNetwork::AddPeerMapping(PeerMapping mapping) {
     PDMS_RETURN_IF_ERROR(mapping.rhs.CheckSafe());
   }
   mappings_.push_back(std::move(mapping));
+  ++revision_;
   return Status::Ok();
 }
 
@@ -173,6 +182,76 @@ std::vector<std::string> PdmsNetwork::StoredRelationNames() const {
   out.reserve(stored_relation_arity_.size());
   for (const auto& [name, arity] : stored_relation_arity_) {
     out.push_back(name);
+  }
+  return out;
+}
+
+Result<std::string> PdmsNetwork::StoredRelationPeer(
+    const std::string& name) const {
+  if (!IsStoredRelation(name)) {
+    return Status::NotFound("not a stored relation: " + name);
+  }
+  for (const StorageDescription& d : storage_) {
+    if (d.stored_atom().predicate() == name) return d.peer;
+  }
+  return Status::Internal("stored relation without storage description: " +
+                          name);
+}
+
+Status PdmsNetwork::SetPeerAvailable(const std::string& peer,
+                                     bool available) {
+  bool declared = false;
+  for (const Peer& p : peers_) declared = declared || p.name == peer;
+  if (!declared) return Status::NotFound("unknown peer: " + peer);
+  if (available) {
+    unavailable_peers_.erase(peer);
+  } else {
+    unavailable_peers_.insert(peer);
+  }
+  return Status::Ok();
+}
+
+Status PdmsNetwork::SetStoredRelationAvailable(const std::string& name,
+                                               bool available) {
+  if (!IsStoredRelation(name)) {
+    return Status::NotFound("not a stored relation: " + name);
+  }
+  if (available) {
+    unavailable_stored_.erase(name);
+  } else {
+    unavailable_stored_.insert(name);
+  }
+  return Status::Ok();
+}
+
+bool PdmsNetwork::IsPeerAvailable(const std::string& peer) const {
+  return unavailable_peers_.count(peer) == 0;
+}
+
+bool PdmsNetwork::IsStoredRelationAvailable(const std::string& name) const {
+  if (unavailable_stored_.count(name) > 0) return false;
+  for (const StorageDescription& d : storage_) {
+    if (d.stored_atom().predicate() == name &&
+        unavailable_peers_.count(d.peer) > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> PdmsNetwork::UnavailablePeers() const {
+  return std::vector<std::string>(unavailable_peers_.begin(),
+                                  unavailable_peers_.end());
+}
+
+std::set<std::string> PdmsNetwork::UnavailableStoredRelations() const {
+  std::set<std::string> out = unavailable_stored_;
+  if (!unavailable_peers_.empty()) {
+    for (const StorageDescription& d : storage_) {
+      if (unavailable_peers_.count(d.peer) > 0) {
+        out.insert(d.stored_atom().predicate());
+      }
+    }
   }
   return out;
 }

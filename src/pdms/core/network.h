@@ -1,7 +1,9 @@
 #ifndef PDMS_CORE_NETWORK_H_
 #define PDMS_CORE_NETWORK_H_
 
+#include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -93,6 +95,40 @@ class PdmsNetwork {
   /// Names of all stored relations, sorted.
   std::vector<std::string> StoredRelationNames() const;
 
+  /// The peer serving a stored relation (from its first storage
+  /// description); error if the name is not a stored relation.
+  Result<std::string> StoredRelationPeer(const std::string& name) const;
+
+  // --- Availability (robustness layer) ---
+  //
+  // Peers in a PDMS come and go; the catalog tracks which are reachable
+  // right now. Availability is *state*, not specification: toggling it
+  // does not change the mappings and does not invalidate normalization
+  // (`revision()` is unchanged) — the reformulator simply treats stored
+  // relations of down peers as unusable sources for the query at hand.
+
+  /// Marks a peer reachable/unreachable. Error if the peer is undeclared.
+  Status SetPeerAvailable(const std::string& peer, bool available);
+  /// Marks a single stored relation reachable/unreachable (finer-grained
+  /// than a whole peer). Error if the name is not a stored relation.
+  Status SetStoredRelationAvailable(const std::string& name, bool available);
+
+  /// True unless the peer was marked unavailable.
+  bool IsPeerAvailable(const std::string& peer) const;
+  /// True unless the relation — or the peer serving it — is unavailable.
+  bool IsStoredRelationAvailable(const std::string& name) const;
+
+  /// Peers currently marked unavailable, sorted.
+  std::vector<std::string> UnavailablePeers() const;
+  /// Stored relations that cannot be scanned right now: marked down
+  /// themselves, or served by a down peer.
+  std::set<std::string> UnavailableStoredRelations() const;
+
+  /// Monotonic counter bumped by every *catalog* mutation (AddPeer,
+  /// AddStorageDescription, AddPeerMapping). Cached normalizations are
+  /// valid exactly as long as the revision they were built at.
+  uint64_t revision() const { return revision_; }
+
   /// Structural complexity analysis (Section 3).
   Classification Classify() const;
 
@@ -108,6 +144,9 @@ class PdmsNetwork {
   std::vector<PeerMapping> mappings_;
   std::map<std::string, size_t> peer_relation_arity_;  // qualified -> arity
   std::map<std::string, size_t> stored_relation_arity_;
+  std::set<std::string> unavailable_peers_;
+  std::set<std::string> unavailable_stored_;
+  uint64_t revision_ = 0;
 };
 
 }  // namespace pdms

@@ -1,5 +1,9 @@
 #include "pdms/core/pdms.h"
 
+#include <algorithm>
+#include <set>
+
+#include "pdms/fault/access.h"
 #include "pdms/eval/evaluator.h"
 #include "pdms/lang/parser.h"
 #include "pdms/util/strings.h"
@@ -9,13 +13,20 @@ namespace pdms {
 Pdms::Pdms(ReformulationOptions options) : options_(options) {}
 
 Status Pdms::LoadProgram(std::string_view text) {
-  reformulator_.reset();
+  // Catalog additions bump the network revision, which GetReformulator
+  // checks; no explicit invalidation is needed here.
   return ParsePplProgramInto(text, &network_, &data_);
 }
 
-PdmsNetwork* Pdms::mutable_network() {
-  reformulator_.reset();
-  return &network_;
+PdmsNetwork* Pdms::mutable_network() { return &network_; }
+
+FaultInjector* Pdms::mutable_fault_injector() {
+  if (injector_ == nullptr) injector_ = std::make_unique<FaultInjector>(1);
+  return injector_.get();
+}
+
+void Pdms::set_fault_seed(uint64_t seed) {
+  injector_ = std::make_unique<FaultInjector>(seed);
 }
 
 Status Pdms::Insert(std::string_view stored_relation, Tuple tuple) {
@@ -35,7 +46,9 @@ Status Pdms::Insert(std::string_view stored_relation, Tuple tuple) {
 
 void Pdms::set_options(const ReformulationOptions& options) {
   options_ = options;
-  if (reformulator_ != nullptr) reformulator_->set_options(options);
+  // The cached reformulator (if any) receives the new options — and is
+  // revalidated against the network revision — inside GetReformulator, so
+  // an options change can never resurrect a stale normalization.
 }
 
 Result<ConjunctiveQuery> Pdms::ParseQuery(std::string_view text) const {
@@ -59,14 +72,25 @@ Result<ConjunctiveQuery> Pdms::ParseQuery(std::string_view text) const {
 }
 
 Reformulator* Pdms::GetReformulator() {
-  if (reformulator_ == nullptr) {
+  if (reformulator_ == nullptr ||
+      reformulator_revision_ != network_.revision()) {
     reformulator_ = std::make_unique<Reformulator>(network_, options_);
+    reformulator_revision_ = network_.revision();
+  } else {
+    reformulator_->set_options(options_);
   }
   return reformulator_.get();
 }
 
+ReformulationOptions Pdms::EffectiveOptions() const {
+  ReformulationOptions effective = options_;
+  std::set<std::string> down = network_.UnavailableStoredRelations();
+  effective.unavailable_stored.insert(down.begin(), down.end());
+  return effective;
+}
+
 Result<ReformulationResult> Pdms::Reformulate(const ConjunctiveQuery& query) {
-  return GetReformulator()->Reformulate(query);
+  return GetReformulator()->Reformulate(query, EffectiveOptions());
 }
 
 Result<ReformulationResult> Pdms::Reformulate(std::string_view query_text) {
@@ -75,11 +99,8 @@ Result<ReformulationResult> Pdms::Reformulate(std::string_view query_text) {
 }
 
 Result<Relation> Pdms::Answer(const ConjunctiveQuery& query) {
-  PDMS_ASSIGN_OR_RETURN(ReformulationResult result, Reformulate(query));
-  if (result.rewriting.empty()) {
-    return Relation(query.head().predicate(), query.head().arity());
-  }
-  return EvaluateUnion(result.rewriting, data_);
+  PDMS_ASSIGN_OR_RETURN(AnswerResult result, AnswerWithReport(query));
+  return std::move(result.answers);
 }
 
 Result<Relation> Pdms::Answer(std::string_view query_text) {
@@ -87,15 +108,105 @@ Result<Relation> Pdms::Answer(std::string_view query_text) {
   return Answer(query);
 }
 
+void Pdms::FillDegradation(const ReformulationStats& stats,
+                           const std::vector<std::string>& failed_relations,
+                           size_t rewritings_skipped,
+                           const AccessStats& access, bool any_answers,
+                           DegradationReport* report) const {
+  report->access = access;
+  report->rewritings_skipped = rewritings_skipped;
+  report->branches_pruned = stats.pruned_unavailable;
+
+  // Excluded stored relations: catalog-unavailable ones the reformulator
+  // pruned, plus those whose scans failed all retries at evaluation time.
+  std::set<std::string> stored(stats.excluded_stored.begin(),
+                               stats.excluded_stored.end());
+  stored.insert(failed_relations.begin(), failed_relations.end());
+  report->excluded_stored.assign(stored.begin(), stored.end());
+
+  // Excluded peers: every peer serving an excluded relation, plus peers
+  // marked down in the catalog.
+  std::set<std::string> peers;
+  for (const std::string& relation : stored) {
+    auto peer = network_.StoredRelationPeer(relation);
+    if (peer.ok() && !peer->empty()) peers.insert(*peer);
+  }
+  for (const std::string& peer : network_.UnavailablePeers()) {
+    peers.insert(peer);
+  }
+  report->excluded_peers.assign(peers.begin(), peers.end());
+
+  if (!report->degraded()) {
+    report->completeness = Completeness::kComplete;
+  } else if (any_answers) {
+    report->completeness = Completeness::kPartial;
+  } else {
+    report->completeness = Completeness::kEmptyBecauseUnavailable;
+  }
+}
+
+Result<AnswerResult> Pdms::AnswerWithReport(const ConjunctiveQuery& query) {
+  AnswerResult out;
+  out.answers = Relation(query.head().predicate(), query.head().arity());
+
+  // Step 1: reformulate with currently-unavailable sources pruned from
+  // the rule-goal tree (recorded in the stats).
+  PDMS_ASSIGN_OR_RETURN(
+      ReformulationResult ref,
+      GetReformulator()->Reformulate(query, EffectiveOptions()));
+  out.stats = ref.stats;
+
+  // Step 2: evaluate, mediating every stored-relation scan through the
+  // fault layer (retries with backoff, deadline, per-query caching).
+  AccessController access(injector_.get(), retry_, deadline_,
+                          [this](const std::string& relation) {
+                            auto peer = network_.StoredRelationPeer(relation);
+                            return peer.ok() ? *peer : std::string();
+                          });
+  size_t rewritings_skipped = 0;
+  std::vector<std::string> failed;
+  if (!ref.rewriting.empty()) {
+    PDMS_ASSIGN_OR_RETURN(
+        DegradedEvalResult eval,
+        EvaluateUnionDegraded(ref.rewriting, data_,
+                              [&](const std::string& relation) {
+                                return access.Access(relation);
+                              }));
+    out.answers = std::move(eval.answers);
+    rewritings_skipped = eval.disjuncts_skipped;
+    failed = std::move(eval.unavailable_relations);
+  }
+
+  // Step 3: the degradation report.
+  FillDegradation(out.stats, failed, rewritings_skipped, access.stats(),
+                  !out.answers.empty(), &out.degradation);
+  return out;
+}
+
+Result<AnswerResult> Pdms::AnswerWithReport(std::string_view query_text) {
+  PDMS_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseQuery(query_text));
+  return AnswerWithReport(query);
+}
+
 Result<Relation> Pdms::AnswerStreaming(
     const ConjunctiveQuery& query,
     const std::function<bool(const Tuple&)>& on_answer) {
   Relation answers(query.head().predicate(), query.head().arity());
+  AccessController access(injector_.get(), retry_, deadline_,
+                          [this](const std::string& relation) {
+                            auto peer = network_.StoredRelationPeer(relation);
+                            return peer.ok() ? *peer : std::string();
+                          });
   Status eval_error = Status::Ok();
   auto result = GetReformulator()->ReformulateStreaming(
-      query, [&](const ConjunctiveQuery& rewriting) {
-        auto part = EvaluateCQ(rewriting, data_);
+      query, EffectiveOptions(), [&](const ConjunctiveQuery& rewriting) {
+        auto part = EvaluateCQ(rewriting, data_, [&](const std::string& r) {
+          return access.Access(r);
+        });
         if (!part.ok()) {
+          // A rewriting over an unavailable source degrades the stream
+          // (its answers are simply missing); other errors abort.
+          if (part.status().code() == StatusCode::kUnavailable) return true;
           eval_error = part.status();
           return false;
         }

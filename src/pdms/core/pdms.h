@@ -10,8 +10,23 @@
 #include "pdms/core/ppl_parser.h"
 #include "pdms/core/reformulator.h"
 #include "pdms/data/database.h"
+#include "pdms/fault/degradation.h"
+#include "pdms/fault/fault_injector.h"
+#include "pdms/fault/retry.h"
 
 namespace pdms {
+
+/// A query's full outcome: the answer tuples, the reformulation
+/// statistics, and the degradation report saying exactly which sources
+/// could not contribute and what it cost to find out. Under degradation
+/// the answers are still sound — every tuple is a certain answer — but
+/// possibly a strict subset of the fully-available result, and the
+/// report's completeness verdict says which.
+struct AnswerResult {
+  Relation answers{"q", 0};
+  ReformulationStats stats;
+  DegradationReport degradation;
+};
 
 /// The top-level facade: a peer data management system instance holding a
 /// network specification and the stored data, answering queries end to end
@@ -34,7 +49,10 @@ class Pdms {
   /// this instance.
   Status LoadProgram(std::string_view text);
 
-  /// Mutable access to the specification; invalidates cached normalization.
+  /// Mutable access to the specification. Catalog mutations bump the
+  /// network's revision; the cached normalization is revalidated against
+  /// it on the next query, so stale reformulations are impossible even if
+  /// the returned pointer is stored and used much later.
   PdmsNetwork* mutable_network();
   const PdmsNetwork& network() const { return network_; }
 
@@ -48,6 +66,25 @@ class Pdms {
   void set_options(const ReformulationOptions& options);
   const ReformulationOptions& options() const { return options_; }
 
+  // --- Fault tolerance ---
+
+  /// Retry policy applied when a stored-relation scan fails (see
+  /// docs/fault_tolerance.md).
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Per-query deadline on simulated access time (latency + backoff).
+  void set_deadline(Deadline deadline) { deadline_ = deadline; }
+  const Deadline& deadline() const { return deadline_; }
+
+  /// The fault injector consulted on every stored-relation scan (created
+  /// lazily, seeded by `set_fault_seed`; null until first requested, in
+  /// which case scans are assumed to always succeed).
+  FaultInjector* mutable_fault_injector();
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+  /// (Re)creates the injector with a fresh seed; profiles are discarded.
+  void set_fault_seed(uint64_t seed);
+
   /// Parses a query in rule syntax, e.g. `q(x) :- H:Doctor(x, h).`.
   Result<ConjunctiveQuery> ParseQuery(std::string_view text) const;
 
@@ -57,9 +94,18 @@ class Pdms {
 
   /// Reformulates and evaluates: the answers obtained from the stored data
   /// (all of them certain answers; all certain answers in the PTIME
-  /// fragments of Section 3).
+  /// fragments of Section 3 when every source is available).
   Result<Relation> Answer(const ConjunctiveQuery& query);
   Result<Relation> Answer(std::string_view query_text);
+
+  /// Answer with the degradation report: sources that are unavailable in
+  /// the catalog are pruned during reformulation, scans are mediated by
+  /// the fault injector (with retries and the deadline), and the result
+  /// carries a completeness verdict plus the excluded peers/relations and
+  /// retry/timeout counters. `Answer` is equivalent to calling this and
+  /// keeping only the tuples.
+  Result<AnswerResult> AnswerWithReport(const ConjunctiveQuery& query);
+  Result<AnswerResult> AnswerWithReport(std::string_view query_text);
 
   /// Streaming variant: each rewriting is evaluated as soon as the
   /// reformulator emits it, and every *new* answer tuple is delivered to
@@ -90,11 +136,22 @@ class Pdms {
 
  private:
   Reformulator* GetReformulator();
+  /// The session options plus the network's current availability state.
+  ReformulationOptions EffectiveOptions() const;
+  /// Builds the report from static exclusions + dynamic scan failures.
+  void FillDegradation(const ReformulationStats& stats,
+                       const std::vector<std::string>& failed_relations,
+                       size_t rewritings_skipped, const AccessStats& access,
+                       bool any_answers, DegradationReport* report) const;
 
   PdmsNetwork network_;
   Database data_;
   ReformulationOptions options_;
-  std::unique_ptr<Reformulator> reformulator_;  // rebuilt after mutations
+  RetryPolicy retry_;
+  Deadline deadline_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<Reformulator> reformulator_;  // rebuilt on revision change
+  uint64_t reformulator_revision_ = 0;  // network revision it was built at
 };
 
 }  // namespace pdms

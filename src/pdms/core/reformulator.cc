@@ -17,8 +17,14 @@ Result<RuleGoalTree> Reformulator::BuildTree(const ConjunctiveQuery& query) {
 
 Result<ReformulationResult> Reformulator::ReformulateStreaming(
     const ConjunctiveQuery& query, const RewritingSink& sink) {
+  return ReformulateStreaming(query, options_, sink);
+}
+
+Result<ReformulationResult> Reformulator::ReformulateStreaming(
+    const ConjunctiveQuery& query, const ReformulationOptions& options,
+    const RewritingSink& sink) {
   WallTimer timer;
-  TreeBuilder builder(rules_, options_);
+  TreeBuilder builder(rules_, options);
   PDMS_ASSIGN_OR_RETURN(RuleGoalTree tree, builder.Build(query));
   tree.stats.build_ms = timer.ElapsedMillis();
 
@@ -26,7 +32,7 @@ Result<ReformulationResult> Reformulator::ReformulateStreaming(
   result.stats = tree.stats;
   WallTimer enumerate_timer;
   PDMS_RETURN_IF_ERROR(EnumerateRewritings(
-      tree, options_, timer, &result.stats,
+      tree, options, timer, &result.stats,
       [&](const ConjunctiveQuery& cq) {
         if (!sink(cq)) return false;
         result.rewriting.Add(cq);
@@ -34,7 +40,7 @@ Result<ReformulationResult> Reformulator::ReformulateStreaming(
       }));
   result.stats.enumerate_ms = enumerate_timer.ElapsedMillis();
 
-  if (options_.remove_redundant) {
+  if (options.remove_redundant) {
     // Minimize comparison-free disjuncts and drop disjuncts contained in
     // others; cross-disjunct containment uses the semantic test so bounds
     // like `x < 3 ⊆ x < 5` are recognized.
@@ -51,6 +57,12 @@ Result<ReformulationResult> Reformulator::ReformulateStreaming(
 Result<ReformulationResult> Reformulator::Reformulate(
     const ConjunctiveQuery& query) {
   return ReformulateStreaming(query,
+                              [](const ConjunctiveQuery&) { return true; });
+}
+
+Result<ReformulationResult> Reformulator::Reformulate(
+    const ConjunctiveQuery& query, const ReformulationOptions& options) {
+  return ReformulateStreaming(query, options,
                               [](const ConjunctiveQuery&) { return true; });
 }
 

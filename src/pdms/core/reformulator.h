@@ -34,6 +34,12 @@ class Reformulator {
   /// Full reformulation: returns every rewriting (subject to budgets).
   Result<ReformulationResult> Reformulate(const ConjunctiveQuery& query);
 
+  /// Per-call options override (the instance options are untouched): used
+  /// by the facade to fold the network's current availability state into
+  /// one query without rebuilding the normalization.
+  Result<ReformulationResult> Reformulate(const ConjunctiveQuery& query,
+                                          const ReformulationOptions& options);
+
   /// Streaming variant: rewritings are delivered to `sink` as they are
   /// found (return false from the sink to stop early). Statistics,
   /// including per-rewriting timestamps measured from call entry, are
@@ -41,6 +47,9 @@ class Reformulator {
   /// accepted.
   Result<ReformulationResult> ReformulateStreaming(
       const ConjunctiveQuery& query, const RewritingSink& sink);
+  Result<ReformulationResult> ReformulateStreaming(
+      const ConjunctiveQuery& query, const ReformulationOptions& options,
+      const RewritingSink& sink);
 
   /// Step 2 only — used by benchmarks that measure tree size.
   Result<RuleGoalTree> BuildTree(const ConjunctiveQuery& query);

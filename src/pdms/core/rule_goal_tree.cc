@@ -17,6 +17,11 @@ std::string ReformulationStats::ToString() const {
   out += StrFormat(
       "pruned: %zu unsat, %zu dead-end, %zu guard; combos failed: %zu\n",
       pruned_unsat, pruned_dead, pruned_guard, combos_failed);
+  if (pruned_unavailable > 0 || !excluded_stored.empty()) {
+    out += StrFormat("unavailable: %zu goal(s) pruned; excluded: %s\n",
+                     pruned_unavailable,
+                     StrJoin(excluded_stored, ", ").c_str());
+  }
   out += StrFormat("rewritings: %zu%s%s\n", rewritings,
                    tree_truncated ? " (tree truncated)" : "",
                    enumeration_truncated ? " (enumeration truncated)" : "");
@@ -93,13 +98,33 @@ TreeBuilder::TreeBuilder(const ExpansionRules& rules,
 }
 
 void TreeBuilder::ComputeReachability() {
+  FillReachability(/*ignore_unavailable=*/false, &reach_depth_);
+  if (options_.unavailable_stored.empty()) {
+    reach_structural_ = reach_depth_;
+  } else {
+    // A second map that pretends every source is up. A predicate reachable
+    // here but not in reach_depth_ is dead *because of* unavailability, so
+    // its pruning is reported as degradation rather than a structural
+    // dead end.
+    FillReachability(/*ignore_unavailable=*/true, &reach_structural_);
+  }
+}
+
+void TreeBuilder::FillReachability(bool ignore_unavailable,
+                                   std::map<std::string, size_t>* out) {
   // Fixpoint: a predicate is answerable at depth d if it is stored (d = 0),
   // the head of a rule whose body is answerable, or occurs in the body of a
   // view whose head predicate is answerable. This ignores bindings and the
   // reuse guard, so it over-approximates — exactly what sound dead-end
   // pruning needs.
+  std::map<std::string, size_t>& reach = *out;
+  reach.clear();
   for (const std::string& s : rules_.stored) {
-    if (IsUsableStored(s)) reach_depth_[s] = 0;
+    bool usable = ignore_unavailable
+                      ? (options_.allowed_stored.empty() ||
+                         options_.allowed_stored.count(s) > 0)
+                      : IsUsableStored(s);
+    if (usable) reach[s] = 0;
   }
   bool changed = true;
   while (changed) {
@@ -108,8 +133,8 @@ void TreeBuilder::ComputeReachability() {
       size_t depth = 0;
       bool ok = true;
       for (const Atom& b : r.rule.body()) {
-        auto it = reach_depth_.find(b.predicate());
-        if (it == reach_depth_.end()) {
+        auto it = reach.find(b.predicate());
+        if (it == reach.end()) {
           ok = false;
           break;
         }
@@ -117,20 +142,20 @@ void TreeBuilder::ComputeReachability() {
       }
       if (!ok) continue;
       const std::string& head = r.rule.head().predicate();
-      auto it = reach_depth_.find(head);
-      if (it == reach_depth_.end() || it->second > depth + 1) {
-        reach_depth_[head] = depth + 1;
+      auto it = reach.find(head);
+      if (it == reach.end() || it->second > depth + 1) {
+        reach[head] = depth + 1;
         changed = true;
       }
     }
     for (const ExpansionRules::View& v : rules_.views) {
-      auto hit = reach_depth_.find(v.view.head().predicate());
-      if (hit == reach_depth_.end()) continue;
+      auto hit = reach.find(v.view.head().predicate());
+      if (hit == reach.end()) continue;
       size_t depth = hit->second + 1;
       for (const Atom& b : v.view.body()) {
-        auto it = reach_depth_.find(b.predicate());
-        if (it == reach_depth_.end() || it->second > depth) {
-          reach_depth_[b.predicate()] = depth;
+        auto it = reach.find(b.predicate());
+        if (it == reach.end() || it->second > depth) {
+          reach[b.predicate()] = depth;
           changed = true;
         }
       }
@@ -142,8 +167,14 @@ bool TreeBuilder::Answerable(const std::string& predicate) const {
   return reach_depth_.count(predicate) > 0;
 }
 
+bool TreeBuilder::DeadOnlyByAvailability(const std::string& predicate) const {
+  return reach_depth_.count(predicate) == 0 &&
+         reach_structural_.count(predicate) > 0;
+}
+
 bool TreeBuilder::IsUsableStored(const std::string& predicate) const {
   if (rules_.stored.count(predicate) == 0) return false;
+  if (options_.unavailable_stored.count(predicate) > 0) return false;
   return options_.allowed_stored.empty() ||
          options_.allowed_stored.count(predicate) > 0;
 }
@@ -172,6 +203,15 @@ Result<RuleGoalTree> TreeBuilder::Build(const ConjunctiveQuery& query) {
   ReformulationStats& stats = tree.stats;
   stats.rule_nodes = 1;
   stats.definitional_nodes = 1;
+  for (const std::string& name : options_.unavailable_stored) {
+    // Report only relations this network actually stores and the caller's
+    // source restriction would otherwise admit.
+    if (rules_.stored.count(name) > 0 &&
+        (options_.allowed_stored.empty() ||
+         options_.allowed_stored.count(name) > 0)) {
+      stats.excluded_stored.push_back(name);
+    }
+  }
 
   for (size_t i = 0; i < query.body().size(); ++i) {
     auto goal = std::make_unique<GoalNode>();
@@ -225,8 +265,21 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
                              ReformulationStats* stats) {
   if (goal->is_stored) return;
   const std::string& pred = goal->label.predicate();
+  if (rules_.stored.count(pred) > 0 &&
+      options_.unavailable_stored.count(pred) > 0) {
+    // A goal over an unavailable stored relation: not expandable (stored
+    // relations have no rules) and not scannable. Count separately from
+    // structural dead ends so the degradation report can attribute the
+    // loss to peer unavailability.
+    ++stats->pruned_unavailable;
+    return;
+  }
   if (options_.prune_dead_ends && !Answerable(pred)) {
-    ++stats->pruned_dead;
+    if (DeadOnlyByAvailability(pred)) {
+      ++stats->pruned_unavailable;
+    } else {
+      ++stats->pruned_dead;
+    }
     return;
   }
 
@@ -262,14 +315,22 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
       }
       if (options_.prune_dead_ends) {
         bool dead = false;
+        bool only_availability = true;
         for (const Atom& b : renamed.body()) {
           if (!Answerable(b.predicate())) {
             dead = true;
-            break;
+            if (!DeadOnlyByAvailability(b.predicate())) {
+              only_availability = false;
+              break;
+            }
           }
         }
         if (dead) {
-          ++stats->pruned_dead;
+          if (only_availability) {
+            ++stats->pruned_unavailable;
+          } else {
+            ++stats->pruned_dead;
+          }
           continue;
         }
       }
@@ -319,7 +380,11 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
       }
       if (options_.prune_dead_ends &&
           !Answerable(vw.view.head().predicate())) {
-        ++stats->pruned_dead;
+        if (DeadOnlyByAvailability(vw.view.head().predicate())) {
+          ++stats->pruned_unavailable;
+        } else {
+          ++stats->pruned_dead;
+        }
         continue;
       }
       if (node_count_ >= options_.max_tree_nodes) {

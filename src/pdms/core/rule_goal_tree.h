@@ -47,6 +47,15 @@ struct ReformulationOptions {
   /// as unanswerable.
   std::set<std::string> allowed_stored;
 
+  /// Stored relations that are currently unreachable (down peers, failed
+  /// sources). Like `allowed_stored` they are treated as unanswerable —
+  /// branches that can only reach them are pruned — but exclusions are
+  /// additionally reported in ReformulationStats::excluded_stored and
+  /// counted in `pruned_unavailable`, so callers can tell a degraded
+  /// rewriting from a complete one. Populated per query by the Pdms facade
+  /// from the network's availability state.
+  std::set<std::string> unavailable_stored;
+
   /// Budget: stop expanding once the tree holds this many nodes
   /// (goal + rule); the result is then sound but possibly incomplete.
   size_t max_tree_nodes = 5u * 1000 * 1000;
@@ -67,6 +76,12 @@ struct ReformulationStats {
   size_t pruned_unsat = 0;
   size_t pruned_dead = 0;
   size_t pruned_guard = 0;  // expansions skipped by the description reuse guard
+  /// Goals pruned because they name a stored relation listed in
+  /// ReformulationOptions::unavailable_stored.
+  size_t pruned_unavailable = 0;
+  /// The unavailable stored relations that would otherwise have been
+  /// usable sources for this query's network (sorted).
+  std::vector<std::string> excluded_stored;
   size_t combos_failed = 0;  // solution combinations dropped at assembly
   size_t rewritings = 0;
   bool tree_truncated = false;  // node budget hit
@@ -168,11 +183,16 @@ class TreeBuilder {
   void ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
                   std::set<size_t>* path, ReformulationStats* stats);
   bool Answerable(const std::string& predicate) const;
+  // True if `predicate` would be answerable were every source available —
+  // i.e. its deadness is caused by unavailability, not by the topology.
+  bool DeadOnlyByAvailability(const std::string& predicate) const;
   // True if `predicate` is a stored relation the caller allows rewritings
   // to use (honors ReformulationOptions::allowed_stored).
   bool IsUsableStored(const std::string& predicate) const;
   size_t DepthRank(const std::string& predicate) const;
   void ComputeReachability();
+  void FillReachability(bool ignore_unavailable,
+                        std::map<std::string, size_t>* out);
   void MarkViability(ExpansionNode* scope);
 
   const ExpansionRules& rules_;
@@ -183,6 +203,9 @@ class TreeBuilder {
   // predicate -> minimal #expansion-levels to reach stored relations;
   // absent = unanswerable.
   std::map<std::string, size_t> reach_depth_;
+  // Same fixpoint computed as if every source were available, used to
+  // attribute dead ends to unavailability in the stats.
+  std::map<std::string, size_t> reach_structural_;
 };
 
 }  // namespace pdms

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <unordered_map>
 #include <utility>
 
@@ -247,6 +248,29 @@ Result<Relation> EvaluateCQ(const ConjunctiveQuery& cq, const Database& db) {
   return out;
 }
 
+namespace {
+
+// Clears every distinct body relation through the gate; returns the first
+// veto (callers decide whether a veto skips the disjunct or fails the
+// query).
+Status GateBody(const ConjunctiveQuery& cq, const StoredGate& gate) {
+  if (!gate) return Status::Ok();
+  std::set<std::string> seen;
+  for (const Atom& a : cq.body()) {
+    if (!seen.insert(a.predicate()).second) continue;
+    PDMS_RETURN_IF_ERROR(gate(a.predicate()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Relation> EvaluateCQ(const ConjunctiveQuery& cq, const Database& db,
+                            const StoredGate& gate) {
+  PDMS_RETURN_IF_ERROR(GateBody(cq, gate));
+  return EvaluateCQ(cq, db);
+}
+
 Result<Relation> EvaluateUnion(const UnionQuery& uq, const Database& db) {
   if (uq.empty()) return Relation("result", 0);
   Relation out(uq.disjuncts()[0].head().predicate(),
@@ -260,6 +284,45 @@ Result<Relation> EvaluateUnion(const UnionQuery& uq, const Database& db) {
     PDMS_ASSIGN_OR_RETURN(Relation part, EvaluateCQ(cq, db));
     for (const Tuple& t : part.tuples()) out.Insert(t);
   }
+  return out;
+}
+
+Result<DegradedEvalResult> EvaluateUnionDegraded(const UnionQuery& uq,
+                                                 const Database& db,
+                                                 const StoredGate& gate) {
+  DegradedEvalResult out;
+  if (uq.empty()) return out;
+  out.answers = Relation(uq.disjuncts()[0].head().predicate(),
+                         uq.disjuncts()[0].head().arity());
+  std::set<std::string> unavailable;
+  for (const ConjunctiveQuery& cq : uq.disjuncts()) {
+    if (cq.head().arity() != out.answers.arity()) {
+      return Status::InvalidArgument(
+          StrFormat("union disjuncts disagree on arity (%zu vs %zu)",
+                    out.answers.arity(), cq.head().arity()));
+    }
+    bool skipped = false;
+    if (gate) {
+      std::set<std::string> seen;
+      for (const Atom& a : cq.body()) {
+        if (!seen.insert(a.predicate()).second) continue;
+        Status s = gate(a.predicate());
+        if (s.ok()) continue;
+        if (s.code() != StatusCode::kUnavailable) return s;
+        unavailable.insert(a.predicate());
+        skipped = true;
+        // Keep gating the remaining relations: each probe is recorded in
+        // the access stats, and later disjuncts reuse the cached verdicts.
+      }
+    }
+    if (skipped) {
+      ++out.disjuncts_skipped;
+      continue;
+    }
+    PDMS_ASSIGN_OR_RETURN(Relation part, EvaluateCQ(cq, db));
+    for (const Tuple& t : part.tuples()) out.answers.Insert(t);
+  }
+  out.unavailable_relations.assign(unavailable.begin(), unavailable.end());
   return out;
 }
 

@@ -31,9 +31,39 @@ Status ForEachMatch(const std::vector<Atom>& body,
 /// tuples (set semantics). The query must be safe.
 Result<Relation> EvaluateCQ(const ConjunctiveQuery& cq, const Database& db);
 
+/// Availability gate consulted once per distinct relation before a scan.
+/// Returning a non-OK status (typically kUnavailable, possibly after the
+/// fault layer exhausted its retries) vetoes the scan.
+using StoredGate = std::function<Status(const std::string& relation)>;
+
+/// Gated variant: every distinct body relation is cleared through `gate`
+/// (null gate = always allowed) before any matching starts; the first
+/// non-OK gate status aborts the evaluation with that status.
+Result<Relation> EvaluateCQ(const ConjunctiveQuery& cq, const Database& db,
+                            const StoredGate& gate);
+
 /// Evaluates a union of conjunctive queries (all disjuncts must share head
 /// arity); the result is the set union of the disjunct results.
 Result<Relation> EvaluateUnion(const UnionQuery& uq, const Database& db);
+
+/// The outcome of evaluating a union under partial availability.
+struct DegradedEvalResult {
+  Relation answers;
+  /// Relations the gate vetoed (sorted, deduplicated).
+  std::vector<std::string> unavailable_relations;
+  /// Disjuncts skipped because a relation they scan was vetoed.
+  size_t disjuncts_skipped = 0;
+
+  DegradedEvalResult() : answers("result", 0) {}
+};
+
+/// Degraded union evaluation: disjuncts whose relations the gate reports
+/// kUnavailable are skipped (and recorded) instead of failing the whole
+/// query; any other gate error propagates. The surviving disjuncts'
+/// answers are a sound subset of the fully-available result.
+Result<DegradedEvalResult> EvaluateUnionDegraded(const UnionQuery& uq,
+                                                 const Database& db,
+                                                 const StoredGate& gate);
 
 /// Drops tuples containing labeled nulls — used to extract certain answers
 /// from a chased instance.

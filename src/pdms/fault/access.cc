@@ -1,0 +1,78 @@
+#include "pdms/fault/access.h"
+
+#include <algorithm>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+std::string AccessStats::ToString() const {
+  return StrFormat(
+      "access: %zu probes, %zu attempts (%zu retries), %zu failures, "
+      "%zu timeouts, %.1f ms backoff, %.1f ms elapsed",
+      probes, attempts, retries, failures, timeouts, backoff_ms, elapsed_ms);
+}
+
+AccessController::AccessController(
+    FaultInjector* injector, RetryPolicy policy, Deadline deadline,
+    std::function<std::string(const std::string&)> relation_peer)
+    : injector_(injector),
+      policy_(policy),
+      deadline_(deadline),
+      relation_peer_(std::move(relation_peer)),
+      jitter_rng_(injector != nullptr ? injector->seed() : 1),
+      start_ms_(injector != nullptr ? injector->now_ms() : 0) {}
+
+Status AccessController::Access(const std::string& relation) {
+  auto it = cache_.find(relation);
+  if (it != cache_.end()) return it->second;
+  ++stats_.probes;
+  if (injector_ == nullptr) {
+    return cache_.emplace(relation, Status::Ok()).first->second;
+  }
+
+  const std::string peer =
+      relation_peer_ ? relation_peer_(relation) : std::string();
+  auto elapsed = [&] { return injector_->now_ms() - start_ms_; };
+  Status result = Status::Ok();
+  size_t max_attempts = std::max<size_t>(1, policy_.max_attempts);
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (deadline_.Expired(elapsed())) {
+      ++stats_.timeouts;
+      result = Status::Unavailable(StrFormat(
+          "deadline (%.1f ms) expired before %s could be scanned",
+          deadline_.budget_ms(), relation.c_str()));
+      break;
+    }
+    AttemptOutcome outcome = injector_->Attempt(peer, relation);
+    ++stats_.attempts;
+    if (outcome.ok) {
+      stats_.elapsed_ms = elapsed();
+      return cache_.emplace(relation, Status::Ok()).first->second;
+    }
+    if (attempt == max_attempts) {
+      ++stats_.failures;
+      result = Status::Unavailable(StrFormat(
+          "%s%s%s unavailable after %zu attempt(s)",
+          peer.empty() ? "" : peer.c_str(), peer.empty() ? "" : ":",
+          relation.c_str(), max_attempts));
+      break;
+    }
+    ++stats_.retries;
+    double backoff = policy_.BackoffMillis(attempt, &jitter_rng_);
+    stats_.backoff_ms += backoff;
+    injector_->AdvanceClock(backoff);
+  }
+  stats_.elapsed_ms = elapsed();
+  return cache_.emplace(relation, std::move(result)).first->second;
+}
+
+std::vector<std::string> AccessController::FailedRelations() const {
+  std::vector<std::string> out;
+  for (const auto& [relation, status] : cache_) {
+    if (!status.ok()) out.push_back(relation);
+  }
+  return out;  // map iteration order is already sorted
+}
+
+}  // namespace pdms

@@ -1,0 +1,69 @@
+#ifndef PDMS_FAULT_ACCESS_H_
+#define PDMS_FAULT_ACCESS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pdms/fault/fault_injector.h"
+#include "pdms/fault/retry.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+
+/// Counters for one query's stored-relation accesses; surfaced to callers
+/// in the degradation report so "no answers" and "no answers because the
+/// network was down" are distinguishable.
+struct AccessStats {
+  size_t probes = 0;    // distinct stored relations probed
+  size_t attempts = 0;  // total access attempts (>= probes)
+  size_t retries = 0;   // attempts beyond the first, per relation
+  size_t failures = 0;  // relations given up on after exhausting retries
+  size_t timeouts = 0;  // probes abandoned because the deadline expired
+  double backoff_ms = 0;  // total simulated backoff waited
+  double elapsed_ms = 0;  // simulated time consumed by access + backoff
+
+  std::string ToString() const;
+};
+
+/// Mediates every stored-relation scan of one query: consults a
+/// FaultInjector (when present), retries failures per the RetryPolicy with
+/// capped exponential backoff, and abandons work once the Deadline is
+/// spent. Outcomes are cached per relation — a relation that failed all
+/// retries stays excluded for the rest of the query, keeping the emitted
+/// answer set consistent.
+///
+/// With a null injector every access succeeds instantly, so the fault layer
+/// costs one map lookup per relation when disabled.
+class AccessController {
+ public:
+  /// `relation_peer` maps a stored relation to its serving peer (empty
+  /// string when unknown); used to apply per-peer fault profiles and to
+  /// name the peer in error messages.
+  AccessController(
+      FaultInjector* injector, RetryPolicy policy, Deadline deadline,
+      std::function<std::string(const std::string&)> relation_peer);
+
+  /// Gate for the evaluator: OK when the relation can be scanned,
+  /// kUnavailable when it is down / failed all retries / out of deadline.
+  Status Access(const std::string& relation);
+
+  const AccessStats& stats() const { return stats_; }
+  /// Relations that failed (sorted, deduplicated).
+  std::vector<std::string> FailedRelations() const;
+
+ private:
+  FaultInjector* injector_;  // not owned; may be null
+  RetryPolicy policy_;
+  Deadline deadline_;
+  std::function<std::string(const std::string&)> relation_peer_;
+  Rng jitter_rng_;
+  double start_ms_ = 0;  // injector clock at construction
+  AccessStats stats_;
+  std::map<std::string, Status> cache_;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_FAULT_ACCESS_H_

@@ -1,0 +1,38 @@
+#include "pdms/fault/degradation.h"
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+const char* CompletenessName(Completeness c) {
+  switch (c) {
+    case Completeness::kComplete:
+      return "complete";
+    case Completeness::kPartial:
+      return "partial";
+    case Completeness::kEmptyBecauseUnavailable:
+      return "empty-because-unavailable";
+  }
+  return "?";
+}
+
+std::string DegradationReport::ToString() const {
+  std::string out = StrFormat("completeness: %s\n",
+                              CompletenessName(completeness));
+  if (!excluded_peers.empty()) {
+    out += "excluded peers: " + StrJoin(excluded_peers, ", ") + "\n";
+  }
+  if (!excluded_stored.empty()) {
+    out += "excluded stored relations: " + StrJoin(excluded_stored, ", ") +
+           "\n";
+  }
+  if (rewritings_skipped > 0 || branches_pruned > 0) {
+    out += StrFormat("%zu rewriting(s) skipped, %zu branch(es) pruned\n",
+                     rewritings_skipped, branches_pruned);
+  }
+  out += access.ToString();
+  out += "\n";
+  return out;
+}
+
+}  // namespace pdms

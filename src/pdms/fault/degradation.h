@@ -1,0 +1,64 @@
+#ifndef PDMS_FAULT_DEGRADATION_H_
+#define PDMS_FAULT_DEGRADATION_H_
+
+#include <string>
+#include <vector>
+
+#include "pdms/fault/access.h"
+
+namespace pdms {
+
+/// How much of the full certain-answer set a degraded query run produced.
+/// Reformulation is sound under degradation — every returned tuple is a
+/// certain answer — so the verdict only reports what may be *missing*.
+enum class Completeness {
+  /// No source was excluded and no access failed: the answer is exactly
+  /// what a fully-available run would return (transient flakiness that
+  /// retries absorbed does not degrade the verdict).
+  kComplete,
+  /// Some sources were excluded or failed but answers were still found:
+  /// the result is a sound subset of the fully-available answer.
+  kPartial,
+  /// Sources were excluded or failed and *no* answers were produced: the
+  /// emptiness says nothing about the data, only about the network.
+  kEmptyBecauseUnavailable,
+};
+
+const char* CompletenessName(Completeness c);
+
+/// What a query lost to peer unavailability, and what it cost to find out.
+/// Surfaced by Pdms::AnswerWithReport so callers can distinguish "no
+/// certain answers" from "answers missing because peer H was down".
+struct DegradationReport {
+  Completeness completeness = Completeness::kComplete;
+
+  /// Peers whose data could not contribute: marked unavailable in the
+  /// catalog, or serving a relation that failed all retries. Sorted.
+  std::vector<std::string> excluded_peers;
+  /// Stored relations excluded statically (catalog availability) or
+  /// dynamically (failed scans). Sorted.
+  std::vector<std::string> excluded_stored;
+
+  /// Rewritings that were dropped at evaluation because a relation they
+  /// scan turned out to be unavailable.
+  size_t rewritings_skipped = 0;
+  /// Goal-tree branches pruned during reformulation because they could
+  /// only reach unavailable sources.
+  size_t branches_pruned = 0;
+
+  /// Retry/timeout counters from the access layer.
+  AccessStats access;
+
+  /// True when anything at all was lost (not merely retried).
+  bool degraded() const {
+    return !excluded_peers.empty() || !excluded_stored.empty() ||
+           rewritings_skipped > 0 || branches_pruned > 0 ||
+           access.failures > 0 || access.timeouts > 0;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_FAULT_DEGRADATION_H_

@@ -1,0 +1,110 @@
+#include "pdms/fault/fault_injector.h"
+
+#include "pdms/util/rng.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+std::string FaultProfile::ToString() const {
+  if (down) return "down";
+  return StrFormat("fail=%.0f%%, latency=%.1fms+%.1fms",
+                   100.0 * failure_probability, latency_ms,
+                   latency_jitter_ms);
+}
+
+void FaultInjector::SetPeerProfile(const std::string& peer,
+                                   FaultProfile profile) {
+  peer_profiles_[peer] = profile;
+}
+
+void FaultInjector::SetStoredProfile(const std::string& relation,
+                                     FaultProfile profile) {
+  stored_profiles_[relation] = profile;
+}
+
+void FaultInjector::ClearPeerProfile(const std::string& peer) {
+  peer_profiles_.erase(peer);
+}
+
+void FaultInjector::ClearStoredProfile(const std::string& relation) {
+  stored_profiles_.erase(relation);
+}
+
+void FaultInjector::ClearAllProfiles() {
+  peer_profiles_.clear();
+  stored_profiles_.clear();
+}
+
+const FaultProfile* FaultInjector::FindPeerProfile(
+    const std::string& peer) const {
+  auto it = peer_profiles_.find(peer);
+  return it == peer_profiles_.end() ? nullptr : &it->second;
+}
+
+const FaultProfile* FaultInjector::FindStoredProfile(
+    const std::string& relation) const {
+  auto it = stored_profiles_.find(relation);
+  return it == stored_profiles_.end() ? nullptr : &it->second;
+}
+
+void FaultInjector::SetPeerDown(const std::string& peer, bool down) {
+  if (down) {
+    FaultProfile profile;
+    profile.down = true;
+    peer_profiles_[peer] = profile;
+  } else {
+    peer_profiles_.erase(peer);
+  }
+}
+
+bool FaultInjector::IsPeerDown(const std::string& peer) const {
+  const FaultProfile* p = FindPeerProfile(peer);
+  return p != nullptr && p->down;
+}
+
+uint64_t FaultInjector::DrawWord(const std::string& key,
+                                 uint64_t attempt_index) const {
+  // One splitmix64 step keyed by (seed, resource, attempt): outcomes for a
+  // resource never depend on accesses to other resources.
+  uint64_t mixed = HashCombine(seed_, Fnv1aHash(key));
+  Rng rng(HashCombine(mixed, attempt_index));
+  return rng.Next();
+}
+
+void FaultInjector::ApplyProfile(const FaultProfile& profile,
+                                 const std::string& key, bool* ok,
+                                 double* latency_ms) {
+  uint64_t counter = attempt_counters_[key]++;
+  uint64_t word = DrawWord(key, counter);
+  // Split the word: high bits decide failure, low bits jitter latency.
+  double fail_draw =
+      static_cast<double>(word >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  double jitter_draw =
+      static_cast<double>(word & ((uint64_t{1} << 32) - 1)) * 0x1.0p-32;
+  *latency_ms += profile.latency_ms + profile.latency_jitter_ms * jitter_draw;
+  if (profile.down || fail_draw < profile.failure_probability) *ok = false;
+}
+
+AttemptOutcome FaultInjector::Attempt(const std::string& peer,
+                                      const std::string& relation) {
+  AttemptOutcome outcome;
+  ++total_attempts_;
+  if (const FaultProfile* p = FindPeerProfile(peer); p != nullptr) {
+    ApplyProfile(*p, "peer/" + peer, &outcome.ok, &outcome.latency_ms);
+  }
+  if (const FaultProfile* p = FindStoredProfile(relation); p != nullptr) {
+    ApplyProfile(*p, "stored/" + relation, &outcome.ok, &outcome.latency_ms);
+  }
+  now_ms_ += outcome.latency_ms;
+  if (!outcome.ok) ++total_failures_;
+  return outcome;
+}
+
+void FaultInjector::Reset() {
+  now_ms_ = 0;
+  total_attempts_ = 0;
+  total_failures_ = 0;
+  attempt_counters_.clear();
+}
+
+}  // namespace pdms

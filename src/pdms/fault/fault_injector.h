@@ -1,0 +1,101 @@
+#ifndef PDMS_FAULT_FAULT_INJECTOR_H_
+#define PDMS_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pdms {
+
+/// How a peer or stored relation (mis)behaves when accessed. Profiles
+/// compose: an access to stored relation `r` served by peer `p` fails if
+/// either profile says so, and pays both latencies.
+struct FaultProfile {
+  /// Hard-down: every attempt fails regardless of probabilities.
+  bool down = false;
+  /// Per-attempt failure probability (flakiness). Independent draws, so a
+  /// retry can succeed where the first attempt failed.
+  double failure_probability = 0;
+  /// Simulated latency charged to the virtual clock per attempt.
+  double latency_ms = 0;
+  /// Extra latency drawn uniformly from [0, latency_jitter_ms] per attempt.
+  double latency_jitter_ms = 0;
+
+  std::string ToString() const;
+};
+
+/// The result of one simulated access attempt.
+struct AttemptOutcome {
+  bool ok = true;
+  double latency_ms = 0;  // already charged to the injector's clock
+};
+
+/// A seeded, deterministic fault simulator for peers and stored relations.
+///
+/// Determinism is per-resource, not per-call-sequence: the outcome of the
+/// k-th attempt against a given (peer, relation) pair depends only on the
+/// seed, the resource names, and k — never on what other resources were
+/// probed in between. Two runs with the same seed and the same per-resource
+/// access patterns observe identical failures and latencies even if the
+/// global interleaving differs.
+///
+/// Time is virtual: attempts advance an internal clock by their simulated
+/// latency (and `AdvanceClock` adds retry backoff), so fault-injection
+/// tests are instantaneous and reproducible. Nothing ever sleeps.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 1) : seed_(seed) {}
+
+  /// Installs (replaces) the profile for a peer / stored relation. Names
+  /// are not validated here; unknown names simply never match an access.
+  void SetPeerProfile(const std::string& peer, FaultProfile profile);
+  void SetStoredProfile(const std::string& relation, FaultProfile profile);
+  void ClearPeerProfile(const std::string& peer);
+  void ClearStoredProfile(const std::string& relation);
+  void ClearAllProfiles();
+
+  const FaultProfile* FindPeerProfile(const std::string& peer) const;
+  const FaultProfile* FindStoredProfile(const std::string& relation) const;
+
+  /// Convenience: hard-down / restore a peer.
+  void SetPeerDown(const std::string& peer, bool down);
+  bool IsPeerDown(const std::string& peer) const;
+
+  /// Simulates one attempt to scan `relation` as served by `peer` (pass an
+  /// empty peer name when unknown). Advances the virtual clock by the
+  /// attempt's latency and records it in the outcome.
+  AttemptOutcome Attempt(const std::string& peer,
+                         const std::string& relation);
+
+  /// Virtual clock (milliseconds since construction or Reset).
+  double now_ms() const { return now_ms_; }
+  /// Advances the virtual clock, e.g. by retry backoff.
+  void AdvanceClock(double ms) { now_ms_ += ms; }
+
+  /// Resets the clock and per-resource attempt counters (profiles are
+  /// kept), making the next run repeat the same fault schedule.
+  void Reset();
+
+  uint64_t seed() const { return seed_; }
+  size_t total_attempts() const { return total_attempts_; }
+  size_t total_failures() const { return total_failures_; }
+
+ private:
+  // Draws the attempt-k random word for a resource key.
+  uint64_t DrawWord(const std::string& key, uint64_t attempt_index) const;
+  // Applies one profile to an in-progress attempt.
+  void ApplyProfile(const FaultProfile& profile, const std::string& key,
+                    bool* ok, double* latency_ms);
+
+  uint64_t seed_;
+  double now_ms_ = 0;
+  size_t total_attempts_ = 0;
+  size_t total_failures_ = 0;
+  std::map<std::string, FaultProfile> peer_profiles_;
+  std::map<std::string, FaultProfile> stored_profiles_;
+  std::map<std::string, uint64_t> attempt_counters_;  // resource key -> k
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,31 @@
+#include "pdms/fault/retry.h"
+
+#include <algorithm>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+double RetryPolicy::BackoffMillis(size_t attempt, Rng* rng) const {
+  if (attempt == 0) attempt = 1;
+  double backoff = initial_backoff_ms;
+  for (size_t i = 1; i < attempt; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= max_backoff_ms) break;
+  }
+  backoff = std::min(backoff, max_backoff_ms);
+  if (rng != nullptr && jitter_fraction > 0) {
+    double factor = 1.0 + jitter_fraction * (2.0 * rng->UniformDouble() - 1.0);
+    backoff *= factor;
+  }
+  return backoff;
+}
+
+std::string RetryPolicy::ToString() const {
+  return StrFormat(
+      "retry{attempts=%zu, backoff=%.1fms x%.1f cap %.1fms, jitter=%.0f%%}",
+      max_attempts, initial_backoff_ms, backoff_multiplier, max_backoff_ms,
+      100.0 * jitter_fraction);
+}
+
+}  // namespace pdms

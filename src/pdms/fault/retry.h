@@ -1,0 +1,74 @@
+#ifndef PDMS_FAULT_RETRY_H_
+#define PDMS_FAULT_RETRY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "pdms/util/rng.h"
+
+namespace pdms {
+
+/// Capped exponential backoff with deterministic jitter, used when a scan
+/// of a stored relation fails and is retried. All times are in
+/// milliseconds of the fault layer's (virtual) clock, so tests never sleep.
+struct RetryPolicy {
+  /// Total attempts per stored relation, including the first (>= 1; a
+  /// value of 1 means "never retry").
+  size_t max_attempts = 3;
+  /// Backoff before the second attempt.
+  double initial_backoff_ms = 1.0;
+  /// Each subsequent backoff multiplies by this factor...
+  double backoff_multiplier = 2.0;
+  /// ...up to this cap.
+  double max_backoff_ms = 64.0;
+  /// Jitter: the computed backoff is scaled by a factor drawn uniformly
+  /// from [1 - jitter_fraction, 1 + jitter_fraction]. Seeded RNG keeps the
+  /// schedule reproducible.
+  double jitter_fraction = 0.25;
+
+  /// Backoff to wait after the `attempt`-th failed attempt (1-based), with
+  /// jitter drawn from `rng` (pass nullptr for the deterministic center).
+  double BackoffMillis(size_t attempt, Rng* rng) const;
+
+  std::string ToString() const;
+};
+
+/// A per-query time budget against the fault layer's clock. The default is
+/// no deadline; `AfterMillis` bounds the total simulated time (latency plus
+/// backoff) a query may spend on stored-relation access.
+class Deadline {
+ public:
+  /// No deadline.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline AfterMillis(double budget_ms) {
+    Deadline d;
+    d.budget_ms_ = budget_ms;
+    d.infinite_ = false;
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+  double budget_ms() const { return budget_ms_; }
+
+  /// True once `elapsed_ms` of budget has been consumed.
+  bool Expired(double elapsed_ms) const {
+    return !infinite_ && elapsed_ms >= budget_ms_;
+  }
+
+  /// Budget left after `elapsed_ms` (never negative; meaningless when
+  /// infinite).
+  double RemainingMillis(double elapsed_ms) const {
+    if (infinite_) return budget_ms_;
+    return elapsed_ms >= budget_ms_ ? 0 : budget_ms_ - elapsed_ms;
+  }
+
+ private:
+  double budget_ms_ = 0;
+  bool infinite_ = true;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_FAULT_RETRY_H_

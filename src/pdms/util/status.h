@@ -16,6 +16,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnsupported,      // feature outside the implemented PPL fragment
   kResourceExhausted,  // budget (node/rewriting/time) exceeded
+  kUnavailable,  // peer / stored relation down or unreachable right now
   kInternal,
 };
 
@@ -45,6 +46,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

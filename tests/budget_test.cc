@@ -1,0 +1,139 @@
+// Budget-exhaustion tests: when reformulation runs out of tree nodes,
+// rewritings, or time, the result must be flagged truncated and remain
+// sound (every answer from a partial rewriting set is a certain answer).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pdms/core/pdms.h"
+
+namespace pdms {
+namespace {
+
+// Four independent sources feeding A:P, so a full reformulation has four
+// disjuncts and the full answer set is {1, 2, 3, 4}.
+Pdms MakeFanOutPdms() {
+  Pdms pdms;
+  Status s = pdms.LoadProgram(R"(
+    peer A { relation P(x); }
+    peer B { relation P1(x); relation P2(x); relation P3(x); relation P4(x); }
+    mapping A:P(x) :- B:P1(x).
+    mapping A:P(x) :- B:P2(x).
+    mapping A:P(x) :- B:P3(x).
+    mapping A:P(x) :- B:P4(x).
+    stored s1(x) <= B:P1(x).
+    stored s2(x) <= B:P2(x).
+    stored s3(x) <= B:P3(x).
+    stored s4(x) <= B:P4(x).
+    fact s1(1).
+    fact s2(2).
+    fact s3(3).
+    fact s4(4).
+  )");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return pdms;
+}
+
+constexpr char kQuery[] = "q(x) :- A:P(x).";
+
+bool IsSubset(const Relation& sub, const Relation& super) {
+  return std::all_of(sub.tuples().begin(), sub.tuples().end(),
+                     [&](const Tuple& t) { return super.Contains(t); });
+}
+
+TEST(Budget, UnlimitedBaseline) {
+  Pdms pdms = MakeFanOutPdms();
+  auto result = pdms.Reformulate(kQuery);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rewriting.size(), 4u);
+  EXPECT_FALSE(result->stats.tree_truncated);
+  EXPECT_FALSE(result->stats.enumeration_truncated);
+}
+
+TEST(Budget, MaxTreeNodesTruncatesSoundly) {
+  Pdms full = MakeFanOutPdms();
+  auto full_answers = full.Answer(kQuery);
+  ASSERT_TRUE(full_answers.ok());
+  ASSERT_EQ(full_answers->size(), 4u);
+
+  Pdms pdms = MakeFanOutPdms();
+  ReformulationOptions options;
+  options.max_tree_nodes = 3;
+  pdms.set_options(options);
+  auto result = pdms.Reformulate(kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->stats.tree_truncated);
+  EXPECT_LT(result->rewriting.size(), 4u);
+
+  // Whatever rewritings survive still evaluate to certain answers only.
+  auto partial = pdms.Answer(kQuery);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_TRUE(IsSubset(*partial, *full_answers));
+}
+
+TEST(Budget, MaxRewritingsTruncatesEnumeration) {
+  Pdms pdms = MakeFanOutPdms();
+  ReformulationOptions options;
+  options.max_rewritings = 1;
+  pdms.set_options(options);
+  auto result = pdms.Reformulate(kQuery);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rewriting.size(), 1u);
+  EXPECT_TRUE(result->stats.enumeration_truncated);
+  EXPECT_FALSE(result->stats.tree_truncated);
+
+  // The single emitted rewriting is sound.
+  auto partial = pdms.Answer(kQuery);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->size(), 1u);
+
+  // Raising the cap mid-session takes effect immediately.
+  options.max_rewritings = 0;
+  pdms.set_options(options);
+  auto again = pdms.Reformulate(kQuery);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->rewriting.size(), 4u);
+  EXPECT_FALSE(again->stats.enumeration_truncated);
+}
+
+TEST(Budget, TimeBudgetTruncatesEnumeration) {
+  Pdms pdms = MakeFanOutPdms();
+  ReformulationOptions options;
+  options.time_budget_ms = 1e-9;  // expires before the first rewriting
+  pdms.set_options(options);
+  auto result = pdms.Reformulate(kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->stats.enumeration_truncated);
+  EXPECT_LE(result->rewriting.size(), 4u);
+
+  // Partial output under a time budget still yields only sound answers.
+  Pdms full = MakeFanOutPdms();
+  auto full_answers = full.Answer(kQuery);
+  ASSERT_TRUE(full_answers.ok());
+  auto partial = pdms.Answer(kQuery);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_TRUE(IsSubset(*partial, *full_answers));
+}
+
+TEST(Budget, TruncationAndUnavailabilityCompose) {
+  // A down source and a rewriting cap at the same time: the result is
+  // both truncated and degraded, and still sound.
+  Pdms pdms = MakeFanOutPdms();
+  ASSERT_TRUE(
+      pdms.mutable_network()->SetStoredRelationAvailable("s1", false).ok());
+  ReformulationOptions options;
+  options.max_rewritings = 2;
+  pdms.set_options(options);
+  auto result = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->stats.enumeration_truncated);
+  EXPECT_EQ(result->degradation.excluded_stored,
+            std::vector<std::string>{"s1"});
+  EXPECT_EQ(result->degradation.completeness, Completeness::kPartial);
+  EXPECT_EQ(result->answers.size(), 2u);
+  EXPECT_FALSE(result->answers.Contains({Value::Int(1)}));
+}
+
+}  // namespace
+}  // namespace pdms

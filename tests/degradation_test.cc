@@ -1,0 +1,255 @@
+// End-to-end tests for graceful query degradation: peers go down (in the
+// catalog or via the fault injector), queries still answer from what is
+// reachable, and the degradation report says exactly what was lost.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pdms/core/pdms.h"
+
+namespace pdms {
+namespace {
+
+// Two source peers feed A:P; full answers are {1, 2, 3} with {1, 2}
+// served by B1 (stored s1) and {3} by B2 (stored s2).
+Pdms MakeTwoSourcePdms() {
+  Pdms pdms;
+  Status s = pdms.LoadProgram(R"(
+    peer A { relation P(x); }
+    peer B1 { relation Q(x); }
+    peer B2 { relation R(x); }
+    mapping A:P(x) :- B1:Q(x).
+    mapping A:P(x) :- B2:R(x).
+    stored s1(x) <= B1:Q(x).
+    stored s2(x) <= B2:R(x).
+    fact s1(1).
+    fact s1(2).
+    fact s2(3).
+  )");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return pdms;
+}
+
+constexpr char kQuery[] = "q(x) :- A:P(x).";
+
+// True if every tuple of `sub` also occurs in `super`.
+bool IsSubset(const Relation& sub, const Relation& super) {
+  return std::all_of(sub.tuples().begin(), sub.tuples().end(),
+                     [&](const Tuple& t) { return super.Contains(t); });
+}
+
+TEST(Degradation, FullyAvailableIsComplete) {
+  Pdms pdms = MakeTwoSourcePdms();
+  auto result = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->answers.size(), 3u);
+  EXPECT_EQ(result->degradation.completeness, Completeness::kComplete);
+  EXPECT_FALSE(result->degradation.degraded());
+  EXPECT_TRUE(result->degradation.excluded_peers.empty());
+  EXPECT_TRUE(result->degradation.excluded_stored.empty());
+  EXPECT_EQ(result->degradation.access.retries, 0u);
+}
+
+TEST(Degradation, CatalogDownPeerIsPrunedAndReported) {
+  Pdms pdms = MakeTwoSourcePdms();
+  ASSERT_TRUE(pdms.mutable_network()->SetPeerAvailable("B1", false).ok());
+
+  // The reformulator never emits rewritings over B1's stored relation.
+  auto ref = pdms.Reformulate(kQuery);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->rewriting.size(), 1u);
+  ASSERT_EQ(ref->stats.excluded_stored.size(), 1u);
+  EXPECT_EQ(ref->stats.excluded_stored[0], "s1");
+  EXPECT_GE(ref->stats.pruned_unavailable, 1u);
+
+  auto result = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->answers.size(), 1u);
+  EXPECT_TRUE(result->answers.Contains({Value::Int(3)}));
+  EXPECT_EQ(result->degradation.completeness, Completeness::kPartial);
+  EXPECT_EQ(result->degradation.excluded_peers,
+            std::vector<std::string>{"B1"});
+  EXPECT_EQ(result->degradation.excluded_stored,
+            std::vector<std::string>{"s1"});
+  EXPECT_GE(result->degradation.branches_pruned, 1u);
+
+  // Recovery restores the full answer.
+  ASSERT_TRUE(pdms.mutable_network()->SetPeerAvailable("B1", true).ok());
+  auto recovered = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->answers.size(), 3u);
+  EXPECT_EQ(recovered->degradation.completeness, Completeness::kComplete);
+}
+
+TEST(Degradation, StoredRelationGranularity) {
+  Pdms pdms = MakeTwoSourcePdms();
+  ASSERT_TRUE(
+      pdms.mutable_network()->SetStoredRelationAvailable("s2", false).ok());
+  EXPECT_FALSE(pdms.network().IsStoredRelationAvailable("s2"));
+  EXPECT_TRUE(pdms.network().IsStoredRelationAvailable("s1"));
+  auto result = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->answers.size(), 2u);
+  EXPECT_EQ(result->degradation.completeness, Completeness::kPartial);
+  EXPECT_EQ(result->degradation.excluded_stored,
+            std::vector<std::string>{"s2"});
+  EXPECT_EQ(result->degradation.excluded_peers,
+            std::vector<std::string>{"B2"});
+}
+
+// The headline fault-injection scenario (fixed seed): peer B1 is down at
+// the transport level, peer B2 is flaky but reachable. The query must
+// return kPartial with B1 excluded, populated retry/backoff counters, and
+// a sound subset of the fully-available answers.
+TEST(Degradation, InjectedPeerFailureDegradesGracefully) {
+  Pdms full = MakeTwoSourcePdms();
+  auto full_result = full.AnswerWithReport(kQuery);
+  ASSERT_TRUE(full_result.ok());
+  ASSERT_EQ(full_result->answers.size(), 3u);
+
+  Pdms pdms = MakeTwoSourcePdms();
+  pdms.set_fault_seed(42);
+  FaultInjector* injector = pdms.mutable_fault_injector();
+  injector->SetPeerDown("B1", true);
+  FaultProfile flaky;
+  flaky.failure_probability = 0.5;
+  flaky.latency_ms = 1.0;
+  injector->SetStoredProfile("s2", flaky);
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  pdms.set_retry_policy(policy);
+
+  auto result = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Partial, with B1 and its stored relation listed as excluded.
+  EXPECT_EQ(result->degradation.completeness, Completeness::kPartial);
+  EXPECT_EQ(result->degradation.excluded_peers,
+            std::vector<std::string>{"B1"});
+  EXPECT_EQ(result->degradation.excluded_stored,
+            std::vector<std::string>{"s1"});
+  EXPECT_EQ(result->degradation.rewritings_skipped, 1u);
+
+  // Retry and backoff counters are populated (B1 exhausted its retries).
+  EXPECT_GE(result->degradation.access.retries, policy.max_attempts - 1);
+  EXPECT_GT(result->degradation.access.backoff_ms, 0.0);
+  EXPECT_EQ(result->degradation.access.failures, 1u);
+
+  // Soundness under degradation: a subset of the fully-available answers.
+  EXPECT_TRUE(IsSubset(result->answers, full_result->answers));
+  EXPECT_TRUE(result->answers.Contains({Value::Int(3)}));
+  EXPECT_FALSE(result->answers.Contains({Value::Int(1)}));
+
+  // Determinism: rerunning with the same seed reproduces the outcome.
+  pdms.set_fault_seed(42);
+  FaultInjector* again = pdms.mutable_fault_injector();
+  again->SetPeerDown("B1", true);
+  again->SetStoredProfile("s2", flaky);
+  auto rerun = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_EQ(rerun->answers.size(), result->answers.size());
+  EXPECT_EQ(rerun->degradation.access.attempts,
+            result->degradation.access.attempts);
+  EXPECT_EQ(rerun->degradation.access.retries,
+            result->degradation.access.retries);
+}
+
+TEST(Degradation, AllSourcesDownIsEmptyBecauseUnavailable) {
+  Pdms pdms = MakeTwoSourcePdms();
+  ASSERT_TRUE(pdms.mutable_network()->SetPeerAvailable("B1", false).ok());
+  ASSERT_TRUE(pdms.mutable_network()->SetPeerAvailable("B2", false).ok());
+  auto result = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->answers.empty());
+  EXPECT_EQ(result->degradation.completeness,
+            Completeness::kEmptyBecauseUnavailable);
+  EXPECT_EQ(result->degradation.excluded_peers.size(), 2u);
+  // Not to be confused with a genuinely empty answer on a healthy network.
+  Pdms healthy;
+  ASSERT_TRUE(healthy
+                  .LoadProgram(R"(
+                    peer A { relation P(x); }
+                    stored s1(x) <= A:P(x).
+                  )")
+                  .ok());
+  auto none = healthy.AnswerWithReport(kQuery);
+  ASSERT_TRUE(none.ok()) << none.status().ToString();
+  EXPECT_TRUE(none->answers.empty());
+  EXPECT_EQ(none->degradation.completeness, Completeness::kComplete);
+}
+
+TEST(Degradation, FlakySourceRecoversViaRetriesAndStaysComplete) {
+  Pdms pdms = MakeTwoSourcePdms();
+  pdms.set_fault_seed(7);
+  FaultProfile flaky;
+  flaky.failure_probability = 0.6;
+  pdms.mutable_fault_injector()->SetStoredProfile("s1", flaky);
+  RetryPolicy policy;
+  policy.max_attempts = 32;
+  pdms.set_retry_policy(policy);
+  auto result = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Retries absorbed the flakiness: all answers, still complete.
+  EXPECT_EQ(result->answers.size(), 3u);
+  EXPECT_EQ(result->degradation.completeness, Completeness::kComplete);
+  EXPECT_EQ(result->degradation.access.failures, 0u);
+}
+
+TEST(Degradation, DeadlineExpiryCountsAsTimeout) {
+  // s1 answers instantly; s2 is down with 10ms simulated latency per
+  // attempt. A 35ms deadline admits two attempts at s2 (plus backoff) and
+  // then expires, so s1's tuples survive and s2 is reported as timed out.
+  Pdms pdms = MakeTwoSourcePdms();
+  pdms.set_fault_seed(3);
+  FaultProfile slow_down;
+  slow_down.down = true;
+  slow_down.latency_ms = 10.0;
+  pdms.mutable_fault_injector()->SetStoredProfile("s2", slow_down);
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.initial_backoff_ms = 10.0;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_ms = 10.0;
+  policy.jitter_fraction = 0;
+  pdms.set_retry_policy(policy);
+  pdms.set_deadline(Deadline::AfterMillis(35));
+  auto result = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->degradation.access.timeouts, 1u);
+  EXPECT_EQ(result->degradation.completeness, Completeness::kPartial);
+  EXPECT_EQ(result->degradation.excluded_stored,
+            std::vector<std::string>{"s2"});
+  EXPECT_TRUE(result->answers.Contains({Value::Int(1)}));
+  EXPECT_TRUE(result->answers.Contains({Value::Int(2)}));
+  EXPECT_FALSE(result->answers.Contains({Value::Int(3)}));
+}
+
+TEST(Degradation, AnswerStreamingSkipsUnavailableSources) {
+  Pdms pdms = MakeTwoSourcePdms();
+  pdms.mutable_fault_injector()->SetPeerDown("B1", true);
+  auto query = pdms.ParseQuery(kQuery);
+  ASSERT_TRUE(query.ok());
+  size_t delivered = 0;
+  auto answers = pdms.AnswerStreaming(*query, [&](const Tuple&) {
+    ++delivered;
+    return true;
+  });
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_EQ(answers->size(), 1u);
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_TRUE(answers->Contains({Value::Int(3)}));
+}
+
+TEST(Degradation, PlainAnswerMatchesReportAnswers) {
+  Pdms pdms = MakeTwoSourcePdms();
+  ASSERT_TRUE(pdms.mutable_network()->SetPeerAvailable("B1", false).ok());
+  auto plain = pdms.Answer(kQuery);
+  auto report = pdms.AnswerWithReport(kQuery);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(plain->size(), report->answers.size());
+}
+
+}  // namespace
+}  // namespace pdms

@@ -1,0 +1,206 @@
+// Tests for the fault-tolerance layer: deterministic fault injection,
+// retry backoff, deadlines, and the per-query access controller.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pdms/fault/access.h"
+#include "pdms/fault/fault_injector.h"
+#include "pdms/fault/retry.h"
+
+namespace pdms {
+namespace {
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 8.0;
+  policy.jitter_fraction = 0;  // deterministic center
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(1, nullptr), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(2, nullptr), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(3, nullptr), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(4, nullptr), 8.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMillis(10, nullptr), 8.0);  // capped
+}
+
+TEST(RetryPolicy, JitterStaysWithinFraction) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.jitter_fraction = 0.25;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    double b = policy.BackoffMillis(1, &rng);
+    EXPECT_GE(b, 7.5);
+    EXPECT_LE(b, 12.5);
+  }
+  // Same seed reproduces the same jittered schedule.
+  Rng a(99), b(99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(policy.BackoffMillis(1, &a),
+                     policy.BackoffMillis(1, &b));
+  }
+}
+
+TEST(Deadline, ExpiryAndRemaining) {
+  Deadline none = Deadline::Infinite();
+  EXPECT_TRUE(none.infinite());
+  EXPECT_FALSE(none.Expired(1e12));
+
+  Deadline d = Deadline::AfterMillis(50);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.Expired(49.9));
+  EXPECT_TRUE(d.Expired(50));
+  EXPECT_DOUBLE_EQ(d.RemainingMillis(20), 30);
+  EXPECT_DOUBLE_EQ(d.RemainingMillis(80), 0);
+}
+
+TEST(FaultInjector, DownPeerAlwaysFails) {
+  FaultInjector injector(42);
+  injector.SetPeerDown("H", true);
+  EXPECT_TRUE(injector.IsPeerDown("H"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.Attempt("H", "doc").ok);
+  }
+  injector.SetPeerDown("H", false);
+  EXPECT_FALSE(injector.IsPeerDown("H"));
+  EXPECT_TRUE(injector.Attempt("H", "doc").ok);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  auto run = [](uint64_t seed) {
+    FaultInjector injector(seed);
+    FaultProfile flaky;
+    flaky.failure_probability = 0.5;
+    flaky.latency_ms = 2.0;
+    flaky.latency_jitter_ms = 1.0;
+    injector.SetStoredProfile("s", flaky);
+    std::vector<bool> outcomes;
+    std::vector<double> latencies;
+    for (int i = 0; i < 32; ++i) {
+      AttemptOutcome o = injector.Attempt("P", "s");
+      outcomes.push_back(o.ok);
+      latencies.push_back(o.latency_ms);
+    }
+    return std::make_pair(outcomes, latencies);
+  };
+  auto [ok1, lat1] = run(7);
+  auto [ok2, lat2] = run(7);
+  EXPECT_EQ(ok1, ok2);
+  EXPECT_EQ(lat1, lat2);
+  auto [ok3, lat3] = run(8);
+  EXPECT_NE(ok1, ok3);  // different seed, different schedule
+}
+
+TEST(FaultInjector, DeterminismIsPerResource) {
+  // Interleaving accesses to an unrelated resource must not perturb the
+  // outcome sequence of "s".
+  FaultProfile flaky;
+  flaky.failure_probability = 0.5;
+  FaultInjector solo(3);
+  solo.SetStoredProfile("s", flaky);
+  std::vector<bool> alone;
+  for (int i = 0; i < 16; ++i) alone.push_back(solo.Attempt("", "s").ok);
+
+  FaultInjector mixed(3);
+  mixed.SetStoredProfile("s", flaky);
+  mixed.SetStoredProfile("other", flaky);
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 16; ++i) {
+    mixed.Attempt("", "other");
+    interleaved.push_back(mixed.Attempt("", "s").ok);
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST(FaultInjector, LatencyAdvancesVirtualClock) {
+  FaultInjector injector(1);
+  FaultProfile slow;
+  slow.latency_ms = 5.0;
+  injector.SetPeerProfile("P", slow);
+  EXPECT_DOUBLE_EQ(injector.now_ms(), 0);
+  injector.Attempt("P", "s");
+  EXPECT_DOUBLE_EQ(injector.now_ms(), 5.0);
+  injector.AdvanceClock(2.5);
+  EXPECT_DOUBLE_EQ(injector.now_ms(), 7.5);
+  injector.Reset();
+  EXPECT_DOUBLE_EQ(injector.now_ms(), 0);
+  EXPECT_EQ(injector.total_attempts(), 0u);
+}
+
+TEST(AccessController, NullInjectorAlwaysSucceeds) {
+  AccessController access(nullptr, RetryPolicy(), Deadline::Infinite(),
+                          nullptr);
+  EXPECT_TRUE(access.Access("s").ok());
+  EXPECT_EQ(access.stats().probes, 1u);
+  EXPECT_EQ(access.stats().attempts, 0u);
+  EXPECT_TRUE(access.FailedRelations().empty());
+}
+
+TEST(AccessController, RetriesOvercomeFlakiness) {
+  // failure_probability = 0.5 with plenty of attempts: the controller
+  // should eventually get through and count the retries it spent.
+  FaultInjector injector(11);
+  FaultProfile flaky;
+  flaky.failure_probability = 0.5;
+  injector.SetStoredProfile("s", flaky);
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  AccessController access(&injector, policy, Deadline::Infinite(),
+                          [](const std::string&) { return "P"; });
+  Status s = access.Access("s");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GE(access.stats().attempts, 1u);
+  EXPECT_EQ(access.stats().failures, 0u);
+  // Cached: a second access does not probe again.
+  size_t attempts = access.stats().attempts;
+  EXPECT_TRUE(access.Access("s").ok());
+  EXPECT_EQ(access.stats().attempts, attempts);
+}
+
+TEST(AccessController, DownRelationFailsAfterMaxAttempts) {
+  FaultInjector injector(5);
+  injector.SetPeerDown("H", true);
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.jitter_fraction = 0;
+  policy.initial_backoff_ms = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 100.0;
+  AccessController access(&injector, policy, Deadline::Infinite(),
+                          [](const std::string&) { return "H"; });
+  Status s = access.Access("doc");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(access.stats().attempts, 4u);
+  EXPECT_EQ(access.stats().retries, 3u);
+  EXPECT_EQ(access.stats().failures, 1u);
+  // Backoff 1 + 2 + 4 between the four attempts.
+  EXPECT_DOUBLE_EQ(access.stats().backoff_ms, 7.0);
+  EXPECT_EQ(access.FailedRelations(), std::vector<std::string>{"doc"});
+}
+
+TEST(AccessController, DeadlineCutsRetriesShort) {
+  FaultInjector injector(5);
+  FaultProfile slow_down;
+  slow_down.down = true;
+  slow_down.latency_ms = 10.0;
+  injector.SetStoredProfile("s", slow_down);
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.jitter_fraction = 0;
+  policy.initial_backoff_ms = 10.0;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_ms = 10.0;
+  // Budget admits the first attempt (10ms) + backoff (10ms) + second
+  // attempt (10ms) and expires before the third.
+  AccessController access(&injector, policy, Deadline::AfterMillis(25),
+                          nullptr);
+  Status s = access.Access("s");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(access.stats().timeouts, 1u);
+  EXPECT_LT(access.stats().attempts, 100u);
+}
+
+}  // namespace
+}  // namespace pdms

@@ -104,6 +104,32 @@ TEST(Pdms, MutatingNetworkInvalidatesReformulator) {
   EXPECT_TRUE(answers2->Contains({Value::Int(5)}));
 }
 
+TEST(Pdms, SetOptionsDoesNotResurrectStaleNormalization) {
+  // Regression test: grab the network pointer once, query (priming the
+  // cached reformulator), then mutate the catalog through the *stored*
+  // pointer and change options. The re-query must reformulate against the
+  // new catalog — previously set_options re-primed the reformulator built
+  // from the stale normalized network.
+  Pdms pdms = MakeSmallPdms();
+  PdmsNetwork* network = pdms.mutable_network();
+  ASSERT_TRUE(pdms.Answer("q(x, y) :- A:R(x, y).").ok());
+
+  ASSERT_TRUE(network->AddPeer("D", {{"U", 2}}).ok());
+  PeerMapping pm;
+  pm.kind = PeerMappingKind::kDefinitional;
+  pm.rule = Rule(Atom("D:U", {Term::Var("x"), Term::Var("y")}),
+                 {Atom("A:R", {Term::Var("x"), Term::Var("y")})});
+  ASSERT_TRUE(network->AddPeerMapping(std::move(pm)).ok());
+
+  ReformulationOptions options;
+  options.remove_redundant = true;
+  pdms.set_options(options);
+
+  auto answers = pdms.Answer("q(x, y) :- D:U(x, y).");
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  EXPECT_TRUE(answers->Contains({Value::Int(1), Value::Int(2)}));
+}
+
 TEST(Pdms, OptionsPropagate) {
   Pdms pdms;
   ASSERT_TRUE(pdms.LoadProgram(R"(

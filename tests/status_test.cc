@@ -1,0 +1,105 @@
+// Dedicated tests for the util status layer: every code has a name and a
+// factory, Status round-trips through ToString, and Result<T> moves values
+// and propagates errors.
+
+#include "pdms/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdms {
+namespace {
+
+TEST(StatusCode, EveryCodeHasAName) {
+  const std::vector<std::pair<StatusCode, std::string>> expected = {
+      {StatusCode::kOk, "OK"},
+      {StatusCode::kInvalidArgument, "InvalidArgument"},
+      {StatusCode::kNotFound, "NotFound"},
+      {StatusCode::kFailedPrecondition, "FailedPrecondition"},
+      {StatusCode::kUnsupported, "Unsupported"},
+      {StatusCode::kResourceExhausted, "ResourceExhausted"},
+      {StatusCode::kUnavailable, "Unavailable"},
+      {StatusCode::kInternal, "Internal"},
+  };
+  for (const auto& [code, name] : expected) {
+    EXPECT_EQ(StatusCodeName(code), name);
+  }
+}
+
+TEST(Status, FactoriesSetCodeAndMessage) {
+  const std::vector<std::pair<Status, StatusCode>> cases = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument},
+      {Status::NotFound("m"), StatusCode::kNotFound},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition},
+      {Status::Unsupported("m"), StatusCode::kUnsupported},
+      {Status::ResourceExhausted("m"), StatusCode::kResourceExhausted},
+      {Status::Unavailable("m"), StatusCode::kUnavailable},
+      {Status::Internal("m"), StatusCode::kInternal},
+  };
+  for (const auto& [status, code] : cases) {
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), code);
+    EXPECT_EQ(status.message(), "m");
+  }
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().code(), StatusCode::kOk);
+}
+
+TEST(Status, ToStringFormats) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_EQ(Status::Unavailable("peer H is down").ToString(),
+            "Unavailable: peer H is down");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(Result, HoldsValueOrError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> err = Status::Unavailable("down");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(Result, MovesValueOut) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Result<int> Doubled(int x) {
+  PDMS_RETURN_IF_ERROR(FailIfNegative(x));
+  return 2 * x;
+}
+
+TEST(Result, MacrosPropagateErrors) {
+  auto chained = [](int x) -> Result<int> {
+    PDMS_ASSIGN_OR_RETURN(int doubled, Doubled(x));
+    return doubled + 1;
+  };
+  auto ok = chained(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  auto err = chained(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pdms

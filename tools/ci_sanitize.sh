@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the full tree with AddressSanitizer + UBSan and runs the test
+# suite under them. Mirrors the "asan-ubsan" preset in CMakePresets.json
+# but works with any CMake >= 3.16 (presets need 3.21).
+#
+# Usage: tools/ci_sanitize.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer -g"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
