@@ -32,7 +32,7 @@ struct Config {
 };
 
 void RunSweep(const char* title, double comparison_fraction, size_t runs,
-              size_t diameter) {
+              size_t diameter, bench::JsonReport* report) {
   static constexpr Config kConfigs[] = {
       {"all optimizations", true, true, true, false},
       {"no dead-end pruning", false, true, true, false},
@@ -85,23 +85,35 @@ void RunSweep(const char* title, double comparison_fraction, size_t runs,
                 nodes / n, first_ms / n, total_ms / n, rewritings / n,
                 pruned / n);
     std::fflush(stdout);
+    bench::JsonObject* row = report->AddMetricRow();
+    row->Set("configuration", cfg.name);
+    row->Set("comparison_fraction", comparison_fraction);
+    row->Set("avg_nodes", nodes / n);
+    row->Set("first_ms", first_ms / n);
+    row->Set("total_ms", total_ms / n);
+    row->Set("rewritings", rewritings / n);
+    row->Set("pruned", pruned / n);
   }
 }
 
 }  // namespace
 }  // namespace pdms
 
-int main() {
+int main(int argc, char** argv) {
   using pdms::bench::EnvSize;
+  pdms::bench::JsonReport report("ablation_optimizations", &argc, argv);
   size_t runs = EnvSize("PDMS_BENCH_RUNS", 4);
   size_t diameter = EnvSize("PDMS_BENCH_DIAMETER", 6);
+  report.params()->Set("runs", runs);
+  report.params()->Set("diameter", diameter);
   std::printf("# Section 4.3 optimization ablation (96 peers, diameter "
               "%zu, 25%% dd, avg of %zu runs, enumeration capped at 2000 "
               "rewritings)\n",
               diameter, runs);
-  pdms::RunSweep("== comparison-free workload ==", 0.0, runs, diameter);
+  pdms::RunSweep("== comparison-free workload ==", 0.0, runs, diameter,
+                 &report);
   pdms::RunSweep("== with comparison predicates (60% of definitional "
                  "bodies) ==",
-                 0.6, runs, diameter);
-  return 0;
+                 0.6, runs, diameter, &report);
+  return report.Write() ? 0 : 1;
 }

@@ -1,9 +1,14 @@
 #ifndef PDMS_BENCH_BENCH_UTIL_H_
 #define PDMS_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <deque>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pdms {
 namespace bench {
@@ -23,6 +28,138 @@ inline double EnvDouble(const char* name, double fallback) {
   if (value == nullptr || *value == '\0') return fallback;
   return std::strtod(value, nullptr);
 }
+
+// --- Machine-readable benchmark output (--json out.json) ---
+//
+// Every bench binary shares one schema so tools/bench_all.sh can merge
+// the files without a JSON library:
+//
+//   {"name": "<binary>", "seed": N,
+//    "params": {"knob": value, ...},
+//    "metrics": [{"field": value, ...}, ...]}
+
+/// Encodes a JSON string literal (quotes, backslashes, control bytes).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Encodes a finite double compactly ("3", "0.125", "1.5e-05").
+inline std::string JsonNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// A flat JSON object with insertion-ordered, pre-encoded fields.
+struct JsonObject {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  void Set(const std::string& key, double value) {
+    fields.emplace_back(key, JsonNumber(value));
+  }
+  void Set(const std::string& key, size_t value) {
+    fields.emplace_back(key, std::to_string(value));
+  }
+  void Set(const std::string& key, const std::string& value) {
+    fields.emplace_back(key, JsonEscape(value));
+  }
+  void Set(const std::string& key, const char* value) {
+    fields.emplace_back(key, JsonEscape(value));
+  }
+
+  std::string Encode() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += JsonEscape(fields[i].first);
+      out += ": ";
+      out += fields[i].second;
+    }
+    out += "}";
+    return out;
+  }
+};
+
+/// One benchmark's machine-readable report. Construction strips
+/// `--json <path>` / `--json=<path>` from argv (so google-benchmark
+/// binaries can still pass the rest to benchmark::Initialize); Write()
+/// emits the file if the flag was present and is a no-op otherwise.
+class JsonReport {
+ public:
+  JsonReport(std::string name, int* argc, char** argv) : name_(std::move(name)) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+        path_ = argv[++i];
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path_ = argv[i] + 7;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  void set_seed(uint64_t seed) { seed_ = seed; }
+
+  JsonObject* params() { return &params_; }
+  /// Adds one metrics row; the pointer stays valid (deque storage).
+  JsonObject* AddMetricRow() {
+    rows_.emplace_back();
+    return &rows_.back();
+  }
+
+  /// Writes the report; returns false (with a message on stderr) if the
+  /// file cannot be created.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::string out = "{\"name\": " + JsonEscape(name_) +
+                      ", \"seed\": " + std::to_string(seed_) +
+                      ", \"params\": " + params_.Encode() +
+                      ", \"metrics\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += rows_[i].Encode();
+    }
+    out += "]}\n";
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu metric rows)\n", path_.c_str(),
+                 rows_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  uint64_t seed_ = 0;
+  JsonObject params_;
+  std::deque<JsonObject> rows_;
+};
 
 }  // namespace bench
 }  // namespace pdms

@@ -128,11 +128,15 @@ Point MeasurePoint(size_t num_peers, size_t strata, double down_fraction,
 }  // namespace
 }  // namespace pdms
 
-int main() {
+int main(int argc, char** argv) {
   using pdms::bench::EnvSize;
+  pdms::bench::JsonReport report("degraded_answering", &argc, argv);
   size_t runs = EnvSize("PDMS_BENCH_RUNS", 5);
   size_t peers = EnvSize("PDMS_BENCH_PEERS", 64);
   size_t strata = EnvSize("PDMS_BENCH_STRATA", 3);
+  report.params()->Set("runs", runs);
+  report.params()->Set("peers", peers);
+  report.params()->Set("strata", strata);
 
   std::printf(
       "# Degraded answering: Figure-3 workload (%zu peers, %zu strata, "
@@ -150,6 +154,17 @@ int main() {
                 p.empty_unavail, p.subset_violations == 0 ? "yes" : "NO");
     violations += p.subset_violations;
     std::fflush(stdout);
+    pdms::bench::JsonObject* row = report.AddMetricRow();
+    row->Set("down_fraction", fraction);
+    row->Set("avg_reform_ms", p.avg_reform_ms);
+    row->Set("avg_rewritings", p.avg_rewritings);
+    row->Set("avg_pruned", p.avg_pruned);
+    row->Set("avg_answers", p.avg_answers);
+    row->Set("avg_loss", p.avg_loss);
+    row->Set("complete", p.complete);
+    row->Set("partial", p.partial);
+    row->Set("empty_unavailable", p.empty_unavail);
+    row->Set("subset_violations", p.subset_violations);
   }
   if (violations > 0) {
     std::printf("# ERROR: %zu run(s) produced non-certain answers\n",
@@ -157,5 +172,5 @@ int main() {
     return 1;
   }
   std::printf("# all degraded answer sets were subsets of the full run\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.h"
+
 #include "pdms/data/database.h"
 #include "pdms/eval/datalog.h"
 #include "pdms/eval/evaluator.h"
@@ -98,4 +100,6 @@ BENCHMARK(BM_UnionOfRewritings)->Arg(8)->Arg(64);
 }  // namespace
 }  // namespace pdms
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pdms::bench::GbenchJsonMain("eval_join", argc, argv);
+}

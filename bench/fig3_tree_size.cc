@@ -63,11 +63,15 @@ Point MeasurePoint(size_t peers, size_t diameter, double dd, size_t runs) {
 }  // namespace
 }  // namespace pdms
 
-int main() {
+int main(int argc, char** argv) {
   using pdms::bench::EnvSize;
+  pdms::bench::JsonReport report("fig3_tree_size", &argc, argv);
   size_t runs = EnvSize("PDMS_BENCH_RUNS", 5);
   size_t max_diameter = EnvSize("PDMS_BENCH_MAX_DIAMETER", 10);
   size_t peers = EnvSize("PDMS_BENCH_PEERS", 96);
+  report.params()->Set("runs", runs);
+  report.params()->Set("max_diameter", max_diameter);
+  report.params()->Set("peers", peers);
 
   std::printf(
       "# Figure 3: rule-goal tree size vs. PDMS diameter (%zu peers, "
@@ -86,6 +90,12 @@ int main() {
       std::printf(" %12.0f", p.avg_nodes);
       total_nodes += p.avg_nodes * static_cast<double>(runs);
       total_ms += p.avg_build_ms * static_cast<double>(runs);
+      pdms::bench::JsonObject* row = report.AddMetricRow();
+      row->Set("diameter", diameter);
+      row->Set("definitional_fraction", dd);
+      row->Set("avg_nodes", p.avg_nodes);
+      row->Set("avg_build_ms", p.avg_build_ms);
+      row->Set("truncated_runs", p.truncated);
     }
     std::printf("\n");
     std::fflush(stdout);
@@ -95,5 +105,5 @@ int main() {
                 "(paper: ~1,000 on 2003 hardware)\n",
                 1000.0 * total_nodes / total_ms);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

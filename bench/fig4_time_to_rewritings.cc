@@ -74,14 +74,20 @@ Point MeasurePoint(size_t peers, size_t diameter, double dd, size_t runs,
 }  // namespace
 }  // namespace pdms
 
-int main() {
+int main(int argc, char** argv) {
   using pdms::bench::EnvDouble;
   using pdms::bench::EnvSize;
+  pdms::bench::JsonReport report("fig4_time_to_rewritings", &argc, argv);
   size_t runs = EnvSize("PDMS_BENCH_RUNS", 3);
   size_t max_diameter = EnvSize("PDMS_BENCH_MAX_DIAMETER", 8);
   size_t peers = EnvSize("PDMS_BENCH_PEERS", 96);
   size_t max_rewritings = EnvSize("PDMS_BENCH_MAX_REWRITINGS", 20000);
   double budget_ms = EnvDouble("PDMS_BENCH_TIME_BUDGET_MS", 5000);
+  report.params()->Set("runs", runs);
+  report.params()->Set("max_diameter", max_diameter);
+  report.params()->Set("peers", peers);
+  report.params()->Set("max_rewritings", max_rewritings);
+  report.params()->Set("time_budget_ms", budget_ms);
 
   std::printf(
       "# Figure 4: time to 1st / 10th / all rewritings vs. diameter "
@@ -100,6 +106,13 @@ int main() {
                 p.first_ms, p.tenth_ms, p.all_ms,
                 p.truncated > 0 ? "*" : " ", p.rewritings);
     std::fflush(stdout);
+    pdms::bench::JsonObject* row = report.AddMetricRow();
+    row->Set("diameter", diameter);
+    row->Set("first_ms", p.first_ms);
+    row->Set("tenth_ms", p.tenth_ms);
+    row->Set("all_ms", p.all_ms);
+    row->Set("rewritings", p.rewritings);
+    row->Set("truncated_runs", p.truncated);
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

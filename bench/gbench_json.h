@@ -1,0 +1,52 @@
+#ifndef PDMS_BENCH_GBENCH_JSON_H_
+#define PDMS_BENCH_GBENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.h"
+
+namespace pdms {
+namespace bench {
+
+/// Captures every finished google-benchmark run into the shared JsonReport
+/// schema (one metrics row per benchmark instance) while still printing
+/// the usual console table.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(JsonReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      JsonObject* row = report_->AddMetricRow();
+      row->Set("benchmark", run.benchmark_name());
+      row->Set("iterations", static_cast<size_t>(run.iterations));
+      row->Set("real_time", run.GetAdjustedRealTime());
+      row->Set("cpu_time", run.GetAdjustedCPUTime());
+      row->Set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  JsonReport* report_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also understands
+/// `--json out.json` (stripped before google-benchmark sees the args).
+inline int GbenchJsonMain(const char* name, int argc, char** argv) {
+  JsonReport report(name, &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.Write() ? 0 : 1;
+}
+
+}  // namespace bench
+}  // namespace pdms
+
+#endif  // PDMS_BENCH_GBENCH_JSON_H_

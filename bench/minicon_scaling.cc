@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.h"
+
 #include "pdms/lang/conjunctive_query.h"
 #include "pdms/minicon/rewrite.h"
 #include "pdms/util/check.h"
@@ -93,4 +95,6 @@ BENCHMARK(BM_MiniConIrrelevantViews)->Arg(64)->Arg(512);
 }  // namespace
 }  // namespace pdms
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pdms::bench::GbenchJsonMain("minicon_scaling", argc, argv);
+}

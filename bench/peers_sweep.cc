@@ -14,10 +14,13 @@
 #include "pdms/gen/workload.h"
 #include "pdms/util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using pdms::bench::EnvSize;
+  pdms::bench::JsonReport report("peers_sweep", &argc, argv);
   size_t runs = EnvSize("PDMS_BENCH_RUNS", 10);
   size_t diameter = EnvSize("PDMS_BENCH_DIAMETER", 5);
+  report.params()->Set("runs", runs);
+  report.params()->Set("diameter", diameter);
 
   std::printf("# Tree size vs. number of peers at fixed diameter %zu "
               "(10%% dd, avg of %zu runs)\n",
@@ -53,6 +56,11 @@ int main() {
                 mappings / static_cast<double>(runs),
                 ms / static_cast<double>(runs));
     std::fflush(stdout);
+    pdms::bench::JsonObject* row = report.AddMetricRow();
+    row->Set("peers", peers);
+    row->Set("avg_nodes", nodes / static_cast<double>(runs));
+    row->Set("avg_mappings", mappings / static_cast<double>(runs));
+    row->Set("avg_build_ms", ms / static_cast<double>(runs));
   }
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -15,21 +15,36 @@
 //   classify             Section 3 complexity analysis
 //   down/up <name>       toggle peer or stored-relation availability
 //   avail                list unavailable sources
+//   partition <a> <b>    cut the simulated link between two nodes
+//   heal [<a> <b>]       heal one partition, or all of them
+//   trace                show the last query's message trace
 //   quit
+//
+// Queries run on the simulated distributed runtime (src/pdms/sim/): each
+// stored-relation scan is a request/response round-trip from the querying
+// node — registered as "@client" — to the owning peer, and the
+// degradation report includes the per-hop message counters. `partition`
+// accepts peer names or @client (e.g. `partition @client H` cuts the
+// querying node off from peer H).
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "pdms/core/pdms.h"
 #include "pdms/core/reformulator.h"
+#include "pdms/sim/sim_pdms.h"
 #include "pdms/util/strings.h"
 
 namespace {
 
 pdms::Pdms g_pdms;
+std::vector<std::pair<std::string, std::string>> g_partitions;
+std::string g_last_trace;
 
 void LoadFile(const std::string& path) {
   std::ifstream in(path);
@@ -56,7 +71,13 @@ void RunQuery(const std::string& text, bool evaluate) {
     std::printf("%s", result->stats.ToString().c_str());
     return;
   }
-  auto result = g_pdms.AnswerWithReport(text);
+  // Queries execute over the simulated peer runtime: a fresh deterministic
+  // event loop per query against the shell's current catalog and data,
+  // with the shell's partitions applied.
+  pdms::sim::SimPdms sim(g_pdms.network(), g_pdms.database());
+  for (const auto& [a, b] : g_partitions) sim.Partition(a, b);
+  auto result = sim.Answer(text);
+  g_last_trace = sim.last_trace();
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
@@ -64,6 +85,45 @@ void RunQuery(const std::string& text, bool evaluate) {
   std::printf("%s", result->stats.ToString().c_str());
   std::printf("answers:\n%s\n", result->answers.ToString().c_str());
   std::printf("%s", result->degradation.ToString().c_str());
+}
+
+void AddPartition(const std::string& args) {
+  std::istringstream in(args);
+  std::string a, b;
+  if (!(in >> a >> b) || a == b) {
+    std::printf("usage: partition <nodeA> <nodeB>  (peer names or %s)\n",
+                pdms::sim::kCoordinatorName);
+    return;
+  }
+  g_partitions.emplace_back(a, b);
+  std::printf("partitioned %s | %s (%zu active)\n", a.c_str(), b.c_str(),
+              g_partitions.size());
+}
+
+void HealPartitions(const std::string& args) {
+  std::istringstream in(args);
+  std::string a, b;
+  if (in >> a >> b) {
+    size_t before = g_partitions.size();
+    std::erase_if(g_partitions, [&](const auto& p) {
+      return (p.first == a && p.second == b) ||
+             (p.first == b && p.second == a);
+    });
+    std::printf("%s\n", g_partitions.size() < before
+                            ? "healed"
+                            : "no such partition");
+    return;
+  }
+  g_partitions.clear();
+  std::printf("all partitions healed\n");
+}
+
+void ShowTrace() {
+  if (g_last_trace.empty()) {
+    std::printf("no trace yet; run a query first\n");
+    return;
+  }
+  std::printf("%s", g_last_trace.c_str());
 }
 
 // `down X` / `up X` toggle availability of a peer or a stored relation.
@@ -127,8 +187,15 @@ void Help() {
       "  down <name>        mark a peer or stored relation unavailable\n"
       "  up <name>          mark it available again\n"
       "  avail              list unavailable peers/stored relations\n"
+      "  partition <a> <b>  cut the simulated link between two nodes\n"
+      "                     (peer names or @client, the querying node)\n"
+      "  heal [<a> <b>]     heal one partition, or all with no arguments\n"
+      "  trace              print the last query's message trace\n"
       "  help               this text\n"
-      "  quit               exit\n");
+      "  quit               exit\n"
+      "queries run on the simulated distributed runtime: every stored-\n"
+      "relation scan is a message round-trip from @client to the owning\n"
+      "peer; the report below the answers counts messages and timeouts\n");
 }
 
 }  // namespace
@@ -154,6 +221,14 @@ int main(int argc, char** argv) {
       std::printf("%s", g_pdms.Classify().Explain().c_str());
     } else if (trimmed == "avail") {
       ShowAvailability();
+    } else if (trimmed == "trace") {
+      ShowTrace();
+    } else if (pdms::StartsWith(trimmed, "partition ")) {
+      AddPartition(trimmed.substr(10));
+    } else if (trimmed == "heal") {
+      HealPartitions("");
+    } else if (pdms::StartsWith(trimmed, "heal ")) {
+      HealPartitions(trimmed.substr(5));
     } else if (pdms::StartsWith(trimmed, "down ")) {
       SetAvailability(std::string(pdms::StripWhitespace(trimmed.substr(5))),
                       /*available=*/false);

@@ -108,11 +108,12 @@ Result<Relation> Pdms::Answer(std::string_view query_text) {
   return Answer(query);
 }
 
-void Pdms::FillDegradation(const ReformulationStats& stats,
+void FillDegradationReport(const PdmsNetwork& network,
+                           const ReformulationStats& stats,
                            const std::vector<std::string>& failed_relations,
                            size_t rewritings_skipped,
                            const AccessStats& access, bool any_answers,
-                           DegradationReport* report) const {
+                           DegradationReport* report) {
   report->access = access;
   report->rewritings_skipped = rewritings_skipped;
   report->branches_pruned = stats.pruned_unavailable;
@@ -128,10 +129,10 @@ void Pdms::FillDegradation(const ReformulationStats& stats,
   // marked down in the catalog.
   std::set<std::string> peers;
   for (const std::string& relation : stored) {
-    auto peer = network_.StoredRelationPeer(relation);
+    auto peer = network.StoredRelationPeer(relation);
     if (peer.ok() && !peer->empty()) peers.insert(*peer);
   }
-  for (const std::string& peer : network_.UnavailablePeers()) {
+  for (const std::string& peer : network.UnavailablePeers()) {
     peers.insert(peer);
   }
   report->excluded_peers.assign(peers.begin(), peers.end());
@@ -178,8 +179,9 @@ Result<AnswerResult> Pdms::AnswerWithReport(const ConjunctiveQuery& query) {
   }
 
   // Step 3: the degradation report.
-  FillDegradation(out.stats, failed, rewritings_skipped, access.stats(),
-                  !out.answers.empty(), &out.degradation);
+  FillDegradationReport(network_, out.stats, failed, rewritings_skipped,
+                        access.stats(), !out.answers.empty(),
+                        &out.degradation);
   return out;
 }
 

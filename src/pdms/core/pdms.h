@@ -28,6 +28,18 @@ struct AnswerResult {
   DegradationReport degradation;
 };
 
+/// Assembles a DegradationReport from a query's static exclusions
+/// (reformulation stats) and dynamic scan failures. Shared by the
+/// in-process facade and the simulated distributed runtime
+/// (`sim::SimPdms`), which gather the inputs differently but must agree on
+/// what the verdict means.
+void FillDegradationReport(const PdmsNetwork& network,
+                           const ReformulationStats& stats,
+                           const std::vector<std::string>& failed_relations,
+                           size_t rewritings_skipped,
+                           const AccessStats& access, bool any_answers,
+                           DegradationReport* report);
+
 /// The top-level facade: a peer data management system instance holding a
 /// network specification and the stored data, answering queries end to end
 /// (reformulate, then evaluate over the stored relations).
@@ -138,11 +150,6 @@ class Pdms {
   Reformulator* GetReformulator();
   /// The session options plus the network's current availability state.
   ReformulationOptions EffectiveOptions() const;
-  /// Builds the report from static exclusions + dynamic scan failures.
-  void FillDegradation(const ReformulationStats& stats,
-                       const std::vector<std::string>& failed_relations,
-                       size_t rewritings_skipped, const AccessStats& access,
-                       bool any_answers, DegradationReport* report) const;
 
   PdmsNetwork network_;
   Database data_;

@@ -1,11 +1,17 @@
 #include "pdms/core/ppl_parser.h"
 
+#include <charconv>
+
 #include "pdms/lang/parser.h"
 #include "pdms/util/strings.h"
 
 namespace pdms {
 
 namespace {
+
+// Declared arities beyond this are certainly typos (or fuzz input), and
+// rejecting them keeps downstream reserve() calls sane.
+constexpr size_t kMaxDeclaredArity = 1u << 16;
 
 // Interface heads for inclusion/equality mappings get unique hidden
 // predicates so two mappings never unify with each other.
@@ -35,7 +41,13 @@ Status ParsePeer(Parser* p, PdmsNetwork* network) {
       if (p->Peek().kind != TokenKind::kNumber) {
         return p->Error("expected an arity after '/'");
       }
-      arity = static_cast<size_t>(std::stoull(p->Next().text));
+      const std::string digits = p->Next().text;
+      auto [end, ec] = std::from_chars(
+          digits.data(), digits.data() + digits.size(), arity);
+      if (ec != std::errc() || end != digits.data() + digits.size() ||
+          arity > kMaxDeclaredArity) {
+        return p->Error("arity out of range: " + digits);
+      }
     } else {
       PDMS_RETURN_IF_ERROR(p->Expect(TokenKind::kLParen, "'(' or '/'"));
       if (!p->Accept(TokenKind::kRParen)) {

@@ -8,9 +8,10 @@ namespace pdms {
 
 std::string AccessStats::ToString() const {
   return StrFormat(
-      "access: %zu probes, %zu attempts (%zu retries), %zu failures, "
-      "%zu timeouts, %.1f ms backoff, %.1f ms elapsed",
-      probes, attempts, retries, failures, timeouts, backoff_ms, elapsed_ms);
+      "access: %zu probes, %zu attempts (%zu retries), %zu successes, "
+      "%zu failures, %zu timeouts, %.1f ms backoff, %.1f ms elapsed",
+      probes, attempts, retries, successes, failures, timeouts, backoff_ms,
+      elapsed_ms);
 }
 
 AccessController::AccessController(
@@ -28,6 +29,7 @@ Status AccessController::Access(const std::string& relation) {
   if (it != cache_.end()) return it->second;
   ++stats_.probes;
   if (injector_ == nullptr) {
+    ++stats_.successes;
     return cache_.emplace(relation, Status::Ok()).first->second;
   }
 
@@ -47,6 +49,7 @@ Status AccessController::Access(const std::string& relation) {
     AttemptOutcome outcome = injector_->Attempt(peer, relation);
     ++stats_.attempts;
     if (outcome.ok) {
+      ++stats_.successes;
       stats_.elapsed_ms = elapsed();
       return cache_.emplace(relation, Status::Ok()).first->second;
     }

@@ -15,12 +15,21 @@ namespace pdms {
 /// Counters for one query's stored-relation accesses; surfaced to callers
 /// in the degradation report so "no answers" and "no answers because the
 /// network was down" are distinguishable.
+///
+/// Invariants (tested in tests/access_edge_test.cc): every probe resolves
+/// exactly one way, so `successes + failures + timeouts == probes`. With a
+/// live FaultInjector each success or failure costs at least one attempt,
+/// so `attempts >= successes + failures` — but a probe can time out before
+/// its first attempt (deadline already spent), and with a null injector
+/// successes are instant, so `attempts >= probes` does NOT hold in
+/// general.
 struct AccessStats {
-  size_t probes = 0;    // distinct stored relations probed
-  size_t attempts = 0;  // total access attempts (>= probes)
-  size_t retries = 0;   // attempts beyond the first, per relation
-  size_t failures = 0;  // relations given up on after exhausting retries
-  size_t timeouts = 0;  // probes abandoned because the deadline expired
+  size_t probes = 0;     // distinct stored relations probed
+  size_t attempts = 0;   // total access attempts
+  size_t retries = 0;    // attempts beyond the first, per relation
+  size_t successes = 0;  // relations that were ultimately scannable
+  size_t failures = 0;   // relations given up on after exhausting retries
+  size_t timeouts = 0;   // probes abandoned because the deadline expired
   double backoff_ms = 0;  // total simulated backoff waited
   double elapsed_ms = 0;  // simulated time consumed by access + backoff
 

@@ -16,6 +16,14 @@ const char* CompletenessName(Completeness c) {
   return "?";
 }
 
+std::string MessageStats::ToString() const {
+  return StrFormat(
+      "messages: %zu sent, %zu delivered, %zu dropped, %zu duplicated, "
+      "%zu partitioned, %zu timeout(s), %zu retransmit(s)",
+      sent, delivered, dropped, duplicated, partitioned, request_timeouts,
+      retransmits);
+}
+
 std::string DegradationReport::ToString() const {
   std::string out = StrFormat("completeness: %s\n",
                               CompletenessName(completeness));
@@ -32,6 +40,10 @@ std::string DegradationReport::ToString() const {
   }
   out += access.ToString();
   out += "\n";
+  if (distributed) {
+    out += messages.ToString();
+    out += "\n";
+  }
   return out;
 }
 

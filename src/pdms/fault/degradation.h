@@ -26,6 +26,24 @@ enum class Completeness {
 
 const char* CompletenessName(Completeness c);
 
+/// Per-hop message counters for a query executed over the simulated peer
+/// runtime (`src/pdms/sim/`). Defined here — next to the report that
+/// carries them — so the fault layer stays free of sim dependencies.
+/// `sent` counts transmissions (retransmits included); a duplicated
+/// message can be delivered more than once, so `delivered` can exceed
+/// `sent - dropped - partitioned`.
+struct MessageStats {
+  size_t sent = 0;         // messages handed to the network
+  size_t delivered = 0;    // deliveries that reached a handler
+  size_t dropped = 0;      // lost to message-loss faults
+  size_t duplicated = 0;   // extra deliveries injected by duplication
+  size_t partitioned = 0;  // blocked by a network partition
+  size_t request_timeouts = 0;  // per-hop request timers that fired
+  size_t retransmits = 0;       // requests re-sent after a timeout
+
+  std::string ToString() const;
+};
+
 /// What a query lost to peer unavailability, and what it cost to find out.
 /// Surfaced by Pdms::AnswerWithReport so callers can distinguish "no
 /// certain answers" from "answers missing because peer H was down".
@@ -48,6 +66,15 @@ struct DegradationReport {
 
   /// Retry/timeout counters from the access layer.
   AccessStats access;
+
+  /// Per-hop message counters; populated (and printed) only when the query
+  /// ran over the simulated peer runtime. Message-level timeouts that a
+  /// retransmit absorbed do not degrade the verdict — only exhausted
+  /// fetches do, and those surface as `access.failures`.
+  MessageStats messages;
+  /// True when the query executed over src/pdms/sim/ (request/response
+  /// messages between peers) rather than in one address space.
+  bool distributed = false;
 
   /// True when anything at all was lost (not merely retried).
   bool degraded() const {

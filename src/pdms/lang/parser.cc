@@ -1,6 +1,7 @@
 #include "pdms/lang/parser.h"
 
 #include <cctype>
+#include <charconv>
 
 #include "pdms/util/strings.h"
 
@@ -211,13 +212,21 @@ Result<Term> Parser::ParseTerm() {
   const Token& t = Peek();
   switch (t.kind) {
     case TokenKind::kIdent: {
-      std::string name = Next().text;
-      if (name == "_") return anon_vars_.Fresh();
-      return Term::Var(std::move(name));
+      if (Peek().text == "_") {
+        Next();
+        return anon_vars_.Fresh();
+      }
+      return Term::Var(Next().text);
     }
     case TokenKind::kNumber: {
       std::string digits = Next().text;
-      return Term::Int(std::stoll(digits));
+      int64_t value = 0;
+      auto [end, ec] = std::from_chars(
+          digits.data(), digits.data() + digits.size(), value);
+      if (ec != std::errc() || end != digits.data() + digits.size()) {
+        return Error("integer literal out of range: " + digits);
+      }
+      return Term::Int(value);
     }
     case TokenKind::kString:
       return Term::String(Next().text);

@@ -1,0 +1,59 @@
+#include "pdms/sim/event_loop.h"
+
+#include <utility>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace sim {
+
+EventLoop::EventLoop(FaultInjector* clock) : clock_(clock) {
+  if (clock_ != nullptr) local_now_ms_ = clock_->now_ms();
+}
+
+double EventLoop::now_ms() const {
+  return clock_ != nullptr ? clock_->now_ms() : local_now_ms_;
+}
+
+void EventLoop::AdvanceTo(double time_ms) {
+  double now = now_ms();
+  if (time_ms <= now) return;
+  if (clock_ != nullptr) {
+    clock_->AdvanceClock(time_ms - now);
+  } else {
+    local_now_ms_ = time_ms;
+  }
+}
+
+void EventLoop::Schedule(double delay_ms, std::function<void()> fn) {
+  if (delay_ms < 0) delay_ms = 0;
+  queue_.push(Event{now_ms() + delay_ms, next_seq_++, std::move(fn)});
+}
+
+Status EventLoop::Run(double max_virtual_ms, size_t max_events) {
+  size_t fired_this_run = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().time_ms > max_virtual_ms) {
+      return Status::ResourceExhausted(StrFormat(
+          "virtual time bound %.1f ms exceeded with %zu event(s) pending",
+          max_virtual_ms, queue_.size()));
+    }
+    if (fired_this_run >= max_events) {
+      return Status::ResourceExhausted(StrFormat(
+          "event bound %zu exceeded (possible zero-delay event cycle)",
+          max_events));
+    }
+    // Move the callback out before popping: the callback may schedule new
+    // events, which mutates the queue.
+    Event event = queue_.top();
+    queue_.pop();
+    AdvanceTo(event.time_ms);
+    ++events_fired_;
+    ++fired_this_run;
+    event.fn();
+  }
+  return Status::Ok();
+}
+
+}  // namespace sim
+}  // namespace pdms

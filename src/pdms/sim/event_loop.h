@@ -1,0 +1,80 @@
+#ifndef PDMS_SIM_EVENT_LOOP_H_
+#define PDMS_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "pdms/fault/fault_injector.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace sim {
+
+/// A single-threaded discrete-event loop over virtual time. Everything in
+/// the simulated peer runtime — message delivery, request timeouts, retry
+/// backoff — is an event here, so an entire distributed execution is one
+/// deterministic sequence of callbacks: same schedule in, same trace out.
+///
+/// Time is the fault layer's virtual clock: when constructed with a
+/// FaultInjector the loop *is* that injector's clock (it advances
+/// `FaultInjector::now_ms` as events fire), so simulated network delay and
+/// simulated scan latency share one timeline and nothing ever sleeps.
+///
+/// Determinism: events fire in (time, insertion order). Ties are broken by
+/// a monotonically increasing sequence number, never by pointer values or
+/// container iteration order, so two runs that schedule the same events
+/// observe the same interleaving.
+class EventLoop {
+ public:
+  /// `clock` may be null (the loop then keeps its own local clock). Not
+  /// owned; must outlive the loop.
+  explicit EventLoop(FaultInjector* clock = nullptr);
+
+  /// Current virtual time in milliseconds.
+  double now_ms() const;
+
+  /// Schedules `fn` to run `delay_ms` from now (>= 0; negative delays are
+  /// clamped to 0, i.e. "as soon as possible, after already-queued events
+  /// at the current instant").
+  void Schedule(double delay_ms, std::function<void()> fn);
+
+  /// Number of events that have fired so far.
+  size_t events_fired() const { return events_fired_; }
+  /// Number of events still queued.
+  size_t pending() const { return queue_.size(); }
+
+  /// Runs events in order until the queue drains. Two bounds make hangs a
+  /// detectable outcome instead of a real one: the loop stops with
+  /// kResourceExhausted if virtual time would exceed `max_virtual_ms` or
+  /// if more than `max_events` events fire (a zero-delay event cycle never
+  /// advances time, so a time bound alone cannot catch it).
+  Status Run(double max_virtual_ms, size_t max_events = 1u << 22);
+
+ private:
+  struct Event {
+    double time_ms;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_ms != b.time_ms) return a.time_ms > b.time_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  void AdvanceTo(double time_ms);
+
+  FaultInjector* clock_;  // not owned; may be null
+  double local_now_ms_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t events_fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sim
+}  // namespace pdms
+
+#endif  // PDMS_SIM_EVENT_LOOP_H_

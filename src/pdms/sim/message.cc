@@ -1,0 +1,28 @@
+#include "pdms/sim/message.h"
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace sim {
+
+std::string Message::ToString() const {
+  if (type == Type::kScanRequest) {
+    return StrFormat("req#%llu scan(%s)",
+                     static_cast<unsigned long long>(request_id),
+                     relation.c_str());
+  }
+  if (!status.ok()) {
+    return StrFormat("resp#%llu scan(%s) %s",
+                     static_cast<unsigned long long>(request_id),
+                     relation.c_str(), status.ToString().c_str());
+  }
+  uint64_t hash = 0;
+  for (const Tuple& t : tuples) hash ^= TupleHash(t);
+  return StrFormat("resp#%llu scan(%s) ok %zu tuple(s) h=%016llx",
+                   static_cast<unsigned long long>(request_id),
+                   relation.c_str(), tuples.size(),
+                   static_cast<unsigned long long>(hash));
+}
+
+}  // namespace sim
+}  // namespace pdms

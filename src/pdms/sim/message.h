@@ -1,0 +1,47 @@
+#ifndef PDMS_SIM_MESSAGE_H_
+#define PDMS_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdms/data/relation.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace sim {
+
+/// The wire protocol of the simulated peer runtime. Distributed query
+/// execution needs exactly two message types: the querying peer ships a
+/// stored-relation scan to the peer that owns the relation, and the owner
+/// ships back a snapshot of the tuples (or an error). Reformulation itself
+/// stays local to the querying peer — the catalog is replicated state in
+/// this reproduction — so messages carry data, never mappings.
+struct Message {
+  enum class Type : uint8_t {
+    kScanRequest,   // coordinator -> owner: "send me `relation`"
+    kScanResponse,  // owner -> coordinator: tuples or an error status
+  };
+
+  Type type = Type::kScanRequest;
+  /// Matches a response to its request; also distinguishes retransmits of
+  /// the same logical fetch (each retransmit gets a fresh id).
+  uint64_t request_id = 0;
+  /// The stored relation being scanned.
+  std::string relation;
+  /// Response only: the scan outcome.
+  Status status = Status::Ok();
+  /// Response only: snapshot of the relation's tuples at serve time.
+  size_t arity = 0;
+  std::vector<Tuple> tuples;
+
+  /// Compact deterministic rendering used in traces; tuples are summarized
+  /// as a count plus an order-insensitive content hash so traces stay
+  /// byte-comparable without dumping whole relations.
+  std::string ToString() const;
+};
+
+}  // namespace sim
+}  // namespace pdms
+
+#endif  // PDMS_SIM_MESSAGE_H_

@@ -1,0 +1,40 @@
+#include "pdms/sim/peer_node.h"
+
+namespace pdms {
+namespace sim {
+
+PeerNode::PeerNode(std::string name, SimNetwork* network)
+    : name_(std::move(name)), network_(network) {
+  network_->Register(name_, [this](const std::string& src,
+                                   const Message& message) {
+    HandleMessage(src, message);
+  });
+}
+
+void PeerNode::ServeRelation(const Relation& relation) {
+  (void)local_.CreateRelation(relation.name(), relation.arity());
+  for (const Tuple& t : relation.tuples()) local_.Insert(relation.name(), t);
+}
+
+void PeerNode::HandleMessage(const std::string& src, const Message& message) {
+  if (message.type != Message::Type::kScanRequest) return;
+  if (crashed_) return;  // silent: the coordinator's timeout will fire
+  ++requests_served_;
+
+  Message response;
+  response.type = Message::Type::kScanResponse;
+  response.request_id = message.request_id;
+  response.relation = message.relation;
+  const Relation* relation = local_.Find(message.relation);
+  if (relation == nullptr) {
+    response.status = Status::NotFound(
+        name_ + " does not serve stored relation " + message.relation);
+  } else {
+    response.arity = relation->arity();
+    response.tuples = relation->tuples();
+  }
+  network_->Send(name_, src, std::move(response));
+}
+
+}  // namespace sim
+}  // namespace pdms

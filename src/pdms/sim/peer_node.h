@@ -1,0 +1,55 @@
+#ifndef PDMS_SIM_PEER_NODE_H_
+#define PDMS_SIM_PEER_NODE_H_
+
+#include <string>
+
+#include "pdms/data/database.h"
+#include "pdms/sim/sim_network.h"
+
+namespace pdms {
+namespace sim {
+
+/// One autonomous peer in the simulated runtime: it owns the stored
+/// relations assigned to it (its slice of the global instance) and answers
+/// scan requests arriving over the SimNetwork with tuple snapshots. It
+/// never reaches into any other peer's state — the network is the only
+/// channel — so whatever the coordinator assembles was genuinely
+/// communicated.
+class PeerNode {
+ public:
+  /// Registers the node on `network` under `name`. `network` is not owned
+  /// and must outlive the node.
+  PeerNode(std::string name, SimNetwork* network);
+
+  const std::string& name() const { return name_; }
+
+  /// Moves a stored relation (and its tuples) into this peer's slice.
+  void ServeRelation(const Relation& relation);
+
+  /// True if this peer serves `relation`.
+  bool Serves(const std::string& relation) const {
+    return local_.HasRelation(relation);
+  }
+
+  /// A crashed peer receives messages but never replies; requests against
+  /// it resolve only by coordinator timeout, exactly like a real silent
+  /// failure.
+  void set_crashed(bool crashed) { crashed_ = crashed; }
+  bool crashed() const { return crashed_; }
+
+  size_t requests_served() const { return requests_served_; }
+
+ private:
+  void HandleMessage(const std::string& src, const Message& message);
+
+  std::string name_;
+  SimNetwork* network_;  // not owned
+  Database local_;
+  bool crashed_ = false;
+  size_t requests_served_ = 0;
+};
+
+}  // namespace sim
+}  // namespace pdms
+
+#endif  // PDMS_SIM_PEER_NODE_H_

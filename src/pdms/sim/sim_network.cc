@@ -1,0 +1,109 @@
+#include "pdms/sim/sim_network.h"
+
+#include <algorithm>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace sim {
+
+std::string LinkFaults::ToString() const {
+  return StrFormat(
+      "drop=%.2f dup=%.2f delay=%.1f+U[0,%.1f) ms", drop_probability,
+      duplicate_probability, min_delay_ms, delay_jitter_ms);
+}
+
+SimNetwork::SimNetwork(EventLoop* loop, uint64_t seed)
+    : loop_(loop), rng_(seed) {}
+
+void SimNetwork::Register(const std::string& node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void SimNetwork::Partition(const std::string& a, const std::string& b) {
+  partitions_.insert(std::minmax(a, b));
+}
+
+void SimNetwork::Heal(const std::string& a, const std::string& b) {
+  partitions_.erase(std::minmax(a, b));
+}
+
+void SimNetwork::HealAll() { partitions_.clear(); }
+
+bool SimNetwork::IsPartitioned(const std::string& a,
+                               const std::string& b) const {
+  return partitions_.count(std::minmax(a, b)) > 0;
+}
+
+std::vector<std::pair<std::string, std::string>> SimNetwork::Partitions()
+    const {
+  return {partitions_.begin(), partitions_.end()};
+}
+
+void SimNetwork::AppendTrace(const std::string& line) {
+  trace_.push_back(StrFormat("[%10.3f] ", loop_->now_ms()) + line);
+}
+
+std::string SimNetwork::TraceString() const {
+  std::string out;
+  for (const std::string& line : trace_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void SimNetwork::ScheduleDelivery(const std::string& src,
+                                  const std::string& dst,
+                                  const Message& message, bool duplicate) {
+  double delay = faults_.min_delay_ms;
+  if (faults_.delay_jitter_ms > 0) {
+    delay += rng_.UniformDouble() * faults_.delay_jitter_ms;
+  }
+  loop_->Schedule(delay, [this, src, dst, message, duplicate] {
+    auto it = handlers_.find(dst);
+    if (it == handlers_.end()) {
+      AppendTrace(StrFormat("lost  %s -> %s  %s (no such node)", src.c_str(),
+                            dst.c_str(), message.ToString().c_str()));
+      return;
+    }
+    ++stats_.delivered;
+    AppendTrace(StrFormat("recv%s %s -> %s  %s", duplicate ? "*" : " ",
+                          src.c_str(), dst.c_str(),
+                          message.ToString().c_str()));
+    it->second(src, message);
+  });
+}
+
+void SimNetwork::Send(const std::string& src, const std::string& dst,
+                      Message message) {
+  ++stats_.sent;
+  AppendTrace(StrFormat("send  %s -> %s  %s", src.c_str(), dst.c_str(),
+                        message.ToString().c_str()));
+  // The drop and duplicate draws happen unconditionally and in a fixed
+  // order so the fault schedule for message k never depends on the
+  // partition set — schedules stay comparable across runs that only
+  // differ in partitioning.
+  bool drop = rng_.Chance(faults_.drop_probability);
+  bool duplicate = rng_.Chance(faults_.duplicate_probability);
+  if (IsPartitioned(src, dst)) {
+    ++stats_.partitioned;
+    AppendTrace(StrFormat("part  %s -> %s  %s (partitioned)", src.c_str(),
+                          dst.c_str(), message.ToString().c_str()));
+    return;
+  }
+  if (drop) {
+    ++stats_.dropped;
+    AppendTrace(StrFormat("drop  %s -> %s  %s", src.c_str(), dst.c_str(),
+                          message.ToString().c_str()));
+    return;
+  }
+  ScheduleDelivery(src, dst, message, /*duplicate=*/false);
+  if (duplicate) {
+    ++stats_.duplicated;
+    ScheduleDelivery(src, dst, message, /*duplicate=*/true);
+  }
+}
+
+}  // namespace sim
+}  // namespace pdms

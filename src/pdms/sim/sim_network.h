@@ -1,0 +1,92 @@
+#ifndef PDMS_SIM_SIM_NETWORK_H_
+#define PDMS_SIM_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdms/fault/degradation.h"
+#include "pdms/sim/event_loop.h"
+#include "pdms/sim/message.h"
+#include "pdms/util/rng.h"
+
+namespace pdms {
+namespace sim {
+
+/// Fault behaviour of a network link. Delivery delay is
+/// `min_delay_ms + U[0, delay_jitter_ms)`; with nonzero jitter two
+/// messages sent back-to-back can arrive out of order, which is how the
+/// simulator produces reordering without a dedicated knob.
+struct LinkFaults {
+  double drop_probability = 0;       // message lost, silently
+  double duplicate_probability = 0;  // message delivered twice
+  double min_delay_ms = 1.0;
+  double delay_jitter_ms = 0;
+
+  std::string ToString() const;
+};
+
+/// The only way simulated peers communicate: an unreliable, seeded message
+/// bus over the event loop. Every `Send` consults the fault schedule — a
+/// deterministic function of the seed and the send order — to decide drop,
+/// duplication, and delay, and honours the current partition set. Every
+/// decision is appended to a trace; two runs with the same seed and the
+/// same send sequence produce byte-identical traces, which is the
+/// foundation of the DST harness's replay invariant.
+class SimNetwork {
+ public:
+  /// `loop` is not owned and must outlive the network.
+  SimNetwork(EventLoop* loop, uint64_t seed);
+
+  /// Fault profile applied to every link (per-link profiles are a later
+  /// extension; one profile is enough to exercise every code path).
+  void set_faults(const LinkFaults& faults) { faults_ = faults; }
+  const LinkFaults& faults() const { return faults_; }
+
+  /// Registers the handler that receives messages addressed to `node`.
+  /// Messages to unregistered nodes vanish (traced as lost).
+  using Handler = std::function<void(const std::string& src, const Message&)>;
+  void Register(const std::string& node, Handler handler);
+
+  /// Symmetric partition management. While {a, b} is partitioned, every
+  /// message between them is blocked (and counted) at send time.
+  void Partition(const std::string& a, const std::string& b);
+  void Heal(const std::string& a, const std::string& b);
+  void HealAll();
+  bool IsPartitioned(const std::string& a, const std::string& b) const;
+  /// Current partition pairs, sorted.
+  std::vector<std::pair<std::string, std::string>> Partitions() const;
+
+  /// Sends `message` from `src` to `dst`, scheduling zero, one, or two
+  /// delivery events per the fault schedule.
+  void Send(const std::string& src, const std::string& dst, Message message);
+
+  const MessageStats& stats() const { return stats_; }
+  MessageStats* mutable_stats() { return &stats_; }
+
+  /// The deterministic event trace, one line per network decision.
+  const std::vector<std::string>& trace() const { return trace_; }
+  std::string TraceString() const;
+  void AppendTrace(const std::string& line);
+
+ private:
+  void ScheduleDelivery(const std::string& src, const std::string& dst,
+                        const Message& message, bool duplicate);
+
+  EventLoop* loop_;  // not owned
+  Rng rng_;
+  LinkFaults faults_;
+  std::map<std::string, Handler> handlers_;
+  std::set<std::pair<std::string, std::string>> partitions_;  // ordered pairs
+  MessageStats stats_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace sim
+}  // namespace pdms
+
+#endif  // PDMS_SIM_SIM_NETWORK_H_

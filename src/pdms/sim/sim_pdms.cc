@@ -1,0 +1,259 @@
+#include "pdms/sim/sim_pdms.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "pdms/eval/evaluator.h"
+#include "pdms/lang/parser.h"
+#include "pdms/sim/event_loop.h"
+#include "pdms/sim/peer_node.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace sim {
+
+namespace {
+
+/// One in-flight stored-relation fetch at the coordinator.
+struct Fetch {
+  std::string owner;
+  size_t arity = 0;
+  size_t attempts = 0;          // requests transmitted so far
+  uint64_t last_request_id = 0;  // timeout events for older ids are stale
+  bool resolved = false;
+  Status status = Status::Ok();
+  std::vector<Tuple> tuples;
+};
+
+}  // namespace
+
+SimPdms::SimPdms(const PdmsNetwork& network, const Database& data,
+                 SimOptions options)
+    : network_(network), data_(data), options_(options) {
+  reformulator_ =
+      std::make_unique<Reformulator>(network_, options_.reform);
+}
+
+void SimPdms::Partition(const std::string& a, const std::string& b) {
+  partitions_.insert(std::minmax(a, b));
+}
+
+void SimPdms::Heal(const std::string& a, const std::string& b) {
+  partitions_.erase(std::minmax(a, b));
+}
+
+void SimPdms::HealAll() { partitions_.clear(); }
+
+std::vector<std::pair<std::string, std::string>> SimPdms::Partitions() const {
+  return {partitions_.begin(), partitions_.end()};
+}
+
+void SimPdms::SetPeerCrashed(const std::string& peer, bool crashed) {
+  if (crashed) {
+    crashed_.insert(peer);
+  } else {
+    crashed_.erase(peer);
+  }
+}
+
+Result<AnswerResult> SimPdms::Answer(std::string_view query_text) {
+  PDMS_ASSIGN_OR_RETURN(ConjunctiveQuery query, ParseRuleText(query_text));
+  // Same validation as Pdms::ParseQuery: queries range over declared peer
+  // or stored relations with matching arities.
+  for (const Atom& a : query.body()) {
+    if (!network_.IsPeerRelation(a.predicate()) &&
+        !network_.IsStoredRelation(a.predicate())) {
+      return Status::NotFound("query references unknown relation " +
+                              a.predicate());
+    }
+    PDMS_ASSIGN_OR_RETURN(size_t arity, network_.RelationArity(a.predicate()));
+    if (arity != a.arity()) {
+      return Status::InvalidArgument(
+          StrFormat("query uses %s with arity %zu (declared %zu)",
+                    a.predicate().c_str(), a.arity(), arity));
+    }
+  }
+  return Answer(query);
+}
+
+Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
+  last_trace_.clear();
+  AnswerResult out;
+  out.answers = Relation(query.head().predicate(), query.head().arity());
+
+  // Step 1 (local to the querying peer): reformulate, pruning sources the
+  // catalog already knows are down — identical to the in-process facade.
+  ReformulationOptions effective = options_.reform;
+  std::set<std::string> down = network_.UnavailableStoredRelations();
+  effective.unavailable_stored.insert(down.begin(), down.end());
+  PDMS_ASSIGN_OR_RETURN(ReformulationResult ref,
+                        reformulator_->Reformulate(query, effective));
+  out.stats = ref.stats;
+
+  // Step 2: every stored relation the rewritings scan must be fetched from
+  // its owning peer over the simulated network. Relations served by no
+  // peer stay local and cost no messages.
+  std::set<std::string> needed;
+  for (const ConjunctiveQuery& disjunct : ref.rewriting.disjuncts()) {
+    for (const Atom& atom : disjunct.body()) {
+      if (network_.IsStoredRelation(atom.predicate())) {
+        needed.insert(atom.predicate());
+      }
+    }
+  }
+
+  FaultInjector clock(options_.seed);
+  EventLoop loop(&clock);
+  SimNetwork net(&loop, options_.seed);
+  net.set_faults(options_.faults);
+  for (const auto& [a, b] : partitions_) net.Partition(a, b);
+
+  AccessStats access;
+  Database fetched;  // what the coordinator actually received
+  std::map<std::string, Fetch> fetches;
+  std::map<std::string, std::unique_ptr<PeerNode>> nodes;
+
+  for (const std::string& relation : needed) {
+    ++access.probes;
+    auto owner = network_.StoredRelationPeer(relation);
+    size_t arity = 0;
+    if (auto a = network_.RelationArity(relation); a.ok()) arity = *a;
+    if (!owner.ok() || owner->empty()) {
+      // No owning peer: the querying node holds this relation itself.
+      ++access.successes;
+      (void)fetched.CreateRelation(relation, arity);
+      if (const Relation* local = data_.Find(relation); local != nullptr) {
+        for (const Tuple& t : local->tuples()) fetched.Insert(relation, t);
+      }
+      continue;
+    }
+    auto [it, inserted] = nodes.try_emplace(*owner);
+    if (inserted) {
+      it->second = std::make_unique<PeerNode>(*owner, &net);
+      it->second->set_crashed(crashed_.count(*owner) > 0);
+    }
+    Relation slice(relation, arity);
+    if (const Relation* local = data_.Find(relation); local != nullptr) {
+      slice = *local;
+    }
+    it->second->ServeRelation(slice);
+    Fetch& fetch = fetches[relation];
+    fetch.owner = *owner;
+    fetch.arity = arity;
+  }
+
+  // The coordinator: accepts any response for an unresolved fetch (scans
+  // are idempotent, so a late answer to a retransmitted request is as good
+  // as a fresh one) and ignores duplicates.
+  net.Register(kCoordinatorName, [&](const std::string& /*src*/,
+                                     const Message& message) {
+    if (message.type != Message::Type::kScanResponse) return;
+    auto it = fetches.find(message.relation);
+    if (it == fetches.end() || it->second.resolved) return;
+    Fetch& fetch = it->second;
+    fetch.resolved = true;
+    fetch.status = message.status;
+    if (message.status.ok()) {
+      fetch.tuples = message.tuples;
+      if (message.arity > 0) fetch.arity = message.arity;
+      ++access.successes;
+    } else {
+      ++access.failures;
+    }
+  });
+
+  const size_t max_attempts = std::max<size_t>(1, options_.retry.max_attempts);
+  Rng retry_rng(options_.seed ^ 0xd1b54a32d192ed03ull);
+  uint64_t next_request_id = 1;
+
+  std::function<void(const std::string&)> send_request =
+      [&](const std::string& relation) {
+        Fetch& fetch = fetches[relation];
+        if (fetch.resolved) return;  // answered while backing off
+        ++fetch.attempts;
+        ++access.attempts;
+        uint64_t id = next_request_id++;
+        fetch.last_request_id = id;
+        Message request;
+        request.type = Message::Type::kScanRequest;
+        request.request_id = id;
+        request.relation = relation;
+        net.Send(kCoordinatorName, fetch.owner, request);
+        loop.Schedule(options_.request_timeout_ms, [&, relation, id] {
+          Fetch& f = fetches[relation];
+          if (f.resolved || f.last_request_id != id) return;
+          ++net.mutable_stats()->request_timeouts;
+          net.AppendTrace(StrFormat(
+              "time  req#%llu scan(%s) timed out (attempt %zu/%zu)",
+              static_cast<unsigned long long>(id), relation.c_str(),
+              f.attempts, max_attempts));
+          if (f.attempts >= max_attempts) {
+            f.resolved = true;
+            f.status = Status::Unavailable(StrFormat(
+                "%s:%s unreachable after %zu attempt(s)", f.owner.c_str(),
+                relation.c_str(), f.attempts));
+            ++access.failures;
+            return;
+          }
+          ++access.retries;
+          ++net.mutable_stats()->retransmits;
+          double backoff =
+              options_.retry.BackoffMillis(f.attempts, &retry_rng);
+          access.backoff_ms += backoff;
+          loop.Schedule(backoff,
+                        [&send_request, relation] { send_request(relation); });
+        });
+      };
+
+  for (const auto& [relation, fetch] : fetches) {
+    (void)fetch;
+    send_request(relation);
+  }
+
+  Status run = loop.Run(options_.max_virtual_ms, options_.max_events);
+  last_trace_ = net.TraceString();
+  access.elapsed_ms = loop.now_ms();
+  if (!run.ok()) return run;  // detected hang; last_trace() has the story
+
+  // Assemble the coordinator's view of the data and the dynamic failures.
+  std::vector<std::string> failed;
+  for (auto& [relation, fetch] : fetches) {
+    if (!fetch.resolved) {
+      // Cannot happen while the timeout chain is intact; be defensive so a
+      // future scheduling bug degrades instead of fabricating answers.
+      fetch.status = Status::Internal("fetch never resolved: " + relation);
+    }
+    if (fetch.status.ok()) {
+      (void)fetched.CreateRelation(relation, fetch.arity);
+      for (const Tuple& t : fetch.tuples) fetched.Insert(relation, t);
+    } else {
+      failed.push_back(relation);  // map order: already sorted
+    }
+  }
+
+  // Step 3: evaluate the rewritings over what actually arrived, skipping
+  // disjuncts that touch a failed fetch.
+  size_t rewritings_skipped = 0;
+  if (!ref.rewriting.empty()) {
+    PDMS_ASSIGN_OR_RETURN(
+        DegradedEvalResult eval,
+        EvaluateUnionDegraded(ref.rewriting, fetched,
+                              [&](const std::string& relation) {
+                                auto it = fetches.find(relation);
+                                return it == fetches.end() ? Status::Ok()
+                                                           : it->second.status;
+                              }));
+    out.answers = std::move(eval.answers);
+    rewritings_skipped = eval.disjuncts_skipped;
+  }
+
+  FillDegradationReport(network_, out.stats, failed, rewritings_skipped,
+                        access, !out.answers.empty(), &out.degradation);
+  out.degradation.messages = net.stats();
+  out.degradation.distributed = true;
+  return out;
+}
+
+}  // namespace sim
+}  // namespace pdms

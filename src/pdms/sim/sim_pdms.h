@@ -1,0 +1,108 @@
+#ifndef PDMS_SIM_SIM_PDMS_H_
+#define PDMS_SIM_SIM_PDMS_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pdms/core/pdms.h"
+#include "pdms/sim/sim_network.h"
+
+namespace pdms {
+namespace sim {
+
+/// Name the querying node registers under on the SimNetwork. '@' cannot
+/// appear in a parsed peer identifier, so the name can never collide with
+/// a declared peer.
+inline constexpr const char* kCoordinatorName = "@client";
+
+/// Knobs of one simulated distributed execution.
+struct SimOptions {
+  /// Seeds the network fault schedule, delivery jitter, and retry jitter.
+  /// Identical seeds (with identical catalog/data/faults) reproduce
+  /// byte-identical traces.
+  uint64_t seed = 1;
+  /// Fault profile applied to every link.
+  LinkFaults faults;
+  /// Retransmission policy for scan requests: a request that has not been
+  /// answered within `request_timeout_ms` is retried (with this policy's
+  /// backoff) up to `retry.max_attempts` transmissions total.
+  RetryPolicy retry;
+  double request_timeout_ms = 10.0;
+  /// Bounds for the event loop; exceeding either makes Answer fail with
+  /// kResourceExhausted instead of hanging (the DST "no hang" invariant).
+  double max_virtual_ms = 60 * 1000;
+  size_t max_events = 1u << 22;
+  /// Reformulation options used by the querying peer.
+  ReformulationOptions reform;
+};
+
+/// The distributed counterpart of the `Pdms` facade: the same catalog and
+/// global instance, but the instance is sliced across actor-style peer
+/// nodes and the querying peer can reach stored relations only by
+/// exchanging request/response messages over an unreliable simulated
+/// network. Reformulation stays local (the catalog is replicated); every
+/// stored-relation scan of the resulting rewritings becomes a message
+/// round-trip with per-hop timeout and retransmission.
+///
+/// The whole execution runs on a deterministic single-threaded event loop
+/// over virtual time, so a query under message loss, duplication,
+/// reordering, and partitions is exactly reproducible from its seed — the
+/// property the DST harness (tests/sim_dst_test.cc) leans on.
+///
+/// Answers remain sound under every fault schedule: a fetch that fails
+/// only removes rewritings, never fabricates tuples, so the result is a
+/// subset of the fault-free answer and the DegradationReport (with
+/// per-hop MessageStats) says what was lost.
+class SimPdms {
+ public:
+  /// Copies the catalog and data; the data is sliced per owning peer at
+  /// query time (relations served by no peer stay local to the querying
+  /// node and cost no messages).
+  SimPdms(const PdmsNetwork& network, const Database& data,
+          SimOptions options = {});
+
+  const SimOptions& options() const { return options_; }
+  SimOptions* mutable_options() { return &options_; }
+  const PdmsNetwork& network() const { return network_; }
+
+  // --- Fault controls (persist across queries) ---
+
+  /// Partitions two nodes (peer names, or kCoordinatorName for the
+  /// querying node). Messages between them are blocked until healed.
+  void Partition(const std::string& a, const std::string& b);
+  void Heal(const std::string& a, const std::string& b);
+  void HealAll();
+  std::vector<std::pair<std::string, std::string>> Partitions() const;
+
+  /// A crashed peer receives requests but never responds (silent failure,
+  /// resolved only by timeout) — distinct from a partition, which blocks
+  /// at send time.
+  void SetPeerCrashed(const std::string& peer, bool crashed);
+
+  /// Runs one query end to end on a fresh event loop. Fails with
+  /// kResourceExhausted if the schedule exceeds the virtual-time or event
+  /// bounds (a detected hang), with the partial trace still available.
+  Result<AnswerResult> Answer(const ConjunctiveQuery& query);
+  Result<AnswerResult> Answer(std::string_view query_text);
+
+  /// The deterministic message trace of the last Answer call.
+  const std::string& last_trace() const { return last_trace_; }
+
+ private:
+  PdmsNetwork network_;
+  Database data_;
+  SimOptions options_;
+  std::unique_ptr<Reformulator> reformulator_;
+  std::set<std::pair<std::string, std::string>> partitions_;
+  std::set<std::string> crashed_;
+  std::string last_trace_;
+};
+
+}  // namespace sim
+}  // namespace pdms
+
+#endif  // PDMS_SIM_SIM_PDMS_H_

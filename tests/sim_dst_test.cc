@@ -1,0 +1,258 @@
+// Deterministic simulation testing (DST) for the distributed peer runtime.
+//
+// Each seed expands into one complete schedule: a generated PDMS (catalog,
+// data, query), a network fault profile (message loss, duplication, delay
+// jitter), partitions, crashed peers, and catalog-level unavailability.
+// The schedule is executed on the deterministic event loop and four
+// invariants are checked:
+//
+//  1. Soundness under faults — the answers are a subset of the fault-free
+//     twin's answers (which themselves match a centralized reformulate +
+//     evaluate run). Faults may lose answers, never fabricate them.
+//  2. Verdict accuracy — kComplete is claimed only when the answers equal
+//     the fault-free answers and nothing was excluded; a degraded verdict
+//     is accompanied by an actual exclusion or failure.
+//  3. Determinism — re-running the same seed reproduces a byte-identical
+//     message trace and identical answers.
+//  4. Bounded termination — every schedule finishes within the virtual
+//     time / event bounds; a kResourceExhausted result is a detected hang
+//     and fails the test.
+//
+// Seed count and base default to 200 / 0 and are overridable with
+// PDMS_DST_SEEDS / PDMS_DST_SEED0, so a failing seed N reproduces with:
+//   PDMS_DST_SEEDS=1 PDMS_DST_SEED0=N ./sim_dst_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "pdms/core/reformulator.h"
+#include "pdms/eval/evaluator.h"
+#include "pdms/gen/workload.h"
+#include "pdms/sim/sim_pdms.h"
+#include "pdms/util/rng.h"
+
+namespace pdms {
+namespace sim {
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+/// Everything one seed expands into, kept together so a schedule can be
+/// constructed twice for the determinism check.
+struct Schedule {
+  gen::WorkloadConfig workload;
+  SimOptions sim;
+  std::vector<std::pair<std::string, std::string>> partitions;
+  std::vector<std::string> crashed;
+  std::vector<std::string> catalog_down;  // peers the catalog knows are down
+};
+
+Schedule ExpandSeed(uint64_t seed, const std::vector<std::string>& peers) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
+  Schedule s;
+
+  s.sim.seed = seed;
+  s.sim.faults.drop_probability = rng.UniformDouble() * 0.4;
+  s.sim.faults.duplicate_probability = rng.UniformDouble() * 0.2;
+  s.sim.faults.delay_jitter_ms = rng.UniformDouble() * 5.0;
+  s.sim.request_timeout_ms = 8.0 + rng.UniformDouble() * 8.0;
+  s.sim.retry.max_attempts = 2 + rng.Uniform(4);  // 2..5 transmissions
+
+  if (peers.empty()) return s;
+  // Partitions: up to two node pairs, coordinator included as a possible
+  // endpoint (partitioning the querying node from an owner is the
+  // interesting case).
+  size_t num_partitions = rng.Uniform(3);
+  for (size_t i = 0; i < num_partitions; ++i) {
+    std::string a = rng.Chance(0.5)
+                        ? std::string(kCoordinatorName)
+                        : peers[rng.Uniform(peers.size())];
+    std::string b = peers[rng.Uniform(peers.size())];
+    if (a != b) s.partitions.emplace_back(a, b);
+  }
+  // Crashes: at most one silent peer (receives, never responds).
+  if (rng.Chance(0.3)) s.crashed.push_back(peers[rng.Uniform(peers.size())]);
+  // Catalog-level unavailability: the coordinator already knows this peer
+  // is down, so its sources are pruned statically, not probed.
+  if (rng.Chance(0.25)) {
+    s.catalog_down.push_back(peers[rng.Uniform(peers.size())]);
+  }
+  return s;
+}
+
+gen::WorkloadConfig WorkloadFor(uint64_t seed) {
+  Rng rng(seed ^ 0x6a09e667f3bcc909ull);
+  gen::WorkloadConfig config;
+  config.num_peers = 8 + rng.Uniform(9);  // 8..16
+  config.num_strata = 2 + rng.Uniform(2);  // 2..3
+  config.relations_per_peer = 2;
+  config.providers_per_relation = 2;
+  config.chain_length = 2;
+  config.query_subgoals = 2;
+  config.definitional_fraction = rng.Chance(0.5) ? 0.0 : 0.3;
+  config.facts_per_stored = 3 + rng.Uniform(2);  // 3..4
+  config.value_domain = 4;  // small domain so joins produce answers
+  config.seed = seed + 1;
+  return config;
+}
+
+/// One run of a schedule; returns the answers, report, and trace.
+struct RunOutcome {
+  Status status = Status::Ok();
+  Relation answers{"q", 0};
+  DegradationReport report;
+  std::string trace;
+};
+
+RunOutcome RunSchedule(const gen::Workload& workload,
+                       const Schedule& schedule, bool with_faults) {
+  PdmsNetwork network = workload.network;
+  if (with_faults) {
+    for (const std::string& peer : schedule.catalog_down) {
+      (void)network.SetPeerAvailable(peer, false);
+    }
+  }
+  SimOptions options = schedule.sim;
+  if (!with_faults) {
+    options.faults = LinkFaults{};  // reliable links, deterministic delay
+  }
+  SimPdms sim(network, workload.data, options);
+  if (with_faults) {
+    for (const auto& [a, b] : schedule.partitions) sim.Partition(a, b);
+    for (const std::string& peer : schedule.crashed) {
+      sim.SetPeerCrashed(peer, true);
+    }
+  }
+  RunOutcome out;
+  auto result = sim.Answer(workload.query);
+  out.trace = sim.last_trace();
+  if (!result.ok()) {
+    out.status = result.status();
+    return out;
+  }
+  out.answers = std::move(result->answers);
+  out.report = std::move(result->degradation);
+  return out;
+}
+
+TEST(SimDstTest, SeededSchedulesPreserveAllInvariants) {
+  const size_t num_seeds = EnvSize("PDMS_DST_SEEDS", 200);
+  const size_t seed0 = EnvSize("PDMS_DST_SEED0", 0);
+  size_t degraded_runs = 0;
+  size_t total_answers = 0;
+
+  for (size_t i = 0; i < num_seeds; ++i) {
+    const uint64_t seed = seed0 + i;
+    SCOPED_TRACE("reproduce with: PDMS_DST_SEEDS=1 PDMS_DST_SEED0=" +
+                 std::to_string(seed));
+
+    auto workload = gen::GenerateWorkload(WorkloadFor(seed));
+    ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+    std::vector<std::string> peer_names;
+    for (const auto& peer : workload->network.peers()) {
+      peer_names.push_back(peer.name);
+    }
+    Schedule schedule = ExpandSeed(seed, peer_names);
+
+    // Reference answers: centralized reformulate + evaluate, no network.
+    Reformulator reformulator(workload->network);
+    auto ref = reformulator.Reformulate(workload->query);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    Relation central("q", workload->query.head().arity());
+    if (!ref->rewriting.empty()) {
+      auto eval = EvaluateUnion(ref->rewriting, workload->data);
+      ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+      central = *eval;
+    }
+
+    // Fault-free twin: same runtime, reliable links. Must agree exactly
+    // with the centralized run (the message passing itself loses nothing).
+    RunOutcome twin = RunSchedule(*workload, schedule, /*with_faults=*/false);
+    ASSERT_TRUE(twin.status.ok()) << twin.status.ToString();
+    ASSERT_EQ(twin.answers.size(), central.size());
+    for (const Tuple& t : central.tuples()) {
+      ASSERT_TRUE(twin.answers.Contains(t))
+          << "fault-free twin lost " << TupleToString(t);
+    }
+    ASSERT_EQ(twin.report.completeness, Completeness::kComplete);
+
+    // Invariant 4 (bounded termination): the faulty run returns within
+    // its virtual-time/event bounds; kResourceExhausted is a caught hang.
+    RunOutcome faulty = RunSchedule(*workload, schedule, /*with_faults=*/true);
+    ASSERT_TRUE(faulty.status.ok())
+        << "schedule hung or failed: " << faulty.status.ToString()
+        << "\ntrace tail:\n"
+        << (faulty.trace.size() > 2000
+                ? faulty.trace.substr(faulty.trace.size() - 2000)
+                : faulty.trace);
+
+    // Invariant 1 (soundness): faults only lose answers.
+    for (const Tuple& t : faulty.answers.tuples()) {
+      ASSERT_TRUE(twin.answers.Contains(t))
+          << "fabricated answer " << TupleToString(t) << "\n"
+          << faulty.report.ToString();
+    }
+
+    // Invariant 2 (verdict accuracy).
+    const bool complete_answers = faulty.answers.size() == twin.answers.size();
+    switch (faulty.report.completeness) {
+      case Completeness::kComplete:
+        ASSERT_TRUE(complete_answers)
+            << "claimed complete but lost answers\n"
+            << faulty.report.ToString();
+        ASSERT_FALSE(faulty.report.degraded()) << faulty.report.ToString();
+        break;
+      case Completeness::kPartial:
+        ASSERT_TRUE(faulty.report.degraded()) << faulty.report.ToString();
+        ASSERT_FALSE(faulty.answers.empty()) << faulty.report.ToString();
+        break;
+      case Completeness::kEmptyBecauseUnavailable:
+        ASSERT_TRUE(faulty.report.degraded()) << faulty.report.ToString();
+        ASSERT_TRUE(faulty.answers.empty()) << faulty.report.ToString();
+        break;
+    }
+    // A degraded verdict must point at something concrete.
+    if (faulty.report.completeness != Completeness::kComplete) {
+      ASSERT_TRUE(!faulty.report.excluded_stored.empty() ||
+                  !faulty.report.excluded_peers.empty() ||
+                  faulty.report.branches_pruned > 0)
+          << faulty.report.ToString();
+    }
+
+    // Message accounting sanity: deliveries are explained by sends plus
+    // injected duplicates, minus drops and partition blocks.
+    const MessageStats& m = faulty.report.messages;
+    ASSERT_EQ(m.delivered + m.dropped + m.partitioned, m.sent + m.duplicated)
+        << m.ToString();
+
+    // Invariant 3 (determinism): the same seed replays byte-identically.
+    RunOutcome replay = RunSchedule(*workload, schedule, /*with_faults=*/true);
+    ASSERT_TRUE(replay.status.ok());
+    ASSERT_EQ(replay.trace, faulty.trace) << "trace diverged on replay";
+    ASSERT_EQ(replay.answers.size(), faulty.answers.size());
+    for (const Tuple& t : faulty.answers.tuples()) {
+      ASSERT_TRUE(replay.answers.Contains(t));
+    }
+
+    if (faulty.report.degraded()) ++degraded_runs;
+    total_answers += faulty.answers.size();
+  }
+
+  // The sweep must actually exercise degradation, not just healthy runs.
+  if (num_seeds >= 50) {
+    EXPECT_GT(degraded_runs, 0u);
+    EXPECT_LT(degraded_runs, num_seeds);  // and some runs stay complete
+    EXPECT_GT(total_answers, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace pdms

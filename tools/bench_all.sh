@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs every bench binary with CI-sized knobs, collecting the per-binary
+# machine-readable reports (--json, shared schema: name/seed/params/
+# metrics) and merging them into one JSON array at BENCH_sim.json.
+# The merge is plain shell — each report is a single JSON object on its
+# own line(s), so concatenation with commas is valid JSON.
+#
+# Usage: tools/bench_all.sh [out.json]
+# Knobs: BUILD_DIR (default build), PDMS_BENCH_* forwarded to the benches.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_sim.json}"
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+JSON_DIR="${BUILD_DIR}/bench-json"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+mkdir -p "${JSON_DIR}"
+
+# Small knobs so the whole sweep stays in CI budget; callers can override
+# any PDMS_BENCH_* variable in the environment.
+export PDMS_BENCH_RUNS="${PDMS_BENCH_RUNS:-2}"
+export PDMS_BENCH_MAX_DIAMETER="${PDMS_BENCH_MAX_DIAMETER:-5}"
+export PDMS_BENCH_TIME_BUDGET_MS="${PDMS_BENCH_TIME_BUDGET_MS:-2000}"
+
+BENCHES=(
+  fig3_tree_size
+  fig4_time_to_rewritings
+  peers_sweep
+  ablation_optimizations
+  degraded_answering
+  sim_partition_sweep
+  minicon_scaling
+  eval_join
+)
+
+for bench in "${BENCHES[@]}"; do
+  echo "== ${bench} =="
+  "${BUILD_DIR}/bench/${bench}" --json "${JSON_DIR}/${bench}.json"
+done
+
+# Merge: [report, report, ...]
+{
+  printf '['
+  first=1
+  for bench in "${BENCHES[@]}"; do
+    file="${JSON_DIR}/${bench}.json"
+    [ -s "${file}" ] || continue
+    if [ "${first}" -eq 0 ]; then printf ','; fi
+    first=0
+    # Each report file is one JSON object (trailing newline stripped).
+    tr -d '\n' < "${file}"
+  done
+  printf ']\n'
+} > "${OUT}"
+
+echo "merged $(grep -c '"name"' "${OUT}" || true) reports into ${OUT}"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The full CI gate, in dependency order:
+#
+#   1. default build + complete ctest suite (tier-1; must stay green)
+#   2. AddressSanitizer + UBSan build + full suite (tools/ci_sanitize.sh)
+#   3. deterministic-simulation smoke: 32 seeded schedules through the
+#      message-passing runtime (partitions, loss, duplication, crashes).
+#      The nightly-sized run is tools/dst.sh, which defaults to 256 seeds.
+#
+# Usage: tools/ci.sh
+# Knobs: BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
+#        PDMS_DST_SEEDS (default 32) for the simulation smoke.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== [1/3] default build + tests =="
+cmake -B "${BUILD_DIR}" -S .
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== [2/3] asan+ubsan build + tests =="
+tools/ci_sanitize.sh "${ASAN_BUILD_DIR}"
+
+echo "== [3/3] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
+PDMS_DST_SEEDS="${PDMS_DST_SEEDS:-32}" "${BUILD_DIR}/tests/sim_dst_test"
+
+echo "== CI gate passed =="

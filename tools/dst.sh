@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Deterministic simulation testing sweep: builds the tree and runs the DST
+# harness (tests/sim_dst_test.cc) over many seeded schedules. Every
+# schedule checks four invariants (soundness under faults, verdict
+# accuracy, byte-identical replay, bounded termination).
+#
+# Usage: tools/dst.sh [seeds] [seed0]
+#   seeds  number of consecutive seeds to run (default 256)
+#   seed0  first seed (default 0)
+#
+# A failure prints the seed; reproduce it alone with:
+#   PDMS_DST_SEEDS=1 PDMS_DST_SEED0=<seed> build/tests/sim_dst_test
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SEEDS="${1:-256}"
+SEED0="${2:-0}"
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target sim_dst_test
+
+echo "== DST sweep: ${SEEDS} schedules starting at seed ${SEED0} =="
+PDMS_DST_SEEDS="${SEEDS}" PDMS_DST_SEED0="${SEED0}" \
+  "${BUILD_DIR}/tests/sim_dst_test"
