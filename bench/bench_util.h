@@ -121,6 +121,19 @@ class JsonReport {
   bool enabled() const { return !path_.empty(); }
   void set_seed(uint64_t seed) { seed_ = seed; }
 
+  /// Attaches a pre-encoded JSON value as an extra top-level field, emitted
+  /// after "metrics" — e.g. SetExtra("registry", metrics.ToJson()) merges an
+  /// obs::MetricsRegistry snapshot into the report verbatim.
+  void SetExtra(const std::string& key, std::string raw_json) {
+    for (auto& [k, v] : extras_) {
+      if (k == key) {
+        v = std::move(raw_json);
+        return;
+      }
+    }
+    extras_.emplace_back(key, std::move(raw_json));
+  }
+
   JsonObject* params() { return &params_; }
   /// Adds one metrics row; the pointer stays valid (deque storage).
   JsonObject* AddMetricRow() {
@@ -145,7 +158,11 @@ class JsonReport {
       if (i > 0) out += ", ";
       out += rows_[i].Encode();
     }
-    out += "]}\n";
+    out += "]";
+    for (const auto& [key, raw] : extras_) {
+      out += ", " + JsonEscape(key) + ": " + raw;
+    }
+    out += "}\n";
     std::fwrite(out.data(), 1, out.size(), f);
     std::fclose(f);
     std::fprintf(stderr, "wrote %s (%zu metric rows)\n", path_.c_str(),
@@ -159,6 +176,7 @@ class JsonReport {
   uint64_t seed_ = 0;
   JsonObject params_;
   std::deque<JsonObject> rows_;
+  std::vector<std::pair<std::string, std::string>> extras_;  // raw JSON
 };
 
 }  // namespace bench

@@ -13,11 +13,16 @@
 // PDMS_BENCH_MAX_DIAMETER (default 10), PDMS_BENCH_PEERS (default 96).
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "pdms/core/reformulator.h"
 #include "pdms/gen/workload.h"
+#include "pdms/obs/export.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
 #include "pdms/util/timer.h"
 
 namespace pdms {
@@ -60,12 +65,65 @@ Point MeasurePoint(size_t peers, size_t diameter, double dd, size_t runs) {
   return point;
 }
 
+// Runs one instrumented workload reformulation, filling `metrics` so the
+// report can embed the registry snapshot; with a non-empty `path` also
+// writes the span tree as Chrome-trace JSON (the CI trace-export smoke).
+int RunInstrumented(const std::string& path, size_t peers,
+                    obs::MetricsRegistry* metrics) {
+  gen::WorkloadConfig config;
+  config.num_peers = peers;
+  config.num_strata = 4;
+  config.definitional_fraction = 0.25;
+  config.providers_per_relation = 1;
+  config.seed = 4001;
+  auto workload = gen::GenerateWorkload(config);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "generator: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  obs::TraceContext trace("fig3");
+  ReformulationOptions options;
+  options.max_tree_nodes = 2u * 1000 * 1000;
+  options.trace = &trace;
+  options.metrics = metrics;
+  Reformulator reformulator(workload->network, options);
+  auto result = reformulator.Reformulate(workload->query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "reformulate: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (path.empty()) return 0;
+  Status written = obs::WriteChromeTrace(trace, path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s (%zu spans)\n", path.c_str(),
+               trace.spans().size());
+  return 0;
+}
+
 }  // namespace
 }  // namespace pdms
 
 int main(int argc, char** argv) {
   using pdms::bench::EnvSize;
   pdms::bench::JsonReport report("fig3_tree_size", &argc, argv);
+  // --trace <file>: dump one instrumented run as Chrome-trace JSON.
+  std::string trace_path;
+  int out_arg = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      argv[out_arg++] = argv[i];
+    }
+  }
+  argc = out_arg;
   size_t runs = EnvSize("PDMS_BENCH_RUNS", 5);
   size_t max_diameter = EnvSize("PDMS_BENCH_MAX_DIAMETER", 10);
   size_t peers = EnvSize("PDMS_BENCH_PEERS", 96);
@@ -104,6 +162,14 @@ int main(int argc, char** argv) {
     std::printf("# node generation rate: %.0f nodes/second "
                 "(paper: ~1,000 on 2003 hardware)\n",
                 1000.0 * total_nodes / total_ms);
+  }
+  // One instrumented run rides along: its registry snapshot is merged into
+  // the JSON report and --trace dumps its span tree for chrome://tracing.
+  if (!trace_path.empty() || report.enabled()) {
+    pdms::obs::MetricsRegistry registry;
+    int rc = pdms::RunInstrumented(trace_path, peers, &registry);
+    if (rc != 0) return rc;
+    if (report.enabled()) report.SetExtra("registry", registry.ToJson());
   }
   return report.Write() ? 0 : 1;
 }

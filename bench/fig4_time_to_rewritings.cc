@@ -15,12 +15,14 @@
 // Knobs: PDMS_BENCH_RUNS (default 3), PDMS_BENCH_MAX_DIAMETER (default 8),
 // PDMS_BENCH_PEERS (default 96).
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
 #include "pdms/core/reformulator.h"
 #include "pdms/gen/workload.h"
+#include "pdms/obs/metrics.h"
 
 namespace pdms {
 namespace {
@@ -33,8 +35,11 @@ struct Point {
   size_t truncated = 0;
 };
 
+// `metrics` (nullable) attaches the obs registry; the timed sweep passes
+// null so the published numbers stay null-sink.
 Point MeasurePoint(size_t peers, size_t diameter, double dd, size_t runs,
-                   size_t max_rewritings, double budget_ms) {
+                   size_t max_rewritings, double budget_ms,
+                   obs::MetricsRegistry* metrics = nullptr) {
   Point point;
   size_t counted_tenth = 0;
   for (size_t run = 0; run < runs; ++run) {
@@ -50,6 +55,7 @@ Point MeasurePoint(size_t peers, size_t diameter, double dd, size_t runs,
     options.memoize_solutions = false;  // streaming: fastest first results
     options.max_rewritings = max_rewritings;
     options.time_budget_ms = budget_ms;
+    options.metrics = metrics;
     Reformulator reformulator(workload->network, options);
     auto result = reformulator.Reformulate(workload->query);
     if (!result.ok()) continue;
@@ -113,6 +119,14 @@ int main(int argc, char** argv) {
     row->Set("all_ms", p.all_ms);
     row->Set("rewritings", p.rewritings);
     row->Set("truncated_runs", p.truncated);
+  }
+  // One instrumented run (outside the timed sweep) so the report carries a
+  // reform.* registry snapshot alongside the figure data.
+  if (report.enabled()) {
+    pdms::obs::MetricsRegistry registry;
+    (void)pdms::MeasurePoint(peers, std::min<size_t>(4, max_diameter), 0.10,
+                             1, max_rewritings, budget_ms, &registry);
+    report.SetExtra("registry", registry.ToJson());
   }
   return report.Write() ? 0 : 1;
 }

@@ -1,0 +1,125 @@
+// Measures what the observability layer costs on the Figure-3 reformulation
+// workload: the same queries run with the null sink (no trace, no metrics),
+// with a metrics registry attached, and with a full span trace attached.
+//
+// The contract (docs/observability.md): the null sink is a pointer check
+// per instrumentation site, so "off" must stay within noise of the pre-obs
+// numbers; metrics cost one registry fold per query; tracing is the
+// expensive mode (a span per rule-goal-tree node) and is priced here so
+// nobody is surprised in production.
+//
+// Knobs: PDMS_BENCH_RUNS (default 5), PDMS_BENCH_DIAMETER (default 5),
+// PDMS_BENCH_PEERS (default 96).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "pdms/core/reformulator.h"
+#include "pdms/gen/workload.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
+#include "pdms/util/timer.h"
+
+namespace pdms {
+namespace {
+
+struct ModeResult {
+  double median_ms = 0;
+  double mean_ms = 0;
+  double spans = 0;  // average spans per query (trace mode only)
+};
+
+// Runs `runs` reformulations of seeded fig3 workloads with the given sinks
+// attached; each repetition uses the same seed across modes so the numbers
+// are comparable.
+ModeResult RunMode(size_t peers, size_t diameter, size_t runs,
+                   obs::TraceContext* trace, obs::MetricsRegistry* metrics) {
+  std::vector<double> times;
+  double spans = 0;
+  for (size_t run = 0; run < runs; ++run) {
+    gen::WorkloadConfig config;
+    config.num_peers = peers;
+    config.num_strata = diameter;
+    config.definitional_fraction = 0.25;
+    config.providers_per_relation = 1;
+    config.seed = 1000 * diameter + run;  // matches fig3_tree_size
+    auto workload = gen::GenerateWorkload(config);
+    if (!workload.ok()) continue;
+    ReformulationOptions options;
+    options.max_tree_nodes = 2u * 1000 * 1000;
+    options.trace = trace;
+    options.metrics = metrics;
+    Reformulator reformulator(workload->network, options);
+    if (trace != nullptr) trace->Clear();
+    WallTimer timer;
+    auto result = reformulator.Reformulate(workload->query);
+    double ms = timer.ElapsedMillis();
+    if (!result.ok()) continue;
+    times.push_back(ms);
+    if (trace != nullptr) spans += static_cast<double>(trace->spans().size());
+  }
+  ModeResult out;
+  if (times.empty()) return out;
+  std::sort(times.begin(), times.end());
+  out.median_ms = times[times.size() / 2];
+  for (double t : times) out.mean_ms += t;
+  out.mean_ms /= static_cast<double>(times.size());
+  out.spans = spans / static_cast<double>(times.size());
+  return out;
+}
+
+}  // namespace
+}  // namespace pdms
+
+int main(int argc, char** argv) {
+  using pdms::bench::EnvSize;
+  pdms::bench::JsonReport report("obs_overhead", &argc, argv);
+  size_t runs = EnvSize("PDMS_BENCH_RUNS", 5);
+  size_t diameter = EnvSize("PDMS_BENCH_DIAMETER", 5);
+  size_t peers = EnvSize("PDMS_BENCH_PEERS", 96);
+  report.params()->Set("runs", runs);
+  report.params()->Set("diameter", diameter);
+  report.params()->Set("peers", peers);
+
+  std::printf("# Observability overhead on the Figure-3 workload "
+              "(%zu peers, diameter %zu, %zu runs per mode)\n",
+              peers, diameter, runs);
+
+  pdms::obs::TraceContext trace("obs_overhead");
+  pdms::obs::MetricsRegistry metrics;
+  struct Mode {
+    const char* name;
+    pdms::obs::TraceContext* trace;
+    pdms::obs::MetricsRegistry* metrics;
+  };
+  const Mode modes[] = {
+      {"null_sink", nullptr, nullptr},
+      {"metrics", nullptr, &metrics},
+      {"trace+metrics", &trace, &metrics},
+  };
+
+  double baseline_ms = 0;
+  std::printf("%-14s %12s %12s %12s %12s\n", "mode", "median (ms)",
+              "mean (ms)", "overhead", "avg spans");
+  for (const Mode& mode : modes) {
+    pdms::ModeResult r =
+        pdms::RunMode(peers, diameter, runs, mode.trace, mode.metrics);
+    if (baseline_ms == 0) baseline_ms = r.median_ms;
+    double overhead =
+        baseline_ms > 0 ? 100.0 * (r.median_ms - baseline_ms) / baseline_ms
+                        : 0;
+    std::printf("%-14s %12.3f %12.3f %11.1f%% %12.0f\n", mode.name,
+                r.median_ms, r.mean_ms, overhead, r.spans);
+    pdms::bench::JsonObject* row = report.AddMetricRow();
+    row->Set("mode", mode.name);
+    row->Set("median_ms", r.median_ms);
+    row->Set("mean_ms", r.mean_ms);
+    row->Set("overhead_pct", overhead);
+    row->Set("avg_spans", r.spans);
+  }
+  report.SetExtra("registry", metrics.ToJson());
+  return report.Write() ? 0 : 1;
+}

@@ -18,6 +18,9 @@
 //   partition <a> <b>    cut the simulated link between two nodes
 //   heal [<a> <b>]       heal one partition, or all of them
 //   trace                show the last query's message trace
+//   trace save <file>    write the last query's spans as Chrome-trace JSON
+//   explain              render the last query's span tree
+//   metrics              print the accumulated metrics registry
 //   quit
 //
 // Queries run on the simulated distributed runtime (src/pdms/sim/): each
@@ -37,6 +40,9 @@
 
 #include "pdms/core/pdms.h"
 #include "pdms/core/reformulator.h"
+#include "pdms/obs/export.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
 #include "pdms/sim/sim_pdms.h"
 #include "pdms/util/strings.h"
 
@@ -45,6 +51,11 @@ namespace {
 pdms::Pdms g_pdms;
 std::vector<std::pair<std::string, std::string>> g_partitions;
 std::string g_last_trace;
+// Observability sinks shared by the local facade and the per-query
+// simulated runtime: the trace always holds the last query's span tree
+// (each query entry clears it), the registry accumulates across queries.
+pdms::obs::TraceContext g_trace;
+pdms::obs::MetricsRegistry g_metrics;
 
 void LoadFile(const std::string& path) {
   std::ifstream in(path);
@@ -75,6 +86,8 @@ void RunQuery(const std::string& text, bool evaluate) {
   // event loop per query against the shell's current catalog and data,
   // with the shell's partitions applied.
   pdms::sim::SimPdms sim(g_pdms.network(), g_pdms.database());
+  sim.set_trace(&g_trace);
+  sim.set_metrics(&g_metrics);
   for (const auto& [a, b] : g_partitions) sim.Partition(a, b);
   auto result = sim.Answer(text);
   g_last_trace = sim.last_trace();
@@ -124,6 +137,37 @@ void ShowTrace() {
     return;
   }
   std::printf("%s", g_last_trace.c_str());
+}
+
+void ShowExplain() {
+  if (g_trace.empty()) {
+    std::printf("no spans yet; run a query first\n");
+    return;
+  }
+  std::printf("%s", pdms::obs::RenderSpanTree(g_trace).c_str());
+}
+
+void ShowMetrics() {
+  std::string out = g_metrics.ToString();
+  if (out.empty()) {
+    std::printf("no metrics yet; run a query first\n");
+    return;
+  }
+  std::printf("%s", out.c_str());
+}
+
+void SaveTrace(const std::string& path) {
+  if (g_trace.empty()) {
+    std::printf("no spans yet; run a query first\n");
+    return;
+  }
+  pdms::Status status = pdms::obs::WriteChromeTrace(g_trace, path);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("wrote %zu span(s) to %s (load in chrome://tracing or Perfetto)\n",
+              g_trace.spans().size(), path.c_str());
 }
 
 // `down X` / `up X` toggle availability of a peer or a stored relation.
@@ -191,6 +235,10 @@ void Help() {
       "                     (peer names or @client, the querying node)\n"
       "  heal [<a> <b>]     heal one partition, or all with no arguments\n"
       "  trace              print the last query's message trace\n"
+      "  trace save <file>  write the last query's spans as Chrome-trace\n"
+      "                     JSON (chrome://tracing / Perfetto)\n"
+      "  explain            render the last query's span tree\n"
+      "  metrics            print the accumulated metrics registry\n"
       "  help               this text\n"
       "  quit               exit\n"
       "queries run on the simulated distributed runtime: every stored-\n"
@@ -201,6 +249,8 @@ void Help() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_pdms.set_trace(&g_trace);
+  g_pdms.set_metrics(&g_metrics);
   for (int i = 1; i < argc; ++i) LoadFile(argv[i]);
   std::printf("Piazza-style PDMS shell. Type 'help' for commands.\n");
   std::string line;
@@ -223,6 +273,12 @@ int main(int argc, char** argv) {
       ShowAvailability();
     } else if (trimmed == "trace") {
       ShowTrace();
+    } else if (pdms::StartsWith(trimmed, "trace save ")) {
+      SaveTrace(std::string(pdms::StripWhitespace(trimmed.substr(11))));
+    } else if (trimmed == "explain") {
+      ShowExplain();
+    } else if (trimmed == "metrics") {
+      ShowMetrics();
     } else if (pdms::StartsWith(trimmed, "partition ")) {
       AddPartition(trimmed.substr(10));
     } else if (trimmed == "heal") {

@@ -86,10 +86,13 @@ ReformulationOptions Pdms::EffectiveOptions() const {
   ReformulationOptions effective = options_;
   std::set<std::string> down = network_.UnavailableStoredRelations();
   effective.unavailable_stored.insert(down.begin(), down.end());
+  effective.trace = trace_;
+  effective.metrics = metrics_;
   return effective;
 }
 
 Result<ReformulationResult> Pdms::Reformulate(const ConjunctiveQuery& query) {
+  if (trace_ != nullptr) trace_->Clear();
   return GetReformulator()->Reformulate(query, EffectiveOptions());
 }
 
@@ -150,6 +153,11 @@ Result<AnswerResult> Pdms::AnswerWithReport(const ConjunctiveQuery& query) {
   AnswerResult out;
   out.answers = Relation(query.head().predicate(), query.head().arity());
 
+  if (trace_ != nullptr) trace_->Clear();
+  obs::ScopedSpan query_span(trace_, "query");
+  query_span.Set("query", query.head().predicate());
+  query_span.Set("mode", "local");
+
   // Step 1: reformulate with currently-unavailable sources pruned from
   // the rule-goal tree (recorded in the stats).
   PDMS_ASSIGN_OR_RETURN(
@@ -163,25 +171,31 @@ Result<AnswerResult> Pdms::AnswerWithReport(const ConjunctiveQuery& query) {
                           [this](const std::string& relation) {
                             auto peer = network_.StoredRelationPeer(relation);
                             return peer.ok() ? *peer : std::string();
-                          });
+                          },
+                          trace_, metrics_);
   size_t rewritings_skipped = 0;
   std::vector<std::string> failed;
   if (!ref.rewriting.empty()) {
+    obs::ScopedSpan eval_span(trace_, "evaluate");
+    eval_span.Set("disjuncts", static_cast<uint64_t>(ref.rewriting.size()));
     PDMS_ASSIGN_OR_RETURN(
         DegradedEvalResult eval,
         EvaluateUnionDegraded(ref.rewriting, data_,
                               [&](const std::string& relation) {
                                 return access.Access(relation);
-                              }));
+                              },
+                              trace_, metrics_));
     out.answers = std::move(eval.answers);
     rewritings_skipped = eval.disjuncts_skipped;
     failed = std::move(eval.unavailable_relations);
+    eval_span.Set("answers", static_cast<uint64_t>(out.answers.size()));
   }
 
   // Step 3: the degradation report.
   FillDegradationReport(network_, out.stats, failed, rewritings_skipped,
                         access.stats(), !out.answers.empty(),
                         &out.degradation);
+  query_span.Set("answers", static_cast<uint64_t>(out.answers.size()));
   return out;
 }
 
@@ -194,17 +208,22 @@ Result<Relation> Pdms::AnswerStreaming(
     const ConjunctiveQuery& query,
     const std::function<bool(const Tuple&)>& on_answer) {
   Relation answers(query.head().predicate(), query.head().arity());
+  if (trace_ != nullptr) trace_->Clear();
+  obs::ScopedSpan query_span(trace_, "query");
+  query_span.Set("query", query.head().predicate());
+  query_span.Set("mode", "streaming");
   AccessController access(injector_.get(), retry_, deadline_,
                           [this](const std::string& relation) {
                             auto peer = network_.StoredRelationPeer(relation);
                             return peer.ok() ? *peer : std::string();
-                          });
+                          },
+                          trace_, metrics_);
   Status eval_error = Status::Ok();
   auto result = GetReformulator()->ReformulateStreaming(
       query, EffectiveOptions(), [&](const ConjunctiveQuery& rewriting) {
         auto part = EvaluateCQ(rewriting, data_, [&](const std::string& r) {
           return access.Access(r);
-        });
+        }, trace_);
         if (!part.ok()) {
           // A rewriting over an unavailable source degrades the stream
           // (its answers are simply missing); other errors abort.
@@ -219,6 +238,7 @@ Result<Relation> Pdms::AnswerStreaming(
       });
   PDMS_RETURN_IF_ERROR(eval_error);
   PDMS_RETURN_IF_ERROR(result.status());
+  query_span.Set("answers", static_cast<uint64_t>(answers.size()));
   return answers;
 }
 

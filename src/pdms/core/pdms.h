@@ -13,6 +13,8 @@
 #include "pdms/fault/degradation.h"
 #include "pdms/fault/fault_injector.h"
 #include "pdms/fault/retry.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
 
 namespace pdms {
 
@@ -97,6 +99,18 @@ class Pdms {
   /// (Re)creates the injector with a fresh seed; profiles are discarded.
   void set_fault_seed(uint64_t seed);
 
+  // --- Observability ---
+
+  /// Attaches a span collector / metrics registry (borrowed, nullable —
+  /// null is the zero-overhead sink; see docs/observability.md). Every
+  /// public query entry clears the trace first, so one long-lived context
+  /// always holds exactly the last query's span tree; the registry
+  /// accumulates across queries until its own Clear.
+  void set_trace(obs::TraceContext* trace) { trace_ = trace; }
+  obs::TraceContext* trace() const { return trace_; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
   /// Parses a query in rule syntax, e.g. `q(x) :- H:Doctor(x, h).`.
   Result<ConjunctiveQuery> ParseQuery(std::string_view text) const;
 
@@ -159,6 +173,8 @@ class Pdms {
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<Reformulator> reformulator_;  // rebuilt on revision change
   uint64_t reformulator_revision_ = 0;  // network revision it was built at
+  obs::TraceContext* trace_ = nullptr;      // not owned; may be null
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace pdms

@@ -20,20 +20,68 @@ Result<ReformulationResult> Reformulator::ReformulateStreaming(
   return ReformulateStreaming(query, options_, sink);
 }
 
+namespace {
+
+// Folds one query's reformulation stats into the registry — counters for
+// the tree/prune/rewriting counts, histograms for the phase timings. Done
+// once per query rather than per event so metrics stay cheap even with the
+// registry attached.
+void RecordReformulationMetrics(const ReformulationStats& stats,
+                                obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->Add("reform.queries");
+  metrics->Add("reform.goal_nodes", stats.goal_nodes);
+  metrics->Add("reform.rule_nodes", stats.rule_nodes);
+  metrics->Add("reform.definitional_nodes", stats.definitional_nodes);
+  metrics->Add("reform.inclusion_nodes", stats.inclusion_nodes);
+  metrics->Add("reform.pruned_unsat", stats.pruned_unsat);
+  metrics->Add("reform.pruned_dead", stats.pruned_dead);
+  metrics->Add("reform.pruned_guard", stats.pruned_guard);
+  metrics->Add("reform.pruned_unavailable", stats.pruned_unavailable);
+  metrics->Add("reform.combos_failed", stats.combos_failed);
+  metrics->Add("reform.rewritings", stats.rewritings);
+  if (stats.tree_truncated) metrics->Add("reform.tree_truncated");
+  if (stats.enumeration_truncated) {
+    metrics->Add("reform.enumeration_truncated");
+  }
+  metrics->Observe("reform.build_ms", stats.build_ms);
+  metrics->Observe("reform.enumerate_ms", stats.enumerate_ms);
+  if (!stats.time_to_rewriting_ms.empty()) {
+    metrics->Observe("reform.first_rewriting_ms",
+                     stats.time_to_rewriting_ms.front());
+  }
+}
+
+}  // namespace
+
 Result<ReformulationResult> Reformulator::ReformulateStreaming(
     const ConjunctiveQuery& query, const ReformulationOptions& options,
     const RewritingSink& sink) {
+  obs::TraceContext* trace = options.trace;
+  obs::ScopedSpan reform_span(trace, "reformulate");
+  reform_span.Set("query", query.head().predicate());
+
   WallTimer timer;
+  obs::ScopedSpan build_span(trace, "build_tree");
   TreeBuilder builder(rules_, options);
   PDMS_ASSIGN_OR_RETURN(RuleGoalTree tree, builder.Build(query));
   tree.stats.build_ms = timer.ElapsedMillis();
+  build_span.Set("nodes", static_cast<uint64_t>(tree.stats.total_nodes()));
+  build_span.Set("truncated", tree.stats.tree_truncated);
+  build_span.End();
 
   ReformulationResult result;
   result.stats = tree.stats;
   WallTimer enumerate_timer;
+  obs::ScopedSpan enum_span(trace, "enumerate");
   PDMS_RETURN_IF_ERROR(EnumerateRewritings(
       tree, options, timer, &result.stats,
       [&](const ConjunctiveQuery& cq) {
+        if (trace != nullptr) {
+          obs::SpanId mark = trace->Instant("rewriting");
+          trace->SetAttribute(
+              mark, "index", static_cast<uint64_t>(result.rewriting.size()));
+        }
         if (!sink(cq)) return false;
         result.rewriting.Add(cq);
         return true;
@@ -51,6 +99,10 @@ Result<ReformulationResult> Reformulator::ReformulateStreaming(
     result.rewriting = RemoveRedundantDisjunctsWithComparisons(minimized);
     result.stats.rewritings = result.rewriting.size();
   }
+  enum_span.Set("rewritings", static_cast<uint64_t>(result.stats.rewritings));
+  enum_span.Set("truncated", result.stats.enumeration_truncated);
+  enum_span.End();
+  RecordReformulationMetrics(result.stats, options.metrics);
   return result;
 }
 

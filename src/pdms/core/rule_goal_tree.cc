@@ -265,6 +265,11 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
                              ReformulationStats* stats) {
   if (goal->is_stored) return;
   const std::string& pred = goal->label.predicate();
+  // One span per goal-node expansion; the per-candidate spans below nest
+  // under it, so the explain tree mirrors the rule-goal tree. Prune-reason
+  // attributes name the Section 4.3 optimization that fired.
+  obs::ScopedSpan goal_span(options_.trace, "expand");
+  goal_span.Set("goal", pred);
   if (rules_.stored.count(pred) > 0 &&
       options_.unavailable_stored.count(pred) > 0) {
     // A goal over an unavailable stored relation: not expandable (stored
@@ -272,13 +277,16 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
     // structural dead ends so the degradation report can attribute the
     // loss to peer unavailability.
     ++stats->pruned_unavailable;
+    goal_span.Set("pruned", "unavailable");
     return;
   }
   if (options_.prune_dead_ends && !Answerable(pred)) {
     if (DeadOnlyByAvailability(pred)) {
       ++stats->pruned_unavailable;
+      goal_span.Set("pruned", "unavailable");
     } else {
       ++stats->pruned_dead;
+      goal_span.Set("pruned", "dead_end");
     }
     return;
   }
@@ -288,17 +296,24 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
   if (rit != rules_.rules_by_head.end()) {
     for (size_t idx : rit->second) {
       const ExpansionRules::DefRule& dr = rules_.rules[idx];
+      obs::ScopedSpan rule_span(options_.trace, "definitional");
+      rule_span.Set("desc", static_cast<uint64_t>(dr.description_id));
       if (!dr.guard_exempt && path->count(dr.description_id) > 0) {
         ++stats->pruned_guard;
+        rule_span.Set("pruned", "reuse_guard");
         continue;
       }
       if (node_count_ >= options_.max_tree_nodes) {
         truncated_ = true;
+        rule_span.Set("pruned", "node_budget");
         return;
       }
       Rule renamed = RenameApart(dr.rule, &fresh_);
       Substitution theta;
-      if (!theta.UnifyAtoms(goal->label, renamed.head())) continue;
+      if (!theta.UnifyAtoms(goal->label, renamed.head())) {
+        rule_span.Set("pruned", "unification");
+        continue;
+      }
 
       auto exp = std::make_unique<ExpansionNode>();
       exp->kind = ExpansionNode::Kind::kDefinitional;
@@ -311,6 +326,7 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
       exp->label.AddAll(exp->required_constraints);
       if (options_.prune_unsatisfiable && !exp->label.IsSatisfiable()) {
         ++stats->pruned_unsat;
+        rule_span.Set("pruned", "unsatisfiable");
         continue;
       }
       if (options_.prune_dead_ends) {
@@ -328,12 +344,16 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
         if (dead) {
           if (only_availability) {
             ++stats->pruned_unavailable;
+            rule_span.Set("pruned", "unavailable");
           } else {
             ++stats->pruned_dead;
+            rule_span.Set("pruned", "dead_end");
           }
           continue;
         }
       }
+      rule_span.Set("subgoals",
+                    static_cast<uint64_t>(renamed.body().size()));
       for (size_t j = 0; j < renamed.body().size(); ++j) {
         auto child = std::make_unique<GoalNode>();
         child->label = theta.Apply(renamed.body()[j]);
@@ -374,29 +394,38 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
 
     for (size_t idx : vit->second) {
       const ExpansionRules::View& vw = rules_.views[idx];
+      obs::ScopedSpan view_span(options_.trace, "inclusion");
+      view_span.Set("desc", static_cast<uint64_t>(vw.description_id));
       if (path->count(vw.description_id) > 0) {
         ++stats->pruned_guard;
+        view_span.Set("pruned", "reuse_guard");
         continue;
       }
       if (options_.prune_dead_ends &&
           !Answerable(vw.view.head().predicate())) {
         if (DeadOnlyByAvailability(vw.view.head().predicate())) {
           ++stats->pruned_unavailable;
+          view_span.Set("pruned", "unavailable");
         } else {
           ++stats->pruned_dead;
+          view_span.Set("pruned", "dead_end");
         }
         continue;
       }
       if (node_count_ >= options_.max_tree_nodes) {
         truncated_ = true;
+        view_span.Set("pruned", "node_budget");
         return;
       }
       std::vector<Mcd> mcds = MakeMcds(
           iface, siblings, goal->index_in_scope, vw.view, &fresh_,
           options_.prune_unsatisfiable ? &ctx.scope->label : nullptr);
+      view_span.Set("mcds", static_cast<uint64_t>(mcds.size()));
       for (Mcd& mcd : mcds) {
+        obs::ScopedSpan mcd_span(options_.trace, "mcd");
         if (node_count_ >= options_.max_tree_nodes) {
           truncated_ = true;
+          mcd_span.Set("pruned", "node_budget");
           return;
         }
         auto exp = std::make_unique<ExpansionNode>();
@@ -409,7 +438,17 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
         exp->label.AddAll(exp->granted_constraints);
         if (options_.prune_unsatisfiable && !exp->label.IsSatisfiable()) {
           ++stats->pruned_unsat;
+          mcd_span.Set("pruned", "unsatisfiable");
           continue;
+        }
+        if (options_.trace != nullptr) {
+          mcd_span.Set("view", mcd.view_atom.predicate());
+          std::string unc;
+          for (size_t u : exp->unc) {
+            if (!unc.empty()) unc += ',';
+            unc += std::to_string(u);
+          }
+          mcd_span.Set("unc", unc);
         }
         auto child = std::make_unique<GoalNode>();
         child->label = mcd.view_atom;

@@ -9,6 +9,8 @@
 #include "pdms/constraints/constraint_set.h"
 #include "pdms/core/normalize.h"
 #include "pdms/lang/conjunctive_query.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
 #include "pdms/util/status.h"
 
 namespace pdms {
@@ -64,6 +66,15 @@ struct ReformulationOptions {
   /// Wall-clock budget for the whole reformulation in milliseconds
   /// (0 = unlimited).
   double time_budget_ms = 0;
+
+  /// Observability (docs/observability.md). Borrowed, nullable — null is
+  /// the zero-overhead sink — and never part of the reformulation
+  /// semantics. When `trace` is set the builder emits one span per goal
+  /// expansion (with prune-reason attributes mapping to the Section 4.3
+  /// optimizations) and the enumerator marks each emitted rewriting; when
+  /// `metrics` is set the per-query stats are folded into the registry.
+  obs::TraceContext* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters reported by the reformulator; the Figure 3/4 benchmarks print

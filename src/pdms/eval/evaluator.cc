@@ -266,9 +266,16 @@ Status GateBody(const ConjunctiveQuery& cq, const StoredGate& gate) {
 }  // namespace
 
 Result<Relation> EvaluateCQ(const ConjunctiveQuery& cq, const Database& db,
-                            const StoredGate& gate) {
+                            const StoredGate& gate,
+                            obs::TraceContext* trace) {
   PDMS_RETURN_IF_ERROR(GateBody(cq, gate));
-  return EvaluateCQ(cq, db);
+  obs::ScopedSpan join_span(trace, "join");
+  join_span.Set("atoms", static_cast<uint64_t>(cq.body().size()));
+  Result<Relation> out = EvaluateCQ(cq, db);
+  if (out.ok()) {
+    join_span.Set("answers", static_cast<uint64_t>(out->size()));
+  }
+  return out;
 }
 
 Result<Relation> EvaluateUnion(const UnionQuery& uq, const Database& db) {
@@ -289,18 +296,24 @@ Result<Relation> EvaluateUnion(const UnionQuery& uq, const Database& db) {
 
 Result<DegradedEvalResult> EvaluateUnionDegraded(const UnionQuery& uq,
                                                  const Database& db,
-                                                 const StoredGate& gate) {
+                                                 const StoredGate& gate,
+                                                 obs::TraceContext* trace,
+                                                 obs::MetricsRegistry* metrics) {
   DegradedEvalResult out;
   if (uq.empty()) return out;
   out.answers = Relation(uq.disjuncts()[0].head().predicate(),
                          uq.disjuncts()[0].head().arity());
   std::set<std::string> unavailable;
+  size_t index = 0;
   for (const ConjunctiveQuery& cq : uq.disjuncts()) {
     if (cq.head().arity() != out.answers.arity()) {
       return Status::InvalidArgument(
           StrFormat("union disjuncts disagree on arity (%zu vs %zu)",
                     out.answers.arity(), cq.head().arity()));
     }
+    obs::ScopedSpan cq_span(trace, "eval_cq");
+    cq_span.Set("disjunct", static_cast<uint64_t>(index++));
+    cq_span.Set("atoms", static_cast<uint64_t>(cq.body().size()));
     bool skipped = false;
     if (gate) {
       std::set<std::string> seen;
@@ -317,12 +330,22 @@ Result<DegradedEvalResult> EvaluateUnionDegraded(const UnionQuery& uq,
     }
     if (skipped) {
       ++out.disjuncts_skipped;
+      cq_span.Set("skipped", true);
       continue;
     }
+    obs::ScopedSpan join_span(trace, "join");
     PDMS_ASSIGN_OR_RETURN(Relation part, EvaluateCQ(cq, db));
+    join_span.Set("answers", static_cast<uint64_t>(part.size()));
+    join_span.End();
+    cq_span.Set("answers", static_cast<uint64_t>(part.size()));
     for (const Tuple& t : part.tuples()) out.answers.Insert(t);
   }
   out.unavailable_relations.assign(unavailable.begin(), unavailable.end());
+  if (metrics != nullptr) {
+    metrics->Add("eval.disjuncts", uq.size());
+    metrics->Add("eval.disjuncts_skipped", out.disjuncts_skipped);
+    metrics->Add("eval.answers", out.answers.size());
+  }
   return out;
 }
 

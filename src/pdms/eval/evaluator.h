@@ -7,6 +7,8 @@
 
 #include "pdms/data/database.h"
 #include "pdms/lang/conjunctive_query.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
 #include "pdms/util/status.h"
 
 namespace pdms {
@@ -38,9 +40,13 @@ using StoredGate = std::function<Status(const std::string& relation)>;
 
 /// Gated variant: every distinct body relation is cleared through `gate`
 /// (null gate = always allowed) before any matching starts; the first
-/// non-OK gate status aborts the evaluation with that status.
+/// non-OK gate status aborts the evaluation with that status. With a trace
+/// attached (null = disabled) a `join` span covers the matching phase —
+/// per-relation scan outcomes are spanned by the gate's AccessController,
+/// which nests naturally under the caller's open span.
 Result<Relation> EvaluateCQ(const ConjunctiveQuery& cq, const Database& db,
-                            const StoredGate& gate);
+                            const StoredGate& gate,
+                            obs::TraceContext* trace = nullptr);
 
 /// Evaluates a union of conjunctive queries (all disjuncts must share head
 /// arity); the result is the set union of the disjunct results.
@@ -61,9 +67,15 @@ struct DegradedEvalResult {
 /// kUnavailable are skipped (and recorded) instead of failing the whole
 /// query; any other gate error propagates. The surviving disjuncts'
 /// answers are a sound subset of the fully-available result.
-Result<DegradedEvalResult> EvaluateUnionDegraded(const UnionQuery& uq,
-                                                 const Database& db,
-                                                 const StoredGate& gate);
+///
+/// Observability (both nullable, borrowed): with `trace` attached each
+/// disjunct gets an `eval_cq` span (gate outcomes and the join nested
+/// under it); with `metrics` attached the registry accumulates
+/// `eval.disjuncts` / `eval.disjuncts_skipped` / `eval.answers`.
+Result<DegradedEvalResult> EvaluateUnionDegraded(
+    const UnionQuery& uq, const Database& db, const StoredGate& gate,
+    obs::TraceContext* trace = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// Drops tuples containing labeled nulls — used to extract certain answers
 /// from a chased instance.

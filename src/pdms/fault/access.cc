@@ -16,11 +16,14 @@ std::string AccessStats::ToString() const {
 
 AccessController::AccessController(
     FaultInjector* injector, RetryPolicy policy, Deadline deadline,
-    std::function<std::string(const std::string&)> relation_peer)
+    std::function<std::string(const std::string&)> relation_peer,
+    obs::TraceContext* trace, obs::MetricsRegistry* metrics)
     : injector_(injector),
       policy_(policy),
       deadline_(deadline),
       relation_peer_(std::move(relation_peer)),
+      trace_(trace),
+      metrics_(metrics),
       jitter_rng_(injector != nullptr ? injector->seed() : 1),
       start_ms_(injector != nullptr ? injector->now_ms() : 0) {}
 
@@ -28,19 +31,34 @@ Status AccessController::Access(const std::string& relation) {
   auto it = cache_.find(relation);
   if (it != cache_.end()) return it->second;
   ++stats_.probes;
+  if (metrics_ != nullptr) metrics_->Add("access.probes");
   if (injector_ == nullptr) {
     ++stats_.successes;
+    if (metrics_ != nullptr) metrics_->Add("access.successes");
     return cache_.emplace(relation, Status::Ok()).first->second;
   }
 
   const std::string peer =
       relation_peer_ ? relation_peer_(relation) : std::string();
+  obs::ScopedSpan span(trace_, "access");
+  span.Set("relation", relation);
+  if (!peer.empty()) span.Set("peer", peer);
+
   auto elapsed = [&] { return injector_->now_ms() - start_ms_; };
+  const char* outcome_name = "failure";
+  const char* outcome_counter = "access.failures";
+  double backoff_before = stats_.backoff_ms;
+  size_t attempts_before = stats_.attempts;
   Status result = Status::Ok();
   size_t max_attempts = std::max<size_t>(1, policy_.max_attempts);
   for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
     if (deadline_.Expired(elapsed())) {
       ++stats_.timeouts;
+      outcome_name = "timeout";
+      outcome_counter = "access.timeouts";
+      if (trace_ != nullptr) {
+        trace_->Instant("deadline_expired");
+      }
       result = Status::Unavailable(StrFormat(
           "deadline (%.1f ms) expired before %s could be scanned",
           deadline_.budget_ms(), relation.c_str()));
@@ -50,8 +68,9 @@ Status AccessController::Access(const std::string& relation) {
     ++stats_.attempts;
     if (outcome.ok) {
       ++stats_.successes;
-      stats_.elapsed_ms = elapsed();
-      return cache_.emplace(relation, Status::Ok()).first->second;
+      outcome_name = "success";
+      outcome_counter = "access.successes";
+      break;
     }
     if (attempt == max_attempts) {
       ++stats_.failures;
@@ -64,9 +83,27 @@ Status AccessController::Access(const std::string& relation) {
     ++stats_.retries;
     double backoff = policy_.BackoffMillis(attempt, &jitter_rng_);
     stats_.backoff_ms += backoff;
+    if (trace_ != nullptr) {
+      obs::SpanId retry = trace_->Instant("retry");
+      trace_->SetAttribute(retry, "attempt", static_cast<uint64_t>(attempt));
+      trace_->SetAttribute(retry, "backoff_ms", backoff);
+    }
     injector_->AdvanceClock(backoff);
   }
+  // Single source of truth for elapsed accounting: every resolved probe
+  // (success, failure, or timeout) lands here exactly once.
   stats_.elapsed_ms = elapsed();
+  span.Set("outcome", outcome_name);
+  span.Set("attempts",
+           static_cast<uint64_t>(stats_.attempts - attempts_before));
+  if (stats_.backoff_ms > backoff_before) {
+    span.Set("backoff_ms", stats_.backoff_ms - backoff_before);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Add("access.attempts", stats_.attempts - attempts_before);
+    metrics_->Add(outcome_counter);
+    metrics_->Observe("access.backoff_ms", stats_.backoff_ms - backoff_before);
+  }
   return cache_.emplace(relation, std::move(result)).first->second;
 }
 

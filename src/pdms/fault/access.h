@@ -8,6 +8,8 @@
 
 #include "pdms/fault/fault_injector.h"
 #include "pdms/fault/retry.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
 #include "pdms/util/status.h"
 
 namespace pdms {
@@ -31,7 +33,12 @@ struct AccessStats {
   size_t failures = 0;   // relations given up on after exhausting retries
   size_t timeouts = 0;   // probes abandoned because the deadline expired
   double backoff_ms = 0;  // total simulated backoff waited
-  double elapsed_ms = 0;  // simulated time consumed by access + backoff
+  /// Simulated time consumed by access + backoff, measured from controller
+  /// construction to the most recent probe resolution. Single-source: the
+  /// access loop assigns it exactly once per resolved probe (asserted in
+  /// tests/access_edge_test.cc), so it always equals the injector-clock
+  /// delta at the last resolution.
+  double elapsed_ms = 0;
 
   std::string ToString() const;
 };
@@ -49,10 +56,15 @@ class AccessController {
  public:
   /// `relation_peer` maps a stored relation to its serving peer (empty
   /// string when unknown); used to apply per-peer fault profiles and to
-  /// name the peer in error messages.
+  /// name the peer in error messages. `trace` / `metrics` (borrowed,
+  /// nullable — null is the zero-overhead sink) record one `access` span
+  /// per non-cached probe with retry events nested under it, and the
+  /// `access.*` counters.
   AccessController(
       FaultInjector* injector, RetryPolicy policy, Deadline deadline,
-      std::function<std::string(const std::string&)> relation_peer);
+      std::function<std::string(const std::string&)> relation_peer,
+      obs::TraceContext* trace = nullptr,
+      obs::MetricsRegistry* metrics = nullptr);
 
   /// Gate for the evaluator: OK when the relation can be scanned,
   /// kUnavailable when it is down / failed all retries / out of deadline.
@@ -67,6 +79,8 @@ class AccessController {
   RetryPolicy policy_;
   Deadline deadline_;
   std::function<std::string(const std::string&)> relation_peer_;
+  obs::TraceContext* trace_;      // not owned; may be null
+  obs::MetricsRegistry* metrics_;  // not owned; may be null
   Rng jitter_rng_;
   double start_ms_ = 0;  // injector clock at construction
   AccessStats stats_;

@@ -1,0 +1,109 @@
+#include "pdms/obs/export.h"
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace obs {
+
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void RenderNode(const std::vector<Span>& spans,
+                const std::multimap<SpanId, size_t>& children, size_t index,
+                int depth, std::string* out) {
+  const Span& span = spans[index];
+  std::string attrs;
+  for (const auto& [key, value] : span.attributes) {
+    attrs += StrFormat(" %s=%s", key.c_str(), value.c_str());
+  }
+  *out += StrFormat("%*s%-*s %9.3f ms  @%.3f%s%s\n", depth * 2, "",
+                    depth * 2 >= 28 ? 0 : 28 - depth * 2, span.name.c_str(),
+                    span.duration_ms(), span.start_ms,
+                    span.open() ? " (open)" : "", attrs.c_str());
+  auto [lo, hi] = children.equal_range(span.id);
+  for (auto it = lo; it != hi; ++it) {
+    RenderNode(spans, children, it->second, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceContext& trace) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const Span& span : trace.spans()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\": " + Quote(span.name) +
+           ", \"cat\": \"pdms\", \"ph\": \"X\", \"ts\": " +
+           StrFormat("%.3f", span.start_ms * 1000.0) +
+           ", \"dur\": " + StrFormat("%.3f", span.duration_ms() * 1000.0) +
+           ", \"pid\": 1, \"tid\": 1, \"args\": {";
+    out += "\"trace_id\": " + Quote(trace.trace_id()) +
+           ", \"span_id\": " + std::to_string(span.id) +
+           ", \"parent_id\": " + std::to_string(span.parent);
+    if (span.open()) out += ", \"open\": \"true\"";
+    for (const auto& [key, value] : span.attributes) {
+      out += ", " + Quote(key) + ": " + Quote(value);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const TraceContext& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot write trace file " + path);
+  }
+  std::string json = ChromeTraceJson(trace);
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file " + path);
+  }
+  return Status::Ok();
+}
+
+std::string RenderSpanTree(const TraceContext& trace) {
+  if (trace.spans().empty()) return "(no spans)\n";
+  std::string out = "trace " + trace.trace_id() + ":\n";
+  // Children in creation order under each parent; creation order is also
+  // start order, so the rendering reads top to bottom in time.
+  std::multimap<SpanId, size_t> children;
+  for (size_t i = 0; i < trace.spans().size(); ++i) {
+    children.emplace(trace.spans()[i].parent, i);
+  }
+  auto [lo, hi] = children.equal_range(kNoSpan);
+  for (auto it = lo; it != hi; ++it) {
+    RenderNode(trace.spans(), children, it->second, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pdms

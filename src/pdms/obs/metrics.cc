@@ -1,0 +1,143 @@
+#include "pdms/obs/metrics.h"
+
+#include <algorithm>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace obs {
+
+namespace {
+
+// Compact finite-double encoding shared with the benchmark JSON schema.
+std::string Number(double v) { return StrFormat("%.10g", v); }
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
+  counters_[name] += delta;
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  Observe(name, value, DefaultLatencyBounds());
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value,
+                              const std::vector<double>& bounds) {
+  auto [it, inserted] = histograms_.try_emplace(name);
+  Histogram& h = it->second;
+  if (inserted) {
+    h.bounds = bounds;
+    h.counts.assign(bounds.size() + 1, 0);
+    h.min = value;
+    h.max = value;
+  }
+  // First bucket whose upper bound admits the value; past the last bound
+  // the observation lands in the overflow bucket.
+  size_t bucket =
+      std::lower_bound(h.bounds.begin(), h.bounds.end(), value) -
+      h.bounds.begin();
+  ++h.counts[bucket];
+  ++h.count;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+}
+
+const MetricsRegistry::Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::Histogram::ToString() const {
+  return StrFormat("count=%llu sum=%.3f min=%.3f max=%.3f",
+                   static_cast<unsigned long long>(count), sum, min, max);
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += StrFormat("%-32s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StrFormat("%-32s %s\n", name.c_str(), h.ToString().c_str());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += Quote(name) + ": " + std::to_string(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    out += Quote(name) + ": {\"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Number(h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += StrFormat("], \"count\": %llu, \"sum\": %s, \"min\": %s, "
+                     "\"max\": %s}",
+                     static_cast<unsigned long long>(h.count),
+                     Number(h.sum).c_str(), Number(h.min).c_str(),
+                     Number(h.max).c_str());
+  }
+  out += "}}";
+  return out;
+}
+
+const std::vector<double>& MetricsRegistry::DefaultLatencyBounds() {
+  // 0.01 ms … 10.24 s in powers of four: coarse enough to stay small,
+  // fine enough to separate "instant" from "retried" from "timed out".
+  static const std::vector<double> kBounds = {
+      0.01, 0.04, 0.16, 0.64, 2.56, 10.24, 40.96, 163.84, 655.36,
+      2621.44, 10485.76};
+  return kBounds;
+}
+
+}  // namespace obs
+}  // namespace pdms

@@ -1,0 +1,86 @@
+#ifndef PDMS_OBS_METRICS_H_
+#define PDMS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pdms {
+namespace obs {
+
+/// A registry of named counters and fixed-bucket histograms.
+///
+/// Naming convention (docs/observability.md): `layer.metric`, lowercase
+/// with underscores inside a segment — e.g. `reform.goal_nodes`,
+/// `access.attempts`, `sim.messages_sent`. Histogram names carry their unit as a
+/// suffix (`reform.build_ms`). Registries are accumulated across queries;
+/// callers snapshot or Clear between runs as they see fit.
+///
+/// Like TraceContext this is the nullable half of the null sink: hot paths
+/// hold a `MetricsRegistry*` and skip everything when it is null. Not
+/// thread-safe — the invariants below assume single-threaded use, and the
+/// obs tests assert them:
+///   - a counter equals the sum of the deltas added to it;
+///   - a histogram's bucket counts sum to its observation count;
+///   - `sum`, `min`, `max` are exact over the observed values;
+///   - bucket bounds are fixed at first observation and never reshaped.
+class MetricsRegistry {
+ public:
+  /// A histogram over fixed upper bounds (ascending). `counts` has one
+  /// entry per bound plus a final overflow bucket, so
+  /// `counts.size() == bounds.size() + 1`.
+  struct Histogram {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+
+    std::string ToString() const;
+  };
+
+  /// Adds `delta` to the named counter (created at zero on first use).
+  void Add(const std::string& name, uint64_t delta = 1);
+  /// Current counter value; 0 when the counter was never touched.
+  uint64_t counter(const std::string& name) const;
+
+  /// Records `value` into the named histogram. The first observation fixes
+  /// the bucket layout: `DefaultLatencyBounds()` for the two-argument form,
+  /// `bounds` for the three-argument form (later `bounds` arguments on the
+  /// same name are ignored).
+  void Observe(const std::string& name, double value);
+  void Observe(const std::string& name, double value,
+               const std::vector<double>& bounds);
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  const std::map<std::string, uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+  void Clear();
+
+  /// Human-readable snapshot, one metric per line, sorted by name.
+  std::string ToString() const;
+  /// Flat JSON: {"counters": {...}, "histograms": {name: {"bounds": [...],
+  /// "counts": [...], "count": n, "sum": s, "min": m, "max": M}}}. Merged
+  /// verbatim into the benchmark reports (bench_util.h).
+  std::string ToJson() const;
+
+  /// Exponential millisecond bounds (0.01 … ~10 s) shared by every latency
+  /// histogram so queries are comparable across layers.
+  static const std::vector<double>& DefaultLatencyBounds();
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace pdms
+
+#endif  // PDMS_OBS_METRICS_H_

@@ -1,0 +1,98 @@
+#include "pdms/obs/trace.h"
+
+#include <algorithm>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace obs {
+
+const std::string* Span::FindAttribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+TraceContext::TraceContext(std::string trace_id)
+    : trace_id_(std::move(trace_id)) {}
+
+void TraceContext::set_now_fn(std::function<double()> now) {
+  now_ = std::move(now);
+  if (!now_) wall_.Reset();
+}
+
+double TraceContext::now_ms() const {
+  return now_ ? now_() : wall_.ElapsedMillis();
+}
+
+SpanId TraceContext::StartSpan(std::string name) {
+  SpanId id = StartSpanAt(std::move(name), current());
+  stack_.push_back(id);
+  return id;
+}
+
+SpanId TraceContext::StartSpanAt(std::string name, SpanId parent) {
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.start_ms = now_ms();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceContext::EndSpan(SpanId id) {
+  Span* span = Find(id);
+  if (span == nullptr || !span->open()) return;
+  span->end_ms = std::max(now_ms(), span->start_ms);
+  if (!stack_.empty() && stack_.back() == id) stack_.pop_back();
+}
+
+SpanId TraceContext::Instant(std::string name) {
+  SpanId id = StartSpanAt(std::move(name), current());
+  spans_[id - 1].end_ms = spans_[id - 1].start_ms;
+  return id;
+}
+
+void TraceContext::SetAttribute(SpanId id, std::string key,
+                                std::string value) {
+  Span* span = Find(id);
+  if (span != nullptr) {
+    span->attributes.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+void TraceContext::SetAttribute(SpanId id, std::string key,
+                                const char* value) {
+  SetAttribute(id, std::move(key), std::string(value));
+}
+
+void TraceContext::SetAttribute(SpanId id, std::string key, double value) {
+  SetAttribute(id, std::move(key), StrFormat("%.6g", value));
+}
+
+void TraceContext::SetAttribute(SpanId id, std::string key, uint64_t value) {
+  SetAttribute(id, std::move(key), std::to_string(value));
+}
+
+void TraceContext::SetAttribute(SpanId id, std::string key, int value) {
+  SetAttribute(id, std::move(key), std::to_string(value));
+}
+
+void TraceContext::SetAttribute(SpanId id, std::string key, bool value) {
+  SetAttribute(id, std::move(key), std::string(value ? "true" : "false"));
+}
+
+void TraceContext::Clear() {
+  spans_.clear();
+  stack_.clear();
+}
+
+Span* TraceContext::Find(SpanId id) {
+  if (id == kNoSpan || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+}  // namespace obs
+}  // namespace pdms

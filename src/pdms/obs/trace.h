@@ -1,0 +1,143 @@
+#ifndef PDMS_OBS_TRACE_H_
+#define PDMS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pdms/util/timer.h"
+
+namespace pdms {
+namespace obs {
+
+/// Identifies one span within its TraceContext. Ids are assigned densely in
+/// creation order (1-based; 0 means "no span"), so two executions that
+/// create the same spans in the same order produce identical ids — the
+/// determinism the virtual-clock span tests lean on.
+using SpanId = uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// One timed, named, attributed interval of a query's execution. Spans form
+/// a tree via `parent`; attribute order is insertion order (deterministic).
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  double start_ms = 0;
+  double end_ms = -1;  // < start_ms while the span is still open
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  bool open() const { return end_ms < start_ms; }
+  double duration_ms() const { return open() ? 0 : end_ms - start_ms; }
+  /// Value of the first attribute named `key`, or nullptr.
+  const std::string* FindAttribute(const std::string& key) const;
+};
+
+/// A query-scoped collector of hierarchical spans.
+///
+/// The hot paths receive a `TraceContext*` that is usually null — the null
+/// sink. Every instrumentation site guards on the pointer (most via
+/// ScopedSpan below), so tracing disabled costs one branch per site and
+/// allocates nothing.
+///
+/// Clock: by default spans are stamped with monotonic wall time measured
+/// from construction (or the last Clear). `set_now_fn` rebinds the clock —
+/// the simulated runtime points it at the event loop's virtual clock so a
+/// distributed execution's span tree is a deterministic function of its
+/// seed, timestamps included.
+///
+/// Not thread-safe: one TraceContext belongs to one query on one thread,
+/// matching every engine in this codebase.
+class TraceContext {
+ public:
+  explicit TraceContext(std::string trace_id = "query");
+
+  /// Rebinds the clock; pass an empty function to return to wall time
+  /// (re-epoched at the moment of the call).
+  void set_now_fn(std::function<double()> now);
+  double now_ms() const;
+
+  const std::string& trace_id() const { return trace_id_; }
+  void set_trace_id(std::string id) { trace_id_ = std::move(id); }
+
+  /// Opens a span as a child of the innermost open span (or a root) and
+  /// makes it the innermost. Returns its id.
+  SpanId StartSpan(std::string name);
+  /// Opens a span under an explicit parent WITHOUT making it the innermost
+  /// open span — for work that outlives the current scope, e.g. an
+  /// in-flight message whose delivery ends it from an event-loop callback.
+  SpanId StartSpanAt(std::string name, SpanId parent);
+  /// Closes a span. If it is the innermost open span the scope pops back to
+  /// its parent; ending a detached span leaves the scope stack alone.
+  void EndSpan(SpanId id);
+  /// A zero-duration child of the innermost open span (an event marker).
+  SpanId Instant(std::string name);
+
+  void SetAttribute(SpanId id, std::string key, std::string value);
+  void SetAttribute(SpanId id, std::string key, const char* value);
+  void SetAttribute(SpanId id, std::string key, double value);
+  void SetAttribute(SpanId id, std::string key, uint64_t value);
+  void SetAttribute(SpanId id, std::string key, int value);
+  void SetAttribute(SpanId id, std::string key, bool value);
+
+  /// The innermost open span (kNoSpan when none).
+  SpanId current() const {
+    return stack_.empty() ? kNoSpan : stack_.back();
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+
+  /// Discards all spans and re-opens the scope at root; trace id and clock
+  /// binding are kept. Called by the facades at every query entry so one
+  /// long-lived context always holds exactly the last query's trace.
+  void Clear();
+
+ private:
+  Span* Find(SpanId id);
+
+  std::string trace_id_;
+  std::function<double()> now_;  // empty = wall clock from `wall_`
+  WallTimer wall_;
+  std::vector<Span> spans_;    // index = id - 1
+  std::vector<SpanId> stack_;  // innermost open span last
+};
+
+/// RAII span for the common scoped case; all operations are no-ops when the
+/// context is null, so call sites need no guards of their own.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* ctx, const char* name) : ctx_(ctx) {
+    if (ctx_ != nullptr) id_ = ctx_->StartSpan(name);
+  }
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Closes the span early (idempotent).
+  void End() {
+    if (ctx_ != nullptr && id_ != kNoSpan) ctx_->EndSpan(id_);
+    id_ = kNoSpan;
+  }
+
+  template <typename V>
+  void Set(std::string key, V value) {
+    if (ctx_ != nullptr && id_ != kNoSpan) {
+      ctx_->SetAttribute(id_, std::move(key), value);
+    }
+  }
+
+  SpanId id() const { return id_; }
+
+ private:
+  TraceContext* ctx_;
+  SpanId id_ = kNoSpan;
+};
+
+}  // namespace obs
+}  // namespace pdms
+
+#endif  // PDMS_OBS_TRACE_H_

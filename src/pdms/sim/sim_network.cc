@@ -53,6 +53,30 @@ std::string SimNetwork::TraceString() const {
   return out;
 }
 
+obs::SpanId SimNetwork::StartMessageSpan(const std::string& src,
+                                         const std::string& dst,
+                                         const Message& message,
+                                         bool duplicate) {
+  if (obs_trace_ == nullptr) return obs::kNoSpan;
+  obs::SpanId span = obs_trace_->StartSpanAt("message", obs_trace_->current());
+  obs_trace_->SetAttribute(span, "src", src);
+  obs_trace_->SetAttribute(span, "dst", dst);
+  obs_trace_->SetAttribute(
+      span, "type",
+      message.type == Message::Type::kScanRequest ? "scan_request"
+                                                  : "scan_response");
+  obs_trace_->SetAttribute(span, "relation", message.relation);
+  obs_trace_->SetAttribute(span, "request_id", message.request_id);
+  if (duplicate) obs_trace_->SetAttribute(span, "duplicate", true);
+  return span;
+}
+
+void SimNetwork::EndMessageSpan(obs::SpanId span, const char* outcome) {
+  if (obs_trace_ == nullptr || span == obs::kNoSpan) return;
+  obs_trace_->SetAttribute(span, "outcome", outcome);
+  obs_trace_->EndSpan(span);
+}
+
 void SimNetwork::ScheduleDelivery(const std::string& src,
                                   const std::string& dst,
                                   const Message& message, bool duplicate) {
@@ -60,17 +84,20 @@ void SimNetwork::ScheduleDelivery(const std::string& src,
   if (faults_.delay_jitter_ms > 0) {
     delay += rng_.UniformDouble() * faults_.delay_jitter_ms;
   }
-  loop_->Schedule(delay, [this, src, dst, message, duplicate] {
+  obs::SpanId span = StartMessageSpan(src, dst, message, duplicate);
+  loop_->Schedule(delay, [this, src, dst, message, duplicate, span] {
     auto it = handlers_.find(dst);
     if (it == handlers_.end()) {
       AppendTrace(StrFormat("lost  %s -> %s  %s (no such node)", src.c_str(),
                             dst.c_str(), message.ToString().c_str()));
+      EndMessageSpan(span, "lost");
       return;
     }
     ++stats_.delivered;
     AppendTrace(StrFormat("recv%s %s -> %s  %s", duplicate ? "*" : " ",
                           src.c_str(), dst.c_str(),
                           message.ToString().c_str()));
+    EndMessageSpan(span, "delivered");
     it->second(src, message);
   });
 }
@@ -90,12 +117,16 @@ void SimNetwork::Send(const std::string& src, const std::string& dst,
     ++stats_.partitioned;
     AppendTrace(StrFormat("part  %s -> %s  %s (partitioned)", src.c_str(),
                           dst.c_str(), message.ToString().c_str()));
+    EndMessageSpan(StartMessageSpan(src, dst, message, /*duplicate=*/false),
+                   "partitioned");
     return;
   }
   if (drop) {
     ++stats_.dropped;
     AppendTrace(StrFormat("drop  %s -> %s  %s", src.c_str(), dst.c_str(),
                           message.ToString().c_str()));
+    EndMessageSpan(StartMessageSpan(src, dst, message, /*duplicate=*/false),
+                   "dropped");
     return;
   }
   ScheduleDelivery(src, dst, message, /*duplicate=*/false);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "pdms/fault/degradation.h"
+#include "pdms/obs/trace.h"
 #include "pdms/sim/event_loop.h"
 #include "pdms/sim/message.h"
 #include "pdms/util/rng.h"
@@ -73,11 +74,23 @@ class SimNetwork {
   std::string TraceString() const;
   void AppendTrace(const std::string& line);
 
+  /// Attaches a span collector (borrowed, nullable — null disables). Each
+  /// hop gets a `message` span opened at Send under the then-current span
+  /// and closed at delivery (`outcome` = delivered / dropped / partitioned /
+  /// lost); a duplicated message gets a second span of its own. Spans are
+  /// detached from the scope stack because delivery closes them from
+  /// event-loop callbacks, out of stack order.
+  void set_obs_trace(obs::TraceContext* trace) { obs_trace_ = trace; }
+
  private:
   void ScheduleDelivery(const std::string& src, const std::string& dst,
                         const Message& message, bool duplicate);
+  obs::SpanId StartMessageSpan(const std::string& src, const std::string& dst,
+                               const Message& message, bool duplicate);
+  void EndMessageSpan(obs::SpanId span, const char* outcome);
 
   EventLoop* loop_;  // not owned
+  obs::TraceContext* obs_trace_ = nullptr;  // not owned; may be null
   Rng rng_;
   LinkFaults faults_;
   std::map<std::string, Handler> handlers_;

@@ -26,6 +26,15 @@ struct Fetch {
   std::vector<Tuple> tuples;
 };
 
+/// Restores the trace clock to wall time when the query leaves the
+/// simulated timeline, whatever the exit path.
+struct TraceClockGuard {
+  obs::TraceContext* ctx;
+  ~TraceClockGuard() {
+    if (ctx != nullptr) ctx->set_now_fn({});
+  }
+};
+
 }  // namespace
 
 SimPdms::SimPdms(const PdmsNetwork& network, const Database& data,
@@ -82,11 +91,28 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
   AnswerResult out;
   out.answers = Relation(query.head().predicate(), query.head().arity());
 
+  // The virtual clock exists before any traced work so the whole query —
+  // reformulation included — is stamped in simulated time, making the span
+  // tree (timestamps and all) a deterministic function of the seed.
+  FaultInjector clock(options_.seed);
+  EventLoop loop(&clock);
+  TraceClockGuard clock_guard{trace_};
+  if (trace_ != nullptr) {
+    trace_->Clear();
+    trace_->set_now_fn([&clock] { return clock.now_ms(); });
+  }
+  obs::ScopedSpan query_span(trace_, "query");
+  query_span.Set("query", query.head().predicate());
+  query_span.Set("mode", "sim");
+  query_span.Set("seed", static_cast<uint64_t>(options_.seed));
+
   // Step 1 (local to the querying peer): reformulate, pruning sources the
   // catalog already knows are down — identical to the in-process facade.
   ReformulationOptions effective = options_.reform;
   std::set<std::string> down = network_.UnavailableStoredRelations();
   effective.unavailable_stored.insert(down.begin(), down.end());
+  effective.trace = trace_;
+  effective.metrics = metrics_;
   PDMS_ASSIGN_OR_RETURN(ReformulationResult ref,
                         reformulator_->Reformulate(query, effective));
   out.stats = ref.stats;
@@ -103,10 +129,9 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
     }
   }
 
-  FaultInjector clock(options_.seed);
-  EventLoop loop(&clock);
   SimNetwork net(&loop, options_.seed);
   net.set_faults(options_.faults);
+  net.set_obs_trace(trace_);
   for (const auto& [a, b] : partitions_) net.Partition(a, b);
 
   AccessStats access;
@@ -188,6 +213,12 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
               "time  req#%llu scan(%s) timed out (attempt %zu/%zu)",
               static_cast<unsigned long long>(id), relation.c_str(),
               f.attempts, max_attempts));
+          if (trace_ != nullptr) {
+            obs::SpanId t = trace_->Instant("timeout");
+            trace_->SetAttribute(t, "relation", relation);
+            trace_->SetAttribute(t, "attempt", static_cast<uint64_t>(f.attempts));
+            trace_->SetAttribute(t, "request_id", id);
+          }
           if (f.attempts >= max_attempts) {
             f.resolved = true;
             f.status = Status::Unavailable(StrFormat(
@@ -206,6 +237,10 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
         });
       };
 
+  // The fetch span stays open across loop.Run so every message hop and
+  // timeout event nests under it.
+  obs::ScopedSpan fetch_span(trace_, "fetch");
+  fetch_span.Set("relations", static_cast<uint64_t>(fetches.size()));
   for (const auto& [relation, fetch] : fetches) {
     (void)fetch;
     send_request(relation);
@@ -214,6 +249,18 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
   Status run = loop.Run(options_.max_virtual_ms, options_.max_events);
   last_trace_ = net.TraceString();
   access.elapsed_ms = loop.now_ms();
+  if (metrics_ != nullptr) {
+    const MessageStats& m = net.stats();
+    metrics_->Add("sim.messages_sent", m.sent);
+    metrics_->Add("sim.messages_delivered", m.delivered);
+    metrics_->Add("sim.messages_dropped", m.dropped);
+    metrics_->Add("sim.messages_duplicated", m.duplicated);
+    metrics_->Add("sim.messages_partitioned", m.partitioned);
+    metrics_->Add("sim.request_timeouts", m.request_timeouts);
+    metrics_->Add("sim.retransmits", m.retransmits);
+    metrics_->Observe("sim.fetch_ms", loop.now_ms());
+  }
+  fetch_span.End();
   if (!run.ok()) return run;  // detected hang; last_trace() has the story
 
   // Assemble the coordinator's view of the data and the dynamic failures.
@@ -236,6 +283,8 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
   // disjuncts that touch a failed fetch.
   size_t rewritings_skipped = 0;
   if (!ref.rewriting.empty()) {
+    obs::ScopedSpan eval_span(trace_, "evaluate");
+    eval_span.Set("disjuncts", static_cast<uint64_t>(ref.rewriting.size()));
     PDMS_ASSIGN_OR_RETURN(
         DegradedEvalResult eval,
         EvaluateUnionDegraded(ref.rewriting, fetched,
@@ -243,15 +292,18 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
                                 auto it = fetches.find(relation);
                                 return it == fetches.end() ? Status::Ok()
                                                            : it->second.status;
-                              }));
+                              },
+                              trace_, metrics_));
     out.answers = std::move(eval.answers);
     rewritings_skipped = eval.disjuncts_skipped;
+    eval_span.Set("answers", static_cast<uint64_t>(out.answers.size()));
   }
 
   FillDegradationReport(network_, out.stats, failed, rewritings_skipped,
                         access, !out.answers.empty(), &out.degradation);
   out.degradation.messages = net.stats();
   out.degradation.distributed = true;
+  query_span.Set("answers", static_cast<uint64_t>(out.answers.size()));
   return out;
 }
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "pdms/core/pdms.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
 #include "pdms/sim/sim_network.h"
 
 namespace pdms {
@@ -92,6 +94,16 @@ class SimPdms {
   /// The deterministic message trace of the last Answer call.
   const std::string& last_trace() const { return last_trace_; }
 
+  /// Observability sinks (borrowed, nullable — null disables). With a
+  /// trace attached, Answer clears it, rebinds its clock to the event
+  /// loop's virtual time for the duration of the query (restored on exit),
+  /// and emits the full span tree: query > reformulate / fetch (message
+  /// hops and timeouts nested) / evaluate. Because every timestamp comes
+  /// from the virtual clock, the span tree — ids, nesting, attributes, AND
+  /// times — is a deterministic function of the seed.
+  void set_trace(obs::TraceContext* trace) { trace_ = trace; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   PdmsNetwork network_;
   Database data_;
@@ -100,6 +112,8 @@ class SimPdms {
   std::set<std::pair<std::string, std::string>> partitions_;
   std::set<std::string> crashed_;
   std::string last_trace_;
+  obs::TraceContext* trace_ = nullptr;      // not owned; may be null
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
 };
 
 }  // namespace sim

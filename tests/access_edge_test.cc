@@ -111,6 +111,48 @@ TEST(AccessEdgeTest, NullInjectorCountsSuccesses) {
   CheckInvariants(s, /*injected=*/false);
 }
 
+// elapsed_ms is single-source: the access loop assigns it exactly once per
+// resolved probe, so after every non-cached Access it equals the injector
+// clock delta since construction — on the success path too (a double
+// assignment there previously made success-then-backoff accounting
+// ambiguous).
+TEST(AccessEdgeTest, ElapsedMsMatchesInjectorClockAfterEveryProbe) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    FaultInjector injector(seed);
+    // Warm the clock so start_ms is non-zero: elapsed must be measured from
+    // controller construction, not from clock zero.
+    injector.AdvanceClock(rng.UniformDouble() * 10.0);
+    const double start_ms = injector.now_ms();
+
+    const size_t relations = 1 + rng.Uniform(4);
+    for (size_t r = 0; r < relations; ++r) {
+      FaultProfile profile;
+      profile.failure_probability = rng.UniformDouble();
+      profile.latency_ms = rng.UniformDouble() * 3.0;
+      injector.SetStoredProfile(StrFormat("s%zu", r), profile);
+    }
+    RetryPolicy policy;
+    policy.max_attempts = 1 + rng.Uniform(3);
+    policy.initial_backoff_ms = rng.UniformDouble() * 2.0;
+    AccessController controller(&injector, policy,
+                                Deadline::AfterMillis(rng.UniformDouble() * 15),
+                                NoPeer);
+    for (size_t r = 0; r < relations; ++r) {
+      (void)controller.Access(StrFormat("s%zu", r));
+      // Exactly one assignment per resolved probe, at resolution time.
+      EXPECT_DOUBLE_EQ(controller.stats().elapsed_ms,
+                       injector.now_ms() - start_ms);
+    }
+    // A cache hit resolves nothing and must not touch the accounting.
+    double before = controller.stats().elapsed_ms;
+    injector.AdvanceClock(5.0);
+    (void)controller.Access("s0");
+    EXPECT_DOUBLE_EQ(controller.stats().elapsed_ms, before);
+  }
+}
+
 // Property sweep: random flaky profiles, deadlines, and retry policies.
 // The one-resolution-per-probe accounting must hold for every schedule.
 TEST(AccessEdgeTest, InvariantsHoldAcrossRandomProfiles) {

@@ -1,0 +1,336 @@
+// Observability layer tests: TraceContext span mechanics, MetricsRegistry
+// invariants, the Chrome-trace exporter's schema (golden), and the
+// determinism contract — a SimPdms query under the virtual clock produces
+// a byte-identical span tree (ids, nesting, attributes, AND timestamps)
+// for identical seeds.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pdms/core/pdms.h"
+#include "pdms/obs/export.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
+#include "pdms/sim/sim_pdms.h"
+
+namespace pdms {
+namespace obs {
+namespace {
+
+// --- TraceContext ---
+
+TEST(TraceTest, SpansNestAndGetDenseIds) {
+  TraceContext trace;
+  double now = 0;
+  trace.set_now_fn([&] { return now; });
+
+  SpanId a = trace.StartSpan("a");
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(trace.current(), a);
+  now = 1;
+  SpanId b = trace.StartSpan("b");
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(trace.spans()[1].parent, a);
+  now = 3;
+  trace.EndSpan(b);
+  EXPECT_EQ(trace.current(), a);
+  now = 5;
+  trace.EndSpan(a);
+  EXPECT_EQ(trace.current(), kNoSpan);
+
+  EXPECT_DOUBLE_EQ(trace.spans()[0].start_ms, 0);
+  EXPECT_DOUBLE_EQ(trace.spans()[0].end_ms, 5);
+  EXPECT_DOUBLE_EQ(trace.spans()[1].duration_ms(), 2);
+  EXPECT_FALSE(trace.spans()[0].open());
+}
+
+TEST(TraceTest, DetachedSpanLeavesScopeStackAlone) {
+  TraceContext trace;
+  SpanId root = trace.StartSpan("root");
+  SpanId msg = trace.StartSpanAt("message", root);
+  // The detached span is not the current scope...
+  EXPECT_EQ(trace.current(), root);
+  SpanId child = trace.StartSpan("child");
+  EXPECT_EQ(trace.spans()[child - 1].parent, root);
+  // ...and ending it out of stack order leaves the stack intact.
+  trace.EndSpan(msg);
+  EXPECT_EQ(trace.current(), child);
+  EXPECT_EQ(trace.spans()[msg - 1].parent, root);
+}
+
+TEST(TraceTest, InstantIsAZeroDurationChild) {
+  TraceContext trace;
+  double now = 2;
+  trace.set_now_fn([&] { return now; });
+  SpanId root = trace.StartSpan("root");
+  SpanId mark = trace.Instant("event");
+  EXPECT_EQ(trace.current(), root);
+  const Span& span = trace.spans()[mark - 1];
+  EXPECT_EQ(span.parent, root);
+  EXPECT_FALSE(span.open());
+  EXPECT_DOUBLE_EQ(span.duration_ms(), 0);
+}
+
+TEST(TraceTest, AttributesKeepInsertionOrderAndFormatValues) {
+  TraceContext trace;
+  SpanId s = trace.StartSpan("s");
+  trace.SetAttribute(s, "str", "x");
+  trace.SetAttribute(s, "count", static_cast<uint64_t>(7));
+  trace.SetAttribute(s, "ratio", 2.5);
+  trace.SetAttribute(s, "flag", true);
+  const Span& span = trace.spans()[0];
+  ASSERT_EQ(span.attributes.size(), 4u);
+  EXPECT_EQ(span.attributes[0].first, "str");
+  EXPECT_EQ(*span.FindAttribute("count"), "7");
+  EXPECT_EQ(*span.FindAttribute("flag"), "true");
+  EXPECT_EQ(span.FindAttribute("missing"), nullptr);
+}
+
+TEST(TraceTest, ClearKeepsIdAndClockBinding) {
+  TraceContext trace("t");
+  double now = 9;
+  trace.set_now_fn([&] { return now; });
+  trace.StartSpan("a");
+  trace.Clear();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.trace_id(), "t");
+  SpanId again = trace.StartSpan("b");
+  EXPECT_EQ(again, 1u);  // ids restart — dense per query
+  EXPECT_DOUBLE_EQ(trace.spans()[0].start_ms, 9);
+}
+
+TEST(TraceTest, ScopedSpanIsNullSafe) {
+  ScopedSpan span(nullptr, "nothing");
+  span.Set("key", "value");
+  span.End();  // all no-ops; must not crash
+  EXPECT_EQ(span.id(), kNoSpan);
+}
+
+// --- MetricsRegistry ---
+
+TEST(MetricsTest, CounterEqualsSumOfDeltas) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter("reform.queries"), 0u);
+  registry.Add("reform.queries");
+  registry.Add("reform.queries", 4);
+  registry.Add("other", 2);
+  EXPECT_EQ(registry.counter("reform.queries"), 5u);
+  EXPECT_EQ(registry.counter("other"), 2u);
+}
+
+TEST(MetricsTest, HistogramInvariants) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = {1.0, 10.0};
+  registry.Observe("lat_ms", 0.5, bounds);
+  registry.Observe("lat_ms", 5.0, bounds);
+  registry.Observe("lat_ms", 50.0, bounds);   // overflow bucket
+  registry.Observe("lat_ms", 10.0, bounds);   // on the bound: inclusive
+  const auto* h = registry.FindHistogram("lat_ms");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->counts.size(), bounds.size() + 1);
+  uint64_t bucket_sum = 0;
+  for (uint64_t c : h->counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, h->count);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_DOUBLE_EQ(h->sum, 65.5);
+  EXPECT_DOUBLE_EQ(h->min, 0.5);
+  EXPECT_DOUBLE_EQ(h->max, 50.0);
+  EXPECT_EQ(h->counts[0], 1u);
+  EXPECT_EQ(h->counts[1], 2u);
+  EXPECT_EQ(h->counts[2], 1u);
+}
+
+TEST(MetricsTest, BoundsAreFixedAtFirstObservation) {
+  MetricsRegistry registry;
+  registry.Observe("h", 1.0, {2.0});
+  registry.Observe("h", 1.0, {100.0, 200.0});  // ignored: layout is fixed
+  const auto* h = registry.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->bounds, (std::vector<double>{2.0}));
+  EXPECT_EQ(h->count, 2u);
+}
+
+TEST(MetricsTest, DefaultBoundsAreAscending) {
+  const auto& bounds = MetricsRegistry::DefaultLatencyBounds();
+  ASSERT_GT(bounds.size(), 1u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsTest, ToJsonIsWellFormedAndClearResets) {
+  MetricsRegistry registry;
+  registry.Add("a.count", 3);
+  registry.Observe("a.lat_ms", 1.5, {1.0});
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  registry.Clear();
+  EXPECT_TRUE(registry.empty());
+}
+
+// --- Chrome-trace exporter (golden) ---
+
+// The schema contract with chrome://tracing / Perfetto: complete events
+// (ph "X"), microsecond timestamps, span identity in args. Any change to
+// this output must be deliberate — update the golden alongside the docs.
+TEST(ExportTest, ChromeTraceGolden) {
+  TraceContext trace("g");
+  double now = 0;
+  trace.set_now_fn([&] { return now; });
+  SpanId query = trace.StartSpan("query");
+  trace.SetAttribute(query, "mode", "local");
+  now = 1.5;
+  SpanId child = trace.StartSpan("reformulate");
+  now = 2.0;
+  trace.EndSpan(child);
+  now = 3.0;
+  trace.EndSpan(query);
+
+  const std::string expected =
+      "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+      "{\"name\": \"query\", \"cat\": \"pdms\", \"ph\": \"X\", "
+      "\"ts\": 0.000, \"dur\": 3000.000, \"pid\": 1, \"tid\": 1, "
+      "\"args\": {\"trace_id\": \"g\", \"span_id\": 1, \"parent_id\": 0, "
+      "\"mode\": \"local\"}},\n"
+      "{\"name\": \"reformulate\", \"cat\": \"pdms\", \"ph\": \"X\", "
+      "\"ts\": 1500.000, \"dur\": 500.000, \"pid\": 1, \"tid\": 1, "
+      "\"args\": {\"trace_id\": \"g\", \"span_id\": 2, \"parent_id\": 1}}\n"
+      "]}\n";
+  EXPECT_EQ(ChromeTraceJson(trace), expected);
+}
+
+TEST(ExportTest, RenderSpanTreeShowsNestingAndAttributes) {
+  TraceContext trace;
+  double now = 0;
+  trace.set_now_fn([&] { return now; });
+  SpanId root = trace.StartSpan("query");
+  trace.SetAttribute(root, "mode", "local");
+  trace.StartSpan("reformulate");
+  std::string out = RenderSpanTree(trace);
+  EXPECT_NE(out.find("trace query:\n"), std::string::npos);
+  EXPECT_NE(out.find("query"), std::string::npos);
+  EXPECT_NE(out.find("  reformulate"), std::string::npos);  // indented child
+  EXPECT_NE(out.find("mode=local"), std::string::npos);
+  EXPECT_NE(out.find("(open)"), std::string::npos);
+
+  TraceContext empty;
+  EXPECT_EQ(RenderSpanTree(empty), "(no spans)\n");
+}
+
+// --- Determinism under the virtual clock ---
+
+constexpr const char* kProgram = R"(
+  peer H { relation Doctor(name, hosp); }
+  peer W { relation Staff(name, hosp); }
+  mapping (n, h) : W:Staff(n, h) <= H:Doctor(n, h).
+  stored h_doc(n, h) <= H:Doctor(n, h).
+  stored w_staff(n, h) <= W:Staff(n, h).
+  fact h_doc("ada", "central").
+  fact w_staff("bob", "north").
+)";
+
+// Runs one faulty distributed query with a fresh SimPdms + TraceContext and
+// returns the rendered span tree and the Chrome JSON.
+std::pair<std::string, std::string> TraceOneRun(uint64_t seed) {
+  Pdms central;
+  EXPECT_TRUE(central.LoadProgram(kProgram).ok());
+  sim::SimOptions options;
+  options.seed = seed;
+  options.faults.drop_probability = 0.2;
+  options.faults.duplicate_probability = 0.1;
+  options.faults.delay_jitter_ms = 3.0;
+  sim::SimPdms sim(central.network(), central.database(), options);
+  TraceContext trace;
+  MetricsRegistry metrics;
+  sim.set_trace(&trace);
+  sim.set_metrics(&metrics);
+  auto result = sim.Answer("q(n) :- H:Doctor(n, h).");
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(trace.empty());
+  return {RenderSpanTree(trace), ChromeTraceJson(trace)};
+}
+
+TEST(ObsDeterminismTest, SameSeedProducesIdenticalSpanTree) {
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    auto [tree_a, json_a] = TraceOneRun(seed);
+    auto [tree_b, json_b] = TraceOneRun(seed);
+    // Byte-identical: ids, nesting, attributes, and virtual timestamps.
+    EXPECT_EQ(tree_a, tree_b) << "seed " << seed;
+    EXPECT_EQ(json_a, json_b) << "seed " << seed;
+  }
+}
+
+TEST(ObsDeterminismTest, SpanTreeCoversEveryLayerUnderOneTraceId) {
+  Pdms central;
+  ASSERT_TRUE(central.LoadProgram(kProgram).ok());
+  sim::SimOptions options;
+  options.seed = 3;
+  options.faults.drop_probability = 0.4;  // force timeouts and retransmits
+  sim::SimPdms sim(central.network(), central.database(), options);
+  TraceContext trace;
+  sim.set_trace(&trace);
+  ASSERT_TRUE(sim.Answer("q(n) :- H:Doctor(n, h).").ok());
+
+  auto has = [&](const std::string& name) {
+    for (const Span& span : trace.spans()) {
+      if (span.name == name) return true;
+    }
+    return false;
+  };
+  // One trace covers reformulation (per-node spans included), the fetch
+  // phase with per-hop message spans, and evaluation.
+  EXPECT_TRUE(has("query"));
+  EXPECT_TRUE(has("reformulate"));
+  EXPECT_TRUE(has("expand"));
+  EXPECT_TRUE(has("fetch"));
+  EXPECT_TRUE(has("message"));
+  EXPECT_TRUE(has("evaluate"));
+  // Every span except the root belongs to the tree rooted at "query".
+  EXPECT_EQ(trace.spans()[0].name, "query");
+  for (const Span& span : trace.spans()) {
+    if (span.id == 1) {
+      EXPECT_EQ(span.parent, kNoSpan);
+    } else {
+      EXPECT_NE(span.parent, kNoSpan);
+    }
+  }
+}
+
+// The in-process facade emits the same shape with the wall clock and a
+// fault injector: access spans with retry events appear under the query.
+TEST(ObsFacadeTest, LocalAnswerEmitsAccessSpans) {
+  Pdms central;
+  ASSERT_TRUE(central.LoadProgram(kProgram).ok());
+  TraceContext trace;
+  MetricsRegistry metrics;
+  central.set_trace(&trace);
+  central.set_metrics(&metrics);
+  central.set_fault_seed(5);
+  FaultProfile flaky;
+  flaky.failure_probability = 0.5;
+  central.mutable_fault_injector()->SetStoredProfile("h_doc", flaky);
+  RetryPolicy retry;
+  retry.max_attempts = 4;
+  central.set_retry_policy(retry);
+
+  ASSERT_TRUE(central.AnswerWithReport("q(n) :- H:Doctor(n, h).").ok());
+  bool saw_access = false;
+  for (const Span& span : trace.spans()) {
+    if (span.name != "access") continue;
+    saw_access = true;
+    EXPECT_NE(span.FindAttribute("relation"), nullptr);
+    EXPECT_NE(span.FindAttribute("outcome"), nullptr);
+  }
+  EXPECT_TRUE(saw_access);
+  EXPECT_EQ(metrics.counter("access.probes"), 2u);
+  EXPECT_EQ(metrics.counter("reform.queries"), 1u);
+  EXPECT_GT(metrics.counter("eval.disjuncts"), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pdms

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Runs every bench binary with CI-sized knobs, collecting the per-binary
 # machine-readable reports (--json, shared schema: name/seed/params/
-# metrics) and merging them into one JSON array at BENCH_sim.json.
+# metrics, plus an optional "registry" block carrying an
+# obs::MetricsRegistry snapshot) and merging them into one JSON array at
+# BENCH_sim.json.
 # The merge is plain shell — each report is a single JSON object on its
 # own line(s), so concatenation with commas is valid JSON.
 #
@@ -32,6 +34,7 @@ BENCHES=(
   ablation_optimizations
   degraded_answering
   sim_partition_sweep
+  obs_overhead
   minicon_scaling
   eval_join
 )

@@ -6,6 +6,9 @@
 #   3. deterministic-simulation smoke: 32 seeded schedules through the
 #      message-passing runtime (partitions, loss, duplication, crashes).
 #      The nightly-sized run is tools/dst.sh, which defaults to 256 seeds.
+#   4. trace-export smoke: one instrumented Figure-3 reformulation dumped
+#      as Chrome-trace JSON; the file must parse and contain reformulation
+#      spans (docs/observability.md).
 #
 # Usage: tools/ci.sh
 # Knobs: BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
@@ -17,15 +20,38 @@ BUILD_DIR="${BUILD_DIR:-build}"
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/3] default build + tests =="
+echo "== [1/4] default build + tests =="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== [2/3] asan+ubsan build + tests =="
+echo "== [2/4] asan+ubsan build + tests =="
 tools/ci_sanitize.sh "${ASAN_BUILD_DIR}"
 
-echo "== [3/3] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
+echo "== [3/4] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
 PDMS_DST_SEEDS="${PDMS_DST_SEEDS:-32}" "${BUILD_DIR}/tests/sim_dst_test"
+
+echo "== [4/4] trace-export smoke =="
+TRACE_FILE="${BUILD_DIR}/ci_trace.json"
+PDMS_BENCH_RUNS=1 PDMS_BENCH_MAX_DIAMETER=1 \
+  "${BUILD_DIR}/bench/fig3_tree_size" --trace "${TRACE_FILE}" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${TRACE_FILE}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+reform = [e for e in events if e["name"] in ("reformulate", "expand")]
+assert reform, "no reformulation spans in trace export"
+ids = {e["args"]["trace_id"] for e in events}
+assert len(ids) == 1, f"expected one trace id, got {ids}"
+print(f"trace export ok: {len(events)} spans, "
+      f"{len(reform)} reformulation spans")
+EOF
+else
+  grep -q '"traceEvents"' "${TRACE_FILE}"
+  grep -q '"name": "reformulate"' "${TRACE_FILE}"
+  echo "trace export ok (python3 unavailable; grep check only)"
+fi
 
 echo "== CI gate passed =="
