@@ -38,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "pdms/cache/goal_memo.h"
+#include "pdms/cache/plan_cache.h"
 #include "pdms/core/pdms.h"
 #include "pdms/core/reformulator.h"
 #include "pdms/obs/export.h"
@@ -56,6 +58,13 @@ std::string g_last_trace;
 // (each query entry clears it), the registry accumulates across queries.
 pdms::obs::TraceContext g_trace;
 pdms::obs::MetricsRegistry g_metrics;
+// Cross-query caches (docs/plan_cache.md), shared by the local facade and
+// every per-query SimPdms. They outlive the per-query runtime because
+// entries are keyed by the catalog's (revision, availability epoch) scope,
+// which the shell's `down`/`up` and PPL statements advance; a repeated
+// query at an unchanged catalog skips reformulation entirely.
+pdms::cache::PlanCache g_plan_cache;
+pdms::cache::GoalMemo g_goal_memo;
 
 void LoadFile(const std::string& path) {
   std::ifstream in(path);
@@ -88,6 +97,8 @@ void RunQuery(const std::string& text, bool evaluate) {
   pdms::sim::SimPdms sim(g_pdms.network(), g_pdms.database());
   sim.set_trace(&g_trace);
   sim.set_metrics(&g_metrics);
+  sim.set_plan_cache(&g_plan_cache);
+  sim.set_goal_memo(&g_goal_memo);
   for (const auto& [a, b] : g_partitions) sim.Partition(a, b);
   auto result = sim.Answer(text);
   g_last_trace = sim.last_trace();
@@ -217,6 +228,40 @@ void ShowTree(const std::string& text) {
   std::printf("%s", tree->stats.ToString().c_str());
 }
 
+// `cache stats` / `cache clear` / `cache budget <bytes>`.
+void CacheCommand(const std::string& args) {
+  if (args == "stats") {
+    std::printf("plan cache (%zu entries, %zu/%zu bytes)\n",
+                g_plan_cache.size(), g_plan_cache.total_bytes(),
+                g_plan_cache.budget_bytes());
+    std::printf("%s", g_plan_cache.stats().ToString().c_str());
+    std::printf("goal memo (%zu entries, %zu/%zu bytes)\n",
+                g_goal_memo.size(), g_goal_memo.total_bytes(),
+                g_goal_memo.budget_bytes());
+    std::printf("%s", g_goal_memo.stats().ToString().c_str());
+    return;
+  }
+  if (args == "clear") {
+    g_plan_cache.Clear();
+    g_goal_memo.Clear();
+    std::printf("caches cleared\n");
+    return;
+  }
+  if (pdms::StartsWith(args, "budget ")) {
+    size_t bytes = 0;
+    std::istringstream in(args.substr(7));
+    if (!(in >> bytes)) {
+      std::printf("usage: cache budget <bytes>\n");
+      return;
+    }
+    g_plan_cache.set_budget_bytes(bytes);
+    g_goal_memo.set_budget_bytes(bytes);
+    std::printf("plan cache and goal memo budgets set to %zu bytes\n", bytes);
+    return;
+  }
+  std::printf("usage: cache stats | cache clear | cache budget <bytes>\n");
+}
+
 void Help() {
   std::printf(
       "commands:\n"
@@ -239,6 +284,9 @@ void Help() {
       "                     JSON (chrome://tracing / Perfetto)\n"
       "  explain            render the last query's span tree\n"
       "  metrics            print the accumulated metrics registry\n"
+      "  cache stats        plan-cache / goal-memo hit and size counters\n"
+      "  cache clear        drop all cached plans and memoized subtrees\n"
+      "  cache budget <n>   set both cache byte budgets (evicts down)\n"
       "  help               this text\n"
       "  quit               exit\n"
       "queries run on the simulated distributed runtime: every stored-\n"
@@ -251,6 +299,8 @@ void Help() {
 int main(int argc, char** argv) {
   g_pdms.set_trace(&g_trace);
   g_pdms.set_metrics(&g_metrics);
+  g_pdms.set_plan_cache(&g_plan_cache);
+  g_pdms.set_goal_memo(&g_goal_memo);
   for (int i = 1; i < argc; ++i) LoadFile(argv[i]);
   std::printf("Piazza-style PDMS shell. Type 'help' for commands.\n");
   std::string line;
@@ -279,6 +329,10 @@ int main(int argc, char** argv) {
       ShowExplain();
     } else if (trimmed == "metrics") {
       ShowMetrics();
+    } else if (pdms::StartsWith(trimmed, "cache ")) {
+      CacheCommand(std::string(pdms::StripWhitespace(trimmed.substr(6))));
+    } else if (trimmed == "cache") {
+      CacheCommand("");
     } else if (pdms::StartsWith(trimmed, "partition ")) {
       AddPartition(trimmed.substr(10));
     } else if (trimmed == "heal") {

@@ -1,0 +1,59 @@
+#include "pdms/cache/goal_memo.h"
+
+#include <utility>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace cache {
+
+std::string GoalMemoStats::ToString() const {
+  std::string out;
+  out += StrFormat("hits: %zu\n", hits);
+  out += StrFormat("misses: %zu\n", misses);
+  out += StrFormat("stores: %zu\n", stores);
+  out += StrFormat("evictions: %zu\n", evictions);
+  out += StrFormat("invalidations: %zu\n", invalidations);
+  return out;
+}
+
+size_t GoalMemo::EnterScope(uint64_t revision, uint64_t epoch,
+                            const std::string& options_fingerprint) {
+  if (has_scope_ && scope_revision_ == revision && scope_epoch_ == epoch &&
+      scope_fingerprint_ == options_fingerprint) {
+    return 0;
+  }
+  size_t dropped = has_scope_ ? entries_.size() : 0;
+  entries_.Clear();
+  stats_.invalidations += dropped;
+  has_scope_ = true;
+  scope_revision_ = revision;
+  scope_epoch_ = epoch;
+  scope_fingerprint_ = options_fingerprint;
+  return dropped;
+}
+
+const GoalSubtree* GoalMemo::Find(const std::string& key) {
+  const GoalSubtree* subtree = entries_.Touch(key);
+  if (subtree != nullptr) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return subtree;
+}
+
+void GoalMemo::Store(const std::string& key, GoalSubtree subtree) {
+  size_t bytes = key.size() + subtree.byte_estimate + 64;
+  stats_.evictions += entries_.Put(key, std::move(subtree), bytes);
+  ++stats_.stores;
+}
+
+void GoalMemo::Clear() { entries_.Clear(); }
+
+void GoalMemo::set_budget_bytes(size_t budget_bytes) {
+  stats_.evictions += entries_.SetBudget(budget_bytes);
+}
+
+}  // namespace cache
+}  // namespace pdms

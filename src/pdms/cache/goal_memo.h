@@ -1,0 +1,72 @@
+#ifndef PDMS_CACHE_GOAL_MEMO_H_
+#define PDMS_CACHE_GOAL_MEMO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pdms/cache/lru.h"
+#include "pdms/core/rule_goal_tree.h"
+
+namespace pdms {
+namespace cache {
+
+/// Lifetime counters of a GoalMemo (same contract as PlanCacheStats:
+/// counters survive scope changes).
+struct GoalMemoStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t stores = 0;
+  size_t evictions = 0;
+  size_t invalidations = 0;  // entries dropped by scope changes
+
+  std::string ToString() const;
+};
+
+/// Cross-query memo of rule-goal-tree subtree expansions (docs/
+/// plan_cache.md). Where the PlanCache reuses a *whole* plan for a
+/// repeated query, the memo reuses the Step-2 expansion of one goal atom
+/// across *different* queries at the same scope: two queries touching the
+/// same region of the mapping graph expand structurally isomorphic goals,
+/// and TreeBuilder's memo key (canonical goal atom + interface binding +
+/// constraint-label context + cycle path) captures exactly the inputs the
+/// expansion depends on. The value is a variable-renamed template subtree
+/// the builder rehydrates with fresh variables.
+///
+/// Scope = (revision, availability epoch, options fingerprint); all three
+/// change only forward within a session, so a scope change clears
+/// everything, like the plan cache.
+class GoalMemo : public GoalMemoHook {
+ public:
+  static constexpr size_t kDefaultBudgetBytes = 32u << 20;  // 32 MiB
+
+  explicit GoalMemo(size_t budget_bytes = kDefaultBudgetBytes)
+      : entries_(budget_bytes) {}
+
+  // GoalMemoHook:
+  size_t EnterScope(uint64_t revision, uint64_t epoch,
+                    const std::string& options_fingerprint) override;
+  const GoalSubtree* Find(const std::string& key) override;
+  void Store(const std::string& key, GoalSubtree subtree) override;
+
+  void Clear();
+  void set_budget_bytes(size_t budget_bytes);
+  size_t budget_bytes() const { return entries_.budget_bytes(); }
+
+  const GoalMemoStats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+  size_t total_bytes() const { return entries_.total_bytes(); }
+
+ private:
+  LruByteMap<GoalSubtree> entries_;
+  GoalMemoStats stats_;
+  bool has_scope_ = false;
+  uint64_t scope_revision_ = 0;
+  uint64_t scope_epoch_ = 0;
+  std::string scope_fingerprint_;
+};
+
+}  // namespace cache
+}  // namespace pdms
+
+#endif  // PDMS_CACHE_GOAL_MEMO_H_

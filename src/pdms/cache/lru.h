@@ -1,0 +1,102 @@
+#ifndef PDMS_CACHE_LRU_H_
+#define PDMS_CACHE_LRU_H_
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace pdms {
+namespace cache {
+
+/// A byte-budgeted LRU map from string keys to move-only values. The
+/// recency list keeps the most recently touched entry at the front;
+/// inserting past the budget evicts from the back until the total charged
+/// bytes fit again. The byte charge is whatever the caller passes at Put
+/// time (an estimate — the point is a stable, monotone knob, not exact
+/// accounting). A single entry larger than the whole budget is admitted
+/// and immediately becomes the only entry; it is evicted by the next Put.
+template <typename V>
+class LruByteMap {
+ public:
+  explicit LruByteMap(size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  /// The value for `key`, promoted to most-recently-used; null if absent.
+  /// The pointer stays valid until the entry is evicted or cleared.
+  V* Touch(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->value;
+  }
+
+  /// Inserts or replaces `key`, charging `bytes` against the budget, then
+  /// evicts least-recently-used entries until the budget holds. Returns
+  /// the number of entries evicted (not counting a replaced `key`).
+  size_t Put(const std::string& key, V value, size_t bytes) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      total_bytes_ -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      total_bytes_ += bytes;
+      entries_.splice(entries_.begin(), entries_, it->second);
+    } else {
+      entries_.push_front(Entry{key, std::move(value), bytes});
+      index_[key] = entries_.begin();
+      total_bytes_ += bytes;
+    }
+    return EvictToBudget(/*keep_front=*/true);
+  }
+
+  /// Shrinks (or grows) the budget, evicting as needed. Returns evictions.
+  size_t SetBudget(size_t budget_bytes) {
+    budget_bytes_ = budget_bytes;
+    return EvictToBudget(/*keep_front=*/false);
+  }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+    total_bytes_ = 0;
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t total_bytes() const { return total_bytes_; }
+  size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    V value;
+    size_t bytes = 0;
+  };
+
+  /// Evicts from the LRU end until within budget. With `keep_front` the
+  /// just-inserted front entry survives even if it alone exceeds the
+  /// budget (so an oversized plan is still usable for the query that
+  /// built it).
+  size_t EvictToBudget(bool keep_front) {
+    size_t evicted = 0;
+    while (total_bytes_ > budget_bytes_ && !entries_.empty() &&
+           !(keep_front && entries_.size() == 1)) {
+      const Entry& victim = entries_.back();
+      total_bytes_ -= victim.bytes;
+      index_.erase(victim.key);
+      entries_.pop_back();
+      ++evicted;
+    }
+    return evicted;
+  }
+
+  size_t budget_bytes_;
+  size_t total_bytes_ = 0;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace cache
+}  // namespace pdms
+
+#endif  // PDMS_CACHE_LRU_H_

@@ -1,0 +1,88 @@
+#include "pdms/cache/plan_cache.h"
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace cache {
+
+std::string PlanCacheStats::ToString() const {
+  std::string out;
+  out += StrFormat("hits: %zu\n", hits);
+  out += StrFormat("misses: %zu\n", misses);
+  out += StrFormat("inserts: %zu\n", inserts);
+  out += StrFormat("evictions: %zu\n", evictions);
+  out += StrFormat("invalidations: %zu\n", invalidations);
+  out += StrFormat("inserts dropped (stale): %zu\n", inserts_dropped_stale);
+  return out;
+}
+
+size_t PlanCache::EnterScope(uint64_t revision, uint64_t epoch) {
+  if (has_scope_ && scope_revision_ == revision && scope_epoch_ == epoch) {
+    return 0;
+  }
+  // Both counters are monotonic, so a scope that changed can never come
+  // back — everything cached under the old scope is dead forever.
+  size_t dropped = has_scope_ ? entries_.size() : 0;
+  entries_.Clear();
+  stats_.invalidations += dropped;
+  has_scope_ = true;
+  scope_revision_ = revision;
+  scope_epoch_ = epoch;
+  return dropped;
+}
+
+const PlanCacheHook::Plan* PlanCache::Find(const std::string& canonical_key) {
+  const Plan* plan = entries_.Touch(canonical_key);
+  if (plan != nullptr) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return plan;
+}
+
+PlanCacheHook::InsertOutcome PlanCache::Insert(const std::string& canonical_key,
+                                               Plan plan,
+                                               uint64_t current_revision,
+                                               uint64_t current_epoch) {
+  InsertOutcome outcome;
+  if (!has_scope_ || current_revision != scope_revision_ ||
+      current_epoch != scope_epoch_) {
+    // The network churned between reformulation start and now; the plan
+    // was built against a catalog/availability state that no longer
+    // exists. Dropping it is always safe (the next query just misses).
+    ++stats_.inserts_dropped_stale;
+    outcome.dropped_stale = true;
+    return outcome;
+  }
+  size_t bytes = EstimatePlanBytes(canonical_key, plan);
+  outcome.evictions = entries_.Put(canonical_key, std::move(plan), bytes);
+  stats_.evictions += outcome.evictions;
+  ++stats_.inserts;
+  outcome.stored = true;
+  return outcome;
+}
+
+void PlanCache::Clear() { entries_.Clear(); }
+
+void PlanCache::set_budget_bytes(size_t budget_bytes) {
+  stats_.evictions += entries_.SetBudget(budget_bytes);
+}
+
+size_t PlanCache::EstimatePlanBytes(const std::string& key, const Plan& plan) {
+  // A structural estimate: per-term and per-atom flat charges dominate the
+  // real footprint (small strings + vector headers); exactness doesn't
+  // matter, monotonicity in plan size does.
+  size_t bytes = key.size() + sizeof(Plan) + 64;
+  for (const ConjunctiveQuery& cq : plan.rewriting.disjuncts()) {
+    bytes += 64;  // disjunct overhead
+    bytes += 32 * (cq.head().arity() + cq.comparisons().size() * 2);
+    for (const Atom& atom : cq.body()) {
+      bytes += 48 + atom.predicate().size() + 32 * atom.arity();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace cache
+}  // namespace pdms

@@ -1,0 +1,85 @@
+#ifndef PDMS_CACHE_PLAN_CACHE_H_
+#define PDMS_CACHE_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pdms/cache/lru.h"
+#include "pdms/core/pdms.h"
+
+namespace pdms {
+namespace cache {
+
+/// Counters a PlanCache accumulates over its lifetime (they survive scope
+/// changes — invalidation is itself one of the counters). The facade
+/// mirrors most of these into the metrics registry as `cache.*`; these
+/// exist so a cache can report on itself without a registry attached
+/// (ppl_shell's `cache stats`).
+struct PlanCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t inserts = 0;
+  size_t evictions = 0;
+  size_t invalidations = 0;          // entries dropped by scope changes
+  size_t inserts_dropped_stale = 0;  // mid-churn guard rejections
+
+  std::string ToString() const;
+};
+
+/// The cross-query plan cache (docs/plan_cache.md): CanonicalQueryKey →
+/// enumerated UCQ rewriting + ReformulationStats, valid for exactly one
+/// (network revision, availability epoch) scope, LRU-evicted under a byte
+/// budget.
+///
+/// Scope handling exploits that both counters are monotonic: a scope that
+/// has passed can never return, so EnterScope on a changed scope simply
+/// clears the cache — there is no multi-version bookkeeping to get wrong.
+/// Insert re-checks the scope against the network's values *at insert
+/// time*: if an availability flip or mapping edit landed while the plan
+/// was being reformulated, the plan describes a network that no longer
+/// exists and is dropped (`inserts_dropped_stale`).
+class PlanCache : public PlanCacheHook {
+ public:
+  static constexpr size_t kDefaultBudgetBytes = 64u << 20;  // 64 MiB
+
+  explicit PlanCache(size_t budget_bytes = kDefaultBudgetBytes)
+      : entries_(budget_bytes) {}
+
+  // PlanCacheHook:
+  size_t EnterScope(uint64_t revision, uint64_t epoch) override;
+  const Plan* Find(const std::string& canonical_key) override;
+  InsertOutcome Insert(const std::string& canonical_key, Plan plan,
+                       uint64_t current_revision,
+                       uint64_t current_epoch) override;
+
+  /// Drops every entry (counters are kept; invalidations not bumped — this
+  /// is an operator action, not a coherence event).
+  void Clear();
+
+  /// Changes the byte budget, evicting down if needed.
+  void set_budget_bytes(size_t budget_bytes);
+  size_t budget_bytes() const { return entries_.budget_bytes(); }
+
+  const PlanCacheStats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+  size_t total_bytes() const { return entries_.total_bytes(); }
+  uint64_t scope_revision() const { return scope_revision_; }
+  uint64_t scope_epoch() const { return scope_epoch_; }
+
+  /// The byte charge used for a plan: a structural estimate of its
+  /// rewriting plus the key. Exposed for tests.
+  static size_t EstimatePlanBytes(const std::string& key, const Plan& plan);
+
+ private:
+  LruByteMap<Plan> entries_;
+  PlanCacheStats stats_;
+  bool has_scope_ = false;
+  uint64_t scope_revision_ = 0;
+  uint64_t scope_epoch_ = 0;
+};
+
+}  // namespace cache
+}  // namespace pdms
+
+#endif  // PDMS_CACHE_PLAN_CACHE_H_

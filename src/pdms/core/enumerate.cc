@@ -269,7 +269,13 @@ class Enumerator {
     }
     ConjunctiveQuery rewriting(std::move(head), std::move(atoms),
                                std::move(kept));
-    if (!seen_.insert(CanonicalQueryKey(rewriting)).second) return true;
+    if (!seen_.insert(CanonicalQueryKey(rewriting)).second) {
+      // Syntactically-isomorphic to an already-emitted rewriting: dropping
+      // it here means neither fresh nor cached plans ever evaluate the
+      // same disjunct twice.
+      ++stats_->duplicate_disjuncts;
+      return true;
+    }
 
     ++stats_->rewritings;
     stats_->time_to_rewriting_ms.push_back(timer_.ElapsedMillis());

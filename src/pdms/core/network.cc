@@ -203,11 +203,9 @@ Status PdmsNetwork::SetPeerAvailable(const std::string& peer,
   bool declared = false;
   for (const Peer& p : peers_) declared = declared || p.name == peer;
   if (!declared) return Status::NotFound("unknown peer: " + peer);
-  if (available) {
-    unavailable_peers_.erase(peer);
-  } else {
-    unavailable_peers_.insert(peer);
-  }
+  bool changed = available ? unavailable_peers_.erase(peer) > 0
+                           : unavailable_peers_.insert(peer).second;
+  if (changed) ++availability_epoch_;
   return Status::Ok();
 }
 
@@ -216,11 +214,9 @@ Status PdmsNetwork::SetStoredRelationAvailable(const std::string& name,
   if (!IsStoredRelation(name)) {
     return Status::NotFound("not a stored relation: " + name);
   }
-  if (available) {
-    unavailable_stored_.erase(name);
-  } else {
-    unavailable_stored_.insert(name);
-  }
+  bool changed = available ? unavailable_stored_.erase(name) > 0
+                           : unavailable_stored_.insert(name).second;
+  if (changed) ++availability_epoch_;
   return Status::Ok();
 }
 

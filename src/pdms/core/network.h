@@ -129,6 +129,15 @@ class PdmsNetwork {
   /// valid exactly as long as the revision they were built at.
   uint64_t revision() const { return revision_; }
 
+  /// Monotonic counter bumped whenever the availability *state* actually
+  /// changes (SetPeerAvailable / SetStoredRelationAvailable flipping a
+  /// peer or relation; redundant calls don't count). Availability never
+  /// bumps `revision()` — normalizations stay valid — but cached query
+  /// *plans* prune unavailable sources, so they are valid only for the
+  /// (revision, availability_epoch) pair they were built at
+  /// (docs/plan_cache.md).
+  uint64_t availability_epoch() const { return availability_epoch_; }
+
   /// Structural complexity analysis (Section 3).
   Classification Classify() const;
 
@@ -147,6 +156,7 @@ class PdmsNetwork {
   std::set<std::string> unavailable_peers_;
   std::set<std::string> unavailable_stored_;
   uint64_t revision_ = 0;
+  uint64_t availability_epoch_ = 0;
 };
 
 }  // namespace pdms

@@ -5,6 +5,7 @@
 
 #include "pdms/fault/access.h"
 #include "pdms/eval/evaluator.h"
+#include "pdms/lang/canonical.h"
 #include "pdms/lang/parser.h"
 #include "pdms/util/strings.h"
 
@@ -88,12 +89,76 @@ ReformulationOptions Pdms::EffectiveOptions() const {
   effective.unavailable_stored.insert(down.begin(), down.end());
   effective.trace = trace_;
   effective.metrics = metrics_;
+  effective.goal_memo = goal_memo_;
   return effective;
+}
+
+ReformulationOptions Pdms::PrepareCaches() {
+  ReformulationOptions effective = EffectiveOptions();
+  if (goal_memo_ != nullptr) {
+    size_t dropped = goal_memo_->EnterScope(network_.revision(),
+                                            network_.availability_epoch(),
+                                            OptionsFingerprint(effective));
+    if (dropped > 0 && metrics_ != nullptr) {
+      metrics_->Add("cache.goal_memo_invalidations", dropped);
+    }
+  }
+  if (plan_cache_ != nullptr) {
+    size_t invalidated = plan_cache_->EnterScope(
+        network_.revision(), network_.availability_epoch());
+    if (invalidated > 0 && metrics_ != nullptr) {
+      metrics_->Add("cache.invalidations", invalidated);
+    }
+  }
+  return effective;
+}
+
+Result<ReformulationResult> Pdms::ReformulateCached(
+    const ConjunctiveQuery& query, obs::ScopedSpan* query_span) {
+  ReformulationOptions effective = PrepareCaches();
+  if (plan_cache_ == nullptr) {
+    return GetReformulator()->Reformulate(query, effective);
+  }
+  std::string key = CanonicalQueryKey(query);
+  const PlanCacheHook::Plan* hit = nullptr;
+  {
+    obs::ScopedSpan lookup(trace_, "cache_lookup");
+    hit = plan_cache_->Find(key);
+    lookup.Set("result", hit != nullptr ? "hit" : "miss");
+  }
+  if (hit != nullptr) {
+    if (metrics_ != nullptr) metrics_->Add("cache.hits");
+    if (query_span != nullptr) query_span->Set("cache", "hit");
+    ReformulationResult ref;
+    ref.rewriting = hit->rewriting;
+    ref.stats = hit->stats;  // the stats of the original reformulation
+    return ref;
+  }
+  if (metrics_ != nullptr) metrics_->Add("cache.misses");
+  if (query_span != nullptr) query_span->Set("cache", "miss");
+  PDMS_ASSIGN_OR_RETURN(ReformulationResult ref,
+                        GetReformulator()->Reformulate(query, effective));
+  // Truncated plans are incomplete by budget, not by semantics — caching
+  // one would freeze the truncation; let a later (perhaps less loaded)
+  // query rebuild instead.
+  if (!ref.stats.tree_truncated && !ref.stats.enumeration_truncated) {
+    PlanCacheHook::InsertOutcome outcome = plan_cache_->Insert(
+        key, {ref.rewriting, ref.stats}, network_.revision(),
+        network_.availability_epoch());
+    if (metrics_ != nullptr) {
+      if (outcome.stored) metrics_->Add("cache.inserts");
+      if (outcome.dropped_stale) metrics_->Add("cache.inserts_dropped_stale");
+      if (outcome.evictions > 0) {
+        metrics_->Add("cache.evictions", outcome.evictions);
+      }
+    }
+  }
+  return ref;
 }
 
 Result<ReformulationResult> Pdms::Reformulate(const ConjunctiveQuery& query) {
   if (trace_ != nullptr) trace_->Clear();
-  return GetReformulator()->Reformulate(query, EffectiveOptions());
+  return ReformulateCached(query, nullptr);
 }
 
 Result<ReformulationResult> Pdms::Reformulate(std::string_view query_text) {
@@ -159,10 +224,11 @@ Result<AnswerResult> Pdms::AnswerWithReport(const ConjunctiveQuery& query) {
   query_span.Set("mode", "local");
 
   // Step 1: reformulate with currently-unavailable sources pruned from
-  // the rule-goal tree (recorded in the stats).
-  PDMS_ASSIGN_OR_RETURN(
-      ReformulationResult ref,
-      GetReformulator()->Reformulate(query, EffectiveOptions()));
+  // the rule-goal tree (recorded in the stats), via the plan cache when
+  // one is attached. A cache hit skips reformulation entirely but still
+  // evaluates below through the gated path.
+  PDMS_ASSIGN_OR_RETURN(ReformulationResult ref,
+                        ReformulateCached(query, &query_span));
   out.stats = ref.stats;
 
   // Step 2: evaluate, mediating every stored-relation scan through the
@@ -219,23 +285,49 @@ Result<Relation> Pdms::AnswerStreaming(
                           },
                           trace_, metrics_);
   Status eval_error = Status::Ok();
-  auto result = GetReformulator()->ReformulateStreaming(
-      query, EffectiveOptions(), [&](const ConjunctiveQuery& rewriting) {
-        auto part = EvaluateCQ(rewriting, data_, [&](const std::string& r) {
-          return access.Access(r);
-        }, trace_);
-        if (!part.ok()) {
-          // A rewriting over an unavailable source degrades the stream
-          // (its answers are simply missing); other errors abort.
-          if (part.status().code() == StatusCode::kUnavailable) return true;
-          eval_error = part.status();
-          return false;
-        }
-        for (const Tuple& t : part->tuples()) {
-          if (answers.Insert(t) && !on_answer(t)) return false;
-        }
-        return true;
-      });
+  auto eval_one = [&](const ConjunctiveQuery& rewriting) {
+    auto part = EvaluateCQ(rewriting, data_, [&](const std::string& r) {
+      return access.Access(r);
+    }, trace_);
+    if (!part.ok()) {
+      // A rewriting over an unavailable source degrades the stream
+      // (its answers are simply missing); other errors abort.
+      if (part.status().code() == StatusCode::kUnavailable) return true;
+      eval_error = part.status();
+      return false;
+    }
+    for (const Tuple& t : part->tuples()) {
+      if (answers.Insert(t) && !on_answer(t)) return false;
+    }
+    return true;
+  };
+  ReformulationOptions effective = PrepareCaches();
+  if (plan_cache_ != nullptr) {
+    std::string key = CanonicalQueryKey(query);
+    const PlanCacheHook::Plan* hit = nullptr;
+    {
+      obs::ScopedSpan lookup(trace_, "cache_lookup");
+      hit = plan_cache_->Find(key);
+      lookup.Set("result", hit != nullptr ? "hit" : "miss");
+    }
+    if (hit != nullptr) {
+      // Stream straight from the cached plan, disjunct by disjunct.
+      if (metrics_ != nullptr) metrics_->Add("cache.hits");
+      query_span.Set("cache", "hit");
+      for (const ConjunctiveQuery& rewriting : hit->rewriting.disjuncts()) {
+        if (!eval_one(rewriting)) break;
+      }
+      PDMS_RETURN_IF_ERROR(eval_error);
+      query_span.Set("answers", static_cast<uint64_t>(answers.size()));
+      return answers;
+    }
+    // A stopped stream leaves a partial plan, so the streaming miss path
+    // never inserts; AnswerWithReport is the warming entry point.
+    if (metrics_ != nullptr) metrics_->Add("cache.misses");
+    query_span.Set("cache", "miss");
+  }
+  auto result = GetReformulator()->ReformulateStreaming(query, effective,
+                                                        eval_one);
   PDMS_RETURN_IF_ERROR(eval_error);
   PDMS_RETURN_IF_ERROR(result.status());
   query_span.Set("answers", static_cast<uint64_t>(answers.size()));

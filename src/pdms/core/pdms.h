@@ -42,6 +42,44 @@ void FillDegradationReport(const PdmsNetwork& network,
                            const AccessStats& access, bool any_answers,
                            DegradationReport* report);
 
+/// Interface to a cross-query plan cache (implemented in
+/// src/pdms/cache/plan_cache.h; core sees only this hook). A plan — the
+/// enumerated UCQ rewriting plus its ReformulationStats — is keyed by the
+/// query's CanonicalQueryKey and valid for exactly one (network revision,
+/// availability epoch) scope: catalog mutations and availability flips
+/// both move the scope, and the facade announces the current scope before
+/// every lookup, so a stale plan can never be served. Cached plans are
+/// still *evaluated* through the degraded/gated path — caching reuses the
+/// reformulation work, never the availability outcome.
+class PlanCacheHook {
+ public:
+  struct Plan {
+    UnionQuery rewriting;
+    ReformulationStats stats;
+  };
+  struct InsertOutcome {
+    bool stored = false;
+    /// The entry was dropped because the network changed between
+    /// reformulation start and insert time (the mid-churn guard).
+    bool dropped_stale = false;
+    size_t evictions = 0;
+  };
+  virtual ~PlanCacheHook() = default;
+  /// Declares the scope of subsequent Find calls; returns the number of
+  /// entries a scope change invalidated.
+  virtual size_t EnterScope(uint64_t revision, uint64_t epoch) = 0;
+  /// The cached plan for the canonical key in the current scope, or null.
+  /// The pointer stays valid until the next non-const call.
+  virtual const Plan* Find(const std::string& canonical_key) = 0;
+  /// Inserts a plan reformulated under the scope declared by EnterScope.
+  /// `current_revision`/`current_epoch` are the network's values at insert
+  /// time; any mismatch with the scope means the network churned while the
+  /// plan was being built, and the entry is dropped.
+  virtual InsertOutcome Insert(const std::string& canonical_key, Plan plan,
+                               uint64_t current_revision,
+                               uint64_t current_epoch) = 0;
+};
+
 /// The top-level facade: a peer data management system instance holding a
 /// network specification and the stored data, answering queries end to end
 /// (reformulate, then evaluate over the stored relations).
@@ -111,6 +149,20 @@ class Pdms {
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
   obs::MetricsRegistry* metrics() const { return metrics_; }
 
+  // --- Cross-query caching (docs/plan_cache.md) ---
+
+  /// Attaches a plan cache / goal memo (borrowed, nullable — null
+  /// disables). Both are consulted by every answering entry point under
+  /// the current (revision, availability epoch) scope; with a metrics
+  /// registry attached the facade accumulates the `cache.*` counters and
+  /// with a trace attached each query gets a `cache_lookup` span plus a
+  /// `cache` attribute on its query span. `cache::CachingPdms` bundles a
+  /// Pdms with both caches pre-wired.
+  void set_plan_cache(PlanCacheHook* cache) { plan_cache_ = cache; }
+  PlanCacheHook* plan_cache() const { return plan_cache_; }
+  void set_goal_memo(GoalMemoHook* memo) { goal_memo_ = memo; }
+  GoalMemoHook* goal_memo() const { return goal_memo_; }
+
   /// Parses a query in rule syntax, e.g. `q(x) :- H:Doctor(x, h).`.
   Result<ConjunctiveQuery> ParseQuery(std::string_view text) const;
 
@@ -164,6 +216,16 @@ class Pdms {
   Reformulator* GetReformulator();
   /// The session options plus the network's current availability state.
   ReformulationOptions EffectiveOptions() const;
+  /// Announces the current (revision, epoch, options) scope to the
+  /// attached caches, recording invalidation counts; returns the
+  /// effective options for this query.
+  ReformulationOptions PrepareCaches();
+  /// Cache-aware reformulation shared by the answering entry points:
+  /// plan-cache lookup (hit returns the stored plan), miss reformulates
+  /// and inserts under the mid-churn guard. `query_span` (nullable)
+  /// receives the `cache` attribute.
+  Result<ReformulationResult> ReformulateCached(const ConjunctiveQuery& query,
+                                                obs::ScopedSpan* query_span);
 
   PdmsNetwork network_;
   Database data_;
@@ -175,6 +237,8 @@ class Pdms {
   uint64_t reformulator_revision_ = 0;  // network revision it was built at
   obs::TraceContext* trace_ = nullptr;      // not owned; may be null
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
+  PlanCacheHook* plan_cache_ = nullptr;      // not owned; may be null
+  GoalMemoHook* goal_memo_ = nullptr;        // not owned; may be null
 };
 
 }  // namespace pdms

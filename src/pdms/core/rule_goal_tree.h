@@ -15,6 +15,8 @@
 
 namespace pdms {
 
+class GoalMemoHook;
+
 /// Tunables for tree construction and solution enumeration. The paper's
 /// Section 4.3 optimizations each map to a flag so the ablation benchmarks
 /// can toggle them individually.
@@ -67,6 +69,13 @@ struct ReformulationOptions {
   /// (0 = unlimited).
   double time_budget_ms = 0;
 
+  /// Cross-query goal memo (docs/plan_cache.md). Borrowed, nullable — null
+  /// disables. Never part of the reformulation semantics: a memo hit
+  /// rehydrates exactly the subtree a fresh expansion would have built
+  /// (asserted by tests/goal_memo_test.cc and the coherence property
+  /// test), it only skips re-deriving it.
+  GoalMemoHook* goal_memo = nullptr;
+
   /// Observability (docs/observability.md). Borrowed, nullable — null is
   /// the zero-overhead sink — and never part of the reformulation
   /// semantics. When `trace` is set the builder emits one span per goal
@@ -95,6 +104,15 @@ struct ReformulationStats {
   std::vector<std::string> excluded_stored;
   size_t combos_failed = 0;  // solution combinations dropped at assembly
   size_t rewritings = 0;
+  /// Syntactically-isomorphic rewritings (equal CanonicalQueryKey) the
+  /// enumerator dropped so the evaluator never runs a duplicate disjunct.
+  size_t duplicate_disjuncts = 0;
+  /// Cross-query goal memo (when ReformulationOptions::goal_memo is set):
+  /// goals whose expansions were rehydrated from a previous query, and the
+  /// total nodes that rehydration contributed (also included in the node
+  /// counts above).
+  size_t goal_memo_hits = 0;
+  size_t goal_memo_nodes = 0;
   bool tree_truncated = false;  // node budget hit
   bool enumeration_truncated = false;  // rewriting/time budget hit
   double build_ms = 0;
@@ -108,6 +126,57 @@ struct ReformulationStats {
 };
 
 struct GoalNode;
+struct ExpansionNode;
+
+/// A detached, owned copy of one goal node's expansions — the unit the
+/// cross-query goal memo (src/pdms/cache/goal_memo.h) stores between
+/// queries. `label_args` remembers the template goal's argument terms so a
+/// later query can rename the subtree onto its own goal atom (the two
+/// atoms share a CanonicalAtomKey, so the argument patterns line up
+/// positionally).
+struct GoalSubtree {
+  std::vector<Term> label_args;
+  /// The template scope's interface arguments: MCD unifiers inside the
+  /// subtree may bind view variables to the scope's distinguished
+  /// variables, so rehydration maps these positionally onto the new
+  /// scope's interface (the memo key proves the patterns coincide).
+  std::vector<Term> iface_args;
+  std::vector<std::unique_ptr<ExpansionNode>> expansions;
+  // Node counts inside the subtree, charged against the tree budget and
+  // the stats when the subtree is rehydrated.
+  size_t goal_nodes = 0;
+  size_t rule_nodes = 0;
+  size_t definitional_nodes = 0;
+  size_t inclusion_nodes = 0;
+  /// Rough heap footprint, for the memo's byte budget.
+  size_t byte_estimate = 0;
+};
+
+/// Cross-query memoization hook consulted by the TreeBuilder (implemented
+/// in src/pdms/cache/goal_memo.h; core only sees the interface). Entries
+/// are valid for one (network revision, availability epoch, options
+/// fingerprint) scope — the facade announces the current scope before each
+/// build and the implementation clears itself when it changes, so a stored
+/// subtree can never leak across a mapping edit or availability flip.
+class GoalMemoHook {
+ public:
+  virtual ~GoalMemoHook() = default;
+  /// Declares the scope of the next Find/Store calls; returns the number
+  /// of entries invalidated by a scope change.
+  virtual size_t EnterScope(uint64_t revision, uint64_t epoch,
+                            const std::string& options_fingerprint) = 0;
+  /// The stored subtree for `key`, or null. The pointer stays valid until
+  /// the next non-const call.
+  virtual const GoalSubtree* Find(const std::string& key) = 0;
+  virtual void Store(const std::string& key, GoalSubtree subtree) = 0;
+};
+
+/// A fingerprint of the option fields that shape the rule-goal tree (prune
+/// flags, expansion ordering, source restrictions). Part of the goal
+/// memo's scope: two builds may share memo entries only when their
+/// fingerprints agree, because these options change which expansions the
+/// builder keeps.
+std::string OptionsFingerprint(const ReformulationOptions& options);
 
 /// A rule node: one way of expanding its parent goal node. Definitional
 /// expansions (GAV-style) replace the goal with the body of a datalog rule;
@@ -201,6 +270,24 @@ class TreeBuilder {
   // to use (honors ReformulationOptions::allowed_stored).
   bool IsUsableStored(const std::string& predicate) const;
   size_t DepthRank(const std::string& predicate) const;
+  // Cross-query goal memo (options_.goal_memo). Memoization is restricted
+  // to single-child scopes: an MCD may cover sibling goals, so a subtree
+  // is positionally reusable only when the scope has no siblings. The key
+  // captures everything expansion depends on besides the normalization —
+  // the goal's atom pattern, the scope interface, the scope's constraint
+  // label (unsatisfiability pruning consults it), and the path's
+  // description-reuse guard set.
+  std::string GoalMemoKey(const GoalNode& goal, const ScopeContext& ctx,
+                          const std::set<size_t>& path) const;
+  // Clones the stored subtree onto `goal`, mapping template label/interface
+  // variables positionally and every other variable to a fresh one; false
+  // if the node budget cannot absorb the subtree (the caller then expands
+  // normally, truncating exactly as a memo-less build would).
+  bool RehydrateGoalSubtree(const GoalSubtree& subtree,
+                            const ScopeContext& ctx, GoalNode* goal,
+                            ReformulationStats* stats);
+  void StoreGoalSubtree(const std::string& key, const ScopeContext& ctx,
+                        const GoalNode& goal);
   void ComputeReachability();
   void FillReachability(bool ignore_unavailable,
                         std::map<std::string, size_t>* out);

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "pdms/eval/evaluator.h"
+#include "pdms/lang/canonical.h"
 #include "pdms/lang/parser.h"
 #include "pdms/sim/event_loop.h"
 #include "pdms/sim/peer_node.h"
@@ -108,13 +109,65 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
 
   // Step 1 (local to the querying peer): reformulate, pruning sources the
   // catalog already knows are down — identical to the in-process facade.
+  // With caches attached, lookups run under the copied catalog's
+  // (revision, availability epoch) scope; a plan hit skips reformulation
+  // but the fetch/evaluate steps below still run over the simulated
+  // network in full.
   ReformulationOptions effective = options_.reform;
   std::set<std::string> down = network_.UnavailableStoredRelations();
   effective.unavailable_stored.insert(down.begin(), down.end());
   effective.trace = trace_;
   effective.metrics = metrics_;
-  PDMS_ASSIGN_OR_RETURN(ReformulationResult ref,
-                        reformulator_->Reformulate(query, effective));
+  effective.goal_memo = goal_memo_;
+  if (goal_memo_ != nullptr) {
+    size_t dropped = goal_memo_->EnterScope(network_.revision(),
+                                            network_.availability_epoch(),
+                                            OptionsFingerprint(effective));
+    if (dropped > 0 && metrics_ != nullptr) {
+      metrics_->Add("cache.goal_memo_invalidations", dropped);
+    }
+  }
+  std::string plan_key;
+  const PlanCacheHook::Plan* hit = nullptr;
+  if (plan_cache_ != nullptr) {
+    size_t invalidated = plan_cache_->EnterScope(
+        network_.revision(), network_.availability_epoch());
+    if (invalidated > 0 && metrics_ != nullptr) {
+      metrics_->Add("cache.invalidations", invalidated);
+    }
+    plan_key = CanonicalQueryKey(query);
+    obs::ScopedSpan lookup(trace_, "cache_lookup");
+    hit = plan_cache_->Find(plan_key);
+    lookup.Set("result", hit != nullptr ? "hit" : "miss");
+  }
+  ReformulationResult ref;
+  if (hit != nullptr) {
+    if (metrics_ != nullptr) metrics_->Add("cache.hits");
+    query_span.Set("cache", "hit");
+    ref.rewriting = hit->rewriting;
+    ref.stats = hit->stats;  // the stats of the original reformulation
+  } else {
+    if (plan_cache_ != nullptr) {
+      if (metrics_ != nullptr) metrics_->Add("cache.misses");
+      query_span.Set("cache", "miss");
+    }
+    PDMS_ASSIGN_OR_RETURN(ref, reformulator_->Reformulate(query, effective));
+    if (plan_cache_ != nullptr && !ref.stats.tree_truncated &&
+        !ref.stats.enumeration_truncated) {
+      PlanCacheHook::InsertOutcome outcome = plan_cache_->Insert(
+          plan_key, {ref.rewriting, ref.stats}, network_.revision(),
+          network_.availability_epoch());
+      if (metrics_ != nullptr) {
+        if (outcome.stored) metrics_->Add("cache.inserts");
+        if (outcome.dropped_stale) {
+          metrics_->Add("cache.inserts_dropped_stale");
+        }
+        if (outcome.evictions > 0) {
+          metrics_->Add("cache.evictions", outcome.evictions);
+        }
+      }
+    }
+  }
   out.stats = ref.stats;
 
   // Step 2: every stored relation the rewritings scan must be fetched from

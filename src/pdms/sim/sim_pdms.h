@@ -104,6 +104,18 @@ class SimPdms {
   void set_trace(obs::TraceContext* trace) { trace_ = trace; }
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Cross-query caches (borrowed, nullable — null disables; see
+  /// docs/plan_cache.md). Because a SimPdms is typically rebuilt per query
+  /// (ppl_shell does) while the caches outlive it, the caches are keyed by
+  /// the catalog's (revision, availability epoch) scope: each Answer call
+  /// re-announces the scope of its copied network, so entries warmed
+  /// through one SimPdms serve the next as long as the catalog has not
+  /// moved. A cached plan skips reformulation only — every stored-relation
+  /// scan still goes over the simulated network, so partitions, crashes,
+  /// and message loss degrade a cached query exactly like a fresh one.
+  void set_plan_cache(PlanCacheHook* cache) { plan_cache_ = cache; }
+  void set_goal_memo(GoalMemoHook* memo) { goal_memo_ = memo; }
+
  private:
   PdmsNetwork network_;
   Database data_;
@@ -114,6 +126,8 @@ class SimPdms {
   std::string last_trace_;
   obs::TraceContext* trace_ = nullptr;      // not owned; may be null
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
+  PlanCacheHook* plan_cache_ = nullptr;      // not owned; may be null
+  GoalMemoHook* goal_memo_ = nullptr;        // not owned; may be null
 };
 
 }  // namespace sim

@@ -1,0 +1,183 @@
+// Cache coherence property test: a cached PDMS and an uncached one walk
+// the same randomized schedule of queries, mapping edits, fact inserts,
+// and availability flips; after every query the cached answers must be
+// byte-identical to the uncached ones. 120 seeded schedules; any
+// divergence prints its seed and step for replay. Also asserts the caches
+// actually work — repeated queries at a fixed scope must hit.
+//
+// The `Smoke` case at the bottom is the CI coherence gate (tools/ci.sh
+// step 5): query, mutate the network, re-query; the invalidation counter
+// must advance and the answers must match a never-cached instance.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pdms/cache/caching_pdms.h"
+#include "pdms/core/pdms.h"
+#include "pdms/util/rng.h"
+
+namespace pdms {
+namespace cache {
+namespace {
+
+constexpr const char* kBaseProgram = R"(
+  peer A { relation R(x, y); }
+  peer B { relation S(x, y); }
+  peer C { relation T(x, y); }
+  stored sa(x, y) <= A:R(x, y).
+  stored sb(x, y) <= B:S(x, y).
+  mapping B:S(x, y) :- A:R(x, y).
+  mapping C:T(x, y) :- B:S(x, y), x < 10.
+  fact sa(1, 2).
+  fact sa(2, 3).
+  fact sa(11, 12).
+  fact sb(3, 4).
+)";
+
+// Incremental edits; each bumps the catalog revision when first applied.
+const std::vector<std::string>& MappingEdits() {
+  static const std::vector<std::string> edits = {
+      R"(
+        peer D { relation U(x, y); }
+        stored sd(x, y) <= D:U(x, y).
+        mapping C:T(x, y) :- D:U(x, y).
+        fact sd(4, 5).
+      )",
+      R"(mapping B:S(x, y) :- C:T(x, y).)",
+      R"(mapping (x, y) : A:R(x, y) <= B:S(x, y).)",
+  };
+  return edits;
+}
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string> queries = {
+      "q(x, y) :- A:R(x, y).",
+      "q(x, y) :- B:S(x, y).",
+      "q(x, y) :- C:T(x, y).",
+      "q(x, z) :- A:R(x, y), B:S(y, z).",
+      "q(x) :- B:S(x, y), x < 5.",
+  };
+  return queries;
+}
+
+const std::vector<std::string>& FlipTargets() {
+  static const std::vector<std::string> stored = {"sa", "sb"};
+  return stored;
+}
+
+// One lockstep schedule: every operation is applied to both instances,
+// every query's answers are compared byte for byte.
+void RunSchedule(uint64_t seed, size_t steps) {
+  Rng rng(seed);
+  CachingPdms cached;
+  Pdms plain;
+  ASSERT_TRUE(cached.LoadProgram(kBaseProgram).ok());
+  ASSERT_TRUE(plain.LoadProgram(kBaseProgram).ok());
+
+  std::vector<bool> edit_applied(MappingEdits().size(), false);
+  size_t fact_counter = 0;
+
+  auto check_query = [&](const std::string& query, size_t step) {
+    auto expected = plain.Answer(query);
+    auto actual = cached.Answer(query);
+    ASSERT_EQ(actual.ok(), expected.ok())
+        << "seed " << seed << " step " << step << " query " << query;
+    if (!expected.ok()) return;
+    EXPECT_EQ(actual->ToString(), expected->ToString())
+        << "seed " << seed << " step " << step << " query " << query;
+  };
+
+  for (size_t step = 0; step < steps; ++step) {
+    switch (rng.Uniform(5)) {
+      case 0:
+      case 1: {  // query (most frequent, so repeats happen)
+        check_query(Queries()[rng.Uniform(Queries().size())], step);
+        break;
+      }
+      case 2: {  // mapping edit (first time only; later picks are no-ops)
+        size_t i = rng.Uniform(MappingEdits().size());
+        if (edit_applied[i]) break;
+        edit_applied[i] = true;
+        ASSERT_TRUE(cached.LoadProgram(MappingEdits()[i]).ok());
+        ASSERT_TRUE(plain.LoadProgram(MappingEdits()[i]).ok());
+        break;
+      }
+      case 3: {  // availability flip (peer or stored relation)
+        if (rng.Chance(0.5)) {
+          const std::string& target =
+              FlipTargets()[rng.Uniform(FlipTargets().size())];
+          bool up = rng.Chance(0.5);
+          ASSERT_TRUE(cached.mutable_network()
+                          ->SetStoredRelationAvailable(target, up)
+                          .ok());
+          ASSERT_TRUE(plain.mutable_network()
+                          ->SetStoredRelationAvailable(target, up)
+                          .ok());
+        } else {
+          bool up = rng.Chance(0.5);
+          ASSERT_TRUE(cached.mutable_network()->SetPeerAvailable("A", up).ok());
+          ASSERT_TRUE(plain.mutable_network()->SetPeerAvailable("A", up).ok());
+        }
+        break;
+      }
+      case 4: {  // fact insert (no revision bump: plans must survive)
+        Tuple t = {Value::Int(static_cast<int64_t>(20 + fact_counter)),
+                   Value::Int(static_cast<int64_t>(21 + fact_counter))};
+        ++fact_counter;
+        ASSERT_TRUE(cached.Insert("sa", t).ok());
+        ASSERT_TRUE(plain.Insert("sa", t).ok());
+        break;
+      }
+    }
+  }
+
+  // Repeated queries at the now-fixed scope must hit the plan cache.
+  size_t hits_before = cached.plan_cache()->stats().hits;
+  check_query(Queries()[0], steps);
+  check_query(Queries()[0], steps + 1);
+  EXPECT_GT(cached.plan_cache()->stats().hits, hits_before)
+      << "seed " << seed << ": repeat query at fixed scope did not hit";
+}
+
+TEST(CacheCoherence, RandomizedSchedulesMatchCacheOff) {
+  for (uint64_t seed = 1; seed <= 120; ++seed) {
+    RunSchedule(seed, /*steps=*/14);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// The CI smoke (tools/ci.sh step 5): warm, mutate, re-query.
+TEST(CacheCoherence, Smoke) {
+  CachingPdms cached;
+  Pdms plain;
+  ASSERT_TRUE(cached.LoadProgram(kBaseProgram).ok());
+  ASSERT_TRUE(plain.LoadProgram(kBaseProgram).ok());
+
+  const std::string query = "q(x, y) :- C:T(x, y).";
+  ASSERT_TRUE(cached.Answer(query).ok());
+  ASSERT_TRUE(cached.Answer(query).ok());
+  EXPECT_GT(cached.plan_cache()->stats().hits, 0u);
+
+  // Mutate the network: an availability flip (epoch) and a mapping edit
+  // (revision).
+  ASSERT_TRUE(
+      cached.mutable_network()->SetStoredRelationAvailable("sa", false).ok());
+  ASSERT_TRUE(
+      plain.mutable_network()->SetStoredRelationAvailable("sa", false).ok());
+  ASSERT_TRUE(cached.LoadProgram(MappingEdits()[0]).ok());
+  ASSERT_TRUE(plain.LoadProgram(MappingEdits()[0]).ok());
+
+  auto actual = cached.Answer(query);
+  auto expected = plain.Answer(query);
+  ASSERT_TRUE(actual.ok());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_GT(cached.plan_cache()->stats().invalidations, 0u)
+      << "network mutation did not advance the invalidation counter";
+  EXPECT_EQ(actual->ToString(), expected->ToString());
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace pdms

@@ -1,0 +1,198 @@
+// Cross-query goal memo tests: rehydrated subtrees must be semantically
+// identical to freshly-expanded ones (isomorphic rewritings, byte-equal
+// answers), hits must actually happen on repeated structure at a fixed
+// scope, and any scope ingredient changing — revision, availability epoch,
+// options fingerprint — must drop the memo.
+
+#include "pdms/cache/goal_memo.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "pdms/cache/plan_cache.h"
+#include "pdms/core/pdms.h"
+#include "pdms/lang/canonical.h"
+
+namespace pdms {
+namespace cache {
+namespace {
+
+// Three strata (C -> B -> A -> storage) with a definitional chain, an
+// inclusion view, and a comparison so the memo must carry constraint
+// labels, unifiers, and grants through the round trip.
+constexpr const char* kProgram = R"(
+  peer A { relation R(x, y); }
+  peer B { relation S(x, y); }
+  peer C { relation T(x, y); }
+  stored sa(x, y) <= A:R(x, y).
+  stored sv(x, y) <= B:S(x, y).
+  mapping B:S(x, y) :- A:R(x, y).
+  mapping C:T(x, y) :- B:S(x, y), x < 10.
+  fact sa(1, 2).
+  fact sa(2, 3).
+  fact sa(11, 12).
+  fact sv(7, 8).
+)";
+
+Pdms MakePdms() {
+  Pdms pdms;
+  Status s = pdms.LoadProgram(kProgram);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return pdms;
+}
+
+// Variable names may differ between a fresh expansion and a rehydrated
+// one; canonical keys are the rename-invariant fingerprint.
+std::vector<std::string> CanonicalDisjuncts(const UnionQuery& uq) {
+  std::vector<std::string> keys;
+  for (const ConjunctiveQuery& cq : uq.disjuncts()) {
+    keys.push_back(CanonicalQueryKey(cq));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(GoalMemo, RepeatedQueryHitsAndRewritingsStayIsomorphic) {
+  Pdms plain = MakePdms();
+  Pdms memoized = MakePdms();
+  GoalMemo memo;
+  memoized.set_goal_memo(&memo);
+
+  const std::string query = "q(x, y) :- C:T(x, y).";
+  auto expected = plain.Reformulate(query);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  auto cold = memoized.Reformulate(query);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(CanonicalDisjuncts(cold->rewriting),
+            CanonicalDisjuncts(expected->rewriting));
+
+  auto warm = memoized.Reformulate(query);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(warm->stats.goal_memo_hits, 0u);
+  EXPECT_GT(warm->stats.goal_memo_nodes, 0u);
+  EXPECT_EQ(CanonicalDisjuncts(warm->rewriting),
+            CanonicalDisjuncts(expected->rewriting));
+
+  // End to end: byte-identical answers.
+  auto baseline = plain.Answer(query);
+  auto answers = memoized.Answer(query);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->ToString(), baseline->ToString());
+  EXPECT_GT(memo.stats().hits, 0u);
+}
+
+TEST(GoalMemo, SharedStructureAcrossDifferentQueriesHits) {
+  Pdms pdms = MakePdms();
+  GoalMemo memo;
+  pdms.set_goal_memo(&memo);
+
+  // Both queries expand a goal over B:S; the second should reuse the
+  // B:S subtree memoized by the first even though the queries differ.
+  ASSERT_TRUE(pdms.Reformulate("q(x, y) :- B:S(x, y).").ok());
+  auto second = pdms.Reformulate("p(a, b) :- B:S(a, b).");
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->stats.goal_memo_hits, 0u);
+
+  Pdms plain = MakePdms();
+  auto expected = plain.Reformulate("p(a, b) :- B:S(a, b).");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(CanonicalDisjuncts(second->rewriting),
+            CanonicalDisjuncts(expected->rewriting));
+}
+
+TEST(GoalMemo, MappingEditInvalidatesAndAnswersTrackTheNewNetwork) {
+  Pdms pdms = MakePdms();
+  GoalMemo memo;
+  pdms.set_goal_memo(&memo);
+
+  const std::string query = "q(x, y) :- C:T(x, y).";
+  ASSERT_TRUE(pdms.Answer(query).ok());
+  ASSERT_TRUE(pdms.Answer(query).ok());
+  EXPECT_GT(memo.size(), 0u);
+
+  // A mapping edit bumps the revision: the warmed memo must be dropped
+  // and the next answer must see the new mapping.
+  ASSERT_TRUE(pdms.LoadProgram(R"(
+    peer D { relation U(x, y); }
+    stored sd(x, y) <= D:U(x, y).
+    mapping C:T(x, y) :- D:U(x, y).
+    fact sd(4, 5).
+  )").ok());
+  auto after = pdms.Answer(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(memo.stats().invalidations, 0u);
+  EXPECT_TRUE(after->Contains({Value::Int(4), Value::Int(5)}));
+
+  Pdms fresh;
+  ASSERT_TRUE(fresh.LoadProgram(kProgram).ok());
+  ASSERT_TRUE(fresh.LoadProgram(R"(
+    peer D { relation U(x, y); }
+    stored sd(x, y) <= D:U(x, y).
+    mapping C:T(x, y) :- D:U(x, y).
+    fact sd(4, 5).
+  )").ok());
+  auto expected = fresh.Answer(query);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(after->ToString(), expected->ToString());
+}
+
+TEST(GoalMemo, AvailabilityFlipInvalidates) {
+  Pdms pdms = MakePdms();
+  GoalMemo memo;
+  pdms.set_goal_memo(&memo);
+
+  const std::string query = "q(x, y) :- C:T(x, y).";
+  ASSERT_TRUE(pdms.Answer(query).ok());
+  size_t warmed = memo.size();
+  EXPECT_GT(warmed, 0u);
+
+  ASSERT_TRUE(
+      pdms.mutable_network()->SetStoredRelationAvailable("sa", false).ok());
+  auto degraded = pdms.Answer(query);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_GE(memo.stats().invalidations, warmed);
+
+  Pdms fresh = MakePdms();
+  ASSERT_TRUE(
+      fresh.mutable_network()->SetStoredRelationAvailable("sa", false).ok());
+  auto expected = fresh.Answer(query);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(degraded->ToString(), expected->ToString());
+}
+
+TEST(GoalMemo, OptionsFingerprintIsPartOfTheScope) {
+  GoalMemo memo;
+  EXPECT_EQ(memo.EnterScope(1, 0, "u1d1o1"), 0u);
+  memo.Store("k", GoalSubtree{});
+  EXPECT_EQ(memo.EnterScope(1, 0, "u1d1o1"), 0u);  // unchanged: kept
+  ASSERT_NE(memo.Find("k"), nullptr);
+  EXPECT_EQ(memo.EnterScope(1, 0, "u0d1o1"), 1u);  // prune flag flipped
+  EXPECT_EQ(memo.Find("k"), nullptr);
+  EXPECT_EQ(memo.stats().invalidations, 1u);
+}
+
+TEST(GoalMemo, FingerprintSeparatesSourceRestrictions) {
+  ReformulationOptions a;
+  ReformulationOptions b;
+  b.unavailable_stored.insert("sa");
+  ReformulationOptions c;
+  c.allowed_stored.insert("sv");
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(c));
+  EXPECT_NE(OptionsFingerprint(b), OptionsFingerprint(c));
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(ReformulationOptions{}));
+  // The tree-node budget is deliberately *not* part of the fingerprint:
+  // only untruncated subtrees are memoized, and those are budget-invariant.
+  ReformulationOptions d;
+  d.max_tree_nodes = 7;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(d));
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace pdms

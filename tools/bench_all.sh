@@ -7,12 +7,17 @@
 # The merge is plain shell — each report is a single JSON object on its
 # own line(s), so concatenation with commas is valid JSON.
 #
-# Usage: tools/bench_all.sh [out.json]
+# The serving-throughput bench (plan-cache hit rate and speedup,
+# docs/plan_cache.md) reports into its own BENCH_cache.json so cache
+# regressions are tracked separately from the reformulation numbers.
+#
+# Usage: tools/bench_all.sh [out.json] [cache-out.json]
 # Knobs: BUILD_DIR (default build), PDMS_BENCH_* forwarded to the benches.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_sim.json}"
+CACHE_OUT="${2:-BENCH_cache.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 JSON_DIR="${BUILD_DIR}/bench-json"
@@ -60,3 +65,12 @@ done
 } > "${OUT}"
 
 echo "merged $(grep -c '"name"' "${OUT}" || true) reports into ${OUT}"
+
+echo "== serving_throughput =="
+"${BUILD_DIR}/bench/serving_throughput" --json "${JSON_DIR}/serving_throughput.json"
+{
+  printf '['
+  tr -d '\n' < "${JSON_DIR}/serving_throughput.json"
+  printf ']\n'
+} > "${CACHE_OUT}"
+echo "merged cache report into ${CACHE_OUT}"

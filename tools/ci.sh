@@ -9,6 +9,10 @@
 #   4. trace-export smoke: one instrumented Figure-3 reformulation dumped
 #      as Chrome-trace JSON; the file must parse and contain reformulation
 #      spans (docs/observability.md).
+#   5. cache-coherence smoke: warm the plan cache, mutate the network
+#      (availability flip + mapping edit), re-query; the invalidation
+#      counter must advance and answers must match a never-cached
+#      instance (docs/plan_cache.md).
 #
 # Usage: tools/ci.sh
 # Knobs: BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
@@ -20,18 +24,18 @@ BUILD_DIR="${BUILD_DIR:-build}"
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/4] default build + tests =="
+echo "== [1/5] default build + tests =="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== [2/4] asan+ubsan build + tests =="
+echo "== [2/5] asan+ubsan build + tests =="
 tools/ci_sanitize.sh "${ASAN_BUILD_DIR}"
 
-echo "== [3/4] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
+echo "== [3/5] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
 PDMS_DST_SEEDS="${PDMS_DST_SEEDS:-32}" "${BUILD_DIR}/tests/sim_dst_test"
 
-echo "== [4/4] trace-export smoke =="
+echo "== [4/5] trace-export smoke =="
 TRACE_FILE="${BUILD_DIR}/ci_trace.json"
 PDMS_BENCH_RUNS=1 PDMS_BENCH_MAX_DIAMETER=1 \
   "${BUILD_DIR}/bench/fig3_tree_size" --trace "${TRACE_FILE}" > /dev/null
@@ -53,5 +57,12 @@ else
   grep -q '"name": "reformulate"' "${TRACE_FILE}"
   echo "trace export ok (python3 unavailable; grep check only)"
 fi
+
+echo "== [5/5] cache-coherence smoke =="
+# Query -> mutate network -> re-query: the invalidation counter must
+# advance and the cached answers must match a fresh, never-cached
+# instance (the gtest case asserts both).
+"${BUILD_DIR}/tests/cache_coherence_test" \
+  --gtest_filter='CacheCoherence.Smoke'
 
 echo "== CI gate passed =="
