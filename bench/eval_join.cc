@@ -78,6 +78,80 @@ void BM_DatalogTransitiveClosure(benchmark::State& state) {
 }
 BENCHMARK(BM_DatalogTransitiveClosure)->Arg(32)->Arg(64)->Arg(128);
 
+// Reference string-keyed join: variable bindings in a string->Value hash
+// map that is copied and probed per tuple — a straightforward map-based
+// backtracking join, without the shipped engine's slot compilation, index
+// probes, or greedy atom reordering. Kept here (not in the library)
+// purely as the baseline for BM_SlotVsStringBinding; the delta is the
+// combined win of the compiled representation over the naive approach.
+size_t StringBindingJoin(const ConjunctiveQuery& query, const Database& db) {
+  size_t matches = 0;
+  std::function<void(size_t, BindingMap)> search = [&](size_t depth,
+                                                       BindingMap bound) {
+    if (depth == query.body().size()) {
+      for (const Comparison& c : query.comparisons()) {
+        if ((c.lhs.is_variable() && bound.count(c.lhs.var_name()) == 0) ||
+            (c.rhs.is_variable() && bound.count(c.rhs.var_name()) == 0)) {
+          continue;  // never-ground comparison: ignored, as the engine does
+        }
+        Value lhs = c.lhs.is_variable() ? bound.at(c.lhs.var_name())
+                                        : c.lhs.value();
+        Value rhs = c.rhs.is_variable() ? bound.at(c.rhs.var_name())
+                                        : c.rhs.value();
+        if (!EvalCmp(c.op, lhs, rhs)) return;
+      }
+      ++matches;
+      return;
+    }
+    const Atom& atom = query.body()[depth];
+    const Relation* rel = db.Find(atom.predicate());
+    if (rel == nullptr) return;
+    for (const Tuple& t : rel->tuples()) {
+      BindingMap next = bound;  // the per-tuple copy the slot engine removed
+      bool ok = true;
+      for (size_t i = 0; i < atom.arity() && ok; ++i) {
+        const Term& term = atom.args()[i];
+        if (term.is_constant()) {
+          ok = term.value() == t[i];
+        } else {
+          auto [it, inserted] = next.emplace(term.var_name(), t[i]);
+          if (!inserted) ok = it->second == t[i];
+        }
+      }
+      if (ok) search(depth + 1, std::move(next));
+    }
+  };
+  search(0, BindingMap{});
+  return matches;
+}
+
+void BM_SlotVsStringBinding(benchmark::State& state) {
+  // state.range(1) == 1 selects the shipped slot-compiled engine; 0 the
+  // string-map reference. Same query, same data: the delta is pure
+  // binding-representation cost.
+  size_t tuples = static_cast<size_t>(state.range(0));
+  Database db = RandomEdges(tuples, static_cast<int64_t>(tuples / 4), 13);
+  ConjunctiveQuery query = Q("q(x, w) :- edge(x, y), edge(y, z), edge(z, w).");
+  bool slots = state.range(1) == 1;
+  auto reference = EvaluateCQ(query, db);
+  PDMS_CHECK(reference.ok());
+  for (auto _ : state) {
+    if (slots) {
+      auto result = EvaluateCQ(query, db);
+      PDMS_CHECK(result.ok());
+      benchmark::DoNotOptimize(result->size());
+    } else {
+      benchmark::DoNotOptimize(StringBindingJoin(query, db));
+    }
+  }
+  state.SetLabel(slots ? "slot_compiled" : "string_map");
+}
+BENCHMARK(BM_SlotVsStringBinding)
+    ->Args({400, 0})
+    ->Args({400, 1})
+    ->Args({1600, 0})
+    ->Args({1600, 1});
+
 void BM_UnionOfRewritings(benchmark::State& state) {
   // Evaluate a union like the ones reformulation emits: many small
   // conjunctive queries over one instance.

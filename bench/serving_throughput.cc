@@ -9,16 +9,29 @@
 // The skew models a serving workload: a few hot queries repeat (plan-cache
 // hits reuse their reformulation), the long tail keeps missing.
 //
+// A final sweep serves the same stream from 1, 2, and 4 concurrent server
+// threads — each with its own facade, all sharing one thread-safe plan
+// cache + goal memo (docs/parallel_execution.md) — asserting every answer
+// against the single-threaded baseline and reporting aggregate
+// queries/sec per server count. PDMS_BENCH_THREADS additionally sets each
+// facade's intra-query parallelism for the sweep.
+//
 // Knobs: PDMS_BENCH_PEERS (default 48), PDMS_BENCH_DIAMETER (4),
 // PDMS_BENCH_REQUESTS (300), PDMS_BENCH_POOL (16), PDMS_BENCH_ZIPF (1.1),
-// PDMS_BENCH_FACTS (2), PDMS_BENCH_SEED (1).
+// PDMS_BENCH_FACTS (2), PDMS_BENCH_SEED (1), PDMS_BENCH_MAX_SERVERS (4),
+// PDMS_BENCH_THREADS (1).
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "pdms/cache/goal_memo.h"
+#include "pdms/cache/plan_cache.h"
 
 #include "bench_util.h"
 #include "pdms/cache/caching_pdms.h"
@@ -253,5 +266,83 @@ int main(int argc, char** argv) {
   row->Set("plan_cache_inserts", cached.plan_cache()->stats().inserts);
   row->Set("plan_cache_evictions", cached.plan_cache()->stats().evictions);
   row->Set("goal_memo_hits", cached.goal_memo()->stats().hits);
+
+  // --- Concurrent serving sweep: N server threads, one shared cache pair.
+  size_t max_servers = EnvSize("PDMS_BENCH_MAX_SERVERS", 4);
+  size_t facade_threads = EnvSize("PDMS_BENCH_THREADS", 1);
+  report.params()->Set("facade_threads", facade_threads);
+
+  // Ground truth per pool entry, from a fresh uncached facade.
+  std::vector<std::string> expected(pool.size());
+  {
+    pdms::Pdms oracle;
+    *oracle.mutable_network() = workload->network;
+    *oracle.mutable_database() = workload->data;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      auto a = oracle.Answer(pool[i]);
+      if (!a.ok()) {
+        std::fprintf(stderr, "oracle failed on pool entry %zu: %s\n", i,
+                     a.status().ToString().c_str());
+        return 1;
+      }
+      expected[i] = a->ToString();
+    }
+  }
+
+  std::printf("\n# Concurrent serving (shared plan cache + goal memo, "
+              "facade threads %zu, %zu hardware threads)\n",
+              facade_threads, (size_t)std::thread::hardware_concurrency());
+  std::printf("%-10s %12s %12s %12s\n", "servers", "queries/sec", "hit rate",
+              "mismatches");
+  for (size_t servers = 1; servers <= max_servers; servers *= 2) {
+    pdms::cache::PlanCache shared_plans;
+    pdms::cache::GoalMemo shared_memo;
+    size_t per_server = requests / servers;
+    std::atomic<size_t> mismatches{0};
+    pdms::WallTimer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(servers);
+    for (size_t s = 0; s < servers; ++s) {
+      threads.emplace_back([&, s] {
+        pdms::ReformulationOptions options;
+        options.threads = facade_threads;
+        pdms::Pdms server(options);
+        *server.mutable_network() = workload->network;
+        *server.mutable_database() = workload->data;
+        server.set_plan_cache(&shared_plans);
+        server.set_goal_memo(&shared_memo);
+        pdms::Rng rng(seed * 104729 + servers * 131 + s);
+        for (size_t r = 0; r < per_server; ++r) {
+          size_t pick = sampler.Sample(&rng);
+          auto answer = server.Answer(pool[pick]);
+          if (!answer.ok() || answer->ToString() != expected[pick]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    double ms = wall.ElapsedMillis();
+    double qps = ms > 0 ? 1000.0 * (per_server * servers) / ms : 0;
+    pdms::cache::PlanCacheStats shared_stats = shared_plans.stats();
+    double shared_hit_rate =
+        shared_stats.hits + shared_stats.misses > 0
+            ? static_cast<double>(shared_stats.hits) /
+                  static_cast<double>(shared_stats.hits + shared_stats.misses)
+            : 0;
+    std::printf("%-10zu %12.1f %11.1f%% %12zu\n", servers, qps,
+                100.0 * shared_hit_rate, mismatches.load());
+    pdms::bench::JsonObject* srow = report.AddMetricRow();
+    srow->Set("servers", servers);
+    srow->Set("qps_concurrent", qps);
+    srow->Set("shared_hit_rate", shared_hit_rate);
+    srow->Set("mismatches", mismatches.load());
+    if (mismatches.load() != 0) {
+      std::fprintf(stderr,
+                   "concurrent serving produced %zu mismatched answers\n",
+                   mismatches.load());
+      return 1;
+    }
+  }
   return report.Write() ? 0 : 1;
 }

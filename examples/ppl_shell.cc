@@ -262,6 +262,29 @@ void CacheCommand(const std::string& args) {
   std::printf("usage: cache stats | cache clear | cache budget <bytes>\n");
 }
 
+// `threads` / `threads <n>`: show or set the parallelism of the in-process
+// facade (reformulation forks + parallel disjunct evaluation). The
+// simulated runtime that serves `?` queries stays single-threaded by
+// design (deterministic message schedule); the knob affects `plan`/`tree`
+// and any direct facade answering.
+void ThreadsCommand(const std::string& args) {
+  if (args.empty()) {
+    std::printf("threads: %zu\n", g_pdms.options().threads);
+    return;
+  }
+  size_t n = 0;
+  std::istringstream in(args);
+  if (!(in >> n) || n == 0) {
+    std::printf("usage: threads [<n>=1]\n");
+    return;
+  }
+  pdms::ReformulationOptions options = g_pdms.options();
+  options.threads = n;
+  g_pdms.set_options(options);
+  std::printf("threads set to %zu%s\n", n,
+              n == 1 ? " (serial)" : " (work-stealing pool)");
+}
+
 void Help() {
   std::printf(
       "commands:\n"
@@ -287,6 +310,7 @@ void Help() {
       "  cache stats        plan-cache / goal-memo hit and size counters\n"
       "  cache clear        drop all cached plans and memoized subtrees\n"
       "  cache budget <n>   set both cache byte budgets (evicts down)\n"
+      "  threads [<n>]      show or set facade parallelism (1 = serial)\n"
       "  help               this text\n"
       "  quit               exit\n"
       "queries run on the simulated distributed runtime: every stored-\n"
@@ -329,6 +353,10 @@ int main(int argc, char** argv) {
       ShowExplain();
     } else if (trimmed == "metrics") {
       ShowMetrics();
+    } else if (trimmed == "threads") {
+      ThreadsCommand("");
+    } else if (pdms::StartsWith(trimmed, "threads ")) {
+      ThreadsCommand(std::string(pdms::StripWhitespace(trimmed.substr(8))));
     } else if (pdms::StartsWith(trimmed, "cache ")) {
       CacheCommand(std::string(pdms::StripWhitespace(trimmed.substr(6))));
     } else if (trimmed == "cache") {

@@ -19,6 +19,7 @@ std::string GoalMemoStats::ToString() const {
 
 size_t GoalMemo::EnterScope(uint64_t revision, uint64_t epoch,
                             const std::string& options_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (has_scope_ && scope_revision_ == revision && scope_epoch_ == epoch &&
       scope_fingerprint_ == options_fingerprint) {
     return 0;
@@ -33,26 +34,53 @@ size_t GoalMemo::EnterScope(uint64_t revision, uint64_t epoch,
   return dropped;
 }
 
-const GoalSubtree* GoalMemo::Find(const std::string& key) {
-  const GoalSubtree* subtree = entries_.Touch(key);
+std::shared_ptr<const GoalSubtree> GoalMemo::Find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const GoalSubtree>* subtree = entries_.Touch(key);
   if (subtree != nullptr) {
     ++stats_.hits;
-  } else {
-    ++stats_.misses;
+    return *subtree;
   }
-  return subtree;
+  ++stats_.misses;
+  return nullptr;
 }
 
 void GoalMemo::Store(const std::string& key, GoalSubtree subtree) {
   size_t bytes = key.size() + subtree.byte_estimate + 64;
-  stats_.evictions += entries_.Put(key, std::move(subtree), bytes);
+  auto shared = std::make_shared<const GoalSubtree>(std::move(subtree));
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.evictions += entries_.Put(key, std::move(shared), bytes);
   ++stats_.stores;
 }
 
-void GoalMemo::Clear() { entries_.Clear(); }
+void GoalMemo::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.Clear();
+}
 
 void GoalMemo::set_budget_bytes(size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.evictions += entries_.SetBudget(budget_bytes);
+}
+
+size_t GoalMemo::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.budget_bytes();
+}
+
+GoalMemoStats GoalMemo::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t GoalMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t GoalMemo::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.total_bytes();
 }
 
 }  // namespace cache

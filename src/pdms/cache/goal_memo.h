@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "pdms/cache/lru.h"
@@ -36,6 +38,11 @@ struct GoalMemoStats {
 /// Scope = (revision, availability epoch, options fingerprint); all three
 /// change only forward within a session, so a scope change clears
 /// everything, like the plan cache.
+///
+/// Thread safety: one internal mutex, held only for map manipulation;
+/// subtrees are stored by shared_ptr so a Find result survives concurrent
+/// eviction. See the PlanCache doc for why a single lock is preferred over
+/// sharding.
 class GoalMemo : public GoalMemoHook {
  public:
   static constexpr size_t kDefaultBudgetBytes = 32u << 20;  // 32 MiB
@@ -46,19 +53,21 @@ class GoalMemo : public GoalMemoHook {
   // GoalMemoHook:
   size_t EnterScope(uint64_t revision, uint64_t epoch,
                     const std::string& options_fingerprint) override;
-  const GoalSubtree* Find(const std::string& key) override;
+  std::shared_ptr<const GoalSubtree> Find(const std::string& key) override;
   void Store(const std::string& key, GoalSubtree subtree) override;
 
   void Clear();
   void set_budget_bytes(size_t budget_bytes);
-  size_t budget_bytes() const { return entries_.budget_bytes(); }
+  size_t budget_bytes() const;
 
-  const GoalMemoStats& stats() const { return stats_; }
-  size_t size() const { return entries_.size(); }
-  size_t total_bytes() const { return entries_.total_bytes(); }
+  /// A point-in-time snapshot of the lifetime counters.
+  GoalMemoStats stats() const;
+  size_t size() const;
+  size_t total_bytes() const;
 
  private:
-  LruByteMap<GoalSubtree> entries_;
+  mutable std::mutex mu_;
+  LruByteMap<std::shared_ptr<const GoalSubtree>> entries_;
   GoalMemoStats stats_;
   bool has_scope_ = false;
   uint64_t scope_revision_ = 0;

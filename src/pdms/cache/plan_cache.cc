@@ -1,5 +1,7 @@
 #include "pdms/cache/plan_cache.h"
 
+#include <utility>
+
 #include "pdms/util/strings.h"
 
 namespace pdms {
@@ -17,6 +19,7 @@ std::string PlanCacheStats::ToString() const {
 }
 
 size_t PlanCache::EnterScope(uint64_t revision, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (has_scope_ && scope_revision_ == revision && scope_epoch_ == epoch) {
     return 0;
   }
@@ -31,14 +34,16 @@ size_t PlanCache::EnterScope(uint64_t revision, uint64_t epoch) {
   return dropped;
 }
 
-const PlanCacheHook::Plan* PlanCache::Find(const std::string& canonical_key) {
-  const Plan* plan = entries_.Touch(canonical_key);
+std::shared_ptr<const PlanCacheHook::Plan> PlanCache::Find(
+    const std::string& canonical_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const Plan>* plan = entries_.Touch(canonical_key);
   if (plan != nullptr) {
     ++stats_.hits;
-  } else {
-    ++stats_.misses;
+    return *plan;
   }
-  return plan;
+  ++stats_.misses;
+  return nullptr;
 }
 
 PlanCacheHook::InsertOutcome PlanCache::Insert(const std::string& canonical_key,
@@ -46,6 +51,10 @@ PlanCacheHook::InsertOutcome PlanCache::Insert(const std::string& canonical_key,
                                                uint64_t current_revision,
                                                uint64_t current_epoch) {
   InsertOutcome outcome;
+  // The byte estimate walks the whole rewriting; do it outside the lock.
+  size_t bytes = EstimatePlanBytes(canonical_key, plan);
+  auto shared = std::make_shared<const Plan>(std::move(plan));
+  std::lock_guard<std::mutex> lock(mu_);
   if (!has_scope_ || current_revision != scope_revision_ ||
       current_epoch != scope_epoch_) {
     // The network churned between reformulation start and now; the plan
@@ -55,18 +64,51 @@ PlanCacheHook::InsertOutcome PlanCache::Insert(const std::string& canonical_key,
     outcome.dropped_stale = true;
     return outcome;
   }
-  size_t bytes = EstimatePlanBytes(canonical_key, plan);
-  outcome.evictions = entries_.Put(canonical_key, std::move(plan), bytes);
+  outcome.evictions = entries_.Put(canonical_key, std::move(shared), bytes);
   stats_.evictions += outcome.evictions;
   ++stats_.inserts;
   outcome.stored = true;
   return outcome;
 }
 
-void PlanCache::Clear() { entries_.Clear(); }
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.Clear();
+}
 
 void PlanCache::set_budget_bytes(size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.evictions += entries_.SetBudget(budget_bytes);
+}
+
+size_t PlanCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.budget_bytes();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t PlanCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.total_bytes();
+}
+
+uint64_t PlanCache::scope_revision() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scope_revision_;
+}
+
+uint64_t PlanCache::scope_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scope_epoch_;
 }
 
 size_t PlanCache::EstimatePlanBytes(const std::string& key, const Plan& plan) {

@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "pdms/cache/lru.h"
@@ -39,6 +41,16 @@ struct PlanCacheStats {
 /// time*: if an availability flip or mapping edit landed while the plan
 /// was being reformulated, the plan describes a network that no longer
 /// exists and is dropped (`inserts_dropped_stale`).
+///
+/// Thread safety: all operations are serialized by one internal mutex,
+/// held only for the map manipulation itself (plans are stored by
+/// shared_ptr, so no plan is copied under the lock and a Find result stays
+/// alive even if a concurrent insert evicts its entry). A single global
+/// lock — rather than key sharding — keeps the recency list and eviction
+/// counters exactly as observable as in the single-threaded cache, which
+/// the eviction tests pin down; the critical sections are a few pointer
+/// moves, so contention is not where serving time goes
+/// (docs/parallel_execution.md).
 class PlanCache : public PlanCacheHook {
  public:
   static constexpr size_t kDefaultBudgetBytes = 64u << 20;  // 64 MiB
@@ -48,7 +60,7 @@ class PlanCache : public PlanCacheHook {
 
   // PlanCacheHook:
   size_t EnterScope(uint64_t revision, uint64_t epoch) override;
-  const Plan* Find(const std::string& canonical_key) override;
+  std::shared_ptr<const Plan> Find(const std::string& canonical_key) override;
   InsertOutcome Insert(const std::string& canonical_key, Plan plan,
                        uint64_t current_revision,
                        uint64_t current_epoch) override;
@@ -59,20 +71,22 @@ class PlanCache : public PlanCacheHook {
 
   /// Changes the byte budget, evicting down if needed.
   void set_budget_bytes(size_t budget_bytes);
-  size_t budget_bytes() const { return entries_.budget_bytes(); }
+  size_t budget_bytes() const;
 
-  const PlanCacheStats& stats() const { return stats_; }
-  size_t size() const { return entries_.size(); }
-  size_t total_bytes() const { return entries_.total_bytes(); }
-  uint64_t scope_revision() const { return scope_revision_; }
-  uint64_t scope_epoch() const { return scope_epoch_; }
+  /// A point-in-time snapshot of the lifetime counters.
+  PlanCacheStats stats() const;
+  size_t size() const;
+  size_t total_bytes() const;
+  uint64_t scope_revision() const;
+  uint64_t scope_epoch() const;
 
   /// The byte charge used for a plan: a structural estimate of its
   /// rewriting plus the key. Exposed for tests.
   static size_t EstimatePlanBytes(const std::string& key, const Plan& plan);
 
  private:
-  LruByteMap<Plan> entries_;
+  mutable std::mutex mu_;
+  LruByteMap<std::shared_ptr<const Plan>> entries_;
   PlanCacheStats stats_;
   bool has_scope_ = false;
   uint64_t scope_revision_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "pdms/exec/thread_pool.h"
 #include "pdms/fault/access.h"
 #include "pdms/eval/evaluator.h"
 #include "pdms/lang/canonical.h"
@@ -12,6 +13,19 @@
 namespace pdms {
 
 Pdms::Pdms(ReformulationOptions options) : options_(options) {}
+
+Pdms::~Pdms() = default;
+Pdms::Pdms(Pdms&&) noexcept = default;
+Pdms& Pdms::operator=(Pdms&&) noexcept = default;
+
+exec::ThreadPool* Pdms::Executor() {
+  if (options_.threads <= 1) return nullptr;
+  size_t workers = options_.threads - 1;  // the caller helps while waiting
+  if (pool_ == nullptr || pool_->workers() != workers) {
+    pool_ = std::make_unique<exec::ThreadPool>(workers);
+  }
+  return pool_.get();
+}
 
 Status Pdms::LoadProgram(std::string_view text) {
   // Catalog additions bump the network revision, which GetReformulator
@@ -83,13 +97,14 @@ Reformulator* Pdms::GetReformulator() {
   return reformulator_.get();
 }
 
-ReformulationOptions Pdms::EffectiveOptions() const {
+ReformulationOptions Pdms::EffectiveOptions() {
   ReformulationOptions effective = options_;
   std::set<std::string> down = network_.UnavailableStoredRelations();
   effective.unavailable_stored.insert(down.begin(), down.end());
   effective.trace = trace_;
   effective.metrics = metrics_;
   effective.goal_memo = goal_memo_;
+  effective.executor = Executor();
   return effective;
 }
 
@@ -120,7 +135,7 @@ Result<ReformulationResult> Pdms::ReformulateCached(
     return GetReformulator()->Reformulate(query, effective);
   }
   std::string key = CanonicalQueryKey(query);
-  const PlanCacheHook::Plan* hit = nullptr;
+  std::shared_ptr<const PlanCacheHook::Plan> hit;
   {
     obs::ScopedSpan lookup(trace_, "cache_lookup");
     hit = plan_cache_->Find(key);
@@ -250,7 +265,7 @@ Result<AnswerResult> Pdms::AnswerWithReport(const ConjunctiveQuery& query) {
                               [&](const std::string& relation) {
                                 return access.Access(relation);
                               },
-                              trace_, metrics_));
+                              trace_, metrics_, Executor()));
     out.answers = std::move(eval.answers);
     rewritings_skipped = eval.disjuncts_skipped;
     failed = std::move(eval.unavailable_relations);
@@ -304,7 +319,7 @@ Result<Relation> Pdms::AnswerStreaming(
   ReformulationOptions effective = PrepareCaches();
   if (plan_cache_ != nullptr) {
     std::string key = CanonicalQueryKey(query);
-    const PlanCacheHook::Plan* hit = nullptr;
+    std::shared_ptr<const PlanCacheHook::Plan> hit;
     {
       obs::ScopedSpan lookup(trace_, "cache_lookup");
       hit = plan_cache_->Find(key);

@@ -18,6 +18,10 @@
 
 namespace pdms {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 /// A query's full outcome: the answer tuples, the reformulation
 /// statistics, and the degradation report saying exactly which sources
 /// could not contribute and what it cost to find out. Under degradation
@@ -69,8 +73,10 @@ class PlanCacheHook {
   /// entries a scope change invalidated.
   virtual size_t EnterScope(uint64_t revision, uint64_t epoch) = 0;
   /// The cached plan for the canonical key in the current scope, or null.
-  /// The pointer stays valid until the next non-const call.
-  virtual const Plan* Find(const std::string& canonical_key) = 0;
+  /// Shared ownership: the plan stays usable even if a concurrent insert
+  /// evicts the entry (serving threads share one cache — a raw pointer
+  /// "valid until the next call" would be unsound there).
+  virtual std::shared_ptr<const Plan> Find(const std::string& canonical_key) = 0;
   /// Inserts a plan reformulated under the scope declared by EnterScope.
   /// `current_revision`/`current_epoch` are the network's values at insert
   /// time; any mismatch with the scope means the network churned while the
@@ -96,6 +102,9 @@ class PlanCacheHook {
 class Pdms {
  public:
   explicit Pdms(ReformulationOptions options = {});
+  ~Pdms();
+  Pdms(Pdms&&) noexcept;
+  Pdms& operator=(Pdms&&) noexcept;
 
   /// Parses and merges a textual PPL program (declarations and facts) into
   /// this instance.
@@ -214,8 +223,14 @@ class Pdms {
 
  private:
   Reformulator* GetReformulator();
-  /// The session options plus the network's current availability state.
-  ReformulationOptions EffectiveOptions() const;
+  /// The work-stealing pool backing `options().threads` (lazily created;
+  /// null while threads <= 1, which keeps every path exactly the serial
+  /// code). The pool has threads-1 workers: the calling thread is the
+  /// remaining one — it runs tasks itself whenever it waits on a fork.
+  exec::ThreadPool* Executor();
+  /// The session options plus the network's current availability state
+  /// and the executor for the `threads` setting.
+  ReformulationOptions EffectiveOptions();
   /// Announces the current (revision, epoch, options) scope to the
   /// attached caches, recording invalidation counts; returns the
   /// effective options for this query.
@@ -233,6 +248,7 @@ class Pdms {
   RetryPolicy retry_;
   Deadline deadline_;
   std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<exec::ThreadPool> pool_;  // see Executor()
   std::unique_ptr<Reformulator> reformulator_;  // rebuilt on revision change
   uint64_t reformulator_revision_ = 0;  // network revision it was built at
   obs::TraceContext* trace_ = nullptr;      // not owned; may be null

@@ -1,9 +1,12 @@
 #include "pdms/core/rule_goal_tree.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "pdms/exec/thread_pool.h"
 #include "pdms/lang/canonical.h"
 #include "pdms/minicon/mcd.h"
 #include "pdms/util/strings.h"
@@ -185,6 +188,24 @@ void CollectGoalVars(const GoalNode& g, std::vector<std::string>* out) {
   for (const auto& exp : g.expansions) CollectExpansionVars(*exp, out);
 }
 
+// Folds a parallel child task's counters into its parent's. Only the
+// build-phase counters can be nonzero in a child; enumeration-phase fields
+// (combos_failed, rewritings, timings) and the root-filled excluded_stored
+// stay with the root stats.
+void MergeStatsCounters(ReformulationStats* into,
+                        const ReformulationStats& from) {
+  into->goal_nodes += from.goal_nodes;
+  into->rule_nodes += from.rule_nodes;
+  into->inclusion_nodes += from.inclusion_nodes;
+  into->definitional_nodes += from.definitional_nodes;
+  into->pruned_unsat += from.pruned_unsat;
+  into->pruned_dead += from.pruned_dead;
+  into->pruned_guard += from.pruned_guard;
+  into->pruned_unavailable += from.pruned_unavailable;
+  into->goal_memo_hits += from.goal_memo_hits;
+  into->goal_memo_nodes += from.goal_memo_nodes;
+}
+
 // Node counts and a rough heap footprint for the memo's byte budget.
 void CountSubtree(const ExpansionNode& e, GoalSubtree* t) {
   ++t->rule_nodes;
@@ -339,8 +360,8 @@ Result<RuleGoalTree> TreeBuilder::Build(const ConjunctiveQuery& query) {
   tree.root->required_constraints = ConstraintSet(query.comparisons());
   tree.root->label = tree.root->required_constraints;
 
-  node_count_ = 1;
-  truncated_ = false;
+  node_count_.store(1, std::memory_order_relaxed);
+  truncated_.store(false, std::memory_order_relaxed);
   ReformulationStats& stats = tree.stats;
   stats.rule_nodes = 1;
   stats.definitional_nodes = 1;
@@ -361,22 +382,73 @@ Result<RuleGoalTree> TreeBuilder::Build(const ConjunctiveQuery& query) {
     goal->index_in_scope = i;
     goal->constraints = tree.root->label.Project(AtomVars(goal->label));
     tree.root->children.push_back(std::move(goal));
-    ++node_count_;
+    node_count_.fetch_add(1, std::memory_order_relaxed);
     ++stats.goal_nodes;
   }
 
   std::set<size_t> path;
-  BuildScope({tree.root.get(), query.head()}, &path, &stats);
-  stats.tree_truncated = truncated_;
+  TaskState root{&fresh_, &path, &stats, options_.trace, "_t"};
+  BuildScope({tree.root.get(), query.head()}, &root);
+  stats.tree_truncated = truncated_.load(std::memory_order_relaxed);
 
   MarkViability(tree.root.get());
   return tree;
 }
 
-void TreeBuilder::BuildScope(const ScopeContext& ctx, std::set<size_t>* path,
-                             ReformulationStats* stats) {
-  for (auto& child : ctx.scope->children) {
-    ExpandGoal(ctx, child.get(), path, stats);
+bool TreeBuilder::Parallel() const { return options_.executor != nullptr; }
+
+void TreeBuilder::BuildScope(const ScopeContext& ctx, TaskState* ts) {
+  if (!Parallel()) {
+    for (auto& child : ctx.scope->children) {
+      ExpandGoal(ctx, child.get(), ts);
+    }
+  } else {
+    // One task per sibling goal — the goals of one scope share no mutable
+    // state, so each gets a full TaskState (path-prefixed factory, path
+    // copy, private stats and trace) and runs wherever the pool schedules
+    // it. Everything is merged back in child-index order, so the resulting
+    // tree, stats, and span sequence do not depend on the schedule. The
+    // sub-state is created even when a task ends up running inline on this
+    // thread, which is what makes the output identical across thread
+    // counts.
+    struct SubTask {
+      VariableFactory fresh;
+      std::set<size_t> path;
+      ReformulationStats stats;
+      std::optional<obs::TraceContext> trace;
+      TaskState ts;
+    };
+    const size_t n = ctx.scope->children.size();
+    std::vector<std::unique_ptr<SubTask>> subs;
+    subs.reserve(n);
+    obs::SpanId graft =
+        ts->trace != nullptr ? ts->trace->current() : obs::kNoSpan;
+    exec::TaskGroup group(options_.executor);
+    for (size_t i = 0; i < n; ++i) {
+      auto sub = std::make_unique<SubTask>();
+      // "g" marks a goal-level fork; suffixes always start with a letter,
+      // so no two distinct task prefixes can generate the same name.
+      std::string prefix = ts->prefix + "g" + std::to_string(i) + "_";
+      sub->fresh = VariableFactory(prefix);
+      sub->path = *ts->path;
+      if (ts->trace != nullptr) sub->trace.emplace(ts->trace->Fork());
+      sub->ts = TaskState{&sub->fresh, &sub->path, &sub->stats,
+                          sub->trace ? &*sub->trace : nullptr,
+                          std::move(prefix)};
+      subs.push_back(std::move(sub));
+      SubTask* raw = subs.back().get();
+      GoalNode* child = ctx.scope->children[i].get();
+      group.Run([this, &ctx, child, raw] {
+        ExpandGoal(ctx, child, &raw->ts);
+      });
+    }
+    group.Wait();
+    for (size_t i = 0; i < n; ++i) {
+      MergeStatsCounters(ts->stats, subs[i]->stats);
+      if (ts->trace != nullptr && subs[i]->trace.has_value()) {
+        ts->trace->MergeChild(graft, std::move(*subs[i]->trace));
+      }
+    }
   }
   if (options_.order_expansions) {
     // Priority scheme: explore expansions that reach stored relations in
@@ -402,14 +474,13 @@ void TreeBuilder::BuildScope(const ScopeContext& ctx, std::set<size_t>* path,
 }
 
 void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
-                             std::set<size_t>* path,
-                             ReformulationStats* stats) {
+                             TaskState* ts) {
   if (goal->is_stored) return;
   const std::string& pred = goal->label.predicate();
   // One span per goal-node expansion; the per-candidate spans below nest
   // under it, so the explain tree mirrors the rule-goal tree. Prune-reason
   // attributes name the Section 4.3 optimization that fired.
-  obs::ScopedSpan goal_span(options_.trace, "expand");
+  obs::ScopedSpan goal_span(ts->trace, "expand");
   goal_span.Set("goal", pred);
   if (rules_.stored.count(pred) > 0 &&
       options_.unavailable_stored.count(pred) > 0) {
@@ -417,16 +488,16 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
     // relations have no rules) and not scannable. Count separately from
     // structural dead ends so the degradation report can attribute the
     // loss to peer unavailability.
-    ++stats->pruned_unavailable;
+    ++ts->stats->pruned_unavailable;
     goal_span.Set("pruned", "unavailable");
     return;
   }
   if (options_.prune_dead_ends && !Answerable(pred)) {
     if (DeadOnlyByAvailability(pred)) {
-      ++stats->pruned_unavailable;
+      ++ts->stats->pruned_unavailable;
       goal_span.Set("pruned", "unavailable");
     } else {
-      ++stats->pruned_dead;
+      ++ts->stats->pruned_dead;
       goal_span.Set("pruned", "dead_end");
     }
     return;
@@ -441,190 +512,112 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
       options_.goal_memo != nullptr && ctx.scope->children.size() == 1;
   std::string memo_key;
   if (memoable) {
-    memo_key = GoalMemoKey(*goal, ctx, *path);
-    if (const GoalSubtree* t = options_.goal_memo->Find(memo_key)) {
-      if (RehydrateGoalSubtree(*t, ctx, goal, stats)) {
+    memo_key = GoalMemoKey(*goal, ctx, *ts->path);
+    if (std::shared_ptr<const GoalSubtree> t =
+            options_.goal_memo->Find(memo_key)) {
+      if (RehydrateGoalSubtree(*t, ctx, goal, ts)) {
         goal_span.Set("memo", "hit");
         return;
       }
     }
   }
 
-  // --- Definitional (GAV-style) expansion ---
   auto rit = rules_.rules_by_head.find(pred);
-  if (rit != rules_.rules_by_head.end()) {
-    for (size_t idx : rit->second) {
-      const ExpansionRules::DefRule& dr = rules_.rules[idx];
-      obs::ScopedSpan rule_span(options_.trace, "definitional");
-      rule_span.Set("desc", static_cast<uint64_t>(dr.description_id));
-      if (!dr.guard_exempt && path->count(dr.description_id) > 0) {
-        ++stats->pruned_guard;
-        rule_span.Set("pruned", "reuse_guard");
-        continue;
-      }
-      if (node_count_ >= options_.max_tree_nodes) {
-        truncated_ = true;
-        rule_span.Set("pruned", "node_budget");
-        return;
-      }
-      Rule renamed = RenameApart(dr.rule, &fresh_);
-      Substitution theta;
-      if (!theta.UnifyAtoms(goal->label, renamed.head())) {
-        rule_span.Set("pruned", "unification");
-        continue;
-      }
-
-      auto exp = std::make_unique<ExpansionNode>();
-      exp->kind = ExpansionNode::Kind::kDefinitional;
-      exp->description_id = dr.description_id;
-      exp->unifier = theta;
-      for (const Comparison& c : renamed.comparisons()) {
-        exp->required_constraints.Add(theta.Apply(c));
-      }
-      exp->label = goal->constraints.Apply(theta);
-      exp->label.AddAll(exp->required_constraints);
-      if (options_.prune_unsatisfiable && !exp->label.IsSatisfiable()) {
-        ++stats->pruned_unsat;
-        rule_span.Set("pruned", "unsatisfiable");
-        continue;
-      }
-      if (options_.prune_dead_ends) {
-        bool dead = false;
-        bool only_availability = true;
-        for (const Atom& b : renamed.body()) {
-          if (!Answerable(b.predicate())) {
-            dead = true;
-            if (!DeadOnlyByAvailability(b.predicate())) {
-              only_availability = false;
-              break;
-            }
-          }
-        }
-        if (dead) {
-          if (only_availability) {
-            ++stats->pruned_unavailable;
-            rule_span.Set("pruned", "unavailable");
-          } else {
-            ++stats->pruned_dead;
-            rule_span.Set("pruned", "dead_end");
-          }
-          continue;
-        }
-      }
-      rule_span.Set("subgoals",
-                    static_cast<uint64_t>(renamed.body().size()));
-      for (size_t j = 0; j < renamed.body().size(); ++j) {
-        auto child = std::make_unique<GoalNode>();
-        child->label = theta.Apply(renamed.body()[j]);
-        child->is_stored = IsUsableStored(child->label.predicate());
-        child->index_in_scope = j;
-        child->constraints = exp->label.Project(AtomVars(child->label));
-        exp->children.push_back(std::move(child));
-        ++node_count_;
-        ++stats->goal_nodes;
-      }
-      ++node_count_;
-      ++stats->rule_nodes;
-      ++stats->definitional_nodes;
-
-      bool inserted = path->insert(dr.description_id).second;
-      BuildScope({exp.get(), theta.Apply(goal->label)}, path, stats);
-      if (inserted) path->erase(dr.description_id);
-      goal->expansions.push_back(std::move(exp));
-    }
-  }
-
-  // --- Inclusion (LAV-style) expansion via MCDs ---
   auto vit = rules_.views_by_body_pred.find(pred);
-  if (vit != rules_.views_by_body_pred.end()) {
-    // Sibling labels: the local query against which MCDs are formed.
-    std::vector<Atom> siblings;
+  const bool has_rules = rit != rules_.rules_by_head.end();
+  const bool has_views = vit != rules_.views_by_body_pred.end();
+
+  // Sibling labels: the local query against which MCDs are formed.
+  std::vector<Atom> siblings;
+  // The MCD's "distinguished" variables are the scope interface: what
+  // the enclosing scope needs upward. Variables that occur only in
+  // constraint labels may fold into view existentials — the assembly
+  // step then either discharges the constraint against the view's
+  // guarantees or drops the combination (EmitPartial), so soundness is
+  // preserved without forbidding the MCD here.
+  Atom iface;
+  if (has_views) {
     siblings.reserve(ctx.scope->children.size());
     for (const auto& sib : ctx.scope->children) {
       siblings.push_back(sib->label);
     }
-    // The MCD's "distinguished" variables are the scope interface: what
-    // the enclosing scope needs upward. Variables that occur only in
-    // constraint labels may fold into view existentials — the assembly
-    // step then either discharges the constraint against the view's
-    // guarantees or drops the combination (EmitPartial), so soundness is
-    // preserved without forbidding the MCD here.
-    Atom iface("$iface", ctx.interface.args());
+    iface = Atom("$iface", ctx.interface.args());
+  }
 
-    for (size_t idx : vit->second) {
-      const ExpansionRules::View& vw = rules_.views[idx];
-      obs::ScopedSpan view_span(options_.trace, "inclusion");
-      view_span.Set("desc", static_cast<uint64_t>(vw.description_id));
-      if (path->count(vw.description_id) > 0) {
-        ++stats->pruned_guard;
-        view_span.Set("pruned", "reuse_guard");
-        continue;
-      }
-      if (options_.prune_dead_ends &&
-          !Answerable(vw.view.head().predicate())) {
-        if (DeadOnlyByAvailability(vw.view.head().predicate())) {
-          ++stats->pruned_unavailable;
-          view_span.Set("pruned", "unavailable");
-        } else {
-          ++stats->pruned_dead;
-          view_span.Set("pruned", "dead_end");
-        }
-        continue;
-      }
-      if (node_count_ >= options_.max_tree_nodes) {
-        truncated_ = true;
-        view_span.Set("pruned", "node_budget");
-        return;
-      }
-      std::vector<Mcd> mcds = MakeMcds(
-          iface, siblings, goal->index_in_scope, vw.view, &fresh_,
-          options_.prune_unsatisfiable ? &ctx.scope->label : nullptr);
-      view_span.Set("mcds", static_cast<uint64_t>(mcds.size()));
-      for (Mcd& mcd : mcds) {
-        obs::ScopedSpan mcd_span(options_.trace, "mcd");
-        if (node_count_ >= options_.max_tree_nodes) {
-          truncated_ = true;
-          mcd_span.Set("pruned", "node_budget");
+  if (!Parallel()) {
+    // Serial: one depth-first sweep over the candidates, definitional
+    // rules first — exactly the original single-threaded walk. A false
+    // return means the node budget fired; the goal is abandoned mid-sweep
+    // (and not memoized), like the original early return.
+    if (has_rules) {
+      for (size_t idx : rit->second) {
+        if (!TryDefinitionalCandidate(ctx, goal, rules_.rules[idx], ts,
+                                      &goal->expansions)) {
           return;
         }
-        auto exp = std::make_unique<ExpansionNode>();
-        exp->kind = ExpansionNode::Kind::kInclusion;
-        exp->description_id = vw.description_id;
-        exp->unifier = mcd.unifier;
-        exp->granted_constraints = mcd.view_constraints;
-        exp->unc = mcd.covered;
-        exp->label = ctx.scope->label.Apply(mcd.unifier);
-        exp->label.AddAll(exp->granted_constraints);
-        if (options_.prune_unsatisfiable && !exp->label.IsSatisfiable()) {
-          ++stats->pruned_unsat;
-          mcd_span.Set("pruned", "unsatisfiable");
-          continue;
+      }
+    }
+    if (has_views) {
+      for (size_t idx : vit->second) {
+        if (!TryInclusionCandidate(ctx, goal, rules_.views[idx], siblings,
+                                   iface, ts, &goal->expansions)) {
+          return;
         }
-        if (options_.trace != nullptr) {
-          mcd_span.Set("view", mcd.view_atom.predicate());
-          std::string unc;
-          for (size_t u : exp->unc) {
-            if (!unc.empty()) unc += ',';
-            unc += std::to_string(u);
-          }
-          mcd_span.Set("unc", unc);
+      }
+    }
+  } else {
+    // Parallel: each rule/view candidate becomes a task expanding into a
+    // private expansion list with private state, joined and merged in
+    // candidate order — so the expansion order (which fixes the rewriting
+    // order downstream) matches the serial sweep.
+    struct CandidateTask {
+      bool definitional = false;
+      size_t idx = 0;
+      VariableFactory fresh;
+      std::set<size_t> path;
+      ReformulationStats stats;
+      std::optional<obs::TraceContext> trace;
+      TaskState ts;
+      std::vector<std::unique_ptr<ExpansionNode>> out;
+    };
+    std::vector<std::unique_ptr<CandidateTask>> cands;
+    const size_t n_def = has_rules ? rit->second.size() : 0;
+    const size_t n_view = has_views ? vit->second.size() : 0;
+    cands.reserve(n_def + n_view);
+    exec::TaskGroup group(options_.executor);
+    for (size_t k = 0; k < n_def + n_view; ++k) {
+      auto cand = std::make_unique<CandidateTask>();
+      cand->definitional = k < n_def;
+      cand->idx = cand->definitional ? rit->second[k]
+                                     : vit->second[k - n_def];
+      // "c" marks a candidate-level fork (see the "g" note in BuildScope).
+      std::string prefix = ts->prefix + "c" + std::to_string(k) + "_";
+      cand->fresh = VariableFactory(prefix);
+      cand->path = *ts->path;
+      if (ts->trace != nullptr) cand->trace.emplace(ts->trace->Fork());
+      cand->ts = TaskState{&cand->fresh, &cand->path, &cand->stats,
+                           cand->trace ? &*cand->trace : nullptr,
+                           std::move(prefix)};
+      cands.push_back(std::move(cand));
+      CandidateTask* raw = cands.back().get();
+      group.Run([this, &ctx, goal, &siblings, &iface, raw] {
+        if (raw->definitional) {
+          TryDefinitionalCandidate(ctx, goal, rules_.rules[raw->idx],
+                                   &raw->ts, &raw->out);
+        } else {
+          TryInclusionCandidate(ctx, goal, rules_.views[raw->idx], siblings,
+                                iface, &raw->ts, &raw->out);
         }
-        auto child = std::make_unique<GoalNode>();
-        child->label = mcd.view_atom;
-        child->is_stored = IsUsableStored(child->label.predicate());
-        child->index_in_scope = 0;
-        child->constraints = exp->label.Project(AtomVars(child->label));
-        Atom child_interface = child->label;
-        exp->children.push_back(std::move(child));
-        node_count_ += 2;
-        ++stats->goal_nodes;
-        ++stats->rule_nodes;
-        ++stats->inclusion_nodes;
-
-        bool inserted = path->insert(vw.description_id).second;
-        BuildScope({exp.get(), child_interface}, path, stats);
-        if (inserted) path->erase(vw.description_id);
+      });
+    }
+    group.Wait();
+    for (const auto& cand : cands) {
+      for (auto& exp : cand->out) {
         goal->expansions.push_back(std::move(exp));
+      }
+      MergeStatsCounters(ts->stats, cand->stats);
+      if (ts->trace != nullptr && cand->trace.has_value()) {
+        ts->trace->MergeChild(goal_span.id(), std::move(*cand->trace));
       }
     }
   }
@@ -633,9 +626,173 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
   // without reaching this point, and a build that truncated elsewhere is
   // not trusted either. (An untruncated subtree is budget-independent, so
   // it stays valid under any later max_tree_nodes.)
-  if (memoable && !truncated_) {
+  if (memoable && !truncated_.load(std::memory_order_relaxed)) {
     StoreGoalSubtree(memo_key, ctx, *goal);
   }
+}
+
+bool TreeBuilder::TryDefinitionalCandidate(
+    const ScopeContext& ctx, GoalNode* goal,
+    const ExpansionRules::DefRule& dr, TaskState* ts,
+    std::vector<std::unique_ptr<ExpansionNode>>* out) {
+  obs::ScopedSpan rule_span(ts->trace, "definitional");
+  rule_span.Set("desc", static_cast<uint64_t>(dr.description_id));
+  if (!dr.guard_exempt && ts->path->count(dr.description_id) > 0) {
+    ++ts->stats->pruned_guard;
+    rule_span.Set("pruned", "reuse_guard");
+    return true;
+  }
+  if (node_count_.load(std::memory_order_relaxed) >=
+      options_.max_tree_nodes) {
+    truncated_.store(true, std::memory_order_relaxed);
+    rule_span.Set("pruned", "node_budget");
+    return false;
+  }
+  Rule renamed = RenameApart(dr.rule, ts->fresh);
+  Substitution theta;
+  if (!theta.UnifyAtoms(goal->label, renamed.head())) {
+    rule_span.Set("pruned", "unification");
+    return true;
+  }
+
+  auto exp = std::make_unique<ExpansionNode>();
+  exp->kind = ExpansionNode::Kind::kDefinitional;
+  exp->description_id = dr.description_id;
+  exp->unifier = theta;
+  for (const Comparison& c : renamed.comparisons()) {
+    exp->required_constraints.Add(theta.Apply(c));
+  }
+  exp->label = goal->constraints.Apply(theta);
+  exp->label.AddAll(exp->required_constraints);
+  if (options_.prune_unsatisfiable && !exp->label.IsSatisfiable()) {
+    ++ts->stats->pruned_unsat;
+    rule_span.Set("pruned", "unsatisfiable");
+    return true;
+  }
+  if (options_.prune_dead_ends) {
+    bool dead = false;
+    bool only_availability = true;
+    for (const Atom& b : renamed.body()) {
+      if (!Answerable(b.predicate())) {
+        dead = true;
+        if (!DeadOnlyByAvailability(b.predicate())) {
+          only_availability = false;
+          break;
+        }
+      }
+    }
+    if (dead) {
+      if (only_availability) {
+        ++ts->stats->pruned_unavailable;
+        rule_span.Set("pruned", "unavailable");
+      } else {
+        ++ts->stats->pruned_dead;
+        rule_span.Set("pruned", "dead_end");
+      }
+      return true;
+    }
+  }
+  rule_span.Set("subgoals", static_cast<uint64_t>(renamed.body().size()));
+  for (size_t j = 0; j < renamed.body().size(); ++j) {
+    auto child = std::make_unique<GoalNode>();
+    child->label = theta.Apply(renamed.body()[j]);
+    child->is_stored = IsUsableStored(child->label.predicate());
+    child->index_in_scope = j;
+    child->constraints = exp->label.Project(AtomVars(child->label));
+    exp->children.push_back(std::move(child));
+    node_count_.fetch_add(1, std::memory_order_relaxed);
+    ++ts->stats->goal_nodes;
+  }
+  node_count_.fetch_add(1, std::memory_order_relaxed);
+  ++ts->stats->rule_nodes;
+  ++ts->stats->definitional_nodes;
+
+  bool inserted = ts->path->insert(dr.description_id).second;
+  BuildScope({exp.get(), theta.Apply(goal->label)}, ts);
+  if (inserted) ts->path->erase(dr.description_id);
+  out->push_back(std::move(exp));
+  return true;
+}
+
+bool TreeBuilder::TryInclusionCandidate(
+    const ScopeContext& ctx, GoalNode* goal, const ExpansionRules::View& vw,
+    const std::vector<Atom>& siblings, const Atom& iface, TaskState* ts,
+    std::vector<std::unique_ptr<ExpansionNode>>* out) {
+  obs::ScopedSpan view_span(ts->trace, "inclusion");
+  view_span.Set("desc", static_cast<uint64_t>(vw.description_id));
+  if (ts->path->count(vw.description_id) > 0) {
+    ++ts->stats->pruned_guard;
+    view_span.Set("pruned", "reuse_guard");
+    return true;
+  }
+  if (options_.prune_dead_ends && !Answerable(vw.view.head().predicate())) {
+    if (DeadOnlyByAvailability(vw.view.head().predicate())) {
+      ++ts->stats->pruned_unavailable;
+      view_span.Set("pruned", "unavailable");
+    } else {
+      ++ts->stats->pruned_dead;
+      view_span.Set("pruned", "dead_end");
+    }
+    return true;
+  }
+  if (node_count_.load(std::memory_order_relaxed) >=
+      options_.max_tree_nodes) {
+    truncated_.store(true, std::memory_order_relaxed);
+    view_span.Set("pruned", "node_budget");
+    return false;
+  }
+  std::vector<Mcd> mcds = MakeMcds(
+      iface, siblings, goal->index_in_scope, vw.view, ts->fresh,
+      options_.prune_unsatisfiable ? &ctx.scope->label : nullptr);
+  view_span.Set("mcds", static_cast<uint64_t>(mcds.size()));
+  for (Mcd& mcd : mcds) {
+    obs::ScopedSpan mcd_span(ts->trace, "mcd");
+    if (node_count_.load(std::memory_order_relaxed) >=
+        options_.max_tree_nodes) {
+      truncated_.store(true, std::memory_order_relaxed);
+      mcd_span.Set("pruned", "node_budget");
+      return false;
+    }
+    auto exp = std::make_unique<ExpansionNode>();
+    exp->kind = ExpansionNode::Kind::kInclusion;
+    exp->description_id = vw.description_id;
+    exp->unifier = mcd.unifier;
+    exp->granted_constraints = mcd.view_constraints;
+    exp->unc = mcd.covered;
+    exp->label = ctx.scope->label.Apply(mcd.unifier);
+    exp->label.AddAll(exp->granted_constraints);
+    if (options_.prune_unsatisfiable && !exp->label.IsSatisfiable()) {
+      ++ts->stats->pruned_unsat;
+      mcd_span.Set("pruned", "unsatisfiable");
+      continue;
+    }
+    if (ts->trace != nullptr) {
+      mcd_span.Set("view", mcd.view_atom.predicate());
+      std::string unc;
+      for (size_t u : exp->unc) {
+        if (!unc.empty()) unc += ',';
+        unc += std::to_string(u);
+      }
+      mcd_span.Set("unc", unc);
+    }
+    auto child = std::make_unique<GoalNode>();
+    child->label = mcd.view_atom;
+    child->is_stored = IsUsableStored(child->label.predicate());
+    child->index_in_scope = 0;
+    child->constraints = exp->label.Project(AtomVars(child->label));
+    Atom child_interface = child->label;
+    exp->children.push_back(std::move(child));
+    node_count_.fetch_add(2, std::memory_order_relaxed);
+    ++ts->stats->goal_nodes;
+    ++ts->stats->rule_nodes;
+    ++ts->stats->inclusion_nodes;
+
+    bool inserted = ts->path->insert(vw.description_id).second;
+    BuildScope({exp.get(), child_interface}, ts);
+    if (inserted) ts->path->erase(vw.description_id);
+    out->push_back(std::move(exp));
+  }
+  return true;
 }
 
 std::string TreeBuilder::GoalMemoKey(const GoalNode& goal,
@@ -685,10 +842,10 @@ std::string TreeBuilder::GoalMemoKey(const GoalNode& goal,
 
 bool TreeBuilder::RehydrateGoalSubtree(const GoalSubtree& subtree,
                                        const ScopeContext& ctx,
-                                       GoalNode* goal,
-                                       ReformulationStats* stats) {
+                                       GoalNode* goal, TaskState* ts) {
   size_t total = subtree.goal_nodes + subtree.rule_nodes;
-  if (node_count_ + total > options_.max_tree_nodes) {
+  if (node_count_.load(std::memory_order_relaxed) + total >
+      options_.max_tree_nodes) {
     // Rebuilding fresh truncates exactly where a memo-less build would.
     return false;
   }
@@ -710,19 +867,19 @@ bool TreeBuilder::RehydrateGoalSubtree(const GoalSubtree& subtree,
   std::vector<std::string> vars;
   for (const auto& exp : subtree.expansions) CollectExpansionVars(*exp, &vars);
   for (const std::string& v : vars) {
-    if (rename.find(v) == rename.end()) rename[v] = fresh_.FreshName();
+    if (rename.find(v) == rename.end()) rename[v] = ts->fresh->FreshName();
   }
   goal->expansions.reserve(subtree.expansions.size());
   for (const auto& exp : subtree.expansions) {
     goal->expansions.push_back(CloneExpansionVia(*exp, rename));
   }
-  node_count_ += total;
-  stats->goal_nodes += subtree.goal_nodes;
-  stats->rule_nodes += subtree.rule_nodes;
-  stats->definitional_nodes += subtree.definitional_nodes;
-  stats->inclusion_nodes += subtree.inclusion_nodes;
-  ++stats->goal_memo_hits;
-  stats->goal_memo_nodes += total;
+  node_count_.fetch_add(total, std::memory_order_relaxed);
+  ts->stats->goal_nodes += subtree.goal_nodes;
+  ts->stats->rule_nodes += subtree.rule_nodes;
+  ts->stats->definitional_nodes += subtree.definitional_nodes;
+  ts->stats->inclusion_nodes += subtree.inclusion_nodes;
+  ++ts->stats->goal_memo_hits;
+  ts->stats->goal_memo_nodes += total;
   return true;
 }
 

@@ -1,6 +1,7 @@
 #ifndef PDMS_CORE_RULE_GOAL_TREE_H_
 #define PDMS_CORE_RULE_GOAL_TREE_H_
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <string>
@@ -16,6 +17,10 @@
 namespace pdms {
 
 class GoalMemoHook;
+
+namespace exec {
+class ThreadPool;
+}  // namespace exec
 
 /// Tunables for tree construction and solution enumeration. The paper's
 /// Section 4.3 optimizations each map to a flag so the ablation benchmarks
@@ -84,6 +89,21 @@ struct ReformulationOptions {
   /// `metrics` is set the per-query stats are folded into the registry.
   obs::TraceContext* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Parallelism (docs/parallel_execution.md). `threads` is the requested
+  /// worker count for query answering; 1 (the default) keeps every code
+  /// path serial and bit-for-bit identical to a build without an executor.
+  /// `executor` is the shared work-stealing pool (borrowed, nullable) —
+  /// the Pdms facade owns one and sets it here when threads > 1; builders
+  /// given a null executor run serially whatever `threads` says. Parallel
+  /// builds are deterministic across runs and thread counts (sibling goals
+  /// and rule candidates become tasks with task-local state, merged in
+  /// child-index order), but use per-task variable-name prefixes, so
+  /// variable names — never answers, prune counts, rewriting order, or
+  /// span structure — differ from a serial build's. Not part of the memo
+  /// fingerprint for exactly that reason.
+  size_t threads = 1;
+  exec::ThreadPool* executor = nullptr;
 };
 
 /// Counters reported by the reformulator; the Figure 3/4 benchmarks print
@@ -165,9 +185,11 @@ class GoalMemoHook {
   /// of entries invalidated by a scope change.
   virtual size_t EnterScope(uint64_t revision, uint64_t epoch,
                             const std::string& options_fingerprint) = 0;
-  /// The stored subtree for `key`, or null. The pointer stays valid until
-  /// the next non-const call.
-  virtual const GoalSubtree* Find(const std::string& key) = 0;
+  /// The stored subtree for `key`, or null. Shared ownership: parallel
+  /// builders on different threads may hold a subtree while a concurrent
+  /// store evicts its entry, so a raw "valid until the next call" pointer
+  /// would be unsound.
+  virtual std::shared_ptr<const GoalSubtree> Find(const std::string& key) = 0;
   virtual void Store(const std::string& key, GoalSubtree subtree) = 0;
 };
 
@@ -258,10 +280,39 @@ class TreeBuilder {
     Atom interface;  // head atom of this scope (distinguished variables)
   };
 
-  void BuildScope(const ScopeContext& ctx, std::set<size_t>* path,
-                  ReformulationStats* stats);
-  void ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
-                  std::set<size_t>* path, ReformulationStats* stats);
+  /// Everything one build task mutates. The serial build threads a single
+  /// TaskState through the whole recursion (so its behavior is the
+  /// unchanged depth-first walk); a parallel build gives every fork unit —
+  /// each sibling goal, each rule/view candidate — its own TaskState with
+  /// a path-prefixed variable factory, a copy of the guard path, private
+  /// stats, and a forked trace context, all merged back in child-index
+  /// order after the join. Task-local state regardless of where the task
+  /// ran is what makes the result independent of scheduling.
+  struct TaskState {
+    VariableFactory* fresh;
+    std::set<size_t>* path;
+    ReformulationStats* stats;
+    obs::TraceContext* trace;  // may be null (tracing disabled)
+    std::string prefix;        // the prefix `fresh` draws names from
+  };
+
+  void BuildScope(const ScopeContext& ctx, TaskState* ts);
+  void ExpandGoal(const ScopeContext& ctx, GoalNode* goal, TaskState* ts);
+  /// One definitional rule candidate: guard/budget/unification/prune
+  /// checks, child goals, recursive BuildScope. Appends the surviving
+  /// expansion to `*out`. Returns false when the node budget halted the
+  /// expansion (the serial caller then abandons the goal, like the
+  /// original single-loop code did).
+  bool TryDefinitionalCandidate(const ScopeContext& ctx, GoalNode* goal,
+                                const ExpansionRules::DefRule& dr,
+                                TaskState* ts,
+                                std::vector<std::unique_ptr<ExpansionNode>>* out);
+  /// One inclusion view candidate (all of its MCDs). Same contract.
+  bool TryInclusionCandidate(const ScopeContext& ctx, GoalNode* goal,
+                             const ExpansionRules::View& vw,
+                             const std::vector<Atom>& siblings,
+                             const Atom& iface, TaskState* ts,
+                             std::vector<std::unique_ptr<ExpansionNode>>* out);
   bool Answerable(const std::string& predicate) const;
   // True if `predicate` would be answerable were every source available —
   // i.e. its deadness is caused by unavailability, not by the topology.
@@ -285,19 +336,26 @@ class TreeBuilder {
   // normally, truncating exactly as a memo-less build would).
   bool RehydrateGoalSubtree(const GoalSubtree& subtree,
                             const ScopeContext& ctx, GoalNode* goal,
-                            ReformulationStats* stats);
+                            TaskState* ts);
   void StoreGoalSubtree(const std::string& key, const ScopeContext& ctx,
                         const GoalNode& goal);
   void ComputeReachability();
   void FillReachability(bool ignore_unavailable,
                         std::map<std::string, size_t>* out);
   void MarkViability(ExpansionNode* scope);
+  /// True when sibling goals / candidates should fork as pool tasks.
+  bool Parallel() const;
 
   const ExpansionRules& rules_;
   ReformulationOptions options_;
   VariableFactory fresh_{"_t"};
-  size_t node_count_ = 0;
-  bool truncated_ = false;
+  // The tree budget is global across build tasks: a relaxed atomic counter
+  // (exact totals matter, per-increment ordering does not). In a parallel
+  // build the exact point where the budget binds can differ from a serial
+  // build's — truncated trees are never cached or memoized, so this never
+  // leaks across queries.
+  std::atomic<size_t> node_count_{0};
+  std::atomic<bool> truncated_{false};
   // predicate -> minimal #expansion-levels to reach stored relations;
   // absent = unanswerable.
   std::map<std::string, size_t> reach_depth_;

@@ -45,6 +45,19 @@ bool Relation::Contains(const Tuple& tuple) const {
   return false;
 }
 
+std::vector<Tuple> Relation::TakeTuples() {
+  std::vector<Tuple> out = std::move(tuples_);
+  tuples_.clear();
+  index_.clear();
+  return out;
+}
+
+void Relation::MergeFrom(Relation&& other) {
+  PDMS_CHECK_MSG(other.arity_ == arity_, name_.c_str());
+  for (Tuple& t : other.tuples_) Insert(std::move(t));
+  other.Clear();
+}
+
 void Relation::Clear() {
   tuples_.clear();
   index_.clear();

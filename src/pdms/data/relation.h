@@ -45,6 +45,15 @@ class Relation {
   /// True if the tuple is present.
   bool Contains(const Tuple& tuple) const;
 
+  /// Moves the tuple vector out, leaving this relation empty (name and
+  /// arity are kept). The union-merge path uses this to move tuples
+  /// between relations instead of copying each row.
+  std::vector<Tuple> TakeTuples();
+
+  /// Set-union merge: inserts every tuple of `other` (which must have the
+  /// same arity), moving rather than copying; `other` is left empty.
+  void MergeFrom(Relation&& other);
+
   /// Removes all tuples.
   void Clear();
 

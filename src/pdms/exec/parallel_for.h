@@ -1,0 +1,35 @@
+#ifndef PDMS_EXEC_PARALLEL_FOR_H_
+#define PDMS_EXEC_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "pdms/exec/thread_pool.h"
+
+namespace pdms {
+namespace exec {
+
+/// Runs `fn(i)` for i in [0, n), forking one task per index onto `pool`
+/// and joining before returning. Serial (plain loop, identical effects in
+/// index order) when the pool is null, has no workers, or n <= 1.
+///
+/// `fn` must be safe to invoke concurrently for distinct indices; writes
+/// should go to per-index slots the caller merges afterwards. The join is
+/// a full barrier, so those writes are visible when ParallelFor returns.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->workers() == 0 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  TaskGroup group(pool);
+  for (size_t i = 0; i < n; ++i) {
+    group.Run([&fn, i] { fn(i); });
+  }
+  group.Wait();
+}
+
+}  // namespace exec
+}  // namespace pdms
+
+#endif  // PDMS_EXEC_PARALLEL_FOR_H_

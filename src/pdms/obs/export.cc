@@ -33,20 +33,41 @@ std::string Quote(const std::string& s) {
 
 void RenderNode(const std::vector<Span>& spans,
                 const std::multimap<SpanId, size_t>& children, size_t index,
-                int depth, std::string* out) {
+                int depth, bool with_timings, std::string* out) {
   const Span& span = spans[index];
   std::string attrs;
   for (const auto& [key, value] : span.attributes) {
     attrs += StrFormat(" %s=%s", key.c_str(), value.c_str());
   }
-  *out += StrFormat("%*s%-*s %9.3f ms  @%.3f%s%s\n", depth * 2, "",
-                    depth * 2 >= 28 ? 0 : 28 - depth * 2, span.name.c_str(),
-                    span.duration_ms(), span.start_ms,
-                    span.open() ? " (open)" : "", attrs.c_str());
+  if (with_timings) {
+    *out += StrFormat("%*s%-*s %9.3f ms  @%.3f%s%s\n", depth * 2, "",
+                      depth * 2 >= 28 ? 0 : 28 - depth * 2, span.name.c_str(),
+                      span.duration_ms(), span.start_ms,
+                      span.open() ? " (open)" : "", attrs.c_str());
+  } else {
+    *out += StrFormat("%*s%s%s%s\n", depth * 2, "", span.name.c_str(),
+                      span.open() ? " (open)" : "", attrs.c_str());
+  }
   auto [lo, hi] = children.equal_range(span.id);
   for (auto it = lo; it != hi; ++it) {
-    RenderNode(spans, children, it->second, depth + 1, out);
+    RenderNode(spans, children, it->second, depth + 1, with_timings, out);
   }
+}
+
+std::string RenderTree(const TraceContext& trace, bool with_timings) {
+  if (trace.spans().empty()) return "(no spans)\n";
+  std::string out = "trace " + trace.trace_id() + ":\n";
+  // Children in creation order under each parent; creation order is also
+  // start order, so the rendering reads top to bottom in time.
+  std::multimap<SpanId, size_t> children;
+  for (size_t i = 0; i < trace.spans().size(); ++i) {
+    children.emplace(trace.spans()[i].parent, i);
+  }
+  auto [lo, hi] = children.equal_range(kNoSpan);
+  for (auto it = lo; it != hi; ++it) {
+    RenderNode(trace.spans(), children, it->second, 0, with_timings, &out);
+  }
+  return out;
 }
 
 }  // namespace
@@ -90,19 +111,11 @@ Status WriteChromeTrace(const TraceContext& trace, const std::string& path) {
 }
 
 std::string RenderSpanTree(const TraceContext& trace) {
-  if (trace.spans().empty()) return "(no spans)\n";
-  std::string out = "trace " + trace.trace_id() + ":\n";
-  // Children in creation order under each parent; creation order is also
-  // start order, so the rendering reads top to bottom in time.
-  std::multimap<SpanId, size_t> children;
-  for (size_t i = 0; i < trace.spans().size(); ++i) {
-    children.emplace(trace.spans()[i].parent, i);
-  }
-  auto [lo, hi] = children.equal_range(kNoSpan);
-  for (auto it = lo; it != hi; ++it) {
-    RenderNode(trace.spans(), children, it->second, 0, &out);
-  }
-  return out;
+  return RenderTree(trace, /*with_timings=*/true);
+}
+
+std::string RenderSpanTreeStructure(const TraceContext& trace) {
+  return RenderTree(trace, /*with_timings=*/false);
 }
 
 }  // namespace obs

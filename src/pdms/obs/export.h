@@ -29,6 +29,12 @@ Status WriteChromeTrace(const TraceContext& trace, const std::string& path);
 /// command prints.
 std::string RenderSpanTree(const TraceContext& trace);
 
+/// RenderSpanTree without the timing columns: node names, nesting, and
+/// attributes only. Two runs that did the same work render identically
+/// here no matter how long each step took — the parallel-equivalence tests
+/// byte-compare this form across thread counts.
+std::string RenderSpanTreeStructure(const TraceContext& trace);
+
 }  // namespace obs
 }  // namespace pdms
 

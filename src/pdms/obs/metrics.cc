@@ -1,6 +1,7 @@
 #include "pdms/obs/metrics.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "pdms/util/strings.h"
 
@@ -35,12 +36,27 @@ std::string Quote(const std::string& s) {
 }  // namespace
 
 void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
-  counters_[name] += delta;
+  {
+    // Fast path: the counter exists; bump its cell under the shared lock.
+    // Relaxed is enough — readers take the lock, which orders the loads.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      it->second.fetch_add(delta, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // try_emplace: another thread may have created it between the locks.
+  counters_.try_emplace(name, 0).first->second.fetch_add(
+      delta, std::memory_order_relaxed);
 }
 
 uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return it == counters_.end() ? 0
+                               : it->second.load(std::memory_order_relaxed);
 }
 
 void MetricsRegistry::Observe(const std::string& name, double value) {
@@ -49,6 +65,7 @@ void MetricsRegistry::Observe(const std::string& name, double value) {
 
 void MetricsRegistry::Observe(const std::string& name, double value,
                               const std::vector<double>& bounds) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [it, inserted] = histograms_.try_emplace(name);
   Histogram& h = it->second;
   if (inserted) {
@@ -69,13 +86,36 @@ void MetricsRegistry::Observe(const std::string& name, double value,
   h.max = std::max(h.max, value);
 }
 
-const MetricsRegistry::Histogram* MetricsRegistry::FindHistogram(
+std::optional<MetricsRegistry::Histogram> MetricsRegistry::FindHistogram(
     const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : &it->second;
+  if (it == histograms_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::counters() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, cell] : counters_) {
+    out.emplace(name, cell.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::map<std::string, MetricsRegistry::Histogram> MetricsRegistry::histograms()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return histograms_;
+}
+
+bool MetricsRegistry::empty() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return counters_.empty() && histograms_.empty();
 }
 
 void MetricsRegistry::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   counters_.clear();
   histograms_.clear();
 }
@@ -86,10 +126,13 @@ std::string MetricsRegistry::Histogram::ToString() const {
 }
 
 std::string MetricsRegistry::ToString() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string out;
-  for (const auto& [name, value] : counters_) {
-    out += StrFormat("%-32s %llu\n", name.c_str(),
-                     static_cast<unsigned long long>(value));
+  for (const auto& [name, cell] : counters_) {
+    out += StrFormat(
+        "%-32s %llu\n", name.c_str(),
+        static_cast<unsigned long long>(
+            cell.load(std::memory_order_relaxed)));
   }
   for (const auto& [name, h] : histograms_) {
     out += StrFormat("%-32s %s\n", name.c_str(), h.ToString().c_str());
@@ -98,12 +141,14 @@ std::string MetricsRegistry::ToString() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string out = "{\"counters\": {";
   bool first = true;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, cell] : counters_) {
     if (!first) out += ", ";
     first = false;
-    out += Quote(name) + ": " + std::to_string(value);
+    out += Quote(name) + ": " +
+           std::to_string(cell.load(std::memory_order_relaxed));
   }
   out += "}, \"histograms\": {";
   first = true;

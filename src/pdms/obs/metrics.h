@@ -1,8 +1,11 @@
 #ifndef PDMS_OBS_METRICS_H_
 #define PDMS_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -18,9 +21,15 @@ namespace obs {
 /// callers snapshot or Clear between runs as they see fit.
 ///
 /// Like TraceContext this is the nullable half of the null sink: hot paths
-/// hold a `MetricsRegistry*` and skip everything when it is null. Not
-/// thread-safe — the invariants below assume single-threaded use, and the
-/// obs tests assert them:
+/// hold a `MetricsRegistry*` and skip everything when it is null.
+///
+/// Thread-safe: concurrent serving shares one registry across worker
+/// threads. Counter increments on an existing counter take a shared lock
+/// and a relaxed atomic add (std::map nodes are address-stable, so the
+/// cell outlives the lock); creating a counter, every histogram update,
+/// and Clear take the exclusive lock. Readers (`counter`, `counters`,
+/// `FindHistogram`, `ToString`, `ToJson`) return consistent snapshots.
+/// The single-threaded invariants the obs tests assert still hold:
 ///   - a counter equals the sum of the deltas added to it;
 ///   - a histogram's bucket counts sum to its observation count;
 ///   - `sum`, `min`, `max` are exact over the observed values;
@@ -41,6 +50,10 @@ class MetricsRegistry {
     std::string ToString() const;
   };
 
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   /// Adds `delta` to the named counter (created at zero on first use).
   void Add(const std::string& name, uint64_t delta = 1);
   /// Current counter value; 0 when the counter was never touched.
@@ -53,15 +66,14 @@ class MetricsRegistry {
   void Observe(const std::string& name, double value);
   void Observe(const std::string& name, double value,
                const std::vector<double>& bounds);
-  const Histogram* FindHistogram(const std::string& name) const;
+  /// Snapshot of the named histogram; nullopt when never observed.
+  std::optional<Histogram> FindHistogram(const std::string& name) const;
 
-  const std::map<std::string, uint64_t>& counters() const {
-    return counters_;
-  }
-  const std::map<std::string, Histogram>& histograms() const {
-    return histograms_;
-  }
-  bool empty() const { return counters_.empty() && histograms_.empty(); }
+  /// Snapshot of all counters, sorted by name.
+  std::map<std::string, uint64_t> counters() const;
+  /// Snapshot of all histograms, sorted by name.
+  std::map<std::string, Histogram> histograms() const;
+  bool empty() const;
   void Clear();
 
   /// Human-readable snapshot, one metric per line, sorted by name.
@@ -76,7 +88,8 @@ class MetricsRegistry {
   static const std::vector<double>& DefaultLatencyBounds();
 
  private:
-  std::map<std::string, uint64_t> counters_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::atomic<uint64_t>> counters_;
   std::map<std::string, Histogram> histograms_;
 };
 

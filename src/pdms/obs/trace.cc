@@ -89,6 +89,24 @@ void TraceContext::Clear() {
   stack_.clear();
 }
 
+TraceContext TraceContext::Fork() const {
+  TraceContext child(trace_id_);
+  child.now_ = [this] { return now_ms(); };
+  return child;
+}
+
+void TraceContext::MergeChild(SpanId graft_parent, TraceContext&& child) {
+  const SpanId offset = spans_.size();
+  spans_.reserve(spans_.size() + child.spans_.size());
+  for (Span& s : child.spans_) {
+    s.id += offset;
+    s.parent = (s.parent == kNoSpan) ? graft_parent : s.parent + offset;
+    spans_.push_back(std::move(s));
+  }
+  child.spans_.clear();
+  child.stack_.clear();
+}
+
 Span* TraceContext::Find(SpanId id) {
   if (id == kNoSpan || id > spans_.size()) return nullptr;
   return &spans_[id - 1];

@@ -48,8 +48,12 @@ struct Span {
 /// distributed execution's span tree is a deterministic function of its
 /// seed, timestamps included.
 ///
-/// Not thread-safe: one TraceContext belongs to one query on one thread,
-/// matching every engine in this codebase.
+/// Threading: a TraceContext is not itself thread-safe — one context
+/// belongs to one task on one thread. Parallel execution gives each task
+/// its own context (`Fork`, which shares the parent's clock) and grafts the
+/// finished child back with `MergeChild`. Merging children in a
+/// deterministic order (child index, not completion order) reproduces the
+/// exact span ids a serial depth-first execution would have assigned.
 class TraceContext {
  public:
   explicit TraceContext(std::string trace_id = "query");
@@ -94,6 +98,20 @@ class TraceContext {
   /// binding are kept. Called by the facades at every query entry so one
   /// long-lived context always holds exactly the last query's trace.
   void Clear();
+
+  /// A fresh context for a parallel child task, reading this context's
+  /// clock (so all timestamps share one epoch). The child must not outlive
+  /// this context — fork/join guarantees that. Reading the clock is safe
+  /// from multiple threads; everything else on the parent is off-limits
+  /// until the child is merged back.
+  TraceContext Fork() const;
+
+  /// Grafts a finished child's spans into this context: child ids are
+  /// offset past the existing spans (keeping ids dense), child roots are
+  /// reparented under `graft_parent`, and the child is left empty. Calling
+  /// this for each child in child-index order recreates the span sequence
+  /// of a serial depth-first execution.
+  void MergeChild(SpanId graft_parent, TraceContext&& child);
 
  private:
   Span* Find(SpanId id);

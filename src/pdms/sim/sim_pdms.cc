@@ -128,7 +128,7 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
     }
   }
   std::string plan_key;
-  const PlanCacheHook::Plan* hit = nullptr;
+  std::shared_ptr<const PlanCacheHook::Plan> hit;
   if (plan_cache_ != nullptr) {
     size_t invalidated = plan_cache_->EnterScope(
         network_.revision(), network_.availability_epoch());

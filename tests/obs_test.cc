@@ -127,8 +127,8 @@ TEST(MetricsTest, HistogramInvariants) {
   registry.Observe("lat_ms", 5.0, bounds);
   registry.Observe("lat_ms", 50.0, bounds);   // overflow bucket
   registry.Observe("lat_ms", 10.0, bounds);   // on the bound: inclusive
-  const auto* h = registry.FindHistogram("lat_ms");
-  ASSERT_NE(h, nullptr);
+  const auto h = registry.FindHistogram("lat_ms");
+  ASSERT_TRUE(h.has_value());
   ASSERT_EQ(h->counts.size(), bounds.size() + 1);
   uint64_t bucket_sum = 0;
   for (uint64_t c : h->counts) bucket_sum += c;
@@ -146,8 +146,8 @@ TEST(MetricsTest, BoundsAreFixedAtFirstObservation) {
   MetricsRegistry registry;
   registry.Observe("h", 1.0, {2.0});
   registry.Observe("h", 1.0, {100.0, 200.0});  // ignored: layout is fixed
-  const auto* h = registry.FindHistogram("h");
-  ASSERT_NE(h, nullptr);
+  const auto h = registry.FindHistogram("h");
+  ASSERT_TRUE(h.has_value());
   EXPECT_EQ(h->bounds, (std::vector<double>{2.0}));
   EXPECT_EQ(h->count, 2u);
 }

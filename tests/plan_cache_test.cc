@@ -84,7 +84,7 @@ TEST(PlanCache, HitAfterInsertInTheSameScope) {
   EXPECT_EQ(cache.Find("k"), nullptr);
   auto outcome = cache.Insert("k", MakePlan("q(x) :- s(x, y)."), 1, 0);
   EXPECT_TRUE(outcome.stored);
-  const PlanCacheHook::Plan* hit = cache.Find("k");
+  std::shared_ptr<const PlanCacheHook::Plan> hit = cache.Find("k");
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->rewriting.size(), 1u);
   EXPECT_EQ(cache.stats().hits, 1u);

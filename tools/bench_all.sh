@@ -11,13 +11,19 @@
 # docs/plan_cache.md) reports into its own BENCH_cache.json so cache
 # regressions are tracked separately from the reformulation numbers.
 #
-# Usage: tools/bench_all.sh [out.json] [cache-out.json]
+# A second serving_throughput run with intra-query parallelism enabled
+# (PDMS_BENCH_THREADS, default 4) reports into BENCH_parallel.json — the
+# concurrent-serving sweep plus the parallel facade numbers
+# (docs/parallel_execution.md).
+#
+# Usage: tools/bench_all.sh [out.json] [cache-out.json] [parallel-out.json]
 # Knobs: BUILD_DIR (default build), PDMS_BENCH_* forwarded to the benches.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_sim.json}"
 CACHE_OUT="${2:-BENCH_cache.json}"
+PARALLEL_OUT="${3:-BENCH_parallel.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 JSON_DIR="${BUILD_DIR}/bench-json"
@@ -74,3 +80,14 @@ echo "== serving_throughput =="
   printf ']\n'
 } > "${CACHE_OUT}"
 echo "merged cache report into ${CACHE_OUT}"
+
+echo "== serving_throughput (parallel) =="
+PDMS_BENCH_THREADS="${PDMS_BENCH_THREADS:-4}" \
+  "${BUILD_DIR}/bench/serving_throughput" \
+  --json "${JSON_DIR}/serving_throughput_parallel.json"
+{
+  printf '['
+  tr -d '\n' < "${JSON_DIR}/serving_throughput_parallel.json"
+  printf ']\n'
+} > "${PARALLEL_OUT}"
+echo "merged parallel report into ${PARALLEL_OUT}"

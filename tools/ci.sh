@@ -13,29 +13,35 @@
 #      (availability flip + mapping edit), re-query; the invalidation
 #      counter must advance and answers must match a never-cached
 #      instance (docs/plan_cache.md).
+#   6. ThreadSanitizer gate over the parallel executor: the exec
+#      primitives and the parallel-vs-serial equivalence suite (which
+#      exercises concurrent serving over shared caches) under TSan
+#      (docs/parallel_execution.md).
 #
 # Usage: tools/ci.sh
 # Knobs: BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
+#        TSAN_BUILD_DIR (default build-tsan),
 #        PDMS_DST_SEEDS (default 32) for the simulation smoke.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/5] default build + tests =="
+echo "== [1/6] default build + tests =="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== [2/5] asan+ubsan build + tests =="
+echo "== [2/6] asan+ubsan build + tests =="
 tools/ci_sanitize.sh "${ASAN_BUILD_DIR}"
 
-echo "== [3/5] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
+echo "== [3/6] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
 PDMS_DST_SEEDS="${PDMS_DST_SEEDS:-32}" "${BUILD_DIR}/tests/sim_dst_test"
 
-echo "== [4/5] trace-export smoke =="
+echo "== [4/6] trace-export smoke =="
 TRACE_FILE="${BUILD_DIR}/ci_trace.json"
 PDMS_BENCH_RUNS=1 PDMS_BENCH_MAX_DIAMETER=1 \
   "${BUILD_DIR}/bench/fig3_tree_size" --trace "${TRACE_FILE}" > /dev/null
@@ -58,11 +64,20 @@ else
   echo "trace export ok (python3 unavailable; grep check only)"
 fi
 
-echo "== [5/5] cache-coherence smoke =="
+echo "== [5/6] cache-coherence smoke =="
 # Query -> mutate network -> re-query: the invalidation counter must
 # advance and the cached answers must match a fresh, never-cached
 # instance (the gtest case asserts both).
 "${BUILD_DIR}/tests/cache_coherence_test" \
   --gtest_filter='CacheCoherence.Smoke'
+
+echo "== [6/6] tsan: exec primitives + parallel equivalence =="
+cmake --preset tsan > /dev/null
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+  --target exec_test parallel_equivalence_test
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/exec_test"
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/parallel_equivalence_test"
 
 echo "== CI gate passed =="
