@@ -7,6 +7,7 @@
 #include <cstring>
 #include <deque>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -35,8 +36,12 @@ inline double EnvDouble(const char* name, double fallback) {
 // the files without a JSON library:
 //
 //   {"name": "<binary>", "seed": N,
+//    "host": {"hardware_concurrency": C, "build": "<preset>"},
 //    "params": {"knob": value, ...},
 //    "metrics": [{"field": value, ...}, ...]}
+//
+// The "host" object makes throughput numbers self-explaining: a flat
+// multi-server sweep on a 1-core container is expected, not a regression.
 
 /// Encodes a JSON string literal (quotes, backslashes, control bytes).
 inline std::string JsonEscape(const std::string& s) {
@@ -66,6 +71,20 @@ inline std::string JsonNumber(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.10g", v);
   return buf;
+}
+
+/// The build preset baked in by bench/CMakeLists.txt (CMAKE_BUILD_TYPE),
+/// falling back to what the preprocessor can tell.
+inline const char* BuildPreset() {
+#ifdef NDEBUG
+  const char* fallback = "release-flags";
+#else
+  const char* fallback = "debug-flags";
+#endif
+#ifdef PDMS_BUILD_TYPE
+  if (PDMS_BUILD_TYPE[0] != '\0') return PDMS_BUILD_TYPE;
+#endif
+  return fallback;
 }
 
 /// A flat JSON object with insertion-ordered, pre-encoded fields.
@@ -150,8 +169,13 @@ class JsonReport {
       std::fprintf(stderr, "cannot write %s\n", path_.c_str());
       return false;
     }
+    JsonObject host;
+    host.Set("hardware_concurrency",
+             static_cast<size_t>(std::thread::hardware_concurrency()));
+    host.Set("build", BuildPreset());
     std::string out = "{\"name\": " + JsonEscape(name_) +
                       ", \"seed\": " + std::to_string(seed_) +
+                      ", \"host\": " + host.Encode() +
                       ", \"params\": " + params_.Encode() +
                       ", \"metrics\": [";
     for (size_t i = 0; i < rows_.size(); ++i) {

@@ -15,6 +15,11 @@
 //   classify             Section 3 complexity analysis
 //   down/up <name>       toggle peer or stored-relation availability
 //   avail                list unavailable sources
+//   addpeer <p> <r>/<a>  declare a new peer with relations r of arity a
+//   killpeer <name>      crash a peer (receives requests, never responds)
+//   revive <name>        un-crash a peer
+//   editmap <name> <rule>  replace a peer mapping's rule in place
+//   health               per-peer failure-detector state + invalidations
 //   partition <a> <b>    cut the simulated link between two nodes
 //   heal [<a> <b>]       heal one partition, or all of them
 //   trace                show the last query's message trace
@@ -33,6 +38,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -42,6 +48,8 @@
 #include "pdms/cache/plan_cache.h"
 #include "pdms/core/pdms.h"
 #include "pdms/core/reformulator.h"
+#include "pdms/fault/peer_health.h"
+#include "pdms/lang/parser.h"
 #include "pdms/obs/export.h"
 #include "pdms/obs/metrics.h"
 #include "pdms/obs/trace.h"
@@ -65,6 +73,16 @@ pdms::obs::MetricsRegistry g_metrics;
 // query at an unchanged catalog skips reformulation entirely.
 pdms::cache::PlanCache g_plan_cache;
 pdms::cache::GoalMemo g_goal_memo;
+// Crashed peers (killpeer/revive) are a transport-level condition, mirrored
+// into each per-query SimPdms like the partitions.
+std::set<std::string> g_crashed;
+// The failure detector shared across queries: suspicion learned by one
+// query spares the next the timeout ladder (docs/fault_tolerance.md).
+pdms::PeerHealthTracker g_health([] {
+  pdms::PeerHealthConfig config;
+  config.enabled = true;
+  return config;
+}());
 
 void LoadFile(const std::string& path) {
   std::ifstream in(path);
@@ -99,7 +117,9 @@ void RunQuery(const std::string& text, bool evaluate) {
   sim.set_metrics(&g_metrics);
   sim.set_plan_cache(&g_plan_cache);
   sim.set_goal_memo(&g_goal_memo);
+  sim.set_health(&g_health);
   for (const auto& [a, b] : g_partitions) sim.Partition(a, b);
+  for (const std::string& p : g_crashed) sim.SetPeerCrashed(p, true);
   auto result = sim.Answer(text);
   g_last_trace = sim.last_trace();
   if (!result.ok()) {
@@ -228,6 +248,105 @@ void ShowTree(const std::string& text) {
   std::printf("%s", tree->stats.ToString().c_str());
 }
 
+// `addpeer <peer> <relation>/<arity> ...`: declare a new peer. Mappings
+// and storage for it are added with ordinary PPL statements afterwards.
+void AddPeerCommand(const std::string& args) {
+  std::istringstream in(args);
+  std::string peer, spec;
+  std::vector<std::pair<std::string, size_t>> relations;
+  in >> peer;
+  while (in >> spec) {
+    size_t slash = spec.rfind('/');
+    size_t arity = 0;
+    if (slash != std::string::npos) {
+      std::istringstream num(spec.substr(slash + 1));
+      num >> arity;
+    }
+    if (slash == std::string::npos || arity == 0) {
+      std::printf("usage: addpeer <peer> <relation>/<arity> ...\n");
+      return;
+    }
+    relations.emplace_back(spec.substr(0, slash), arity);
+  }
+  if (peer.empty() || relations.empty()) {
+    std::printf("usage: addpeer <peer> <relation>/<arity> ...\n");
+    return;
+  }
+  pdms::Status status = g_pdms.mutable_network()->AddPeer(peer, relations);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("peer %s added with %zu relation(s)\n", peer.c_str(),
+              relations.size());
+}
+
+// `killpeer <name>` / `revive <name>`: crash / un-crash a peer at the
+// transport level. Unlike `down`, the catalog still lists the peer, so
+// queries pay the detection cost — which is what the failure detector
+// (`health`) then amortizes.
+void KillPeerCommand(const std::string& name, bool crash) {
+  bool known = false;
+  for (const pdms::Peer& p : g_pdms.network().peers()) {
+    if (p.name == name) known = true;
+  }
+  if (!known) {
+    std::printf("error: no peer named %s\n", name.c_str());
+    return;
+  }
+  if (crash) {
+    g_crashed.insert(name);
+    std::printf("%s crashed (receives requests, never responds)\n",
+                name.c_str());
+  } else {
+    g_crashed.erase(name);
+    std::printf("%s revived; the next probe will clear its suspicion\n",
+                name.c_str());
+  }
+}
+
+// `editmap <mapping> <head>(...) :- body.`: replace a mapping's rule in
+// place. The catalog logs a fine-grained change, so only cached plans that
+// depended on the mapping are invalidated (see `health`).
+void EditMapCommand(const std::string& args) {
+  size_t space = args.find(' ');
+  if (space == std::string::npos) {
+    std::printf("usage: editmap <mapping-name> <head>(...) :- <body>.\n");
+    return;
+  }
+  std::string name(pdms::StripWhitespace(args.substr(0, space)));
+  std::string rule_text(pdms::StripWhitespace(args.substr(space + 1)));
+  auto rule = pdms::ParseRuleText(rule_text);
+  if (!rule.ok()) {
+    std::printf("error: %s\n", rule.status().ToString().c_str());
+    return;
+  }
+  pdms::PeerMapping next;
+  next.kind = pdms::PeerMappingKind::kDefinitional;
+  next.rule = pdms::Rule(rule->head(), rule->body());
+  pdms::Status status =
+      g_pdms.mutable_network()->ReplacePeerMapping(name, std::move(next));
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("mapping %s replaced (definitional)\n", name.c_str());
+}
+
+// `health`: the failure detector's per-peer state plus the invalidation
+// counters — together, the shell's view of how churn is being absorbed.
+void ShowHealth() {
+  std::printf("%s", g_health.ToString().c_str());
+  if (!g_crashed.empty()) {
+    std::printf("crashed:");
+    for (const std::string& p : g_crashed) std::printf(" %s", p.c_str());
+    std::printf("\n");
+  }
+  std::printf("plan cache: %zu invalidation(s); goal memo: %zu\n",
+              g_plan_cache.stats().invalidations,
+              g_goal_memo.stats().invalidations);
+}
+
 // `cache stats` / `cache clear` / `cache budget <bytes>`.
 void CacheCommand(const std::string& args) {
   if (args == "stats") {
@@ -299,6 +418,12 @@ void Help() {
       "  down <name>        mark a peer or stored relation unavailable\n"
       "  up <name>          mark it available again\n"
       "  avail              list unavailable peers/stored relations\n"
+      "  addpeer <p> <r>/<n> ...   declare peer p with relations r/arity\n"
+      "  killpeer <name>    crash a peer (silent: requests go unanswered)\n"
+      "  revive <name>      un-crash a peer\n"
+      "  editmap <m> <rule> replace mapping m, e.g. editmap mapping#0\n"
+      "                     B:S(x, y) :- A:R(x, y).\n"
+      "  health             failure-detector state + cache invalidations\n"
       "  partition <a> <b>  cut the simulated link between two nodes\n"
       "                     (peer names or @client, the querying node)\n"
       "  heal [<a> <b>]     heal one partition, or all with no arguments\n"
@@ -345,6 +470,18 @@ int main(int argc, char** argv) {
       std::printf("%s", g_pdms.Classify().Explain().c_str());
     } else if (trimmed == "avail") {
       ShowAvailability();
+    } else if (trimmed == "health") {
+      ShowHealth();
+    } else if (pdms::StartsWith(trimmed, "addpeer ")) {
+      AddPeerCommand(trimmed.substr(8));
+    } else if (pdms::StartsWith(trimmed, "killpeer ")) {
+      KillPeerCommand(std::string(pdms::StripWhitespace(trimmed.substr(9))),
+                      /*crash=*/true);
+    } else if (pdms::StartsWith(trimmed, "revive ")) {
+      KillPeerCommand(std::string(pdms::StripWhitespace(trimmed.substr(7))),
+                      /*crash=*/false);
+    } else if (pdms::StartsWith(trimmed, "editmap ")) {
+      EditMapCommand(std::string(pdms::StripWhitespace(trimmed.substr(8))));
     } else if (trimmed == "trace") {
       ShowTrace();
     } else if (pdms::StartsWith(trimmed, "trace save ")) {

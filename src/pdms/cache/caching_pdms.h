@@ -18,6 +18,10 @@ struct CacheConfig {
   /// The goal memo accelerates cold (plan-miss) reformulations; disable to
   /// measure the plan cache alone.
   bool enable_goal_memo = true;
+  /// Revert both caches to wholesale clearing on any scope movement
+  /// (pre-dependency-tracking behavior). The churn DST uses this as its
+  /// negative control; see docs/churn_invalidation.md.
+  bool wholesale_invalidation = false;
 };
 
 /// A Pdms bundled with a PlanCache and GoalMemo, pre-wired: every

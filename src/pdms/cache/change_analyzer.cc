@@ -1,0 +1,166 @@
+#include "pdms/cache/change_analyzer.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace pdms {
+namespace cache {
+
+namespace {
+
+// Predicates whose reachability differs between `before` and `after` —
+// appearing, disappearing, or changing depth. Depth matters: the builder
+// orders expansions by DepthRank, so a depth shift changes the emitted
+// rewriting order even when answerability is unchanged.
+void DiffReach(const std::map<std::string, size_t>& before,
+               const std::map<std::string, size_t>& after,
+               std::set<std::string>* out) {
+  for (const auto& [pred, depth] : before) {
+    auto it = after.find(pred);
+    if (it == after.end() || it->second != depth) out->insert(pred);
+  }
+  for (const auto& [pred, depth] : after) {
+    if (before.count(pred) == 0) out->insert(pred);
+  }
+}
+
+}  // namespace
+
+void ChangeAnalyzer::FillReach(const ExpansionRules& rules,
+                               const std::set<std::string>& unavailable,
+                               const std::set<std::string>& allowed,
+                               bool ignore_unavailable,
+                               std::map<std::string, size_t>* out) {
+  std::map<std::string, size_t>& reach = *out;
+  reach.clear();
+  for (const std::string& s : rules.stored) {
+    bool admitted = allowed.empty() || allowed.count(s) > 0;
+    bool usable =
+        admitted && (ignore_unavailable || unavailable.count(s) == 0);
+    if (usable) reach[s] = 0;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const ExpansionRules::DefRule& r : rules.rules) {
+      size_t depth = 0;
+      bool ok = true;
+      for (const Atom& b : r.rule.body()) {
+        auto it = reach.find(b.predicate());
+        if (it == reach.end()) {
+          ok = false;
+          break;
+        }
+        depth = std::max(depth, it->second);
+      }
+      if (!ok) continue;
+      const std::string& head = r.rule.head().predicate();
+      auto it = reach.find(head);
+      if (it == reach.end() || it->second > depth + 1) {
+        reach[head] = depth + 1;
+        changed = true;
+      }
+    }
+    for (const ExpansionRules::View& v : rules.views) {
+      auto hit = reach.find(v.view.head().predicate());
+      if (hit == reach.end()) continue;
+      size_t depth = hit->second + 1;
+      for (const Atom& b : v.view.body()) {
+        auto it = reach.find(b.predicate());
+        if (it == reach.end() || it->second > depth) {
+          reach[b.predicate()] = depth;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+void ChangeAnalyzer::Snapshot(const CacheScope& scope) {
+  if (!primed_ || revision_ != scope.revision) {
+    rules_ = Normalize(*scope.network);
+  }
+  FillReach(rules_, scope.unavailable_stored, scope.allowed_stored,
+            /*ignore_unavailable=*/false, &reach_effective_);
+  FillReach(rules_, scope.unavailable_stored, scope.allowed_stored,
+            /*ignore_unavailable=*/true, &reach_structural_);
+  primed_ = true;
+  seq_ = scope.network->change_seq();
+  revision_ = scope.revision;
+  fingerprint_ = scope.options_fingerprint;
+  unavailable_ = scope.unavailable_stored;
+  allowed_ = scope.allowed_stored;
+}
+
+ChangeAnalysis ChangeAnalyzer::Advance(const CacheScope& scope) {
+  ChangeAnalysis analysis;
+  if (scope.network == nullptr) {
+    // No log to consult: the caller should be in wholesale mode, but stay
+    // sound if it isn't.
+    Reset();
+    analysis.full_reset = true;
+    return analysis;
+  }
+  if (!primed_ || fingerprint_ != scope.options_fingerprint) {
+    analysis.full_reset = true;
+    Snapshot(scope);
+    return analysis;
+  }
+  std::optional<std::vector<CatalogChange>> delta =
+      scope.network->ChangesSince(seq_);
+  if (!delta.has_value()) {
+    // Log truncated past our cursor (or the network object was swapped
+    // for an older one): no way to reconstruct the delta.
+    analysis.full_reset = true;
+    Snapshot(scope);
+    return analysis;
+  }
+  bool availability_moved = scope.unavailable_stored != unavailable_ ||
+                            scope.allowed_stored != allowed_;
+  if (delta->empty() && !availability_moved) {
+    return analysis;  // quiescent scope: nothing to do
+  }
+  analysis.changes = delta->size();
+  for (const CatalogChange& change : *delta) {
+    analysis.affected_predicates.insert(change.predicates.begin(),
+                                        change.predicates.end());
+    analysis.id_shift_from =
+        std::min(analysis.id_shift_from, change.id_shift_from);
+  }
+  // Caller-level restrictions (ReformulationOptions::unavailable_stored
+  // beyond what the network reports, or an allowed_stored edit that left
+  // the fingerprint... it doesn't — allow-list changes move the
+  // fingerprint) also flip relations without a log entry; the symmetric
+  // difference covers them.
+  for (const std::string& s : scope.unavailable_stored) {
+    if (unavailable_.count(s) == 0) analysis.affected_predicates.insert(s);
+  }
+  for (const std::string& s : unavailable_) {
+    if (scope.unavailable_stored.count(s) == 0) {
+      analysis.affected_predicates.insert(s);
+    }
+  }
+
+  std::map<std::string, size_t> old_effective = std::move(reach_effective_);
+  std::map<std::string, size_t> old_structural = std::move(reach_structural_);
+  Snapshot(scope);
+  DiffReach(old_effective, reach_effective_, &analysis.affected_predicates);
+  DiffReach(old_structural, reach_structural_, &analysis.affected_predicates);
+  return analysis;
+}
+
+void ChangeAnalyzer::Reset() {
+  primed_ = false;
+  seq_ = 0;
+  revision_ = 0;
+  fingerprint_.clear();
+  unavailable_.clear();
+  allowed_.clear();
+  rules_ = ExpansionRules{};
+  reach_effective_.clear();
+  reach_structural_.clear();
+}
+
+}  // namespace cache
+}  // namespace pdms

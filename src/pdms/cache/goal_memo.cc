@@ -1,6 +1,7 @@
 #include "pdms/cache/goal_memo.h"
 
 #include <utility>
+#include <vector>
 
 #include "pdms/util/strings.h"
 
@@ -17,20 +18,43 @@ std::string GoalMemoStats::ToString() const {
   return out;
 }
 
-size_t GoalMemo::EnterScope(uint64_t revision, uint64_t epoch,
-                            const std::string& options_fingerprint) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (has_scope_ && scope_revision_ == revision && scope_epoch_ == epoch &&
-      scope_fingerprint_ == options_fingerprint) {
-    return 0;
-  }
-  size_t dropped = has_scope_ ? entries_.size() : 0;
+size_t GoalMemo::ClearLocked() {
+  size_t dropped = entries_.size();
   entries_.Clear();
+  deps_.Clear();
+  analyzer_.Reset();
+  return dropped;
+}
+
+size_t GoalMemo::EnterScope(const CacheScope& scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  if (wholesale_ || scope.network == nullptr) {
+    bool same = has_scope_ && scope_revision_ == scope.revision &&
+                scope_epoch_ == scope.epoch &&
+                scope_fingerprint_ == scope.options_fingerprint;
+    if (!same) dropped = ClearLocked();
+  } else {
+    ChangeAnalysis analysis = analyzer_.Advance(scope);
+    if (analysis.full_reset) {
+      dropped = ClearLocked();
+      analyzer_.Advance(scope);  // re-prime after the reset
+    } else if (!analysis.affected_predicates.empty() ||
+               analysis.id_shift_from != SIZE_MAX) {
+      // Unlike plans, memoized subtrees embed description ids (guard
+      // paths), so a renumbering threshold also stales entries.
+      for (const std::string& key :
+           deps_.Match(analysis.affected_predicates, analysis.id_shift_from)) {
+        if (entries_.Erase(key)) ++dropped;
+        deps_.Remove(key);
+      }
+    }
+  }
   stats_.invalidations += dropped;
   has_scope_ = true;
-  scope_revision_ = revision;
-  scope_epoch_ = epoch;
-  scope_fingerprint_ = options_fingerprint;
+  scope_revision_ = scope.revision;
+  scope_epoch_ = scope.epoch;
+  scope_fingerprint_ = scope.options_fingerprint;
   return dropped;
 }
 
@@ -49,23 +73,35 @@ void GoalMemo::Store(const std::string& key, GoalSubtree subtree) {
   size_t bytes = key.size() + subtree.byte_estimate + 64;
   auto shared = std::make_shared<const GoalSubtree>(std::move(subtree));
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.evictions += entries_.Put(key, std::move(shared), bytes);
+  deps_.Add(key, shared->deps);
+  std::vector<std::string> evicted;
+  stats_.evictions += entries_.Put(key, std::move(shared), bytes, &evicted);
+  for (const std::string& victim : evicted) deps_.Remove(victim);
   ++stats_.stores;
 }
 
 void GoalMemo::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.Clear();
+  ClearLocked();
 }
 
 void GoalMemo::set_budget_bytes(size_t budget_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.evictions += entries_.SetBudget(budget_bytes);
+  std::vector<std::string> evicted;
+  stats_.evictions += entries_.SetBudget(budget_bytes, &evicted);
+  for (const std::string& victim : evicted) deps_.Remove(victim);
 }
 
 size_t GoalMemo::budget_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.budget_bytes();
+}
+
+void GoalMemo::set_wholesale_invalidation(bool wholesale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wholesale_ == wholesale) return;
+  wholesale_ = wholesale;
+  ClearLocked();
 }
 
 GoalMemoStats GoalMemo::stats() const {

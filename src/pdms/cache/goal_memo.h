@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 
+#include "pdms/cache/change_analyzer.h"
+#include "pdms/cache/dependency_index.h"
 #include "pdms/cache/lru.h"
 #include "pdms/core/rule_goal_tree.h"
 
@@ -35,9 +37,14 @@ struct GoalMemoStats {
 /// expansion depends on. The value is a variable-renamed template subtree
 /// the builder rehydrates with fresh variables.
 ///
-/// Scope = (revision, availability epoch, options fingerprint); all three
-/// change only forward within a session, so a scope change clears
-/// everything, like the plan cache.
+/// Invalidation is dependency-tracked like the PlanCache's
+/// (docs/churn_invalidation.md), with one extra criterion: memo keys and
+/// stored guard paths embed description ids, so besides dropping entries
+/// whose footprint predicates a change touched, EnterScope drops every
+/// entry whose footprint mentions a description id at or after the
+/// change's renumbering threshold. A scope without a network (or
+/// `set_wholesale_invalidation(true)`) clears everything whenever
+/// (revision, epoch, fingerprint) moves.
 ///
 /// Thread safety: one internal mutex, held only for map manipulation;
 /// subtrees are stored by shared_ptr so a Find result survives concurrent
@@ -51,8 +58,7 @@ class GoalMemo : public GoalMemoHook {
       : entries_(budget_bytes) {}
 
   // GoalMemoHook:
-  size_t EnterScope(uint64_t revision, uint64_t epoch,
-                    const std::string& options_fingerprint) override;
+  size_t EnterScope(const CacheScope& scope) override;
   std::shared_ptr<const GoalSubtree> Find(const std::string& key) override;
   void Store(const std::string& key, GoalSubtree subtree) override;
 
@@ -60,15 +66,25 @@ class GoalMemo : public GoalMemoHook {
   void set_budget_bytes(size_t budget_bytes);
   size_t budget_bytes() const;
 
+  /// Disables dependency tracking (the churn tests' negative control).
+  void set_wholesale_invalidation(bool wholesale);
+
   /// A point-in-time snapshot of the lifetime counters.
   GoalMemoStats stats() const;
   size_t size() const;
   size_t total_bytes() const;
 
  private:
+  /// Clears entries + index + analyzer snapshots; returns entries dropped.
+  /// Caller holds mu_.
+  size_t ClearLocked();
+
   mutable std::mutex mu_;
   LruByteMap<std::shared_ptr<const GoalSubtree>> entries_;
+  DependencyIndex deps_;
+  ChangeAnalyzer analyzer_;
   GoalMemoStats stats_;
+  bool wholesale_ = false;
   bool has_scope_ = false;
   uint64_t scope_revision_ = 0;
   uint64_t scope_epoch_ = 0;

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 namespace pdms {
 namespace cache {
@@ -33,8 +34,11 @@ class LruByteMap {
 
   /// Inserts or replaces `key`, charging `bytes` against the budget, then
   /// evicts least-recently-used entries until the budget holds. Returns
-  /// the number of entries evicted (not counting a replaced `key`).
-  size_t Put(const std::string& key, V value, size_t bytes) {
+  /// the number of entries evicted (not counting a replaced `key`); when
+  /// `evicted_keys` is non-null the victims' keys are appended to it so
+  /// callers keeping side tables (the dependency index) can stay in sync.
+  size_t Put(const std::string& key, V value, size_t bytes,
+             std::vector<std::string>* evicted_keys = nullptr) {
     auto it = index_.find(key);
     if (it != index_.end()) {
       total_bytes_ -= it->second->bytes;
@@ -47,13 +51,24 @@ class LruByteMap {
       index_[key] = entries_.begin();
       total_bytes_ += bytes;
     }
-    return EvictToBudget(/*keep_front=*/true);
+    return EvictToBudget(/*keep_front=*/true, evicted_keys);
   }
 
   /// Shrinks (or grows) the budget, evicting as needed. Returns evictions.
-  size_t SetBudget(size_t budget_bytes) {
+  size_t SetBudget(size_t budget_bytes,
+                   std::vector<std::string>* evicted_keys = nullptr) {
     budget_bytes_ = budget_bytes;
-    return EvictToBudget(/*keep_front=*/false);
+    return EvictToBudget(/*keep_front=*/false, evicted_keys);
+  }
+
+  /// Removes `key` if present (targeted invalidation); true if removed.
+  bool Erase(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    total_bytes_ -= it->second->bytes;
+    entries_.erase(it->second);
+    index_.erase(it);
+    return true;
   }
 
   void Clear() {
@@ -77,12 +92,14 @@ class LruByteMap {
   /// just-inserted front entry survives even if it alone exceeds the
   /// budget (so an oversized plan is still usable for the query that
   /// built it).
-  size_t EvictToBudget(bool keep_front) {
+  size_t EvictToBudget(bool keep_front,
+                       std::vector<std::string>* evicted_keys = nullptr) {
     size_t evicted = 0;
     while (total_bytes_ > budget_bytes_ && !entries_.empty() &&
            !(keep_front && entries_.size() == 1)) {
       const Entry& victim = entries_.back();
       total_bytes_ -= victim.bytes;
+      if (evicted_keys != nullptr) evicted_keys->push_back(victim.key);
       index_.erase(victim.key);
       entries_.pop_back();
       ++evicted;

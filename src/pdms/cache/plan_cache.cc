@@ -1,6 +1,7 @@
 #include "pdms/cache/plan_cache.h"
 
 #include <utility>
+#include <vector>
 
 #include "pdms/util/strings.h"
 
@@ -18,19 +19,46 @@ std::string PlanCacheStats::ToString() const {
   return out;
 }
 
-size_t PlanCache::EnterScope(uint64_t revision, uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (has_scope_ && scope_revision_ == revision && scope_epoch_ == epoch) {
-    return 0;
-  }
-  // Both counters are monotonic, so a scope that changed can never come
-  // back — everything cached under the old scope is dead forever.
-  size_t dropped = has_scope_ ? entries_.size() : 0;
+size_t PlanCache::ClearLocked() {
+  size_t dropped = entries_.size();
   entries_.Clear();
+  deps_.Clear();
+  analyzer_.Reset();
+  return dropped;
+}
+
+size_t PlanCache::EnterScope(const CacheScope& scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  if (wholesale_ || scope.network == nullptr) {
+    // No change log to consult (or tracking disabled): any scope movement
+    // kills everything, the original all-or-nothing behavior.
+    bool same = has_scope_ && scope_revision_ == scope.revision &&
+                scope_epoch_ == scope.epoch &&
+                scope_fingerprint_ == scope.options_fingerprint;
+    if (!same) dropped = ClearLocked();
+  } else {
+    ChangeAnalysis analysis = analyzer_.Advance(scope);
+    if (analysis.full_reset) {
+      dropped = ClearLocked();
+      // ClearLocked reset the analyzer; re-prime it on the new scope so
+      // the next Advance sees a continuous history.
+      analyzer_.Advance(scope);
+    } else if (!analysis.affected_predicates.empty()) {
+      // Plans are id-insensitive: match on predicates only (SIZE_MAX
+      // disables the id-threshold criterion).
+      for (const std::string& key :
+           deps_.Match(analysis.affected_predicates, SIZE_MAX)) {
+        if (entries_.Erase(key)) ++dropped;
+        deps_.Remove(key);
+      }
+    }
+  }
   stats_.invalidations += dropped;
   has_scope_ = true;
-  scope_revision_ = revision;
-  scope_epoch_ = epoch;
+  scope_revision_ = scope.revision;
+  scope_epoch_ = scope.epoch;
+  scope_fingerprint_ = scope.options_fingerprint;
   return dropped;
 }
 
@@ -64,7 +92,11 @@ PlanCacheHook::InsertOutcome PlanCache::Insert(const std::string& canonical_key,
     outcome.dropped_stale = true;
     return outcome;
   }
-  outcome.evictions = entries_.Put(canonical_key, std::move(shared), bytes);
+  deps_.Add(canonical_key, shared->stats.deps);
+  std::vector<std::string> evicted;
+  outcome.evictions =
+      entries_.Put(canonical_key, std::move(shared), bytes, &evicted);
+  for (const std::string& key : evicted) deps_.Remove(key);
   stats_.evictions += outcome.evictions;
   ++stats_.inserts;
   outcome.stored = true;
@@ -73,17 +105,28 @@ PlanCacheHook::InsertOutcome PlanCache::Insert(const std::string& canonical_key,
 
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_.Clear();
+  ClearLocked();
 }
 
 void PlanCache::set_budget_bytes(size_t budget_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.evictions += entries_.SetBudget(budget_bytes);
+  std::vector<std::string> evicted;
+  stats_.evictions += entries_.SetBudget(budget_bytes, &evicted);
+  for (const std::string& key : evicted) deps_.Remove(key);
 }
 
 size_t PlanCache::budget_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.budget_bytes();
+}
+
+void PlanCache::set_wholesale_invalidation(bool wholesale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wholesale_ == wholesale) return;
+  wholesale_ = wholesale;
+  // Switching modes mid-stream would leave the analyzer (or the index)
+  // with a stale view of the entries; drop everything once.
+  ClearLocked();
 }
 
 PlanCacheStats PlanCache::stats() const {
@@ -123,6 +166,10 @@ size_t PlanCache::EstimatePlanBytes(const std::string& key, const Plan& plan) {
       bytes += 48 + atom.predicate().size() + 32 * atom.arity();
     }
   }
+  for (const std::string& p : plan.stats.deps.predicates) {
+    bytes += 48 + p.size();
+  }
+  bytes += 8 * plan.stats.deps.descriptions.size();
   return bytes;
 }
 

@@ -7,6 +7,49 @@
 
 namespace pdms {
 
+const char* CatalogChangeKindName(CatalogChange::Kind kind) {
+  switch (kind) {
+    case CatalogChange::Kind::kPeerAdded:
+      return "peer-added";
+    case CatalogChange::Kind::kStorageAdded:
+      return "storage-added";
+    case CatalogChange::Kind::kMappingAdded:
+      return "mapping-added";
+    case CatalogChange::Kind::kMappingRemoved:
+      return "mapping-removed";
+    case CatalogChange::Kind::kMappingEdited:
+      return "mapping-edited";
+    case CatalogChange::Kind::kAvailability:
+      return "availability";
+  }
+  return "?";
+}
+
+namespace {
+
+// The predicates whose expansion candidates a mapping contributes to.
+// A definitional mapping is consulted when a goal names its head; an
+// inclusion `Q1 ⊆ Q2` is consulted (LAV-style, via its normalized view)
+// when a goal names a relation of body(Q2); an equality is an inclusion
+// both ways.
+std::set<std::string> MappingTouchedPreds(const PeerMapping& m) {
+  std::set<std::string> preds;
+  switch (m.kind) {
+    case PeerMappingKind::kDefinitional:
+      preds.insert(m.rule.head().predicate());
+      break;
+    case PeerMappingKind::kEquality:
+      for (const Atom& a : m.lhs.body()) preds.insert(a.predicate());
+      [[fallthrough]];
+    case PeerMappingKind::kInclusion:
+      for (const Atom& a : m.rhs.body()) preds.insert(a.predicate());
+      break;
+  }
+  return preds;
+}
+
+}  // namespace
+
 const char* QueryComplexityName(QueryComplexity c) {
   switch (c) {
     case QueryComplexity::kPolynomial:
@@ -66,6 +109,9 @@ Status PdmsNetwork::AddPeer(Peer peer) {
   }
   peers_.push_back(std::move(peer));
   ++revision_;
+  // Candidate sets are keyed off mappings and storage, so a bare peer
+  // declaration invalidates nothing.
+  LogChange(CatalogChange::Kind::kPeerAdded, {}, SIZE_MAX);
   return Status::Ok();
 }
 
@@ -121,15 +167,19 @@ Status PdmsNetwork::AddStorageDescription(StorageDescription desc) {
   PDMS_RETURN_IF_ERROR(ValidateBody(desc.view, desc.name));
   PDMS_RETURN_IF_ERROR(desc.view.CheckSafe());
   stored_relation_arity_[head.predicate()] = head.arity();
+  std::set<std::string> preds;
+  preds.insert(head.predicate());
+  for (const Atom& a : desc.view.body()) preds.insert(a.predicate());
+  // Storage ids precede mapping ids, so inserting a storage description
+  // renumbers every mapping: ids >= old storage count shift.
+  const size_t shift_from = storage_.size();
   storage_.push_back(std::move(desc));
   ++revision_;
+  LogChange(CatalogChange::Kind::kStorageAdded, std::move(preds), shift_from);
   return Status::Ok();
 }
 
-Status PdmsNetwork::AddPeerMapping(PeerMapping mapping) {
-  if (mapping.name.empty()) {
-    mapping.name = StrFormat("mapping#%zu", mappings_.size());
-  }
+Status PdmsNetwork::ValidateMapping(const PeerMapping& mapping) const {
   if (mapping.kind == PeerMappingKind::kDefinitional) {
     const Atom& head = mapping.rule.head();
     auto it = peer_relation_arity_.find(head.predicate());
@@ -156,9 +206,56 @@ Status PdmsNetwork::AddPeerMapping(PeerMapping mapping) {
     PDMS_RETURN_IF_ERROR(mapping.lhs.CheckSafe());
     PDMS_RETURN_IF_ERROR(mapping.rhs.CheckSafe());
   }
+  return Status::Ok();
+}
+
+Status PdmsNetwork::AddPeerMapping(PeerMapping mapping) {
+  if (mapping.name.empty()) {
+    mapping.name = StrFormat("mapping#%zu", mappings_.size());
+  }
+  PDMS_RETURN_IF_ERROR(ValidateMapping(mapping));
+  std::set<std::string> preds = MappingTouchedPreds(mapping);
   mappings_.push_back(std::move(mapping));
   ++revision_;
+  // Appending keeps every existing description id stable.
+  LogChange(CatalogChange::Kind::kMappingAdded, std::move(preds), SIZE_MAX);
   return Status::Ok();
+}
+
+Status PdmsNetwork::RemovePeerMapping(const std::string& name) {
+  for (size_t i = 0; i < mappings_.size(); ++i) {
+    if (mappings_[i].name != name) continue;
+    std::set<std::string> preds = MappingTouchedPreds(mappings_[i]);
+    // Mapping ids start after the storage ids; every mapping at or after
+    // the removed slot is renumbered.
+    const size_t shift_from = storage_.size() + i;
+    mappings_.erase(mappings_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++revision_;
+    LogChange(CatalogChange::Kind::kMappingRemoved, std::move(preds),
+              shift_from);
+    return Status::Ok();
+  }
+  return Status::NotFound("unknown peer mapping: " + name);
+}
+
+Status PdmsNetwork::ReplacePeerMapping(const std::string& name,
+                                       PeerMapping next) {
+  for (size_t i = 0; i < mappings_.size(); ++i) {
+    if (mappings_[i].name != name) continue;
+    if (next.name.empty()) next.name = name;
+    PDMS_RETURN_IF_ERROR(ValidateMapping(next));
+    std::set<std::string> preds = MappingTouchedPreds(mappings_[i]);
+    for (const std::string& p : MappingTouchedPreds(next)) preds.insert(p);
+    // Same slot, but normalization may draw different fresh `_V` names for
+    // this and every later split inclusion, so ids from here on are stale.
+    const size_t shift_from = storage_.size() + i;
+    mappings_[i] = std::move(next);
+    ++revision_;
+    LogChange(CatalogChange::Kind::kMappingEdited, std::move(preds),
+              shift_from);
+    return Status::Ok();
+  }
+  return Status::NotFound("unknown peer mapping: " + name);
 }
 
 bool PdmsNetwork::IsPeerRelation(const std::string& qualified) const {
@@ -205,7 +302,11 @@ Status PdmsNetwork::SetPeerAvailable(const std::string& peer,
   if (!declared) return Status::NotFound("unknown peer: " + peer);
   bool changed = available ? unavailable_peers_.erase(peer) > 0
                            : unavailable_peers_.insert(peer).second;
-  if (changed) ++availability_epoch_;
+  if (changed) {
+    ++availability_epoch_;
+    LogChange(CatalogChange::Kind::kAvailability, StoredRelationsOf(peer),
+              SIZE_MAX);
+  }
   return Status::Ok();
 }
 
@@ -216,8 +317,50 @@ Status PdmsNetwork::SetStoredRelationAvailable(const std::string& name,
   }
   bool changed = available ? unavailable_stored_.erase(name) > 0
                            : unavailable_stored_.insert(name).second;
-  if (changed) ++availability_epoch_;
+  if (changed) {
+    ++availability_epoch_;
+    LogChange(CatalogChange::Kind::kAvailability, {name}, SIZE_MAX);
+  }
   return Status::Ok();
+}
+
+void PdmsNetwork::LogChange(CatalogChange::Kind kind,
+                            std::set<std::string> predicates,
+                            size_t id_shift_from) {
+  CatalogChange change;
+  change.kind = kind;
+  change.seq = ++change_seq_;
+  change.predicates = std::move(predicates);
+  change.id_shift_from = id_shift_from;
+  change_log_.push_back(std::move(change));
+  while (change_log_.size() > kMaxChangeLog) change_log_.pop_front();
+}
+
+std::set<std::string> PdmsNetwork::StoredRelationsOf(
+    const std::string& peer) const {
+  std::set<std::string> out;
+  for (const StorageDescription& d : storage_) {
+    if (d.peer == peer) out.insert(d.stored_atom().predicate());
+  }
+  return out;
+}
+
+std::optional<std::vector<CatalogChange>> PdmsNetwork::ChangesSince(
+    uint64_t from_seq) const {
+  if (from_seq > change_seq_) return std::nullopt;  // consumer ahead of us
+  if (from_seq == change_seq_) return std::vector<CatalogChange>{};
+  // The log retains the last kMaxChangeLog changes; the oldest retained
+  // seq is change_seq_ - size + 1, so the delta is complete only if
+  // from_seq + 1 >= that.
+  if (change_log_.empty() ||
+      change_log_.front().seq > from_seq + 1) {
+    return std::nullopt;
+  }
+  std::vector<CatalogChange> out;
+  for (const CatalogChange& c : change_log_) {
+    if (c.seq > from_seq) out.push_back(c);
+  }
+  return out;
 }
 
 bool PdmsNetwork::IsPeerAvailable(const std::string& peer) const {

@@ -1,8 +1,11 @@
 #ifndef PDMS_CORE_NETWORK_H_
 #define PDMS_CORE_NETWORK_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -50,6 +53,43 @@ struct Classification {
   std::string Explain() const;
 };
 
+/// One catalog mutation, recorded in the network's bounded change log so
+/// dependency-tracked caches (docs/churn_invalidation.md) can invalidate
+/// only the entries whose footprint intersects the change instead of
+/// clearing wholesale on every revision bump.
+struct CatalogChange {
+  enum class Kind {
+    kPeerAdded,
+    kStorageAdded,
+    kMappingAdded,
+    kMappingRemoved,
+    kMappingEdited,
+    kAvailability,
+  };
+
+  Kind kind = Kind::kPeerAdded;
+  /// Position in the global change sequence (1-based; `change_seq()` is
+  /// the seq of the latest change).
+  uint64_t seq = 0;
+  /// The predicates whose candidate sets this change directly touches:
+  /// the head of an added/removed definitional mapping, the RHS (and for
+  /// equalities also LHS) body relations of an inclusion, a storage
+  /// description's body relations plus its stored name, or the stored
+  /// relations whose availability flipped. Transitive effects (a change
+  /// deep in a chain resurrecting a dead end upstream) are derived by the
+  /// cache-side analyzer from a reachability diff, not recorded here.
+  std::set<std::string> predicates;
+  /// Normalization assigns description ids positionally (storage
+  /// descriptions first, then mappings), so inserting or removing an
+  /// entry renumbers every description at or after this index. Cached
+  /// state that names a description id >= this threshold is stale even if
+  /// no predicate matches. SIZE_MAX = no ids shifted (pure append /
+  /// availability flip).
+  size_t id_shift_from = SIZE_MAX;
+};
+
+const char* CatalogChangeKindName(CatalogChange::Kind kind);
+
 /// The full specification of a PDMS `N = (peers, schemas, stored relations,
 /// peer mappings L_N, storage descriptions D_N)` — Section 2's definition.
 /// This is a catalog only; data lives in a `Database` keyed by stored
@@ -76,6 +116,15 @@ class PdmsNetwork {
   /// compatibility (identical interface heads for inclusions/equalities)
   /// and safety.
   Status AddPeerMapping(PeerMapping mapping);
+
+  /// Removes the named peer mapping (churn: a peer retracting a semantic
+  /// link). Later mappings keep their relative order but their description
+  /// ids shift, which the logged change records.
+  Status RemovePeerMapping(const std::string& name);
+
+  /// Replaces the named peer mapping in place with `next` (validated like
+  /// AddPeerMapping). `next` inherits the old name when its own is empty.
+  Status ReplacePeerMapping(const std::string& name, PeerMapping next);
 
   const std::vector<Peer>& peers() const { return peers_; }
   const std::vector<StorageDescription>& storage_descriptions() const {
@@ -138,6 +187,22 @@ class PdmsNetwork {
   /// (docs/plan_cache.md).
   uint64_t availability_epoch() const { return availability_epoch_; }
 
+  // --- Change log (dependency-tracked invalidation) ---
+  //
+  // Every catalog mutation — including availability flips — appends one
+  // CatalogChange to a bounded log. Caches remember the last sequence
+  // number they digested and ask for the delta instead of clearing on
+  // every revision/epoch bump (docs/churn_invalidation.md).
+
+  /// Sequence number of the latest change (0 = pristine network).
+  uint64_t change_seq() const { return change_seq_; }
+
+  /// The changes with seq > `from_seq`, oldest first. Returns nullopt when
+  /// the log no longer retains that far back (the consumer fell more than
+  /// the retention window behind and must do a full reset).
+  std::optional<std::vector<CatalogChange>> ChangesSince(
+      uint64_t from_seq) const;
+
   /// Structural complexity analysis (Section 3).
   Classification Classify() const;
 
@@ -147,6 +212,11 @@ class PdmsNetwork {
  private:
   Status ValidateBody(const ConjunctiveQuery& cq,
                       const std::string& context) const;
+  Status ValidateMapping(const PeerMapping& mapping) const;
+  void LogChange(CatalogChange::Kind kind, std::set<std::string> predicates,
+                 size_t id_shift_from);
+  /// Stored relations served by `peer` (availability-flip footprint).
+  std::set<std::string> StoredRelationsOf(const std::string& peer) const;
 
   std::vector<Peer> peers_;
   std::vector<StorageDescription> storage_;
@@ -157,6 +227,11 @@ class PdmsNetwork {
   std::set<std::string> unavailable_stored_;
   uint64_t revision_ = 0;
   uint64_t availability_epoch_ = 0;
+  // Bounded retention: enough for any realistic query-to-query delta; a
+  // consumer further behind resets wholesale, which is always sound.
+  static constexpr size_t kMaxChangeLog = 256;
+  std::deque<CatalogChange> change_log_;
+  uint64_t change_seq_ = 0;
 };
 
 }  // namespace pdms

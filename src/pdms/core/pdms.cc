@@ -110,17 +110,22 @@ ReformulationOptions Pdms::EffectiveOptions() {
 
 ReformulationOptions Pdms::PrepareCaches() {
   ReformulationOptions effective = EffectiveOptions();
+  if (goal_memo_ == nullptr && plan_cache_ == nullptr) return effective;
+  CacheScope scope;
+  scope.network = &network_;
+  scope.revision = network_.revision();
+  scope.epoch = network_.availability_epoch();
+  scope.unavailable_stored = effective.unavailable_stored;
+  scope.allowed_stored = effective.allowed_stored;
+  scope.options_fingerprint = OptionsFingerprint(effective);
   if (goal_memo_ != nullptr) {
-    size_t dropped = goal_memo_->EnterScope(network_.revision(),
-                                            network_.availability_epoch(),
-                                            OptionsFingerprint(effective));
+    size_t dropped = goal_memo_->EnterScope(scope);
     if (dropped > 0 && metrics_ != nullptr) {
       metrics_->Add("cache.goal_memo_invalidations", dropped);
     }
   }
   if (plan_cache_ != nullptr) {
-    size_t invalidated = plan_cache_->EnterScope(
-        network_.revision(), network_.availability_epoch());
+    size_t invalidated = plan_cache_->EnterScope(scope);
     if (invalidated > 0 && metrics_ != nullptr) {
       metrics_->Add("cache.invalidations", invalidated);
     }
@@ -147,6 +152,19 @@ Result<ReformulationResult> Pdms::ReformulateCached(
     ReformulationResult ref;
     ref.rewriting = hit->rewriting;
     ref.stats = hit->stats;  // the stats of the original reformulation
+    // excluded_stored is a *global* report (every unavailable-but-admitted
+    // relation, related to this query or not), so a flip of a relation
+    // outside the plan's footprint legitimately leaves the entry cached
+    // while moving the report. Recompute it from the current scope exactly
+    // as a fresh Build would.
+    ref.stats.excluded_stored.clear();
+    for (const std::string& name : effective.unavailable_stored) {
+      if (network_.IsStoredRelation(name) &&
+          (effective.allowed_stored.empty() ||
+           effective.allowed_stored.count(name) > 0)) {
+        ref.stats.excluded_stored.push_back(name);
+      }
+    }
     return ref;
   }
   if (metrics_ != nullptr) metrics_->Add("cache.misses");

@@ -49,12 +49,13 @@ void FillDegradationReport(const PdmsNetwork& network,
 /// Interface to a cross-query plan cache (implemented in
 /// src/pdms/cache/plan_cache.h; core sees only this hook). A plan — the
 /// enumerated UCQ rewriting plus its ReformulationStats — is keyed by the
-/// query's CanonicalQueryKey and valid for exactly one (network revision,
-/// availability epoch) scope: catalog mutations and availability flips
-/// both move the scope, and the facade announces the current scope before
-/// every lookup, so a stale plan can never be served. Cached plans are
-/// still *evaluated* through the degraded/gated path — caching reuses the
-/// reformulation work, never the availability outcome.
+/// query's CanonicalQueryKey. The facade announces the current CacheScope
+/// before every lookup; the implementation digests the network's catalog
+/// change log and drops exactly the entries whose dependency footprint
+/// the changes touch (docs/churn_invalidation.md), so a stale plan can
+/// never be served while unrelated entries survive churn. Cached plans
+/// are still *evaluated* through the degraded/gated path — caching reuses
+/// the reformulation work, never the availability outcome.
 class PlanCacheHook {
  public:
   struct Plan {
@@ -70,8 +71,8 @@ class PlanCacheHook {
   };
   virtual ~PlanCacheHook() = default;
   /// Declares the scope of subsequent Find calls; returns the number of
-  /// entries a scope change invalidated.
-  virtual size_t EnterScope(uint64_t revision, uint64_t epoch) = 0;
+  /// entries the scope change invalidated.
+  virtual size_t EnterScope(const CacheScope& scope) = 0;
   /// The cached plan for the canonical key in the current scope, or null.
   /// Shared ownership: the plan stays usable even if a concurrent insert
   /// evicts the entry (serving threads share one cache — a raw pointer

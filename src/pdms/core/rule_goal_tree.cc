@@ -239,11 +239,8 @@ std::string OptionsFingerprint(const ReformulationOptions& options) {
     out += s;
     out += ',';
   }
-  out += "|x:";
-  for (const std::string& s : options.unavailable_stored) {
-    out += s;
-    out += ',';
-  }
+  // unavailable_stored is intentionally absent: availability is handled by
+  // dependency-tracked invalidation, not by scoping (see the header note).
   return out;
 }
 
@@ -387,7 +384,7 @@ Result<RuleGoalTree> TreeBuilder::Build(const ConjunctiveQuery& query) {
   }
 
   std::set<size_t> path;
-  TaskState root{&fresh_, &path, &stats, options_.trace, "_t"};
+  TaskState root{&fresh_, &path, &stats, &stats.deps, options_.trace, "_t"};
   BuildScope({tree.root.get(), query.head()}, &root);
   stats.tree_truncated = truncated_.load(std::memory_order_relaxed);
 
@@ -433,6 +430,7 @@ void TreeBuilder::BuildScope(const ScopeContext& ctx, TaskState* ts) {
       sub->path = *ts->path;
       if (ts->trace != nullptr) sub->trace.emplace(ts->trace->Fork());
       sub->ts = TaskState{&sub->fresh, &sub->path, &sub->stats,
+                          &sub->stats.deps,
                           sub->trace ? &*sub->trace : nullptr,
                           std::move(prefix)};
       subs.push_back(std::move(sub));
@@ -445,6 +443,9 @@ void TreeBuilder::BuildScope(const ScopeContext& ctx, TaskState* ts) {
     group.Wait();
     for (size_t i = 0; i < n; ++i) {
       MergeStatsCounters(ts->stats, subs[i]->stats);
+      // Footprints merge through ts->deps, not ts->stats->deps: the two
+      // differ while a memoable ancestor is capturing its subtree.
+      ts->deps->MergeFrom(subs[i]->stats.deps);
       if (ts->trace != nullptr && subs[i]->trace.has_value()) {
         ts->trace->MergeChild(graft, std::move(*subs[i]->trace));
       }
@@ -475,8 +476,12 @@ void TreeBuilder::BuildScope(const ScopeContext& ctx, TaskState* ts) {
 
 void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
                              TaskState* ts) {
-  if (goal->is_stored) return;
   const std::string& pred = goal->label.predicate();
+  // Every goal predicate the build touches — stored leaves included — is
+  // part of the footprint: an availability flip or mapping change naming
+  // it must invalidate whatever was built here.
+  ts->deps->predicates.insert(pred);
+  if (goal->is_stored) return;
   // One span per goal-node expansion; the per-candidate spans below nest
   // under it, so the explain tree mirrors the rule-goal tree. Prune-reason
   // attributes name the Section 4.3 optimization that fired.
@@ -520,6 +525,26 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
         return;
       }
     }
+  }
+
+  // While a memoable goal expands, capture its footprint in a local set so
+  // it can be stored with the memo entry; merged into the parent recorder
+  // on every exit (including budget aborts, whose consultations still
+  // belong in the parent's footprint).
+  DepSet memo_deps;
+  struct DepCapture {
+    TaskState* ts;
+    DepSet* parent;
+    ~DepCapture() {
+      parent->MergeFrom(*ts->deps);
+      ts->deps = parent;
+    }
+  };
+  std::optional<DepCapture> capture;
+  if (memoable) {
+    memo_deps.predicates.insert(pred);
+    capture.emplace(DepCapture{ts, ts->deps});
+    ts->deps = &memo_deps;
   }
 
   auto rit = rules_.rules_by_head.find(pred);
@@ -596,6 +621,7 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
       cand->path = *ts->path;
       if (ts->trace != nullptr) cand->trace.emplace(ts->trace->Fork());
       cand->ts = TaskState{&cand->fresh, &cand->path, &cand->stats,
+                           &cand->stats.deps,
                            cand->trace ? &*cand->trace : nullptr,
                            std::move(prefix)};
       cands.push_back(std::move(cand));
@@ -616,6 +642,7 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
         goal->expansions.push_back(std::move(exp));
       }
       MergeStatsCounters(ts->stats, cand->stats);
+      ts->deps->MergeFrom(cand->stats.deps);
       if (ts->trace != nullptr && cand->trace.has_value()) {
         ts->trace->MergeChild(goal_span.id(), std::move(*cand->trace));
       }
@@ -627,7 +654,7 @@ void TreeBuilder::ExpandGoal(const ScopeContext& ctx, GoalNode* goal,
   // not trusted either. (An untruncated subtree is budget-independent, so
   // it stays valid under any later max_tree_nodes.)
   if (memoable && !truncated_.load(std::memory_order_relaxed)) {
-    StoreGoalSubtree(memo_key, ctx, *goal);
+    StoreGoalSubtree(memo_key, ctx, *goal, memo_deps);
   }
 }
 
@@ -637,6 +664,8 @@ bool TreeBuilder::TryDefinitionalCandidate(
     std::vector<std::unique_ptr<ExpansionNode>>* out) {
   obs::ScopedSpan rule_span(ts->trace, "definitional");
   rule_span.Set("desc", static_cast<uint64_t>(dr.description_id));
+  // Consulted — whatever happens next — so it is part of the footprint.
+  ts->deps->descriptions.insert(dr.description_id);
   if (!dr.guard_exempt && ts->path->count(dr.description_id) > 0) {
     ++ts->stats->pruned_guard;
     rule_span.Set("pruned", "reuse_guard");
@@ -653,6 +682,12 @@ bool TreeBuilder::TryDefinitionalCandidate(
   if (!theta.UnifyAtoms(goal->label, renamed.head())) {
     rule_span.Set("pruned", "unification");
     return true;
+  }
+  // Body predicates shape the dead-end decision below even when the
+  // candidate is pruned, so they enter the footprint here rather than via
+  // the child-goal recursion.
+  for (const Atom& b : renamed.body()) {
+    ts->deps->predicates.insert(b.predicate());
   }
 
   auto exp = std::make_unique<ExpansionNode>();
@@ -720,6 +755,11 @@ bool TreeBuilder::TryInclusionCandidate(
     std::vector<std::unique_ptr<ExpansionNode>>* out) {
   obs::ScopedSpan view_span(ts->trace, "inclusion");
   view_span.Set("desc", static_cast<uint64_t>(vw.description_id));
+  ts->deps->descriptions.insert(vw.description_id);
+  // The view head (a stored relation or `_V` predicate) gates this
+  // candidate's reachability check, so it belongs in the footprint even if
+  // the candidate is pruned before producing a child goal.
+  ts->deps->predicates.insert(vw.view.head().predicate());
   if (ts->path->count(vw.description_id) > 0) {
     ++ts->stats->pruned_guard;
     view_span.Set("pruned", "reuse_guard");
@@ -880,12 +920,16 @@ bool TreeBuilder::RehydrateGoalSubtree(const GoalSubtree& subtree,
   ts->stats->inclusion_nodes += subtree.inclusion_nodes;
   ++ts->stats->goal_memo_hits;
   ts->stats->goal_memo_nodes += total;
+  // A rehydrated subtree depends on everything its template build
+  // consulted — including candidates that were pruned and so left no
+  // structural mark in the cloned expansions.
+  ts->deps->MergeFrom(subtree.deps);
   return true;
 }
 
 void TreeBuilder::StoreGoalSubtree(const std::string& key,
                                    const ScopeContext& ctx,
-                                   const GoalNode& goal) {
+                                   const GoalNode& goal, const DepSet& deps) {
   GoalSubtree t;
   t.label_args = goal.label.args();
   t.iface_args = ctx.interface.args();
@@ -894,6 +938,11 @@ void TreeBuilder::StoreGoalSubtree(const std::string& key,
     t.expansions.push_back(CloneExpansionVia(*exp, VarRename{}));
     CountSubtree(*exp, &t);
   }
+  t.deps = deps;
+  for (const std::string& p : deps.predicates) {
+    t.byte_estimate += p.size() + 48;
+  }
+  t.byte_estimate += 8 * deps.descriptions.size();
   options_.goal_memo->Store(key, std::move(t));
 }
 

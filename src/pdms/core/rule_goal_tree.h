@@ -106,6 +106,51 @@ struct ReformulationOptions {
   exec::ThreadPool* executor = nullptr;
 };
 
+/// The dependency footprint of one reformulation (or one memoized goal
+/// subtree): every predicate whose expansion candidates were consulted
+/// while building the tree — including candidates that were pruned, since
+/// consulting them shaped the result — and every description id that was
+/// examined. Caches store the footprint with each entry so a catalog
+/// change invalidates only the entries it can actually affect
+/// (docs/churn_invalidation.md).
+struct DepSet {
+  /// Peer relations, stored relations, and normalization-introduced view
+  /// predicates the build consulted.
+  std::set<std::string> predicates;
+  /// Description ids (storage + mapping, positional) of every candidate
+  /// examined. Id-sensitive caches (the goal memo embeds ids in guard
+  /// paths) drop entries whose ids were renumbered by a catalog edit.
+  std::set<size_t> descriptions;
+
+  void MergeFrom(const DepSet& other) {
+    predicates.insert(other.predicates.begin(), other.predicates.end());
+    descriptions.insert(other.descriptions.begin(), other.descriptions.end());
+  }
+  bool empty() const { return predicates.empty() && descriptions.empty(); }
+};
+
+/// Everything a cache needs to know about "now": identity of the catalog,
+/// its counters, and the per-query source restrictions. The facade (and
+/// SimPdms) builds one before each query and announces it to both cache
+/// hooks, which consult the network's change log to invalidate exactly the
+/// affected entries instead of clearing wholesale.
+struct CacheScope {
+  /// Borrowed for the duration of the EnterScope call; null disables
+  /// dependency tracking (the cache then falls back to wholesale clearing
+  /// on any revision/epoch change, which is always sound).
+  const PdmsNetwork* network = nullptr;
+  uint64_t revision = 0;
+  uint64_t epoch = 0;
+  /// Stored relations unusable for this query (network availability plus
+  /// any caller-specified exclusions) and the caller's source allow-list;
+  /// the analyzers need both to recompute reachability.
+  std::set<std::string> unavailable_stored;
+  std::set<std::string> allowed_stored;
+  /// Structural options fingerprint (OptionsFingerprint); a change is a
+  /// full reset — different prune flags build different trees.
+  std::string options_fingerprint;
+};
+
 /// Counters reported by the reformulator; the Figure 3/4 benchmarks print
 /// these directly.
 struct ReformulationStats {
@@ -133,6 +178,10 @@ struct ReformulationStats {
   /// counts above).
   size_t goal_memo_hits = 0;
   size_t goal_memo_nodes = 0;
+  /// The build's dependency footprint (filled by the TreeBuilder; parallel
+  /// tasks merge their private footprints in at join, so the set is
+  /// schedule-independent).
+  DepSet deps;
   bool tree_truncated = false;  // node budget hit
   bool enumeration_truncated = false;  // rewriting/time budget hit
   double build_ms = 0;
@@ -170,21 +219,25 @@ struct GoalSubtree {
   size_t inclusion_nodes = 0;
   /// Rough heap footprint, for the memo's byte budget.
   size_t byte_estimate = 0;
+  /// Footprint of the stored expansion, including pruned candidates that a
+  /// structural walk of `expansions` would miss; rehydration merges it
+  /// into the consuming build's footprint.
+  DepSet deps;
 };
 
 /// Cross-query memoization hook consulted by the TreeBuilder (implemented
-/// in src/pdms/cache/goal_memo.h; core only sees the interface). Entries
-/// are valid for one (network revision, availability epoch, options
-/// fingerprint) scope — the facade announces the current scope before each
-/// build and the implementation clears itself when it changes, so a stored
-/// subtree can never leak across a mapping edit or availability flip.
+/// in src/pdms/cache/goal_memo.h; core only sees the interface). The
+/// facade announces the current CacheScope before each build; the
+/// implementation digests the network's change log and invalidates the
+/// entries whose dependency footprint the changes touch, so a stored
+/// subtree can never leak across a mapping edit or availability flip —
+/// while unrelated entries survive the churn.
 class GoalMemoHook {
  public:
   virtual ~GoalMemoHook() = default;
   /// Declares the scope of the next Find/Store calls; returns the number
-  /// of entries invalidated by a scope change.
-  virtual size_t EnterScope(uint64_t revision, uint64_t epoch,
-                            const std::string& options_fingerprint) = 0;
+  /// of entries invalidated by the scope change.
+  virtual size_t EnterScope(const CacheScope& scope) = 0;
   /// The stored subtree for `key`, or null. Shared ownership: parallel
   /// builders on different threads may hold a subtree while a concurrent
   /// store evicts its entry, so a raw "valid until the next call" pointer
@@ -194,10 +247,13 @@ class GoalMemoHook {
 };
 
 /// A fingerprint of the option fields that shape the rule-goal tree (prune
-/// flags, expansion ordering, source restrictions). Part of the goal
-/// memo's scope: two builds may share memo entries only when their
-/// fingerprints agree, because these options change which expansions the
-/// builder keeps.
+/// flags, expansion ordering, the source allow-list). Part of the cache
+/// scope: two builds may share cached state only when their fingerprints
+/// agree, because these options change which expansions the builder keeps.
+/// Availability (`unavailable_stored`) is deliberately NOT part of the
+/// fingerprint — availability flips are catalog change events handled by
+/// dependency-tracked invalidation, so entries untouched by a flip keep
+/// hitting (docs/churn_invalidation.md).
 std::string OptionsFingerprint(const ReformulationOptions& options);
 
 /// A rule node: one way of expanding its parent goal node. Definitional
@@ -292,6 +348,12 @@ class TreeBuilder {
     VariableFactory* fresh;
     std::set<size_t>* path;
     ReformulationStats* stats;
+    /// Dependency recorder. Usually &stats->deps, but while a memoable
+    /// goal expands it points at a local set so the subtree's footprint
+    /// can be captured for the memo entry (then merged into the parent) —
+    /// which is why joins merge deps explicitly rather than through
+    /// MergeStatsCounters.
+    DepSet* deps;
     obs::TraceContext* trace;  // may be null (tracing disabled)
     std::string prefix;        // the prefix `fresh` draws names from
   };
@@ -338,7 +400,7 @@ class TreeBuilder {
                             const ScopeContext& ctx, GoalNode* goal,
                             TaskState* ts);
   void StoreGoalSubtree(const std::string& key, const ScopeContext& ctx,
-                        const GoalNode& goal);
+                        const GoalNode& goal, const DepSet& deps);
   void ComputeReachability();
   void FillReachability(bool ignore_unavailable,
                         std::map<std::string, size_t>* out);

@@ -17,11 +17,16 @@ const char* CompletenessName(Completeness c) {
 }
 
 std::string MessageStats::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "messages: %zu sent, %zu delivered, %zu dropped, %zu duplicated, "
       "%zu partitioned, %zu timeout(s), %zu retransmit(s)",
       sent, delivered, dropped, duplicated, partitioned, request_timeouts,
       retransmits);
+  if (hedges > 0) out += StrFormat(", %zu hedge(s)", hedges);
+  if (skipped_suspected > 0) {
+    out += StrFormat(", %zu skipped-suspected", skipped_suspected);
+  }
+  return out;
 }
 
 std::string DegradationReport::ToString() const {

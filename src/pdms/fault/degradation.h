@@ -40,6 +40,8 @@ struct MessageStats {
   size_t partitioned = 0;  // blocked by a network partition
   size_t request_timeouts = 0;  // per-hop request timers that fired
   size_t retransmits = 0;       // requests re-sent after a timeout
+  size_t hedges = 0;            // duplicate requests sent before the timeout
+  size_t skipped_suspected = 0;  // fetches failed fast on a suspected peer
 
   std::string ToString() const;
 };

@@ -1,0 +1,99 @@
+#include "pdms/fault/peer_health.h"
+
+#include <algorithm>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+
+const char* PeerGateName(PeerGate gate) {
+  switch (gate) {
+    case PeerGate::kSend:
+      return "send";
+    case PeerGate::kProbe:
+      return "probe";
+    case PeerGate::kSkip:
+      return "skip";
+  }
+  return "?";
+}
+
+PeerGate PeerHealthTracker::Admit(const std::string& peer, double now_ms) {
+  if (!config_.enabled) return PeerGate::kSend;
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || !it->second.suspected) return PeerGate::kSend;
+  PeerHealth& h = it->second;
+  if (now_ms + 1e-9 < h.next_probe_ms) {
+    ++h.skips;
+    return PeerGate::kSkip;
+  }
+  // This request is the probe. Open the next window now so every other
+  // fetch of the same query (same virtual instant) skips instead of
+  // probing too — one probe per window, whatever the fan-out.
+  ++h.probes;
+  h.probe_backoff_ms = std::min(h.probe_backoff_ms * config_.probe_backoff_multiplier,
+                                config_.max_probe_backoff_ms);
+  h.next_probe_ms = now_ms + h.probe_backoff_ms;
+  return PeerGate::kProbe;
+}
+
+void PeerHealthTracker::RecordSuccess(const std::string& peer, double now_ms,
+                                      double rtt_ms) {
+  (void)now_ms;
+  PeerHealth& h = peers_[peer];
+  ++h.successes;
+  h.consecutive_failures = 0;
+  h.suspected = false;
+  h.next_probe_ms = 0;
+  h.probe_backoff_ms = 0;
+  if (rtt_ms > 0) {
+    h.srtt_ms = h.srtt_ms == 0
+                    ? rtt_ms
+                    : (1 - config_.srtt_alpha) * h.srtt_ms +
+                          config_.srtt_alpha * rtt_ms;
+  }
+}
+
+void PeerHealthTracker::RecordFailure(const std::string& peer,
+                                      double now_ms) {
+  PeerHealth& h = peers_[peer];
+  ++h.failures;
+  ++h.consecutive_failures;
+  if (!h.suspected && config_.enabled &&
+      h.consecutive_failures >= config_.suspicion_threshold) {
+    h.suspected = true;
+    h.probe_backoff_ms = config_.probe_backoff_ms;
+    h.next_probe_ms = now_ms + h.probe_backoff_ms;
+  }
+}
+
+bool PeerHealthTracker::IsSuspected(const std::string& peer) const {
+  auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.suspected;
+}
+
+double PeerHealthTracker::SrttMs(const std::string& peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.srtt_ms;
+}
+
+const PeerHealth* PeerHealthTracker::Find(const std::string& peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+std::string PeerHealthTracker::ToString() const {
+  if (peers_.empty()) return "no peers tracked\n";
+  std::string out;
+  for (const auto& [peer, h] : peers_) {
+    out += StrFormat(
+        "%s: %s, %zu consecutive failure(s), srtt %.2fms, "
+        "%zu ok / %zu fail / %zu probe(s) / %zu skip(s)\n",
+        peer.c_str(), h.suspected ? "SUSPECTED" : "healthy",
+        h.consecutive_failures, h.srtt_ms, h.successes, h.failures, h.probes,
+        h.skips);
+  }
+  return out;
+}
+
+}  // namespace pdms

@@ -1,0 +1,121 @@
+#ifndef PDMS_FAULT_PEER_HEALTH_H_
+#define PDMS_FAULT_PEER_HEALTH_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace pdms {
+
+/// Tunables of the per-peer failure detector (docs/fault_tolerance.md).
+/// All times are in the caller's clock — the simulated runtime passes
+/// virtual milliseconds, so detection behavior is deterministic per seed.
+struct PeerHealthConfig {
+  /// Master switch. Off, Admit always answers kSend and the tracker is
+  /// pure bookkeeping — the pre-health behavior, which several runtime
+  /// tests pin down (a healed peer must serve the very next query).
+  bool enabled = false;
+  /// Consecutive fetch failures before a peer is suspected down.
+  size_t suspicion_threshold = 2;
+  /// Backoff before the first probe of a suspected peer, growing by
+  /// `probe_backoff_multiplier` per unanswered probe up to the cap. While
+  /// the backoff window is open, requests to the peer are skipped outright
+  /// — a crashed peer costs one detection, not one timeout per query.
+  double probe_backoff_ms = 50.0;
+  double probe_backoff_multiplier = 2.0;
+  double max_probe_backoff_ms = 2000.0;
+  /// EWMA weight of a new RTT sample in the smoothed round-trip estimate.
+  double srtt_alpha = 0.2;
+  /// Hedged retransmission: when a response is this many SRTTs overdue
+  /// (and an SRTT estimate exists), one duplicate request is sent without
+  /// waiting for the full timeout, masking a dropped message to a slow
+  /// peer. 0 disables hedging.
+  double hedge_srtt_multiplier = 3.0;
+};
+
+/// What the detector says about sending to a peer right now.
+enum class PeerGate {
+  kSend,   // healthy (or tracking disabled): send normally
+  kProbe,  // suspected, probe window open: this request doubles as a probe
+  kSkip,   // suspected, backing off: fail fast, zero messages
+};
+
+const char* PeerGateName(PeerGate gate);
+
+/// Per-peer detector state, exposed for the shell's `health` command and
+/// the churn tests.
+struct PeerHealth {
+  size_t consecutive_failures = 0;
+  bool suspected = false;
+  double next_probe_ms = 0;     // earliest time the next probe may go out
+  double probe_backoff_ms = 0;  // current backoff level
+  double srtt_ms = 0;           // 0 = no sample yet
+  size_t successes = 0;         // lifetime counters
+  size_t failures = 0;
+  size_t probes = 0;
+  size_t skips = 0;
+};
+
+/// A consecutive-failure suspicion tracker with exponential probe backoff
+/// and an EWMA round-trip estimate per peer. The simulated runtime
+/// (sim::SimPdms) consults it before each fetch: a suspected peer inside
+/// its backoff window is skipped at O(1) cost instead of paying the full
+/// timeout-and-retry ladder, one probe per window checks for recovery, and
+/// a single success clears the suspicion entirely. Time is supplied by the
+/// caller and must be monotonic; nothing here reads a real clock.
+///
+/// Not thread-safe: each simulated coordinator owns one.
+class PeerHealthTracker {
+ public:
+  explicit PeerHealthTracker(PeerHealthConfig config = {})
+      : config_(config) {}
+
+  const PeerHealthConfig& config() const { return config_; }
+
+  /// Gate for one request to `peer` at `now_ms`. Returning kProbe opens
+  /// the next backoff window immediately (so concurrent fetches in the
+  /// same query don't all probe); returning kSkip counts the skip.
+  PeerGate Admit(const std::string& peer, double now_ms);
+
+  /// A fetch from `peer` resolved successfully with the given round-trip.
+  /// Clears suspicion and folds the sample into the SRTT.
+  void RecordSuccess(const std::string& peer, double now_ms, double rtt_ms);
+
+  /// A fetch from `peer` exhausted its attempts (or was skipped upstream
+  /// for another reason that indicts the peer).
+  void RecordFailure(const std::string& peer, double now_ms);
+
+  bool IsSuspected(const std::string& peer) const;
+  /// Smoothed RTT in ms; 0 until the first successful sample.
+  double SrttMs(const std::string& peer) const;
+  /// The tracked state for `peer`, or null if never seen.
+  const PeerHealth* Find(const std::string& peer) const;
+
+  /// All tracked peers, sorted by name (ppl_shell's `health` command).
+  const std::map<std::string, PeerHealth>& peers() const { return peers_; }
+
+  /// Monotonic session clock. Each query runs on a fresh virtual timeline
+  /// starting at 0; the runtime folds every query's duration in here so
+  /// probe backoff windows span queries. Callers pass
+  /// `now_ms() + <this query's virtual time>` to Admit/Record*.
+  double now_ms() const { return session_now_ms_; }
+  void AdvanceClock(double delta_ms) {
+    if (delta_ms > 0) session_now_ms_ += delta_ms;
+  }
+
+  void Reset() {
+    peers_.clear();
+    session_now_ms_ = 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  PeerHealthConfig config_;
+  std::map<std::string, PeerHealth> peers_;
+  double session_now_ms_ = 0;
+};
+
+}  // namespace pdms
+
+#endif  // PDMS_FAULT_PEER_HEALTH_H_

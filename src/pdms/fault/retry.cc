@@ -18,7 +18,8 @@ double RetryPolicy::BackoffMillis(size_t attempt, Rng* rng) const {
     double factor = 1.0 + jitter_fraction * (2.0 * rng->UniformDouble() - 1.0);
     backoff *= factor;
   }
-  return backoff;
+  // The cap is a hard ceiling: positive jitter must not overshoot it.
+  return std::min(backoff, max_backoff_ms);
 }
 
 std::string RetryPolicy::ToString() const {

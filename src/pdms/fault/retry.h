@@ -22,8 +22,9 @@ struct RetryPolicy {
   /// ...up to this cap.
   double max_backoff_ms = 64.0;
   /// Jitter: the computed backoff is scaled by a factor drawn uniformly
-  /// from [1 - jitter_fraction, 1 + jitter_fraction]. Seeded RNG keeps the
-  /// schedule reproducible.
+  /// from [1 - jitter_fraction, 1 + jitter_fraction], then clamped so the
+  /// result never exceeds `max_backoff_ms`. Seeded RNG keeps the schedule
+  /// reproducible.
   double jitter_fraction = 0.25;
 
   /// Backoff to wait after the `attempt`-th failed attempt (1-based), with

@@ -1,0 +1,220 @@
+#include "pdms/gen/topology.h"
+
+#include <algorithm>
+
+#include "pdms/util/rng.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace gen {
+
+namespace {
+
+// Picks `want` distinct earlier peers for joining peer `i`, weighted by
+// degree + 1 (preferential attachment). O(i) per draw is fine at 10^3.
+std::vector<size_t> AttachPreferential(size_t i, size_t want,
+                                       const std::vector<size_t>& degree,
+                                       Rng* rng) {
+  std::vector<size_t> picked;
+  if (i == 0 || want == 0) return picked;
+  want = std::min(want, i);
+  while (picked.size() < want) {
+    uint64_t total = 0;
+    for (size_t v = 0; v < i; ++v) {
+      if (std::find(picked.begin(), picked.end(), v) != picked.end()) continue;
+      total += degree[v] + 1;
+    }
+    uint64_t roll = rng->Uniform(total);
+    for (size_t v = 0; v < i; ++v) {
+      if (std::find(picked.begin(), picked.end(), v) != picked.end()) continue;
+      uint64_t w = degree[v] + 1;
+      if (roll < w) {
+        picked.push_back(v);
+        break;
+      }
+      roll -= w;
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+}  // namespace
+
+std::string TopologyPeerName(size_t index) {
+  return StrFormat("P%zu", index);
+}
+
+std::string TopologyRelationName(size_t level) {
+  return StrFormat("R%zu", level);
+}
+
+std::string TopologyStoredName(size_t index) {
+  return StrFormat("st_%zu", index);
+}
+
+ConjunctiveQuery TopologyQuery(size_t index, size_t level) {
+  Term x = Term::Var("x");
+  Term y = Term::Var("y");
+  Atom goal(QualifiedName(TopologyPeerName(index),
+                          TopologyRelationName(level)),
+            {x, y});
+  return ConjunctiveQuery(Atom("Q", {x, y}), {goal});
+}
+
+Result<Topology> GenerateTopology(const TopologyConfig& config) {
+  if (config.num_peers == 0) {
+    return Status::InvalidArgument("need at least one peer");
+  }
+  if (config.kind == TopologyConfig::Kind::kCommunity &&
+      config.num_communities == 0) {
+    return Status::InvalidArgument("need at least one community");
+  }
+
+  Rng rng(config.seed);
+  Topology out;
+  out.neighbors.resize(config.num_peers);
+  out.community.assign(config.num_peers, 0);
+
+  // --- Peers: R0 (stored) plus one relation per mediation level.
+  for (size_t i = 0; i < config.num_peers; ++i) {
+    std::vector<std::pair<std::string, size_t>> rels;
+    for (size_t k = 0; k <= config.levels; ++k) {
+      rels.emplace_back(TopologyRelationName(k), 2);
+    }
+    PDMS_RETURN_IF_ERROR(
+        out.network.AddPeer(TopologyPeerName(i), std::move(rels)));
+  }
+
+  // --- Attachment graph (edges newer -> older, so mappings form a DAG).
+  if (config.kind == TopologyConfig::Kind::kPowerLaw) {
+    std::vector<size_t> degree(config.num_peers, 0);
+    for (size_t i = 1; i < config.num_peers; ++i) {
+      out.neighbors[i] =
+          AttachPreferential(i, config.attach_edges, degree, &rng);
+      for (size_t v : out.neighbors[i]) ++degree[v];
+      degree[i] += out.neighbors[i].size();
+    }
+  } else {
+    for (size_t i = 0; i < config.num_peers; ++i) {
+      out.community[i] = i * config.num_communities / config.num_peers;
+    }
+    for (size_t i = 1; i < config.num_peers; ++i) {
+      // Earlier peers of the same community; the block's founder falls
+      // back to the whole earlier prefix so the graph stays connected.
+      std::vector<size_t> pool;
+      for (size_t v = 0; v < i; ++v) {
+        if (out.community[v] == out.community[i]) pool.push_back(v);
+      }
+      if (pool.empty()) {
+        for (size_t v = 0; v < i; ++v) pool.push_back(v);
+      }
+      size_t want = std::min(config.attach_edges, pool.size());
+      std::vector<size_t>& picked = out.neighbors[i];
+      while (picked.size() < want) {
+        size_t v = pool[rng.Uniform(pool.size())];
+        if (std::find(picked.begin(), picked.end(), v) == picked.end()) {
+          picked.push_back(v);
+        }
+      }
+      if (rng.Chance(config.bridge_fraction)) {
+        std::vector<size_t> other;
+        for (size_t v = 0; v < i; ++v) {
+          if (out.community[v] != out.community[i]) other.push_back(v);
+        }
+        if (!other.empty()) {
+          size_t v = other[rng.Uniform(other.size())];
+          if (std::find(picked.begin(), picked.end(), v) == picked.end()) {
+            picked.push_back(v);
+          }
+        }
+      }
+      std::sort(picked.begin(), picked.end());
+    }
+  }
+
+  // --- Storage: every peer stores R0 directly.
+  for (size_t i = 0; i < config.num_peers; ++i) {
+    Term x = Term::Var("x");
+    Term y = Term::Var("y");
+    Atom peer_atom(QualifiedName(TopologyPeerName(i),
+                                 TopologyRelationName(0)),
+                   {x, y});
+    StorageDescription sd;
+    sd.peer = TopologyPeerName(i);
+    sd.view = ConjunctiveQuery(Atom(TopologyStoredName(i), {x, y}),
+                               {peer_atom});
+    PDMS_RETURN_IF_ERROR(out.network.AddStorageDescription(std::move(sd)));
+  }
+
+  // --- Mappings: level k is provided from the neighborhood's level k-1.
+  // Peers with no neighbors (the founder, isolated joiners) self-provide
+  // so every relation stays answerable.
+  size_t iface_counter = 0;
+  for (size_t i = 0; i < config.num_peers; ++i) {
+    std::vector<std::string> below_peers;
+    for (size_t v : out.neighbors[i]) {
+      below_peers.push_back(TopologyPeerName(v));
+    }
+    if (below_peers.empty()) below_peers.push_back(TopologyPeerName(i));
+    for (size_t k = 1; k <= config.levels; ++k) {
+      std::string provided =
+          QualifiedName(TopologyPeerName(i), TopologyRelationName(k));
+      if (rng.Chance(config.definitional_fraction)) {
+        // GAV: Rk is the join of up to two neighbors' R(k-1).
+        Term x = Term::Var("x");
+        Term y = Term::Var("y");
+        std::vector<Atom> body;
+        if (below_peers.size() >= 2) {
+          Term z = Term::Var("z");
+          body.emplace_back(
+              QualifiedName(below_peers[0], TopologyRelationName(k - 1)),
+              std::vector<Term>{x, z});
+          body.emplace_back(
+              QualifiedName(below_peers[1], TopologyRelationName(k - 1)),
+              std::vector<Term>{z, y});
+        } else {
+          body.emplace_back(
+              QualifiedName(below_peers[0], TopologyRelationName(k - 1)),
+              std::vector<Term>{x, y});
+        }
+        PeerMapping pm;
+        pm.kind = PeerMappingKind::kDefinitional;
+        pm.rule = Rule(Atom(provided, {x, y}), std::move(body), {});
+        PDMS_RETURN_IF_ERROR(out.network.AddPeerMapping(std::move(pm)));
+      } else {
+        // LAV: each neighbor's R(k-1) is contained in Rk — one inclusion
+        // per neighbor, so goals over Rk union the neighborhood.
+        for (const std::string& below : below_peers) {
+          Term x = Term::Var("x");
+          Term y = Term::Var("y");
+          Atom iface(StrFormat("_ifaceT%zu", iface_counter++), {x, y});
+          PeerMapping pm;
+          pm.kind = PeerMappingKind::kInclusion;
+          pm.lhs = ConjunctiveQuery(
+              iface,
+              {Atom(QualifiedName(below, TopologyRelationName(k - 1)),
+                    {x, y})});
+          pm.rhs = ConjunctiveQuery(iface, {Atom(provided, {x, y})});
+          PDMS_RETURN_IF_ERROR(out.network.AddPeerMapping(std::move(pm)));
+        }
+      }
+    }
+  }
+
+  // --- Data.
+  for (size_t i = 0; i < config.num_peers; ++i) {
+    std::string stored = TopologyStoredName(i);
+    (void)out.data.CreateRelation(stored, 2);
+    for (size_t t = 0; t < config.facts_per_stored; ++t) {
+      Tuple tuple;
+      tuple.push_back(Value::Int(rng.UniformInt(0, config.value_domain - 1)));
+      tuple.push_back(Value::Int(rng.UniformInt(0, config.value_domain - 1)));
+      out.data.Insert(stored, std::move(tuple));
+    }
+  }
+  return out;
+}
+
+}  // namespace gen
+}  // namespace pdms

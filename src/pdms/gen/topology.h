@@ -1,0 +1,80 @@
+#ifndef PDMS_GEN_TOPOLOGY_H_
+#define PDMS_GEN_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pdms/core/network.h"
+#include "pdms/data/database.h"
+#include "pdms/lang/conjunctive_query.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace gen {
+
+/// Graph-shaped PDMS generator for churn experiments at thousand-peer
+/// scale. Where the Section 5 workload generator (workload.h) builds
+/// stratified networks with a global query, this one builds networks whose
+/// *connectivity* mirrors real peer-to-peer deployments:
+///
+///  - kPowerLaw: peers join one at a time and attach to `attach_edges`
+///    earlier peers chosen proportionally to degree (preferential
+///    attachment), yielding the few-hubs/many-leaves degree distribution
+///    of open P2P networks;
+///  - kCommunity: peers split into `num_communities` blocks; mappings stay
+///    inside the block except for occasional bridges (probability
+///    `bridge_fraction`), modeling federations of organizations that
+///    mostly mediate their own schemas.
+///
+/// Every attachment edge points from a newer peer to an older one, so the
+/// mapping graph is a DAG and inclusions are acyclic (Definition 3.1).
+/// Each peer stores relation R0 directly (storage description over a fresh
+/// stored relation), and each level-k relation Rk (k >= 1) is provided
+/// from neighbors' R(k-1) — definitional with probability
+/// `definitional_fraction`, an inclusion otherwise. Queries over Rk thus
+/// reformulate through exactly k mapping levels into the neighborhood's
+/// storage, keeping rule-goal trees bounded while invalidation locality
+/// (which peers/mappings a plan depends on) tracks the graph structure.
+struct TopologyConfig {
+  enum class Kind { kPowerLaw, kCommunity };
+  Kind kind = Kind::kPowerLaw;
+  size_t num_peers = 1000;
+  /// Levels above storage: peers declare R0..R<levels>; R0 is stored.
+  size_t levels = 1;
+  size_t attach_edges = 2;
+  /// kCommunity only.
+  size_t num_communities = 20;
+  double bridge_fraction = 0.05;
+  double definitional_fraction = 0.5;
+  size_t facts_per_stored = 2;
+  int64_t value_domain = 16;
+  uint64_t seed = 1;
+};
+
+/// A generated graph-shaped PDMS. `neighbors[i]` lists the (older) peers
+/// that peer i's mappings draw on; `community[i]` is peer i's block index
+/// (all zero for kPowerLaw).
+struct Topology {
+  PdmsNetwork network;
+  Database data;
+  std::vector<std::vector<size_t>> neighbors;
+  std::vector<size_t> community;
+};
+
+/// Peer / relation / stored-relation names used by the generator, shared
+/// with the churn driver and tests.
+std::string TopologyPeerName(size_t index);
+std::string TopologyRelationName(size_t level);
+std::string TopologyStoredName(size_t index);
+
+/// Generates a topology per `config`. Deterministic in `config.seed`.
+Result<Topology> GenerateTopology(const TopologyConfig& config);
+
+/// A single-goal query over peer `index`'s level-`level` relation:
+/// `Q(x, y) :- P<index>:R<level>(x, y).`
+ConjunctiveQuery TopologyQuery(size_t index, size_t level);
+
+}  // namespace gen
+}  // namespace pdms
+
+#endif  // PDMS_GEN_TOPOLOGY_H_

@@ -1,0 +1,357 @@
+#include "pdms/sim/churn.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace sim {
+
+const char* ChurnEventKindName(ChurnEvent::Kind kind) {
+  switch (kind) {
+    case ChurnEvent::Kind::kCrash:
+      return "crash";
+    case ChurnEvent::Kind::kRecover:
+      return "recover";
+    case ChurnEvent::Kind::kPeerLeave:
+      return "leave";
+    case ChurnEvent::Kind::kPeerRejoin:
+      return "rejoin";
+    case ChurnEvent::Kind::kPeerJoin:
+      return "join";
+    case ChurnEvent::Kind::kMappingEdit:
+      return "editmap";
+    case ChurnEvent::Kind::kMappingAdd:
+      return "addmap";
+    case ChurnEvent::Kind::kMappingRemove:
+      return "rmmap";
+    case ChurnEvent::Kind::kRelationFlip:
+      return "flip";
+    case ChurnEvent::Kind::kFactInsert:
+      return "insert";
+    case ChurnEvent::Kind::kNoop:
+      return "noop";
+  }
+  return "?";
+}
+
+std::string ChurnEvent::ToString() const {
+  std::string out = ChurnEventKindName(kind);
+  if (!target.empty()) out += " " + target;
+  if (!detail.empty()) out += " (" + detail + ")";
+  return out;
+}
+
+ChurnDriver::ChurnDriver(ChurnConfig config, PdmsNetwork* network,
+                         Database* data)
+    : config_(config),
+      network_(network),
+      data_(data),
+      rng_(config.seed ^ 0x5851f42d4c957f2dull) {}
+
+ChurnEvent::Kind ChurnDriver::Draw() {
+  struct Slot {
+    double weight;
+    ChurnEvent::Kind kind;
+  };
+  const Slot slots[] = {
+      {config_.w_crash, ChurnEvent::Kind::kCrash},
+      {config_.w_recover, ChurnEvent::Kind::kRecover},
+      {config_.w_peer_leave, ChurnEvent::Kind::kPeerLeave},
+      {config_.w_peer_rejoin, ChurnEvent::Kind::kPeerRejoin},
+      {config_.w_peer_join, ChurnEvent::Kind::kPeerJoin},
+      {config_.w_mapping_edit, ChurnEvent::Kind::kMappingEdit},
+      {config_.w_mapping_add, ChurnEvent::Kind::kMappingAdd},
+      {config_.w_mapping_remove, ChurnEvent::Kind::kMappingRemove},
+      {config_.w_relation_flip, ChurnEvent::Kind::kRelationFlip},
+      {config_.w_fact_insert, ChurnEvent::Kind::kFactInsert},
+  };
+  double total = 0;
+  for (const Slot& s : slots) total += std::max(0.0, s.weight);
+  if (total <= 0) return ChurnEvent::Kind::kNoop;
+  double roll = rng_.UniformDouble() * total;
+  for (const Slot& s : slots) {
+    double w = std::max(0.0, s.weight);
+    if (roll < w) return s.kind;
+    roll -= w;
+  }
+  return ChurnEvent::Kind::kFactInsert;
+}
+
+ChurnEvent ChurnDriver::Step() {
+  ++steps_;
+  switch (Draw()) {
+    case ChurnEvent::Kind::kCrash:
+      return ApplyCrash();
+    case ChurnEvent::Kind::kRecover:
+      return ApplyRecover();
+    case ChurnEvent::Kind::kPeerLeave:
+      return ApplyPeerLeave();
+    case ChurnEvent::Kind::kPeerRejoin:
+      return ApplyPeerRejoin();
+    case ChurnEvent::Kind::kPeerJoin:
+      return ApplyPeerJoin();
+    case ChurnEvent::Kind::kMappingEdit:
+      return ApplyMappingEdit();
+    case ChurnEvent::Kind::kMappingAdd:
+      return ApplyMappingAdd();
+    case ChurnEvent::Kind::kMappingRemove:
+      return ApplyMappingRemove();
+    case ChurnEvent::Kind::kRelationFlip:
+      return ApplyRelationFlip();
+    case ChurnEvent::Kind::kFactInsert:
+      return ApplyFactInsert();
+    case ChurnEvent::Kind::kNoop:
+      break;
+  }
+  return {};
+}
+
+ChurnEvent ChurnDriver::ApplyCrash() {
+  std::vector<std::string> candidates;
+  for (const Peer& p : network_->peers()) {
+    if (crashed_.count(p.name) == 0) candidates.push_back(p.name);
+  }
+  if (candidates.empty()) return {};
+  ChurnEvent out;
+  out.kind = ChurnEvent::Kind::kCrash;
+  out.target = candidates[rng_.Uniform(candidates.size())];
+  crashed_.insert(out.target);
+  return out;
+}
+
+ChurnEvent ChurnDriver::ApplyRecover() {
+  if (crashed_.empty()) return {};
+  std::vector<std::string> candidates(crashed_.begin(), crashed_.end());
+  ChurnEvent out;
+  out.kind = ChurnEvent::Kind::kRecover;
+  out.target = candidates[rng_.Uniform(candidates.size())];
+  crashed_.erase(out.target);
+  return out;
+}
+
+ChurnEvent ChurnDriver::ApplyPeerLeave() {
+  std::vector<std::string> candidates;
+  for (const Peer& p : network_->peers()) {
+    if (left_.count(p.name) == 0) candidates.push_back(p.name);
+  }
+  if (candidates.empty()) return {};
+  ChurnEvent out;
+  out.kind = ChurnEvent::Kind::kPeerLeave;
+  out.target = candidates[rng_.Uniform(candidates.size())];
+  if (!network_->SetPeerAvailable(out.target, false).ok()) return {};
+  left_.insert(out.target);
+  return out;
+}
+
+ChurnEvent ChurnDriver::ApplyPeerRejoin() {
+  if (left_.empty()) return {};
+  std::vector<std::string> candidates(left_.begin(), left_.end());
+  ChurnEvent out;
+  out.kind = ChurnEvent::Kind::kPeerRejoin;
+  out.target = candidates[rng_.Uniform(candidates.size())];
+  if (!network_->SetPeerAvailable(out.target, true).ok()) return {};
+  left_.erase(out.target);
+  return out;
+}
+
+ChurnEvent ChurnDriver::ApplyPeerJoin() {
+  // A new peer arrives with one stored relation, a little data, and a
+  // mapping that offers its data as a new provider of an existing
+  // relation — the Example 1.1 "ad-hoc extension" move, mechanized.
+  std::string peer = StrFormat("J%zu", joined_);
+  std::string qualified = QualifiedName(peer, "R0");
+  std::string stored = StrFormat("st_join_%zu", joined_);
+  if (!network_->AddPeer(peer, {{"R0", 2}}).ok()) return {};
+  ++joined_;
+  Term x = Term::Var("x");
+  Term y = Term::Var("y");
+  StorageDescription sd;
+  sd.peer = peer;
+  sd.view =
+      ConjunctiveQuery(Atom(stored, {x, y}), {Atom(qualified, {x, y})});
+  if (!network_->AddStorageDescription(std::move(sd)).ok()) {
+    return {};  // peer stays, relation dead-ends: still a valid network
+  }
+  for (int t = 0; t < 2; ++t) {
+    Tuple tuple;
+    tuple.push_back(Value::Int(rng_.UniformInt(0, config_.value_domain - 1)));
+    tuple.push_back(Value::Int(rng_.UniformInt(0, config_.value_domain - 1)));
+    data_->Insert(stored, std::move(tuple));
+  }
+  ChurnEvent out;
+  out.kind = ChurnEvent::Kind::kPeerJoin;
+  out.target = peer;
+  // Offer the new data under a random existing binary peer relation.
+  std::vector<std::string> targets;
+  for (const Peer& p : network_->peers()) {
+    if (p.name == peer) continue;
+    for (const auto& [rel, arity] : p.relations) {
+      if (arity == 2) targets.push_back(QualifiedName(p.name, rel));
+    }
+  }
+  if (!targets.empty()) {
+    std::string provided = targets[rng_.Uniform(targets.size())];
+    PeerMapping pm;
+    pm.kind = PeerMappingKind::kDefinitional;
+    pm.rule = Rule(Atom(provided, {x, y}), {Atom(qualified, {x, y})}, {});
+    if (network_->AddPeerMapping(std::move(pm)).ok()) {
+      out.detail = "provides " + provided;
+    }
+  }
+  return out;
+}
+
+std::set<std::string> ChurnDriver::BaseRelations() const {
+  std::set<std::string> provided;
+  for (const PeerMapping& m : network_->peer_mappings()) {
+    if (m.kind == PeerMappingKind::kDefinitional) {
+      provided.insert(m.rule.head().predicate());
+    } else {
+      // Goals over the rhs side expand through the view into the lhs; for
+      // equalities both directions are live, so both sides are provided.
+      for (const Atom& a : m.rhs.body()) provided.insert(a.predicate());
+      if (m.kind == PeerMappingKind::kEquality) {
+        for (const Atom& a : m.lhs.body()) provided.insert(a.predicate());
+      }
+    }
+  }
+  std::set<std::string> base;
+  for (const Peer& p : network_->peers()) {
+    for (const auto& [rel, arity] : p.relations) {
+      (void)arity;
+      std::string qualified = QualifiedName(p.name, rel);
+      if (provided.count(qualified) == 0) base.insert(qualified);
+    }
+  }
+  return base;
+}
+
+ChurnEvent ChurnDriver::ApplyMappingEdit() {
+  // Rewrite one body atom of a definitional mapping to draw on a different
+  // base relation. Only base relations are eligible replacements, so the
+  // edit can neither recurse nor open an inclusion cycle.
+  std::vector<size_t> definitional;
+  const std::vector<PeerMapping>& mappings = network_->peer_mappings();
+  for (size_t i = 0; i < mappings.size(); ++i) {
+    if (mappings[i].kind == PeerMappingKind::kDefinitional) {
+      definitional.push_back(i);
+    }
+  }
+  if (definitional.empty()) return {};
+  const PeerMapping& victim =
+      mappings[definitional[rng_.Uniform(definitional.size())]];
+  std::set<std::string> base = BaseRelations();
+  base.erase(victim.rule.head().predicate());
+  PeerMapping next = victim;
+  std::vector<Atom> body(victim.rule.body().begin(),
+                         victim.rule.body().end());
+  size_t slot = rng_.Uniform(body.size());
+  std::vector<std::string> candidates;
+  for (const std::string& b : base) {
+    if (b == body[slot].predicate()) continue;
+    if (auto a = network_->RelationArity(b);
+        a.ok() && *a == body[slot].arity()) {
+      candidates.push_back(b);
+    }
+  }
+  if (candidates.empty()) return {};
+  std::string replacement = candidates[rng_.Uniform(candidates.size())];
+  body[slot] = Atom(replacement, body[slot].args());
+  next.rule =
+      Rule(victim.rule.head(), std::move(body),
+           std::vector<Comparison>(victim.rule.comparisons().begin(),
+                                   victim.rule.comparisons().end()));
+  ChurnEvent out;
+  out.kind = ChurnEvent::Kind::kMappingEdit;
+  out.target = victim.name;
+  out.detail = StrFormat("body[%zu] -> %s", slot, replacement.c_str());
+  if (!network_->ReplacePeerMapping(out.target, std::move(next)).ok()) {
+    return {};
+  }
+  return out;
+}
+
+ChurnEvent ChurnDriver::ApplyMappingAdd() {
+  // A new definitional provider: some binary peer relation gains an extra
+  // way of being answered from a base relation.
+  std::set<std::string> base = BaseRelations();
+  std::vector<std::string> targets;
+  for (const Peer& p : network_->peers()) {
+    for (const auto& [rel, arity] : p.relations) {
+      if (arity == 2) targets.push_back(QualifiedName(p.name, rel));
+    }
+  }
+  if (targets.empty()) return {};
+  std::string provided = targets[rng_.Uniform(targets.size())];
+  std::vector<std::string> bodies;
+  for (const std::string& b : base) {
+    if (b == provided) continue;
+    if (auto a = network_->RelationArity(b); a.ok() && *a == 2) {
+      bodies.push_back(b);
+    }
+  }
+  if (bodies.empty()) return {};
+  std::string body_rel = bodies[rng_.Uniform(bodies.size())];
+  Term x = Term::Var("x");
+  Term y = Term::Var("y");
+  PeerMapping pm;
+  pm.kind = PeerMappingKind::kDefinitional;
+  pm.rule = Rule(Atom(provided, {x, y}), {Atom(body_rel, {x, y})}, {});
+  ChurnEvent out;
+  out.kind = ChurnEvent::Kind::kMappingAdd;
+  out.detail = provided + " :- " + body_rel;
+  if (!network_->AddPeerMapping(std::move(pm)).ok()) return {};
+  out.target = network_->peer_mappings().back().name;
+  return out;
+}
+
+ChurnEvent ChurnDriver::ApplyMappingRemove() {
+  const std::vector<PeerMapping>& mappings = network_->peer_mappings();
+  if (mappings.empty()) return {};
+  std::string name = mappings[rng_.Uniform(mappings.size())].name;
+  ChurnEvent out;
+  out.kind = ChurnEvent::Kind::kMappingRemove;
+  out.target = name;
+  if (!network_->RemovePeerMapping(name).ok()) return {};
+  return out;
+}
+
+ChurnEvent ChurnDriver::ApplyRelationFlip() {
+  std::vector<std::string> names = network_->StoredRelationNames();
+  if (names.empty()) return {};
+  std::string name = names[rng_.Uniform(names.size())];
+  bool down = down_.count(name) > 0;
+  ChurnEvent out;
+  out.kind = ChurnEvent::Kind::kRelationFlip;
+  out.target = name;
+  out.detail = down ? "up" : "down";
+  if (!network_->SetStoredRelationAvailable(name, down).ok()) return {};
+  if (down) {
+    down_.erase(name);
+  } else {
+    down_.insert(name);
+  }
+  return out;
+}
+
+ChurnEvent ChurnDriver::ApplyFactInsert() {
+  std::vector<std::string> names = network_->StoredRelationNames();
+  if (names.empty()) return {};
+  std::string name = names[rng_.Uniform(names.size())];
+  size_t arity = 2;
+  if (auto a = network_->RelationArity(name); a.ok()) arity = *a;
+  Tuple tuple;
+  for (size_t i = 0; i < arity; ++i) {
+    tuple.push_back(Value::Int(rng_.UniformInt(0, config_.value_domain - 1)));
+  }
+  data_->Insert(name, std::move(tuple));
+  ChurnEvent out;
+  out.kind = ChurnEvent::Kind::kFactInsert;
+  out.target = name;
+  return out;
+}
+
+}  // namespace sim
+}  // namespace pdms

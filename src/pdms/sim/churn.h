@@ -1,0 +1,120 @@
+#ifndef PDMS_SIM_CHURN_H_
+#define PDMS_SIM_CHURN_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "pdms/core/network.h"
+#include "pdms/data/database.h"
+#include "pdms/util/rng.h"
+
+namespace pdms {
+namespace sim {
+
+/// Relative weights of the churn event mix. Zero disables an event kind.
+struct ChurnConfig {
+  uint64_t seed = 1;
+  double w_crash = 2;          // transport: peer stops responding
+  double w_recover = 2;        // transport: crashed peer comes back
+  double w_peer_leave = 1;     // catalog: peer marked unavailable
+  double w_peer_rejoin = 1;    // catalog: left peer marked available
+  double w_peer_join = 0.5;    // catalog: brand-new peer + storage + mapping
+  double w_mapping_edit = 2;   // catalog: rewrite one mapping body atom
+  double w_mapping_add = 1;    // catalog: new definitional mapping
+  double w_mapping_remove = 1;  // catalog: drop a mapping (ids shift)
+  double w_relation_flip = 2;  // catalog: stored relation down/up
+  double w_fact_insert = 3;    // data only: no catalog movement
+  int64_t value_domain = 16;   // domain of inserted facts
+};
+
+/// One applied churn event, for traces and repro logs.
+struct ChurnEvent {
+  enum class Kind {
+    kCrash,
+    kRecover,
+    kPeerLeave,
+    kPeerRejoin,
+    kPeerJoin,
+    kMappingEdit,
+    kMappingAdd,
+    kMappingRemove,
+    kRelationFlip,
+    kFactInsert,
+    kNoop,  // the drawn kind had no feasible target this step
+  };
+  Kind kind = Kind::kNoop;
+  std::string target;  // peer, mapping, or stored-relation name
+  std::string detail;  // human-readable description
+
+  std::string ToString() const;
+};
+
+const char* ChurnEventKindName(ChurnEvent::Kind kind);
+
+/// Drives live churn against a shared catalog + instance: each Step()
+/// draws one weighted event and applies it to the network/database in
+/// place. Catalog events go through the PdmsNetwork mutation API (so the
+/// change log, revision, and availability epoch advance exactly as they
+/// would in production); crash/recover events are transport-level and only
+/// move the `crashed()` set — the caller mirrors that set into its
+/// SimPdms instances, which is what makes a crash invisible to the catalog
+/// (and to reformulation) but fatal to fetches.
+///
+/// Deterministic: the same seed over the same starting network replays the
+/// same event sequence. The churn DST leans on this to drive a cached and
+/// an uncached twin through one shared world.
+///
+/// Catalog edits preserve the network's PTIME guarantees: mapping edits
+/// and additions only draw body atoms from *base* relations — peer
+/// relations no mapping provides — so they can never create definitional
+/// recursion or inclusion cycles.
+class ChurnDriver {
+ public:
+  ChurnDriver(ChurnConfig config, PdmsNetwork* network, Database* data);
+
+  /// Applies one churn event. Never fails: an infeasible draw (e.g.
+  /// recover with nothing crashed) degrades to kNoop.
+  ChurnEvent Step();
+
+  /// Peers currently crashed at the transport level.
+  const std::set<std::string>& crashed() const { return crashed_; }
+  /// Peers currently marked unavailable in the catalog by kPeerLeave.
+  const std::set<std::string>& left() const { return left_; }
+  /// Stored relations currently flipped down by kRelationFlip.
+  const std::set<std::string>& down_relations() const { return down_; }
+  size_t joined_peers() const { return joined_; }
+  size_t steps() const { return steps_; }
+
+ private:
+  ChurnEvent::Kind Draw();
+  ChurnEvent ApplyCrash();
+  ChurnEvent ApplyRecover();
+  ChurnEvent ApplyPeerLeave();
+  ChurnEvent ApplyPeerRejoin();
+  ChurnEvent ApplyPeerJoin();
+  ChurnEvent ApplyMappingEdit();
+  ChurnEvent ApplyMappingAdd();
+  ChurnEvent ApplyMappingRemove();
+  ChurnEvent ApplyRelationFlip();
+  ChurnEvent ApplyFactInsert();
+
+  /// Peer relations that no mapping provides (not a definitional head, not
+  /// on an inclusion's provided side): always-safe body atoms.
+  std::set<std::string> BaseRelations() const;
+
+  ChurnConfig config_;
+  PdmsNetwork* network_;  // not owned
+  Database* data_;        // not owned
+  Rng rng_;
+  std::set<std::string> crashed_;
+  std::set<std::string> left_;
+  std::set<std::string> down_;
+  size_t joined_ = 0;
+  size_t steps_ = 0;
+};
+
+}  // namespace sim
+}  // namespace pdms
+
+#endif  // PDMS_SIM_CHURN_H_

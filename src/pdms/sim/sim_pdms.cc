@@ -22,6 +22,7 @@ struct Fetch {
   size_t arity = 0;
   size_t attempts = 0;          // requests transmitted so far
   uint64_t last_request_id = 0;  // timeout events for older ids are stale
+  double sent_at_ms = 0;        // virtual send time of the latest attempt
   bool resolved = false;
   Status status = Status::Ok();
   std::vector<Tuple> tuples;
@@ -119,10 +120,15 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
   effective.trace = trace_;
   effective.metrics = metrics_;
   effective.goal_memo = goal_memo_;
+  CacheScope scope;
+  scope.network = &network_;
+  scope.revision = network_.revision();
+  scope.epoch = network_.availability_epoch();
+  scope.unavailable_stored = effective.unavailable_stored;
+  scope.allowed_stored = effective.allowed_stored;
+  scope.options_fingerprint = OptionsFingerprint(effective);
   if (goal_memo_ != nullptr) {
-    size_t dropped = goal_memo_->EnterScope(network_.revision(),
-                                            network_.availability_epoch(),
-                                            OptionsFingerprint(effective));
+    size_t dropped = goal_memo_->EnterScope(scope);
     if (dropped > 0 && metrics_ != nullptr) {
       metrics_->Add("cache.goal_memo_invalidations", dropped);
     }
@@ -130,8 +136,7 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
   std::string plan_key;
   std::shared_ptr<const PlanCacheHook::Plan> hit;
   if (plan_cache_ != nullptr) {
-    size_t invalidated = plan_cache_->EnterScope(
-        network_.revision(), network_.availability_epoch());
+    size_t invalidated = plan_cache_->EnterScope(scope);
     if (invalidated > 0 && metrics_ != nullptr) {
       metrics_->Add("cache.invalidations", invalidated);
     }
@@ -146,6 +151,17 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
     query_span.Set("cache", "hit");
     ref.rewriting = hit->rewriting;
     ref.stats = hit->stats;  // the stats of the original reformulation
+    // The excluded_stored report is global (see Pdms::ReformulateCached):
+    // recompute it from the current scope rather than serving the one
+    // frozen at build time.
+    ref.stats.excluded_stored.clear();
+    for (const std::string& name : effective.unavailable_stored) {
+      if (network_.IsStoredRelation(name) &&
+          (effective.allowed_stored.empty() ||
+           effective.allowed_stored.count(name) > 0)) {
+        ref.stats.excluded_stored.push_back(name);
+      }
+    }
   } else {
     if (plan_cache_ != nullptr) {
       if (metrics_ != nullptr) metrics_->Add("cache.misses");
@@ -221,6 +237,16 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
     fetch.arity = arity;
   }
 
+  // Peer failure detection (optional, shared across queries like the
+  // caches): fetches to suspected peers fail fast, one probe per backoff
+  // window checks recovery, and known-slow responses get one hedged
+  // duplicate request. Times fed to the tracker combine its monotonic
+  // session clock with this query's virtual clock.
+  const bool health_on = health_ != nullptr && health_->config().enabled;
+  auto session_now = [&] {
+    return (health_ != nullptr ? health_->now_ms() : 0.0) + clock.now_ms();
+  };
+
   // The coordinator: accepts any response for an unresolved fetch (scans
   // are idempotent, so a late answer to a retransmitted request is as good
   // as a fresh one) and ignores duplicates.
@@ -236,8 +262,15 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
       fetch.tuples = message.tuples;
       if (message.arity > 0) fetch.arity = message.arity;
       ++access.successes;
+      if (health_ != nullptr) {
+        health_->RecordSuccess(fetch.owner, session_now(),
+                               clock.now_ms() - fetch.sent_at_ms);
+      }
     } else {
       ++access.failures;
+      if (health_ != nullptr) {
+        health_->RecordFailure(fetch.owner, session_now());
+      }
     }
   });
 
@@ -253,11 +286,36 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
         ++access.attempts;
         uint64_t id = next_request_id++;
         fetch.last_request_id = id;
+        fetch.sent_at_ms = clock.now_ms();
         Message request;
         request.type = Message::Type::kScanRequest;
         request.request_id = id;
         request.relation = relation;
         net.Send(kCoordinatorName, fetch.owner, request);
+        // Hedged retransmission: with an SRTT estimate, a response that is
+        // several SRTTs overdue is probably lost — send one duplicate
+        // (same id: the coordinator takes any response for an unresolved
+        // fetch) instead of sitting out the rest of the timeout.
+        if (health_on && health_->config().hedge_srtt_multiplier > 0) {
+          double srtt = health_->SrttMs(fetch.owner);
+          double hedge_ms = srtt * health_->config().hedge_srtt_multiplier;
+          if (srtt > 0 && hedge_ms < options_.request_timeout_ms) {
+            loop.Schedule(hedge_ms, [&, relation, id] {
+              Fetch& f = fetches[relation];
+              if (f.resolved || f.last_request_id != id) return;
+              ++net.mutable_stats()->hedges;
+              net.AppendTrace(StrFormat(
+                  "hedge req#%llu scan(%s) overdue; duplicate to %s",
+                  static_cast<unsigned long long>(id), relation.c_str(),
+                  f.owner.c_str()));
+              Message dup;
+              dup.type = Message::Type::kScanRequest;
+              dup.request_id = id;
+              dup.relation = relation;
+              net.Send(kCoordinatorName, f.owner, dup);
+            });
+          }
+        }
         loop.Schedule(options_.request_timeout_ms, [&, relation, id] {
           Fetch& f = fetches[relation];
           if (f.resolved || f.last_request_id != id) return;
@@ -278,6 +336,9 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
                 "%s:%s unreachable after %zu attempt(s)", f.owner.c_str(),
                 relation.c_str(), f.attempts));
             ++access.failures;
+            if (health_ != nullptr) {
+              health_->RecordFailure(f.owner, session_now());
+            }
             return;
           }
           ++access.retries;
@@ -294,14 +355,41 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
   // timeout event nests under it.
   obs::ScopedSpan fetch_span(trace_, "fetch");
   fetch_span.Set("relations", static_cast<uint64_t>(fetches.size()));
-  for (const auto& [relation, fetch] : fetches) {
-    (void)fetch;
+  for (auto& [relation, fetch] : fetches) {
+    // Gate each fetch through the failure detector before its first
+    // transmission: a suspected peer inside its probe backoff costs zero
+    // messages — the crash was paid for once, at detection time.
+    if (health_on) {
+      PeerGate gate = health_->Admit(fetch.owner, session_now());
+      if (gate == PeerGate::kSkip) {
+        fetch.resolved = true;
+        fetch.status = Status::Unavailable(
+            StrFormat("%s:%s skipped: peer suspected down",
+                      fetch.owner.c_str(), relation.c_str()));
+        ++access.failures;
+        ++net.mutable_stats()->skipped_suspected;
+        net.AppendTrace(StrFormat("skip  scan(%s): %s suspected down",
+                                  relation.c_str(), fetch.owner.c_str()));
+        continue;
+      }
+      if (gate == PeerGate::kProbe) {
+        net.AppendTrace(StrFormat("probe scan(%s): probing suspected %s",
+                                  relation.c_str(), fetch.owner.c_str()));
+      }
+    }
     send_request(relation);
   }
 
   Status run = loop.Run(options_.max_virtual_ms, options_.max_events);
   last_trace_ = net.TraceString();
   access.elapsed_ms = loop.now_ms();
+  // Fold this query's virtual duration into the tracker's session clock so
+  // probe backoff windows keep counting down across queries (each query
+  // runs on a fresh loop starting at 0). Floored at 1ms: a query whose
+  // fetches were all skipped costs zero virtual time, and without a floor
+  // the probe window would never arrive and a recovered peer would never
+  // be re-contacted.
+  if (health_ != nullptr) health_->AdvanceClock(std::max(loop.now_ms(), 1.0));
   if (metrics_ != nullptr) {
     const MessageStats& m = net.stats();
     metrics_->Add("sim.messages_sent", m.sent);
@@ -311,6 +399,8 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
     metrics_->Add("sim.messages_partitioned", m.partitioned);
     metrics_->Add("sim.request_timeouts", m.request_timeouts);
     metrics_->Add("sim.retransmits", m.retransmits);
+    metrics_->Add("sim.hedges", m.hedges);
+    metrics_->Add("sim.skipped_suspected", m.skipped_suspected);
     metrics_->Observe("sim.fetch_ms", loop.now_ms());
   }
   fetch_span.End();

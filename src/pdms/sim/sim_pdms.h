@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "pdms/core/pdms.h"
+#include "pdms/fault/peer_health.h"
 #include "pdms/obs/metrics.h"
 #include "pdms/obs/trace.h"
 #include "pdms/sim/sim_network.h"
@@ -116,6 +117,21 @@ class SimPdms {
   void set_plan_cache(PlanCacheHook* cache) { plan_cache_ = cache; }
   void set_goal_memo(GoalMemoHook* memo) { goal_memo_ = memo; }
 
+  /// Peer failure detector (borrowed, nullable — null disables; see
+  /// docs/fault_tolerance.md). Like the caches, the tracker outlives the
+  /// per-query SimPdms instances that consult it: suspicion learned by one
+  /// query spares the next the timeout ladder. With a tracker attached and
+  /// enabled, each fetch is gated before its first transmission — a
+  /// suspected peer inside its probe backoff fails fast with zero messages
+  /// (MessageStats::skipped_suspected), one request per window doubles as
+  /// the recovery probe, and when an SRTT estimate exists a response that
+  /// is `hedge_srtt_multiplier` SRTTs overdue triggers one duplicate
+  /// request (MessageStats::hedges) without waiting for the full timeout.
+  /// Each Answer folds its virtual duration into the tracker's session
+  /// clock, so backoff windows span queries deterministically.
+  void set_health(PeerHealthTracker* tracker) { health_ = tracker; }
+  PeerHealthTracker* health() { return health_; }
+
  private:
   PdmsNetwork network_;
   Database data_;
@@ -128,6 +144,7 @@ class SimPdms {
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
   PlanCacheHook* plan_cache_ = nullptr;      // not owned; may be null
   GoalMemoHook* goal_memo_ = nullptr;        // not owned; may be null
+  PeerHealthTracker* health_ = nullptr;      // not owned; may be null
 };
 
 }  // namespace sim

@@ -43,6 +43,26 @@ TEST(RetryPolicy, JitterStaysWithinFraction) {
   }
 }
 
+TEST(RetryPolicy, JitterNeverExceedsTheCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 40.0;
+  policy.jitter_fraction = 0.25;
+  Rng rng(11);
+  // Attempt 3 sits exactly at the cap; positive jitter must be clamped,
+  // negative jitter still applies.
+  for (int i = 0; i < 200; ++i) {
+    double b = policy.BackoffMillis(3, &rng);
+    EXPECT_LE(b, 40.0);
+    EXPECT_GE(b, 30.0);
+  }
+  // Deep attempts stay capped too.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(policy.BackoffMillis(20, &rng), 40.0);
+  }
+}
+
 TEST(Deadline, ExpiryAndRemaining) {
   Deadline none = Deadline::Infinite();
   EXPECT_TRUE(none.infinite());

@@ -165,13 +165,23 @@ TEST(GoalMemo, AvailabilityFlipInvalidates) {
   EXPECT_EQ(degraded->ToString(), expected->ToString());
 }
 
+// Network-less scope (wholesale fallback): any ingredient moving clears.
+CacheScope Scope(uint64_t revision, uint64_t epoch,
+                 const std::string& fingerprint) {
+  CacheScope scope;
+  scope.revision = revision;
+  scope.epoch = epoch;
+  scope.options_fingerprint = fingerprint;
+  return scope;
+}
+
 TEST(GoalMemo, OptionsFingerprintIsPartOfTheScope) {
   GoalMemo memo;
-  EXPECT_EQ(memo.EnterScope(1, 0, "u1d1o1"), 0u);
+  EXPECT_EQ(memo.EnterScope(Scope(1, 0, "u1d1o1")), 0u);
   memo.Store("k", GoalSubtree{});
-  EXPECT_EQ(memo.EnterScope(1, 0, "u1d1o1"), 0u);  // unchanged: kept
+  EXPECT_EQ(memo.EnterScope(Scope(1, 0, "u1d1o1")), 0u);  // unchanged: kept
   ASSERT_NE(memo.Find("k"), nullptr);
-  EXPECT_EQ(memo.EnterScope(1, 0, "u0d1o1"), 1u);  // prune flag flipped
+  EXPECT_EQ(memo.EnterScope(Scope(1, 0, "u0d1o1")), 1u);  // prune flag flipped
   EXPECT_EQ(memo.Find("k"), nullptr);
   EXPECT_EQ(memo.stats().invalidations, 1u);
 }
@@ -182,7 +192,11 @@ TEST(GoalMemo, FingerprintSeparatesSourceRestrictions) {
   b.unavailable_stored.insert("sa");
   ReformulationOptions c;
   c.allowed_stored.insert("sv");
-  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  // Availability is deliberately NOT part of the fingerprint: flips are
+  // catalog change events handled by dependency-tracked invalidation, so
+  // entries untouched by a flip keep hitting (docs/churn_invalidation.md).
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+  // The allow-list *is* structural: it shapes which expansions exist.
   EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(c));
   EXPECT_NE(OptionsFingerprint(b), OptionsFingerprint(c));
   EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(ReformulationOptions{}));

@@ -1,0 +1,234 @@
+// PeerHealthTracker unit tests (suspicion threshold, probe backoff and
+// cap, SRTT EWMA, the disabled mode) and SimPdms integration: a crashed
+// peer is paid for once — consecutive failures suspect it, later queries
+// skip it with zero messages, a probe per backoff window checks for
+// recovery, and a hedge masks a dropped message to a known-fast peer.
+
+#include "pdms/fault/peer_health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pdms/core/pdms.h"
+#include "pdms/sim/sim_pdms.h"
+
+namespace pdms {
+namespace {
+
+using sim::SimPdms;
+
+PeerHealthConfig Enabled() {
+  PeerHealthConfig config;
+  config.enabled = true;
+  config.suspicion_threshold = 2;
+  config.probe_backoff_ms = 100.0;
+  config.probe_backoff_multiplier = 2.0;
+  config.max_probe_backoff_ms = 400.0;
+  return config;
+}
+
+// --- Tracker unit tests ---
+
+TEST(PeerHealthTracker, SuspectsAtThresholdAndSkipsInsideTheWindow) {
+  PeerHealthTracker tracker(Enabled());
+  EXPECT_EQ(tracker.Admit("P", 0.0), PeerGate::kSend);
+  tracker.RecordFailure("P", 0.0);
+  EXPECT_FALSE(tracker.IsSuspected("P"));  // one failure is not enough
+  EXPECT_EQ(tracker.Admit("P", 1.0), PeerGate::kSend);
+  tracker.RecordFailure("P", 1.0);
+  EXPECT_TRUE(tracker.IsSuspected("P"));
+
+  // Window open until 1.0 + 100: skips, counted.
+  EXPECT_EQ(tracker.Admit("P", 50.0), PeerGate::kSkip);
+  EXPECT_EQ(tracker.Admit("P", 100.9), PeerGate::kSkip);
+  ASSERT_NE(tracker.Find("P"), nullptr);
+  EXPECT_EQ(tracker.Find("P")->skips, 2u);
+}
+
+TEST(PeerHealthTracker, ProbeBackoffDoublesUpToTheCap) {
+  PeerHealthTracker tracker(Enabled());
+  tracker.RecordFailure("P", 0.0);
+  tracker.RecordFailure("P", 0.0);  // suspected; window [0, 100)
+
+  // First probe at 100 doubles the window to 200.
+  EXPECT_EQ(tracker.Admit("P", 100.0), PeerGate::kProbe);
+  EXPECT_EQ(tracker.Admit("P", 250.0), PeerGate::kSkip);  // < 100 + 200
+  // Second probe at 300 doubles to the 400 cap; the third stays capped.
+  EXPECT_EQ(tracker.Admit("P", 300.0), PeerGate::kProbe);
+  EXPECT_EQ(tracker.Admit("P", 300.0 + 399.0), PeerGate::kSkip);
+  EXPECT_EQ(tracker.Admit("P", 300.0 + 400.0), PeerGate::kProbe);
+  EXPECT_DOUBLE_EQ(tracker.Find("P")->probe_backoff_ms, 400.0);
+  EXPECT_EQ(tracker.Find("P")->probes, 3u);
+}
+
+TEST(PeerHealthTracker, OneSuccessClearsSuspicionAndBackoff) {
+  PeerHealthTracker tracker(Enabled());
+  tracker.RecordFailure("P", 0.0);
+  tracker.RecordFailure("P", 0.0);
+  ASSERT_TRUE(tracker.IsSuspected("P"));
+  tracker.RecordSuccess("P", 100.0, 2.0);
+  EXPECT_FALSE(tracker.IsSuspected("P"));
+  EXPECT_EQ(tracker.Find("P")->consecutive_failures, 0u);
+  EXPECT_EQ(tracker.Admit("P", 100.0), PeerGate::kSend);
+  // Suspicion restarts from scratch: the threshold applies anew.
+  tracker.RecordFailure("P", 101.0);
+  EXPECT_FALSE(tracker.IsSuspected("P"));
+}
+
+TEST(PeerHealthTracker, SrttIsAnEwmaSeededByTheFirstSample) {
+  PeerHealthConfig config = Enabled();
+  config.srtt_alpha = 0.5;
+  PeerHealthTracker tracker(config);
+  EXPECT_DOUBLE_EQ(tracker.SrttMs("P"), 0.0);  // no sample yet
+  tracker.RecordSuccess("P", 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(tracker.SrttMs("P"), 10.0);  // first sample taken whole
+  tracker.RecordSuccess("P", 1.0, 20.0);
+  EXPECT_DOUBLE_EQ(tracker.SrttMs("P"), 15.0);  // 0.5*10 + 0.5*20
+}
+
+TEST(PeerHealthTracker, DisabledTrackerAlwaysSendsButStillCounts) {
+  PeerHealthConfig config;  // enabled = false
+  config.suspicion_threshold = 1;
+  PeerHealthTracker tracker(config);
+  tracker.RecordFailure("P", 0.0);
+  tracker.RecordFailure("P", 0.0);
+  EXPECT_FALSE(tracker.IsSuspected("P"));
+  EXPECT_EQ(tracker.Admit("P", 0.0), PeerGate::kSend);
+  EXPECT_EQ(tracker.Find("P")->failures, 2u);
+}
+
+TEST(PeerHealthTracker, SessionClockIsMonotonicAndResettable) {
+  PeerHealthTracker tracker(Enabled());
+  tracker.AdvanceClock(5.0);
+  tracker.AdvanceClock(-3.0);  // ignored: the clock never goes back
+  EXPECT_DOUBLE_EQ(tracker.now_ms(), 5.0);
+  tracker.RecordFailure("P", tracker.now_ms());
+  tracker.Reset();
+  EXPECT_DOUBLE_EQ(tracker.now_ms(), 0.0);
+  EXPECT_EQ(tracker.Find("P"), nullptr);
+}
+
+TEST(PeerHealthTracker, ToStringNamesEveryTrackedPeer) {
+  PeerHealthTracker tracker(Enabled());
+  tracker.RecordSuccess("A", 0.0, 2.0);
+  tracker.RecordFailure("B", 0.0);
+  tracker.RecordFailure("B", 0.0);
+  std::string s = tracker.ToString();
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("B"), std::string::npos);
+  EXPECT_NE(s.find("SUSPECTED"), std::string::npos);
+}
+
+// --- SimPdms integration ---
+
+Pdms MakeCentral() {
+  Pdms pdms;
+  auto status = pdms.LoadProgram(R"(
+    peer H { relation Doctor(name, hospital); }
+    peer W { relation Staff(name, ward); }
+    stored h_doc(n, h) <= H:Doctor(n, h).
+    stored w_staff(n, w) <= W:Staff(n, w).
+    fact h_doc("ada", "st. mary").
+    fact w_staff("bob", "icu").
+  )");
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return pdms;
+}
+
+TEST(SimPdmsHealth, CrashedPeerIsSuspectedThenSkippedThenProbedBack) {
+  Pdms central = MakeCentral();
+  PeerHealthConfig config = Enabled();
+  config.probe_backoff_ms = 500.0;  // outlasts several short queries
+  config.max_probe_backoff_ms = 500.0;
+  PeerHealthTracker tracker(config);
+
+  auto query = [&](SimPdms& sim) {
+    sim.set_health(&tracker);
+    auto got = sim.Answer("q(n) :- H:Doctor(n, h).");
+    EXPECT_TRUE(got.ok());
+    return *got;
+  };
+
+  // Two crashed queries pay the timeout ladder and reach the threshold.
+  SimPdms sim(central.network(), central.database());
+  sim.SetPeerCrashed("H", true);
+  auto first = query(sim);
+  EXPECT_GT(first.degradation.messages.request_timeouts, 0u);
+  EXPECT_FALSE(tracker.IsSuspected("H"));
+  auto second = query(sim);
+  EXPECT_TRUE(tracker.IsSuspected("H"));
+
+  // The third query fails fast: zero messages to H, zero timeouts.
+  auto third = query(sim);
+  EXPECT_EQ(third.degradation.messages.request_timeouts, 0u);
+  EXPECT_EQ(third.degradation.messages.skipped_suspected, 1u);
+  // The only source was skipped, so nothing at all came back.
+  EXPECT_EQ(third.degradation.completeness,
+            Completeness::kEmptyBecauseUnavailable);
+  EXPECT_NE(sim.last_trace().find("skip"), std::string::npos);
+
+  // The peer recovers, but the probe window is still open: skipped again.
+  sim.SetPeerCrashed("H", false);
+  auto fourth = query(sim);
+  EXPECT_EQ(fourth.degradation.messages.skipped_suspected, 1u);
+
+  // Past the window the single probe goes through, succeeds, and clears
+  // the suspicion — the next query is served normally.
+  tracker.AdvanceClock(600.0);
+  auto fifth = query(sim);
+  EXPECT_EQ(fifth.degradation.completeness, Completeness::kComplete);
+  EXPECT_FALSE(tracker.IsSuspected("H"));
+  EXPECT_NE(sim.last_trace().find("probe"), std::string::npos);
+  ASSERT_NE(tracker.Find("H"), nullptr);
+  EXPECT_EQ(tracker.Find("H")->probes, 1u);
+  EXPECT_GT(tracker.SrttMs("H"), 0.0);
+}
+
+TEST(SimPdmsHealth, HedgeFiresWhenAResponseIsOverdueBySrtt) {
+  Pdms central = MakeCentral();
+  PeerHealthTracker tracker(Enabled());
+
+  // A clean query establishes an SRTT of a couple of virtual ms.
+  SimPdms sim(central.network(), central.database());
+  sim.set_health(&tracker);
+  ASSERT_TRUE(sim.Answer("q(n) :- H:Doctor(n, h).").ok());
+  double srtt = tracker.SrttMs("H");
+  ASSERT_GT(srtt, 0.0);
+  ASSERT_LT(3.0 * srtt, sim.options().request_timeout_ms);
+
+  // Now every message is lost: the hedge fires at 3 SRTTs, well before
+  // the 10ms timeout, and is counted even though it is lost too.
+  sim.mutable_options()->faults.drop_probability = 1.0;
+  auto got = sim.Answer("q(n) :- H:Doctor(n, h).");
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(got->degradation.messages.hedges, 0u);
+  EXPECT_NE(sim.last_trace().find("hedge"), std::string::npos);
+}
+
+TEST(SimPdmsHealth, NullAndDisabledTrackersKeepPreHealthBehavior) {
+  Pdms central = MakeCentral();
+
+  // Baseline: no tracker at all.
+  SimPdms plain(central.network(), central.database());
+  plain.SetPeerCrashed("H", true);
+  auto base = plain.Answer("q(n) :- H:Doctor(n, h).");
+  ASSERT_TRUE(base.ok());
+
+  // A disabled tracker observes but never gates: same trace bytes.
+  PeerHealthTracker disabled;  // default config: enabled = false
+  SimPdms watched(central.network(), central.database());
+  watched.SetPeerCrashed("H", true);
+  watched.set_health(&disabled);
+  auto seen = watched.Answer("q(n) :- H:Doctor(n, h).");
+  ASSERT_TRUE(seen.ok());
+  EXPECT_EQ(plain.last_trace(), watched.last_trace());
+  EXPECT_EQ(seen->degradation.messages.request_timeouts,
+            base->degradation.messages.request_timeouts);
+  // It still learned about the failure, for operators who ask.
+  ASSERT_NE(disabled.Find("H"), nullptr);
+  EXPECT_EQ(disabled.Find("H")->failures, 1u);
+}
+
+}  // namespace
+}  // namespace pdms

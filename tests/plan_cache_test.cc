@@ -30,6 +30,17 @@ PlanCacheHook::Plan MakePlan(const std::string& rewriting_text) {
   return plan;
 }
 
+// A network-less scope: the cache falls back to wholesale clearing on any
+// (revision, epoch) movement — the behavior these unit tests pin down.
+// Dependency-tracked invalidation (scopes with a network) is covered by
+// cache_invalidation_test.cc and the churn DST.
+CacheScope Scope(uint64_t revision, uint64_t epoch) {
+  CacheScope scope;
+  scope.revision = revision;
+  scope.epoch = epoch;
+  return scope;
+}
+
 // --- LruByteMap ---
 
 TEST(LruByteMap, TouchPromotesAndPutEvictsFromTheBack) {
@@ -66,6 +77,35 @@ TEST(LruByteMap, OversizedEntryIsAdmittedAloneThenEvictedByTheNextPut) {
   ASSERT_NE(lru.Touch("small"), nullptr);
 }
 
+TEST(LruByteMap, ZeroByteChargeIsAdmittedAndNeverForcesEviction) {
+  LruByteMap<int> lru(20);
+  lru.Put("a", 1, 10);
+  lru.Put("b", 2, 10);  // budget exactly full
+  // A zero-charge entry fits in a full cache without evicting anything.
+  EXPECT_EQ(lru.Put("free", 3, 0), 0u);
+  EXPECT_EQ(lru.size(), 3u);
+  EXPECT_EQ(lru.total_bytes(), 20u);
+  ASSERT_NE(lru.Touch("free"), nullptr);
+  EXPECT_EQ(*lru.Touch("free"), 3);
+  // And it survives the eviction that a real charge triggers.
+  EXPECT_EQ(lru.Put("c", 4, 10), 1u);
+  ASSERT_NE(lru.Touch("free"), nullptr);
+}
+
+TEST(LruByteMap, ReinsertingWithALargerChargeEvictsToFit) {
+  LruByteMap<int> lru(30);
+  lru.Put("a", 1, 10);
+  lru.Put("b", 2, 10);
+  lru.Put("c", 3, 10);
+  // Re-inserting "c" at triple the charge must evict the LRU entries, not
+  // double-count the old charge.
+  EXPECT_EQ(lru.Put("c", 9, 30), 2u);
+  EXPECT_EQ(lru.size(), 1u);
+  EXPECT_EQ(lru.total_bytes(), 30u);
+  ASSERT_NE(lru.Touch("c"), nullptr);
+  EXPECT_EQ(*lru.Touch("c"), 9);
+}
+
 TEST(LruByteMap, ShrinkingTheBudgetEvictsDown) {
   LruByteMap<int> lru(40);
   lru.Put("a", 1, 10);
@@ -80,7 +120,7 @@ TEST(LruByteMap, ShrinkingTheBudgetEvictsDown) {
 
 TEST(PlanCache, HitAfterInsertInTheSameScope) {
   PlanCache cache;
-  EXPECT_EQ(cache.EnterScope(1, 0), 0u);
+  EXPECT_EQ(cache.EnterScope(Scope(1, 0)), 0u);
   EXPECT_EQ(cache.Find("k"), nullptr);
   auto outcome = cache.Insert("k", MakePlan("q(x) :- s(x, y)."), 1, 0);
   EXPECT_TRUE(outcome.stored);
@@ -94,14 +134,14 @@ TEST(PlanCache, HitAfterInsertInTheSameScope) {
 
 TEST(PlanCache, RevisionChangeInvalidatesEverything) {
   PlanCache cache;
-  cache.EnterScope(1, 0);
+  cache.EnterScope(Scope(1, 0));
   cache.Insert("a", MakePlan("q(x) :- s(x, y)."), 1, 0);
   cache.Insert("b", MakePlan("q(x) :- t(x, y)."), 1, 0);
   // Same scope re-announced: nothing happens.
-  EXPECT_EQ(cache.EnterScope(1, 0), 0u);
+  EXPECT_EQ(cache.EnterScope(Scope(1, 0)), 0u);
   EXPECT_EQ(cache.size(), 2u);
   // Revision moved (a mapping edit): both entries are dead.
-  EXPECT_EQ(cache.EnterScope(2, 0), 2u);
+  EXPECT_EQ(cache.EnterScope(Scope(2, 0)), 2u);
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().invalidations, 2u);
   EXPECT_EQ(cache.Find("a"), nullptr);
@@ -109,11 +149,11 @@ TEST(PlanCache, RevisionChangeInvalidatesEverything) {
 
 TEST(PlanCache, AvailabilityEpochChangeInvalidatesEverything) {
   PlanCache cache;
-  cache.EnterScope(3, 7);
+  cache.EnterScope(Scope(3, 7));
   cache.Insert("a", MakePlan("q(x) :- s(x, y)."), 3, 7);
   // Same revision, availability flipped: plans pruned sources that may be
   // back (or used sources now gone) — invalid either way.
-  EXPECT_EQ(cache.EnterScope(3, 8), 1u);
+  EXPECT_EQ(cache.EnterScope(Scope(3, 8)), 1u);
   EXPECT_EQ(cache.Find("a"), nullptr);
 }
 
@@ -123,7 +163,7 @@ TEST(PlanCache, AvailabilityEpochChangeInvalidatesEverything) {
 // a plan from a network that no longer exists at the very next Find.
 TEST(PlanCache, InsertRacingARevisionBumpIsDropped) {
   PlanCache cache;
-  cache.EnterScope(1, 0);
+  cache.EnterScope(Scope(1, 0));
   auto outcome = cache.Insert("k", MakePlan("q(x) :- s(x, y)."), 2, 0);
   EXPECT_FALSE(outcome.stored);
   EXPECT_TRUE(outcome.dropped_stale);
@@ -143,7 +183,7 @@ TEST(PlanCache, InsertRacingARevisionBumpIsDropped) {
 
 TEST(PlanCache, EvictionUnderTinyBudgetCountsEvictions) {
   PlanCache cache(/*budget_bytes=*/1);  // every insert evicts predecessors
-  cache.EnterScope(1, 0);
+  cache.EnterScope(Scope(1, 0));
   auto first = cache.Insert("a", MakePlan("q(x) :- s(x, y)."), 1, 0);
   EXPECT_TRUE(first.stored);
   EXPECT_EQ(first.evictions, 0u);  // oversized sole entry is admitted
@@ -156,7 +196,7 @@ TEST(PlanCache, EvictionUnderTinyBudgetCountsEvictions) {
 
 TEST(PlanCache, ClearDropsEntriesButKeepsCounters) {
   PlanCache cache;
-  cache.EnterScope(1, 0);
+  cache.EnterScope(Scope(1, 0));
   cache.Insert("a", MakePlan("q(x) :- s(x, y)."), 1, 0);
   cache.Find("a");
   cache.Clear();

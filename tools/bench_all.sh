@@ -16,7 +16,12 @@
 # concurrent-serving sweep plus the parallel facade numbers
 # (docs/parallel_execution.md).
 #
+# The churn_serving bench (sustained hit rate and tail latency under
+# live catalog churn, dependency-tracked vs wholesale invalidation,
+# docs/churn_invalidation.md) reports into BENCH_churn.json.
+#
 # Usage: tools/bench_all.sh [out.json] [cache-out.json] [parallel-out.json]
+#                           [churn-out.json]
 # Knobs: BUILD_DIR (default build), PDMS_BENCH_* forwarded to the benches.
 set -euo pipefail
 
@@ -24,6 +29,7 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_sim.json}"
 CACHE_OUT="${2:-BENCH_cache.json}"
 PARALLEL_OUT="${3:-BENCH_parallel.json}"
+CHURN_OUT="${4:-BENCH_churn.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 JSON_DIR="${BUILD_DIR}/bench-json"
@@ -91,3 +97,16 @@ PDMS_BENCH_THREADS="${PDMS_BENCH_THREADS:-4}" \
   printf ']\n'
 } > "${PARALLEL_OUT}"
 echo "merged parallel report into ${PARALLEL_OUT}"
+
+echo "== churn_serving =="
+# CI-sized churn: a smaller topology and request stream than the bench
+# defaults (1000 peers / 400 requests); override via the environment.
+PDMS_BENCH_PEERS="${PDMS_BENCH_PEERS:-300}" \
+PDMS_BENCH_REQUESTS="${PDMS_BENCH_REQUESTS:-200}" \
+  "${BUILD_DIR}/bench/churn_serving" --json "${JSON_DIR}/churn_serving.json"
+{
+  printf '['
+  tr -d '\n' < "${JSON_DIR}/churn_serving.json"
+  printf ']\n'
+} > "${CHURN_OUT}"
+echo "merged churn report into ${CHURN_OUT}"

@@ -17,6 +17,12 @@
 #      primitives and the parallel-vs-serial equivalence suite (which
 #      exercises concurrent serving over shared caches) under TSan
 #      (docs/parallel_execution.md).
+#   7. churn gate: a 32-seed churn-DST smoke (cached and uncached twins
+#      byte-compared under live catalog churn) plus the dependency-
+#      tracked invalidation and peer-health suites, all under TSan,
+#      including the 4-thread shared-cache churn test
+#      (docs/churn_invalidation.md). The nightly-sized run is the full
+#      200-seed default of tests/churn_dst_test.
 #
 # Usage: tools/ci.sh
 # Knobs: BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
@@ -30,18 +36,18 @@ ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/6] default build + tests =="
+echo "== [1/7] default build + tests =="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== [2/6] asan+ubsan build + tests =="
+echo "== [2/7] asan+ubsan build + tests =="
 tools/ci_sanitize.sh "${ASAN_BUILD_DIR}"
 
-echo "== [3/6] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
+echo "== [3/7] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
 PDMS_DST_SEEDS="${PDMS_DST_SEEDS:-32}" "${BUILD_DIR}/tests/sim_dst_test"
 
-echo "== [4/6] trace-export smoke =="
+echo "== [4/7] trace-export smoke =="
 TRACE_FILE="${BUILD_DIR}/ci_trace.json"
 PDMS_BENCH_RUNS=1 PDMS_BENCH_MAX_DIAMETER=1 \
   "${BUILD_DIR}/bench/fig3_tree_size" --trace "${TRACE_FILE}" > /dev/null
@@ -64,14 +70,14 @@ else
   echo "trace export ok (python3 unavailable; grep check only)"
 fi
 
-echo "== [5/6] cache-coherence smoke =="
+echo "== [5/7] cache-coherence smoke =="
 # Query -> mutate network -> re-query: the invalidation counter must
 # advance and the cached answers must match a fresh, never-cached
 # instance (the gtest case asserts both).
 "${BUILD_DIR}/tests/cache_coherence_test" \
   --gtest_filter='CacheCoherence.Smoke'
 
-echo "== [6/6] tsan: exec primitives + parallel equivalence =="
+echo "== [6/7] tsan: exec primitives + parallel equivalence =="
 cmake --preset tsan > /dev/null
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target exec_test parallel_equivalence_test
@@ -79,5 +85,18 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/exec_test"
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/parallel_equivalence_test"
+
+echo "== [7/7] tsan: churn DST smoke + invalidation/health suites =="
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+  --target churn_dst_test cache_invalidation_test peer_health_test
+# The 32-seed twin comparison and the 4-thread shared-cache churn test;
+# the full 200-seed sweep is the binary's default outside CI.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/churn_dst_test" --gtest_filter=\
+'ChurnDstSmoke.*:ChurnDst.SharedCachesSurviveFourThreadsAcrossChurnRounds'
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/cache_invalidation_test"
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/peer_health_test"
 
 echo "== CI gate passed =="
