@@ -1,0 +1,250 @@
+// Open-loop load generator for the networked serving stack
+// (docs/serving.md): starts an in-process ppl_serverd-equivalent PplServer
+// whose capacity is pinned by the service-floor knob (workers * 1000 /
+// floor_ms qps), then drives it over real loopback TCP at 0.5x, 1x, and
+// 2x that capacity with seeded Poisson arrivals. Open-loop means senders
+// keep to their arrival schedule no matter how slowly responses come
+// back — the regime where an unprotected server's queue grows without
+// bound. Reports offered vs achieved qps, answer latency p50/p99, and
+// the shed rate per load point into the shared JSON schema
+// (tools/bench_all.sh merges it into BENCH_serving.json).
+//
+// The expected shape: at 0.5x the shed rate is ~0 and p99 is near the
+// floor; at 2x roughly half the requests shed fast while answered
+// latency stays bounded by the admission queue — overload degrades into
+// rejections, not collapse.
+//
+// Knobs: PDMS_BENCH_CONNS (default 4), PDMS_BENCH_REQUESTS (200, per
+// load point), PDMS_BENCH_FLOOR_MS (10), PDMS_BENCH_WORKERS (2),
+// PDMS_BENCH_QUEUE (16), PDMS_BENCH_BUDGET_MS (0 = no deadline),
+// PDMS_BENCH_SEED (1).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "pdms/core/pdms.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/serve/client.h"
+#include "pdms/serve/server.h"
+#include "pdms/serve/wire.h"
+#include "pdms/util/rng.h"
+#include "pdms/util/timer.h"
+
+namespace pdms {
+namespace {
+
+constexpr const char* kProgram = R"(
+peer Hospital { relation Doctor(name, hospital); }
+peer Clinic { relation Physician(name, clinic); }
+stored hdoc(name, hospital) <= Hospital:Doctor(name, hospital).
+mapping Clinic:Physician(n, c) :- Hospital:Doctor(n, c).
+fact hdoc("alice", "county").
+fact hdoc("bo", "mercy").
+)";
+
+const char* const kQueries[] = {
+    "q(n, h) :- Hospital:Doctor(n, h).",
+    "q(n, c) :- Clinic:Physician(n, c).",
+};
+
+struct LoadResult {
+  double duration_ms = 0;
+  uint64_t answers = 0;
+  uint64_t sheds = 0;
+  uint64_t errors = 0;  // transport failures (should stay 0)
+  std::vector<double> answer_latencies_ms;
+};
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  size_t at = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
+  return (*v)[at];
+}
+
+// One connection's worth of open-loop traffic: the sender emits
+// `requests` query frames on a seeded Poisson schedule, the reader
+// collects exactly that many responses (every request gets an answer or
+// a shed frame) and times each against its send timestamp.
+void DriveConnection(uint16_t port, double rate_qps, size_t requests,
+                     double budget_ms, uint64_t seed, LoadResult* out) {
+  serve::Client client;
+  if (!client.Connect("127.0.0.1", port, /*io_timeout_ms=*/30000).ok()) {
+    out->errors += requests;
+    return;
+  }
+  std::vector<std::atomic<double>> sent_at(requests + 1);
+  WallTimer epoch;
+
+  std::thread reader([&client, &sent_at, requests, &epoch, out] {
+    for (size_t i = 0; i < requests; ++i) {
+      auto frame = client.ReadFrame();
+      if (!frame.ok()) {
+        out->errors += requests - i;
+        return;
+      }
+      if (frame->type == serve::wire::FrameType::kAnswer) {
+        auto answer = serve::wire::DecodeAnswer(*frame);
+        if (!answer.ok() || answer->request_id > requests) {
+          ++out->errors;
+          continue;
+        }
+        ++out->answers;
+        out->answer_latencies_ms.push_back(
+            epoch.ElapsedMillis() -
+            sent_at[answer->request_id].load(std::memory_order_acquire));
+      } else if (frame->type == serve::wire::FrameType::kShed) {
+        ++out->sheds;
+      } else {
+        ++out->errors;
+      }
+    }
+  });
+
+  Rng rng(seed);
+  double next_ms = 0;
+  uint64_t send_failures = 0;
+  for (size_t id = 1; id <= requests; ++id) {
+    // Poisson arrivals: exponential interarrival at the offered rate.
+    next_ms += -std::log(1.0 - rng.UniformDouble()) * 1000.0 / rate_qps;
+    double wait = next_ms - epoch.ElapsedMillis();
+    if (wait > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(wait));
+    }
+    serve::wire::QueryFrame query;
+    query.request_id = id;
+    query.budget_ms = budget_ms;
+    query.query = kQueries[id % 2];
+    sent_at[id].store(epoch.ElapsedMillis(), std::memory_order_release);
+    if (!client.SendRaw(serve::wire::EncodeQuery(query)).ok()) {
+      send_failures = requests - id + 1;
+      break;
+    }
+  }
+  reader.join();  // the reader owns out until this join
+  out->errors += send_failures;
+  out->duration_ms = epoch.ElapsedMillis();
+}
+
+}  // namespace
+}  // namespace pdms
+
+int main(int argc, char** argv) {
+  using pdms::bench::EnvDouble;
+  using pdms::bench::EnvSize;
+  pdms::bench::JsonReport report("serving_loadgen", &argc, argv);
+
+  size_t conns = EnvSize("PDMS_BENCH_CONNS", 4);
+  size_t requests = EnvSize("PDMS_BENCH_REQUESTS", 200);
+  double floor_ms = EnvDouble("PDMS_BENCH_FLOOR_MS", 10);
+  size_t workers = EnvSize("PDMS_BENCH_WORKERS", 2);
+  size_t queue = EnvSize("PDMS_BENCH_QUEUE", 16);
+  double budget_ms = EnvDouble("PDMS_BENCH_BUDGET_MS", 0);
+  uint64_t seed = EnvSize("PDMS_BENCH_SEED", 1);
+  if (conns == 0) conns = 1;
+  if (floor_ms <= 0) floor_ms = 10;
+  report.set_seed(seed);
+  report.params()->Set("conns", conns);
+  report.params()->Set("requests_per_load", requests);
+  report.params()->Set("service_floor_ms", floor_ms);
+  report.params()->Set("workers", workers);
+  report.params()->Set("queue", queue);
+  report.params()->Set("budget_ms", budget_ms);
+
+  pdms::Pdms loader;
+  pdms::Status loaded = loader.LoadProgram(pdms::kProgram);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "program: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+
+  pdms::obs::MetricsRegistry metrics;
+  pdms::serve::ServerOptions options;
+  options.port = 0;
+  options.executor.workers = workers;
+  options.executor.service_floor_ms = floor_ms;
+  options.executor.admission.max_queue = queue;
+  pdms::serve::PplServer server(options, &metrics);
+  pdms::Status started = server.Start(loader.network(), loader.database());
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  const double capacity_qps =
+      static_cast<double>(workers) * 1000.0 / floor_ms;
+  const double load_multipliers[] = {0.5, 1.0, 2.0};
+  std::printf("serving_loadgen: capacity %.0f qps (%zu workers, %.1fms "
+              "floor), %zu conns x %zu requests per load point\n",
+              capacity_qps, workers, floor_ms, conns, requests);
+
+  for (double multiplier : load_multipliers) {
+    const double offered_qps = capacity_qps * multiplier;
+    const double per_conn_qps = offered_qps / static_cast<double>(conns);
+    const size_t per_conn = (requests + conns - 1) / conns;
+
+    std::vector<pdms::LoadResult> results(conns);
+    std::vector<std::thread> drivers;
+    for (size_t c = 0; c < conns; ++c) {
+      drivers.emplace_back(pdms::DriveConnection, server.port(),
+                           per_conn_qps, per_conn, budget_ms,
+                           seed * 1000 + static_cast<uint64_t>(c) +
+                               static_cast<uint64_t>(multiplier * 10),
+                           &results[c]);
+    }
+    for (std::thread& t : drivers) t.join();
+
+    pdms::LoadResult total;
+    std::vector<double> latencies;
+    for (pdms::LoadResult& r : results) {
+      total.answers += r.answers;
+      total.sheds += r.sheds;
+      total.errors += r.errors;
+      total.duration_ms = std::max(total.duration_ms, r.duration_ms);
+      latencies.insert(latencies.end(), r.answer_latencies_ms.begin(),
+                       r.answer_latencies_ms.end());
+    }
+    const double responses =
+        static_cast<double>(total.answers + total.sheds);
+    const double achieved_qps =
+        total.duration_ms > 0 ? 1000.0 * responses / total.duration_ms : 0;
+    const double shed_rate =
+        responses > 0 ? static_cast<double>(total.sheds) / responses : 0;
+    const double p50 = pdms::Percentile(&latencies, 0.50);
+    const double p99 = pdms::Percentile(&latencies, 0.99);
+
+    std::printf("  load %.1fx: offered %.0f qps, achieved %.0f qps, "
+                "answers %llu, sheds %llu (%.0f%%), p50 %.1fms, "
+                "p99 %.1fms, errors %llu\n",
+                multiplier, offered_qps, achieved_qps,
+                static_cast<unsigned long long>(total.answers),
+                static_cast<unsigned long long>(total.sheds),
+                100.0 * shed_rate, p50, p99,
+                static_cast<unsigned long long>(total.errors));
+
+    auto* row = report.AddMetricRow();
+    row->Set("load_multiplier", multiplier);
+    row->Set("offered_qps", offered_qps);
+    row->Set("achieved_qps", achieved_qps);
+    row->Set("answers", static_cast<size_t>(total.answers));
+    row->Set("sheds", static_cast<size_t>(total.sheds));
+    row->Set("shed_rate", shed_rate);
+    row->Set("p50_ms", p50);
+    row->Set("p99_ms", p99);
+    row->Set("transport_errors", static_cast<size_t>(total.errors));
+  }
+
+  server.Stop();
+  report.SetExtra("registry", metrics.ToJson());
+  if (!report.Write()) return 1;
+  return 0;
+}

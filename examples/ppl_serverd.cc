@@ -1,0 +1,147 @@
+// ppl_serverd: the networked PDMS serving daemon (docs/serving.md).
+//
+// Loads PPL programs, binds a TCP port, and answers wire-protocol query
+// frames with admission control and load shedding: a bounded queue sheds
+// eagerly when full, requests carrying a budget are shed when the
+// remaining budget cannot cover the queue's expected wait, and budgets
+// that survive admission become reformulation deadlines so overload
+// degrades to sound partial answers instead of timeouts.
+//
+// Usage:
+//   ./ppl_serverd [--port N] [--addr A] [--workers N] [--queue N]
+//                 [--floor MS] [program.ppl ...]
+//
+//   --port N     TCP port (default 7432; 0 picks an ephemeral port)
+//   --addr A     bind address (default 127.0.0.1)
+//   --workers N  evaluation worker threads (default 2)
+//   --queue N    admission queue bound (default 64)
+//   --floor MS   minimum service time per request (bench knob; default 0)
+//
+// With no program files a small demo network is served. The daemon then
+// reads commands from stdin: `metrics`, `admission`, `quit` (EOF quits
+// too). Talk to it with `ppl_shell` (`connect 127.0.0.1:<port>`) or the
+// `serving_loadgen` benchmark.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pdms/core/pdms.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/serve/server.h"
+#include "pdms/util/strings.h"
+
+namespace {
+
+constexpr const char* kDemoProgram = R"(
+peer Hospital { relation Doctor(name, hospital); }
+peer Clinic { relation Physician(name, clinic); }
+stored hdoc(name, hospital) <= Hospital:Doctor(name, hospital).
+mapping Clinic:Physician(n, c) :- Hospital:Doctor(n, c).
+fact hdoc("alice", "county").
+fact hdoc("bo", "mercy").
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7432;
+  std::string addr = "127.0.0.1";
+  size_t workers = 2;
+  size_t queue = 64;
+  double floor_ms = 0;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--addr") {
+      addr = next();
+    } else if (arg == "--workers") {
+      workers = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--queue") {
+      queue = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--floor") {
+      floor_ms = std::atof(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--port N] [--addr A] [--workers N] "
+                  "[--queue N] [--floor MS] [program.ppl ...]\n",
+                  argv[0]);
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  pdms::Pdms pdms;
+  if (files.empty()) {
+    pdms::Status status = pdms.LoadProgram(kDemoProgram);
+    if (!status.ok()) {
+      std::fprintf(stderr, "demo program: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("no program files; serving the built-in demo network\n");
+  }
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    pdms::Status status = pdms.LoadProgram(buffer.str());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s\n", path.c_str());
+  }
+
+  pdms::obs::MetricsRegistry metrics;
+  pdms::serve::ServerOptions options;
+  options.port = port;
+  options.bind_address = addr;
+  options.executor.workers = workers;
+  options.executor.admission.max_queue = queue;
+  options.executor.service_floor_ms = floor_ms;
+  pdms::serve::PplServer server(options, &metrics);
+  pdms::Status status = server.Start(pdms.network(), pdms.database());
+  if (!status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("ppl_serverd listening on %s:%u (%zu workers, queue %zu)\n",
+              addr.c_str(), static_cast<unsigned>(server.port()), workers,
+              queue);
+  std::printf("commands: metrics | admission | quit\n");
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(pdms::StripWhitespace(line));
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed == "metrics") {
+      std::string out = metrics.ToString();
+      std::printf("%s", out.empty() ? "no metrics yet\n" : out.c_str());
+    } else if (trimmed == "admission") {
+      std::printf("%s\n",
+                  server.executor()->admission()->ToString().c_str());
+    } else if (!trimmed.empty()) {
+      std::printf("commands: metrics | admission | quit\n");
+    }
+    std::fflush(stdout);
+  }
+  server.Stop();
+  std::printf("stopped\n");
+  return 0;
+}

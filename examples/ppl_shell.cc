@@ -26,6 +26,8 @@
 //   trace save <file>    write the last query's spans as Chrome-trace JSON
 //   explain              render the last query's span tree
 //   metrics              print the accumulated metrics registry
+//   serve <port>         serve the network/data over TCP (serving.md)
+//   connect <host:port>  route queries to a ppl_serverd instance
 //   quit
 //
 // Queries run on the simulated distributed runtime (src/pdms/sim/): each
@@ -38,6 +40,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -53,6 +56,8 @@
 #include "pdms/obs/export.h"
 #include "pdms/obs/metrics.h"
 #include "pdms/obs/trace.h"
+#include "pdms/serve/client.h"
+#include "pdms/serve/server.h"
 #include "pdms/sim/sim_pdms.h"
 #include "pdms/util/strings.h"
 
@@ -83,6 +88,13 @@ pdms::PeerHealthTracker g_health([] {
   config.enabled = true;
   return config;
 }());
+// Networked serving (docs/serving.md): `serve <port>` exposes the shell's
+// current network/data through ppl_serverd's wire protocol; `connect
+// <host:port>` routes subsequent `?` queries to a remote server instead
+// of the local simulated runtime.
+std::unique_ptr<pdms::serve::PplServer> g_server;
+pdms::serve::Client g_client;
+double g_remote_budget_ms = 0;
 
 void LoadFile(const std::string& path) {
   std::ifstream in(path);
@@ -97,7 +109,56 @@ void LoadFile(const std::string& path) {
               status.ok() ? "loaded" : status.ToString().c_str());
 }
 
+// A `?` query while `connect`ed goes over the wire: shed responses print
+// the retry-after hint, degraded/truncated answers print their report
+// fields, and the answer relation is rebuilt from the frame.
+void RunRemoteQuery(const std::string& text) {
+  auto reply = g_client.Query(text, g_remote_budget_ms);
+  if (!reply.ok()) {
+    std::printf("error: %s\n", reply.status().ToString().c_str());
+    if (reply.status().code() == pdms::StatusCode::kUnavailable) {
+      g_client.Close();
+      std::printf("disconnected\n");
+    }
+    return;
+  }
+  if (reply->shed) {
+    std::printf("SHED (%s): %s; retry after %.1f ms (queue depth %u)\n",
+                pdms::serve::wire::ShedReasonName(reply->shed_info.reason),
+                reply->shed_info.message.c_str(),
+                reply->shed_info.retry_after_ms,
+                reply->shed_info.queue_depth);
+    return;
+  }
+  const pdms::serve::wire::AnswerFrame& answer = reply->answer;
+  pdms::Status status = answer.status();
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  std::printf("answers (server %.2f ms):\n%s\n", answer.server_ms,
+              answer.ToRelation().ToString().c_str());
+  std::printf("completeness: %s%s\n",
+              pdms::CompletenessName(
+                  static_cast<pdms::Completeness>(answer.completeness)),
+              answer.truncated != 0 ? " (truncated by deadline)" : "");
+  if (!answer.excluded_peers.empty() || !answer.excluded_stored.empty()) {
+    std::printf("excluded:");
+    for (const auto& p : answer.excluded_peers) {
+      std::printf(" peer:%s", p.c_str());
+    }
+    for (const auto& s : answer.excluded_stored) {
+      std::printf(" stored:%s", s.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
 void RunQuery(const std::string& text, bool evaluate) {
+  if (evaluate && g_client.connected()) {
+    RunRemoteQuery(text);
+    return;
+  }
   if (!evaluate) {
     auto result = g_pdms.Reformulate(text);
     if (!result.ok()) {
@@ -404,6 +465,92 @@ void ThreadsCommand(const std::string& args) {
               n == 1 ? " (serial)" : " (work-stealing pool)");
 }
 
+// `serve <port>` / `serve stop`: expose the shell's network/data over the
+// wire protocol from a background server owned by the shell.
+void ServeCommand(const std::string& args) {
+  if (args == "stop") {
+    if (g_server == nullptr) {
+      std::printf("not serving\n");
+      return;
+    }
+    g_server->Stop();
+    g_server.reset();
+    std::printf("server stopped\n");
+    return;
+  }
+  int port = -1;
+  std::istringstream in(args);
+  if (!(in >> port) || port < 0 || port > 65535) {
+    std::printf("usage: serve <port> | serve stop   (port 0 = ephemeral)\n");
+    return;
+  }
+  if (g_server != nullptr) {
+    std::printf("already serving on port %u; `serve stop` first\n",
+                static_cast<unsigned>(g_server->port()));
+    return;
+  }
+  pdms::serve::ServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  g_server = std::make_unique<pdms::serve::PplServer>(options, &g_metrics);
+  pdms::Status status = g_server->Start(g_pdms.network(), g_pdms.database());
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    g_server.reset();
+    return;
+  }
+  std::printf("serving on 127.0.0.1:%u (snapshot of the current "
+              "network/data)\n",
+              static_cast<unsigned>(g_server->port()));
+}
+
+// `connect <host:port>` / `disconnect`: route `?` queries to a server.
+void ConnectCommand(const std::string& args) {
+  size_t colon = args.rfind(':');
+  int port = -1;
+  if (colon != std::string::npos) {
+    std::istringstream in(args.substr(colon + 1));
+    in >> port;
+  }
+  if (colon == std::string::npos || port <= 0 || port > 65535) {
+    std::printf("usage: connect <host:port>\n");
+    return;
+  }
+  std::string host = args.substr(0, colon);
+  pdms::Status status =
+      g_client.Connect(host, static_cast<uint16_t>(port));
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  status = g_client.Ping();
+  if (!status.ok()) {
+    std::printf("connected but ping failed: %s\n",
+                status.ToString().c_str());
+    g_client.Close();
+    return;
+  }
+  std::printf("connected to %s:%d; `?` queries now go over the wire "
+              "(budget %.0f ms, `budget <ms>` to change, `disconnect` to "
+              "detach)\n",
+              host.c_str(), port, g_remote_budget_ms);
+}
+
+void BudgetCommand(const std::string& args) {
+  if (args.empty()) {
+    std::printf("budget: %.1f ms (0 = unlimited)\n", g_remote_budget_ms);
+    return;
+  }
+  std::istringstream in(args);
+  double ms = 0;
+  if (!(in >> ms)) {
+    std::printf("usage: budget [<ms>]  (0 = unlimited)\n");
+    return;
+  }
+  g_remote_budget_ms = ms;
+  std::printf("remote query budget set to %.1f ms%s\n", ms,
+              ms <= 0 ? " (unlimited)" : "");
+}
+
 void Help() {
   std::printf(
       "commands:\n"
@@ -436,6 +583,11 @@ void Help() {
       "  cache clear        drop all cached plans and memoized subtrees\n"
       "  cache budget <n>   set both cache byte budgets (evicts down)\n"
       "  threads [<n>]      show or set facade parallelism (1 = serial)\n"
+      "  serve <port>       serve the current network/data over TCP\n"
+      "                     (docs/serving.md; `serve stop` to stop)\n"
+      "  connect <h:p>      route `?` queries to a ppl_serverd instance\n"
+      "  disconnect         detach and answer locally again\n"
+      "  budget [<ms>]      show or set the remote query budget\n"
       "  help               this text\n"
       "  quit               exit\n"
       "queries run on the simulated distributed runtime: every stored-\n"
@@ -498,6 +650,21 @@ int main(int argc, char** argv) {
       CacheCommand(std::string(pdms::StripWhitespace(trimmed.substr(6))));
     } else if (trimmed == "cache") {
       CacheCommand("");
+    } else if (pdms::StartsWith(trimmed, "serve ")) {
+      ServeCommand(std::string(pdms::StripWhitespace(trimmed.substr(6))));
+    } else if (pdms::StartsWith(trimmed, "connect ")) {
+      ConnectCommand(std::string(pdms::StripWhitespace(trimmed.substr(8))));
+    } else if (trimmed == "disconnect") {
+      if (g_client.connected()) {
+        g_client.Close();
+        std::printf("disconnected; queries answer locally again\n");
+      } else {
+        std::printf("not connected\n");
+      }
+    } else if (trimmed == "budget") {
+      BudgetCommand("");
+    } else if (pdms::StartsWith(trimmed, "budget ")) {
+      BudgetCommand(std::string(pdms::StripWhitespace(trimmed.substr(7))));
     } else if (pdms::StartsWith(trimmed, "partition ")) {
       AddPartition(trimmed.substr(10));
     } else if (trimmed == "heal") {
@@ -524,5 +691,6 @@ int main(int argc, char** argv) {
       std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
     }
   }
+  if (g_server != nullptr) g_server->Stop();
   return 0;
 }

@@ -2,6 +2,7 @@
 #define PDMS_FAULT_RETRY_H_
 
 #include <cstddef>
+#include <limits>
 #include <string>
 
 #include "pdms/util/rng.h"
@@ -43,9 +44,14 @@ class Deadline {
   Deadline() = default;
 
   static Deadline Infinite() { return Deadline(); }
+  /// A finite deadline. A zero or negative budget is clamped to 0 and is
+  /// *already expired* — it never means "no deadline" (callers that want
+  /// that spell it `Infinite()`). The distinction matters to the serving
+  /// layer, where a request whose budget ran out while queued must be shed
+  /// rather than given unlimited time.
   static Deadline AfterMillis(double budget_ms) {
     Deadline d;
-    d.budget_ms_ = budget_ms;
+    d.budget_ms_ = budget_ms > 0 ? budget_ms : 0;
     d.infinite_ = false;
     return d;
   }
@@ -53,15 +59,16 @@ class Deadline {
   bool infinite() const { return infinite_; }
   double budget_ms() const { return budget_ms_; }
 
-  /// True once `elapsed_ms` of budget has been consumed.
+  /// True once `elapsed_ms` of budget has been consumed. A zero-budget
+  /// deadline is expired from elapsed 0 on.
   bool Expired(double elapsed_ms) const {
     return !infinite_ && elapsed_ms >= budget_ms_;
   }
 
-  /// Budget left after `elapsed_ms` (never negative; meaningless when
-  /// infinite).
+  /// Budget left after `elapsed_ms`: never negative, 0 at or past expiry,
+  /// +infinity for an infinite deadline.
   double RemainingMillis(double elapsed_ms) const {
-    if (infinite_) return budget_ms_;
+    if (infinite_) return std::numeric_limits<double>::infinity();
     return elapsed_ms >= budget_ms_ ? 0 : budget_ms_ - elapsed_ms;
   }
 

@@ -1,0 +1,175 @@
+#include "pdms/serve/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace serve {
+namespace {
+
+timeval ToTimeval(double ms) {
+  if (ms < 1) ms = 1;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms - 1000.0 * tv.tv_sec) * 1000);
+  return tv;
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  reader_ = wire::FrameReader(limits_);
+}
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       double io_timeout_ms) {
+  Close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  std::string port_text = StrFormat("%u", static_cast<unsigned>(port));
+  int rc = ::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &found);
+  if (rc != 0 || found == nullptr) {
+    return Status::Unavailable(
+        StrFormat("resolve %s: %s", host.c_str(), ::gai_strerror(rc)));
+  }
+  int fd = ::socket(found->ai_family, found->ai_socktype,
+                    found->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(found);
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  timeval tv = ToTimeval(io_timeout_ms);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  rc = ::connect(fd, found->ai_addr, found->ai_addrlen);
+  ::freeaddrinfo(found);
+  if (rc < 0) {
+    ::close(fd);
+    return Status::Unavailable(
+        StrFormat("connect %s:%u: %s", host.c_str(),
+                  static_cast<unsigned>(port), std::strerror(errno)));
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Status Client::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable(
+        StrFormat("send: %s", std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Result<wire::Frame> Client::ReadFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  while (true) {
+    wire::Frame frame;
+    PDMS_ASSIGN_OR_RETURN(bool ready, reader_.Next(&frame));
+    if (ready) return frame;
+    char buf[16 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reader_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("receive timed out");
+    }
+    return Status::Unavailable(
+        StrFormat("recv: %s", std::strerror(errno)));
+  }
+}
+
+Result<ServeReply> Client::Query(const std::string& query_text,
+                                 double budget_ms) {
+  wire::QueryFrame query;
+  query.request_id = next_request_id_++;
+  query.budget_ms = budget_ms;
+  query.query = query_text;
+  PDMS_RETURN_IF_ERROR(SendRaw(wire::EncodeQuery(query)));
+  while (true) {
+    PDMS_ASSIGN_OR_RETURN(wire::Frame frame, ReadFrame());
+    if (frame.type == wire::FrameType::kAnswer) {
+      PDMS_ASSIGN_OR_RETURN(wire::AnswerFrame answer,
+                            wire::DecodeAnswer(frame, limits_));
+      if (answer.request_id != query.request_id) continue;  // stale
+      ServeReply reply;
+      reply.answer = std::move(answer);
+      return reply;
+    }
+    if (frame.type == wire::FrameType::kShed) {
+      PDMS_ASSIGN_OR_RETURN(wire::ShedFrame shed,
+                            wire::DecodeShed(frame, limits_));
+      if (shed.request_id != query.request_id) continue;
+      ServeReply reply;
+      reply.shed = true;
+      reply.shed_info = std::move(shed);
+      return reply;
+    }
+    if (frame.type == wire::FrameType::kPong) continue;
+    return Status::Internal(
+        StrFormat("unexpected %s frame while awaiting answer",
+                  wire::FrameTypeName(frame.type)));
+  }
+}
+
+Status Client::Ping() {
+  uint64_t id = next_request_id_++;
+  PDMS_RETURN_IF_ERROR(SendRaw(wire::EncodePing(id)));
+  while (true) {
+    PDMS_ASSIGN_OR_RETURN(wire::Frame frame, ReadFrame());
+    if (frame.type != wire::FrameType::kPong) continue;
+    PDMS_ASSIGN_OR_RETURN(uint64_t got, wire::DecodePing(frame));
+    if (got == id) return Status::Ok();
+  }
+}
+
+Result<sim::Message> Client::ScanRelation(const std::string& relation) {
+  sim::Message request;
+  request.type = sim::Message::Type::kScanRequest;
+  request.request_id = next_request_id_++;
+  request.relation = relation;
+  PDMS_RETURN_IF_ERROR(request.Validate());
+  PDMS_RETURN_IF_ERROR(SendRaw(wire::EncodeScan(request)));
+  while (true) {
+    PDMS_ASSIGN_OR_RETURN(wire::Frame frame, ReadFrame());
+    if (frame.type != wire::FrameType::kScanResponse) continue;
+    PDMS_ASSIGN_OR_RETURN(sim::Message response,
+                          wire::DecodeScan(frame, limits_));
+    if (response.request_id == request.request_id) return response;
+  }
+}
+
+}  // namespace serve
+}  // namespace pdms

@@ -1,0 +1,77 @@
+#ifndef PDMS_SERVE_CLIENT_H_
+#define PDMS_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "pdms/serve/wire.h"
+#include "pdms/sim/message.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace serve {
+
+/// One query's outcome as seen by a client: either an answer (possibly
+/// degraded/truncated — inspect `answer`) or a shed response with a
+/// retry-after hint.
+struct ServeReply {
+  bool shed = false;
+  wire::AnswerFrame answer;
+  wire::ShedFrame shed_info;
+};
+
+/// A minimal blocking client for the ppl_serverd wire protocol: one
+/// connection, synchronous request/response. Used by ppl_shell's
+/// `connect` mode, the loopback tests, and as the building block of the
+/// open-loop load generator (which runs many of them).
+///
+/// Not thread-safe; one Client per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port. `host` may be an IPv4 literal or a name
+  /// resolvable by the system resolver. `io_timeout_ms` bounds every
+  /// subsequent send/receive (and the connect itself).
+  Status Connect(const std::string& host, uint16_t port,
+                 double io_timeout_ms = 5000);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one query and blocks for its answer or shed response.
+  /// `budget_ms <= 0` means no deadline.
+  Result<ServeReply> Query(const std::string& query_text,
+                           double budget_ms = 0);
+
+  /// Round-trips a ping.
+  Status Ping();
+
+  /// Requests a stored-relation scan (the promoted sim::Message framing);
+  /// returns the scan-response message (whose own `status` carries
+  /// relation-level errors like NotFound).
+  Result<sim::Message> ScanRelation(const std::string& relation);
+
+  // --- Low-level access (tests and the load generator) ---
+
+  /// Writes raw bytes to the socket, unframed. The malformed-input tests
+  /// use this to send garbage a well-behaved client never would.
+  Status SendRaw(const std::string& bytes);
+
+  /// Blocks for the next complete frame.
+  Result<wire::Frame> ReadFrame();
+
+ private:
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  wire::Limits limits_;
+  wire::FrameReader reader_{wire::Limits{}};
+};
+
+}  // namespace serve
+}  // namespace pdms
+
+#endif  // PDMS_SERVE_CLIENT_H_

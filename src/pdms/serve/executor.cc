@@ -1,0 +1,221 @@
+#include "pdms/serve/executor.h"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "pdms/util/check.h"
+
+namespace pdms {
+namespace serve {
+namespace {
+
+AdmissionOptions WithWorkers(AdmissionOptions admission, size_t workers) {
+  admission.workers = workers > 0 ? workers : 1;
+  return admission;
+}
+
+double RemainingBudgetMs(const ServeRequest& request) {
+  if (request.budget_ms <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return Deadline::AfterMillis(request.budget_ms)
+      .RemainingMillis(request.arrival.ElapsedMillis());
+}
+
+}  // namespace
+
+wire::AnswerFrame MakeAnswerFrame(uint64_t request_id,
+                                  const Result<AnswerResult>& result,
+                                  double server_ms) {
+  wire::AnswerFrame a;
+  a.request_id = request_id;
+  a.server_ms = server_ms;
+  if (!result.ok()) {
+    a.status_code = static_cast<uint32_t>(result.status().code());
+    a.status_message = result.status().message();
+    a.relation_name = "q";
+    return a;
+  }
+  const AnswerResult& r = *result;
+  a.completeness = static_cast<uint8_t>(r.degradation.completeness);
+  if (r.stats.tree_truncated) a.truncated |= wire::AnswerFrame::kTruncatedTree;
+  if (r.stats.enumeration_truncated) {
+    a.truncated |= wire::AnswerFrame::kTruncatedEnumeration;
+  }
+  a.rewritings_skipped = r.degradation.rewritings_skipped;
+  a.branches_pruned = r.degradation.branches_pruned;
+  a.excluded_peers = r.degradation.excluded_peers;
+  a.excluded_stored = r.degradation.excluded_stored;
+  a.relation_name = r.answers.name();
+  a.arity = static_cast<uint32_t>(r.answers.arity());
+  a.tuples = r.answers.tuples();
+  return a;
+}
+
+RequestExecutor::RequestExecutor(ExecutorOptions options,
+                                 obs::MetricsRegistry* metrics)
+    : options_(options),
+      metrics_(metrics),
+      admission_(WithWorkers(options.admission,
+                             options.workers > 0 ? options.workers : 1),
+                 metrics) {
+  if (options_.workers == 0) options_.workers = 1;
+}
+
+RequestExecutor::~RequestExecutor() { Stop(); }
+
+Status RequestExecutor::Start(const PdmsNetwork& network, const Database& data,
+                              std::function<void(ServeOutcome)> done) {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (started_) {
+      return Status::FailedPrecondition("executor already started");
+    }
+    started_ = true;
+  }
+  done_ = std::move(done);
+  // One serial facade per worker, all sharing the thread-safe caches; a
+  // worker claims a free facade for the duration of one request, so the
+  // facades themselves never see concurrent use.
+  for (size_t i = 0; i < options_.workers; ++i) {
+    ReformulationOptions opts = options_.query_options;
+    opts.threads = 1;
+    auto facade = std::make_unique<Pdms>(opts);
+    *facade->mutable_network() = network;
+    *facade->mutable_database() = data;
+    facade->set_plan_cache(&plan_cache_);
+    facade->set_goal_memo(&goal_memo_);
+    facade->set_metrics(metrics_);
+    free_facades_.push_back(facade.get());
+    facades_.push_back(std::move(facade));
+  }
+  pool_ = std::make_unique<exec::ThreadPool>(options_.workers);
+  return Status::Ok();
+}
+
+void RequestExecutor::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    if (!started_ || stopped_) {
+      stopped_ = true;
+      return;
+    }
+    stopped_ = true;
+    drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  pool_.reset();  // joins the workers; every submitted task has run
+}
+
+std::optional<wire::ShedFrame> RequestExecutor::Submit(ServeRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (!started_ || stopped_) {
+      wire::ShedFrame shed;
+      shed.request_id = request.request_id;
+      shed.reason = wire::ShedReason::kQueueFull;
+      shed.retry_after_ms = admission_.options().retry_after_floor_ms;
+      shed.message = "server shutting down";
+      return shed;
+    }
+  }
+  AdmissionController::Decision decision =
+      admission_.Offer(RemainingBudgetMs(request));
+  if (!decision.admitted) {
+    wire::ShedFrame shed;
+    shed.request_id = request.request_id;
+    shed.reason = decision.reason;
+    shed.retry_after_ms = decision.retry_after_ms;
+    shed.queue_depth = decision.queue_depth;
+    shed.message = decision.reason == wire::ShedReason::kQueueFull
+                       ? "admission queue full"
+                       : "remaining budget below expected wait";
+    return shed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++in_flight_;
+  }
+  pool_->Submit([this, request = std::move(request)]() mutable {
+    RunOne(std::move(request));
+  });
+  return std::nullopt;
+}
+
+Pdms* RequestExecutor::PopFacade() {
+  std::lock_guard<std::mutex> lock(facades_mu_);
+  PDMS_CHECK_MSG(!free_facades_.empty(),
+                 "more concurrent requests than worker facades");
+  Pdms* facade = free_facades_.back();
+  free_facades_.pop_back();
+  return facade;
+}
+
+void RequestExecutor::PushFacade(Pdms* facade) {
+  std::lock_guard<std::mutex> lock(facades_mu_);
+  free_facades_.push_back(facade);
+}
+
+void RequestExecutor::RunOne(ServeRequest request) {
+  WallTimer service;
+  ServeOutcome out;
+  out.conn_id = request.conn_id;
+
+  const Deadline deadline = request.budget_ms > 0
+                                ? Deadline::AfterMillis(request.budget_ms)
+                                : Deadline::Infinite();
+  // Dequeue-time re-check: a budget that ran out while the request sat in
+  // the queue sheds it here, before any facade (and thus any stored-
+  // relation access) is touched.
+  if (deadline.Expired(request.arrival.ElapsedMillis())) {
+    admission_.CancelQueued();
+    out.shed = true;
+    out.shed_frame.request_id = request.request_id;
+    out.shed_frame.reason = wire::ShedReason::kDeadline;
+    out.shed_frame.retry_after_ms = admission_.RetryAfterMs();
+    out.shed_frame.queue_depth =
+        static_cast<uint32_t>(admission_.queue_depth());
+    out.shed_frame.message = "budget expired while queued";
+    if (metrics_) metrics_->Add("serve.shed_after_queue");
+    done_(std::move(out));
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (--in_flight_ == 0) drain_cv_.notify_all();
+    return;
+  }
+
+  if (options_.service_floor_ms > 0) {
+    // The deterministic-capacity knob: pad every request to a known
+    // service time so tests can compute the overload point exactly.
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.service_floor_ms));
+  }
+
+  Pdms* facade = PopFacade();
+  // Whatever budget survives queueing becomes the reformulation time
+  // budget, so mid-query expiry degrades to a sound truncated answer.
+  ReformulationOptions opts = options_.query_options;
+  opts.threads = 1;
+  if (!deadline.infinite()) {
+    double remaining = deadline.RemainingMillis(request.arrival.ElapsedMillis());
+    opts.time_budget_ms = remaining > 0 ? remaining : 0.001;
+  }
+  facade->set_options(opts);
+  Result<AnswerResult> result = facade->AnswerWithReport(request.query);
+  PushFacade(facade);
+
+  const double service_ms = service.ElapsedMillis();
+  out.answer = MakeAnswerFrame(request.request_id, result, service_ms);
+  if (metrics_) {
+    metrics_->Add("serve.completed");
+    metrics_->Observe("serve.service_ms", service_ms);
+    if (out.answer.truncated != 0) metrics_->Add("serve.truncated_answers");
+  }
+  admission_.OnComplete(service_ms);
+  done_(std::move(out));
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  if (--in_flight_ == 0) drain_cv_.notify_all();
+}
+
+}  // namespace serve
+}  // namespace pdms

@@ -1,0 +1,138 @@
+#ifndef PDMS_SERVE_EXECUTOR_H_
+#define PDMS_SERVE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pdms/cache/goal_memo.h"
+#include "pdms/cache/plan_cache.h"
+#include "pdms/core/pdms.h"
+#include "pdms/exec/thread_pool.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/serve/admission.h"
+#include "pdms/serve/wire.h"
+#include "pdms/util/timer.h"
+
+namespace pdms {
+namespace serve {
+
+/// Tunables for the serving executor.
+struct ExecutorOptions {
+  /// Worker threads evaluating admitted requests (the PR-5 work-stealing
+  /// pool; also the parallelism the admission estimate assumes).
+  size_t workers = 2;
+  AdmissionOptions admission;
+  /// Base reformulation options for every worker facade. `threads` stays 1
+  /// per facade — parallelism comes from concurrent requests, and serial
+  /// facades keep answers byte-identical to the in-process baseline.
+  ReformulationOptions query_options;
+  /// Test/bench knob: a minimum service time per request, spent sleeping
+  /// before evaluation. With a known floor the server's capacity is
+  /// `workers * 1000 / floor` qps, which lets the overload test drive a
+  /// deterministic 2x overload regardless of host speed. 0 disables.
+  double service_floor_ms = 0;
+};
+
+/// An admitted unit of work: one query frame plus the connection it came
+/// from and the stopwatch started when the frame was read off the socket
+/// (the deadline measures queueing + service, not just service).
+struct ServeRequest {
+  uint64_t conn_id = 0;
+  uint64_t request_id = 0;
+  std::string query;
+  /// <= 0 means no deadline (wire convention).
+  double budget_ms = 0;
+  WallTimer arrival;
+};
+
+/// The outcome handed to the completion callback: exactly one of
+/// `answer` (admitted and evaluated, possibly degraded/truncated) or
+/// `shed` (deadline expired while the request sat in the queue).
+struct ServeOutcome {
+  uint64_t conn_id = 0;
+  bool shed = false;
+  wire::AnswerFrame answer;
+  wire::ShedFrame shed_frame;
+};
+
+/// Evaluates admitted query requests on a work-stealing pool of worker
+/// threads, each owning a serial Pdms facade over the same network and
+/// data, all sharing one thread-safe plan cache + goal memo (the PR-5
+/// concurrent-serving pattern, docs/parallel_execution.md). The executor
+/// owns admission control: Submit either returns a ShedFrame immediately
+/// (queue full / budget can't cover the expected wait) or schedules the
+/// request and later fires the completion callback from a worker thread.
+///
+/// Deadline propagation (docs/serving.md): a request's remaining budget is
+/// re-checked when a worker dequeues it — expiry while queued sheds it
+/// without touching a facade or the network layer — and what is left
+/// after dequeue becomes the facade's reformulation time budget, so
+/// expiry mid-query yields a sound truncated answer instead of a missed
+/// deadline.
+class RequestExecutor {
+ public:
+  RequestExecutor(ExecutorOptions options, obs::MetricsRegistry* metrics);
+  ~RequestExecutor();
+
+  RequestExecutor(const RequestExecutor&) = delete;
+  RequestExecutor& operator=(const RequestExecutor&) = delete;
+
+  /// Builds the worker facades over copies of `network`/`data` and starts
+  /// the pool. Must be called exactly once before Submit.
+  Status Start(const PdmsNetwork& network, const Database& data,
+               std::function<void(ServeOutcome)> done);
+
+  /// Drains in-flight requests and joins the workers. Safe to call twice.
+  void Stop();
+
+  /// Offers a request. Returns the shed response when admission rejects
+  /// it; nullopt when admitted, in which case `done` will eventually fire
+  /// from a worker thread with this request's outcome.
+  std::optional<wire::ShedFrame> Submit(ServeRequest request);
+
+  AdmissionController* admission() { return &admission_; }
+  cache::PlanCache* plan_cache() { return &plan_cache_; }
+  cache::GoalMemo* goal_memo() { return &goal_memo_; }
+  const ExecutorOptions& options() const { return options_; }
+
+ private:
+  void RunOne(ServeRequest request);
+  Pdms* PopFacade();
+  void PushFacade(Pdms* facade);
+
+  ExecutorOptions options_;
+  obs::MetricsRegistry* metrics_;  // not owned; may be null
+  AdmissionController admission_;
+  cache::PlanCache plan_cache_;
+  cache::GoalMemo goal_memo_;
+  std::function<void(ServeOutcome)> done_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+
+  std::mutex facades_mu_;
+  std::vector<std::unique_ptr<Pdms>> facades_;  // all workers, for cleanup
+  std::vector<Pdms*> free_facades_;             // currently unclaimed
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  size_t in_flight_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+/// Builds the wire answer for one evaluated request. Exposed for tests:
+/// the loopback smoke test asserts the server's frames decode to exactly
+/// what this produces in-process.
+wire::AnswerFrame MakeAnswerFrame(uint64_t request_id,
+                                  const Result<AnswerResult>& result,
+                                  double server_ms);
+
+}  // namespace serve
+}  // namespace pdms
+
+#endif  // PDMS_SERVE_EXECUTOR_H_

@@ -1,0 +1,595 @@
+#include "pdms/serve/wire.h"
+
+#include <bit>
+#include <cstring>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace serve {
+namespace wire {
+namespace {
+
+uint32_t Checksum(std::string_view payload) {
+  return static_cast<uint32_t>(Fnv1aHash(payload));
+}
+
+// --- Little-endian payload writer ---
+
+class PayloadWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { AppendLE(v); }
+  void U32(uint32_t v) { AppendLE(v); }
+  void U64(uint64_t v) { AppendLE(v); }
+  void I64(int64_t v) { AppendLE(static_cast<uint64_t>(v)); }
+  void F64(double v) { AppendLE(std::bit_cast<uint64_t>(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+  void Val(const Value& v) {
+    U8(static_cast<uint8_t>(v.kind()));
+    switch (v.kind()) {
+      case Value::Kind::kNull:
+        I64(v.null_id());
+        break;
+      case Value::Kind::kInt:
+        I64(v.int_value());
+        break;
+      case Value::Kind::kString:
+        Str(v.string_value());
+        break;
+    }
+  }
+  void TupleRow(const Tuple& t) {
+    for (const Value& v : t) Val(v);
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  template <typename T>
+  void AppendLE(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string out_;
+};
+
+// --- Bounds-checked little-endian payload reader ---
+//
+// Every Read* checks the bytes remaining before touching the buffer, and
+// ReadString validates the declared length against both the string cap and
+// the remaining payload before any allocation. Decoders therefore cannot
+// be driven past the payload or into attacker-sized reserves.
+
+class PayloadCursor {
+ public:
+  PayloadCursor(std::string_view payload, const Limits& limits)
+      : payload_(payload), limits_(limits) {}
+
+  size_t remaining() const { return payload_.size() - pos_; }
+  bool AtEnd() const { return pos_ == payload_.size(); }
+
+  Status ReadU8(uint8_t* out) {
+    PDMS_RETURN_IF_ERROR(Need(1, "u8"));
+    *out = static_cast<uint8_t>(payload_[pos_++]);
+    return Status::Ok();
+  }
+  Status ReadU16(uint16_t* out) { return ReadLE(out); }
+  Status ReadU32(uint32_t* out) { return ReadLE(out); }
+  Status ReadU64(uint64_t* out) { return ReadLE(out); }
+  Status ReadI64(int64_t* out) {
+    uint64_t raw;
+    PDMS_RETURN_IF_ERROR(ReadLE(&raw));
+    *out = static_cast<int64_t>(raw);
+    return Status::Ok();
+  }
+  Status ReadF64(double* out) {
+    uint64_t raw;
+    PDMS_RETURN_IF_ERROR(ReadLE(&raw));
+    *out = std::bit_cast<double>(raw);
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string* out) {
+    uint32_t len;
+    PDMS_RETURN_IF_ERROR(ReadU32(&len));
+    if (len > limits_.max_string_bytes) {
+      return Status::InvalidArgument(
+          StrFormat("string length %u exceeds cap %zu", len,
+                    limits_.max_string_bytes));
+    }
+    PDMS_RETURN_IF_ERROR(Need(len, "string body"));
+    out->assign(payload_.data() + pos_, len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  Status ReadValue(Value* out) {
+    uint8_t kind;
+    PDMS_RETURN_IF_ERROR(ReadU8(&kind));
+    switch (kind) {
+      case static_cast<uint8_t>(Value::Kind::kNull): {
+        int64_t id;
+        PDMS_RETURN_IF_ERROR(ReadI64(&id));
+        *out = Value::Null(id);
+        return Status::Ok();
+      }
+      case static_cast<uint8_t>(Value::Kind::kInt): {
+        int64_t v;
+        PDMS_RETURN_IF_ERROR(ReadI64(&v));
+        *out = Value::Int(v);
+        return Status::Ok();
+      }
+      case static_cast<uint8_t>(Value::Kind::kString): {
+        std::string s;
+        PDMS_RETURN_IF_ERROR(ReadString(&s));
+        *out = Value::String(std::move(s));
+        return Status::Ok();
+      }
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unknown value kind %u", kind));
+    }
+  }
+
+  /// Reads `count` tuples of `arity` values each into `*out`. `count` and
+  /// `arity` come off the wire: the caller has already checked the
+  /// minimum-encoding bound, and this reads value-by-value so a lying
+  /// count simply runs out of payload and errors — storage grows only as
+  /// real bytes are consumed, never from the declared count.
+  Status ReadTuples(uint64_t count, uint32_t arity,
+                    std::vector<Tuple>* out) {
+    for (uint64_t i = 0; i < count; ++i) {
+      Tuple t;
+      t.reserve(arity);
+      for (uint32_t j = 0; j < arity; ++j) {
+        Value v;
+        PDMS_RETURN_IF_ERROR(ReadValue(&v));
+        t.push_back(std::move(v));
+      }
+      out->push_back(std::move(t));
+    }
+    return Status::Ok();
+  }
+
+  /// Rejects a declared element count whose minimum possible encoding
+  /// (`min_bytes_each` per element) cannot fit in the remaining payload —
+  /// the decode-before-allocate guard for tuple/string-list counts.
+  Status CheckCount(uint64_t count, size_t min_bytes_each,
+                    const char* what) {
+    if (min_bytes_each == 0) min_bytes_each = 1;
+    if (count > remaining() / min_bytes_each) {
+      return Status::InvalidArgument(
+          StrFormat("declared %s count %llu cannot fit in %zu remaining "
+                    "payload bytes",
+                    what, static_cast<unsigned long long>(count),
+                    remaining()));
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectEnd() const {
+    if (!AtEnd()) {
+      return Status::InvalidArgument(
+          StrFormat("%zu trailing bytes after payload", remaining()));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Need(size_t n, const char* what) const {
+    if (remaining() < n) {
+      return Status::InvalidArgument(
+          StrFormat("truncated payload: need %zu bytes for %s, have %zu", n,
+                    what, remaining()));
+    }
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadLE(T* out) {
+    PDMS_RETURN_IF_ERROR(Need(sizeof(T), "integer"));
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<uint8_t>(payload_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *out = v;
+    return Status::Ok();
+  }
+
+  std::string_view payload_;
+  Limits limits_;
+  size_t pos_ = 0;
+};
+
+Status ExpectType(const Frame& frame, FrameType want) {
+  if (frame.type != want) {
+    return Status::InvalidArgument(
+        StrFormat("expected %s frame, got %s", FrameTypeName(want),
+                  FrameTypeName(frame.type)));
+  }
+  return Status::Ok();
+}
+
+void WriteStringList(PayloadWriter& w, const std::vector<std::string>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (const std::string& s : v) w.Str(s);
+}
+
+Status ReadStringList(PayloadCursor& cur, std::vector<std::string>* out,
+                      const char* what) {
+  uint32_t count;
+  PDMS_RETURN_IF_ERROR(cur.ReadU32(&count));
+  // Minimum encoding of a string is its 4-byte length prefix.
+  PDMS_RETURN_IF_ERROR(cur.CheckCount(count, 4, what));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string s;
+    PDMS_RETURN_IF_ERROR(cur.ReadString(&s));
+    out->push_back(std::move(s));
+  }
+  return Status::Ok();
+}
+
+/// Shared tuple-block decoder (answer frames and scan responses): reads
+/// `arity` then `tuple_count` and applies the satellite-1 hardening
+/// bounds before a single tuple is materialized.
+Status ReadTupleBlock(PayloadCursor& cur, uint32_t* arity,
+                      std::vector<Tuple>* tuples) {
+  PDMS_RETURN_IF_ERROR(cur.ReadU32(arity));
+  if (*arity > sim::kMaxMessageArity) {
+    return Status::InvalidArgument(
+        StrFormat("declared arity %u exceeds cap %zu", *arity,
+                  sim::kMaxMessageArity));
+  }
+  uint64_t count;
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&count));
+  if (*arity == 0) {
+    // Set semantics admit at most one empty tuple; without this, a tiny
+    // frame declaring arity 0 and a huge count would expand into
+    // count-many empty tuples with no payload bytes to back them.
+    if (count > 1) {
+      return Status::InvalidArgument(
+          StrFormat("arity-0 relation declares %llu tuples (max 1)",
+                    static_cast<unsigned long long>(count)));
+    }
+  } else {
+    PDMS_RETURN_IF_ERROR(cur.CheckCount(
+        count, static_cast<size_t>(*arity) * kMinValueBytes, "tuple"));
+  }
+  return cur.ReadTuples(count, *arity, tuples);
+}
+
+void WriteTupleBlock(PayloadWriter& w, uint32_t arity,
+                     const std::vector<Tuple>& tuples) {
+  w.U32(arity);
+  w.U64(tuples.size());
+  for (const Tuple& t : tuples) w.TupleRow(t);
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kQuery:
+      return "query";
+    case FrameType::kAnswer:
+      return "answer";
+    case FrameType::kShed:
+      return "shed";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+    case FrameType::kScanRequest:
+      return "scan-request";
+    case FrameType::kScanResponse:
+      return "scan-response";
+  }
+  return "unknown";
+}
+
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return "queue-full";
+    case ShedReason::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+Status AnswerFrame::status() const {
+  return Status(static_cast<StatusCode>(status_code), status_message);
+}
+
+Relation AnswerFrame::ToRelation() const {
+  Relation out(relation_name, arity);
+  for (const Tuple& t : tuples) out.Insert(t);
+  return out;
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  PayloadWriter header;
+  header.U8(static_cast<uint8_t>(kMagic[0]));
+  header.U8(static_cast<uint8_t>(kMagic[1]));
+  header.U8(static_cast<uint8_t>(kMagic[2]));
+  header.U8(static_cast<uint8_t>(kMagic[3]));
+  header.U8(kVersion);
+  header.U8(static_cast<uint8_t>(type));
+  header.U16(0);  // reserved
+  header.U32(static_cast<uint32_t>(payload.size()));
+  header.U32(Checksum(payload));
+  std::string out = header.Take();
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeQuery(const QueryFrame& frame) {
+  PayloadWriter w;
+  w.U64(frame.request_id);
+  w.F64(frame.budget_ms);
+  w.Str(frame.query);
+  return EncodeFrame(FrameType::kQuery, w.Take());
+}
+
+std::string EncodeAnswer(const AnswerFrame& frame) {
+  PayloadWriter w;
+  w.U64(frame.request_id);
+  w.U32(frame.status_code);
+  w.Str(frame.status_message);
+  w.U8(frame.completeness);
+  w.U8(frame.truncated);
+  w.U64(frame.rewritings_skipped);
+  w.U64(frame.branches_pruned);
+  w.F64(frame.server_ms);
+  WriteStringList(w, frame.excluded_peers);
+  WriteStringList(w, frame.excluded_stored);
+  w.Str(frame.relation_name);
+  WriteTupleBlock(w, frame.arity, frame.tuples);
+  return EncodeFrame(FrameType::kAnswer, w.Take());
+}
+
+std::string EncodeShed(const ShedFrame& frame) {
+  PayloadWriter w;
+  w.U64(frame.request_id);
+  w.U8(static_cast<uint8_t>(frame.reason));
+  w.F64(frame.retry_after_ms);
+  w.U32(frame.queue_depth);
+  w.Str(frame.message);
+  return EncodeFrame(FrameType::kShed, w.Take());
+}
+
+std::string EncodePing(uint64_t request_id) {
+  PayloadWriter w;
+  w.U64(request_id);
+  return EncodeFrame(FrameType::kPing, w.Take());
+}
+
+std::string EncodePong(uint64_t request_id) {
+  PayloadWriter w;
+  w.U64(request_id);
+  return EncodeFrame(FrameType::kPong, w.Take());
+}
+
+std::string EncodeScan(const sim::Message& message) {
+  PayloadWriter w;
+  w.U64(message.request_id);
+  w.Str(message.relation);
+  if (message.type == sim::Message::Type::kScanRequest) {
+    return EncodeFrame(FrameType::kScanRequest, w.Take());
+  }
+  w.U32(static_cast<uint32_t>(message.status.code()));
+  w.Str(message.status.message());
+  WriteTupleBlock(w, static_cast<uint32_t>(message.arity), message.tuples);
+  return EncodeFrame(FrameType::kScanResponse, w.Take());
+}
+
+Result<QueryFrame> DecodeQuery(const Frame& frame, const Limits& limits) {
+  PDMS_RETURN_IF_ERROR(ExpectType(frame, FrameType::kQuery));
+  PayloadCursor cur(frame.payload, limits);
+  QueryFrame out;
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.request_id));
+  PDMS_RETURN_IF_ERROR(cur.ReadF64(&out.budget_ms));
+  PDMS_RETURN_IF_ERROR(cur.ReadString(&out.query));
+  PDMS_RETURN_IF_ERROR(cur.ExpectEnd());
+  return out;
+}
+
+Result<AnswerFrame> DecodeAnswer(const Frame& frame, const Limits& limits) {
+  PDMS_RETURN_IF_ERROR(ExpectType(frame, FrameType::kAnswer));
+  PayloadCursor cur(frame.payload, limits);
+  AnswerFrame out;
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.request_id));
+  PDMS_RETURN_IF_ERROR(cur.ReadU32(&out.status_code));
+  PDMS_RETURN_IF_ERROR(cur.ReadString(&out.status_message));
+  PDMS_RETURN_IF_ERROR(cur.ReadU8(&out.completeness));
+  PDMS_RETURN_IF_ERROR(cur.ReadU8(&out.truncated));
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.rewritings_skipped));
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.branches_pruned));
+  PDMS_RETURN_IF_ERROR(cur.ReadF64(&out.server_ms));
+  PDMS_RETURN_IF_ERROR(
+      ReadStringList(cur, &out.excluded_peers, "excluded-peer"));
+  PDMS_RETURN_IF_ERROR(
+      ReadStringList(cur, &out.excluded_stored, "excluded-stored"));
+  PDMS_RETURN_IF_ERROR(cur.ReadString(&out.relation_name));
+  PDMS_RETURN_IF_ERROR(ReadTupleBlock(cur, &out.arity, &out.tuples));
+  for (const Tuple& t : out.tuples) {
+    if (t.size() != out.arity) {
+      return Status::InvalidArgument("answer tuple arity mismatch");
+    }
+  }
+  PDMS_RETURN_IF_ERROR(cur.ExpectEnd());
+  return out;
+}
+
+Result<ShedFrame> DecodeShed(const Frame& frame, const Limits& limits) {
+  PDMS_RETURN_IF_ERROR(ExpectType(frame, FrameType::kShed));
+  PayloadCursor cur(frame.payload, limits);
+  ShedFrame out;
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.request_id));
+  uint8_t reason;
+  PDMS_RETURN_IF_ERROR(cur.ReadU8(&reason));
+  if (reason != static_cast<uint8_t>(ShedReason::kQueueFull) &&
+      reason != static_cast<uint8_t>(ShedReason::kDeadline)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown shed reason %u", reason));
+  }
+  out.reason = static_cast<ShedReason>(reason);
+  PDMS_RETURN_IF_ERROR(cur.ReadF64(&out.retry_after_ms));
+  PDMS_RETURN_IF_ERROR(cur.ReadU32(&out.queue_depth));
+  PDMS_RETURN_IF_ERROR(cur.ReadString(&out.message));
+  PDMS_RETURN_IF_ERROR(cur.ExpectEnd());
+  return out;
+}
+
+Result<uint64_t> DecodePing(const Frame& frame) {
+  if (frame.type != FrameType::kPing && frame.type != FrameType::kPong) {
+    return Status::InvalidArgument(
+        StrFormat("expected ping/pong frame, got %s",
+                  FrameTypeName(frame.type)));
+  }
+  PayloadCursor cur(frame.payload, Limits{});
+  uint64_t id;
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&id));
+  PDMS_RETURN_IF_ERROR(cur.ExpectEnd());
+  return id;
+}
+
+Result<sim::Message> DecodeScan(const Frame& frame, const Limits& limits) {
+  if (frame.type != FrameType::kScanRequest &&
+      frame.type != FrameType::kScanResponse) {
+    return Status::InvalidArgument(
+        StrFormat("expected scan frame, got %s",
+                  FrameTypeName(frame.type)));
+  }
+  PayloadCursor cur(frame.payload, limits);
+  sim::Message out;
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.request_id));
+  PDMS_RETURN_IF_ERROR(cur.ReadString(&out.relation));
+  if (frame.type == FrameType::kScanRequest) {
+    out.type = sim::Message::Type::kScanRequest;
+    PDMS_RETURN_IF_ERROR(cur.ExpectEnd());
+    PDMS_RETURN_IF_ERROR(out.Validate());
+    return out;
+  }
+  out.type = sim::Message::Type::kScanResponse;
+  uint32_t status_code;
+  PDMS_RETURN_IF_ERROR(cur.ReadU32(&status_code));
+  std::string status_message;
+  PDMS_RETURN_IF_ERROR(cur.ReadString(&status_message));
+  out.status =
+      Status(static_cast<StatusCode>(status_code), std::move(status_message));
+  uint32_t arity;
+  PDMS_RETURN_IF_ERROR(ReadTupleBlock(cur, &arity, &out.tuples));
+  out.arity = arity;
+  PDMS_RETURN_IF_ERROR(cur.ExpectEnd());
+  PDMS_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+Result<std::string> ReencodeFrame(const Frame& frame, const Limits& limits) {
+  switch (frame.type) {
+    case FrameType::kQuery: {
+      PDMS_ASSIGN_OR_RETURN(QueryFrame q, DecodeQuery(frame, limits));
+      return EncodeQuery(q);
+    }
+    case FrameType::kAnswer: {
+      PDMS_ASSIGN_OR_RETURN(AnswerFrame a, DecodeAnswer(frame, limits));
+      return EncodeAnswer(a);
+    }
+    case FrameType::kShed: {
+      PDMS_ASSIGN_OR_RETURN(ShedFrame s, DecodeShed(frame, limits));
+      return EncodeShed(s);
+    }
+    case FrameType::kPing: {
+      PDMS_ASSIGN_OR_RETURN(uint64_t id, DecodePing(frame));
+      return EncodePing(id);
+    }
+    case FrameType::kPong: {
+      PDMS_ASSIGN_OR_RETURN(uint64_t id, DecodePing(frame));
+      return EncodePong(id);
+    }
+    case FrameType::kScanRequest:
+    case FrameType::kScanResponse: {
+      PDMS_ASSIGN_OR_RETURN(sim::Message m, DecodeScan(frame, limits));
+      return EncodeScan(m);
+    }
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown frame type %u", static_cast<uint8_t>(frame.type)));
+}
+
+Result<bool> FrameReader::Next(Frame* out) {
+  if (failed_) {
+    return Status::InvalidArgument("frame reader already failed");
+  }
+  // Reclaim consumed prefix lazily once it dominates the buffer, keeping
+  // Append amortized O(1) without unbounded growth.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  if (buffered() < kHeaderBytes) return false;
+
+  const auto fail = [this](std::string msg) -> Result<bool> {
+    failed_ = true;
+    return Status::InvalidArgument(std::move(msg));
+  };
+
+  std::string_view view(buffer_.data() + consumed_, buffered());
+  if (std::memcmp(view.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad frame magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(view[4]);
+  if (version != kVersion) {
+    return fail(StrFormat("unsupported protocol version %u", version));
+  }
+  const uint8_t raw_type = static_cast<uint8_t>(view[5]);
+  if (raw_type < static_cast<uint8_t>(FrameType::kQuery) ||
+      raw_type > static_cast<uint8_t>(FrameType::kScanResponse)) {
+    return fail(StrFormat("unknown frame type %u", raw_type));
+  }
+  const uint16_t reserved = static_cast<uint16_t>(
+      static_cast<uint8_t>(view[6]) |
+      (static_cast<uint16_t>(static_cast<uint8_t>(view[7])) << 8));
+  if (reserved != 0) {
+    return fail("nonzero reserved header bytes");
+  }
+  auto read_u32 = [&view](size_t at) {
+    uint32_t v = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(view[at + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  const uint32_t payload_len = read_u32(8);
+  if (payload_len > limits_.max_payload_bytes) {
+    // Rejected from the header alone — the oversized payload is never
+    // buffered past the connection layer's read cap.
+    return fail(StrFormat("declared payload %u exceeds cap %zu", payload_len,
+                          limits_.max_payload_bytes));
+  }
+  if (buffered() < kHeaderBytes + payload_len) return false;
+
+  const uint32_t declared_checksum = read_u32(12);
+  std::string_view payload = view.substr(kHeaderBytes, payload_len);
+  if (Checksum(payload) != declared_checksum) {
+    return fail("frame checksum mismatch");
+  }
+  out->type = static_cast<FrameType>(raw_type);
+  out->payload.assign(payload);
+  consumed_ += kHeaderBytes + payload_len;
+  return true;
+}
+
+}  // namespace wire
+}  // namespace serve
+}  // namespace pdms

@@ -1,0 +1,212 @@
+#ifndef PDMS_SERVE_WIRE_H_
+#define PDMS_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pdms/data/relation.h"
+#include "pdms/sim/message.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace serve {
+namespace wire {
+
+/// The networked serving protocol: length-prefixed binary frames over TCP.
+/// This is the simulated runtime's Message framing (sim/message.h) promoted
+/// to a real wire format — the scan request/response shapes are carried
+/// verbatim as frame types, and the serving front-end adds query/answer/
+/// shed frames on top.
+///
+/// Every frame is
+///
+///   magic       4 bytes   "PDMS"
+///   version     u8        kVersion
+///   type        u8        FrameType
+///   reserved    u16       must be 0
+///   payload_len u32       <= Limits::max_payload_bytes
+///   checksum    u32       FNV-1a over the payload bytes
+///   payload     payload_len bytes
+///
+/// all little-endian. Encode/decode are pure functions of bytes — no
+/// sockets, no clocks — so the codec is directly fuzzable
+/// (tests/wire_test.cc mutates valid frames and asserts the decoder can
+/// only ever return an error, never crash or over-allocate).
+///
+/// Hardening invariants the decoder maintains:
+///  - nothing is allocated from attacker-controlled counts: a declared
+///    string length, tuple count, or arity is validated against the bytes
+///    actually remaining in the frame before any storage is sized;
+///  - arity is capped at sim::kMaxMessageArity, and a declared tuple
+///    count whose minimum encoding exceeds the remaining payload is
+///    rejected up front;
+///  - a frame whose header declares more than max_payload_bytes is
+///    rejected at header-parse time, before the payload is buffered.
+
+inline constexpr uint8_t kVersion = 1;
+inline constexpr size_t kHeaderBytes = 16;
+inline constexpr char kMagic[4] = {'P', 'D', 'M', 'S'};
+/// Smallest possible encoding of one Value (empty string: kind + u32 len).
+inline constexpr size_t kMinValueBytes = 5;
+
+/// Decode-side resource caps. The defaults fit the serving workloads;
+/// both ends of a connection must agree on max_payload_bytes (an encoder
+/// may legitimately produce what the peer's decoder would refuse).
+struct Limits {
+  size_t max_payload_bytes = 4u << 20;  // 4 MiB hard frame cap
+  size_t max_string_bytes = 1u << 20;   // single string cap inside a frame
+};
+
+enum class FrameType : uint8_t {
+  kQuery = 1,         // client -> server: answer this query
+  kAnswer = 2,        // server -> client: answers + degradation summary
+  kShed = 3,          // server -> client: rejected by admission control
+  kPing = 4,          // liveness probe
+  kPong = 5,
+  kScanRequest = 6,   // sim::Message::Type::kScanRequest on the wire
+  kScanResponse = 7,  // sim::Message::Type::kScanResponse on the wire
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// A decoded frame: validated header + raw payload, ready for the typed
+/// Decode* functions below.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// client -> server. `budget_ms <= 0` means "no deadline" on the wire;
+/// a positive budget becomes a server-side Deadline the moment the frame
+/// is admitted (docs/serving.md, deadline propagation contract).
+struct QueryFrame {
+  uint64_t request_id = 0;
+  double budget_ms = 0;
+  std::string query;
+};
+
+enum class ShedReason : uint8_t {
+  kQueueFull = 1,  // bounded admission queue at capacity
+  kDeadline = 2,   // remaining budget cannot cover the expected wait
+};
+
+const char* ShedReasonName(ShedReason reason);
+
+/// server -> client when admission control rejects a request. Always
+/// carries a positive retry_after_ms hint derived from the queue's EWMA
+/// service time.
+struct ShedFrame {
+  uint64_t request_id = 0;
+  ShedReason reason = ShedReason::kQueueFull;
+  double retry_after_ms = 0;
+  uint32_t queue_depth = 0;
+  std::string message;
+};
+
+/// server -> client: the query's outcome. On a non-OK status the answer
+/// section is empty; on success it carries the full answer relation plus
+/// the degradation summary, so a deadline that expired mid-query yields a
+/// well-formed partial answer (completeness != kComplete) instead of a
+/// hung or dropped connection.
+struct AnswerFrame {
+  uint64_t request_id = 0;
+  uint32_t status_code = 0;  // pdms::StatusCode
+  std::string status_message;
+  uint8_t completeness = 0;  // pdms::Completeness
+  /// Truncation bits: the server's deadline expired mid-query and the
+  /// reformulation budget cut enumeration (kTruncatedEnumeration) or tree
+  /// growth (kTruncatedTree) short. The answer is still sound — every
+  /// tuple is a certain answer — just possibly fewer of them.
+  uint8_t truncated = 0;
+  static constexpr uint8_t kTruncatedTree = 1;
+  static constexpr uint8_t kTruncatedEnumeration = 2;
+  uint64_t rewritings_skipped = 0;
+  uint64_t branches_pruned = 0;
+  double server_ms = 0;  // service time as measured by the server
+  std::vector<std::string> excluded_peers;
+  std::vector<std::string> excluded_stored;
+  std::string relation_name;
+  uint32_t arity = 0;
+  std::vector<Tuple> tuples;
+
+  /// Reconstructs the pdms::Status carried by status_code/status_message.
+  Status status() const;
+  /// Rebuilds the answer relation (tuples in wire order, which the server
+  /// guarantees is the evaluation order — byte-identical ToString to the
+  /// in-process answer).
+  Relation ToRelation() const;
+};
+
+// --- Encoding (pure; never fails for well-formed inputs) ---
+
+/// Wraps an already-encoded payload in a checksummed header.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+std::string EncodeQuery(const QueryFrame& frame);
+std::string EncodeAnswer(const AnswerFrame& frame);
+std::string EncodeShed(const ShedFrame& frame);
+std::string EncodePing(uint64_t request_id);
+std::string EncodePong(uint64_t request_id);
+/// Frames a simulated-runtime scan message (message.type selects
+/// kScanRequest or kScanResponse).
+std::string EncodeScan(const sim::Message& message);
+
+// --- Decoding (pure; total over arbitrary bytes) ---
+
+Result<QueryFrame> DecodeQuery(const Frame& frame, const Limits& limits = {});
+Result<AnswerFrame> DecodeAnswer(const Frame& frame,
+                                 const Limits& limits = {});
+Result<ShedFrame> DecodeShed(const Frame& frame, const Limits& limits = {});
+Result<uint64_t> DecodePing(const Frame& frame);
+/// Decodes either scan frame type back into a sim::Message (validated via
+/// Message::Validate, the bound shared with the simulated bus).
+Result<sim::Message> DecodeScan(const Frame& frame,
+                                const Limits& limits = {});
+
+/// Decodes whatever typed frame `frame` holds and re-encodes it; used by
+/// the fuzz harness to assert decode∘encode is the identity on valid
+/// frames and *total* (error, never crash) on mutated ones.
+Result<std::string> ReencodeFrame(const Frame& frame,
+                                  const Limits& limits = {});
+
+/// Incremental frame assembler for a byte stream: feed arbitrarily-sized
+/// chunks with Append, pop complete frames with Next. Header validation
+/// (magic, version, declared size against the cap, checksum) happens in
+/// Next; the first malformed header or checksum mismatch poisons the
+/// reader — the connection layer closes the socket, so there is no resync
+/// protocol.
+class FrameReader {
+ public:
+  explicit FrameReader(Limits limits = {}) : limits_(limits) {}
+
+  void Append(const char* data, size_t len) {
+    buffer_.append(data, len);
+  }
+  void Append(std::string_view data) { buffer_.append(data); }
+
+  /// True and fills `*out` when a complete frame was buffered; false when
+  /// more bytes are needed; an error (permanently) on malformed input.
+  Result<bool> Next(Frame* out);
+
+  /// Bytes buffered but not yet consumed by Next — a partially-received
+  /// frame. The connection layer bounds this (it can never exceed
+  /// kHeaderBytes + max_payload_bytes) and applies the slow-loris read
+  /// deadline whenever it is non-zero.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+  bool has_partial() const { return buffered() > 0; }
+  bool failed() const { return failed_; }
+
+ private:
+  Limits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace wire
+}  // namespace serve
+}  // namespace pdms
+
+#endif  // PDMS_SERVE_WIRE_H_

@@ -5,6 +5,35 @@
 namespace pdms {
 namespace sim {
 
+Status Message::Validate() const {
+  if (relation.empty()) {
+    return Status::InvalidArgument("scan message names no relation");
+  }
+  if (arity > kMaxMessageArity) {
+    return Status::InvalidArgument(
+        StrFormat("scan arity %zu exceeds cap %zu", arity, kMaxMessageArity));
+  }
+  if (type == Type::kScanResponse) {
+    // Set semantics: a nullary relation holds at most one (empty) tuple.
+    // The wire decoder enforces the same rule, so a message that fails
+    // here could not be smuggled through a hand-built frame either.
+    if (arity == 0 && tuples.size() > 1) {
+      return Status::InvalidArgument(
+          StrFormat("scan response declares %zu tuples at arity 0",
+                    tuples.size()));
+    }
+    for (const Tuple& t : tuples) {
+      if (t.size() != arity) {
+        return Status::InvalidArgument(
+            StrFormat("scan response tuple arity %zu does not match "
+                      "declared arity %zu",
+                      t.size(), arity));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 std::string Message::ToString() const {
   if (type == Type::kScanRequest) {
     return StrFormat("req#%llu scan(%s)",

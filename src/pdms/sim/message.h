@@ -11,12 +11,23 @@
 namespace pdms {
 namespace sim {
 
+/// Upper bound on a scan message's declared relation arity accepted
+/// anywhere a Message crosses a trust boundary — matches the PPL parser's
+/// arity cap, and is enforced by Validate() and by the binary wire codec
+/// (serve/wire.h) before any tuple storage is allocated.
+inline constexpr size_t kMaxMessageArity = 1u << 16;
+
 /// The wire protocol of the simulated peer runtime. Distributed query
 /// execution needs exactly two message types: the querying peer ships a
 /// stored-relation scan to the peer that owns the relation, and the owner
 /// ships back a snapshot of the tuples (or an error). Reformulation itself
 /// stays local to the querying peer — the catalog is replicated state in
 /// this reproduction — so messages carry data, never mappings.
+///
+/// The same two message shapes exist as real length-prefixed wire frames
+/// in `serve/wire.h` (kScanRequest/kScanResponse): the networked server
+/// promotes this framing onto actual sockets, sharing Validate() so both
+/// transports reject the same malformed payloads.
 struct Message {
   enum class Type : uint8_t {
     kScanRequest,   // coordinator -> owner: "send me `relation`"
@@ -34,6 +45,13 @@ struct Message {
   /// Response only: snapshot of the relation's tuples at serve time.
   size_t arity = 0;
   std::vector<Tuple> tuples;
+
+  /// Structural validation shared by the simulated bus and the binary wire
+  /// codec: the declared arity must stay within kMaxMessageArity, every
+  /// response tuple must match it, and requests must name a relation.
+  /// Decoders run this *after* bounds-checked parsing; encoders run it
+  /// before framing so a malformed message is caught at the producer.
+  Status Validate() const;
 
   /// Compact deterministic rendering used in traces; tuples are summarized
   /// as a count plus an order-insensitive content hash so traces stay

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "pdms/fault/access.h"
@@ -74,6 +76,46 @@ TEST(Deadline, ExpiryAndRemaining) {
   EXPECT_TRUE(d.Expired(50));
   EXPECT_DOUBLE_EQ(d.RemainingMillis(20), 30);
   EXPECT_DOUBLE_EQ(d.RemainingMillis(80), 0);
+}
+
+TEST(Deadline, ZeroAndNegativeBudgetsAreAlreadyExpired) {
+  // AfterMillis(0) is a finite, already-spent budget — not "no deadline".
+  Deadline zero = Deadline::AfterMillis(0);
+  EXPECT_FALSE(zero.infinite());
+  EXPECT_TRUE(zero.Expired(0));
+  EXPECT_DOUBLE_EQ(zero.RemainingMillis(0), 0);
+
+  // Negative budgets (a request that arrived past its deadline) clamp to
+  // the same already-expired state.
+  Deadline negative = Deadline::AfterMillis(-12.5);
+  EXPECT_FALSE(negative.infinite());
+  EXPECT_DOUBLE_EQ(negative.budget_ms(), 0);
+  EXPECT_TRUE(negative.Expired(0));
+  EXPECT_DOUBLE_EQ(negative.RemainingMillis(0), 0);
+}
+
+TEST(Deadline, InfiniteRemainingIsUnbounded) {
+  // The remaining budget of an infinite deadline must never read as 0:
+  // 0 would tell the serving layer "shed this request" (and, mapped into
+  // a reformulation time budget, 0 conventionally means "unlimited" —
+  // an ambiguity the infinity return value removes).
+  Deadline none = Deadline::Infinite();
+  EXPECT_TRUE(std::isinf(none.RemainingMillis(0)));
+  EXPECT_TRUE(std::isinf(none.RemainingMillis(1e12)));
+  EXPECT_FALSE(none.Expired(std::numeric_limits<double>::max()));
+}
+
+TEST(Deadline, RemainingArithmeticNearExpiry) {
+  Deadline d = Deadline::AfterMillis(10);
+  // Just before expiry the remainder is the exact difference...
+  EXPECT_NEAR(d.RemainingMillis(9.75), 0.25, 1e-12);
+  // ...at expiry and beyond it floors at 0, never going negative.
+  EXPECT_DOUBLE_EQ(d.RemainingMillis(10), 0);
+  EXPECT_DOUBLE_EQ(d.RemainingMillis(10.0001), 0);
+  EXPECT_GE(d.RemainingMillis(1e9), 0);
+  // Expired() and RemainingMillis() agree on the boundary.
+  EXPECT_EQ(d.Expired(9.9999), d.RemainingMillis(9.9999) <= 0);
+  EXPECT_EQ(d.Expired(10), d.RemainingMillis(10) <= 0);
 }
 
 TEST(FaultInjector, DownPeerAlwaysFails) {

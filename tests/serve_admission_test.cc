@@ -1,0 +1,299 @@
+// Tests for serving admission control (serve/admission.h) and the
+// deadline-propagation half of the request executor (serve/executor.h).
+// The executor tests include the queued-expiry scenario from the issue:
+// a request whose budget runs out while it waits in the queue must be
+// shed at dequeue time without touching the network layer at all — zero
+// stored-relation accesses, zero cache traffic, `serve.shed_deadline`
+// incremented.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pdms/core/pdms.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/serve/executor.h"
+#include "pdms/util/check.h"
+
+namespace pdms {
+namespace serve {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Admission, AdmitsUntilQueueFullThenShedsEagerly) {
+  obs::MetricsRegistry metrics;
+  AdmissionOptions options;
+  options.max_queue = 2;
+  options.retry_after_floor_ms = 3;
+  AdmissionController admission(options, &metrics);
+
+  EXPECT_TRUE(admission.Offer(kInf).admitted);
+  EXPECT_TRUE(admission.Offer(kInf).admitted);
+  auto shed = admission.Offer(kInf);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, wire::ShedReason::kQueueFull);
+  EXPECT_EQ(shed.queue_depth, 2u);
+  EXPECT_GE(shed.retry_after_ms, options.retry_after_floor_ms);
+  EXPECT_EQ(metrics.counter("serve.admitted"), 2u);
+  EXPECT_EQ(metrics.counter("serve.shed_queue_full"), 1u);
+
+  // Completion frees a slot; the next offer is admitted again.
+  admission.OnComplete(1.0);
+  EXPECT_EQ(admission.queue_depth(), 1u);
+  EXPECT_TRUE(admission.Offer(kInf).admitted);
+}
+
+TEST(Admission, ShedsWhenBudgetCannotCoverExpectedWait) {
+  obs::MetricsRegistry metrics;
+  AdmissionOptions options;
+  options.workers = 1;
+  options.initial_service_ms = 100;  // expected wait at depth 0 is 100ms
+  AdmissionController admission(options, &metrics);
+
+  auto shed = admission.Offer(/*remaining_budget_ms=*/50);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, wire::ShedReason::kDeadline);
+  EXPECT_EQ(metrics.counter("serve.shed_deadline"), 1u);
+  EXPECT_EQ(admission.queue_depth(), 0u);  // a shed never joins the queue
+
+  EXPECT_TRUE(admission.Offer(/*remaining_budget_ms=*/200).admitted);
+  // With one request in flight the next needs budget for two services.
+  EXPECT_FALSE(admission.Offer(/*remaining_budget_ms=*/150).admitted);
+  EXPECT_TRUE(admission.Offer(/*remaining_budget_ms=*/250).admitted);
+}
+
+TEST(Admission, WorkersDivideTheExpectedWait) {
+  AdmissionOptions options;
+  options.workers = 4;
+  options.initial_service_ms = 100;
+  AdmissionController admission(options);
+  // Depth 3 + this request over 4 workers: expected wait 100ms, so a
+  // 150ms budget clears it even though four services are outstanding.
+  ASSERT_TRUE(admission.Offer(kInf).admitted);
+  ASSERT_TRUE(admission.Offer(kInf).admitted);
+  ASSERT_TRUE(admission.Offer(kInf).admitted);
+  EXPECT_TRUE(admission.Offer(/*remaining_budget_ms=*/150).admitted);
+  // Depth 4 + this one = 5 services / 4 workers = 125ms expected.
+  EXPECT_FALSE(admission.Offer(/*remaining_budget_ms=*/100).admitted);
+}
+
+TEST(Admission, EwmaFoldsObservedServiceTimes) {
+  AdmissionOptions options;
+  options.ewma_alpha = 0.5;
+  options.initial_service_ms = 10;
+  AdmissionController admission(options);
+  ASSERT_TRUE(admission.Offer(kInf).admitted);
+  admission.OnComplete(30);
+  EXPECT_DOUBLE_EQ(admission.ewma_service_ms(), 20.0);
+  ASSERT_TRUE(admission.Offer(kInf).admitted);
+  admission.OnComplete(40);
+  EXPECT_DOUBLE_EQ(admission.ewma_service_ms(), 30.0);
+  // Negative samples (clock weirdness) clamp to zero instead of
+  // dragging the estimate below zero.
+  ASSERT_TRUE(admission.Offer(kInf).admitted);
+  admission.OnComplete(-5);
+  EXPECT_DOUBLE_EQ(admission.ewma_service_ms(), 15.0);
+}
+
+TEST(Admission, CancelQueuedFreesTheSlotAndCountsTheShed) {
+  obs::MetricsRegistry metrics;
+  AdmissionOptions options;
+  options.max_queue = 1;
+  AdmissionController admission(options, &metrics);
+  ASSERT_TRUE(admission.Offer(kInf).admitted);
+  double before = admission.ewma_service_ms();
+  admission.CancelQueued();
+  EXPECT_EQ(admission.queue_depth(), 0u);
+  EXPECT_EQ(metrics.counter("serve.shed_deadline"), 1u);
+  // No work happened, so no service-time sample was recorded.
+  EXPECT_DOUBLE_EQ(admission.ewma_service_ms(), before);
+  EXPECT_TRUE(admission.Offer(kInf).admitted);
+}
+
+// --- Executor-level deadline propagation ------------------------------
+
+constexpr const char* kProgram = R"(
+peer Hospital { relation Doctor(name, hospital); }
+peer Clinic { relation Physician(name, clinic); }
+stored hdoc(name, hospital) <= Hospital:Doctor(name, hospital).
+mapping Clinic:Physician(n, c) :- Hospital:Doctor(n, c).
+fact hdoc("alice", "county").
+fact hdoc("bo", "mercy").
+)";
+
+constexpr const char* kQuery = "q(n, h) :- Hospital:Doctor(n, h).";
+
+// Collects completion callbacks from worker threads.
+struct OutcomeSink {
+  std::mutex mu;
+  std::vector<ServeOutcome> outcomes;
+  void operator()(ServeOutcome out) {
+    std::lock_guard<std::mutex> lock(mu);
+    outcomes.push_back(std::move(out));
+  }
+};
+
+ServeRequest MakeRequest(uint64_t id, const std::string& query,
+                         double budget_ms) {
+  ServeRequest request;
+  request.conn_id = 1;
+  request.request_id = id;
+  request.query = query;
+  request.budget_ms = budget_ms;
+  return request;
+}
+
+// Runs `requests` through a fresh single-worker executor over the demo
+// network and returns the counter snapshot plus the collected outcomes.
+// `gap_ms` sleeps between submits so the worker reliably claims request
+// N before request N+1 is queued behind it.
+std::map<std::string, uint64_t> RunExecutor(
+    const std::vector<ServeRequest>& requests, double service_floor_ms,
+    std::vector<ServeOutcome>* outcomes, double gap_ms = 0) {
+  Pdms pdms;
+  Status loaded = pdms.LoadProgram(kProgram);
+  PDMS_CHECK_MSG(loaded.ok(), loaded.ToString().c_str());
+  obs::MetricsRegistry metrics;
+  ExecutorOptions options;
+  options.workers = 1;
+  options.service_floor_ms = service_floor_ms;
+  // Keep the admission estimate tiny so Offer admits everything here;
+  // these tests exercise the dequeue-time check, not the offer-time one.
+  options.admission.initial_service_ms = 0.001;
+  options.admission.ewma_alpha = 0;  // pin the estimate for determinism
+  RequestExecutor executor(options, &metrics);
+  OutcomeSink sink;
+  Status started = executor.Start(pdms.network(), pdms.database(),
+                                  [&sink](ServeOutcome out) { sink(out); });
+  PDMS_CHECK_MSG(started.ok(), started.ToString().c_str());
+  bool first = true;
+  for (const ServeRequest& request : requests) {
+    if (!first && gap_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(gap_ms));
+    }
+    first = false;
+    // The budget clock starts when the server reads the frame; model
+    // that by starting it at submit, not at test-fixture construction.
+    ServeRequest submit = request;
+    submit.arrival.Reset();
+    auto shed = executor.Submit(std::move(submit));
+    PDMS_CHECK_MSG(!shed.has_value(), "request shed at offer time");
+  }
+  executor.Stop();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  *outcomes = sink.outcomes;
+  return metrics.counters();
+}
+
+TEST(Executor, AnswersQueriesThroughWorkerFacades) {
+  std::vector<ServeOutcome> outcomes;
+  auto counters = RunExecutor({MakeRequest(1, kQuery, /*budget_ms=*/0)},
+                              /*service_floor_ms=*/0, &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].shed);
+  EXPECT_EQ(outcomes[0].answer.request_id, 1u);
+  EXPECT_EQ(outcomes[0].answer.status_code, 0u);
+  EXPECT_EQ(outcomes[0].answer.tuples.size(), 2u);
+  EXPECT_EQ(counters["serve.completed"], 1u);
+  EXPECT_EQ(counters["serve.admitted"], 1u);
+}
+
+// The satellite scenario: request A (no budget) occupies the only worker
+// for service_floor_ms; request B (10ms budget) is admitted behind it and
+// its budget expires while it waits. B must be shed at dequeue time with
+// kDeadline — and must leave no trace outside the serve.* namespace:
+// every access/cache/reformulation counter must match a baseline run
+// that never submitted B. Zero messages, zero facade touches.
+TEST(Executor, QueuedExpiryShedsWithoutTouchingTheNetworkLayer) {
+  std::vector<ServeOutcome> baseline_outcomes;
+  auto baseline =
+      RunExecutor({MakeRequest(1, kQuery, /*budget_ms=*/0)},
+                  /*service_floor_ms=*/0, &baseline_outcomes);
+  ASSERT_EQ(baseline_outcomes.size(), 1u);
+  ASSERT_FALSE(baseline_outcomes[0].shed);
+  // The baseline run did evaluate through the network layer, so the
+  // comparison below is against non-trivial counters, not zeros.
+  EXPECT_GT(baseline["access.probes"], 0u);
+
+  // A occupies the worker for the 200ms floor; B arrives 50ms in with a
+  // 40ms budget, so its deadline passes at ~90ms while the worker is
+  // still busy. The 50ms gap lets the worker claim A before B is queued
+  // (the pool pops its own deque LIFO); if scheduling noise still lets B
+  // run first, retry — the property under test is the shed path itself.
+  std::vector<ServeOutcome> outcomes;
+  std::map<std::string, uint64_t> counters;
+  const ServeOutcome* shed = nullptr;
+  for (int attempt = 0; attempt < 3 && shed == nullptr; ++attempt) {
+    outcomes.clear();
+    counters =
+        RunExecutor({MakeRequest(1, kQuery, /*budget_ms=*/0),
+                     MakeRequest(2, kQuery, /*budget_ms=*/40)},
+                    /*service_floor_ms=*/200, &outcomes, /*gap_ms=*/50);
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const ServeOutcome& out : outcomes) {
+      if (out.shed) shed = &out;
+    }
+  }
+  ASSERT_NE(shed, nullptr) << "request B was never shed";
+  EXPECT_EQ(shed->shed_frame.request_id, 2u);
+  EXPECT_EQ(shed->shed_frame.reason, wire::ShedReason::kDeadline);
+  EXPECT_EQ(shed->shed_frame.message, "budget expired while queued");
+
+  EXPECT_EQ(counters["serve.shed_deadline"], 1u);
+  EXPECT_EQ(counters["serve.shed_after_queue"], 1u);
+  EXPECT_EQ(counters["serve.completed"], 1u);  // only A was evaluated
+
+  // The shed request touched nothing below the serving layer: every
+  // non-serve counter is identical to the baseline that never saw B.
+  for (const auto& [name, value] : counters) {
+    if (name.rfind("serve.", 0) == 0) continue;
+    auto it = baseline.find(name);
+    ASSERT_NE(it, baseline.end()) << name << " appeared only with B";
+    EXPECT_EQ(value, it->second) << name << " changed because of B";
+  }
+  for (const auto& [name, value] : baseline) {
+    if (name.rfind("serve.", 0) == 0) continue;
+    EXPECT_TRUE(counters.count(name)) << name << " missing with B";
+  }
+}
+
+TEST(Executor, SurvivingBudgetBecomesReformulationDeadline) {
+  // A generous budget admits, survives queueing, and the answer comes
+  // back complete and untruncated — the deadline plumbed through the
+  // facade did not bite on this tiny network.
+  std::vector<ServeOutcome> outcomes;
+  auto counters =
+      RunExecutor({MakeRequest(1, kQuery, /*budget_ms=*/60000)},
+                  /*service_floor_ms=*/0, &outcomes);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_FALSE(outcomes[0].shed);
+  EXPECT_EQ(outcomes[0].answer.truncated, 0u);
+  EXPECT_EQ(outcomes[0].answer.tuples.size(), 2u);
+  EXPECT_EQ(counters["serve.truncated_answers"], 0u);
+}
+
+TEST(Executor, SubmitAfterStopShedsInsteadOfCrashing) {
+  Pdms pdms;
+  ASSERT_TRUE(pdms.LoadProgram(kProgram).ok());
+  RequestExecutor executor(ExecutorOptions{}, nullptr);
+  ASSERT_TRUE(executor
+                  .Start(pdms.network(), pdms.database(),
+                         [](ServeOutcome) {})
+                  .ok());
+  executor.Stop();
+  auto shed = executor.Submit(MakeRequest(1, kQuery, 0));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->message, "server shutting down");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pdms

@@ -20,8 +20,12 @@
 # live catalog churn, dependency-tracked vs wholesale invalidation,
 # docs/churn_invalidation.md) reports into BENCH_churn.json.
 #
+# The serving_loadgen bench (open-loop overload sweep against the
+# networked server: qps, answer p50/p99, shed rate per load point,
+# docs/serving.md) reports into BENCH_serving.json.
+#
 # Usage: tools/bench_all.sh [out.json] [cache-out.json] [parallel-out.json]
-#                           [churn-out.json]
+#                           [churn-out.json] [serving-out.json]
 # Knobs: BUILD_DIR (default build), PDMS_BENCH_* forwarded to the benches.
 set -euo pipefail
 
@@ -30,6 +34,7 @@ OUT="${1:-BENCH_sim.json}"
 CACHE_OUT="${2:-BENCH_cache.json}"
 PARALLEL_OUT="${3:-BENCH_parallel.json}"
 CHURN_OUT="${4:-BENCH_churn.json}"
+SERVING_OUT="${5:-BENCH_serving.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 JSON_DIR="${BUILD_DIR}/bench-json"
@@ -110,3 +115,15 @@ PDMS_BENCH_REQUESTS="${PDMS_BENCH_REQUESTS:-200}" \
   printf ']\n'
 } > "${CHURN_OUT}"
 echo "merged churn report into ${CHURN_OUT}"
+
+echo "== serving_loadgen =="
+# CI-sized open-loop sweep: fewer requests per load point than the bench
+# default (200); override via the environment.
+PDMS_BENCH_REQUESTS="${PDMS_BENCH_SERVE_REQUESTS:-120}" \
+  "${BUILD_DIR}/bench/serving_loadgen" --json "${JSON_DIR}/serving_loadgen.json"
+{
+  printf '['
+  tr -d '\n' < "${JSON_DIR}/serving_loadgen.json"
+  printf ']\n'
+} > "${SERVING_OUT}"
+echo "merged serving report into ${SERVING_OUT}"

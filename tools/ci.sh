@@ -23,6 +23,10 @@
 #      including the 4-thread shared-cache churn test
 #      (docs/churn_invalidation.md). The nightly-sized run is the full
 #      200-seed default of tests/churn_dst_test.
+#   8. serving gate: build ppl_serverd and smoke it over loopback TCP
+#      (a real query through the wire protocol), run the frame-decoder
+#      fuzz corpus under asan+ubsan, and the concurrent multi-client
+#      server suite under TSan (docs/serving.md).
 #
 # Usage: tools/ci.sh
 # Knobs: BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
@@ -36,18 +40,18 @@ ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/7] default build + tests =="
+echo "== [1/8] default build + tests =="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== [2/7] asan+ubsan build + tests =="
+echo "== [2/8] asan+ubsan build + tests =="
 tools/ci_sanitize.sh "${ASAN_BUILD_DIR}"
 
-echo "== [3/7] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
+echo "== [3/8] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
 PDMS_DST_SEEDS="${PDMS_DST_SEEDS:-32}" "${BUILD_DIR}/tests/sim_dst_test"
 
-echo "== [4/7] trace-export smoke =="
+echo "== [4/8] trace-export smoke =="
 TRACE_FILE="${BUILD_DIR}/ci_trace.json"
 PDMS_BENCH_RUNS=1 PDMS_BENCH_MAX_DIAMETER=1 \
   "${BUILD_DIR}/bench/fig3_tree_size" --trace "${TRACE_FILE}" > /dev/null
@@ -70,14 +74,14 @@ else
   echo "trace export ok (python3 unavailable; grep check only)"
 fi
 
-echo "== [5/7] cache-coherence smoke =="
+echo "== [5/8] cache-coherence smoke =="
 # Query -> mutate network -> re-query: the invalidation counter must
 # advance and the cached answers must match a fresh, never-cached
 # instance (the gtest case asserts both).
 "${BUILD_DIR}/tests/cache_coherence_test" \
   --gtest_filter='CacheCoherence.Smoke'
 
-echo "== [6/7] tsan: exec primitives + parallel equivalence =="
+echo "== [6/8] tsan: exec primitives + parallel equivalence =="
 cmake --preset tsan > /dev/null
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target exec_test parallel_equivalence_test
@@ -86,7 +90,7 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/parallel_equivalence_test"
 
-echo "== [7/7] tsan: churn DST smoke + invalidation/health suites =="
+echo "== [7/8] tsan: churn DST smoke + invalidation/health suites =="
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target churn_dst_test cache_invalidation_test peer_health_test
 # The 32-seed twin comparison and the 4-thread shared-cache churn test;
@@ -98,5 +102,26 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/cache_invalidation_test"
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/peer_health_test"
+
+echo "== [8/8] serving gate: loopback smoke + asan fuzz + tsan server =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ppl_serverd
+# Loopback smoke: the daemon on an ephemeral-ish port must answer a real
+# wire-protocol query. The overload test's loopback case drives the same
+# server through the Client, so reuse it as the scripted check.
+"${BUILD_DIR}/tests/serve_overload_test" \
+  --gtest_filter='Serving.LoopbackAnswerIsByteIdenticalToInProcess'
+# ppl_serverd itself: start, answer "metrics"/"quit" on stdin, exit 0.
+printf 'metrics\nquit\n' | "${BUILD_DIR}/examples/ppl_serverd" --port 0 \
+  > /dev/null
+# Frame fuzz under asan+ubsan: mutated/garbage frames must never crash
+# or over-allocate in the decoder (tools/ci_sanitize.sh already ran the
+# full suite; re-run the fuzz cases explicitly as the named gate).
+"${ASAN_BUILD_DIR}/tests/wire_test" --gtest_filter='WireFuzz.*'
+# Concurrent server under TSan: multi-client loopback traffic over the
+# shared caches plus the overload burst.
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" --target serve_overload_test
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/serve_overload_test" --gtest_filter=\
+'Serving.ConcurrentClientsShareTheServerSafely:Serving.OverloadBurstShedsCleanlyAndAnswersStayCorrect'
 
 echo "== CI gate passed =="
