@@ -8,19 +8,38 @@
 // expensive mode (a span per rule-goal-tree node) and is priced here so
 // nobody is surprised in production.
 //
+// The second table prices the same contract on the serving hot path
+// (docs/serving_telemetry.md): the same request stream pushed through an
+// in-process RequestExecutor with telemetry off (null rolling stats,
+// null access log, untraced frames), with the rolling SLO window
+// attached, with rolling + NDJSON access log, and with traced requests
+// (per-request span assembly + SpanBlock). The serving null sink is the
+// same pointer-check-per-site deal, so "off" must stay within noise —
+// the <2% acceptance bar — and the per-mode rows price what turning
+// each stage on costs.
+//
 // Knobs: PDMS_BENCH_RUNS (default 5), PDMS_BENCH_DIAMETER (default 5),
-// PDMS_BENCH_PEERS (default 96).
+// PDMS_BENCH_PEERS (default 96), PDMS_BENCH_SERVE_REQUESTS (default
+// 2000, per serving mode).
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "pdms/core/pdms.h"
 #include "pdms/core/reformulator.h"
 #include "pdms/gen/workload.h"
 #include "pdms/obs/metrics.h"
+#include "pdms/obs/rolling.h"
 #include "pdms/obs/trace.h"
+#include "pdms/serve/access_log.h"
+#include "pdms/serve/executor.h"
 #include "pdms/util/timer.h"
 
 namespace pdms {
@@ -68,6 +87,111 @@ ModeResult RunMode(size_t peers, size_t diameter, size_t runs,
   for (double t : times) out.mean_ms += t;
   out.mean_ms /= static_cast<double>(times.size());
   out.spans = spans / static_cast<double>(times.size());
+  return out;
+}
+
+// --- Serving hot path ---
+
+constexpr const char* kServeProgram = R"(
+peer Hospital { relation Doctor(name, hospital); }
+peer Clinic { relation Physician(name, clinic); }
+stored hdoc(name, hospital) <= Hospital:Doctor(name, hospital).
+mapping Clinic:Physician(n, c) :- Hospital:Doctor(n, c).
+fact hdoc("alice", "county").
+fact hdoc("bo", "mercy").
+)";
+
+const char* const kServeQueries[] = {
+    "q(n, h) :- Hospital:Doctor(n, h).",
+    "q(n, c) :- Clinic:Physician(n, c).",
+};
+
+struct ServeMode {
+  const char* name;
+  bool rolling = false;
+  bool access_log = false;
+  bool traced = false;
+};
+
+struct ServeResult {
+  double total_ms = 0;
+  double mean_us = 0;  // per answered request
+  uint64_t answers = 0;
+};
+
+// Pushes `requests` query frames through a fresh in-process executor
+// with the mode's sinks attached and times the whole stream; the first
+// few requests warm the shared plan cache, the rest are the steady
+// state the overhead numbers describe.
+ServeResult RunServeMode(const ServeMode& mode, size_t requests,
+                         const std::string& log_path) {
+  ServeResult out;
+  Pdms loader;
+  if (!loader.LoadProgram(kServeProgram).ok()) return out;
+
+  obs::RollingStats rolling;
+  std::unique_ptr<serve::AccessLog> log;
+  if (mode.access_log) {
+    auto opened = serve::AccessLog::Open({log_path});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "access log: %s\n",
+                   opened.status().ToString().c_str());
+      return out;
+    }
+    log = std::move(*opened);
+  }
+
+  serve::ExecutorOptions options;
+  options.workers = 1;  // one facade: serialize so modes compare cleanly
+  options.admission.max_queue = requests + 1;
+  if (mode.rolling) options.rolling = &rolling;
+  options.access_log = log.get();
+
+  serve::RequestExecutor executor(options, nullptr);
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t done = 0;
+  uint64_t answered = 0;
+  Status started = executor.Start(
+      loader.network(), loader.database(),
+      [&](serve::ServeOutcome outcome) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+        if (!outcome.shed) ++answered;
+        cv.notify_one();
+      });
+  if (!started.ok()) {
+    std::fprintf(stderr, "executor: %s\n", started.ToString().c_str());
+    return out;
+  }
+
+  WallTimer timer;
+  uint64_t submitted = 0;
+  for (size_t id = 1; id <= requests; ++id) {
+    serve::ServeRequest request;
+    request.conn_id = 1;
+    request.request_id = id;
+    request.query = kServeQueries[id % 2];
+    if (mode.traced) {
+      request.trace = serve::wire::TraceEnvelope{"obs_overhead",
+                                                 obs::kNoSpan};
+    }
+    if (!executor.Submit(std::move(request)).has_value()) ++submitted;
+    // Closed loop: wait for this request before sending the next, so
+    // every mode measures per-request service time without queueing.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done >= submitted; });
+  }
+  out.total_ms = timer.ElapsedMillis();
+  executor.Stop();
+  out.answers = answered;
+  if (answered > 0) {
+    out.mean_us = 1000.0 * out.total_ms / static_cast<double>(answered);
+  }
+  if (log != nullptr) {
+    log->Flush();
+    std::remove(log_path.c_str());
+  }
   return out;
 }
 
@@ -120,6 +244,43 @@ int main(int argc, char** argv) {
     row->Set("overhead_pct", overhead);
     row->Set("avg_spans", r.spans);
   }
+  size_t serve_requests = EnvSize("PDMS_BENCH_SERVE_REQUESTS", 2000);
+  report.params()->Set("serve_requests", serve_requests);
+  std::printf("\n# Serving hot-path overhead (%zu closed-loop requests "
+              "per mode through an in-process RequestExecutor)\n",
+              serve_requests);
+  const pdms::ServeMode serve_modes[] = {
+      {"serve_null", false, false, false},
+      {"serve_rolling", true, false, false},
+      {"serve_rolling+log", true, true, false},
+      {"serve_traced", true, false, true},
+  };
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string log_path =
+      std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp") +
+      "/pdms_obs_overhead_access.log";
+
+  double serve_baseline_us = 0;
+  std::printf("%-18s %12s %12s %12s\n", "mode", "total (ms)",
+              "mean (us)", "overhead");
+  for (const pdms::ServeMode& mode : serve_modes) {
+    pdms::ServeResult r =
+        pdms::RunServeMode(mode, serve_requests, log_path);
+    if (serve_baseline_us == 0) serve_baseline_us = r.mean_us;
+    double overhead =
+        serve_baseline_us > 0
+            ? 100.0 * (r.mean_us - serve_baseline_us) / serve_baseline_us
+            : 0;
+    std::printf("%-18s %12.1f %12.2f %11.1f%%\n", mode.name, r.total_ms,
+                r.mean_us, overhead);
+    pdms::bench::JsonObject* row = report.AddMetricRow();
+    row->Set("mode", mode.name);
+    row->Set("total_ms", r.total_ms);
+    row->Set("mean_us", r.mean_us);
+    row->Set("overhead_pct", overhead);
+    row->Set("answers", static_cast<size_t>(r.answers));
+  }
+
   report.SetExtra("registry", metrics.ToJson());
   return report.Write() ? 0 : 1;
 }

@@ -5,9 +5,14 @@
 // 2x that capacity with seeded Poisson arrivals. Open-loop means senders
 // keep to their arrival schedule no matter how slowly responses come
 // back — the regime where an unprotected server's queue grows without
-// bound. Reports offered vs achieved qps, answer latency p50/p99, and
-// the shed rate per load point into the shared JSON schema
-// (tools/bench_all.sh merges it into BENCH_serving.json).
+// bound. Reports offered vs achieved qps, answer latency p50/p99, the
+// shed rate, and the full answer-latency histogram per load point into
+// the shared JSON schema (tools/bench_all.sh merges it into
+// BENCH_serving.json). The in-process server also feeds a rolling SLO
+// window; after the sweep the generator scrapes it over the wire with a
+// kStatsRequest frame — exactly what `ppl_top` polls — and writes the
+// snapshot to $PDMS_BENCH_SLO_JSON (bench_all.sh wraps that into
+// BENCH_slo.json).
 //
 // The expected shape: at 0.5x the shed rate is ~0 and p99 is near the
 // floor; at 2x roughly half the requests shed fast while answered
@@ -17,7 +22,8 @@
 // Knobs: PDMS_BENCH_CONNS (default 4), PDMS_BENCH_REQUESTS (200, per
 // load point), PDMS_BENCH_FLOOR_MS (10), PDMS_BENCH_WORKERS (2),
 // PDMS_BENCH_QUEUE (16), PDMS_BENCH_BUDGET_MS (0 = no deadline),
-// PDMS_BENCH_SEED (1).
+// PDMS_BENCH_SEED (1), PDMS_BENCH_SLO_JSON (path for the raw stats-frame
+// scrape; unset = skip the file).
 
 #include <algorithm>
 #include <atomic>
@@ -32,6 +38,7 @@
 #include "bench_util.h"
 #include "pdms/core/pdms.h"
 #include "pdms/obs/metrics.h"
+#include "pdms/obs/rolling.h"
 #include "pdms/serve/client.h"
 #include "pdms/serve/server.h"
 #include "pdms/serve/wire.h"
@@ -68,6 +75,38 @@ double Percentile(std::vector<double>* v, double p) {
   std::sort(v->begin(), v->end());
   size_t at = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
   return (*v)[at];
+}
+
+// Raw JSON array of the shared histogram bounds (the registry's default
+// latency buckets, the same ones the rolling SLO window uses).
+std::string BoundsJson(const std::vector<double>& bounds) {
+  std::string out = "[";
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += bench::JsonNumber(bounds[i]);
+  }
+  out += "]";
+  return out;
+}
+
+// Buckets every latency against `bounds` (one overflow cell at the end)
+// and encodes the counts as a raw JSON array — the full per-request
+// distribution, not just two percentiles.
+std::string HistogramJson(const std::vector<double>& latencies,
+                          const std::vector<double>& bounds) {
+  std::vector<uint64_t> counts(bounds.size() + 1, 0);
+  for (double ms : latencies) {
+    const size_t cell =
+        std::lower_bound(bounds.begin(), bounds.end(), ms) - bounds.begin();
+    ++counts[cell];
+  }
+  std::string out = "[";
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(counts[i]);
+  }
+  out += "]";
+  return out;
 }
 
 // One connection's worth of open-loop traffic: the sender emits
@@ -168,17 +207,24 @@ int main(int argc, char** argv) {
   }
 
   pdms::obs::MetricsRegistry metrics;
+  pdms::obs::RollingStats rolling;
   pdms::serve::ServerOptions options;
   options.port = 0;
   options.executor.workers = workers;
   options.executor.service_floor_ms = floor_ms;
   options.executor.admission.max_queue = queue;
+  options.executor.rolling = &rolling;
   pdms::serve::PplServer server(options, &metrics);
   pdms::Status started = server.Start(loader.network(), loader.database());
   if (!started.ok()) {
     std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
     return 1;
   }
+
+  const std::vector<double> bounds =
+      pdms::obs::MetricsRegistry::DefaultLatencyBounds();
+  report.params()->fields.emplace_back("latency_bounds_ms",
+                                       pdms::BoundsJson(bounds));
 
   const double capacity_qps =
       static_cast<double>(workers) * 1000.0 / floor_ms;
@@ -241,6 +287,37 @@ int main(int argc, char** argv) {
     row->Set("p50_ms", p50);
     row->Set("p99_ms", p99);
     row->Set("transport_errors", static_cast<size_t>(total.errors));
+    row->fields.emplace_back("latency_counts",
+                             pdms::HistogramJson(latencies, bounds));
+  }
+
+  // Scrape the server's rolling SLO window over the wire while it is
+  // still up — the same kStatsRequest frame ppl_top polls — so the bench
+  // output carries the server's own view of the sweep, not just the
+  // client-side timings.
+  {
+    pdms::serve::Client scraper;
+    if (scraper.Connect("127.0.0.1", server.port()).ok()) {
+      pdms::Result<std::string> stats = scraper.Stats();
+      if (stats.ok()) {
+        report.SetExtra("slo", *stats);
+        const char* slo_path = std::getenv("PDMS_BENCH_SLO_JSON");
+        if (slo_path != nullptr && *slo_path != '\0') {
+          std::FILE* f = std::fopen(slo_path, "w");
+          if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", slo_path);
+          } else {
+            std::fwrite(stats->data(), 1, stats->size(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::fprintf(stderr, "wrote SLO scrape to %s\n", slo_path);
+          }
+        }
+      } else {
+        std::fprintf(stderr, "slo scrape: %s\n",
+                     stats.status().ToString().c_str());
+      }
+    }
   }
 
   server.Stop();

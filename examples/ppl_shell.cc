@@ -111,9 +111,12 @@ void LoadFile(const std::string& path) {
 
 // A `?` query while `connect`ed goes over the wire: shed responses print
 // the retry-after hint, degraded/truncated answers print their report
-// fields, and the answer relation is rebuilt from the frame.
+// fields, and the answer relation is rebuilt from the frame. The shell's
+// trace context rides the version-2 frame, so `explain` / `trace save`
+// show the server's grafted spans under the rpc_query span.
 void RunRemoteQuery(const std::string& text) {
-  auto reply = g_client.Query(text, g_remote_budget_ms);
+  g_trace.Clear();
+  auto reply = g_client.Query(text, g_remote_budget_ms, &g_trace);
   if (!reply.ok()) {
     std::printf("error: %s\n", reply.status().ToString().c_str());
     if (reply.status().code() == pdms::StatusCode::kUnavailable) {
@@ -240,6 +243,18 @@ void ShowExplain() {
 }
 
 void ShowMetrics() {
+  // Connected shells report the *server's* telemetry — the local registry
+  // only sees local queries, which is the empty set while queries are
+  // being forwarded over the wire (docs/serving_telemetry.md).
+  if (g_client.connected()) {
+    auto stats = g_client.Stats();
+    if (stats.ok()) {
+      std::printf("remote stats: %s\n", stats->c_str());
+      return;
+    }
+    std::printf("remote stats unavailable (%s); local registry:\n",
+                stats.status().ToString().c_str());
+  }
   std::string out = g_metrics.ToString();
   if (out.empty()) {
     std::printf("no metrics yet; run a query first\n");

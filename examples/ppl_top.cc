@@ -1,0 +1,211 @@
+// ppl_top: a terminal ops console for ppl_serverd
+// (docs/serving_telemetry.md).
+//
+// Polls the server's kStatsRequest frame and renders the rolling SLO
+// window — qps, latency percentiles, shed rate, cache hit rate, queue
+// depth, degradation verdicts — as live panels, like `top` for a PDMS.
+//
+// Usage:
+//   ./ppl_top [HOST:PORT] [--interval MS] [--once] [--raw]
+//
+//   HOST:PORT      server to watch (default 127.0.0.1:7432)
+//   --interval MS  refresh period (default 1000)
+//   --once         print a single snapshot (no screen control) and exit
+//   --raw          print the raw stats JSON instead of panels
+//
+// The parser below is deliberately minimal: it understands exactly the
+// flat objects the stats frame emits (ExtractObject to scope a section,
+// GetNumber for a field) — no general JSON dependency.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "pdms/serve/client.h"
+#include "pdms/util/strings.h"
+
+namespace {
+
+// Returns the balanced `{...}` object following `"key": `, or empty.
+std::string ExtractObject(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  at += needle.size();
+  if (at >= json.size() || json[at] != '{') return "";
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = at; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++depth;
+    else if (c == '}' && --depth == 0) return json.substr(at, i - at + 1);
+  }
+  return "";
+}
+
+// Numeric field lookup inside one (non-nested scan of an) object.
+double GetNumber(const std::string& object, const std::string& key,
+                 double fallback = 0) {
+  const std::string needle = "\"" + key + "\": ";
+  size_t at = object.find(needle);
+  if (at == std::string::npos) return fallback;
+  return std::atof(object.c_str() + at + needle.size());
+}
+
+// `[a, b, c]` after `"key": ` -> the i-th number.
+double GetArrayNumber(const std::string& object, const std::string& key,
+                      size_t index) {
+  const std::string needle = "\"" + key + "\": [";
+  size_t at = object.find(needle);
+  if (at == std::string::npos) return 0;
+  const char* p = object.c_str() + at + needle.size();
+  for (size_t i = 0; i < index; ++i) {
+    p = std::strchr(p, ',');
+    if (p == nullptr) return 0;
+    ++p;
+  }
+  return std::atof(p);
+}
+
+std::string Bar(double fraction, int width) {
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  std::string out = "[";
+  for (int i = 0; i < width; ++i) out += i < filled ? '#' : ' ';
+  out += "]";
+  return out;
+}
+
+void RenderPanels(const std::string& json, const std::string& target) {
+  const std::string rolling = ExtractObject(json, "rolling");
+  const std::string admission = ExtractObject(json, "admission");
+  const std::string server = ExtractObject(json, "server");
+  const std::string remotes = ExtractObject(json, "remotes");
+
+  std::printf("ppl_top — %s\n\n", target.c_str());
+  if (rolling.empty()) {
+    std::printf("  (server reports no rolling stats)\n");
+    return;
+  }
+  const double window_s = GetNumber(rolling, "window_ms") / 1000.0;
+  const double shed_rate = GetNumber(rolling, "shed_rate");
+  const double hit_rate = GetNumber(rolling, "cache_hit_rate");
+  std::printf("  traffic   %8.1f qps over %.0fs   answers %.0f   "
+              "truncated %.0f\n",
+              GetNumber(rolling, "qps"), window_s,
+              GetNumber(rolling, "answers"),
+              GetNumber(rolling, "truncated"));
+  std::printf("  latency   p50 %8.2f ms   p95 %8.2f ms   p99 %8.2f ms   "
+              "max %8.2f ms\n",
+              GetNumber(rolling, "p50_ms"), GetNumber(rolling, "p95_ms"),
+              GetNumber(rolling, "p99_ms"), GetNumber(rolling, "max_ms"));
+  std::printf("  shed      %s %5.1f%%   queue_full %.0f   deadline %.0f\n",
+              Bar(shed_rate, 20).c_str(), 100 * shed_rate,
+              GetNumber(rolling, "sheds_queue_full"),
+              GetNumber(rolling, "sheds_deadline"));
+  std::printf("  cache     %s %5.1f%%   hits %.0f   misses %.0f\n",
+              Bar(hit_rate, 20).c_str(), 100 * hit_rate,
+              GetNumber(rolling, "cache_hits"),
+              GetNumber(rolling, "cache_misses"));
+  std::printf("  verdicts  complete %.0f   partial %.0f   empty %.0f\n",
+              GetArrayNumber(rolling, "verdicts", 0),
+              GetArrayNumber(rolling, "verdicts", 1),
+              GetArrayNumber(rolling, "verdicts", 2));
+  std::printf("  queue     depth %.0f (window max %.0f)",
+              GetNumber(rolling, "queue_depth"),
+              GetNumber(rolling, "queue_depth_max"));
+  if (!admission.empty()) {
+    std::printf("   ewma %.2f ms   cap %.0f   workers %.0f",
+                GetNumber(admission, "ewma_service_ms"),
+                GetNumber(admission, "max_queue"),
+                GetNumber(admission, "workers"));
+  }
+  std::printf("\n");
+  if (!server.empty()) {
+    std::printf("  server    connections %.0f   port %.0f\n",
+                GetNumber(server, "connections"),
+                GetNumber(server, "port"));
+  }
+  if (!remotes.empty() && remotes != "{}") {
+    std::printf("  remotes   %s\n", remotes.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target = "127.0.0.1:7432";
+  double interval_ms = 1000;
+  bool once = false;
+  bool raw = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--interval") {
+      interval_ms = std::atof(next());
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--raw") {
+      raw = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [HOST:PORT] [--interval MS] [--once] "
+                  "[--raw]\n",
+                  argv[0]);
+      return 0;
+    } else {
+      target = arg;
+    }
+  }
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "target '%s' is not HOST:PORT\n", target.c_str());
+    return 1;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad port in '%s'\n", target.c_str());
+    return 1;
+  }
+
+  pdms::serve::Client client;
+  pdms::Status status =
+      client.Connect(host, static_cast<uint16_t>(port));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  while (true) {
+    pdms::Result<std::string> stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    if (!once) std::printf("\x1b[H\x1b[2J");  // home + clear
+    if (raw) {
+      std::printf("%s\n", stats->c_str());
+    } else {
+      RenderPanels(*stats, target);
+    }
+    std::fflush(stdout);
+    if (once) break;
+    timespec tick;
+    tick.tv_sec = static_cast<time_t>(interval_ms / 1000);
+    tick.tv_nsec = static_cast<long>(
+        (interval_ms - 1000.0 * tick.tv_sec) * 1e6);
+    nanosleep(&tick, nullptr);
+  }
+  return 0;
+}

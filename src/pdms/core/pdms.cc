@@ -134,7 +134,9 @@ ReformulationOptions Pdms::PrepareCaches() {
 }
 
 Result<ReformulationResult> Pdms::ReformulateCached(
-    const ConjunctiveQuery& query, obs::ScopedSpan* query_span) {
+    const ConjunctiveQuery& query, obs::ScopedSpan* query_span,
+    bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
   ReformulationOptions effective = PrepareCaches();
   if (plan_cache_ == nullptr) {
     return GetReformulator()->Reformulate(query, effective);
@@ -149,6 +151,7 @@ Result<ReformulationResult> Pdms::ReformulateCached(
   if (hit != nullptr) {
     if (metrics_ != nullptr) metrics_->Add("cache.hits");
     if (query_span != nullptr) query_span->Set("cache", "hit");
+    if (cache_hit != nullptr) *cache_hit = true;
     ReformulationResult ref;
     ref.rewriting = hit->rewriting;
     ref.stats = hit->stats;  // the stats of the original reformulation
@@ -261,7 +264,8 @@ Result<AnswerResult> Pdms::AnswerWithReport(const ConjunctiveQuery& query) {
   // one is attached. A cache hit skips reformulation entirely but still
   // evaluates below through the gated path.
   PDMS_ASSIGN_OR_RETURN(ReformulationResult ref,
-                        ReformulateCached(query, &query_span));
+                        ReformulateCached(query, &query_span,
+                                          &out.plan_cache_hit));
   out.stats = ref.stats;
 
   // Step 2: evaluate, mediating every stored-relation scan through the

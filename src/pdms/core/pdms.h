@@ -32,6 +32,10 @@ struct AnswerResult {
   Relation answers{"q", 0};
   ReformulationStats stats;
   DegradationReport degradation;
+  /// True when the reformulation was served from the attached plan cache
+  /// (always false with no cache attached). Surfaced so the serving layer
+  /// can report per-window cache hit rates without reading the registry.
+  bool plan_cache_hit = false;
 };
 
 /// Assembles a DegradationReport from a query's static exclusions
@@ -239,9 +243,11 @@ class Pdms {
   /// Cache-aware reformulation shared by the answering entry points:
   /// plan-cache lookup (hit returns the stored plan), miss reformulates
   /// and inserts under the mid-churn guard. `query_span` (nullable)
-  /// receives the `cache` attribute.
+  /// receives the `cache` attribute; `cache_hit` (nullable) receives
+  /// whether the plan came from the cache.
   Result<ReformulationResult> ReformulateCached(const ConjunctiveQuery& query,
-                                                obs::ScopedSpan* query_span);
+                                                obs::ScopedSpan* query_span,
+                                                bool* cache_hit = nullptr);
 
   PdmsNetwork network_;
   Database data_;

@@ -1,0 +1,206 @@
+#include "pdms/obs/rolling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pdms/obs/metrics.h"
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace obs {
+
+namespace {
+
+std::string Number(double v) { return StrFormat("%.10g", v); }
+
+int64_t EpochOf(double now_ms, double bucket_ms) {
+  if (now_ms < 0) now_ms = 0;
+  return static_cast<int64_t>(now_ms / bucket_ms);
+}
+
+// Smallest histogram upper bound whose cumulative count reaches
+// `quantile` of `total`; the overflow bucket reports `max_value` (the
+// exact window max) rather than inventing a bound.
+double Quantile(const std::vector<double>& bounds,
+                const std::vector<uint64_t>& counts, uint64_t total,
+                double quantile, double max_value) {
+  if (total == 0) return 0;
+  const double target = quantile * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      // The bound is an upper estimate; the exact window max is a tighter
+      // one whenever it is smaller.
+      return i < bounds.size() ? std::min(bounds[i], max_value) : max_value;
+    }
+  }
+  return max_value;
+}
+
+}  // namespace
+
+void RollingStats::Bucket::Reset(int64_t new_epoch, size_t histogram_cells) {
+  epoch = new_epoch;
+  answers = 0;
+  sheds_queue_full = 0;
+  sheds_deadline = 0;
+  cache_hits = 0;
+  cache_misses = 0;
+  truncated = 0;
+  for (size_t i = 0; i < kVerdictSlots; ++i) verdicts[i] = 0;
+  latency_counts.assign(histogram_cells, 0);
+  latency_max = 0;
+  queue_depth_max = 0;
+}
+
+RollingStats::RollingStats(RollingOptions options)
+    : options_(std::move(options)) {
+  if (options_.bucket_ms <= 0) options_.bucket_ms = 1000;
+  if (options_.buckets == 0) options_.buckets = 60;
+  bounds_ = options_.latency_bounds.empty()
+                ? MetricsRegistry::DefaultLatencyBounds()
+                : options_.latency_bounds;
+  ring_.resize(options_.buckets);
+}
+
+RollingStats::Bucket* RollingStats::AdvanceLocked(double now_ms) {
+  const int64_t epoch = EpochOf(now_ms, options_.bucket_ms);
+  Bucket& bucket = ring_[static_cast<size_t>(epoch) % ring_.size()];
+  if (bucket.epoch != epoch) bucket.Reset(epoch, bounds_.size() + 1);
+  if (epoch > last_epoch_) last_epoch_ = epoch;
+  return &bucket;
+}
+
+void RollingStats::RecordAnswer(double now_ms, double latency_ms,
+                                bool cache_hit, int verdict, bool truncated) {
+  if (!std::isfinite(latency_ms) || latency_ms < 0) latency_ms = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket* b = AdvanceLocked(now_ms);
+  ++b->answers;
+  if (cache_hit) {
+    ++b->cache_hits;
+  } else {
+    ++b->cache_misses;
+  }
+  if (truncated) ++b->truncated;
+  const size_t slot = verdict < 0 ? 0
+                      : std::min(static_cast<size_t>(verdict),
+                                 kVerdictSlots - 1);
+  ++b->verdicts[slot];
+  const size_t cell =
+      std::lower_bound(bounds_.begin(), bounds_.end(), latency_ms) -
+      bounds_.begin();
+  ++b->latency_counts[cell];
+  b->latency_max = std::max(b->latency_max, latency_ms);
+}
+
+void RollingStats::RecordShed(double now_ms, Shed reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket* b = AdvanceLocked(now_ms);
+  if (reason == Shed::kQueueFull) {
+    ++b->sheds_queue_full;
+  } else {
+    ++b->sheds_deadline;
+  }
+}
+
+void RollingStats::RecordQueueDepth(double now_ms, size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket* b = AdvanceLocked(now_ms);
+  b->queue_depth_max = std::max(b->queue_depth_max, depth);
+  last_queue_depth_ = depth;
+}
+
+RollingStats::Snapshot RollingStats::GetSnapshot(double now_ms) const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t epoch = EpochOf(now_ms, options_.bucket_ms);
+  const int64_t window = static_cast<int64_t>(options_.buckets);
+  const int64_t oldest_live = epoch - window + 1;
+
+  std::vector<uint64_t> latency_counts(bounds_.size() + 1, 0);
+  int64_t oldest_seen = -1;
+  for (const Bucket& b : ring_) {
+    // epoch -1 marks a never-used bucket; oldest_live can be negative on
+    // a young ring, so the unused check must come first.
+    if (b.epoch < 0 || b.epoch < oldest_live || b.epoch > epoch) continue;
+    if (oldest_seen < 0 || b.epoch < oldest_seen) oldest_seen = b.epoch;
+    snap.answers += b.answers;
+    snap.sheds_queue_full += b.sheds_queue_full;
+    snap.sheds_deadline += b.sheds_deadline;
+    snap.cache_hits += b.cache_hits;
+    snap.cache_misses += b.cache_misses;
+    snap.truncated += b.truncated;
+    for (size_t i = 0; i < kVerdictSlots; ++i) {
+      snap.verdicts[i] += b.verdicts[i];
+    }
+    for (size_t i = 0; i < latency_counts.size(); ++i) {
+      latency_counts[i] += b.latency_counts[i];
+    }
+    snap.max_ms = std::max(snap.max_ms, b.latency_max);
+    snap.queue_depth_max = std::max(snap.queue_depth_max, b.queue_depth_max);
+  }
+  snap.queue_depth = last_queue_depth_;
+
+  // Covered time runs from the start of the oldest live bucket to `now`,
+  // so a freshly-started server reports qps over the time it has actually
+  // been up, not over the whole (mostly empty) window.
+  if (oldest_seen >= 0) {
+    snap.window_ms = std::min(
+        now_ms - static_cast<double>(oldest_seen) * options_.bucket_ms,
+        static_cast<double>(options_.buckets) * options_.bucket_ms);
+    snap.window_ms = std::max(snap.window_ms, options_.bucket_ms);
+  }
+  if (snap.window_ms > 0) {
+    snap.qps = static_cast<double>(snap.answers) / (snap.window_ms / 1000.0);
+  }
+  const uint64_t sheds = snap.sheds_queue_full + snap.sheds_deadline;
+  if (snap.answers + sheds > 0) {
+    snap.shed_rate = static_cast<double>(sheds) /
+                     static_cast<double>(snap.answers + sheds);
+  }
+  if (snap.cache_hits + snap.cache_misses > 0) {
+    snap.cache_hit_rate =
+        static_cast<double>(snap.cache_hits) /
+        static_cast<double>(snap.cache_hits + snap.cache_misses);
+  }
+  snap.p50_ms = Quantile(bounds_, latency_counts, snap.answers, 0.50,
+                         snap.max_ms);
+  snap.p95_ms = Quantile(bounds_, latency_counts, snap.answers, 0.95,
+                         snap.max_ms);
+  snap.p99_ms = Quantile(bounds_, latency_counts, snap.answers, 0.99,
+                         snap.max_ms);
+  return snap;
+}
+
+std::string RollingStats::Snapshot::ToJson() const {
+  std::string out = "{";
+  out += "\"window_ms\": " + Number(window_ms);
+  out += ", \"answers\": " + std::to_string(answers);
+  out += ", \"sheds_queue_full\": " + std::to_string(sheds_queue_full);
+  out += ", \"sheds_deadline\": " + std::to_string(sheds_deadline);
+  out += ", \"cache_hits\": " + std::to_string(cache_hits);
+  out += ", \"cache_misses\": " + std::to_string(cache_misses);
+  out += ", \"truncated\": " + std::to_string(truncated);
+  out += ", \"verdicts\": [";
+  for (size_t i = 0; i < kVerdictSlots; ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(verdicts[i]);
+  }
+  out += "]";
+  out += ", \"qps\": " + Number(qps);
+  out += ", \"shed_rate\": " + Number(shed_rate);
+  out += ", \"cache_hit_rate\": " + Number(cache_hit_rate);
+  out += ", \"p50_ms\": " + Number(p50_ms);
+  out += ", \"p95_ms\": " + Number(p95_ms);
+  out += ", \"p99_ms\": " + Number(p99_ms);
+  out += ", \"max_ms\": " + Number(max_ms);
+  out += ", \"queue_depth\": " + std::to_string(queue_depth);
+  out += ", \"queue_depth_max\": " + std::to_string(queue_depth_max);
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace pdms

@@ -1,0 +1,124 @@
+#ifndef PDMS_OBS_ROLLING_H_
+#define PDMS_OBS_ROLLING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pdms {
+namespace obs {
+
+/// Ring geometry for RollingStats: `buckets` fixed time buckets of
+/// `bucket_ms` each, so the window covers `buckets * bucket_ms` of the
+/// feeding clock. Latency percentiles are estimated from a fixed-bound
+/// histogram (DefaultLatencyBounds unless overridden).
+struct RollingOptions {
+  double bucket_ms = 1000;
+  size_t buckets = 60;
+  /// Ascending histogram upper bounds in ms; empty selects
+  /// MetricsRegistry::DefaultLatencyBounds().
+  std::vector<double> latency_bounds;
+};
+
+/// Windowed SLO statistics for the serving path (docs/
+/// serving_telemetry.md): per-window p50/p95/p99 latency, qps, shed rate,
+/// queue depth, cache hit rate, and degradation verdict counts.
+///
+/// The design is a ring of fixed buckets on the *caller's* clock — every
+/// record and snapshot call passes `now_ms` explicitly. The serving
+/// executor feeds it from one monotonic epoch; deterministic tests feed
+/// synthetic times. A bucket whose epoch has rotated out of the window is
+/// lazily reset when the ring advances over it, so recording is O(1)
+/// (plus one histogram bucket scan) under a single short mutex — cheap
+/// enough for the serve loop, and a `RollingStats*` is nullable at every
+/// feeding site exactly like the metrics registry (the null sink).
+///
+/// Thread-safe.
+class RollingStats {
+ public:
+  explicit RollingStats(RollingOptions options = {});
+
+  /// Shed classes tracked per window (mirrors wire::ShedReason without
+  /// depending on the serve layer).
+  enum class Shed { kQueueFull = 0, kDeadline = 1 };
+
+  /// Verdict slots for RecordAnswer's `verdict` (the numeric value of
+  /// pdms::Completeness; out-of-range values clamp to the last slot).
+  static constexpr size_t kVerdictSlots = 3;
+
+  /// One answered request: end-to-end latency (queue + service), whether
+  /// the plan cache hit, the completeness verdict, and whether the answer
+  /// was truncated by a mid-query deadline.
+  void RecordAnswer(double now_ms, double latency_ms, bool cache_hit,
+                    int verdict, bool truncated);
+  /// One request rejected by admission control (at offer or dequeue).
+  void RecordShed(double now_ms, Shed reason);
+  /// Admission queue depth observed at `now_ms` (gauge: the snapshot
+  /// reports the per-window max and the last observation).
+  void RecordQueueDepth(double now_ms, size_t depth);
+
+  /// Aggregates over the buckets still inside the window at `now_ms`.
+  struct Snapshot {
+    double window_ms = 0;  ///< time span the counts actually cover
+    uint64_t answers = 0;
+    uint64_t sheds_queue_full = 0;
+    uint64_t sheds_deadline = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t truncated = 0;
+    uint64_t verdicts[kVerdictSlots] = {0, 0, 0};
+    double qps = 0;            ///< answered requests per covered second
+    double shed_rate = 0;      ///< sheds / (answers + sheds)
+    double cache_hit_rate = 0; ///< hits / (hits + misses)
+    double p50_ms = 0;         ///< histogram upper-bound estimates
+    double p95_ms = 0;
+    double p99_ms = 0;
+    double max_ms = 0;         ///< exact max latency in the window
+    size_t queue_depth = 0;     ///< most recent observation
+    size_t queue_depth_max = 0; ///< max observation in the window
+
+    /// Flat JSON object with every field above (the `rolling` section of
+    /// the stats frame).
+    std::string ToJson() const;
+  };
+
+  Snapshot GetSnapshot(double now_ms) const;
+
+  const RollingOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    int64_t epoch = -1;  // bucket index on the feeding clock; -1 = unused
+    uint64_t answers = 0;
+    uint64_t sheds_queue_full = 0;
+    uint64_t sheds_deadline = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t truncated = 0;
+    uint64_t verdicts[kVerdictSlots] = {0, 0, 0};
+    std::vector<uint64_t> latency_counts;  // bounds.size() + 1 (overflow)
+    double latency_max = 0;
+    size_t queue_depth_max = 0;
+
+    void Reset(int64_t new_epoch, size_t histogram_cells);
+  };
+
+  /// Rotates the ring up to `now_ms` and returns the live bucket.
+  /// Requires mu_ held.
+  Bucket* AdvanceLocked(double now_ms);
+
+  RollingOptions options_;
+  std::vector<double> bounds_;
+
+  mutable std::mutex mu_;
+  std::vector<Bucket> ring_;
+  int64_t last_epoch_ = -1;
+  size_t last_queue_depth_ = 0;
+};
+
+}  // namespace obs
+}  // namespace pdms
+
+#endif  // PDMS_OBS_ROLLING_H_

@@ -1,6 +1,7 @@
 #include "pdms/obs/trace.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "pdms/util/strings.h"
 
@@ -105,6 +106,34 @@ void TraceContext::MergeChild(SpanId graft_parent, TraceContext&& child) {
   }
   child.spans_.clear();
   child.stack_.clear();
+}
+
+void TraceContext::ImportSpans(SpanId graft_parent, std::vector<Span> spans,
+                               double shift_ms) {
+  const SpanId base = spans_.size();
+  std::unordered_map<SpanId, SpanId> remap;
+  remap.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    // First occurrence wins; a duplicated foreign id parents to the first.
+    if (spans[i].id != kNoSpan) remap.emplace(spans[i].id, base + i + 1);
+  }
+  spans_.reserve(spans_.size() + spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    Span s = std::move(spans[i]);
+    const SpanId new_id = base + i + 1;
+    auto parent = remap.find(s.parent);
+    s.parent = (s.parent == kNoSpan || parent == remap.end() ||
+                parent->second == new_id)
+                   ? graft_parent
+                   : parent->second;
+    s.id = new_id;
+    const bool was_open = s.open();
+    s.start_ms += shift_ms;
+    // Shift a closed span's end with it; keep an open one open (end stays
+    // below the shifted start).
+    s.end_ms = was_open ? s.start_ms - 1 : s.end_ms + shift_ms;
+    spans_.push_back(std::move(s));
+  }
 }
 
 Span* TraceContext::Find(SpanId id) {

@@ -93,6 +93,10 @@ class TraceContext {
 
   const std::vector<Span>& spans() const { return spans_; }
   bool empty() const { return spans_.empty(); }
+  /// Read-only access to one span; nullptr for kNoSpan or out of range.
+  const Span* span(SpanId id) const {
+    return (id == kNoSpan || id > spans_.size()) ? nullptr : &spans_[id - 1];
+  }
 
   /// Discards all spans and re-opens the scope at root; trace id and clock
   /// binding are kept. Called by the facades at every query entry so one
@@ -112,6 +116,17 @@ class TraceContext {
   /// this for each child in child-index order recreates the span sequence
   /// of a serial depth-first execution.
   void MergeChild(SpanId graft_parent, TraceContext&& child);
+
+  /// Grafts externally-collected spans — e.g. a wire span block returned
+  /// by a remote server (serve/wire.h) — under `graft_parent`. Unlike
+  /// MergeChild the input is untrusted and on a foreign clock: ids are
+  /// remapped densely past the existing spans in list order, parents that
+  /// do not resolve within the imported set (including kNoSpan roots,
+  /// duplicates, and self/forged references) fall back to `graft_parent`,
+  /// and every timestamp is shifted by `shift_ms` to land the remote
+  /// epoch on this context's clock.
+  void ImportSpans(SpanId graft_parent, std::vector<Span> spans,
+                   double shift_ms);
 
  private:
   Span* Find(SpanId id);

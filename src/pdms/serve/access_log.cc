@@ -1,0 +1,127 @@
+#include "pdms/serve/access_log.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace serve {
+
+namespace {
+
+std::string Number(double v) { return StrFormat("%.10g", v); }
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string AccessEntry::ToJson() const {
+  std::string out = "{";
+  out += "\"ts_ms\": " + Number(ts_ms);
+  out += ", \"conn\": " + std::to_string(conn_id);
+  out += ", \"req\": " + std::to_string(request_id);
+  out += ", \"query\": " + Quote(query);
+  out += ", \"deadline_ms\": " + Number(deadline_ms);
+  out += ", \"queue_ms\": " + Number(queue_ms);
+  out += ", \"exec_ms\": " + Number(exec_ms);
+  out += ", \"total_ms\": " + Number(total_ms);
+  out += ", \"shed\": " + Quote(shed);
+  out += std::string(", \"cache_hit\": ") + (cache_hit ? "true" : "false");
+  out += ", \"verdict\": " + std::to_string(verdict);
+  out += ", \"trace_id\": " + Quote(trace_id);
+  out += "}";
+  return out;
+}
+
+double AccessLog::WallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<std::unique_ptr<AccessLog>> AccessLog::Open(AccessLogOptions options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("access log path is empty");
+  }
+  if (options.rotate_bytes == 0) options.rotate_bytes = 8u << 20;
+  std::unique_ptr<AccessLog> log(new AccessLog(options));
+  log->file_ = std::fopen(options.path.c_str(), "a");
+  if (log->file_ == nullptr) {
+    return Status::Unavailable(StrFormat("open %s: %s", options.path.c_str(),
+                                         std::strerror(errno)));
+  }
+  struct stat st;
+  if (::stat(options.path.c_str(), &st) == 0) {
+    log->bytes_ = static_cast<size_t>(st.st_size);
+  }
+  return log;
+}
+
+AccessLog::~AccessLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+void AccessLog::Append(const AccessEntry& entry) {
+  std::string line = entry.ToJson();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  bytes_ += line.size();
+  ++lines_;
+  if (bytes_ > options_.rotate_bytes) RotateLocked();
+}
+
+void AccessLog::RotateLocked() {
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string rotated = options_.path + ".1";
+  // Best effort: a failed rename just keeps appending to a fresh file.
+  std::rename(options_.path.c_str(), rotated.c_str());
+  file_ = std::fopen(options_.path.c_str(), "w");
+  bytes_ = 0;
+  ++rotations_;
+}
+
+void AccessLog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+uint64_t AccessLog::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+uint64_t AccessLog::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+}  // namespace serve
+}  // namespace pdms

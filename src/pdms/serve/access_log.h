@@ -1,0 +1,85 @@
+#ifndef PDMS_SERVE_ACCESS_LOG_H_
+#define PDMS_SERVE_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace serve {
+
+/// Tunables for the structured access log (docs/serving_telemetry.md).
+struct AccessLogOptions {
+  std::string path;
+  /// Size-based rotation: when the live file exceeds this after an
+  /// append, it is renamed to `<path>.1` (replacing any previous one)
+  /// and a fresh file is started — at most two files ever exist.
+  size_t rotate_bytes = 8u << 20;
+};
+
+/// One serving decision, shed or answered. Encoded as a single NDJSON
+/// line so the log is greppable and machine-parseable line by line.
+struct AccessEntry {
+  double ts_ms = 0;        ///< server wall-clock, ms since the epoch
+  uint64_t conn_id = 0;
+  uint64_t request_id = 0;
+  std::string query;       ///< canonical form when parseable, else raw
+  double deadline_ms = 0;  ///< client budget (0 = none)
+  double queue_ms = 0;     ///< admission to dequeue
+  double exec_ms = 0;      ///< facade evaluation (0 when shed)
+  double total_ms = 0;     ///< admission to completion
+  std::string shed;        ///< empty = answered; else the shed reason
+  bool cache_hit = false;
+  int verdict = -1;        ///< pdms::Completeness; -1 when shed/error
+  std::string trace_id;    ///< empty for untraced requests
+
+  std::string ToJson() const;
+};
+
+/// An append-only NDJSON access log with size-based rotation. Writes are
+/// serialized under a mutex and flushed per line (a crash loses at most
+/// the line being written) — the serving hot path takes one lock, one
+/// format, one buffered write. Passed around as a nullable borrowed
+/// pointer, like the metrics registry: null is the zero-overhead sink.
+///
+/// Thread-safe.
+class AccessLog {
+ public:
+  /// Opens (appending) the log file; fails if it cannot be created.
+  static Result<std::unique_ptr<AccessLog>> Open(AccessLogOptions options);
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  void Append(const AccessEntry& entry);
+  /// Flushes buffered bytes to the OS (called on graceful shutdown).
+  void Flush();
+
+  const std::string& path() const { return options_.path; }
+  uint64_t lines_written() const;
+  uint64_t rotations() const;
+
+  /// Wall-clock now in ms since the Unix epoch (the `ts_ms` timebase).
+  static double WallMs();
+
+ private:
+  explicit AccessLog(AccessLogOptions options) : options_(options) {}
+  void RotateLocked();
+
+  AccessLogOptions options_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  size_t bytes_ = 0;
+  uint64_t lines_ = 0;
+  uint64_t rotations_ = 0;
+};
+
+}  // namespace serve
+}  // namespace pdms
+
+#endif  // PDMS_SERVE_ACCESS_LOG_H_

@@ -7,8 +7,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <optional>
+#include <utility>
 
 #include "pdms/util/strings.h"
 
@@ -22,6 +25,26 @@ timeval ToTimeval(double ms) {
   tv.tv_sec = static_cast<time_t>(ms / 1000);
   tv.tv_usec = static_cast<suseconds_t>((ms - 1000.0 * tv.tv_sec) * 1000);
   return tv;
+}
+
+// Grafts a response's span block under the rpc span that requested it,
+// shifting the remote clock so the remote spans start where the rpc span
+// does (the best alignment available without clock synchronization).
+void GraftSpans(obs::TraceContext* trace, obs::SpanId rpc_span,
+                std::optional<wire::SpanBlock> block) {
+  if (trace == nullptr || !block.has_value() || block->spans.empty()) {
+    return;
+  }
+  double min_start = block->spans.front().start_ms;
+  for (const obs::Span& s : block->spans) {
+    min_start = std::min(min_start, s.start_ms);
+  }
+  double local_start = 0;
+  if (const obs::Span* rpc = trace->span(rpc_span)) {
+    local_start = rpc->start_ms;
+  }
+  trace->ImportSpans(rpc_span, std::move(block->spans),
+                     local_start - min_start);
 }
 
 }  // namespace
@@ -112,11 +135,17 @@ Result<wire::Frame> Client::ReadFrame() {
 }
 
 Result<ServeReply> Client::Query(const std::string& query_text,
-                                 double budget_ms) {
+                                 double budget_ms,
+                                 obs::TraceContext* trace) {
   wire::QueryFrame query;
   query.request_id = next_request_id_++;
   query.budget_ms = budget_ms;
   query.query = query_text;
+  obs::ScopedSpan rpc(trace, "rpc_query");
+  if (trace != nullptr) {
+    rpc.Set("request_id", query.request_id);
+    query.trace = wire::TraceEnvelope{trace->trace_id(), rpc.id()};
+  }
   PDMS_RETURN_IF_ERROR(SendRaw(wire::EncodeQuery(query)));
   while (true) {
     PDMS_ASSIGN_OR_RETURN(wire::Frame frame, ReadFrame());
@@ -124,6 +153,8 @@ Result<ServeReply> Client::Query(const std::string& query_text,
       PDMS_ASSIGN_OR_RETURN(wire::AnswerFrame answer,
                             wire::DecodeAnswer(frame, limits_));
       if (answer.request_id != query.request_id) continue;  // stale
+      GraftSpans(trace, rpc.id(), std::move(answer.spans));
+      answer.spans.reset();
       ServeReply reply;
       reply.answer = std::move(answer);
       return reply;
@@ -155,19 +186,39 @@ Status Client::Ping() {
   }
 }
 
-Result<sim::Message> Client::ScanRelation(const std::string& relation) {
-  sim::Message request;
-  request.type = sim::Message::Type::kScanRequest;
-  request.request_id = next_request_id_++;
-  request.relation = relation;
-  PDMS_RETURN_IF_ERROR(request.Validate());
-  PDMS_RETURN_IF_ERROR(SendRaw(wire::EncodeScan(request)));
+Result<sim::Message> Client::ScanRelation(const std::string& relation,
+                                          obs::TraceContext* trace) {
+  wire::ScanFrame request;
+  request.message.type = sim::Message::Type::kScanRequest;
+  request.message.request_id = next_request_id_++;
+  request.message.relation = relation;
+  PDMS_RETURN_IF_ERROR(request.message.Validate());
+  obs::ScopedSpan rpc(trace, "rpc_scan");
+  if (trace != nullptr) {
+    rpc.Set("relation", relation);
+    request.trace = wire::TraceEnvelope{trace->trace_id(), rpc.id()};
+  }
+  PDMS_RETURN_IF_ERROR(SendRaw(wire::EncodeScanFrame(request)));
   while (true) {
     PDMS_ASSIGN_OR_RETURN(wire::Frame frame, ReadFrame());
     if (frame.type != wire::FrameType::kScanResponse) continue;
-    PDMS_ASSIGN_OR_RETURN(sim::Message response,
-                          wire::DecodeScan(frame, limits_));
-    if (response.request_id == request.request_id) return response;
+    PDMS_ASSIGN_OR_RETURN(wire::ScanFrame response,
+                          wire::DecodeScanFrame(frame, limits_));
+    if (response.message.request_id != request.message.request_id) continue;
+    GraftSpans(trace, rpc.id(), std::move(response.spans));
+    return std::move(response.message);
+  }
+}
+
+Result<std::string> Client::Stats() {
+  const uint64_t id = next_request_id_++;
+  PDMS_RETURN_IF_ERROR(SendRaw(wire::EncodeStatsRequest(id)));
+  while (true) {
+    PDMS_ASSIGN_OR_RETURN(wire::Frame frame, ReadFrame());
+    if (frame.type != wire::FrameType::kStatsResponse) continue;
+    PDMS_ASSIGN_OR_RETURN(wire::StatsResponseFrame response,
+                          wire::DecodeStatsResponse(frame, limits_));
+    if (response.request_id == id) return std::move(response.json);
   }
 }
 

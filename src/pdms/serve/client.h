@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "pdms/obs/trace.h"
 #include "pdms/serve/wire.h"
 #include "pdms/sim/message.h"
 #include "pdms/util/status.h"
@@ -43,17 +44,27 @@ class Client {
   bool connected() const { return fd_ >= 0; }
 
   /// Sends one query and blocks for its answer or shed response.
-  /// `budget_ms <= 0` means no deadline.
+  /// `budget_ms <= 0` means no deadline. With a non-null `trace` the
+  /// query goes out as a version-2 frame carrying the trace envelope
+  /// (trace id + an `rpc_query` span opened here), and the server's
+  /// spans from the answer are grafted under that span — one trace id
+  /// across both processes (docs/serving_telemetry.md).
   Result<ServeReply> Query(const std::string& query_text,
-                           double budget_ms = 0);
+                           double budget_ms = 0,
+                           obs::TraceContext* trace = nullptr);
 
   /// Round-trips a ping.
   Status Ping();
 
   /// Requests a stored-relation scan (the promoted sim::Message framing);
   /// returns the scan-response message (whose own `status` carries
-  /// relation-level errors like NotFound).
-  Result<sim::Message> ScanRelation(const std::string& relation);
+  /// relation-level errors like NotFound). A non-null `trace` propagates
+  /// exactly like Query's, under an `rpc_scan` span.
+  Result<sim::Message> ScanRelation(const std::string& relation,
+                                    obs::TraceContext* trace = nullptr);
+
+  /// Fetches the server's live stats snapshot (kStatsRequest) as JSON.
+  Result<std::string> Stats();
 
   // --- Low-level access (tests and the load generator) ---
 

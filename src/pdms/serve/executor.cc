@@ -1,11 +1,15 @@
 #include "pdms/serve/executor.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <limits>
 #include <thread>
 #include <utility>
 
+#include "pdms/lang/canonical.h"
+#include "pdms/serve/client.h"
 #include "pdms/util/check.h"
+#include "pdms/util/strings.h"
 
 namespace pdms {
 namespace serve {
@@ -22,6 +26,12 @@ double RemainingBudgetMs(const ServeRequest& request) {
   }
   return Deadline::AfterMillis(request.budget_ms)
       .RemainingMillis(request.arrival.ElapsedMillis());
+}
+
+obs::RollingStats::Shed ToRollingShed(wire::ShedReason reason) {
+  return reason == wire::ShedReason::kQueueFull
+             ? obs::RollingStats::Shed::kQueueFull
+             : obs::RollingStats::Shed::kDeadline;
 }
 
 }  // namespace
@@ -117,6 +127,7 @@ std::optional<wire::ShedFrame> RequestExecutor::Submit(ServeRequest request) {
       shed.reason = wire::ShedReason::kQueueFull;
       shed.retry_after_ms = admission_.options().retry_after_floor_ms;
       shed.message = "server shutting down";
+      LogShed(request, shed, 0);
       return shed;
     }
   }
@@ -131,7 +142,14 @@ std::optional<wire::ShedFrame> RequestExecutor::Submit(ServeRequest request) {
     shed.message = decision.reason == wire::ShedReason::kQueueFull
                        ? "admission queue full"
                        : "remaining budget below expected wait";
+    if (options_.rolling != nullptr) {
+      options_.rolling->RecordShed(NowMs(), ToRollingShed(decision.reason));
+    }
+    LogShed(request, shed, 0);
     return shed;
+  }
+  if (options_.rolling != nullptr) {
+    options_.rolling->RecordQueueDepth(NowMs(), decision.queue_depth);
   }
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
@@ -159,6 +177,7 @@ void RequestExecutor::PushFacade(Pdms* facade) {
 
 void RequestExecutor::RunOne(ServeRequest request) {
   WallTimer service;
+  const double queue_ms = request.arrival.ElapsedMillis();
   ServeOutcome out;
   out.conn_id = request.conn_id;
 
@@ -178,6 +197,11 @@ void RequestExecutor::RunOne(ServeRequest request) {
         static_cast<uint32_t>(admission_.queue_depth());
     out.shed_frame.message = "budget expired while queued";
     if (metrics_) metrics_->Add("serve.shed_after_queue");
+    if (options_.rolling != nullptr) {
+      options_.rolling->RecordShed(NowMs(),
+                                   obs::RollingStats::Shed::kDeadline);
+    }
+    LogShed(request, out.shed_frame, queue_ms);
     done_(std::move(out));
     std::lock_guard<std::mutex> lock(drain_mu_);
     if (--in_flight_ == 0) drain_cv_.notify_all();
@@ -192,6 +216,28 @@ void RequestExecutor::RunOne(ServeRequest request) {
   }
 
   Pdms* facade = PopFacade();
+
+  // Server-side trace assembly. The request's envelope roots a combined
+  // context whose clock every piece shares: the federation fetches and
+  // the facade's query each record into their own Fork (the facade
+  // clears its context at query entry, which must not wipe the fetch
+  // spans) and are grafted under one "serve" root. The whole tree rides
+  // back in the answer's SpanBlock for the client to import.
+  const bool traced = request.trace.has_value();
+  obs::TraceContext combined(traced ? request.trace->trace_id : "query");
+  obs::SpanId root = obs::kNoSpan;
+  if (traced) {
+    root = combined.StartSpan("serve");
+    combined.SetAttribute(root, "request_id", request.request_id);
+    combined.SetAttribute(root, "queue_ms", queue_ms);
+  }
+
+  if (!options_.remote_relations.empty()) {
+    obs::TraceContext fetch_ctx = combined.Fork();
+    FetchRemotes(facade, traced ? &fetch_ctx : nullptr);
+    if (traced) combined.MergeChild(root, std::move(fetch_ctx));
+  }
+
   // Whatever budget survives queueing becomes the reformulation time
   // budget, so mid-query expiry degrades to a sound truncated answer.
   ReformulationOptions opts = options_.query_options;
@@ -201,20 +247,178 @@ void RequestExecutor::RunOne(ServeRequest request) {
     opts.time_budget_ms = remaining > 0 ? remaining : 0.001;
   }
   facade->set_options(opts);
+  obs::TraceContext query_ctx = combined.Fork();
+  if (traced) facade->set_trace(&query_ctx);
   Result<AnswerResult> result = facade->AnswerWithReport(request.query);
+  if (traced) {
+    facade->set_trace(nullptr);
+    combined.MergeChild(root, std::move(query_ctx));
+  }
+  std::string canonical = request.query;
+  if (options_.access_log != nullptr) {
+    Result<ConjunctiveQuery> parsed = facade->ParseQuery(request.query);
+    if (parsed.ok()) canonical = CanonicalQueryKey(*parsed);
+  }
   PushFacade(facade);
 
   const double service_ms = service.ElapsedMillis();
   out.answer = MakeAnswerFrame(request.request_id, result, service_ms);
+  if (traced) {
+    combined.EndSpan(root);
+    wire::SpanBlock block;
+    block.trace_id = combined.trace_id();
+    block.spans = combined.spans();
+    out.answer.spans = std::move(block);
+  }
   if (metrics_) {
     metrics_->Add("serve.completed");
     metrics_->Observe("serve.service_ms", service_ms);
     if (out.answer.truncated != 0) metrics_->Add("serve.truncated_answers");
   }
   admission_.OnComplete(service_ms);
+
+  const double total_ms = request.arrival.ElapsedMillis();
+  const bool cache_hit = result.ok() && result->plan_cache_hit;
+  const int verdict =
+      result.ok() ? static_cast<int>(result->degradation.completeness) : -1;
+  if (options_.rolling != nullptr) {
+    options_.rolling->RecordAnswer(NowMs(), total_ms, cache_hit,
+                                   verdict < 0 ? 0 : verdict,
+                                   out.answer.truncated != 0);
+    options_.rolling->RecordQueueDepth(NowMs(), admission_.queue_depth());
+  }
+  if (options_.access_log != nullptr) {
+    AccessEntry entry;
+    entry.ts_ms = AccessLog::WallMs();
+    entry.conn_id = request.conn_id;
+    entry.request_id = request.request_id;
+    entry.query = canonical;
+    entry.deadline_ms = request.budget_ms;
+    entry.queue_ms = queue_ms;
+    entry.exec_ms = service_ms;
+    entry.total_ms = total_ms;
+    entry.cache_hit = cache_hit;
+    entry.verdict = verdict;
+    if (traced) entry.trace_id = request.trace->trace_id;
+    options_.access_log->Append(entry);
+  }
+
   done_(std::move(out));
   std::lock_guard<std::mutex> lock(drain_mu_);
   if (--in_flight_ == 0) drain_cv_.notify_all();
+}
+
+void RequestExecutor::LogShed(const ServeRequest& request,
+                              const wire::ShedFrame& shed, double queue_ms) {
+  if (options_.access_log == nullptr) return;
+  AccessEntry entry;
+  entry.ts_ms = AccessLog::WallMs();
+  entry.conn_id = request.conn_id;
+  entry.request_id = request.request_id;
+  entry.query = request.query;  // raw: no facade in hand on the shed path
+  entry.deadline_ms = request.budget_ms;
+  entry.queue_ms = queue_ms;
+  entry.total_ms = request.arrival.ElapsedMillis();
+  entry.shed = wire::ShedReasonName(shed.reason);
+  if (request.trace.has_value()) entry.trace_id = request.trace->trace_id;
+  options_.access_log->Append(entry);
+}
+
+void RequestExecutor::FetchRemotes(Pdms* facade, obs::TraceContext* trace) {
+  for (const auto& [relation, endpoint] : options_.remote_relations) {
+    WallTimer fetch;
+    Status status = FetchOneRemote(relation, endpoint, facade, trace);
+    const double fetch_ms = fetch.ElapsedMillis();
+    if (metrics_) {
+      metrics_->Add(status.ok() ? "serve.remote_scans"
+                                : "serve.remote_scan_failures");
+      metrics_->Observe("serve.remote_scan_ms", fetch_ms);
+    }
+    std::lock_guard<std::mutex> lock(remotes_mu_);
+    RemoteHealth& health = remote_health_[endpoint];
+    ++health.scans;
+    health.total_ms += fetch_ms;
+    if (!status.ok()) ++health.failures;
+  }
+}
+
+Status RequestExecutor::FetchOneRemote(const std::string& relation,
+                                       const std::string& endpoint,
+                                       Pdms* facade,
+                                       obs::TraceContext* trace) {
+  obs::ScopedSpan span(trace, "remote_fetch");
+  span.Set("relation", relation);
+  span.Set("endpoint", endpoint);
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    return Status::InvalidArgument(
+        StrFormat("remote endpoint '%s' is not host:port",
+                  endpoint.c_str()));
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("remote endpoint '%s' has a bad port", endpoint.c_str()));
+  }
+  Client client;
+  Status status = client.Connect(host, static_cast<uint16_t>(port));
+  if (!status.ok()) {
+    span.Set("error", status.message());
+    return status;
+  }
+  Result<sim::Message> response = client.ScanRelation(relation, trace);
+  if (!response.ok()) {
+    span.Set("error", response.status().message());
+    return response.status();
+  }
+  if (!response->status.ok()) {
+    span.Set("error", response->status.message());
+    return response->status;
+  }
+  Database* db = facade->mutable_database();
+  Relation* existing = db->FindMutable(relation);
+  if (existing != nullptr && existing->arity() == response->arity) {
+    existing->Clear();
+    for (const Tuple& tuple : response->tuples) existing->Insert(tuple);
+  } else {
+    // Unknown (or re-declared) relation: insert creates it fresh. An
+    // arity change mid-flight is a remote schema change; the stale copy
+    // is unreachable through the (re-validated) catalog anyway.
+    for (const Tuple& tuple : response->tuples) db->Insert(relation, tuple);
+  }
+  span.Set("tuples", static_cast<uint64_t>(response->tuples.size()));
+  return Status::Ok();
+}
+
+std::string RequestExecutor::StatsJsonFragment() const {
+  std::string out = "\"rolling\": ";
+  if (options_.rolling != nullptr) {
+    out += options_.rolling->GetSnapshot(NowMs()).ToJson();
+  } else {
+    out += "null";
+  }
+  out += StrFormat(
+      ", \"admission\": {\"queue_depth\": %zu, \"ewma_service_ms\": %.10g, "
+      "\"max_queue\": %zu, \"workers\": %zu}",
+      admission_.queue_depth(), admission_.ewma_service_ms(),
+      admission_.options().max_queue, options_.workers);
+  out += ", \"remotes\": {";
+  {
+    std::lock_guard<std::mutex> lock(remotes_mu_);
+    bool first = true;
+    for (const auto& [endpoint, health] : remote_health_) {
+      if (!first) out += ", ";
+      first = false;
+      out += StrFormat(
+          "\"%s\": {\"scans\": %llu, \"failures\": %llu, "
+          "\"total_ms\": %.10g}",
+          endpoint.c_str(), static_cast<unsigned long long>(health.scans),
+          static_cast<unsigned long long>(health.failures), health.total_ms);
+    }
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace serve

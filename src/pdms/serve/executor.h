@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -15,6 +16,8 @@
 #include "pdms/core/pdms.h"
 #include "pdms/exec/thread_pool.h"
 #include "pdms/obs/metrics.h"
+#include "pdms/obs/rolling.h"
+#include "pdms/serve/access_log.h"
 #include "pdms/serve/admission.h"
 #include "pdms/serve/wire.h"
 #include "pdms/util/timer.h"
@@ -37,6 +40,19 @@ struct ExecutorOptions {
   /// `workers * 1000 / floor` qps, which lets the overload test drive a
   /// deterministic 2x overload regardless of host speed. 0 disables.
   double service_floor_ms = 0;
+  /// Federated stored relations: relation name -> "host:port" of the
+  /// remote ppl_serverd that owns it. A worker re-fetches each mapped
+  /// relation (via a kScanRequest, forwarding the request's trace
+  /// envelope) into its facade's database before evaluating, so answers
+  /// reflect the remote peer's live data and the request's trace spans
+  /// both processes. A failed fetch keeps the previously-fetched copy
+  /// (and is counted in the per-endpoint health the stats frame reports).
+  std::map<std::string, std::string> remote_relations;
+  /// Windowed SLO stats fed per request (borrowed, nullable — null is
+  /// the zero-overhead sink, like the registry).
+  obs::RollingStats* rolling = nullptr;
+  /// Structured per-request access log (borrowed, nullable).
+  AccessLog* access_log = nullptr;
 };
 
 /// An admitted unit of work: one query frame plus the connection it came
@@ -49,6 +65,10 @@ struct ServeRequest {
   /// <= 0 means no deadline (wire convention).
   double budget_ms = 0;
   WallTimer arrival;
+  /// The caller's trace context, when the query frame carried one; the
+  /// worker assembles a server-side span tree and returns it in the
+  /// answer's SpanBlock.
+  std::optional<wire::TraceEnvelope> trace;
 };
 
 /// The outcome handed to the completion callback: exactly one of
@@ -101,10 +121,35 @@ class RequestExecutor {
   cache::GoalMemo* goal_memo() { return &goal_memo_; }
   const ExecutorOptions& options() const { return options_; }
 
+  /// Milliseconds since executor construction — the clock the rolling
+  /// stats are fed on (and snapshot against).
+  double NowMs() const { return epoch_.ElapsedMillis(); }
+
+  /// The executor-owned sections of the stats snapshot, as a JSON
+  /// fragment (comma-separated `"key": value` pairs without braces):
+  /// the rolling SLO window, admission state, and per-remote scan
+  /// health. The server wraps this with its own sections into the
+  /// kStatsResponse payload.
+  std::string StatsJsonFragment() const;
+
  private:
+  struct RemoteHealth {
+    uint64_t scans = 0;
+    uint64_t failures = 0;
+    double total_ms = 0;
+  };
+
   void RunOne(ServeRequest request);
   Pdms* PopFacade();
   void PushFacade(Pdms* facade);
+  /// Re-fetches every mapped remote relation into `facade`'s database,
+  /// recording per-endpoint health; spans land in `trace` when non-null.
+  void FetchRemotes(Pdms* facade, obs::TraceContext* trace);
+  Status FetchOneRemote(const std::string& relation,
+                        const std::string& endpoint, Pdms* facade,
+                        obs::TraceContext* trace);
+  void LogShed(const ServeRequest& request, const wire::ShedFrame& shed,
+               double queue_ms);
 
   ExecutorOptions options_;
   obs::MetricsRegistry* metrics_;  // not owned; may be null
@@ -123,6 +168,10 @@ class RequestExecutor {
   size_t in_flight_ = 0;
   bool started_ = false;
   bool stopped_ = false;
+
+  WallTimer epoch_;  // the rolling-stats clock, started at construction
+  mutable std::mutex remotes_mu_;
+  std::map<std::string, RemoteHealth> remote_health_;
 };
 
 /// Builds the wire answer for one evaluated request. Exposed for tests:

@@ -296,6 +296,7 @@ Status PplServer::DispatchFrame(Connection* conn, const wire::Frame& frame) {
       request.request_id = query.request_id;
       request.query = std::move(query.query);
       request.budget_ms = query.budget_ms;
+      request.trace = std::move(query.trace);
       std::optional<wire::ShedFrame> shed =
           executor_->Submit(std::move(request));
       if (shed.has_value()) {
@@ -312,6 +313,16 @@ Status PplServer::DispatchFrame(Connection* conn, const wire::Frame& frame) {
       HandleScan(conn, frame);
       return Status::Ok();
     }
+    case wire::FrameType::kStatsRequest: {
+      PDMS_ASSIGN_OR_RETURN(wire::StatsRequestFrame stats,
+                            wire::DecodeStatsRequest(frame));
+      if (metrics_) metrics_->Add("serve.stats_requests");
+      wire::StatsResponseFrame response;
+      response.request_id = stats.request_id;
+      response.json = StatsJson();
+      QueueWrite(conn, wire::EncodeStatsResponse(response));
+      return Status::Ok();
+    }
     default:
       // Answer/shed/pong/scan-response are server-to-client only.
       return Status::InvalidArgument(
@@ -321,27 +332,59 @@ Status PplServer::DispatchFrame(Connection* conn, const wire::Frame& frame) {
 }
 
 void PplServer::HandleScan(Connection* conn, const wire::Frame& frame) {
-  Result<sim::Message> request = wire::DecodeScan(frame, options_.limits);
+  Result<wire::ScanFrame> request =
+      wire::DecodeScanFrame(frame, options_.limits);
   if (!request.ok()) {
     if (metrics_) metrics_->Add("serve.protocol_errors");
     CloseConnection(conn->id, "bad scan frame");
     return;
   }
+  // A traced scan records its serving into an ephemeral context under the
+  // caller's trace id; the spans ride back in the response for the caller
+  // to graft. Untraced scans answer version-1, byte-identical to before.
+  const bool traced = request->trace.has_value();
+  obs::TraceContext scan_trace(traced ? request->trace->trace_id : "scan");
+  obs::ScopedSpan scan_span(traced ? &scan_trace : nullptr, "scan");
+  scan_span.Set("relation", request->message.relation);
+
   // The promoted sim framing end to end: answer a stored-relation scan
   // exactly like a sim peer node would, from this server's database.
-  sim::Message response;
+  wire::ScanFrame reply;
+  sim::Message& response = reply.message;
   response.type = sim::Message::Type::kScanResponse;
-  response.request_id = request->request_id;
-  response.relation = request->relation;
-  const Relation* relation = database_.Find(request->relation);
+  response.request_id = request->message.request_id;
+  response.relation = request->message.relation;
+  const Relation* relation = database_.Find(request->message.relation);
   if (relation == nullptr) {
-    response.status = Status::NotFound(
-        StrFormat("no stored relation '%s'", request->relation.c_str()));
+    response.status = Status::NotFound(StrFormat(
+        "no stored relation '%s'", request->message.relation.c_str()));
+    scan_span.Set("error", "not_found");
   } else {
     response.arity = relation->arity();
     response.tuples = relation->tuples();
+    scan_span.Set("tuples", static_cast<uint64_t>(response.tuples.size()));
   }
-  QueueWrite(conn, wire::EncodeScan(response));
+  if (traced) {
+    scan_span.End();
+    wire::SpanBlock block;
+    block.trace_id = scan_trace.trace_id();
+    block.spans = scan_trace.spans();
+    reply.spans = std::move(block);
+  }
+  QueueWrite(conn, wire::EncodeScanFrame(reply));
+}
+
+std::string PplServer::StatsJson() const {
+  std::string out = "{";
+  out += executor_ != nullptr ? executor_->StatsJsonFragment()
+                              : std::string("\"rolling\": null");
+  out += StrFormat(", \"server\": {\"connections\": %zu, \"port\": %u}",
+                   connections_.size(),
+                   static_cast<unsigned>(bound_port_));
+  out += ", \"metrics\": ";
+  out += metrics_ != nullptr ? metrics_->ToJson() : std::string("null");
+  out += "}";
+  return out;
 }
 
 void PplServer::QueueWrite(Connection* conn, std::string bytes) {

@@ -80,6 +80,12 @@ class PplServer {
   RequestExecutor* executor() { return executor_.get(); }
   const ServerOptions& options() const { return options_; }
 
+  /// The full stats snapshot served to kStatsRequest frames: the
+  /// executor's rolling/admission/remote-health sections plus the
+  /// metrics registry and server-level counts. Loop thread, or after
+  /// Stop (the ops daemon prints a final snapshot on graceful shutdown).
+  std::string StatsJson() const;
+
  private:
   struct Connection {
     int fd = -1;

@@ -273,6 +273,71 @@ void WriteTupleBlock(PayloadWriter& w, uint32_t arity,
   for (const Tuple& t : tuples) w.TupleRow(t);
 }
 
+// --- Trace extension (payload prefix under kFlagTrace) ---
+//
+// The frame type fixes the format: requests carry a TraceEnvelope,
+// responses a SpanBlock. Both are length-delimited through the same
+// bounds-checked cursor as everything else, so a forged span count or
+// attribute count dies on CheckCount before any storage is sized.
+
+/// Minimum encoding of one span: id + parent (u64 each), empty name (u32
+/// length), start/end (f64 each), zero attributes (u32 count).
+constexpr size_t kMinSpanBytes = 8 + 8 + 4 + 8 + 8 + 4;
+
+void WriteEnvelope(PayloadWriter& w, const TraceEnvelope& envelope) {
+  w.Str(envelope.trace_id);
+  w.U64(envelope.parent_span);
+}
+
+Status ReadEnvelope(PayloadCursor& cur, TraceEnvelope* out) {
+  PDMS_RETURN_IF_ERROR(cur.ReadString(&out->trace_id));
+  return cur.ReadU64(&out->parent_span);
+}
+
+void WriteSpanBlock(PayloadWriter& w, const SpanBlock& block) {
+  w.Str(block.trace_id);
+  w.U32(static_cast<uint32_t>(block.spans.size()));
+  for (const obs::Span& s : block.spans) {
+    w.U64(s.id);
+    w.U64(s.parent);
+    w.Str(s.name);
+    w.F64(s.start_ms);
+    w.F64(s.end_ms);
+    w.U32(static_cast<uint32_t>(s.attributes.size()));
+    for (const auto& [key, value] : s.attributes) {
+      w.Str(key);
+      w.Str(value);
+    }
+  }
+}
+
+Status ReadSpanBlock(PayloadCursor& cur, SpanBlock* out) {
+  PDMS_RETURN_IF_ERROR(cur.ReadString(&out->trace_id));
+  uint32_t count;
+  PDMS_RETURN_IF_ERROR(cur.ReadU32(&count));
+  PDMS_RETURN_IF_ERROR(cur.CheckCount(count, kMinSpanBytes, "span"));
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::Span span;
+    PDMS_RETURN_IF_ERROR(cur.ReadU64(&span.id));
+    PDMS_RETURN_IF_ERROR(cur.ReadU64(&span.parent));
+    PDMS_RETURN_IF_ERROR(cur.ReadString(&span.name));
+    PDMS_RETURN_IF_ERROR(cur.ReadF64(&span.start_ms));
+    PDMS_RETURN_IF_ERROR(cur.ReadF64(&span.end_ms));
+    uint32_t attrs;
+    PDMS_RETURN_IF_ERROR(cur.ReadU32(&attrs));
+    // Minimum attribute encoding: two empty strings (u32 length each).
+    PDMS_RETURN_IF_ERROR(cur.CheckCount(attrs, 8, "span attribute"));
+    for (uint32_t j = 0; j < attrs; ++j) {
+      std::string key, value;
+      PDMS_RETURN_IF_ERROR(cur.ReadString(&key));
+      PDMS_RETURN_IF_ERROR(cur.ReadString(&value));
+      span.attributes.emplace_back(std::move(key), std::move(value));
+    }
+    out->spans.push_back(std::move(span));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 const char* FrameTypeName(FrameType type) {
@@ -291,6 +356,10 @@ const char* FrameTypeName(FrameType type) {
       return "scan-request";
     case FrameType::kScanResponse:
       return "scan-response";
+    case FrameType::kStatsRequest:
+      return "stats-request";
+    case FrameType::kStatsResponse:
+      return "stats-response";
   }
   return "unknown";
 }
@@ -316,14 +385,19 @@ Relation AnswerFrame::ToRelation() const {
 }
 
 std::string EncodeFrame(FrameType type, std::string_view payload) {
+  return EncodeFrame(type, payload, kVersion, /*flags=*/0);
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload,
+                        uint8_t version, uint16_t flags) {
   PayloadWriter header;
   header.U8(static_cast<uint8_t>(kMagic[0]));
   header.U8(static_cast<uint8_t>(kMagic[1]));
   header.U8(static_cast<uint8_t>(kMagic[2]));
   header.U8(static_cast<uint8_t>(kMagic[3]));
-  header.U8(kVersion);
+  header.U8(version);
   header.U8(static_cast<uint8_t>(type));
-  header.U16(0);  // reserved
+  header.U16(flags);
   header.U32(static_cast<uint32_t>(payload.size()));
   header.U32(Checksum(payload));
   std::string out = header.Take();
@@ -331,16 +405,30 @@ std::string EncodeFrame(FrameType type, std::string_view payload) {
   return out;
 }
 
+namespace {
+
+/// A traced payload becomes a version-2 frame; everything else stays on
+/// the version-1 encoding, byte-identical to the pre-telemetry protocol.
+std::string FinishFrame(FrameType type, std::string payload, bool traced) {
+  return traced
+             ? EncodeFrame(type, payload, kVersionTraced, kFlagTrace)
+             : EncodeFrame(type, payload);
+}
+
+}  // namespace
+
 std::string EncodeQuery(const QueryFrame& frame) {
   PayloadWriter w;
+  if (frame.trace.has_value()) WriteEnvelope(w, *frame.trace);
   w.U64(frame.request_id);
   w.F64(frame.budget_ms);
   w.Str(frame.query);
-  return EncodeFrame(FrameType::kQuery, w.Take());
+  return FinishFrame(FrameType::kQuery, w.Take(), frame.trace.has_value());
 }
 
 std::string EncodeAnswer(const AnswerFrame& frame) {
   PayloadWriter w;
+  if (frame.spans.has_value()) WriteSpanBlock(w, *frame.spans);
   w.U64(frame.request_id);
   w.U32(frame.status_code);
   w.Str(frame.status_message);
@@ -353,7 +441,7 @@ std::string EncodeAnswer(const AnswerFrame& frame) {
   WriteStringList(w, frame.excluded_stored);
   w.Str(frame.relation_name);
   WriteTupleBlock(w, frame.arity, frame.tuples);
-  return EncodeFrame(FrameType::kAnswer, w.Take());
+  return FinishFrame(FrameType::kAnswer, w.Take(), frame.spans.has_value());
 }
 
 std::string EncodeShed(const ShedFrame& frame) {
@@ -379,22 +467,51 @@ std::string EncodePong(uint64_t request_id) {
 }
 
 std::string EncodeScan(const sim::Message& message) {
+  return EncodeScanFrame(ScanFrame{message, std::nullopt, std::nullopt});
+}
+
+std::string EncodeScanFrame(const ScanFrame& frame) {
+  const sim::Message& message = frame.message;
   PayloadWriter w;
+  if (message.type == sim::Message::Type::kScanRequest) {
+    if (frame.trace.has_value()) WriteEnvelope(w, *frame.trace);
+    w.U64(message.request_id);
+    w.Str(message.relation);
+    return FinishFrame(FrameType::kScanRequest, w.Take(),
+                       frame.trace.has_value());
+  }
+  if (frame.spans.has_value()) WriteSpanBlock(w, *frame.spans);
   w.U64(message.request_id);
   w.Str(message.relation);
-  if (message.type == sim::Message::Type::kScanRequest) {
-    return EncodeFrame(FrameType::kScanRequest, w.Take());
-  }
   w.U32(static_cast<uint32_t>(message.status.code()));
   w.Str(message.status.message());
   WriteTupleBlock(w, static_cast<uint32_t>(message.arity), message.tuples);
-  return EncodeFrame(FrameType::kScanResponse, w.Take());
+  return FinishFrame(FrameType::kScanResponse, w.Take(),
+                     frame.spans.has_value());
+}
+
+std::string EncodeStatsRequest(uint64_t request_id) {
+  PayloadWriter w;
+  w.U64(request_id);
+  return EncodeFrame(FrameType::kStatsRequest, w.Take());
+}
+
+std::string EncodeStatsResponse(const StatsResponseFrame& frame) {
+  PayloadWriter w;
+  w.U64(frame.request_id);
+  w.Str(frame.json);
+  return EncodeFrame(FrameType::kStatsResponse, w.Take());
 }
 
 Result<QueryFrame> DecodeQuery(const Frame& frame, const Limits& limits) {
   PDMS_RETURN_IF_ERROR(ExpectType(frame, FrameType::kQuery));
   PayloadCursor cur(frame.payload, limits);
   QueryFrame out;
+  if (frame.flags & kFlagTrace) {
+    TraceEnvelope envelope;
+    PDMS_RETURN_IF_ERROR(ReadEnvelope(cur, &envelope));
+    out.trace = std::move(envelope);
+  }
   PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.request_id));
   PDMS_RETURN_IF_ERROR(cur.ReadF64(&out.budget_ms));
   PDMS_RETURN_IF_ERROR(cur.ReadString(&out.query));
@@ -406,6 +523,11 @@ Result<AnswerFrame> DecodeAnswer(const Frame& frame, const Limits& limits) {
   PDMS_RETURN_IF_ERROR(ExpectType(frame, FrameType::kAnswer));
   PayloadCursor cur(frame.payload, limits);
   AnswerFrame out;
+  if (frame.flags & kFlagTrace) {
+    SpanBlock block;
+    PDMS_RETURN_IF_ERROR(ReadSpanBlock(cur, &block));
+    out.spans = std::move(block);
+  }
   PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.request_id));
   PDMS_RETURN_IF_ERROR(cur.ReadU32(&out.status_code));
   PDMS_RETURN_IF_ERROR(cur.ReadString(&out.status_message));
@@ -463,6 +585,11 @@ Result<uint64_t> DecodePing(const Frame& frame) {
 }
 
 Result<sim::Message> DecodeScan(const Frame& frame, const Limits& limits) {
+  PDMS_ASSIGN_OR_RETURN(ScanFrame scan, DecodeScanFrame(frame, limits));
+  return std::move(scan.message);
+}
+
+Result<ScanFrame> DecodeScanFrame(const Frame& frame, const Limits& limits) {
   if (frame.type != FrameType::kScanRequest &&
       frame.type != FrameType::kScanResponse) {
     return Status::InvalidArgument(
@@ -470,27 +597,60 @@ Result<sim::Message> DecodeScan(const Frame& frame, const Limits& limits) {
                   FrameTypeName(frame.type)));
   }
   PayloadCursor cur(frame.payload, limits);
-  sim::Message out;
-  PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.request_id));
-  PDMS_RETURN_IF_ERROR(cur.ReadString(&out.relation));
+  ScanFrame out;
+  sim::Message& message = out.message;
   if (frame.type == FrameType::kScanRequest) {
-    out.type = sim::Message::Type::kScanRequest;
+    if (frame.flags & kFlagTrace) {
+      TraceEnvelope envelope;
+      PDMS_RETURN_IF_ERROR(ReadEnvelope(cur, &envelope));
+      out.trace = std::move(envelope);
+    }
+    message.type = sim::Message::Type::kScanRequest;
+    PDMS_RETURN_IF_ERROR(cur.ReadU64(&message.request_id));
+    PDMS_RETURN_IF_ERROR(cur.ReadString(&message.relation));
     PDMS_RETURN_IF_ERROR(cur.ExpectEnd());
-    PDMS_RETURN_IF_ERROR(out.Validate());
+    PDMS_RETURN_IF_ERROR(message.Validate());
     return out;
   }
-  out.type = sim::Message::Type::kScanResponse;
+  if (frame.flags & kFlagTrace) {
+    SpanBlock block;
+    PDMS_RETURN_IF_ERROR(ReadSpanBlock(cur, &block));
+    out.spans = std::move(block);
+  }
+  message.type = sim::Message::Type::kScanResponse;
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&message.request_id));
+  PDMS_RETURN_IF_ERROR(cur.ReadString(&message.relation));
   uint32_t status_code;
   PDMS_RETURN_IF_ERROR(cur.ReadU32(&status_code));
   std::string status_message;
   PDMS_RETURN_IF_ERROR(cur.ReadString(&status_message));
-  out.status =
+  message.status =
       Status(static_cast<StatusCode>(status_code), std::move(status_message));
   uint32_t arity;
-  PDMS_RETURN_IF_ERROR(ReadTupleBlock(cur, &arity, &out.tuples));
-  out.arity = arity;
+  PDMS_RETURN_IF_ERROR(ReadTupleBlock(cur, &arity, &message.tuples));
+  message.arity = arity;
   PDMS_RETURN_IF_ERROR(cur.ExpectEnd());
-  PDMS_RETURN_IF_ERROR(out.Validate());
+  PDMS_RETURN_IF_ERROR(message.Validate());
+  return out;
+}
+
+Result<StatsRequestFrame> DecodeStatsRequest(const Frame& frame) {
+  PDMS_RETURN_IF_ERROR(ExpectType(frame, FrameType::kStatsRequest));
+  PayloadCursor cur(frame.payload, Limits{});
+  StatsRequestFrame out;
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.request_id));
+  PDMS_RETURN_IF_ERROR(cur.ExpectEnd());
+  return out;
+}
+
+Result<StatsResponseFrame> DecodeStatsResponse(const Frame& frame,
+                                               const Limits& limits) {
+  PDMS_RETURN_IF_ERROR(ExpectType(frame, FrameType::kStatsResponse));
+  PayloadCursor cur(frame.payload, limits);
+  StatsResponseFrame out;
+  PDMS_RETURN_IF_ERROR(cur.ReadU64(&out.request_id));
+  PDMS_RETURN_IF_ERROR(cur.ReadString(&out.json));
+  PDMS_RETURN_IF_ERROR(cur.ExpectEnd());
   return out;
 }
 
@@ -518,8 +678,17 @@ Result<std::string> ReencodeFrame(const Frame& frame, const Limits& limits) {
     }
     case FrameType::kScanRequest:
     case FrameType::kScanResponse: {
-      PDMS_ASSIGN_OR_RETURN(sim::Message m, DecodeScan(frame, limits));
-      return EncodeScan(m);
+      PDMS_ASSIGN_OR_RETURN(ScanFrame s, DecodeScanFrame(frame, limits));
+      return EncodeScanFrame(s);
+    }
+    case FrameType::kStatsRequest: {
+      PDMS_ASSIGN_OR_RETURN(StatsRequestFrame s, DecodeStatsRequest(frame));
+      return EncodeStatsRequest(s.request_id);
+    }
+    case FrameType::kStatsResponse: {
+      PDMS_ASSIGN_OR_RETURN(StatsResponseFrame s,
+                            DecodeStatsResponse(frame, limits));
+      return EncodeStatsResponse(s);
     }
   }
   return Status::InvalidArgument(
@@ -548,19 +717,36 @@ Result<bool> FrameReader::Next(Frame* out) {
     return fail("bad frame magic");
   }
   const uint8_t version = static_cast<uint8_t>(view[4]);
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionTraced) {
     return fail(StrFormat("unsupported protocol version %u", version));
   }
   const uint8_t raw_type = static_cast<uint8_t>(view[5]);
   if (raw_type < static_cast<uint8_t>(FrameType::kQuery) ||
-      raw_type > static_cast<uint8_t>(FrameType::kScanResponse)) {
+      raw_type > static_cast<uint8_t>(FrameType::kStatsResponse)) {
     return fail(StrFormat("unknown frame type %u", raw_type));
   }
-  const uint16_t reserved = static_cast<uint16_t>(
+  const uint16_t flags = static_cast<uint16_t>(
       static_cast<uint8_t>(view[6]) |
       (static_cast<uint16_t>(static_cast<uint8_t>(view[7])) << 8));
-  if (reserved != 0) {
-    return fail("nonzero reserved header bytes");
+  if (version == kVersion && flags != 0) {
+    // Version 1 predates the flags field — it is still the reserved
+    // must-be-zero word there, which is what keeps old decoders safe
+    // against flagged frames.
+    return fail("nonzero reserved header bytes on version-1 frame");
+  }
+  if (version == kVersionTraced) {
+    if (flags != kFlagTrace) {
+      return fail(StrFormat("bad version-2 flags 0x%x", flags));
+    }
+    const bool traceable =
+        raw_type == static_cast<uint8_t>(FrameType::kQuery) ||
+        raw_type == static_cast<uint8_t>(FrameType::kAnswer) ||
+        raw_type == static_cast<uint8_t>(FrameType::kScanRequest) ||
+        raw_type == static_cast<uint8_t>(FrameType::kScanResponse);
+    if (!traceable) {
+      return fail(StrFormat("trace flag on untraceable %s frame",
+                            FrameTypeName(static_cast<FrameType>(raw_type))));
+    }
   }
   auto read_u32 = [&view](size_t at) {
     uint32_t v = 0;
@@ -585,6 +771,8 @@ Result<bool> FrameReader::Next(Frame* out) {
     return fail("frame checksum mismatch");
   }
   out->type = static_cast<FrameType>(raw_type);
+  out->version = version;
+  out->flags = flags;
   out->payload.assign(payload);
   consumed_ += kHeaderBytes + payload_len;
   return true;

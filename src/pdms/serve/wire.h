@@ -2,11 +2,13 @@
 #define PDMS_SERVE_WIRE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "pdms/data/relation.h"
+#include "pdms/obs/trace.h"
 #include "pdms/sim/message.h"
 #include "pdms/util/status.h"
 
@@ -23,9 +25,10 @@ namespace wire {
 /// Every frame is
 ///
 ///   magic       4 bytes   "PDMS"
-///   version     u8        kVersion
+///   version     u8        kVersion (1) or kVersionTraced (2)
 ///   type        u8        FrameType
-///   reserved    u16       must be 0
+///   flags       u16       version 1: must be 0 (the original reserved
+///                         field); version 2: exactly kFlagTrace
 ///   payload_len u32       <= Limits::max_payload_bytes
 ///   checksum    u32       FNV-1a over the payload bytes
 ///   payload     payload_len bytes
@@ -34,6 +37,19 @@ namespace wire {
 /// sockets, no clocks — so the codec is directly fuzzable
 /// (tests/wire_test.cc mutates valid frames and asserts the decoder can
 /// only ever return an error, never crash or over-allocate).
+///
+/// Version negotiation (docs/serving_telemetry.md): encoders emit version
+/// 1 unless the frame carries a trace extension, and a server always
+/// answers in the version of the request it is answering. A version-1-only
+/// client therefore round-trips against a version-2 server byte-for-byte
+/// as before, and a version-2 client only receives spans it asked for.
+/// The trace extension is a payload *prefix* gated by kFlagTrace:
+///
+///   kQuery / kScanRequest   TraceEnvelope  (caller's trace id + span id)
+///   kAnswer / kScanResponse SpanBlock      (the server's spans, to graft
+///                                           under the caller's context)
+///
+/// Other frame types never carry the flag; the reader rejects it there.
 ///
 /// Hardening invariants the decoder maintains:
 ///  - nothing is allocated from attacker-controlled counts: a declared
@@ -46,6 +62,12 @@ namespace wire {
 ///    rejected at header-parse time, before the payload is buffered.
 
 inline constexpr uint8_t kVersion = 1;
+/// The traced protocol revision: the flags field is live and kFlagTrace
+/// prefixes the payload with a trace extension. A version-2 frame MUST
+/// carry kFlagTrace (a traceless frame is encoded as version 1), which
+/// keeps decode∘encode the identity on every valid frame.
+inline constexpr uint8_t kVersionTraced = 2;
+inline constexpr uint16_t kFlagTrace = 0x1;
 inline constexpr size_t kHeaderBytes = 16;
 inline constexpr char kMagic[4] = {'P', 'D', 'M', 'S'};
 /// Smallest possible encoding of one Value (empty string: kind + u32 len).
@@ -67,6 +89,8 @@ enum class FrameType : uint8_t {
   kPong = 5,
   kScanRequest = 6,   // sim::Message::Type::kScanRequest on the wire
   kScanResponse = 7,  // sim::Message::Type::kScanResponse on the wire
+  kStatsRequest = 8,  // client -> server: send a stats snapshot
+  kStatsResponse = 9, // server -> client: JSON stats snapshot
 };
 
 const char* FrameTypeName(FrameType type);
@@ -75,7 +99,27 @@ const char* FrameTypeName(FrameType type);
 /// Decode* functions below.
 struct Frame {
   FrameType type = FrameType::kPing;
+  uint8_t version = kVersion;
+  uint16_t flags = 0;
   std::string payload;
+};
+
+/// The request half of the trace extension: the caller's trace id and the
+/// span under which the server's spans should be grafted. Crossing the TCP
+/// boundary with this is what makes a single cross-process Chrome trace of
+/// a federated request possible.
+struct TraceEnvelope {
+  std::string trace_id;
+  obs::SpanId parent_span = obs::kNoSpan;
+};
+
+/// The response half: the spans the server recorded while serving this
+/// request, in its own (dense, 1-based) id space and on its own clock.
+/// The client re-maps ids and shifts timestamps when grafting
+/// (obs::TraceContext::ImportSpans).
+struct SpanBlock {
+  std::string trace_id;
+  std::vector<obs::Span> spans;
 };
 
 /// client -> server. `budget_ms <= 0` means "no deadline" on the wire;
@@ -85,6 +129,9 @@ struct QueryFrame {
   uint64_t request_id = 0;
   double budget_ms = 0;
   std::string query;
+  /// Present iff the frame was (or should be) encoded as version 2 with
+  /// kFlagTrace.
+  std::optional<TraceEnvelope> trace;
 };
 
 enum class ShedReason : uint8_t {
@@ -130,6 +177,9 @@ struct AnswerFrame {
   std::string relation_name;
   uint32_t arity = 0;
   std::vector<Tuple> tuples;
+  /// The server's spans for this request (version-2 answers only; present
+  /// iff the query carried a TraceEnvelope).
+  std::optional<SpanBlock> spans;
 
   /// Reconstructs the pdms::Status carried by status_code/status_message.
   Status status() const;
@@ -139,10 +189,38 @@ struct AnswerFrame {
   Relation ToRelation() const;
 };
 
+/// A scan frame plus its optional trace extension. The sim::Message body
+/// is carried verbatim (the promoted sim framing); `trace` rides on
+/// requests, `spans` on responses — federated kScanRequest hops forward
+/// the caller's envelope and graft the remote spans on the way back.
+struct ScanFrame {
+  sim::Message message;
+  std::optional<TraceEnvelope> trace;  // kScanRequest only
+  std::optional<SpanBlock> spans;      // kScanResponse only
+};
+
+/// client -> server: ask for the live stats snapshot (docs/
+/// serving_telemetry.md). The response's `json` is the server-assembled
+/// snapshot: rolling SLO windows, metrics registry, admission state, and
+/// per-peer remote-scan health.
+struct StatsRequestFrame {
+  uint64_t request_id = 0;
+};
+
+struct StatsResponseFrame {
+  uint64_t request_id = 0;
+  std::string json;
+};
+
 // --- Encoding (pure; never fails for well-formed inputs) ---
 
-/// Wraps an already-encoded payload in a checksummed header.
+/// Wraps an already-encoded payload in a checksummed header. The
+/// two-argument form emits version 1 with zero flags (the pre-telemetry
+/// encoding, byte-identical to it); the four-argument form stamps an
+/// explicit version/flags pair.
 std::string EncodeFrame(FrameType type, std::string_view payload);
+std::string EncodeFrame(FrameType type, std::string_view payload,
+                        uint8_t version, uint16_t flags);
 
 std::string EncodeQuery(const QueryFrame& frame);
 std::string EncodeAnswer(const AnswerFrame& frame);
@@ -150,8 +228,12 @@ std::string EncodeShed(const ShedFrame& frame);
 std::string EncodePing(uint64_t request_id);
 std::string EncodePong(uint64_t request_id);
 /// Frames a simulated-runtime scan message (message.type selects
-/// kScanRequest or kScanResponse).
+/// kScanRequest or kScanResponse) without a trace extension.
 std::string EncodeScan(const sim::Message& message);
+/// Frames a scan with its optional trace extension.
+std::string EncodeScanFrame(const ScanFrame& frame);
+std::string EncodeStatsRequest(uint64_t request_id);
+std::string EncodeStatsResponse(const StatsResponseFrame& frame);
 
 // --- Decoding (pure; total over arbitrary bytes) ---
 
@@ -161,9 +243,16 @@ Result<AnswerFrame> DecodeAnswer(const Frame& frame,
 Result<ShedFrame> DecodeShed(const Frame& frame, const Limits& limits = {});
 Result<uint64_t> DecodePing(const Frame& frame);
 /// Decodes either scan frame type back into a sim::Message (validated via
-/// Message::Validate, the bound shared with the simulated bus).
+/// Message::Validate, the bound shared with the simulated bus), dropping
+/// any trace extension.
 Result<sim::Message> DecodeScan(const Frame& frame,
                                 const Limits& limits = {});
+/// Decodes either scan frame type with its trace extension.
+Result<ScanFrame> DecodeScanFrame(const Frame& frame,
+                                  const Limits& limits = {});
+Result<StatsRequestFrame> DecodeStatsRequest(const Frame& frame);
+Result<StatsResponseFrame> DecodeStatsResponse(const Frame& frame,
+                                               const Limits& limits = {});
 
 /// Decodes whatever typed frame `frame` holds and re-encodes it; used by
 /// the fuzz harness to assert decode∘encode is the identity on valid

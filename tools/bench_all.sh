@@ -21,11 +21,16 @@
 # docs/churn_invalidation.md) reports into BENCH_churn.json.
 #
 # The serving_loadgen bench (open-loop overload sweep against the
-# networked server: qps, answer p50/p99, shed rate per load point,
-# docs/serving.md) reports into BENCH_serving.json.
+# networked server: qps, answer p50/p99, shed rate, and the full
+# latency histogram per load point, docs/serving.md) reports into
+# BENCH_serving.json. During the same sweep the loadgen scrapes the
+# server's rolling SLO window over the wire (the kStatsRequest frame,
+# docs/serving_telemetry.md); that snapshot is wrapped into
+# BENCH_slo.json.
 #
 # Usage: tools/bench_all.sh [out.json] [cache-out.json] [parallel-out.json]
 #                           [churn-out.json] [serving-out.json]
+#                           [slo-out.json]
 # Knobs: BUILD_DIR (default build), PDMS_BENCH_* forwarded to the benches.
 set -euo pipefail
 
@@ -35,6 +40,7 @@ CACHE_OUT="${2:-BENCH_cache.json}"
 PARALLEL_OUT="${3:-BENCH_parallel.json}"
 CHURN_OUT="${4:-BENCH_churn.json}"
 SERVING_OUT="${5:-BENCH_serving.json}"
+SLO_OUT="${6:-BENCH_slo.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 JSON_DIR="${BUILD_DIR}/bench-json"
@@ -120,6 +126,7 @@ echo "== serving_loadgen =="
 # CI-sized open-loop sweep: fewer requests per load point than the bench
 # default (200); override via the environment.
 PDMS_BENCH_REQUESTS="${PDMS_BENCH_SERVE_REQUESTS:-120}" \
+PDMS_BENCH_SLO_JSON="${JSON_DIR}/slo_scrape.json" \
   "${BUILD_DIR}/bench/serving_loadgen" --json "${JSON_DIR}/serving_loadgen.json"
 {
   printf '['
@@ -127,3 +134,16 @@ PDMS_BENCH_REQUESTS="${PDMS_BENCH_SERVE_REQUESTS:-120}" \
   printf ']\n'
 } > "${SERVING_OUT}"
 echo "merged serving report into ${SERVING_OUT}"
+
+# The SLO scrape: the server's own rolling-window snapshot, taken over
+# the wire during the loadgen sweep, wrapped in the shared array shape.
+if [ -s "${JSON_DIR}/slo_scrape.json" ]; then
+  {
+    printf '[{"name": "slo_scrape", "stats": '
+    tr -d '\n' < "${JSON_DIR}/slo_scrape.json"
+    printf '}]\n'
+  } > "${SLO_OUT}"
+  echo "merged SLO scrape into ${SLO_OUT}"
+else
+  echo "no SLO scrape produced; skipping ${SLO_OUT}"
+fi

@@ -27,6 +27,12 @@
 #      (a real query through the wire protocol), run the frame-decoder
 #      fuzz corpus under asan+ubsan, and the concurrent multi-client
 #      server suite under TSan (docs/serving.md).
+#   9. telemetry gate: a lingering ppl_serverd answering a real query,
+#      its stats frame scraped through ppl_top --once --raw (the JSON
+#      must parse and carry the rolling SLO keys), the NDJSON access log
+#      checked line by line against the schema, and the telemetry suite
+#      (cross-process trace grafting, rolling window, stats frame,
+#      access log) under TSan (docs/serving_telemetry.md).
 #
 # Usage: tools/ci.sh
 # Knobs: BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
@@ -40,18 +46,18 @@ ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/8] default build + tests =="
+echo "== [1/9] default build + tests =="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== [2/8] asan+ubsan build + tests =="
+echo "== [2/9] asan+ubsan build + tests =="
 tools/ci_sanitize.sh "${ASAN_BUILD_DIR}"
 
-echo "== [3/8] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
+echo "== [3/9] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
 PDMS_DST_SEEDS="${PDMS_DST_SEEDS:-32}" "${BUILD_DIR}/tests/sim_dst_test"
 
-echo "== [4/8] trace-export smoke =="
+echo "== [4/9] trace-export smoke =="
 TRACE_FILE="${BUILD_DIR}/ci_trace.json"
 PDMS_BENCH_RUNS=1 PDMS_BENCH_MAX_DIAMETER=1 \
   "${BUILD_DIR}/bench/fig3_tree_size" --trace "${TRACE_FILE}" > /dev/null
@@ -74,14 +80,14 @@ else
   echo "trace export ok (python3 unavailable; grep check only)"
 fi
 
-echo "== [5/8] cache-coherence smoke =="
+echo "== [5/9] cache-coherence smoke =="
 # Query -> mutate network -> re-query: the invalidation counter must
 # advance and the cached answers must match a fresh, never-cached
 # instance (the gtest case asserts both).
 "${BUILD_DIR}/tests/cache_coherence_test" \
   --gtest_filter='CacheCoherence.Smoke'
 
-echo "== [6/8] tsan: exec primitives + parallel equivalence =="
+echo "== [6/9] tsan: exec primitives + parallel equivalence =="
 cmake --preset tsan > /dev/null
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target exec_test parallel_equivalence_test
@@ -90,7 +96,7 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/parallel_equivalence_test"
 
-echo "== [7/8] tsan: churn DST smoke + invalidation/health suites =="
+echo "== [7/9] tsan: churn DST smoke + invalidation/health suites =="
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target churn_dst_test cache_invalidation_test peer_health_test
 # The 32-seed twin comparison and the 4-thread shared-cache churn test;
@@ -103,7 +109,7 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/peer_health_test"
 
-echo "== [8/8] serving gate: loopback smoke + asan fuzz + tsan server =="
+echo "== [8/9] serving gate: loopback smoke + asan fuzz + tsan server =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ppl_serverd
 # Loopback smoke: the daemon on an ephemeral-ish port must answer a real
 # wire-protocol query. The overload test's loopback case drives the same
@@ -123,5 +129,82 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" --target serve_overload_test
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/serve_overload_test" --gtest_filter=\
 'Serving.ConcurrentClientsShareTheServerSafely:Serving.OverloadBurstShedsCleanlyAndAnswersStayCorrect'
+
+echo "== [9/9] telemetry gate: stats scrape + access log + tsan =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}" \
+  --target ppl_serverd ppl_top ppl_shell
+TELEM_DIR="${BUILD_DIR}/ci-telemetry"
+rm -rf "${TELEM_DIR}"
+mkdir -p "${TELEM_DIR}"
+# A lingering daemon on an ephemeral port (it prints the port it got).
+"${BUILD_DIR}/examples/ppl_serverd" --port 0 --linger \
+  --access-log "${TELEM_DIR}/access.log" \
+  > "${TELEM_DIR}/serverd.out" 2>&1 &
+SERVERD_PID=$!
+trap 'kill "${SERVERD_PID}" 2>/dev/null || true' EXIT
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "${TELEM_DIR}/serverd.out" | head -1)"
+  [ -n "${PORT}" ] && break
+  sleep 0.1
+done
+[ -n "${PORT}" ] || { echo "ppl_serverd never reported its port"; exit 1; }
+# One real query over the wire so the rolling window and the access log
+# have a request to show.
+printf 'connect 127.0.0.1:%s\n? q(n, h) :- Hospital:Doctor(n, h).\nquit\n' \
+  "${PORT}" | "${BUILD_DIR}/examples/ppl_shell" > /dev/null
+# The ops console's one-shot raw mode doubles as the scripted scraper.
+"${BUILD_DIR}/examples/ppl_top" --once --raw "127.0.0.1:${PORT}" \
+  > "${TELEM_DIR}/stats.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${TELEM_DIR}/stats.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    stats = json.load(f)
+rolling = stats["rolling"]
+for key in ("qps", "p50_ms", "p95_ms", "p99_ms", "shed_rate",
+            "cache_hit_rate", "answers", "queue_depth"):
+    assert key in rolling, f"rolling.{key} missing"
+assert rolling["answers"] >= 1, "no answers in the rolling window"
+for section in ("admission", "server", "metrics"):
+    assert section in stats, f"{section} section missing"
+print(f"stats frame ok: {rolling['answers']} answers, "
+      f"p50 {rolling['p50_ms']}ms")
+EOF
+  python3 - "${TELEM_DIR}/access.log" <<'EOF'
+import json, sys
+required = {"ts_ms", "conn", "req", "query", "deadline_ms", "queue_ms",
+            "exec_ms", "total_ms", "shed", "cache_hit", "verdict",
+            "trace_id"}
+lines = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        missing = required - set(entry)
+        assert not missing, f"missing fields {missing} in {line}"
+        lines += 1
+assert lines >= 1, "access log is empty"
+print(f"access log ok: {lines} schema-complete lines")
+EOF
+else
+  grep -q '"rolling"' "${TELEM_DIR}/stats.json"
+  grep -q '"p50_ms"' "${TELEM_DIR}/stats.json"
+  grep -q '"query"' "${TELEM_DIR}/access.log"
+  echo "telemetry scrape ok (python3 unavailable; grep check only)"
+fi
+# Graceful shutdown: drain, final stats snapshot, access-log tail.
+kill -TERM "${SERVERD_PID}"
+wait "${SERVERD_PID}"
+grep -q 'final stats:' "${TELEM_DIR}/serverd.out"
+trap - EXIT
+# The telemetry suite under TSan: cross-process trace grafting over two
+# live servers, the rolling window, the stats frame, the access log.
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" --target serve_telemetry_test
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/serve_telemetry_test"
 
 echo "== CI gate passed =="
