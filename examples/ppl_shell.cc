@@ -8,7 +8,7 @@
 //   load <file>          load a PPL program file
 //   <PPL statement>      peer/stored/mapping/fact statements are executed
 //   ? q(x) :- ...        reformulate + evaluate a query
-//   plan q(x) :- ...     show the rewritings only
+//   plan q(x) :- ...     show the rewritings + physical plans (est/actual)
 //   tree q(x) :- ...     dump the rule-goal tree
 //   schema               print the network specification
 //   data                 print the stored relations
@@ -171,6 +171,18 @@ void RunQuery(const std::string& text, bool evaluate) {
     std::printf("%zu rewriting(s):\n%s\n", result->rewriting.size(),
                 result->rewriting.ToString().c_str());
     std::printf("%s", result->stats.ToString().c_str());
+    // Physical plans (docs/query_planning.md): per disjunct, the scan
+    // order, pushed-down filters, and join build sides the cost-based
+    // planner chose, with estimated vs actual cardinalities from one
+    // ungated local execution.
+    auto physical =
+        g_pdms.engine()->Explain(result->rewriting, g_pdms.database());
+    if (physical.ok()) {
+      std::printf("physical plan:\n%s", physical->c_str());
+    } else {
+      std::printf("physical plan unavailable: %s\n",
+                  physical.status().ToString().c_str());
+    }
     return;
   }
   // Queries execute over the simulated peer runtime: a fresh deterministic
@@ -572,7 +584,8 @@ void Help() {
       "  load <file>        load a PPL program file\n"
       "  peer/stored/mapping/fact ...   execute a PPL statement\n"
       "  ? <query>          reformulate and evaluate, e.g. ? q(x) :- P:R(x).\n"
-      "  plan <query>       show the rewritings only\n"
+      "  plan <query>       show the rewritings and their physical plans\n"
+      "                     (scan order, join builds, est vs actual rows)\n"
       "  tree <query>       dump the rule-goal tree\n"
       "  schema             print the network\n"
       "  data               print the stored relations\n"

@@ -8,6 +8,7 @@
 #include "pdms/eval/evaluator.h"
 #include "pdms/lang/canonical.h"
 #include "pdms/lang/parser.h"
+#include "pdms/qp/engine.h"
 #include "pdms/util/strings.h"
 
 namespace pdms {
@@ -17,6 +18,11 @@ Pdms::Pdms(ReformulationOptions options) : options_(options) {}
 Pdms::~Pdms() = default;
 Pdms::Pdms(Pdms&&) noexcept = default;
 Pdms& Pdms::operator=(Pdms&&) noexcept = default;
+
+qp::Engine* Pdms::engine() {
+  if (engine_ == nullptr) engine_ = std::make_unique<qp::Engine>();
+  return engine_.get();
+}
 
 exec::ThreadPool* Pdms::Executor() {
   if (options_.threads <= 1) return nullptr;
@@ -56,6 +62,12 @@ Status Pdms::Insert(std::string_view stored_relation, Tuple tuple) {
                   name.c_str(), arity));
   }
   data_.Insert(name, std::move(tuple));
+  // Keep the vectorized engine's statistics current: the appended row is
+  // converted incrementally (no rebuild) and the `qp.*` stat counters
+  // move with it.
+  if (options_.vectorized_eval) {
+    engine()->ObserveRelation(*data_.Find(name), metrics_);
+  }
   return Status::Ok();
 }
 
@@ -154,6 +166,7 @@ Result<ReformulationResult> Pdms::ReformulateCached(
     if (cache_hit != nullptr) *cache_hit = true;
     ReformulationResult ref;
     ref.rewriting = hit->rewriting;
+    ref.physical_slot = hit->physical;  // share the compiled physical plan
     ref.stats = hit->stats;  // the stats of the original reformulation
     // excluded_stored is a *global* report (every unavailable-but-admitted
     // relation, related to this query or not), so a flip of a relation
@@ -178,9 +191,13 @@ Result<ReformulationResult> Pdms::ReformulateCached(
   // one would freeze the truncation; let a later (perhaps less loaded)
   // query rebuild instead.
   if (!ref.stats.tree_truncated && !ref.stats.enumeration_truncated) {
+    // The inserted entry and this query's result share one physical-plan
+    // slot, so the plan the engine compiles below is already cached for
+    // the next hit.
+    ref.physical_slot = std::make_shared<qp::PhysicalPlanSlot>();
     PlanCacheHook::InsertOutcome outcome = plan_cache_->Insert(
-        key, {ref.rewriting, ref.stats}, network_.revision(),
-        network_.availability_epoch());
+        key, {ref.rewriting, ref.stats, ref.physical_slot},
+        network_.revision(), network_.availability_epoch());
     if (metrics_ != nullptr) {
       if (outcome.stored) metrics_->Add("cache.inserts");
       if (outcome.dropped_stale) metrics_->Add("cache.inserts_dropped_stale");
@@ -281,13 +298,23 @@ Result<AnswerResult> Pdms::AnswerWithReport(const ConjunctiveQuery& query) {
   if (!ref.rewriting.empty()) {
     obs::ScopedSpan eval_span(trace_, "evaluate");
     eval_span.Set("disjuncts", static_cast<uint64_t>(ref.rewriting.size()));
-    PDMS_ASSIGN_OR_RETURN(
-        DegradedEvalResult eval,
-        EvaluateUnionDegraded(ref.rewriting, data_,
-                              [&](const std::string& relation) {
-                                return access.Access(relation);
-                              },
-                              trace_, metrics_, Executor()));
+    StoredGate gate = [&](const std::string& relation) {
+      return access.Access(relation);
+    };
+    // Default: the vectorized engine (cost-based planned, columnar,
+    // canonically ordered answers); the legacy tuple-at-a-time evaluator
+    // stays available as the reference twin.
+    DegradedEvalResult eval;
+    if (options_.vectorized_eval) {
+      PDMS_ASSIGN_OR_RETURN(
+          eval, engine()->EvaluateUnionDegraded(
+                    ref.rewriting, data_, gate, trace_, metrics_, Executor(),
+                    ref.physical_slot.get()));
+    } else {
+      PDMS_ASSIGN_OR_RETURN(
+          eval, EvaluateUnionDegraded(ref.rewriting, data_, gate, trace_,
+                                      metrics_, Executor()));
+    }
     out.answers = std::move(eval.answers);
     rewritings_skipped = eval.disjuncts_skipped;
     failed = std::move(eval.unavailable_relations);

@@ -15,12 +15,17 @@
 #include "pdms/fault/retry.h"
 #include "pdms/obs/metrics.h"
 #include "pdms/obs/trace.h"
+#include "pdms/qp/physical_plan.h"
 
 namespace pdms {
 
 namespace exec {
 class ThreadPool;
 }  // namespace exec
+
+namespace qp {
+class Engine;
+}  // namespace qp
 
 /// A query's full outcome: the answer tuples, the reformulation
 /// statistics, and the degradation report saying exactly which sources
@@ -65,6 +70,11 @@ class PlanCacheHook {
   struct Plan {
     UnionQuery rewriting;
     ReformulationStats stats;
+    /// The physical plan compiled by the vectorized engine for this
+    /// rewriting, shared by every facade that hits this entry (plans are
+    /// engine-agnostic; see qp/physical_plan.h). Always non-null.
+    std::shared_ptr<qp::PhysicalPlanSlot> physical =
+        std::make_shared<qp::PhysicalPlanSlot>();
   };
   struct InsertOutcome {
     bool stored = false;
@@ -226,6 +236,11 @@ class Pdms {
   /// Section 3 complexity analysis of the current specification.
   Classification Classify() const { return network_.Classify(); }
 
+  /// The vectorized query engine answering queries when
+  /// `options().vectorized_eval` (the default) — lazily created, owned.
+  /// Exposed for the shell's `plan` command and the engine tests.
+  qp::Engine* engine();
+
  private:
   Reformulator* GetReformulator();
   /// The work-stealing pool backing `options().threads` (lazily created;
@@ -256,6 +271,7 @@ class Pdms {
   Deadline deadline_;
   std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<exec::ThreadPool> pool_;  // see Executor()
+  std::unique_ptr<qp::Engine> engine_;      // see engine()
   std::unique_ptr<Reformulator> reformulator_;  // rebuilt on revision change
   uint64_t reformulator_revision_ = 0;  // network revision it was built at
   obs::TraceContext* trace_ = nullptr;      // not owned; may be null

@@ -104,6 +104,14 @@ struct ReformulationOptions {
   /// fingerprint for exactly that reason.
   size_t threads = 1;
   exec::ThreadPool* executor = nullptr;
+
+  /// Evaluate rewritings through the vectorized engine (src/pdms/qp/):
+  /// cost-based planned, columnar, hash-joined — with answers canonically
+  /// sorted. False falls back to the legacy tuple-at-a-time evaluator,
+  /// kept as a reference twin (answers agree after canonical ordering).
+  /// An execution strategy, not a reformulation option: excluded from
+  /// OptionsFingerprint like `threads`.
+  bool vectorized_eval = true;
 };
 
 /// The dependency footprint of one reformulation (or one memoized goal

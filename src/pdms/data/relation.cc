@@ -1,5 +1,7 @@
 #include "pdms/data/relation.h"
 
+#include <algorithm>
+
 #include "pdms/util/strings.h"
 
 namespace pdms {
@@ -49,6 +51,7 @@ std::vector<Tuple> Relation::TakeTuples() {
   std::vector<Tuple> out = std::move(tuples_);
   tuples_.clear();
   index_.clear();
+  ++rebuild_version_;
   return out;
 }
 
@@ -61,6 +64,16 @@ void Relation::MergeFrom(Relation&& other) {
 void Relation::Clear() {
   tuples_.clear();
   index_.clear();
+  ++rebuild_version_;
+}
+
+void Relation::SortCanonical() {
+  std::sort(tuples_.begin(), tuples_.end());
+  index_.clear();
+  for (size_t row = 0; row < tuples_.size(); ++row) {
+    index_.emplace(TupleHash(tuples_[row]), row);
+  }
+  ++rebuild_version_;
 }
 
 std::string Relation::ToString() const {

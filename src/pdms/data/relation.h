@@ -57,6 +57,20 @@ class Relation {
   /// Removes all tuples.
   void Clear();
 
+  /// Sorts the tuples into the canonical order (lexicographic under
+  /// Value::operator<) and rebuilds the dedup index. The vectorized
+  /// engine (src/pdms/qp/) canonicalizes every answer relation so results
+  /// are byte-identical across execution strategies, thread counts, and
+  /// cache states (docs/query_planning.md).
+  void SortCanonical();
+
+  /// Counts destructive mutations (Clear, TakeTuples, SortCanonical):
+  /// anything that can reorder or remove rows. Insert/MergeFrom only
+  /// append, so a reader that cached `(rebuild_version(), size())` can
+  /// tell "unchanged" and "suffix appended" apart from "must re-read" —
+  /// the qp columnar catalog keeps its twin current this way.
+  uint64_t rebuild_version() const { return rebuild_version_; }
+
   /// Multi-line dump for debugging and example output.
   std::string ToString() const;
 
@@ -66,6 +80,7 @@ class Relation {
   std::vector<Tuple> tuples_;
   // Dedup index: tuple hash -> indices into tuples_ with that hash.
   std::unordered_multimap<uint64_t, size_t> index_;
+  uint64_t rebuild_version_ = 0;  // see rebuild_version()
 };
 
 }  // namespace pdms

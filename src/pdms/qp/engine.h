@@ -1,0 +1,75 @@
+#ifndef PDMS_QP_ENGINE_H_
+#define PDMS_QP_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "pdms/data/database.h"
+#include "pdms/eval/evaluator.h"
+#include "pdms/exec/thread_pool.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
+#include "pdms/qp/column_store.h"
+#include "pdms/qp/physical_plan.h"
+#include "pdms/qp/planner.h"
+#include "pdms/qp/vectorized.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace qp {
+
+/// The vectorized query engine: owns a ColumnarCatalog (columnar twins,
+/// statistics, cached join tables) and evaluates union queries through
+/// cost-based physical plans. One engine belongs to one facade, like the
+/// Database it shadows; it is not internally synchronized.
+///
+/// Contract (docs/query_planning.md): EvaluateUnionDegraded returns the
+/// same answers, degradation report, and `eval.*` metrics as the legacy
+/// eval::EvaluateUnionDegraded — gating is serial and in disjunct order,
+/// verbatim — except that the answer relation is canonically sorted
+/// (Relation::SortCanonical), which makes answers byte-identical across
+/// engines, thread counts, and plan-cache states.
+class Engine {
+ public:
+  /// Vectorized degraded union evaluation. With `slot` attached the
+  /// compiled physical plan is cached there (next to the rewriting in the
+  /// PlanCache) and reused while the catalog's statistics fingerprint
+  /// matches; with a pool attached surviving disjuncts fan out and large
+  /// hash-join probes are partitioned. Spans: `qp.plan` (planning /
+  /// reuse), `qp.exec` (gating + execution, the per-disjunct `eval_cq` /
+  /// `join` spans nested under it with estimated and actual cardinality
+  /// attributes).
+  Result<DegradedEvalResult> EvaluateUnionDegraded(
+      const UnionQuery& uq, const Database& db, const StoredGate& gate,
+      obs::TraceContext* trace = nullptr,
+      obs::MetricsRegistry* metrics = nullptr, exec::ThreadPool* pool = nullptr,
+      PhysicalPlanSlot* slot = nullptr);
+
+  /// Plans and executes every disjunct (ungated), returning the rendered
+  /// physical plans with estimated vs actual per-step cardinalities — the
+  /// shell's `plan` command.
+  Result<std::string> Explain(const UnionQuery& uq, const Database& db);
+
+  /// Eagerly refreshes the columnar twin and statistics of `rel` (the
+  /// fact-insert hook: appends convert incrementally).
+  void ObserveRelation(const Relation& rel,
+                       obs::MetricsRegistry* metrics = nullptr);
+
+  ColumnarCatalog* catalog() { return &catalog_; }
+
+ private:
+  /// Reuses the plan in `slot` when its fingerprint still matches this
+  /// catalog; otherwise compiles a fresh plan (and publishes it to the
+  /// slot, if any). Relations are Ensure'd first so statistics are
+  /// current.
+  Result<std::shared_ptr<const UnionPlan>> PlanOrReuse(
+      const UnionQuery& uq, const Database& db, obs::TraceContext* trace,
+      obs::MetricsRegistry* metrics, PhysicalPlanSlot* slot);
+
+  ColumnarCatalog catalog_;
+};
+
+}  // namespace qp
+}  // namespace pdms
+
+#endif  // PDMS_QP_ENGINE_H_

@@ -1,0 +1,59 @@
+#ifndef PDMS_QP_VECTORIZED_H_
+#define PDMS_QP_VECTORIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pdms/data/database.h"
+#include "pdms/exec/thread_pool.h"
+#include "pdms/qp/column_store.h"
+#include "pdms/qp/planner.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace qp {
+
+/// Probe sides below this many rows run serially even with a pool — the
+/// partition bookkeeping costs more than it saves.
+inline constexpr size_t kParallelProbeThreshold = 4096;
+
+/// Runs a planned scan's pushed-down filters over the columnar relation,
+/// returning the surviving row ids in row order. A constant that cannot be
+/// encoded against `catalog`'s dictionary (a string the data never
+/// mentions) short-circuits to zero rows.
+std::vector<uint32_t> RunScanFilter(const PlannedScan& scan,
+                                    const ColumnarRelation& data,
+                                    const ColumnarCatalog& catalog);
+
+/// Builds the cacheable hash table for a join step's scan side: filtered
+/// rows plus a FlatTable keyed by the hash of the key columns' codes,
+/// chains in row order.
+JoinTable BuildJoinTable(const PlannedScan& scan,
+                         const std::vector<size_t>& key_cols,
+                         const ColumnarRelation& data,
+                         const ColumnarCatalog& catalog);
+
+/// Observed per-step output cardinalities (one per step, then the final
+/// distinct answer count) — the "actual" side of the explain output.
+using StepActuals = std::vector<size_t>;
+
+/// Executes one disjunct's physical plan against `db` through `catalog`,
+/// returning the projected, deduplicated head tuples in a deterministic
+/// order (probe order, which is fixed by the plan).
+///
+/// `catalog` is read only — every relation must have been Ensure'd (and
+/// scan-side join tables ideally prebuilt) before the call, which is what
+/// makes concurrent disjunct execution safe. With `pool` attached, hash
+/// join probes over >= kParallelProbeThreshold rows are partitioned across
+/// workers; partitions are contiguous row ranges concatenated in order, so
+/// the output is byte-identical to the serial probe.
+Result<std::vector<Tuple>> ExecuteDisjunct(const DisjunctPlan& plan,
+                                           const Database& db,
+                                           const ColumnarCatalog& catalog,
+                                           exec::ThreadPool* pool,
+                                           StepActuals* actuals);
+
+}  // namespace qp
+}  // namespace pdms
+
+#endif  // PDMS_QP_VECTORIZED_H_

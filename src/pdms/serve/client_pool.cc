@@ -1,0 +1,125 @@
+#include "pdms/serve/client_pool.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "pdms/util/strings.h"
+
+namespace pdms {
+namespace serve {
+
+void ClientPool::Lease::Discard() {
+  if (client_ != nullptr) client_->Close();
+  Release();
+}
+
+void ClientPool::Lease::Release() {
+  if (pool_ != nullptr && client_ != nullptr && client_->connected()) {
+    pool_->Return(endpoint_, std::move(client_));
+  }
+  client_.reset();
+  pool_ = nullptr;
+}
+
+Status ClientPool::ParseEndpoint(const std::string& endpoint,
+                                 std::string* host, uint16_t* port) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    return Status::InvalidArgument(
+        StrFormat("remote endpoint '%s' is not host:port", endpoint.c_str()));
+  }
+  const int parsed = std::atoi(endpoint.c_str() + colon + 1);
+  if (parsed <= 0 || parsed > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("remote endpoint '%s' has a bad port", endpoint.c_str()));
+  }
+  *host = endpoint.substr(0, colon);
+  *port = static_cast<uint16_t>(parsed);
+  return Status::Ok();
+}
+
+Result<ClientPool::Lease> ClientPool::Checkout(const std::string& endpoint,
+                                               bool force_fresh) {
+  if (!force_fresh) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = idle_.find(endpoint);
+    if (it != idle_.end() && !it->second.empty()) {
+      std::unique_ptr<Client> client = std::move(it->second.back());
+      it->second.pop_back();
+      ++reuses_;
+      if (metrics_) metrics_->Add("serve.pool_reuses");
+      return Lease(this, endpoint, std::move(client), /*reused=*/true);
+    }
+  }
+  std::string host;
+  uint16_t port = 0;
+  PDMS_RETURN_IF_ERROR(ParseEndpoint(endpoint, &host, &port));
+  auto client = std::make_unique<Client>();
+  PDMS_RETURN_IF_ERROR(client->Connect(host, port, options_.io_timeout_ms));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dials_;
+  }
+  if (metrics_) metrics_->Add("serve.pool_dials");
+  return Lease(this, endpoint, std::move(client), /*reused=*/false);
+}
+
+Result<sim::Message> ClientPool::ScanRelation(const std::string& endpoint,
+                                              const std::string& relation,
+                                              obs::TraceContext* trace,
+                                              bool* reconnected) {
+  if (reconnected != nullptr) *reconnected = false;
+  PDMS_ASSIGN_OR_RETURN(Lease lease, Checkout(endpoint));
+  Result<sim::Message> response = lease->ScanRelation(relation, trace);
+  if (!response.ok() && lease.reused()) {
+    // The idle socket went stale under us (server restart or idle
+    // close). Drop it and retry once on a guaranteed-fresh dial; a
+    // failure there is a real outage and propagates.
+    lease.Discard();
+    if (reconnected != nullptr) *reconnected = true;
+    PDMS_ASSIGN_OR_RETURN(lease, Checkout(endpoint, /*force_fresh=*/true));
+    response = lease->ScanRelation(relation, trace);
+  }
+  if (!response.ok()) {
+    lease.Discard();
+    return response.status();
+  }
+  return response;
+}
+
+void ClientPool::Return(const std::string& endpoint,
+                        std::unique_ptr<Client> client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::unique_ptr<Client>>& list = idle_[endpoint];
+  if (list.size() >= options_.max_idle_per_endpoint) {
+    ++discards_;
+    if (metrics_) metrics_->Add("serve.pool_discards");
+    return;  // client closes on destruction
+  }
+  list.push_back(std::move(client));
+}
+
+size_t ClientPool::idle_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [endpoint, list] : idle_) n += list.size();
+  return n;
+}
+
+uint64_t ClientPool::dials() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dials_;
+}
+
+uint64_t ClientPool::reuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reuses_;
+}
+
+uint64_t ClientPool::discards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return discards_;
+}
+
+}  // namespace serve
+}  // namespace pdms

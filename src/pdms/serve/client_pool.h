@@ -1,0 +1,141 @@
+#ifndef PDMS_SERVE_CLIENT_POOL_H_
+#define PDMS_SERVE_CLIENT_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pdms/obs/metrics.h"
+#include "pdms/obs/trace.h"
+#include "pdms/serve/client.h"
+#include "pdms/sim/message.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace serve {
+
+/// A keep-alive connection pool over `Client`, keyed by "host:port"
+/// endpoint. `Client` is one-connection and not thread-safe, so the pool
+/// hands out *exclusive* leases: Checkout either revives an idle pooled
+/// connection or dials a fresh one; dropping the lease returns the
+/// connection for the next caller (up to `max_idle_per_endpoint`, beyond
+/// which it is simply closed).
+///
+/// A revived connection may have gone stale while idle — the server
+/// restarted or closed it — and TCP only reveals that on the next
+/// request. `ScanRelation` owns that dance: on a transport-level failure
+/// of a *reused* connection it discards the socket and retries exactly
+/// once on a fresh dial, so callers see a stale keep-alive socket as at
+/// most one extra round-trip, never as an error. Failures on a freshly
+/// dialed connection are real and propagate.
+///
+/// Thread-safe; leased clients are exclusively owned until returned.
+class ClientPool {
+ public:
+  struct Options {
+    /// Idle connections retained per endpoint; excess returns are closed.
+    size_t max_idle_per_endpoint = 4;
+    /// I/O timeout applied to dials and all subsequent sends/receives.
+    double io_timeout_ms = 5000;
+  };
+
+  /// `metrics` (borrowed, nullable) receives serve.pool_dials /
+  /// serve.pool_reuses / serve.pool_discards counters.
+  ClientPool() : metrics_(nullptr) {}
+  explicit ClientPool(Options options, obs::MetricsRegistry* metrics = nullptr)
+      : options_(options), metrics_(metrics) {}
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  /// An exclusive connection lease. Destruction returns the connection to
+  /// the pool unless Discard() was called (or the client disconnected).
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease() { Release(); }
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        endpoint_ = std::move(other.endpoint_);
+        client_ = std::move(other.client_);
+        reused_ = other.reused_;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+
+    Client* operator->() { return client_.get(); }
+    Client& operator*() { return *client_; }
+    bool valid() const { return client_ != nullptr; }
+    /// True when this lease revived an idle pooled connection (which may
+    /// therefore be stale) rather than dialing fresh.
+    bool reused() const { return reused_; }
+    /// Closes the connection instead of returning it — call after any
+    /// transport-level failure so a poisoned socket never re-enters the
+    /// pool.
+    void Discard();
+
+   private:
+    friend class ClientPool;
+    Lease(ClientPool* pool, std::string endpoint,
+          std::unique_ptr<Client> client, bool reused)
+        : pool_(pool),
+          endpoint_(std::move(endpoint)),
+          client_(std::move(client)),
+          reused_(reused) {}
+    void Release();
+
+    ClientPool* pool_ = nullptr;
+    std::string endpoint_;
+    std::unique_ptr<Client> client_;
+    bool reused_ = false;
+  };
+
+  /// Checks out a connection to `endpoint` ("host:port"), reviving an
+  /// idle one when available. `force_fresh` skips the idle list — the
+  /// retry path uses it so a retry never lands on another stale socket.
+  Result<Lease> Checkout(const std::string& endpoint,
+                         bool force_fresh = false);
+
+  /// Scans `relation` through a pooled connection with the
+  /// reconnect-on-stale retry described above. Transport errors (after
+  /// the retry) propagate as the status; relation-level errors ride in
+  /// the returned message's own `status`, exactly like
+  /// Client::ScanRelation.
+  Result<sim::Message> ScanRelation(const std::string& endpoint,
+                                    const std::string& relation,
+                                    obs::TraceContext* trace = nullptr,
+                                    bool* reconnected = nullptr);
+
+  /// Splits "host:port" (the host may itself contain ':' only if the last
+  /// segment parses as a port — matching the executor's convention).
+  static Status ParseEndpoint(const std::string& endpoint, std::string* host,
+                              uint16_t* port);
+
+  size_t idle_count() const;
+  uint64_t dials() const;
+  uint64_t reuses() const;
+  uint64_t discards() const;
+
+ private:
+  void Return(const std::string& endpoint, std::unique_ptr<Client> client);
+
+  Options options_;
+  obs::MetricsRegistry* metrics_;  // not owned; may be null
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::unique_ptr<Client>>> idle_;
+  uint64_t dials_ = 0;
+  uint64_t reuses_ = 0;
+  uint64_t discards_ = 0;
+};
+
+}  // namespace serve
+}  // namespace pdms
+
+#endif  // PDMS_SERVE_CLIENT_POOL_H_

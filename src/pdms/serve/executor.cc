@@ -70,7 +70,8 @@ RequestExecutor::RequestExecutor(ExecutorOptions options,
       metrics_(metrics),
       admission_(WithWorkers(options.admission,
                              options.workers > 0 ? options.workers : 1),
-                 metrics) {
+                 metrics),
+      client_pool_(ClientPool::Options{}, metrics) {
   if (options_.workers == 0) options_.workers = 1;
 }
 
@@ -349,25 +350,10 @@ Status RequestExecutor::FetchOneRemote(const std::string& relation,
   obs::ScopedSpan span(trace, "remote_fetch");
   span.Set("relation", relation);
   span.Set("endpoint", endpoint);
-  const size_t colon = endpoint.rfind(':');
-  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
-    return Status::InvalidArgument(
-        StrFormat("remote endpoint '%s' is not host:port",
-                  endpoint.c_str()));
-  }
-  const std::string host = endpoint.substr(0, colon);
-  const int port = std::atoi(endpoint.c_str() + colon + 1);
-  if (port <= 0 || port > 65535) {
-    return Status::InvalidArgument(
-        StrFormat("remote endpoint '%s' has a bad port", endpoint.c_str()));
-  }
-  Client client;
-  Status status = client.Connect(host, static_cast<uint16_t>(port));
-  if (!status.ok()) {
-    span.Set("error", status.message());
-    return status;
-  }
-  Result<sim::Message> response = client.ScanRelation(relation, trace);
+  bool reconnected = false;
+  Result<sim::Message> response =
+      client_pool_.ScanRelation(endpoint, relation, trace, &reconnected);
+  if (reconnected) span.Set("reconnected", uint64_t{1});
   if (!response.ok()) {
     span.Set("error", response.status().message());
     return response.status();
@@ -418,6 +404,13 @@ std::string RequestExecutor::StatsJsonFragment() const {
     }
   }
   out += "}";
+  out += StrFormat(
+      ", \"client_pool\": {\"dials\": %llu, \"reuses\": %llu, "
+      "\"discards\": %llu, \"idle\": %zu}",
+      static_cast<unsigned long long>(client_pool_.dials()),
+      static_cast<unsigned long long>(client_pool_.reuses()),
+      static_cast<unsigned long long>(client_pool_.discards()),
+      client_pool_.idle_count());
   return out;
 }
 

@@ -19,6 +19,7 @@
 #include "pdms/obs/rolling.h"
 #include "pdms/serve/access_log.h"
 #include "pdms/serve/admission.h"
+#include "pdms/serve/client_pool.h"
 #include "pdms/serve/wire.h"
 #include "pdms/util/timer.h"
 
@@ -47,6 +48,9 @@ struct ExecutorOptions {
   /// reflect the remote peer's live data and the request's trace spans
   /// both processes. A failed fetch keeps the previously-fetched copy
   /// (and is counted in the per-endpoint health the stats frame reports).
+  /// Scans go through a keep-alive ClientPool: connections are reused
+  /// across requests, and a stale pooled socket costs one transparent
+  /// reconnect instead of a failed fetch.
   std::map<std::string, std::string> remote_relations;
   /// Windowed SLO stats fed per request (borrowed, nullable — null is
   /// the zero-overhead sink, like the registry).
@@ -172,6 +176,9 @@ class RequestExecutor {
   WallTimer epoch_;  // the rolling-stats clock, started at construction
   mutable std::mutex remotes_mu_;
   std::map<std::string, RemoteHealth> remote_health_;
+  /// Keep-alive connections to federated peers, shared by all workers
+  /// (the pool hands each worker an exclusive lease per scan).
+  ClientPool client_pool_;
 };
 
 /// Builds the wire answer for one evaluated request. Exposed for tests:

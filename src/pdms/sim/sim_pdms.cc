@@ -150,6 +150,7 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
     if (metrics_ != nullptr) metrics_->Add("cache.hits");
     query_span.Set("cache", "hit");
     ref.rewriting = hit->rewriting;
+    ref.physical_slot = hit->physical;  // share the compiled physical plan
     ref.stats = hit->stats;  // the stats of the original reformulation
     // The excluded_stored report is global (see Pdms::ReformulateCached):
     // recompute it from the current scope rather than serving the one
@@ -170,9 +171,10 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
     PDMS_ASSIGN_OR_RETURN(ref, reformulator_->Reformulate(query, effective));
     if (plan_cache_ != nullptr && !ref.stats.tree_truncated &&
         !ref.stats.enumeration_truncated) {
+      ref.physical_slot = std::make_shared<qp::PhysicalPlanSlot>();
       PlanCacheHook::InsertOutcome outcome = plan_cache_->Insert(
-          plan_key, {ref.rewriting, ref.stats}, network_.revision(),
-          network_.availability_epoch());
+          plan_key, {ref.rewriting, ref.stats, ref.physical_slot},
+          network_.revision(), network_.availability_epoch());
       if (metrics_ != nullptr) {
         if (outcome.stored) metrics_->Add("cache.inserts");
         if (outcome.dropped_stale) {
@@ -428,15 +430,26 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
   if (!ref.rewriting.empty()) {
     obs::ScopedSpan eval_span(trace_, "evaluate");
     eval_span.Set("disjuncts", static_cast<uint64_t>(ref.rewriting.size()));
-    PDMS_ASSIGN_OR_RETURN(
-        DegradedEvalResult eval,
-        EvaluateUnionDegraded(ref.rewriting, fetched,
-                              [&](const std::string& relation) {
-                                auto it = fetches.find(relation);
-                                return it == fetches.end() ? Status::Ok()
-                                                           : it->second.status;
-                              },
-                              trace_, metrics_));
+    StoredGate gate = [&](const std::string& relation) {
+      auto it = fetches.find(relation);
+      return it == fetches.end() ? Status::Ok() : it->second.status;
+    };
+    // The simulated path evaluates vectorized too (same engine contract:
+    // canonically sorted answers, identical degradation report). The
+    // fetched database is rebuilt per query, so the columnar conversion is
+    // per query as well; the *physical plan* still comes from the shared
+    // slot when the statistics line up.
+    DegradedEvalResult eval;
+    if (options_.reform.vectorized_eval) {
+      PDMS_ASSIGN_OR_RETURN(
+          eval, engine_.EvaluateUnionDegraded(ref.rewriting, fetched, gate,
+                                              trace_, metrics_, nullptr,
+                                              ref.physical_slot.get()));
+    } else {
+      PDMS_ASSIGN_OR_RETURN(eval,
+                            EvaluateUnionDegraded(ref.rewriting, fetched, gate,
+                                                  trace_, metrics_));
+    }
     out.answers = std::move(eval.answers);
     rewritings_skipped = eval.disjuncts_skipped;
     eval_span.Set("answers", static_cast<uint64_t>(out.answers.size()));

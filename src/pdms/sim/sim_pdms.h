@@ -10,6 +10,7 @@
 
 #include "pdms/core/pdms.h"
 #include "pdms/fault/peer_health.h"
+#include "pdms/qp/engine.h"
 #include "pdms/obs/metrics.h"
 #include "pdms/obs/trace.h"
 #include "pdms/sim/sim_network.h"
@@ -137,6 +138,9 @@ class SimPdms {
   Database data_;
   SimOptions options_;
   std::unique_ptr<Reformulator> reformulator_;
+  /// Vectorized evaluation over the per-query fetched database (used when
+  /// options().reform.vectorized_eval, the default).
+  qp::Engine engine_;
   std::set<std::pair<std::string, std::string>> partitions_;
   std::set<std::string> crashed_;
   std::string last_trace_;

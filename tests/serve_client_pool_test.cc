@@ -1,0 +1,193 @@
+// Tests for the keep-alive client connection pool (serve::ClientPool):
+// lease reuse, the idle cap, endpoint parsing, and the acceptance check
+// for stale keep-alive sockets — a server restart between scans must
+// cost one transparent reconnect, never a failed fetch.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "pdms/core/pdms.h"
+#include "pdms/obs/metrics.h"
+#include "pdms/serve/client.h"
+#include "pdms/serve/client_pool.h"
+#include "pdms/serve/server.h"
+#include "pdms/util/check.h"
+
+namespace pdms {
+namespace serve {
+namespace {
+
+constexpr const char* kProgram = R"(
+peer Hospital { relation Doctor(name, hospital); }
+stored hdoc(name, hospital) <= Hospital:Doctor(name, hospital).
+fact hdoc("alice", "county").
+fact hdoc("bo", "mercy").
+)";
+
+// A running loopback server over the demo program. `port` 0 picks an
+// ephemeral port; a concrete port rebinds it (SO_REUSEADDR), which the
+// stale-socket test uses to restart a server at the same endpoint.
+class ServerFixture {
+ public:
+  explicit ServerFixture(uint16_t port = 0) {
+    Status loaded = loader_.LoadProgram(kProgram);
+    PDMS_CHECK_MSG(loaded.ok(), loaded.ToString().c_str());
+    ServerOptions options;
+    options.port = port;
+    server_ = std::make_unique<PplServer>(options, &metrics_);
+    Status started = server_->Start(loader_.network(), loader_.database());
+    PDMS_CHECK_MSG(started.ok(), started.ToString().c_str());
+  }
+
+  uint16_t port() const { return server_->port(); }
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(port());
+  }
+  void Stop() { server_->Stop(); }
+
+ private:
+  Pdms loader_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<PplServer> server_;
+};
+
+TEST(ClientPool, ParseEndpointAcceptsHostPortAndRejectsGarbage) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ClientPool::ParseEndpoint("127.0.0.1:8080", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_FALSE(ClientPool::ParseEndpoint("no-port", &host, &port).ok());
+  EXPECT_FALSE(ClientPool::ParseEndpoint("trailing:", &host, &port).ok());
+  EXPECT_FALSE(ClientPool::ParseEndpoint("host:99999", &host, &port).ok());
+  EXPECT_FALSE(ClientPool::ParseEndpoint("host:zero", &host, &port).ok());
+}
+
+TEST(ClientPool, LeaseReturnsConnectionForReuse) {
+  ServerFixture fixture;
+  ClientPool pool;
+  {
+    Result<ClientPool::Lease> lease = pool.Checkout(fixture.endpoint());
+    ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+    EXPECT_FALSE(lease->reused());
+    EXPECT_TRUE((*lease)->Ping().ok());
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);
+  {
+    Result<ClientPool::Lease> lease = pool.Checkout(fixture.endpoint());
+    ASSERT_TRUE(lease.ok());
+    EXPECT_TRUE(lease->reused());
+    EXPECT_TRUE((*lease)->Ping().ok());
+  }
+  EXPECT_EQ(pool.dials(), 1u);
+  EXPECT_EQ(pool.reuses(), 1u);
+}
+
+TEST(ClientPool, DiscardedLeaseNeverReentersThePool) {
+  ServerFixture fixture;
+  ClientPool pool;
+  {
+    Result<ClientPool::Lease> lease = pool.Checkout(fixture.endpoint());
+    ASSERT_TRUE(lease.ok());
+    lease->Discard();
+  }
+  EXPECT_EQ(pool.idle_count(), 0u);
+  Result<ClientPool::Lease> lease = pool.Checkout(fixture.endpoint());
+  ASSERT_TRUE(lease.ok());
+  EXPECT_FALSE(lease->reused());  // had to dial again
+}
+
+TEST(ClientPool, IdleCapClosesExcessReturns) {
+  ServerFixture fixture;
+  ClientPool::Options options;
+  options.max_idle_per_endpoint = 1;
+  ClientPool pool(options);
+  {
+    Result<ClientPool::Lease> a = pool.Checkout(fixture.endpoint());
+    ASSERT_TRUE(a.ok());
+    Result<ClientPool::Lease> b =
+        pool.Checkout(fixture.endpoint());  // first is leased: dials
+    ASSERT_TRUE(b.ok());
+    EXPECT_FALSE(b->reused());
+  }
+  EXPECT_EQ(pool.idle_count(), 1u);  // second return hit the cap
+  EXPECT_EQ(pool.discards(), 1u);
+}
+
+TEST(ClientPool, ScanReusesPooledConnectionAcrossCalls) {
+  ServerFixture fixture;
+  obs::MetricsRegistry metrics;
+  ClientPool pool(ClientPool::Options{}, &metrics);
+  for (int i = 0; i < 3; ++i) {
+    Result<sim::Message> scan = pool.ScanRelation(fixture.endpoint(), "hdoc");
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    ASSERT_TRUE(scan->status.ok());
+    EXPECT_EQ(scan->tuples.size(), 2u);
+  }
+  EXPECT_EQ(pool.dials(), 1u);
+  EXPECT_EQ(pool.reuses(), 2u);
+  EXPECT_EQ(metrics.counter("serve.pool_dials"), 1u);
+  EXPECT_EQ(metrics.counter("serve.pool_reuses"), 2u);
+}
+
+TEST(ClientPool, RelationLevelErrorDoesNotPoisonTheConnection) {
+  ServerFixture fixture;
+  ClientPool pool;
+  Result<sim::Message> scan =
+      pool.ScanRelation(fixture.endpoint(), "no_such_relation");
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_FALSE(scan->status.ok());  // NotFound rides inside the message
+  EXPECT_EQ(pool.idle_count(), 1u);  // transport is healthy: kept
+}
+
+// The acceptance test: scan, restart the server at the same endpoint
+// (invalidating the pooled socket server-side), scan again. The pool
+// must detect the stale socket on the reused connection's failure and
+// transparently reconnect, so the second scan still succeeds.
+TEST(ClientPool, ReconnectsWhenPooledSocketWentStale) {
+  auto fixture = std::make_unique<ServerFixture>();
+  const uint16_t port = fixture->port();
+  const std::string endpoint = fixture->endpoint();
+  ClientPool pool;
+  Result<sim::Message> scan = pool.ScanRelation(endpoint, "hdoc");
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(pool.idle_count(), 1u);
+
+  // Restart: the pooled connection's server side is gone.
+  fixture->Stop();
+  fixture = std::make_unique<ServerFixture>(port);
+  ASSERT_EQ(fixture->port(), port);
+
+  bool reconnected = false;
+  scan = pool.ScanRelation(endpoint, "hdoc", nullptr, &reconnected);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_TRUE(scan->status.ok());
+  EXPECT_EQ(scan->tuples.size(), 2u);
+  EXPECT_TRUE(reconnected);
+  EXPECT_EQ(pool.dials(), 2u);  // original + the retry's fresh dial
+  // The replacement connection is pooled again for the next caller.
+  EXPECT_EQ(pool.idle_count(), 1u);
+  bool reconnected_again = true;
+  scan = pool.ScanRelation(endpoint, "hdoc", nullptr, &reconnected_again);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(reconnected_again);
+}
+
+// A dead endpoint (nothing listening) fails outright — the retry only
+// covers reused sockets, so a fresh-dial failure propagates untouched.
+TEST(ClientPool, FreshDialFailurePropagates) {
+  auto fixture = std::make_unique<ServerFixture>();
+  const std::string endpoint = fixture->endpoint();
+  fixture.reset();  // nothing listening now
+  ClientPool pool;
+  Result<sim::Message> scan = pool.ScanRelation(endpoint, "hdoc");
+  EXPECT_FALSE(scan.ok());
+  EXPECT_EQ(pool.idle_count(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pdms

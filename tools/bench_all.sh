@@ -28,9 +28,13 @@
 # docs/serving_telemetry.md); that snapshot is wrapped into
 # BENCH_slo.json.
 #
+# The eval_vectorized bench (legacy tuple-at-a-time vs the cost-based
+# vectorized engine, cold and plan-cached, per Figure-3 diameter,
+# docs/query_planning.md) reports into BENCH_eval.json.
+#
 # Usage: tools/bench_all.sh [out.json] [cache-out.json] [parallel-out.json]
 #                           [churn-out.json] [serving-out.json]
-#                           [slo-out.json]
+#                           [slo-out.json] [eval-out.json]
 # Knobs: BUILD_DIR (default build), PDMS_BENCH_* forwarded to the benches.
 set -euo pipefail
 
@@ -41,6 +45,7 @@ PARALLEL_OUT="${3:-BENCH_parallel.json}"
 CHURN_OUT="${4:-BENCH_churn.json}"
 SERVING_OUT="${5:-BENCH_serving.json}"
 SLO_OUT="${6:-BENCH_slo.json}"
+EVAL_OUT="${7:-BENCH_eval.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 JSON_DIR="${BUILD_DIR}/bench-json"
@@ -134,6 +139,18 @@ PDMS_BENCH_SLO_JSON="${JSON_DIR}/slo_scrape.json" \
   printf ']\n'
 } > "${SERVING_OUT}"
 echo "merged serving report into ${SERVING_OUT}"
+
+echo "== eval_vectorized =="
+# The engine comparison exits non-zero if any vectorized answer set
+# diverges from the legacy engine, so the sweep doubles as a soundness
+# gate.
+"${BUILD_DIR}/bench/eval_vectorized" --json "${JSON_DIR}/eval_vectorized.json"
+{
+  printf '['
+  tr -d '\n' < "${JSON_DIR}/eval_vectorized.json"
+  printf ']\n'
+} > "${EVAL_OUT}"
+echo "merged eval report into ${EVAL_OUT}"
 
 # The SLO scrape: the server's own rolling-window snapshot, taken over
 # the wire during the loadgen sweep, wrapped in the shared array shape.

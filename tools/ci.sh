@@ -33,6 +33,12 @@
 #      checked line by line against the schema, and the telemetry suite
 #      (cross-process trace grafting, rolling window, stats frame,
 #      access log) under TSan (docs/serving_telemetry.md).
+#  10. query-planner gate: the qp storage/planner suite, the seeded
+#      legacy-vs-vectorized equivalence property suite, and the client-
+#      pool suite re-run under asan+ubsan and under TSan (the equivalence
+#      suite fans disjuncts out over real worker threads), plus a join
+#      micro-bench smoke and a small end-to-end engine comparison whose
+#      soundness check must pass (docs/query_planning.md).
 #
 # Usage: tools/ci.sh
 # Knobs: BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
@@ -46,18 +52,18 @@ ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/9] default build + tests =="
+echo "== [1/10] default build + tests =="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== [2/9] asan+ubsan build + tests =="
+echo "== [2/10] asan+ubsan build + tests =="
 tools/ci_sanitize.sh "${ASAN_BUILD_DIR}"
 
-echo "== [3/9] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
+echo "== [3/10] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
 PDMS_DST_SEEDS="${PDMS_DST_SEEDS:-32}" "${BUILD_DIR}/tests/sim_dst_test"
 
-echo "== [4/9] trace-export smoke =="
+echo "== [4/10] trace-export smoke =="
 TRACE_FILE="${BUILD_DIR}/ci_trace.json"
 PDMS_BENCH_RUNS=1 PDMS_BENCH_MAX_DIAMETER=1 \
   "${BUILD_DIR}/bench/fig3_tree_size" --trace "${TRACE_FILE}" > /dev/null
@@ -80,14 +86,14 @@ else
   echo "trace export ok (python3 unavailable; grep check only)"
 fi
 
-echo "== [5/9] cache-coherence smoke =="
+echo "== [5/10] cache-coherence smoke =="
 # Query -> mutate network -> re-query: the invalidation counter must
 # advance and the cached answers must match a fresh, never-cached
 # instance (the gtest case asserts both).
 "${BUILD_DIR}/tests/cache_coherence_test" \
   --gtest_filter='CacheCoherence.Smoke'
 
-echo "== [6/9] tsan: exec primitives + parallel equivalence =="
+echo "== [6/10] tsan: exec primitives + parallel equivalence =="
 cmake --preset tsan > /dev/null
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target exec_test parallel_equivalence_test
@@ -96,7 +102,7 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/parallel_equivalence_test"
 
-echo "== [7/9] tsan: churn DST smoke + invalidation/health suites =="
+echo "== [7/10] tsan: churn DST smoke + invalidation/health suites =="
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target churn_dst_test cache_invalidation_test peer_health_test
 # The 32-seed twin comparison and the 4-thread shared-cache churn test;
@@ -109,7 +115,7 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/peer_health_test"
 
-echo "== [8/9] serving gate: loopback smoke + asan fuzz + tsan server =="
+echo "== [8/10] serving gate: loopback smoke + asan fuzz + tsan server =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ppl_serverd
 # Loopback smoke: the daemon on an ephemeral-ish port must answer a real
 # wire-protocol query. The overload test's loopback case drives the same
@@ -130,7 +136,7 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/serve_overload_test" --gtest_filter=\
 'Serving.ConcurrentClientsShareTheServerSafely:Serving.OverloadBurstShedsCleanlyAndAnswersStayCorrect'
 
-echo "== [9/9] telemetry gate: stats scrape + access log + tsan =="
+echo "== [9/10] telemetry gate: stats scrape + access log + tsan =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
   --target ppl_serverd ppl_top ppl_shell
 TELEM_DIR="${BUILD_DIR}/ci-telemetry"
@@ -206,5 +212,31 @@ trap - EXIT
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" --target serve_telemetry_test
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/serve_telemetry_test"
+
+echo "== [10/10] qp gate: asan + tsan suites, eval bench smoke =="
+# The vectorized-engine suites under asan+ubsan (step 2 built them with
+# the full suite; re-run explicitly as the named gate).
+"${ASAN_BUILD_DIR}/tests/qp_test"
+"${ASAN_BUILD_DIR}/tests/qp_equivalence_test"
+"${ASAN_BUILD_DIR}/tests/serve_client_pool_test"
+# Under TSan: the equivalence suite runs the vectorized engine at 1/2/8
+# threads over shared plan caches, the client-pool suite hands leases
+# across a live server.
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+  --target qp_test qp_equivalence_test serve_client_pool_test
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/qp_test"
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/qp_equivalence_test"
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/serve_client_pool_test"
+# Join-kernel micro-bench smoke plus a CI-sized end-to-end engine
+# comparison; eval_vectorized exits non-zero if any vectorized answer
+# set diverges from the legacy engine.
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target eval_join eval_vectorized
+"${BUILD_DIR}/bench/eval_join" --benchmark_filter='BM_TwoWayJoin' \
+  --benchmark_min_time=0.05 > /dev/null
+PDMS_BENCH_RUNS=1 PDMS_BENCH_ITERS=2 PDMS_BENCH_FACTS=1024 \
+PDMS_BENCH_MAX_DIAMETER=3 "${BUILD_DIR}/bench/eval_vectorized" > /dev/null
 
 echo "== CI gate passed =="
