@@ -166,6 +166,7 @@ int main(int argc, char** argv) {
   options.executor.workers = workers;
   options.executor.admission.max_queue = queue;
   options.executor.service_floor_ms = floor_ms;
+  options.executor.coalesce_identical = true;
   options.executor.rolling = &rolling;
   options.executor.access_log = access_log.get();
   for (const auto& [relation, endpoint] : remotes) {

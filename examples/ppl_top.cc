@@ -130,6 +130,12 @@ void RenderPanels(const std::string& json, const std::string& target) {
                 GetNumber(admission, "workers"));
   }
   std::printf("\n");
+  const std::string single_flight = ExtractObject(json, "single_flight");
+  if (!single_flight.empty()) {
+    std::printf("  coalesce  inflight %.0f   coalesced %.0f\n",
+                GetNumber(single_flight, "inflight"),
+                GetNumber(single_flight, "coalesced"));
+  }
   if (!server.empty()) {
     std::printf("  server    connections %.0f   port %.0f\n",
                 GetNumber(server, "connections"),

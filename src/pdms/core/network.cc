@@ -295,6 +295,15 @@ Result<std::string> PdmsNetwork::StoredRelationPeer(
                           name);
 }
 
+std::vector<std::string> PdmsNetwork::StoredRelationPeers(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  for (const StorageDescription& d : storage_) {
+    if (d.stored_atom().predicate() == name) out.push_back(d.peer);
+  }
+  return out;
+}
+
 Status PdmsNetwork::SetPeerAvailable(const std::string& peer,
                                      bool available) {
   bool declared = false;

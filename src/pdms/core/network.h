@@ -148,6 +148,13 @@ class PdmsNetwork {
   /// description); error if the name is not a stored relation.
   Result<std::string> StoredRelationPeer(const std::string& name) const;
 
+  /// Every peer declaring a storage description for `name`, in description
+  /// order (the first entry is the legacy StoredRelationPeer choice).
+  /// Replicated stored relations — several descriptions sharing one head —
+  /// give the cost-aware coordinator a provider choice; empty if the name
+  /// is not a stored relation.
+  std::vector<std::string> StoredRelationPeers(const std::string& name) const;
+
   // --- Availability (robustness layer) ---
   //
   // Peers in a PDMS come and go; the catalog tracks which are reachable

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "pdms/core/cost_estimator.h"
 #include "pdms/exec/thread_pool.h"
 #include "pdms/lang/canonical.h"
 #include "pdms/minicon/mcd.h"
@@ -234,6 +235,9 @@ std::string OptionsFingerprint(const ReformulationOptions& options) {
   out += options.prune_unsatisfiable ? "u1" : "u0";
   out += options.prune_dead_ends ? "d1" : "d0";
   out += options.order_expansions ? "o1" : "o0";
+  // Appended only when set so every pre-existing fingerprint (and the
+  // cache entries keyed by it) is unchanged for cost-blind queries.
+  if (options.cost_aware) out += "|c1";
   out += "|a:";
   for (const std::string& s : options.allowed_stored) {
     out += s;
@@ -454,7 +458,14 @@ void TreeBuilder::BuildScope(const ScopeContext& ctx, TaskState* ts) {
   if (options_.order_expansions) {
     // Priority scheme: explore expansions that reach stored relations in
     // fewer levels first, so the depth-first enumeration emits its first
-    // rewritings quickly.
+    // rewritings quickly. With a cost estimator attached (cost_aware),
+    // equally-shallow expansions are additionally ordered by the estimated
+    // network round trip of their most expensive stored leaf, so the first
+    // rewritings lean on cheap (near, fast, healthy) sources. A stable
+    // sort on a (depth, cost) key: cost never overrides depth, and
+    // cost-blind ordering is untouched.
+    const CostEstimator* est =
+        options_.cost_aware ? options_.cost_estimator : nullptr;
     for (auto& child : ctx.scope->children) {
       std::stable_sort(
           child->expansions.begin(), child->expansions.end(),
@@ -462,11 +473,16 @@ void TreeBuilder::BuildScope(const ScopeContext& ctx, TaskState* ts) {
               const std::unique_ptr<ExpansionNode>& b) {
             auto rank = [&](const ExpansionNode& e) {
               size_t worst = 0;
+              double cost = 0;
               for (const auto& g : e.children) {
                 size_t r = g->is_stored ? 0 : DepthRank(g->label.predicate());
                 worst = std::max(worst, r);
+                if (est != nullptr && g->is_stored) {
+                  cost = std::max(cost,
+                                  est->ScanCostMs(g->label.predicate()));
+                }
               }
-              return worst;
+              return std::make_pair(worst, cost);
             };
             return rank(*a) < rank(*b);
           });

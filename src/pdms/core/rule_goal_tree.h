@@ -16,6 +16,7 @@
 
 namespace pdms {
 
+class CostEstimator;
 class GoalMemoHook;
 
 namespace exec {
@@ -112,6 +113,20 @@ struct ReformulationOptions {
   /// An execution strategy, not a reformulation option: excluded from
   /// OptionsFingerprint like `threads`.
   bool vectorized_eval = true;
+
+  /// Cost-aware routing (docs/network_cost_model.md). With a
+  /// `cost_estimator` attached, `order_expansions` breaks depth ties by
+  /// estimated network round-trip cost, so among equally-shallow paths the
+  /// one reaching cheap (near, fast, healthy) stored relations is explored
+  /// first. Distributed runtimes (SimPdms) additionally use the flag for
+  /// cheapest-provider selection and relay-batched fan-out. Routing only —
+  /// never changes the answer set — but it IS part of OptionsFingerprint
+  /// (appended as "|c1" when set) because it reorders children, and memoized
+  /// subtrees record child order.
+  bool cost_aware = false;
+  /// Borrowed, nullable — null leaves ordering purely depth-based even
+  /// when `cost_aware` is set.
+  const CostEstimator* cost_estimator = nullptr;
 };
 
 /// The dependency footprint of one reformulation (or one memoized goal

@@ -26,6 +26,15 @@ std::string MessageStats::ToString() const {
   if (skipped_suspected > 0) {
     out += StrFormat(", %zu skipped-suspected", skipped_suspected);
   }
+  // Printed only when nonzero so cost-blind reports stay byte-identical
+  // to their pre-relay renderings.
+  if (relay_batches > 0 || relay_scans > 0) {
+    out += StrFormat(", %zu relay batch(es) carrying %zu scan(s)",
+                     relay_batches, relay_scans);
+  }
+  if (relay_fallbacks > 0) {
+    out += StrFormat(", %zu relay fallback(s)", relay_fallbacks);
+  }
   return out;
 }
 

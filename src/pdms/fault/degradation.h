@@ -42,6 +42,12 @@ struct MessageStats {
   size_t retransmits = 0;       // requests re-sent after a timeout
   size_t hedges = 0;            // duplicate requests sent before the timeout
   size_t skipped_suspected = 0;  // fetches failed fast on a suspected peer
+  // Cost-aware routing (docs/network_cost_model.md): batched relay
+  // round-trips sent, scans carried inside them, and relays whose batch
+  // timed out and fell back to per-scan unicast.
+  size_t relay_batches = 0;
+  size_t relay_scans = 0;
+  size_t relay_fallbacks = 0;
 
   std::string ToString() const;
 };

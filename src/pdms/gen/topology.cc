@@ -147,6 +147,32 @@ Result<Topology> GenerateTopology(const TopologyConfig& config) {
     PDMS_RETURN_IF_ERROR(out.network.AddStorageDescription(std::move(sd)));
   }
 
+  // --- Replicas: extra providers per stored relation, appended after
+  // every primary description so description order (and with it the
+  // legacy first-description owner) is untouched. Host peers step around
+  // the ring with a stride that lands them in other communities.
+  if (config.replicas > 0 && config.num_peers > 1) {
+    const size_t stride = std::max<size_t>(
+        1, config.num_peers / (config.replicas + 1));
+    for (size_t i = 0; i < config.num_peers; ++i) {
+      for (size_t r = 1; r <= config.replicas; ++r) {
+        size_t host = (i + r * stride) % config.num_peers;
+        if (host == i) host = (i + 1) % config.num_peers;
+        Term x = Term::Var("x");
+        Term y = Term::Var("y");
+        Atom peer_atom(QualifiedName(TopologyPeerName(i),
+                                     TopologyRelationName(0)),
+                       {x, y});
+        StorageDescription sd;
+        sd.peer = TopologyPeerName(host);
+        sd.view = ConjunctiveQuery(Atom(TopologyStoredName(i), {x, y}),
+                                   {peer_atom});
+        PDMS_RETURN_IF_ERROR(
+            out.network.AddStorageDescription(std::move(sd)));
+      }
+    }
+  }
+
   // --- Mappings: level k is provided from the neighborhood's level k-1.
   // Peers with no neighbors (the founder, isolated joiners) self-provide
   // so every relation stays answerable.
@@ -214,6 +240,58 @@ Result<Topology> GenerateTopology(const TopologyConfig& config) {
     }
   }
   return out;
+}
+
+LinkMap GenerateLinkMap(const Topology& topology,
+                        const LinkMapConfig& config) {
+  LinkMap map;
+  const size_t n = topology.community.size();
+  const LinkProps lan{config.lan_latency_ms, 0, 0};
+  const LinkProps wan{config.wan_latency_ms, config.wan_bytes_per_ms,
+                      config.wan_per_message_ms};
+
+  if (config.shape == LinkMapConfig::Shape::kUniformLan) {
+    map.set_intra_props(lan);
+    map.set_inter_props(lan);  // unreachable with one zone; keep consistent
+    return map;  // every node defaults to zone 0
+  }
+
+  if (config.shape == LinkMapConfig::Shape::kMesh) {
+    map.set_mode(LinkMap::Mode::kGrid);
+    map.set_intra_props(lan);  // cost per Manhattan hop
+    const size_t width = std::max<size_t>(1, config.mesh_width);
+    for (size_t i = 0; i < n; ++i) {
+      map.SetCoord(TopologyPeerName(i), static_cast<double>(i % width),
+                   static_cast<double>(i / width));
+    }
+    map.SetCoord(config.coordinator, 0, 0);
+    return map;
+  }
+
+  // kClusteredWan / kHubSpoke: communities (or index stripes when the
+  // topology has none) become zones over a shared trunk.
+  map.set_intra_props(lan);
+  map.set_inter_props(wan);
+  bool labeled = false;
+  for (size_t c : topology.community) labeled = labeled || c != 0;
+  const size_t zones = std::max<size_t>(1, config.num_zones);
+  std::vector<size_t> first_of_zone;  // hub = first peer of its zone
+  for (size_t i = 0; i < n; ++i) {
+    size_t zone = labeled ? topology.community[i] : i * zones / n;
+    map.SetZone(TopologyPeerName(i), zone);
+    if (zone >= first_of_zone.size()) first_of_zone.resize(zone + 1, n);
+    first_of_zone[zone] = std::min(first_of_zone[zone], i);
+  }
+  map.SetZone(config.coordinator, config.coordinator_zone);
+  if (config.shape == LinkMapConfig::Shape::kHubSpoke) {
+    for (size_t i = 0; i < n; ++i) {
+      size_t zone = labeled ? topology.community[i] : i * zones / n;
+      if (first_of_zone[zone] != i) {
+        map.SetAccessMs(TopologyPeerName(i), config.leaf_access_ms);
+      }
+    }
+  }
+  return map;
 }
 
 }  // namespace gen

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "pdms/core/cost_estimator.h"
 #include "pdms/core/network.h"
 #include "pdms/data/database.h"
 #include "pdms/lang/conjunctive_query.h"
@@ -49,6 +50,15 @@ struct TopologyConfig {
   size_t facts_per_stored = 2;
   int64_t value_domain = 16;
   uint64_t seed = 1;
+  /// Extra providers per stored relation: each st_i gains this many
+  /// additional storage descriptions with the same head, hosted on peers
+  /// spread deterministically around the ring (so with kCommunity the
+  /// replicas land in other communities). The catalog's first description
+  /// keeps the original owner, so cost-blind resolution is unchanged;
+  /// cost-aware execution may pick any replica. All replicas serve the
+  /// identical slice (data is keyed by stored-relation name), which is
+  /// what makes provider selection answer-neutral.
+  size_t replicas = 0;
 };
 
 /// A generated graph-shaped PDMS. `neighbors[i]` lists the (older) peers
@@ -69,6 +79,47 @@ std::string TopologyStoredName(size_t index);
 
 /// Generates a topology per `config`. Deterministic in `config.seed`.
 Result<Topology> GenerateTopology(const TopologyConfig& config);
+
+/// Static link-cost shapes layered over a generated topology
+/// (docs/network_cost_model.md). The shape decides how peers map onto the
+/// LinkMap's zones/coordinates; the latency knobs decide what each class
+/// of link costs.
+struct LinkMapConfig {
+  enum class Shape {
+    /// Everything one flat LAN: one zone, every link `lan_latency_ms`.
+    /// The cost model's identity element — all routes cost the same.
+    kUniformLan,
+    /// Peers on a `mesh_width`-wide grid (row-major); latency grows with
+    /// Manhattan distance, so diameter sweeps stretch the far corner.
+    kMesh,
+    /// Communities become WAN sites: cheap intra-zone links, one
+    /// expensive shared trunk per zone pair (the contention domain).
+    kClusteredWan,
+    /// kClusteredWan plus a last-mile uplink: every peer except each
+    /// zone's first (the hub) pays `leaf_access_ms` on every link.
+    kHubSpoke,
+  };
+  Shape shape = Shape::kClusteredWan;
+  double lan_latency_ms = 0.5;
+  double wan_latency_ms = 20.0;
+  /// Trunk bandwidth (0 = infinite) and fixed per-message occupancy —
+  /// what the contention model queues on.
+  double wan_bytes_per_ms = 0;
+  double wan_per_message_ms = 0;
+  double leaf_access_ms = 2.0;  // kHubSpoke only
+  size_t mesh_width = 32;       // kMesh only
+  /// Zone count when the topology has no community labels (kPowerLaw):
+  /// peers are striped into `num_zones` contiguous index blocks.
+  size_t num_zones = 8;
+  /// The querying node's name and home zone (mesh: grid origin). Defaults
+  /// match sim::kCoordinatorName without dragging in the sim target.
+  std::string coordinator = "@client";
+  size_t coordinator_zone = 0;
+};
+
+/// Derives the link map for `topology` per `config`. Deterministic: a pure
+/// function of the two configs (community labels come from the topology).
+LinkMap GenerateLinkMap(const Topology& topology, const LinkMapConfig& config);
 
 /// A single-goal query over peer `index`'s level-`level` relation:
 /// `Q(x, y) :- P<index>:R<level>(x, y).`

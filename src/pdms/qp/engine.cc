@@ -41,7 +41,8 @@ Result<std::shared_ptr<const UnionPlan>> Engine::PlanOrReuse(
     }
   }
 
-  PDMS_ASSIGN_OR_RETURN(UnionPlan fresh, PlanUnion(uq, db, catalog_));
+  PDMS_ASSIGN_OR_RETURN(UnionPlan fresh,
+                        PlanUnion(uq, db, catalog_, net_cost_));
   auto owned = std::make_shared<const UnionPlan>(std::move(fresh));
   if (slot != nullptr) slot->Set(owned);
   plan_span.Set("cached", false);
@@ -195,7 +196,8 @@ Result<std::string> Engine::Explain(const UnionQuery& uq, const Database& db) {
   size_t index = 0;
   size_t total = 0;
   for (const ConjunctiveQuery& cq : uq.disjuncts()) {
-    PDMS_ASSIGN_OR_RETURN(DisjunctPlan dp, PlanDisjunct(cq, db, catalog_));
+    PDMS_ASSIGN_OR_RETURN(DisjunctPlan dp,
+                          PlanDisjunct(cq, db, catalog_, net_cost_));
     StepActuals actuals;
     if (dp.delegate_legacy) {
       PDMS_ASSIGN_OR_RETURN(Relation part, EvaluateCQ(cq, db));

@@ -2,6 +2,7 @@
 #define PDMS_QP_PLANNER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,11 @@ struct PlannedScan {
   std::vector<std::pair<size_t, size_t>> dup_eq;   // column == earlier column
   std::vector<std::pair<size_t, size_t>> binds;    // column -> new slot
   double est_rows = 0;  // after filters
+  /// Estimated network round trip to fetch this relation, in virtual ms
+  /// (docs/network_cost_model.md); 0 when no cost annotator was supplied
+  /// or the relation is local. Explain-only — join order, build-side
+  /// choice, and answers never read it.
+  double est_net_ms = 0;
   /// Identifies (filters, key columns) for join-table caching; filled by
   /// the planner for join steps.
   std::string signature;
@@ -99,17 +105,26 @@ struct UnionPlan : public PhysicalPlanHandle {
   std::vector<DisjunctPlan> disjuncts;
 };
 
+/// Optional per-relation network-cost annotator: maps a stored relation
+/// name to its estimated fetch round trip in virtual ms (typically
+/// CostEstimator::ScanCostMs). Stamps PlannedScan::est_net_ms for explain
+/// output; never consulted for join ordering, so a null annotator and a
+/// live one plan identically.
+using NetCostFn = std::function<double(const std::string&)>;
+
 /// Plans one disjunct: pushes constant/duplicate filters into the scans,
 /// orders the joins greedily by estimated output cardinality (statistics
 /// from `catalog`; relations missing from `db` estimate to zero rows), and
 /// picks each join's build side. The query must be safe (CheckSafe).
 Result<DisjunctPlan> PlanDisjunct(const ConjunctiveQuery& cq,
                                   const Database& db,
-                                  const ColumnarCatalog& catalog);
+                                  const ColumnarCatalog& catalog,
+                                  const NetCostFn& net_cost = nullptr);
 
 /// Plans every disjunct and stamps the stats fingerprint.
 Result<UnionPlan> PlanUnion(const UnionQuery& uq, const Database& db,
-                            const ColumnarCatalog& catalog);
+                            const ColumnarCatalog& catalog,
+                            const NetCostFn& net_cost = nullptr);
 
 /// Renders one disjunct's plan as an indented text block:
 ///

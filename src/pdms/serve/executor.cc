@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "pdms/lang/canonical.h"
+#include "pdms/lang/parser.h"
 #include "pdms/serve/client.h"
 #include "pdms/util/check.h"
 #include "pdms/util/strings.h"
@@ -132,6 +133,23 @@ std::optional<wire::ShedFrame> RequestExecutor::Submit(ServeRequest request) {
       return shed;
     }
   }
+  // Single-flight: identical untraced queries ride the in-flight leader
+  // instead of taking admission slots and workers. The key is claimed
+  // before the admission offer so two concurrent identical requests can
+  // never both become leaders; a shed leader resolves (sheds) whatever
+  // followers raced in behind it.
+  const std::string sf_key = SingleFlightKey(request);
+  if (!sf_key.empty()) {
+    std::lock_guard<std::mutex> lock(sf_mu_);
+    auto it = sf_inflight_.find(sf_key);
+    if (it != sf_inflight_.end()) {
+      it->second.push_back(std::move(request));
+      ++sf_coalesced_;
+      if (metrics_) metrics_->Add("serve.coalesced");
+      return std::nullopt;  // resolved when the leader completes
+    }
+    sf_inflight_.emplace(sf_key, std::vector<ServeRequest>{});
+  }
   AdmissionController::Decision decision =
       admission_.Offer(RemainingBudgetMs(request));
   if (!decision.admitted) {
@@ -147,6 +165,12 @@ std::optional<wire::ShedFrame> RequestExecutor::Submit(ServeRequest request) {
       options_.rolling->RecordShed(NowMs(), ToRollingShed(decision.reason));
     }
     LogShed(request, shed, 0);
+    if (!sf_key.empty()) {
+      ServeOutcome leader;
+      leader.shed = true;
+      leader.shed_frame = shed;
+      ResolveFollowers(sf_key, leader);
+    }
     return shed;
   }
   if (options_.rolling != nullptr) {
@@ -156,10 +180,73 @@ std::optional<wire::ShedFrame> RequestExecutor::Submit(ServeRequest request) {
     std::lock_guard<std::mutex> lock(drain_mu_);
     ++in_flight_;
   }
-  pool_->Submit([this, request = std::move(request)]() mutable {
-    RunOne(std::move(request));
+  pool_->Submit([this, sf_key, request = std::move(request)]() mutable {
+    RunOne(std::move(request), sf_key);
   });
   return std::nullopt;
+}
+
+std::string RequestExecutor::SingleFlightKey(
+    const ServeRequest& request) const {
+  if (!options_.coalesce_identical) return "";
+  if (request.trace.has_value()) return "";  // wants its own span tree
+  Result<ConjunctiveQuery> parsed = ParseRuleText(request.query);
+  if (!parsed.ok()) return "";
+  return CanonicalQueryKey(*parsed);
+}
+
+void RequestExecutor::ResolveFollowers(const std::string& sf_key,
+                                       const ServeOutcome& leader) {
+  if (sf_key.empty()) return;
+  std::vector<ServeRequest> followers;
+  {
+    std::lock_guard<std::mutex> lock(sf_mu_);
+    auto it = sf_inflight_.find(sf_key);
+    if (it == sf_inflight_.end()) return;
+    followers = std::move(it->second);
+    sf_inflight_.erase(it);
+  }
+  for (ServeRequest& f : followers) {
+    ServeOutcome out;
+    out.conn_id = f.conn_id;
+    out.shed = leader.shed;
+    if (leader.shed) {
+      out.shed_frame = leader.shed_frame;
+      out.shed_frame.request_id = f.request_id;
+      if (options_.rolling != nullptr) {
+        options_.rolling->RecordShed(NowMs(),
+                                     ToRollingShed(out.shed_frame.reason));
+      }
+      LogShed(f, out.shed_frame, f.arrival.ElapsedMillis());
+    } else {
+      out.answer = leader.answer;
+      out.answer.request_id = f.request_id;
+      out.answer.spans.reset();  // the span tree belongs to the leader
+      const double total_ms = f.arrival.ElapsedMillis();
+      if (options_.rolling != nullptr) {
+        // A coalesced answer is the ultimate cache hit: zero evaluation.
+        options_.rolling->RecordAnswer(NowMs(), total_ms, /*cache_hit=*/true,
+                                       out.answer.completeness,
+                                       out.answer.truncated != 0);
+      }
+      if (options_.access_log != nullptr) {
+        AccessEntry entry;
+        entry.ts_ms = AccessLog::WallMs();
+        entry.conn_id = f.conn_id;
+        entry.request_id = f.request_id;
+        entry.query = sf_key;
+        entry.deadline_ms = f.budget_ms;
+        entry.queue_ms = total_ms;  // spent entirely waiting on the leader
+        entry.total_ms = total_ms;
+        entry.cache_hit = true;
+        entry.verdict = out.answer.status_code == 0
+                            ? static_cast<int>(out.answer.completeness)
+                            : -1;
+        options_.access_log->Append(entry);
+      }
+    }
+    done_(std::move(out));
+  }
 }
 
 Pdms* RequestExecutor::PopFacade() {
@@ -176,7 +263,7 @@ void RequestExecutor::PushFacade(Pdms* facade) {
   free_facades_.push_back(facade);
 }
 
-void RequestExecutor::RunOne(ServeRequest request) {
+void RequestExecutor::RunOne(ServeRequest request, const std::string& sf_key) {
   WallTimer service;
   const double queue_ms = request.arrival.ElapsedMillis();
   ServeOutcome out;
@@ -203,6 +290,7 @@ void RequestExecutor::RunOne(ServeRequest request) {
                                    obs::RollingStats::Shed::kDeadline);
     }
     LogShed(request, out.shed_frame, queue_ms);
+    ResolveFollowers(sf_key, out);
     done_(std::move(out));
     std::lock_guard<std::mutex> lock(drain_mu_);
     if (--in_flight_ == 0) drain_cv_.notify_all();
@@ -304,6 +392,7 @@ void RequestExecutor::RunOne(ServeRequest request) {
     options_.access_log->Append(entry);
   }
 
+  ResolveFollowers(sf_key, out);
   done_(std::move(out));
   std::lock_guard<std::mutex> lock(drain_mu_);
   if (--in_flight_ == 0) drain_cv_.notify_all();
@@ -325,8 +414,36 @@ void RequestExecutor::LogShed(const ServeRequest& request,
   options_.access_log->Append(entry);
 }
 
+std::string RequestExecutor::PickEndpoint(const std::string& endpoints) const {
+  std::vector<std::string> replicas = StrSplit(endpoints, '|');
+  if (replicas.size() <= 1) return endpoints;
+  std::lock_guard<std::mutex> lock(remotes_mu_);
+  std::string best;
+  double best_cost = 0;
+  for (const std::string& endpoint : replicas) {
+    auto it = remote_health_.find(endpoint);
+    if (it == remote_health_.end() || it->second.scans == 0) {
+      return endpoint;  // untried replicas are probed before any ranking
+    }
+    const RemoteHealth& health = it->second;
+    const double avg_ms =
+        health.total_ms / static_cast<double>(health.scans);
+    const double fail_rate = static_cast<double>(health.failures) /
+                             static_cast<double>(health.scans);
+    // Failure-inflated average latency: a replica failing every scan
+    // costs 10x its average, so a healthy slower replica beats it.
+    const double cost = avg_ms * (1.0 + 9.0 * fail_rate);
+    if (best.empty() || cost < best_cost) {
+      best = endpoint;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
 void RequestExecutor::FetchRemotes(Pdms* facade, obs::TraceContext* trace) {
-  for (const auto& [relation, endpoint] : options_.remote_relations) {
+  for (const auto& [relation, endpoints] : options_.remote_relations) {
+    const std::string endpoint = PickEndpoint(endpoints);
     WallTimer fetch;
     Status status = FetchOneRemote(relation, endpoint, facade, trace);
     const double fetch_ms = fetch.ElapsedMillis();
@@ -411,6 +528,12 @@ std::string RequestExecutor::StatsJsonFragment() const {
       static_cast<unsigned long long>(client_pool_.reuses()),
       static_cast<unsigned long long>(client_pool_.discards()),
       client_pool_.idle_count());
+  {
+    std::lock_guard<std::mutex> lock(sf_mu_);
+    out += StrFormat(
+        ", \"single_flight\": {\"inflight\": %zu, \"coalesced\": %llu}",
+        sf_inflight_.size(), static_cast<unsigned long long>(sf_coalesced_));
+  }
   return out;
 }
 

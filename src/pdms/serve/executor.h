@@ -41,17 +41,30 @@ struct ExecutorOptions {
   /// `workers * 1000 / floor` qps, which lets the overload test drive a
   /// deterministic 2x overload regardless of host speed. 0 disables.
   double service_floor_ms = 0;
-  /// Federated stored relations: relation name -> "host:port" of the
-  /// remote ppl_serverd that owns it. A worker re-fetches each mapped
+  /// Federated stored relations: relation name -> the remote ppl_serverd
+  /// endpoints that can serve it, as "host:port" or a '|'-separated
+  /// replica list ("h1:p1|h2:p2"). A worker re-fetches each mapped
   /// relation (via a kScanRequest, forwarding the request's trace
   /// envelope) into its facade's database before evaluating, so answers
   /// reflect the remote peer's live data and the request's trace spans
-  /// both processes. A failed fetch keeps the previously-fetched copy
-  /// (and is counted in the per-endpoint health the stats frame reports).
-  /// Scans go through a keep-alive ClientPool: connections are reused
-  /// across requests, and a stale pooled socket costs one transparent
-  /// reconnect instead of a failed fetch.
+  /// both processes. With several replicas the fetch is routed by observed
+  /// cost: untried endpoints are probed first, after that the endpoint
+  /// minimizing avg_ms * (1 + 9 * failure_rate) wins — the serving-side
+  /// analogue of the simulator's CostEstimator. A failed fetch keeps the
+  /// previously-fetched copy (and is counted in the per-endpoint health
+  /// the stats frame reports). Scans go through a keep-alive ClientPool:
+  /// connections are reused across requests, and a stale pooled socket
+  /// costs one transparent reconnect instead of a failed fetch.
   std::map<std::string, std::string> remote_relations;
+  /// Single-flight coalescing: while a request for some canonical query is
+  /// being evaluated, identical untraced requests wait for its outcome
+  /// instead of occupying admission slots and workers; each follower gets
+  /// the leader's answer (or shed) stamped with its own request id.
+  /// Traced requests never coalesce — they want their own span tree.
+  /// Off by default because followers bypass per-request admission and
+  /// shedding (a coalesced request can neither queue nor be shed);
+  /// ppl_serverd turns it on.
+  bool coalesce_identical = false;
   /// Windowed SLO stats fed per request (borrowed, nullable — null is
   /// the zero-overhead sink, like the registry).
   obs::RollingStats* rolling = nullptr;
@@ -143,12 +156,23 @@ class RequestExecutor {
     double total_ms = 0;
   };
 
-  void RunOne(ServeRequest request);
+  void RunOne(ServeRequest request, const std::string& sf_key);
   Pdms* PopFacade();
   void PushFacade(Pdms* facade);
+  /// The canonical-query coalescing key of `request`, or "" when the
+  /// request must not coalesce (traced, or unparseable query text —
+  /// unparseable requests all share one error answer in principle, but
+  /// keying them on raw text would conflate distinct parse errors).
+  std::string SingleFlightKey(const ServeRequest& request) const;
+  /// Delivers the leader's outcome to every follower queued under
+  /// `sf_key` (stamped with the follower's ids) and retires the key.
+  void ResolveFollowers(const std::string& sf_key, const ServeOutcome& leader);
   /// Re-fetches every mapped remote relation into `facade`'s database,
   /// recording per-endpoint health; spans land in `trace` when non-null.
   void FetchRemotes(Pdms* facade, obs::TraceContext* trace);
+  /// Splits a '|'-separated replica list and picks the fetch endpoint by
+  /// observed cost (see ExecutorOptions::remote_relations).
+  std::string PickEndpoint(const std::string& endpoints) const;
   Status FetchOneRemote(const std::string& relation,
                         const std::string& endpoint, Pdms* facade,
                         obs::TraceContext* trace);
@@ -172,6 +196,12 @@ class RequestExecutor {
   size_t in_flight_ = 0;
   bool started_ = false;
   bool stopped_ = false;
+
+  /// Single-flight state: a key is present while its leader runs; the
+  /// value holds the followers waiting on that leader's outcome.
+  mutable std::mutex sf_mu_;
+  std::map<std::string, std::vector<ServeRequest>> sf_inflight_;
+  uint64_t sf_coalesced_ = 0;  // lifetime total, for the stats frame
 
   WallTimer epoch_;  // the rolling-stats clock, started at construction
   mutable std::mutex remotes_mu_;

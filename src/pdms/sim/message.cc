@@ -5,29 +5,89 @@
 namespace pdms {
 namespace sim {
 
-Status Message::Validate() const {
-  if (relation.empty()) {
-    return Status::InvalidArgument("scan message names no relation");
+namespace {
+
+// FNV-1a; traces need a hash that is stable across runs and platforms,
+// which std::hash does not promise.
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
   }
+  return h;
+}
+
+Status ValidateTuples(size_t arity, const std::vector<Tuple>& tuples) {
+  // Set semantics: a nullary relation holds at most one (empty) tuple.
+  // The wire decoder enforces the same rule, so a message that fails
+  // here could not be smuggled through a hand-built frame either.
+  if (arity == 0 && tuples.size() > 1) {
+    return Status::InvalidArgument(StrFormat(
+        "scan response declares %zu tuples at arity 0", tuples.size()));
+  }
+  for (const Tuple& t : tuples) {
+    if (t.size() != arity) {
+      return Status::InvalidArgument(
+          StrFormat("scan response tuple arity %zu does not match "
+                    "declared arity %zu",
+                    t.size(), arity));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* Message::TypeName(Type type) {
+  switch (type) {
+    case Type::kScanRequest:
+      return "scan_request";
+    case Type::kScanResponse:
+      return "scan_response";
+    case Type::kRelayScanRequest:
+      return "relay_scan_request";
+    case Type::kRelayScanResponse:
+      return "relay_scan_response";
+  }
+  return "unknown";
+}
+
+Status Message::Validate() const {
   if (arity > kMaxMessageArity) {
     return Status::InvalidArgument(
         StrFormat("scan arity %zu exceeds cap %zu", arity, kMaxMessageArity));
   }
-  if (type == Type::kScanResponse) {
-    // Set semantics: a nullary relation holds at most one (empty) tuple.
-    // The wire decoder enforces the same rule, so a message that fails
-    // here could not be smuggled through a hand-built frame either.
-    if (arity == 0 && tuples.size() > 1) {
-      return Status::InvalidArgument(
-          StrFormat("scan response declares %zu tuples at arity 0",
-                    tuples.size()));
+  if (type == Type::kScanRequest || type == Type::kScanResponse) {
+    if (relation.empty()) {
+      return Status::InvalidArgument("scan message names no relation");
     }
-    for (const Tuple& t : tuples) {
-      if (t.size() != arity) {
+  }
+  if (type == Type::kScanResponse) {
+    PDMS_RETURN_IF_ERROR(ValidateTuples(arity, tuples));
+  }
+  if (type == Type::kRelayScanRequest) {
+    if (targets.empty()) {
+      return Status::InvalidArgument("relay scan request names no targets");
+    }
+    for (const RelayTarget& t : targets) {
+      if (t.owner.empty() || t.relation.empty()) {
         return Status::InvalidArgument(
-            StrFormat("scan response tuple arity %zu does not match "
-                      "declared arity %zu",
-                      t.size(), arity));
+            "relay scan target misses owner or relation");
+      }
+    }
+  }
+  if (type == Type::kRelayScanResponse) {
+    for (const ScanResult& r : results) {
+      if (r.relation.empty()) {
+        return Status::InvalidArgument("relay scan result names no relation");
+      }
+      if (r.arity > kMaxMessageArity) {
+        return Status::InvalidArgument(StrFormat(
+            "scan arity %zu exceeds cap %zu", r.arity, kMaxMessageArity));
+      }
+      if (r.status.ok()) {
+        PDMS_RETURN_IF_ERROR(ValidateTuples(r.arity, r.tuples));
       }
     }
   }
@@ -40,6 +100,30 @@ std::string Message::ToString() const {
                      static_cast<unsigned long long>(request_id),
                      relation.c_str());
   }
+  if (type == Type::kRelayScanRequest) {
+    uint64_t hash = 0;
+    for (const RelayTarget& t : targets) {
+      hash ^= HashString(t.owner + ":" + t.relation);
+    }
+    return StrFormat("rreq#%llu relay(%zu scan(s) h=%016llx)",
+                     static_cast<unsigned long long>(request_id),
+                     targets.size(), static_cast<unsigned long long>(hash));
+  }
+  if (type == Type::kRelayScanResponse) {
+    size_t ok = 0;
+    size_t total_tuples = 0;
+    uint64_t hash = 0;
+    for (const ScanResult& r : results) {
+      if (!r.status.ok()) continue;
+      ++ok;
+      total_tuples += r.tuples.size();
+      for (const Tuple& t : r.tuples) hash ^= TupleHash(t);
+    }
+    return StrFormat("rresp#%llu relay(%zu/%zu ok, %zu tuple(s) h=%016llx)",
+                     static_cast<unsigned long long>(request_id), ok,
+                     results.size(), total_tuples,
+                     static_cast<unsigned long long>(hash));
+  }
   if (!status.ok()) {
     return StrFormat("resp#%llu scan(%s) %s",
                      static_cast<unsigned long long>(request_id),
@@ -51,6 +135,21 @@ std::string Message::ToString() const {
                    static_cast<unsigned long long>(request_id),
                    relation.c_str(), tuples.size(),
                    static_cast<unsigned long long>(hash));
+}
+
+size_t Message::ApproxBytes() const {
+  // Fixed header (type, id, status, arity) plus payload estimates: 16
+  // bytes per tuple value, string sizes as-is.
+  size_t bytes = 64 + relation.size();
+  for (const Tuple& t : tuples) bytes += 8 + 16 * t.size();
+  for (const RelayTarget& t : targets) {
+    bytes += 16 + t.owner.size() + t.relation.size();
+  }
+  for (const ScanResult& r : results) {
+    bytes += 32 + r.relation.size();
+    for (const Tuple& t : r.tuples) bytes += 8 + 16 * t.size();
+  }
+  return bytes;
 }
 
 }  // namespace sim

@@ -28,10 +28,34 @@ inline constexpr size_t kMaxMessageArity = 1u << 16;
 /// in `serve/wire.h` (kScanRequest/kScanResponse): the networked server
 /// promotes this framing onto actual sockets, sharing Validate() so both
 /// transports reject the same malformed payloads.
+///
+/// Cost-aware routing (docs/network_cost_model.md) adds a relay pair: the
+/// coordinator ships one kRelayScanRequest naming several (owner,
+/// relation) scans to a relay peer inside the owners' zone; the relay
+/// fans the scans out over cheap intra-zone links and returns every
+/// outcome in one kRelayScanResponse, so the expensive trunk is crossed
+/// twice per zone instead of twice per scan. Relay messages exist only on
+/// the simulated bus — the wire codec still speaks the scan pair.
 struct Message {
   enum class Type : uint8_t {
-    kScanRequest,   // coordinator -> owner: "send me `relation`"
-    kScanResponse,  // owner -> coordinator: tuples or an error status
+    kScanRequest,        // coordinator -> owner: "send me `relation`"
+    kScanResponse,       // owner -> coordinator: tuples or an error status
+    kRelayScanRequest,   // coordinator -> relay: batched scan targets
+    kRelayScanResponse,  // relay -> coordinator: batched scan outcomes
+  };
+
+  /// One scan a relay request asks for.
+  struct RelayTarget {
+    std::string owner;
+    std::string relation;
+  };
+
+  /// One scan outcome inside a relay response.
+  struct ScanResult {
+    std::string relation;
+    Status status = Status::Ok();
+    size_t arity = 0;
+    std::vector<Tuple> tuples;
   };
 
   Type type = Type::kScanRequest;
@@ -45,6 +69,13 @@ struct Message {
   /// Response only: snapshot of the relation's tuples at serve time.
   size_t arity = 0;
   std::vector<Tuple> tuples;
+  /// Relay request only: the scans to perform, sorted by relation.
+  std::vector<RelayTarget> targets;
+  /// Relay request only: per-sub-scan budget at the relay; a sub-scan
+  /// unanswered within it comes back kUnavailable in the response.
+  double sub_timeout_ms = 0;
+  /// Relay response only: one outcome per requested target.
+  std::vector<ScanResult> results;
 
   /// Structural validation shared by the simulated bus and the binary wire
   /// codec: the declared arity must stay within kMaxMessageArity, every
@@ -57,6 +88,13 @@ struct Message {
   /// as a count plus an order-insensitive content hash so traces stay
   /// byte-comparable without dumping whole relations.
   std::string ToString() const;
+
+  /// Rough on-the-wire size in bytes, used by the latency-bandwidth and
+  /// contention network models for serialization delay. An estimate, not a
+  /// codec: it only needs to be deterministic and monotone in payload.
+  size_t ApproxBytes() const;
+
+  static const char* TypeName(Type type);
 };
 
 }  // namespace sim

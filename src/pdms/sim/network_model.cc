@@ -1,0 +1,103 @@
+#include "pdms/sim/network_model.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "pdms/sim/sim_network.h"
+
+namespace pdms {
+namespace sim {
+
+namespace {
+
+// Every model ends with the legacy jitter draw — one UniformDouble iff
+// jitter > 0 — so the RNG consumption per accepted message is identical
+// across models and the drop/duplicate schedule never shifts.
+double JitterMs(const LinkFaults& faults, Rng* rng) {
+  if (faults.delay_jitter_ms <= 0) return 0;
+  return rng->UniformDouble() * faults.delay_jitter_ms;
+}
+
+class UniformModel : public NetworkModel {
+ public:
+  const char* name() const override { return "uniform"; }
+
+  double DeliveryDelayMs(const std::string& /*src*/,
+                         const std::string& /*dst*/,
+                         const Message& /*message*/, double /*now_ms*/,
+                         const LinkFaults& faults, Rng* rng) override {
+    return faults.min_delay_ms + JitterMs(faults, rng);
+  }
+};
+
+class LatencyBandwidthModel : public NetworkModel {
+ public:
+  explicit LatencyBandwidthModel(const LinkMap* links) : links_(links) {}
+
+  const char* name() const override { return "latency-bandwidth"; }
+
+  double DeliveryDelayMs(const std::string& src, const std::string& dst,
+                         const Message& message, double /*now_ms*/,
+                         const LinkFaults& faults, Rng* rng) override {
+    return links_->Get(src, dst).OneWayMs(message.ApproxBytes()) +
+           JitterMs(faults, rng);
+  }
+
+ private:
+  const LinkMap* links_;  // not owned
+};
+
+class ContentionModel : public NetworkModel {
+ public:
+  explicit ContentionModel(const LinkMap* links) : links_(links) {}
+
+  const char* name() const override { return "contention"; }
+
+  double DeliveryDelayMs(const std::string& src, const std::string& dst,
+                         const Message& message, double now_ms,
+                         const LinkFaults& faults, Rng* rng) override {
+    LinkProps props = links_->Get(src, dst);
+    // FIFO queueing on the virtual clock: the message waits until the
+    // trunk frees up, occupies it for its fixed overhead plus
+    // serialization time, and only then propagates. Propagation is
+    // pipelined — it does not hold the trunk — so back-to-back messages
+    // serialize on occupancy, not on distance.
+    double occupancy_ms = props.per_message_ms;
+    if (props.bytes_per_ms > 0) {
+      occupancy_ms +=
+          static_cast<double>(message.ApproxBytes()) / props.bytes_per_ms;
+    }
+    double& free_at = next_free_ms_[links_->TrunkKey(src, dst)];
+    double start_ms = std::max(now_ms, free_at);
+    free_at = start_ms + occupancy_ms;
+    return (start_ms - now_ms) + occupancy_ms + props.latency_ms +
+           JitterMs(faults, rng);
+  }
+
+ private:
+  const LinkMap* links_;  // not owned
+  std::map<std::string, double> next_free_ms_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<NetworkModel>> NetworkModel::Create(
+    const std::string& type, const LinkMap* links) {
+  if (type.empty() || type == "uniform") {
+    return std::unique_ptr<NetworkModel>(new UniformModel());
+  }
+  if (type == "latency-bandwidth" || type == "contention") {
+    if (links == nullptr) {
+      return Status::InvalidArgument("network model '" + type +
+                                     "' needs a link map");
+    }
+    if (type == "contention") {
+      return std::unique_ptr<NetworkModel>(new ContentionModel(links));
+    }
+    return std::unique_ptr<NetworkModel>(new LatencyBandwidthModel(links));
+  }
+  return Status::InvalidArgument("unknown network model: " + type);
+}
+
+}  // namespace sim
+}  // namespace pdms

@@ -1,0 +1,63 @@
+#ifndef PDMS_SIM_NETWORK_MODEL_H_
+#define PDMS_SIM_NETWORK_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pdms/core/cost_estimator.h"
+#include "pdms/sim/message.h"
+#include "pdms/util/rng.h"
+#include "pdms/util/status.h"
+
+namespace pdms {
+namespace sim {
+
+struct LinkFaults;
+
+/// Pluggable delivery-delay model for the simulated network
+/// (docs/network_cost_model.md), in the spirit of Graphite's network-model
+/// factory: SimNetwork asks the model how long each accepted message takes
+/// to arrive, and everything else — drop/duplicate draws, partitions,
+/// tracing — stays in SimNetwork, identical across models.
+///
+/// Contract: DeliveryDelayMs must be deterministic in (its own state, the
+/// call sequence, `rng`) and must draw from `rng` in a fixed per-call
+/// pattern, because the DST replay invariant hashes the whole trace. The
+/// `uniform` model reproduces the legacy computation byte-for-byte
+/// (min_delay + one jitter draw iff jitter > 0); richer models keep the
+/// same jitter draw so fault schedules stay comparable across models.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  /// The factory name this model was created under.
+  virtual const char* name() const = 0;
+
+  /// Delay until `message` (already accepted for delivery) reaches `dst`.
+  /// `now_ms` is the virtual send time; `rng` is the network's fault
+  /// stream. Stateful models (contention) advance their queues here.
+  virtual double DeliveryDelayMs(const std::string& src,
+                                 const std::string& dst,
+                                 const Message& message, double now_ms,
+                                 const LinkFaults& faults, Rng* rng) = 0;
+
+  /// Creates a model by factory name:
+  ///   - "uniform": the legacy profile — LinkFaults' min_delay + jitter,
+  ///     topology-blind. `links` may be null.
+  ///   - "latency-bandwidth": per-link latency plus per-message overhead
+  ///     plus message-size serialization delay from the LinkMap.
+  ///   - "contention": latency-bandwidth plus a FIFO queue per trunk
+  ///     (LinkMap::TrunkKey): a message waits for the trunk to free up,
+  ///     then occupies it for its overhead + serialization time.
+  /// The non-uniform models require `links` (borrowed, must outlive the
+  /// model) and fail with kInvalidArgument without one or on an unknown
+  /// name.
+  static Result<std::unique_ptr<NetworkModel>> Create(const std::string& type,
+                                                      const LinkMap* links);
+};
+
+}  // namespace sim
+}  // namespace pdms
+
+#endif  // PDMS_SIM_NETWORK_MODEL_H_

@@ -1,5 +1,9 @@
 #include "pdms/sim/peer_node.h"
 
+#include <utility>
+
+#include "pdms/util/strings.h"
+
 namespace pdms {
 namespace sim {
 
@@ -16,24 +20,119 @@ void PeerNode::ServeRelation(const Relation& relation) {
   for (const Tuple& t : relation.tuples()) local_.Insert(relation.name(), t);
 }
 
-void PeerNode::HandleMessage(const std::string& src, const Message& message) {
-  if (message.type != Message::Type::kScanRequest) return;
-  if (crashed_) return;  // silent: the coordinator's timeout will fire
-  ++requests_served_;
-
-  Message response;
-  response.type = Message::Type::kScanResponse;
-  response.request_id = message.request_id;
-  response.relation = message.relation;
-  const Relation* relation = local_.Find(message.relation);
-  if (relation == nullptr) {
-    response.status = Status::NotFound(
-        name_ + " does not serve stored relation " + message.relation);
-  } else {
-    response.arity = relation->arity();
-    response.tuples = relation->tuples();
+void PeerNode::ScanLocal(const std::string& relation,
+                         Message::ScanResult* out) const {
+  out->relation = relation;
+  const Relation* found = local_.Find(relation);
+  if (found == nullptr) {
+    out->status = Status::NotFound(name_ + " does not serve stored relation " +
+                                   relation);
+    return;
   }
-  network_->Send(name_, src, std::move(response));
+  out->arity = found->arity();
+  out->tuples = found->tuples();
+}
+
+void PeerNode::HandleMessage(const std::string& src, const Message& message) {
+  if (crashed_) return;  // silent: the coordinator's timeout will fire
+  switch (message.type) {
+    case Message::Type::kScanRequest: {
+      ++requests_served_;
+      Message response;
+      response.type = Message::Type::kScanResponse;
+      response.request_id = message.request_id;
+      response.relation = message.relation;
+      Message::ScanResult result;
+      ScanLocal(message.relation, &result);
+      response.status = result.status;
+      response.arity = result.arity;
+      response.tuples = std::move(result.tuples);
+      network_->Send(name_, src, std::move(response));
+      return;
+    }
+    case Message::Type::kRelayScanRequest:
+      HandleRelayRequest(src, message);
+      return;
+    case Message::Type::kScanResponse:
+      // A response to one of this node's relay sub-scans.
+      HandleSubResponse(message);
+      return;
+    case Message::Type::kRelayScanResponse:
+      return;  // peers never relay through a relay
+  }
+}
+
+void PeerNode::HandleRelayRequest(const std::string& src,
+                                  const Message& message) {
+  ++requests_served_;
+  const uint64_t job_id = next_job_id_++;
+  RelayJob& job = relay_jobs_[job_id];
+  job.origin = src;
+  job.request_id = message.request_id;
+  job.results.resize(message.targets.size());
+  const double sub_timeout_ms =
+      message.sub_timeout_ms > 0 ? message.sub_timeout_ms : 10.0;
+  for (size_t i = 0; i < message.targets.size(); ++i) {
+    const Message::RelayTarget& target = message.targets[i];
+    if (target.owner == name_) {
+      ScanLocal(target.relation, &job.results[i]);
+      continue;
+    }
+    ++job.pending;
+    const uint64_t sub_id = next_sub_id_++;
+    relay_waits_[sub_id] = {job_id, i};
+    job.results[i].relation = target.relation;
+    Message sub;
+    sub.type = Message::Type::kScanRequest;
+    sub.request_id = sub_id;
+    sub.relation = target.relation;
+    network_->Send(name_, target.owner, std::move(sub));
+    // One shot, no retry ladder at the relay: a sub-scan that misses its
+    // budget is reported kUnavailable and the coordinator decides whether
+    // to fall back to a direct fetch (which has the full ladder).
+    network_->loop()->Schedule(sub_timeout_ms, [this, sub_id] {
+      auto it = relay_waits_.find(sub_id);
+      if (it == relay_waits_.end()) return;  // answered in time
+      auto [job, index] = it->second;
+      relay_waits_.erase(it);
+      RelayJob& j = relay_jobs_[job];
+      j.results[index].status = Status::Unavailable(
+          StrFormat("relay %s: sub-scan of %s timed out", name_.c_str(),
+                    j.results[index].relation.c_str()));
+      network_->AppendTrace(StrFormat("rsub  %s: scan(%s) timed out",
+                                      name_.c_str(),
+                                      j.results[index].relation.c_str()));
+      if (--j.pending == 0) FinishRelayJob(job);
+    });
+  }
+  if (job.pending == 0) FinishRelayJob(job_id);
+}
+
+void PeerNode::HandleSubResponse(const Message& message) {
+  auto it = relay_waits_.find(message.request_id);
+  if (it == relay_waits_.end()) return;  // late or duplicate: already settled
+  auto [job_id, index] = it->second;
+  relay_waits_.erase(it);
+  RelayJob& job = relay_jobs_[job_id];
+  Message::ScanResult& result = job.results[index];
+  result.status = message.status;
+  if (message.status.ok()) {
+    result.arity = message.arity;
+    result.tuples = message.tuples;
+  }
+  if (--job.pending == 0) FinishRelayJob(job_id);
+}
+
+void PeerNode::FinishRelayJob(uint64_t job_id) {
+  auto it = relay_jobs_.find(job_id);
+  if (it == relay_jobs_.end()) return;
+  RelayJob& job = it->second;
+  Message response;
+  response.type = Message::Type::kRelayScanResponse;
+  response.request_id = job.request_id;
+  response.results = std::move(job.results);
+  network_->Send(name_, job.origin, std::move(response));
+  relay_jobs_.erase(it);
 }
 
 }  // namespace sim

@@ -1,7 +1,11 @@
 #ifndef PDMS_SIM_PEER_NODE_H_
 #define PDMS_SIM_PEER_NODE_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "pdms/data/database.h"
 #include "pdms/sim/sim_network.h"
@@ -15,6 +19,15 @@ namespace sim {
 /// never reaches into any other peer's state — the network is the only
 /// channel — so whatever the coordinator assembles was genuinely
 /// communicated.
+///
+/// Peers also act as relays for cost-aware routing
+/// (docs/network_cost_model.md): a kRelayScanRequest names several (owner,
+/// relation) scans; the relay serves its own share locally, forwards the
+/// rest as ordinary scan requests over (cheap, intra-zone) links with a
+/// per-sub-scan timeout, and ships every outcome back in one
+/// kRelayScanResponse. A sub-scan that times out is reported
+/// kUnavailable, never silently dropped, so the coordinator can fall back
+/// per relation.
 class PeerNode {
  public:
   /// Registers the node on `network` under `name`. `network` is not owned
@@ -41,12 +54,31 @@ class PeerNode {
 
  private:
   void HandleMessage(const std::string& src, const Message& message);
+  void HandleRelayRequest(const std::string& src, const Message& message);
+  void HandleSubResponse(const Message& message);
+  void FinishRelayJob(uint64_t job_id);
+  /// Scans `relation` from the local slice into `out`.
+  void ScanLocal(const std::string& relation, Message::ScanResult* out) const;
+
+  /// One in-flight relay batch at this node.
+  struct RelayJob {
+    std::string origin;        // the coordinator to answer
+    uint64_t request_id = 0;   // echoed in the relay response
+    std::vector<Message::ScanResult> results;
+    size_t pending = 0;        // unresolved remote sub-scans
+  };
 
   std::string name_;
   SimNetwork* network_;  // not owned
   Database local_;
   bool crashed_ = false;
   size_t requests_served_ = 0;
+  std::map<uint64_t, RelayJob> relay_jobs_;
+  /// Sub-scan request id -> (job id, index into its results). Erased on
+  /// the first response or on the sub-timeout, whichever fires first.
+  std::map<uint64_t, std::pair<uint64_t, size_t>> relay_waits_;
+  uint64_t next_job_id_ = 1;
+  uint64_t next_sub_id_ = 1;
 };
 
 }  // namespace sim

@@ -14,7 +14,14 @@ std::string LinkFaults::ToString() const {
 }
 
 SimNetwork::SimNetwork(EventLoop* loop, uint64_t seed)
-    : loop_(loop), rng_(seed) {}
+    : loop_(loop), rng_(seed) {
+  // Cannot fail: "uniform" needs no link map.
+  model_ = std::move(NetworkModel::Create("uniform", nullptr)).value();
+}
+
+void SimNetwork::set_model(std::unique_ptr<NetworkModel> model) {
+  if (model != nullptr) model_ = std::move(model);
+}
 
 void SimNetwork::Register(const std::string& node, Handler handler) {
   handlers_[node] = std::move(handler);
@@ -41,6 +48,12 @@ std::vector<std::pair<std::string, std::string>> SimNetwork::Partitions()
 }
 
 void SimNetwork::AppendTrace(const std::string& line) {
+  // Versioned header, emitted lazily so the active model is known: v2
+  // appends a per-hop `dly=` field to delivery records that v1 traces did
+  // not carry. Replay comparisons always run within one version.
+  if (trace_.empty()) {
+    trace_.push_back(StrFormat("# sim-trace v2 model=%s", model_->name()));
+  }
   trace_.push_back(StrFormat("[%10.3f] ", loop_->now_ms()) + line);
 }
 
@@ -61,10 +74,7 @@ obs::SpanId SimNetwork::StartMessageSpan(const std::string& src,
   obs::SpanId span = obs_trace_->StartSpanAt("message", obs_trace_->current());
   obs_trace_->SetAttribute(span, "src", src);
   obs_trace_->SetAttribute(span, "dst", dst);
-  obs_trace_->SetAttribute(
-      span, "type",
-      message.type == Message::Type::kScanRequest ? "scan_request"
-                                                  : "scan_response");
+  obs_trace_->SetAttribute(span, "type", Message::TypeName(message.type));
   obs_trace_->SetAttribute(span, "relation", message.relation);
   obs_trace_->SetAttribute(span, "request_id", message.request_id);
   if (duplicate) obs_trace_->SetAttribute(span, "duplicate", true);
@@ -80,23 +90,25 @@ void SimNetwork::EndMessageSpan(obs::SpanId span, const char* outcome) {
 void SimNetwork::ScheduleDelivery(const std::string& src,
                                   const std::string& dst,
                                   const Message& message, bool duplicate) {
-  double delay = faults_.min_delay_ms;
-  if (faults_.delay_jitter_ms > 0) {
-    delay += rng_.UniformDouble() * faults_.delay_jitter_ms;
-  }
+  double delay = model_->DeliveryDelayMs(src, dst, message, loop_->now_ms(),
+                                         faults_, &rng_);
   obs::SpanId span = StartMessageSpan(src, dst, message, duplicate);
-  loop_->Schedule(delay, [this, src, dst, message, duplicate, span] {
+  if (obs_trace_ != nullptr && span != obs::kNoSpan) {
+    obs_trace_->SetAttribute(span, "delay_ms", delay);
+  }
+  loop_->Schedule(delay, [this, src, dst, message, duplicate, span, delay] {
     auto it = handlers_.find(dst);
     if (it == handlers_.end()) {
-      AppendTrace(StrFormat("lost  %s -> %s  %s (no such node)", src.c_str(),
-                            dst.c_str(), message.ToString().c_str()));
+      AppendTrace(StrFormat("lost  %s -> %s  %s (no such node) dly=%.3f",
+                            src.c_str(), dst.c_str(),
+                            message.ToString().c_str(), delay));
       EndMessageSpan(span, "lost");
       return;
     }
     ++stats_.delivered;
-    AppendTrace(StrFormat("recv%s %s -> %s  %s", duplicate ? "*" : " ",
-                          src.c_str(), dst.c_str(),
-                          message.ToString().c_str()));
+    AppendTrace(StrFormat("recv%s %s -> %s  %s dly=%.3f",
+                          duplicate ? "*" : " ", src.c_str(), dst.c_str(),
+                          message.ToString().c_str(), delay));
     EndMessageSpan(span, "delivered");
     it->second(src, message);
   });

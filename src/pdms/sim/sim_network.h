@@ -9,10 +9,13 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "pdms/fault/degradation.h"
 #include "pdms/obs/trace.h"
 #include "pdms/sim/event_loop.h"
 #include "pdms/sim/message.h"
+#include "pdms/sim/network_model.h"
 #include "pdms/util/rng.h"
 
 namespace pdms {
@@ -47,6 +50,16 @@ class SimNetwork {
   /// extension; one profile is enough to exercise every code path).
   void set_faults(const LinkFaults& faults) { faults_ = faults; }
   const LinkFaults& faults() const { return faults_; }
+
+  /// Replaces the delivery-delay model (default: `uniform`, the legacy
+  /// profile — byte-identical traces to the pre-model network). Must be
+  /// set before the first Send; the trace header names the active model.
+  void set_model(std::unique_ptr<NetworkModel> model);
+  const NetworkModel& model() const { return *model_; }
+
+  /// The event loop this network schedules on (peers use it for their own
+  /// timers, e.g. relay sub-scan timeouts).
+  EventLoop* loop() { return loop_; }
 
   /// Registers the handler that receives messages addressed to `node`.
   /// Messages to unregistered nodes vanish (traced as lost).
@@ -93,6 +106,7 @@ class SimNetwork {
   obs::TraceContext* obs_trace_ = nullptr;  // not owned; may be null
   Rng rng_;
   LinkFaults faults_;
+  std::unique_ptr<NetworkModel> model_;
   std::map<std::string, Handler> handlers_;
   std::set<std::pair<std::string, std::string>> partitions_;  // ordered pairs
   MessageStats stats_;

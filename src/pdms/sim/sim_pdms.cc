@@ -114,7 +114,28 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
   // (revision, availability epoch) scope; a plan hit skips reformulation
   // but the fetch/evaluate steps below still run over the simulated
   // network in full.
+  // Cost-aware execution (docs/network_cost_model.md): one estimator per
+  // query blends the static link map with the tracker's live SRTTs. It
+  // only ever reorders work — candidate ordering, provider choice,
+  // routing — so answers stay byte-identical to the cost-blind path.
+  const bool cost_aware = options_.reform.cost_aware;
+  std::unique_ptr<CostEstimator> estimator;
+  if (cost_aware) {
+    estimator = std::make_unique<CostEstimator>(
+        &network_, options_.links, kCoordinatorName, health_);
+  }
+  // The qp planner stamps freshly compiled plans with est_net_ms for
+  // explain output while this query's estimator lives. Reset first so the
+  // engine can never consult a prior query's (destroyed) estimator.
+  engine_.set_net_cost(nullptr);
+  if (cost_aware) {
+    engine_.set_net_cost([est = estimator.get()](const std::string& relation) {
+      return est->ScanCostMs(relation);
+    });
+  }
+
   ReformulationOptions effective = options_.reform;
+  effective.cost_estimator = estimator.get();
   std::set<std::string> down = network_.UnavailableStoredRelations();
   effective.unavailable_stored.insert(down.begin(), down.end());
   effective.trace = trace_;
@@ -202,6 +223,11 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
 
   SimNetwork net(&loop, options_.seed);
   net.set_faults(options_.faults);
+  {
+    auto model = NetworkModel::Create(options_.network_model, options_.links);
+    if (!model.ok()) return model.status();
+    net.set_model(std::move(*model));
+  }
   net.set_obs_trace(trace_);
   for (const auto& [a, b] : partitions_) net.Partition(a, b);
 
@@ -209,10 +235,27 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
   Database fetched;  // what the coordinator actually received
   std::map<std::string, Fetch> fetches;
   std::map<std::string, std::unique_ptr<PeerNode>> nodes;
+  size_t provider_switches = 0;
 
   for (const std::string& relation : needed) {
     ++access.probes;
     auto owner = network_.StoredRelationPeer(relation);
+    if (cost_aware && owner.ok()) {
+      // Replicated stored relations (several storage descriptions sharing
+      // one head) give a provider choice; the cheapest estimated round
+      // trip wins, ties keeping the legacy first-description owner. All
+      // replicas serve the same slice of the instance, so the choice is
+      // answer-neutral.
+      auto cheapest = estimator->CheapestProvider(relation);
+      if (cheapest.ok()) {
+        if (*cheapest != *owner) ++provider_switches;
+        owner = cheapest;
+      }
+      if (metrics_ != nullptr) {
+        metrics_->Observe("net.est_scan_cost_ms",
+                          estimator->ScanCostMs(relation));
+      }
+    }
     size_t arity = 0;
     if (auto a = network_.RelationArity(relation); a.ok()) arity = *a;
     if (!owner.ok() || owner->empty()) {
@@ -249,17 +292,115 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
     return (health_ != nullptr ? health_->now_ms() : 0.0) + clock.now_ms();
   };
 
+  // Relay batch planning (cost-aware): all the fetches owned by one
+  // remote zone are grouped into a single batched round trip through a
+  // relay peer of that zone, so the expensive trunk carries 2 messages per
+  // zone instead of 2 per scan. Routing only: any relay failure falls
+  // back to the per-relation unicast ladder below, which is why the
+  // answer set cannot depend on relaying.
+  struct RelayBatch {
+    std::string relay;
+    std::vector<std::string> relations;  // map order: sorted
+    uint64_t request_id = 0;
+    double sent_at_ms = 0;
+    bool resolved = false;
+  };
+  std::vector<RelayBatch> batches;
+  std::map<std::string, size_t> batch_of;       // relation -> batches index
+  std::map<uint64_t, size_t> batch_by_request;  // request id -> batches index
+  if (cost_aware && options_.relay_fanout && options_.links != nullptr &&
+      options_.links->num_zones() > 1) {
+    const LinkMap& links = *options_.links;
+    const size_t coordinator_zone = links.ZoneOf(kCoordinatorName);
+    std::map<size_t, std::vector<std::string>> by_zone;
+    for (const auto& [relation, fetch] : fetches) {
+      size_t zone = links.ZoneOf(fetch.owner);
+      if (zone != coordinator_zone) by_zone[zone].push_back(relation);
+    }
+    for (auto& [zone, relations] : by_zone) {
+      if (relations.size() < 2) continue;  // a lone scan gains nothing
+      // Relay = the zone's cheapest owner; iterating the sorted owner set
+      // makes the tie-break (first name) deterministic.
+      std::set<std::string> owners;
+      for (const std::string& r : relations) owners.insert(fetches[r].owner);
+      std::string relay;
+      double best = 0;
+      for (const std::string& owner : owners) {
+        double cost = estimator->PeerCostMs(owner);
+        if (relay.empty() || cost < best) {
+          relay = owner;
+          best = cost;
+        }
+      }
+      // A suspected relay would stall the whole batch until the fallback
+      // timer; route those zones over plain unicast (where the per-fetch
+      // health gate applies as usual).
+      if (health_ != nullptr && health_->config().enabled &&
+          health_->IsSuspected(relay)) {
+        continue;
+      }
+      size_t index = batches.size();
+      batches.push_back(RelayBatch{relay, relations, 0, 0, false});
+      for (const std::string& r : relations) batch_of[r] = index;
+    }
+  }
+
+  // Virtual time when the last fetch settled — the answer-latency metric
+  // the topology bench sweeps. loop.now_ms() at exit would overstate it:
+  // timeout events stay queued past resolution and run the clock forward.
+  double last_resolve_ms = 0;
+
+  // Declared before the handler below so the relay-fallback path can
+  // re-enter the unicast ladder; assigned after.
+  std::function<void(const std::string&)> send_request;
+
   // The coordinator: accepts any response for an unresolved fetch (scans
   // are idempotent, so a late answer to a retransmitted request is as good
   // as a fresh one) and ignores duplicates.
   net.Register(kCoordinatorName, [&](const std::string& /*src*/,
                                      const Message& message) {
+    if (message.type == Message::Type::kRelayScanResponse) {
+      auto bit = batch_by_request.find(message.request_id);
+      if (bit == batch_by_request.end()) return;
+      RelayBatch& batch = batches[bit->second];
+      if (batch.resolved) return;  // duplicate or post-fallback straggler
+      batch.resolved = true;
+      bool any_ok = false;
+      for (const Message::ScanResult& r : message.results) {
+        auto it = fetches.find(r.relation);
+        if (it == fetches.end() || it->second.resolved) continue;
+        Fetch& fetch = it->second;
+        if (r.status.ok()) {
+          fetch.resolved = true;
+          fetch.status = r.status;
+          fetch.tuples = r.tuples;
+          if (r.arity > 0) fetch.arity = r.arity;
+          ++access.successes;
+          last_resolve_ms = clock.now_ms();
+          any_ok = true;
+        } else {
+          // The relay answered but this sub-scan failed there; retry the
+          // relation directly with the full unicast ladder.
+          ++net.mutable_stats()->relay_fallbacks;
+          net.AppendTrace(StrFormat("rfbk  scan(%s): relay %s reported %s",
+                                    r.relation.c_str(), batch.relay.c_str(),
+                                    r.status.ToString().c_str()));
+          send_request(r.relation);
+        }
+      }
+      if (any_ok && health_ != nullptr) {
+        health_->RecordSuccess(batch.relay, session_now(),
+                               clock.now_ms() - batch.sent_at_ms);
+      }
+      return;
+    }
     if (message.type != Message::Type::kScanResponse) return;
     auto it = fetches.find(message.relation);
     if (it == fetches.end() || it->second.resolved) return;
     Fetch& fetch = it->second;
     fetch.resolved = true;
     fetch.status = message.status;
+    last_resolve_ms = clock.now_ms();
     if (message.status.ok()) {
       fetch.tuples = message.tuples;
       if (message.arity > 0) fetch.arity = message.arity;
@@ -280,7 +421,7 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
   Rng retry_rng(options_.seed ^ 0xd1b54a32d192ed03ull);
   uint64_t next_request_id = 1;
 
-  std::function<void(const std::string&)> send_request =
+  send_request =
       [&](const std::string& relation) {
         Fetch& fetch = fetches[relation];
         if (fetch.resolved) return;  // answered while backing off
@@ -337,6 +478,7 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
             f.status = Status::Unavailable(StrFormat(
                 "%s:%s unreachable after %zu attempt(s)", f.owner.c_str(),
                 relation.c_str(), f.attempts));
+            last_resolve_ms = clock.now_ms();
             ++access.failures;
             if (health_ != nullptr) {
               health_->RecordFailure(f.owner, session_now());
@@ -353,11 +495,66 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
         });
       };
 
+  // Sends one relay batch: the attempts accounting mirrors unicast (+1 per
+  // relation) so a fault-free cost-aware run reports the same access stats
+  // as the cost-blind run it must match byte for byte.
+  auto send_batch = [&](size_t index) {
+    RelayBatch& batch = batches[index];
+    uint64_t id = next_request_id++;
+    batch.request_id = id;
+    batch.sent_at_ms = clock.now_ms();
+    batch_by_request[id] = index;
+    Message request;
+    request.type = Message::Type::kRelayScanRequest;
+    request.request_id = id;
+    request.sub_timeout_ms = options_.request_timeout_ms;
+    for (const std::string& relation : batch.relations) {
+      Fetch& fetch = fetches[relation];
+      ++fetch.attempts;
+      ++access.attempts;
+      fetch.sent_at_ms = batch.sent_at_ms;
+      Message::RelayTarget target;
+      target.owner = fetch.owner;
+      target.relation = relation;
+      request.targets.push_back(std::move(target));
+    }
+    ++net.mutable_stats()->relay_batches;
+    net.mutable_stats()->relay_scans += batch.relations.size();
+    net.AppendTrace(StrFormat("rplan req#%llu relay via %s: %zu scan(s)",
+                              static_cast<unsigned long long>(id),
+                              batch.relay.c_str(), batch.relations.size()));
+    net.Send(kCoordinatorName, batch.relay, std::move(request));
+    // The batch gets one generous budget (it covers two trunk crossings
+    // plus the intra-zone fan-out), then every still-unresolved relation
+    // falls back to the unicast ladder — so a dead relay costs latency,
+    // never answers.
+    double budget = options_.request_timeout_ms * options_.relay_timeout_factor;
+    loop.Schedule(budget, [&, index] {
+      RelayBatch& b = batches[index];
+      if (b.resolved) return;
+      b.resolved = true;
+      net.AppendTrace(StrFormat("rtime relay batch req#%llu via %s timed out",
+                                static_cast<unsigned long long>(b.request_id),
+                                b.relay.c_str()));
+      if (health_ != nullptr) health_->RecordFailure(b.relay, session_now());
+      for (const std::string& relation : b.relations) {
+        if (fetches[relation].resolved) continue;
+        ++net.mutable_stats()->relay_fallbacks;
+        send_request(relation);
+      }
+    });
+  };
+
   // The fetch span stays open across loop.Run so every message hop and
   // timeout event nests under it.
   obs::ScopedSpan fetch_span(trace_, "fetch");
   fetch_span.Set("relations", static_cast<uint64_t>(fetches.size()));
+  if (cost_aware) {
+    fetch_span.Set("cost_aware", static_cast<uint64_t>(1));
+    fetch_span.Set("relay_batches", static_cast<uint64_t>(batches.size()));
+  }
   for (auto& [relation, fetch] : fetches) {
+    if (batch_of.count(relation) != 0) continue;  // travels in a relay batch
     // Gate each fetch through the failure detector before its first
     // transmission: a suspected peer inside its probe backoff costs zero
     // messages — the crash was paid for once, at detection time.
@@ -381,6 +578,7 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
     }
     send_request(relation);
   }
+  for (size_t i = 0; i < batches.size(); ++i) send_batch(i);
 
   Status run = loop.Run(options_.max_virtual_ms, options_.max_events);
   last_trace_ = net.TraceString();
@@ -403,7 +601,15 @@ Result<AnswerResult> SimPdms::Answer(const ConjunctiveQuery& query) {
     metrics_->Add("sim.retransmits", m.retransmits);
     metrics_->Add("sim.hedges", m.hedges);
     metrics_->Add("sim.skipped_suspected", m.skipped_suspected);
+    metrics_->Add("net.relay_batches", m.relay_batches);
+    metrics_->Add("net.relay_scans", m.relay_scans);
+    metrics_->Add("net.relay_fallbacks", m.relay_fallbacks);
+    metrics_->Add("net.provider_switches", provider_switches);
     metrics_->Observe("sim.fetch_ms", loop.now_ms());
+    // Unlike sim.fetch_ms (= loop.now_ms(), which includes stale timeout
+    // timers draining after the last answer arrived), this is when the
+    // final fetch actually settled — the bench's answer-latency measure.
+    metrics_->Observe("sim.resolve_ms", last_resolve_ms);
   }
   fetch_span.End();
   if (!run.ok()) return run;  // detected hang; last_trace() has the story

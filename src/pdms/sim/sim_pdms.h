@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "pdms/core/cost_estimator.h"
 #include "pdms/core/pdms.h"
 #include "pdms/fault/peer_health.h"
 #include "pdms/qp/engine.h"
@@ -41,7 +42,26 @@ struct SimOptions {
   double max_virtual_ms = 60 * 1000;
   size_t max_events = 1u << 22;
   /// Reformulation options used by the querying peer.
+  /// `reform.cost_aware` additionally turns on cost-aware routing here:
+  /// cheapest-provider selection among replicated storage descriptions and
+  /// relay-batched fan-out (see below).
   ReformulationOptions reform;
+
+  /// Delivery-delay model by factory name (NetworkModel::Create):
+  /// "uniform" (legacy, byte-identical traces), "latency-bandwidth", or
+  /// "contention". Non-uniform models require `links`.
+  std::string network_model = "uniform";
+  /// Static link-cost map (borrowed, nullable; must outlive the SimPdms).
+  /// Feeds both the non-uniform network models and the CostEstimator.
+  const LinkMap* links = nullptr;
+  /// When cost-aware: batch the scans bound for one remote zone into a
+  /// single relay round-trip over the trunk (docs/network_cost_model.md)
+  /// instead of per-scan unicast. Answer-neutral: a failed or timed-out
+  /// relay falls back to the unicast ladder per relation.
+  bool relay_fanout = true;
+  /// A relay batch gets `request_timeout_ms * relay_timeout_factor` before
+  /// the coordinator falls back to unicast for its unresolved relations.
+  double relay_timeout_factor = 2.5;
 };
 
 /// The distributed counterpart of the `Pdms` facade: the same catalog and

@@ -265,6 +265,54 @@ TEST(Executor, QueuedExpiryShedsWithoutTouchingTheNetworkLayer) {
   }
 }
 
+// Single-flight coalescing (opt-in): an identical untraced request that
+// arrives while its twin is being evaluated rides the leader instead of
+// taking an admission slot — one evaluation, two answers, each stamped
+// with its own request id. The leader's key is claimed synchronously in
+// Submit and held for the whole service floor, so the follower's
+// coalesce is deterministic, not a race.
+TEST(Executor, IdenticalRequestsCoalesceIntoOneEvaluation) {
+  Pdms pdms;
+  Status loaded = pdms.LoadProgram(kProgram);
+  PDMS_CHECK_MSG(loaded.ok(), loaded.ToString().c_str());
+  obs::MetricsRegistry metrics;
+  ExecutorOptions options;
+  options.workers = 1;
+  options.service_floor_ms = 100;
+  options.coalesce_identical = true;
+  options.admission.initial_service_ms = 0.001;
+  options.admission.ewma_alpha = 0;
+  RequestExecutor executor(options, &metrics);
+  OutcomeSink sink;
+  Status started = executor.Start(pdms.network(), pdms.database(),
+                                  [&sink](ServeOutcome out) { sink(out); });
+  PDMS_CHECK_MSG(started.ok(), started.ToString().c_str());
+  ServeRequest leader = MakeRequest(1, kQuery, /*budget_ms=*/0);
+  leader.arrival.Reset();
+  ASSERT_FALSE(executor.Submit(std::move(leader)).has_value());
+  ServeRequest follower = MakeRequest(2, kQuery, /*budget_ms=*/0);
+  follower.arrival.Reset();
+  ASSERT_FALSE(executor.Submit(std::move(follower)).has_value());
+  executor.Stop();
+
+  std::lock_guard<std::mutex> lock(sink.mu);
+  ASSERT_EQ(sink.outcomes.size(), 2u);
+  const ServeOutcome* by_id[3] = {nullptr, nullptr, nullptr};
+  for (const ServeOutcome& out : sink.outcomes) {
+    ASSERT_FALSE(out.shed);
+    ASSERT_LE(out.answer.request_id, 2u);
+    by_id[out.answer.request_id] = &out;
+  }
+  ASSERT_NE(by_id[1], nullptr);
+  ASSERT_NE(by_id[2], nullptr);
+  EXPECT_EQ(by_id[1]->answer.tuples, by_id[2]->answer.tuples);
+  EXPECT_EQ(by_id[1]->answer.tuples.size(), 2u);
+  const auto counters = metrics.counters();
+  EXPECT_EQ(counters.at("serve.coalesced"), 1u);
+  EXPECT_EQ(counters.at("serve.completed"), 1u);  // one evaluation total
+  EXPECT_EQ(counters.at("serve.admitted"), 1u);   // follower took no slot
+}
+
 TEST(Executor, SurvivingBudgetBecomesReformulationDeadline) {
   // A generous budget admits, survives queueing, and the answer comes
   // back complete and untruncated — the deadline plumbed through the

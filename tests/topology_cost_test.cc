@@ -1,0 +1,410 @@
+// Topology-aware network cost model (docs/network_cost_model.md):
+//
+//  - generator invariants at 1k peers: connectivity, acyclic attachment
+//    (edges only point newer -> older), bounded degree, community labels;
+//  - link-map shapes (uniform LAN / mesh / clustered WAN / hub-spoke) are
+//    deterministic pure functions of their configs;
+//  - the NetworkModel factory: the uniform model reproduces the legacy
+//    delay byte for byte, latency-bandwidth grows with message size,
+//    contention queues back-to-back messages on one trunk;
+//  - versioned trace header with per-delivery delays, and seed-replay
+//    determinism under a non-uniform model;
+//  - CostEstimator blending of static link costs with live SRTT, and
+//    cheapest-provider selection over replicated storage descriptions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "pdms/core/cost_estimator.h"
+#include "pdms/gen/topology.h"
+#include "pdms/sim/sim_pdms.h"
+#include "pdms/util/rng.h"
+
+namespace pdms {
+namespace {
+
+using gen::GenerateLinkMap;
+using gen::GenerateTopology;
+using gen::LinkMapConfig;
+using gen::Topology;
+using gen::TopologyConfig;
+
+// --- Generator invariants -------------------------------------------------
+
+void CheckTopologyInvariants(const Topology& topology,
+                             const TopologyConfig& config) {
+  const size_t n = config.num_peers;
+  ASSERT_EQ(topology.neighbors.size(), n);
+  ASSERT_EQ(topology.community.size(), n);
+
+  // Acyclic by construction: every attachment edge points to an older peer.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t v : topology.neighbors[i]) {
+      ASSERT_LT(v, i) << "attachment edge " << i << " -> " << v
+                      << " does not point to an older peer";
+    }
+  }
+
+  // Out-degree bound: attach_edges plus at most one community bridge.
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_LE(topology.neighbors[i].size(), config.attach_edges + 1);
+  }
+
+  // Connected when every joiner attaches somewhere: BFS over the
+  // undirected attachment graph reaches every peer from peer 0.
+  std::vector<std::vector<size_t>> undirected(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t v : topology.neighbors[i]) {
+      undirected[i].push_back(v);
+      undirected[v].push_back(i);
+    }
+  }
+  std::vector<char> seen(n, 0);
+  std::deque<size_t> frontier{0};
+  seen[0] = 1;
+  size_t reached = 1;
+  while (!frontier.empty()) {
+    size_t at = frontier.front();
+    frontier.pop_front();
+    for (size_t v : undirected[at]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++reached;
+        frontier.push_back(v);
+      }
+    }
+  }
+  ASSERT_EQ(reached, n) << "attachment graph is not connected";
+}
+
+TEST(TopologyGenerator, PowerLawInvariantsAtThousandPeers) {
+  TopologyConfig config;
+  config.kind = TopologyConfig::Kind::kPowerLaw;
+  config.num_peers = 1000;
+  config.attach_edges = 2;
+  config.seed = 7;
+  auto topology = GenerateTopology(config);
+  ASSERT_TRUE(topology.ok()) << topology.status().ToString();
+  CheckTopologyInvariants(*topology, config);
+  for (size_t c : topology->community) ASSERT_EQ(c, 0u);
+}
+
+TEST(TopologyGenerator, CommunityInvariantsAtThousandPeers) {
+  TopologyConfig config;
+  config.kind = TopologyConfig::Kind::kCommunity;
+  config.num_peers = 1000;
+  config.num_communities = 20;
+  config.attach_edges = 2;
+  config.seed = 11;
+  auto topology = GenerateTopology(config);
+  ASSERT_TRUE(topology.ok()) << topology.status().ToString();
+  CheckTopologyInvariants(*topology, config);
+  size_t max_community = 0;
+  for (size_t c : topology->community) max_community = std::max(max_community, c);
+  ASSERT_EQ(max_community + 1, config.num_communities);
+}
+
+TEST(TopologyGenerator, ReplicasAddProvidersWithoutChangingTheFirstOwner) {
+  TopologyConfig config;
+  config.kind = TopologyConfig::Kind::kCommunity;
+  config.num_peers = 24;
+  config.num_communities = 4;
+  config.seed = 3;
+
+  auto base = GenerateTopology(config);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  config.replicas = 1;
+  auto replicated = GenerateTopology(config);
+  ASSERT_TRUE(replicated.ok()) << replicated.status().ToString();
+
+  for (size_t i = 0; i < config.num_peers; ++i) {
+    const std::string stored = gen::TopologyStoredName(i);
+    std::vector<std::string> providers =
+        replicated->network.StoredRelationPeers(stored);
+    ASSERT_EQ(providers.size(), 2u) << stored;
+    // The first description (legacy resolution) keeps the original owner.
+    auto legacy = base->network.StoredRelationPeer(stored);
+    ASSERT_TRUE(legacy.ok());
+    ASSERT_EQ(providers[0], *legacy) << stored;
+    ASSERT_NE(providers[1], providers[0]) << stored;
+  }
+}
+
+// --- Link maps ------------------------------------------------------------
+
+Topology SmallCommunityTopology(size_t peers = 24, size_t communities = 4) {
+  TopologyConfig config;
+  config.kind = TopologyConfig::Kind::kCommunity;
+  config.num_peers = peers;
+  config.num_communities = communities;
+  config.seed = 5;
+  auto topology = GenerateTopology(config);
+  EXPECT_TRUE(topology.ok()) << topology.status().ToString();
+  return std::move(*topology);
+}
+
+TEST(LinkMapShapes, ClusteredWanSeparatesZonesOverATrunk) {
+  Topology topology = SmallCommunityTopology();
+  LinkMapConfig config;
+  config.shape = LinkMapConfig::Shape::kClusteredWan;
+  config.lan_latency_ms = 0.5;
+  config.wan_latency_ms = 20.0;
+  LinkMap map = GenerateLinkMap(topology, config);
+
+  ASSERT_EQ(map.num_zones(), 4u);
+  // Peers 0 and 1 share community 0; the last peer is in the last zone.
+  EXPECT_DOUBLE_EQ(map.Get("P0", "P1").latency_ms, 0.5);
+  EXPECT_DOUBLE_EQ(map.Get("P0", "P23").latency_ms, 20.0);
+  // All cross-zone traffic between one zone pair shares a contention
+  // domain; intra-zone links queue per node pair.
+  EXPECT_EQ(map.TrunkKey("P0", "P23"), map.TrunkKey("P1", "P22"));
+  EXPECT_NE(map.TrunkKey("P0", "P1"), map.TrunkKey("P2", "P3"));
+  // The coordinator lands in its configured zone.
+  EXPECT_DOUBLE_EQ(map.Get("@client", "P0").latency_ms, 0.5);
+  EXPECT_DOUBLE_EQ(map.Get("@client", "P23").latency_ms, 20.0);
+}
+
+TEST(LinkMapShapes, HubSpokeChargesLeavesTheAccessUplink) {
+  Topology topology = SmallCommunityTopology();
+  LinkMapConfig config;
+  config.shape = LinkMapConfig::Shape::kHubSpoke;
+  config.lan_latency_ms = 0.5;
+  config.leaf_access_ms = 2.0;
+  LinkMap map = GenerateLinkMap(topology, config);
+
+  // P0 is zone 0's hub (first peer of the zone): no uplink charge. P1 is
+  // a leaf of the same zone: one endpoint uplink on the P0 link, two on a
+  // leaf-to-leaf link.
+  EXPECT_DOUBLE_EQ(map.AccessMs("P0"), 0.0);
+  EXPECT_DOUBLE_EQ(map.AccessMs("P1"), 2.0);
+  EXPECT_DOUBLE_EQ(map.Get("P0", "P1").latency_ms, 0.5 + 2.0);
+  EXPECT_DOUBLE_EQ(map.Get("P1", "P2").latency_ms, 0.5 + 2.0 + 2.0);
+}
+
+TEST(LinkMapShapes, MeshLatencyGrowsWithManhattanDistance) {
+  Topology topology = SmallCommunityTopology(16, 1);
+  LinkMapConfig config;
+  config.shape = LinkMapConfig::Shape::kMesh;
+  config.mesh_width = 4;
+  config.lan_latency_ms = 1.0;
+  LinkMap map = GenerateLinkMap(topology, config);
+
+  // Row-major 4x4 grid: P0 at (0,0), P5 at (1,1), P15 at (3,3).
+  EXPECT_DOUBLE_EQ(map.Get("P0", "P5").latency_ms, 2.0);
+  EXPECT_DOUBLE_EQ(map.Get("P0", "P15").latency_ms, 6.0);
+  // Co-located nodes still pay one hop (a link is never free).
+  EXPECT_DOUBLE_EQ(map.Get("@client", "P0").latency_ms, 1.0);
+}
+
+TEST(LinkMapShapes, GenerationIsDeterministic) {
+  Topology topology = SmallCommunityTopology();
+  for (auto shape :
+       {LinkMapConfig::Shape::kUniformLan, LinkMapConfig::Shape::kMesh,
+        LinkMapConfig::Shape::kClusteredWan, LinkMapConfig::Shape::kHubSpoke}) {
+    LinkMapConfig config;
+    config.shape = shape;
+    LinkMap a = GenerateLinkMap(topology, config);
+    LinkMap b = GenerateLinkMap(topology, config);
+    EXPECT_EQ(a.ToString(), b.ToString());
+  }
+}
+
+TEST(LinkMapShapes, ZonePairOverrideBeatsTheDefaultTrunk) {
+  LinkMap map;
+  map.SetZone("a", 0);
+  map.SetZone("b", 1);
+  map.SetZone("c", 2);
+  map.set_inter_props({20.0, 0, 0});
+  map.SetZonePairProps(0, 1, {5.0, 0, 0});
+  EXPECT_DOUBLE_EQ(map.Get("a", "b").latency_ms, 5.0);
+  EXPECT_DOUBLE_EQ(map.Get("b", "a").latency_ms, 5.0);  // stored symmetric
+  EXPECT_DOUBLE_EQ(map.Get("a", "c").latency_ms, 20.0);
+}
+
+// --- Network models -------------------------------------------------------
+
+sim::Message ScanOfSize(size_t tuples) {
+  sim::Message m;
+  m.type = sim::Message::Type::kScanResponse;
+  m.request_id = 1;
+  m.relation = "r";
+  m.arity = 2;
+  for (size_t i = 0; i < tuples; ++i) {
+    m.tuples.push_back({Value::Int(1), Value::Int(2)});
+  }
+  return m;
+}
+
+TEST(NetworkModelFactory, RejectsUnknownAndLinklessNonUniform) {
+  EXPECT_TRUE(sim::NetworkModel::Create("uniform", nullptr).ok());
+  EXPECT_TRUE(sim::NetworkModel::Create("", nullptr).ok());
+  EXPECT_FALSE(sim::NetworkModel::Create("latency-bandwidth", nullptr).ok());
+  EXPECT_FALSE(sim::NetworkModel::Create("contention", nullptr).ok());
+  EXPECT_FALSE(sim::NetworkModel::Create("warp-drive", nullptr).ok());
+}
+
+TEST(NetworkModelFactory, UniformReproducesTheLegacyDelay) {
+  auto model = sim::NetworkModel::Create("uniform", nullptr);
+  ASSERT_TRUE(model.ok());
+  sim::LinkFaults faults;
+  faults.min_delay_ms = 3.0;
+  Rng rng(1);
+  // No jitter: the delay IS min_delay_ms, and the RNG is never consulted.
+  double d = (*model)->DeliveryDelayMs("a", "b", ScanOfSize(0), 0.0, faults,
+                                       &rng);
+  EXPECT_DOUBLE_EQ(d, 3.0);
+  // With jitter the draw matches the legacy formula against a twin RNG.
+  faults.delay_jitter_ms = 4.0;
+  Rng twin(99);
+  Rng live(99);
+  double expect = faults.min_delay_ms + twin.UniformDouble() * 4.0;
+  EXPECT_DOUBLE_EQ((*model)->DeliveryDelayMs("a", "b", ScanOfSize(0), 0.0,
+                                             faults, &live),
+                   expect);
+}
+
+TEST(NetworkModelFactory, LatencyBandwidthGrowsWithMessageSize) {
+  LinkMap links;
+  links.SetZone("a", 0);
+  links.SetZone("b", 1);
+  links.set_inter_props({10.0, /*bytes_per_ms=*/100.0, 0});
+  auto model = sim::NetworkModel::Create("latency-bandwidth", &links);
+  ASSERT_TRUE(model.ok());
+  sim::LinkFaults faults;
+  faults.min_delay_ms = 1.0;  // ignored by non-uniform models
+  Rng rng(1);
+  double small = (*model)->DeliveryDelayMs("a", "b", ScanOfSize(1), 0.0,
+                                           faults, &rng);
+  double large = (*model)->DeliveryDelayMs("a", "b", ScanOfSize(100), 0.0,
+                                           faults, &rng);
+  EXPECT_GT(small, 10.0);  // latency plus some serialization
+  EXPECT_GT(large, small);  // more bytes, more serialization delay
+}
+
+TEST(NetworkModelFactory, ContentionQueuesBackToBackTrunkMessages) {
+  LinkMap links;
+  links.SetZone("a", 0);
+  links.SetZone("b", 1);
+  links.SetZone("c", 1);
+  links.set_inter_props({10.0, 0, /*per_message_ms=*/4.0});
+  auto model = sim::NetworkModel::Create("contention", &links);
+  ASSERT_TRUE(model.ok());
+  sim::LinkFaults faults;
+  Rng rng(1);
+  const sim::Message m = ScanOfSize(0);
+  // Same trunk (zone 0 -> zone 1): each message occupies it 4ms, so the
+  // queue grows by 4ms per message on top of the 14ms base.
+  double first = (*model)->DeliveryDelayMs("a", "b", m, 0.0, faults, &rng);
+  double second = (*model)->DeliveryDelayMs("a", "c", m, 0.0, faults, &rng);
+  double third = (*model)->DeliveryDelayMs("a", "b", m, 0.0, faults, &rng);
+  EXPECT_DOUBLE_EQ(first, 14.0);
+  EXPECT_DOUBLE_EQ(second, 18.0);
+  EXPECT_DOUBLE_EQ(third, 22.0);
+  // The queue drains with virtual time: at t=100 the trunk is idle again.
+  double later = (*model)->DeliveryDelayMs("a", "b", m, 100.0, faults, &rng);
+  EXPECT_DOUBLE_EQ(later, 14.0);
+}
+
+// --- Trace versioning and replay -----------------------------------------
+
+TEST(SimTrace, HeaderNamesModelAndDeliveriesCarryDelay) {
+  Topology topology = SmallCommunityTopology();
+  LinkMapConfig link_config;
+  link_config.shape = LinkMapConfig::Shape::kClusteredWan;
+  LinkMap links = GenerateLinkMap(topology, link_config);
+
+  sim::SimOptions options;
+  options.seed = 21;
+  options.network_model = "contention";
+  options.links = &links;
+  options.request_timeout_ms = 200.0;  // above the WAN round trip
+  sim::SimPdms sim(topology.network, topology.data, options);
+  auto result = sim.Answer(gen::TopologyQuery(20, 1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const std::string& trace = sim.last_trace();
+  ASSERT_EQ(trace.rfind("# sim-trace v2 model=contention", 0), 0u)
+      << trace.substr(0, 120);
+  EXPECT_NE(trace.find("dly="), std::string::npos);
+
+  // Replay: the same seed reproduces the trace byte for byte.
+  sim::SimPdms again(topology.network, topology.data, options);
+  auto rerun = again.Answer(gen::TopologyQuery(20, 1));
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_EQ(trace, again.last_trace());
+  EXPECT_EQ(result->answers.ToString(), rerun->answers.ToString());
+}
+
+// --- Cost estimator -------------------------------------------------------
+
+TEST(CostEstimatorTest, BlendsStaticCostWithLiveSrtt) {
+  Topology topology = SmallCommunityTopology();
+  LinkMapConfig link_config;
+  link_config.shape = LinkMapConfig::Shape::kClusteredWan;
+  link_config.lan_latency_ms = 0.5;
+  link_config.wan_latency_ms = 20.0;
+  LinkMap links = GenerateLinkMap(topology, link_config);
+
+  PeerHealthTracker health;
+  CostEstimator cold(&topology.network, &links, "@client", &health);
+  // Static only (no samples): intra-zone RTT 1ms, cross-zone 40ms.
+  EXPECT_DOUBLE_EQ(cold.StaticRttMs("P0"), 1.0);
+  EXPECT_DOUBLE_EQ(cold.StaticRttMs("P23"), 40.0);
+  EXPECT_DOUBLE_EQ(cold.PeerCostMs("P23"), 40.0);
+
+  // A live SRTT sample pulls the estimate toward observed reality.
+  health.RecordSuccess("P23", 0.0, 100.0);
+  double srtt = health.SrttMs("P23");
+  ASSERT_GT(srtt, 0.0);
+  EXPECT_DOUBLE_EQ(cold.PeerCostMs("P23"), 0.5 * 40.0 + 0.5 * srtt);
+
+  // Suspicion adds a penalty that dwarfs any static advantage.
+  for (int i = 0; i < 10; ++i) health.RecordFailure("P0", 1.0);
+  if (health.IsSuspected("P0")) {
+    EXPECT_GT(cold.PeerCostMs("P0"), 1000.0);
+  }
+}
+
+TEST(CostEstimatorTest, CheapestProviderPrefersTheNearReplica) {
+  TopologyConfig config;
+  config.kind = TopologyConfig::Kind::kCommunity;
+  config.num_peers = 24;
+  config.num_communities = 4;
+  config.replicas = 1;
+  config.seed = 5;
+  auto topology = GenerateTopology(config);
+  ASSERT_TRUE(topology.ok());
+
+  LinkMapConfig link_config;
+  link_config.shape = LinkMapConfig::Shape::kClusteredWan;
+  LinkMap links = GenerateLinkMap(*topology, link_config);
+
+  CostEstimator estimator(&topology->network, &links, "@client");
+  size_t switched = 0;
+  for (size_t i = 0; i < config.num_peers; ++i) {
+    const std::string stored = gen::TopologyStoredName(i);
+    std::vector<std::string> providers =
+        topology->network.StoredRelationPeers(stored);
+    ASSERT_EQ(providers.size(), 2u);
+    auto cheapest = estimator.CheapestProvider(stored);
+    ASSERT_TRUE(cheapest.ok());
+    double best = estimator.PeerCostMs(*cheapest);
+    for (const std::string& p : providers) {
+      EXPECT_LE(best, estimator.PeerCostMs(p));
+    }
+    if (*cheapest != providers[0]) ++switched;
+  }
+  // The replica stride crosses communities, so relations whose primary
+  // is remote but whose replica shares the coordinator's zone switch.
+  EXPECT_GT(switched, 0u);
+  // ScanCostMs is the providers' minimum, and unknown relations cost 0.
+  EXPECT_DOUBLE_EQ(estimator.ScanCostMs("no_such_relation"), 0.0);
+}
+
+}  // namespace
+}  // namespace pdms

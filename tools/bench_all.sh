@@ -32,9 +32,15 @@
 # vectorized engine, cold and plan-cached, per Figure-3 diameter,
 # docs/query_planning.md) reports into BENCH_eval.json.
 #
+# The topology_latency bench (cost-aware routing vs cost-blind execution
+# per link-map shape under the contention network model, with byte-
+# identical answers asserted per run, docs/network_cost_model.md)
+# reports into BENCH_topology.json.
+#
 # Usage: tools/bench_all.sh [out.json] [cache-out.json] [parallel-out.json]
 #                           [churn-out.json] [serving-out.json]
 #                           [slo-out.json] [eval-out.json]
+#                           [topology-out.json]
 # Knobs: BUILD_DIR (default build), PDMS_BENCH_* forwarded to the benches.
 set -euo pipefail
 
@@ -46,6 +52,7 @@ CHURN_OUT="${4:-BENCH_churn.json}"
 SERVING_OUT="${5:-BENCH_serving.json}"
 SLO_OUT="${6:-BENCH_slo.json}"
 EVAL_OUT="${7:-BENCH_eval.json}"
+TOPOLOGY_OUT="${8:-BENCH_topology.json}"
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 JSON_DIR="${BUILD_DIR}/bench-json"
@@ -151,6 +158,20 @@ echo "== eval_vectorized =="
   printf ']\n'
 } > "${EVAL_OUT}"
 echo "merged eval report into ${EVAL_OUT}"
+
+echo "== topology_latency =="
+# Cost-aware vs cost-blind answer latency per topology shape
+# (docs/network_cost_model.md). The bench exits non-zero if any
+# cost-aware answer set diverges from the cost-blind twin, so the sweep
+# doubles as a routing-equivalence gate.
+"${BUILD_DIR}/bench/topology_latency" \
+  --json "${JSON_DIR}/topology_latency.json"
+{
+  printf '['
+  tr -d '\n' < "${JSON_DIR}/topology_latency.json"
+  printf ']\n'
+} > "${TOPOLOGY_OUT}"
+echo "merged topology report into ${TOPOLOGY_OUT}"
 
 # The SLO scrape: the server's own rolling-window snapshot, taken over
 # the wire during the loadgen sweep, wrapped in the shared array shape.

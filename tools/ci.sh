@@ -39,6 +39,13 @@
 #      suite fans disjuncts out over real worker threads), plus a join
 #      micro-bench smoke and a small end-to-end engine comparison whose
 #      soundness check must pass (docs/query_planning.md).
+#  11. network-cost gate: the topology/link-map/network-model suite and a
+#      reduced-seed cost-aware-vs-cost-blind equivalence sweep under
+#      asan+ubsan and under TSan (the thread-invariance case drives the
+#      cost-aware reformulator over a real worker pool), plus a
+#      topology_latency bench smoke whose byte-identity check must pass
+#      (docs/network_cost_model.md). The full 200-seed sweep is the
+#      binary's default outside CI.
 #
 # Usage: tools/ci.sh
 # Knobs: BUILD_DIR (default build), ASAN_BUILD_DIR (default build-asan),
@@ -52,18 +59,18 @@ ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "== [1/10] default build + tests =="
+echo "== [1/11] default build + tests =="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== [2/10] asan+ubsan build + tests =="
+echo "== [2/11] asan+ubsan build + tests =="
 tools/ci_sanitize.sh "${ASAN_BUILD_DIR}"
 
-echo "== [3/10] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
+echo "== [3/11] simulation smoke (${PDMS_DST_SEEDS:-32} seeds) =="
 PDMS_DST_SEEDS="${PDMS_DST_SEEDS:-32}" "${BUILD_DIR}/tests/sim_dst_test"
 
-echo "== [4/10] trace-export smoke =="
+echo "== [4/11] trace-export smoke =="
 TRACE_FILE="${BUILD_DIR}/ci_trace.json"
 PDMS_BENCH_RUNS=1 PDMS_BENCH_MAX_DIAMETER=1 \
   "${BUILD_DIR}/bench/fig3_tree_size" --trace "${TRACE_FILE}" > /dev/null
@@ -86,14 +93,14 @@ else
   echo "trace export ok (python3 unavailable; grep check only)"
 fi
 
-echo "== [5/10] cache-coherence smoke =="
+echo "== [5/11] cache-coherence smoke =="
 # Query -> mutate network -> re-query: the invalidation counter must
 # advance and the cached answers must match a fresh, never-cached
 # instance (the gtest case asserts both).
 "${BUILD_DIR}/tests/cache_coherence_test" \
   --gtest_filter='CacheCoherence.Smoke'
 
-echo "== [6/10] tsan: exec primitives + parallel equivalence =="
+echo "== [6/11] tsan: exec primitives + parallel equivalence =="
 cmake --preset tsan > /dev/null
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target exec_test parallel_equivalence_test
@@ -102,7 +109,7 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/parallel_equivalence_test"
 
-echo "== [7/10] tsan: churn DST smoke + invalidation/health suites =="
+echo "== [7/11] tsan: churn DST smoke + invalidation/health suites =="
 cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
   --target churn_dst_test cache_invalidation_test peer_health_test
 # The 32-seed twin comparison and the 4-thread shared-cache churn test;
@@ -115,7 +122,7 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/peer_health_test"
 
-echo "== [8/10] serving gate: loopback smoke + asan fuzz + tsan server =="
+echo "== [8/11] serving gate: loopback smoke + asan fuzz + tsan server =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ppl_serverd
 # Loopback smoke: the daemon on an ephemeral-ish port must answer a real
 # wire-protocol query. The overload test's loopback case drives the same
@@ -136,7 +143,7 @@ TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/serve_overload_test" --gtest_filter=\
 'Serving.ConcurrentClientsShareTheServerSafely:Serving.OverloadBurstShedsCleanlyAndAnswersStayCorrect'
 
-echo "== [9/10] telemetry gate: stats scrape + access log + tsan =="
+echo "== [9/11] telemetry gate: stats scrape + access log + tsan =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}" \
   --target ppl_serverd ppl_top ppl_shell
 TELEM_DIR="${BUILD_DIR}/ci-telemetry"
@@ -213,7 +220,7 @@ cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" --target serve_telemetry_test
 TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
   "${TSAN_BUILD_DIR}/tests/serve_telemetry_test"
 
-echo "== [10/10] qp gate: asan + tsan suites, eval bench smoke =="
+echo "== [10/11] qp gate: asan + tsan suites, eval bench smoke =="
 # The vectorized-engine suites under asan+ubsan (step 2 built them with
 # the full suite; re-run explicitly as the named gate).
 "${ASAN_BUILD_DIR}/tests/qp_test"
@@ -238,5 +245,25 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target eval_join eval_vectorized
   --benchmark_min_time=0.05 > /dev/null
 PDMS_BENCH_RUNS=1 PDMS_BENCH_ITERS=2 PDMS_BENCH_FACTS=1024 \
 PDMS_BENCH_MAX_DIAMETER=3 "${BUILD_DIR}/bench/eval_vectorized" > /dev/null
+
+echo "== [11/11] network-cost gate: asan + tsan suites, topology bench smoke =="
+# Topology/link-map/network-model invariants and the routing equivalence
+# sweep under asan+ubsan (step 2 built them with the full suite; re-run
+# explicitly, at a CI-sized seed count, as the named gate).
+"${ASAN_BUILD_DIR}/tests/topology_cost_test"
+PDMS_EQ_SEEDS=32 "${ASAN_BUILD_DIR}/tests/cost_equivalence_test"
+# Under TSan: the thread-invariance case runs the cost-aware reformulator
+# over a 2-worker pool against the serial twin.
+cmake --build "${TSAN_BUILD_DIR}" -j "${JOBS}" \
+  --target topology_cost_test cost_equivalence_test
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  "${TSAN_BUILD_DIR}/tests/topology_cost_test"
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" PDMS_EQ_SEEDS=16 \
+  "${TSAN_BUILD_DIR}/tests/cost_equivalence_test"
+# Bench smoke: a small sweep; the binary exits non-zero if any cost-aware
+# answer set diverges from the cost-blind twin.
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target topology_latency
+PDMS_BENCH_RUNS=2 PDMS_BENCH_PEERS=32 \
+  "${BUILD_DIR}/bench/topology_latency" > /dev/null
 
 echo "== CI gate passed =="
